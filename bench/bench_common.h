@@ -1,0 +1,51 @@
+// Shared plumbing for the reproduction harness: every bench binary prints a
+// banner naming the table/figure it regenerates, accepts key=value overrides
+// on the command line, and renders its series as ASCII tables (optionally
+// CSV). Conventions:
+//   * `seeds=N` — number of random game instances averaged (default 3);
+//   * `fast=1`  — shrink the FL workloads for quick smoke runs;
+//   * `csv=DIR` — also write each series to DIR/<bench>.csv.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/mechanism.h"
+#include "game/game_factory.h"
+
+namespace tradefl::bench {
+
+/// Parses argv into a Config (ignores flags starting with "--" so that
+/// google-benchmark's own flags pass through).
+Config parse_args(int argc, char** argv);
+
+/// Prints the standard banner.
+void banner(const std::string& experiment_id, const std::string& claim);
+
+/// Prints a table and optionally writes a CSV next to it.
+void emit(const Config& config, const std::string& name, const AsciiTable& table,
+          const CsvWriter* csv = nullptr);
+
+/// Mean of a metric across seeded replications of the experiment game.
+struct SweepStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+SweepStats replicate(const std::vector<double>& values);
+
+/// Runs one scheme on `spec` for each seed and returns the requested metric.
+enum class Metric { kWelfare, kDamage, kDataFraction, kPotential, kPerformance };
+std::vector<double> metric_over_seeds(const game::ExperimentSpec& spec, core::Scheme scheme,
+                                      Metric metric, std::size_t seeds,
+                                      std::uint64_t seed0 = 42);
+
+double extract_metric(const core::MechanismResult& result, Metric metric);
+
+/// Default gamma grid of the Figs. 7-12 sweeps.
+std::vector<double> gamma_grid();
+
+}  // namespace tradefl::bench

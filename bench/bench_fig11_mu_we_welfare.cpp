@@ -1,0 +1,58 @@
+// Fig. 11 — welfare vs competition intensity mu and the training-overhead
+// weight omega_e: welfare decreases as either escalates.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace tradefl;
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("Fig. 11",
+                "welfare decreases as the competition intensity mu and the training "
+                "overhead weight omega_e escalate");
+
+  const std::size_t seeds = static_cast<std::size_t>(config.get_int("seeds", 3));
+  const std::vector<double> mus{0.01, 0.03, 0.05, 0.08, 0.12};
+  const game::ExperimentSpec base;
+  const std::vector<double> omega_es{base.params.omega_e * 0.5, base.params.omega_e,
+                                     base.params.omega_e * 2.0, base.params.omega_e * 4.0};
+
+  std::vector<std::string> header{"mu"};
+  for (double we : omega_es) header.push_back("omega_e=" + format_double(we));
+  AsciiTable table(header);
+  CsvWriter csv(header);
+  std::vector<std::vector<double>> grid;
+  for (double mu : mus) {
+    std::vector<double> row{mu};
+    for (double we : omega_es) {
+      game::ExperimentSpec spec;
+      spec.rho_mean = mu;
+      spec.params.omega_e = we;
+      row.push_back(
+          bench::replicate(bench::metric_over_seeds(spec, core::Scheme::kDbr,
+                                                    bench::Metric::kWelfare, seeds))
+              .mean);
+    }
+    grid.push_back(row);
+    table.add_row_doubles(row, 7);
+    csv.add_row_doubles(row);
+  }
+  bench::emit(config, "fig11_mu_we_welfare", table, &csv);
+
+  // Trend checks along both axes.
+  bool down_in_we = true;
+  for (const auto& row : grid) {
+    for (std::size_t c = 2; c < row.size(); ++c) {
+      if (row[c] > row[c - 1] + 1e-6) down_in_we = false;
+    }
+  }
+  bool down_in_mu = true;
+  for (std::size_t c = 1; c <= omega_es.size(); ++c) {
+    if (grid.back()[c] > grid.front()[c] + 1e-6) down_in_mu = false;
+  }
+  std::printf("welfare decreasing in omega_e: %s; decreasing in mu (end vs start): %s\n\n",
+              down_in_we ? "CONFIRMED" : "NOT OBSERVED",
+              down_in_mu ? "CONFIRMED" : "NOT OBSERVED");
+  return 0;
+}

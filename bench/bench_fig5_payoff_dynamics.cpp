@@ -1,0 +1,40 @@
+// Fig. 5 — dynamics of organizations' payoffs C_i under DBR: each org
+// best-responds autonomously and the payoffs settle at the NE. The paper
+// plots fully synchronous updates (slower convergence), so this bench uses
+// Jacobi mode; pass sequential=1 for the Gauss-Seidel variant.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace tradefl;
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("Fig. 5",
+                "per-organization payoffs under DBR converge to the NE within ~25 "
+                "decision slots");
+
+  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  const auto game = game::make_default_game(seed);
+
+  core::DbrOptions options;
+  options.sequential_updates = config.get_bool("sequential", false);
+  const core::Solution solution = run_dbr(game, options);
+
+  std::vector<std::string> header{"iteration"};
+  for (game::OrgId i = 0; i < game.size(); ++i) header.push_back(game.org(i).name);
+  AsciiTable table(header);
+  CsvWriter csv(header);
+  for (const auto& record : solution.trace) {
+    std::vector<double> row{static_cast<double>(record.iteration)};
+    for (double payoff : record.payoffs) row.push_back(payoff);
+    table.add_row_doubles(row, 6);
+    csv.add_row_doubles(row);
+  }
+  bench::emit(config, "fig5_payoff_dynamics", table, &csv);
+
+  std::printf("converged=%s after %d iterations; max unilateral gain at NE = %.3e\n\n",
+              solution.converged ? "yes" : "no", solution.iterations,
+              game.max_unilateral_gain(solution.profile));
+  return 0;
+}

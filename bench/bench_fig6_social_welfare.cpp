@@ -1,0 +1,38 @@
+// Fig. 6 — social welfare by scheme. CGBD attains the highest welfare,
+// followed by DBR; WPR/GCA/FIP/TOS fall behind.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace tradefl;
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("Fig. 6", "CGBD attains the highest social welfare, followed by DBR");
+
+  const std::size_t seeds = static_cast<std::size_t>(config.get_int("seeds", 5));
+  game::ExperimentSpec spec;
+  spec.params.gamma = config.get_double("gamma", spec.params.gamma);
+
+  AsciiTable table({"scheme", "welfare (mean)", "welfare (std)", "data Sum d_i", "P(Omega)"});
+  CsvWriter csv({"scheme", "welfare_mean", "welfare_std", "sum_d", "performance"});
+  for (core::Scheme scheme : core::all_schemes()) {
+    const auto welfare =
+        bench::metric_over_seeds(spec, scheme, bench::Metric::kWelfare, seeds);
+    const auto data =
+        bench::metric_over_seeds(spec, scheme, bench::Metric::kDataFraction, seeds);
+    const auto performance =
+        bench::metric_over_seeds(spec, scheme, bench::Metric::kPerformance, seeds);
+    const auto welfare_stats = bench::replicate(welfare);
+    table.add_labeled_row(core::scheme_name(scheme),
+                          {welfare_stats.mean, welfare_stats.stddev,
+                           bench::replicate(data).mean, bench::replicate(performance).mean},
+                          7);
+    csv.add_row({core::scheme_name(scheme), format_double(welfare_stats.mean, 10),
+                 format_double(welfare_stats.stddev, 10),
+                 format_double(bench::replicate(data).mean, 10),
+                 format_double(bench::replicate(performance).mean, 10)});
+  }
+  bench::emit(config, "fig6_social_welfare", table, &csv);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 7 — impact of the incentive intensity gamma on social welfare under
+// DBR: increasing gamma does NOT always improve welfare (drops at large
+// gamma as organizations over-invest regardless of training overhead).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace tradefl;
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("Fig. 7",
+                "welfare under DBR is non-monotone in gamma; it drops once gamma "
+                "exceeds the optimum (paper: drops at 5e-8 and 1e-7)");
+
+  const std::size_t seeds = static_cast<std::size_t>(config.get_int("seeds", 5));
+  AsciiTable table({"gamma", "welfare (mean)", "welfare (std)", "Sum d_i"});
+  CsvWriter csv({"gamma", "welfare_mean", "welfare_std", "sum_d"});
+  double best_welfare = -1e300, best_gamma = 0.0, last_welfare = 0.0;
+  for (double gamma : bench::gamma_grid()) {
+    game::ExperimentSpec spec;
+    spec.params.gamma = gamma;
+    const auto welfare =
+        bench::metric_over_seeds(spec, core::Scheme::kDbr, bench::Metric::kWelfare, seeds);
+    const auto data =
+        bench::metric_over_seeds(spec, core::Scheme::kDbr, bench::Metric::kDataFraction, seeds);
+    const auto stats = bench::replicate(welfare);
+    table.add_labeled_row(format_double(gamma, 4),
+                          {stats.mean, stats.stddev, bench::replicate(data).mean}, 7);
+    csv.add_row_doubles({gamma, stats.mean, stats.stddev, bench::replicate(data).mean});
+    if (stats.mean > best_welfare) {
+      best_welfare = stats.mean;
+      best_gamma = gamma;
+    }
+    last_welfare = stats.mean;
+  }
+  bench::emit(config, "fig7_gamma_welfare_dbr", table, &csv);
+  std::printf("welfare peaks at gamma* = %.3g (%.1f) and falls to %.1f at gamma = 1e-7\n"
+              "(paper: peak 8582.7 at 5.12e-9, drop to 6891.7)\n\n",
+              best_gamma, best_welfare, last_welfare);
+  return 0;
+}

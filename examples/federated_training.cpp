@@ -1,0 +1,77 @@
+// Federated training with mechanism-driven contributions: measures the
+// data-accuracy curve on the FL substrate (Fig. 2 pre-experiment), fits an
+// EmpiricalAccuracyModel from it, solves the coopetition game on top of the
+// FITTED model — closing the loop the paper's "no specific functional form"
+// design enables — and finally trains the global model at the equilibrium.
+//
+//   $ ./federated_training [model=mlp] [dataset=fmnist] [fast=1]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/mechanism.h"
+#include "fl/data_accuracy.h"
+#include "game/game_factory.h"
+#include "tradefl/session.h"
+
+int main(int argc, char** argv) {
+  using namespace tradefl;
+  std::vector<std::string> raw_args;
+  for (int i = 1; i < argc; ++i) raw_args.emplace_back(argv[i]);
+  const Config config = Config::from_args(raw_args).value_or(Config{});
+  const bool fast = config.get_bool("fast", false);
+  const auto model = fl::model_kind_from_string(config.get_string("model", "mlp"));
+  const auto dataset = fl::dataset_kind_from_string(config.get_string("dataset", "fmnist"));
+
+  // --- 1. Pre-experiment: measure P(d) on the real FL substrate. ---
+  fl::DataAccuracyOptions probe;
+  probe.org_count = 4;
+  probe.samples_per_org = fast ? 120 : 300;
+  probe.test_samples = fast ? 200 : 400;
+  probe.d_grid = fast ? std::vector<double>{0.1, 0.5, 1.0}
+                      : std::vector<double>{0.1, 0.3, 0.5, 0.75, 1.0};
+  probe.fedavg.rounds = fast ? 4 : 8;
+  probe.fedavg.local_epochs = 2;
+  std::printf("measuring the data-accuracy curve of %s on %s...\n",
+              fl::model_name(model), fl::dataset_name(dataset));
+  const auto curve = fl::measure_data_accuracy(model, dataset, probe);
+  for (const auto& point : curve.points) {
+    std::printf("  d=%.2f -> accuracy %.3f (P = %+.3f)\n", point.d, point.accuracy,
+                point.performance);
+  }
+  std::printf("fit: P ~ %.3f - %.3f/sqrt(omega + %.1f), R2 = %.3f; Eq.(5) monotone=%s\n\n",
+              curve.fit.a, curve.fit.b, curve.fit.c, curve.fit.r_squared,
+              curve.shape.nondecreasing ? "yes" : "no");
+
+  // --- 2. Solve the coopetition game ON the fitted model. ---
+  auto base = game::make_default_game(42);
+  game::GameParams params = base.params();
+  params.a0 = 0.9;  // untrained-model loss anchor for the empirical model
+  // The fitted curve is in units of SAMPLES (omega up to ~1.5k in the probe);
+  // rescale the game's contributed bits so its Omega lands on that range.
+  params.data_scale = 1.5e8;
+  const game::CoopetitionGame game(base.orgs(), base.rho(),
+                                   fl::empirical_accuracy_model(curve, params.a0), params);
+  const auto equilibrium = core::run_scheme(game, core::Scheme::kDbr);
+  std::printf("equilibrium on the FITTED accuracy model: Sum d_i = %.3f, welfare %.1f, "
+              "NE gain %.2e\n\n",
+              equilibrium.total_data_fraction, equilibrium.welfare,
+              game.max_unilateral_gain(equilibrium.solution.profile));
+
+  // --- 3. Train the global model at the equilibrium contributions. ---
+  TradingSession session(game);
+  SessionOptions options;
+  options.run_training = true;
+  options.model = model;
+  options.dataset = dataset;
+  options.sample_scale = fast ? 0.08 : 0.2;
+  options.fedavg.rounds = fast ? 3 : 8;
+  const SessionResult result = session.run(options);
+  std::printf("federated training at the equilibrium: final accuracy %.3f, loss %.3f\n",
+              result.training->final_accuracy, result.training->final_loss);
+  std::printf("on-chain settlement: sum %lld wei, chain %s\n",
+              static_cast<long long>(result.settlement_sum),
+              result.chain_valid ? "VALID" : "INVALID");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Tuning the incentive intensity gamma — the paper's headline observation
+// (Figs. 7/10): increasing gamma does NOT always improve social welfare.
+// This example sweeps gamma under DBR, locates gamma*, and decomposes WHY
+// welfare falls beyond it (energy overhead outgrows the model-quality gain).
+//
+//   $ ./gamma_tuning [seeds=3]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/gamma_design.h"
+#include "core/mechanism.h"
+#include "game/game_factory.h"
+#include "math/grid.h"
+
+int main(int argc, char** argv) {
+  using namespace tradefl;
+  std::vector<std::string> raw_args;
+  for (int i = 1; i < argc; ++i) raw_args.emplace_back(argv[i]);
+  const Config config = Config::from_args(raw_args).value_or(Config{});
+  const std::size_t seeds = static_cast<std::size_t>(config.get_int("seeds", 3));
+
+  AsciiTable table({"gamma", "welfare", "Sum d_i", "P(Omega)", "energy cost", "damage"});
+  double best_gamma = 0.0, best_welfare = -1e300;
+  for (double gamma : math::logspace(1e-10, 1e-7, 13)) {
+    double welfare = 0.0, sum_d = 0.0, performance = 0.0, energy = 0.0, damage = 0.0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      game::ExperimentSpec spec;
+      spec.params.gamma = gamma;
+      const auto game = game::make_experiment_game(spec, 42 + s);
+      const auto result = core::run_scheme(game, core::Scheme::kDbr);
+      welfare += result.welfare;
+      sum_d += result.total_data_fraction;
+      performance += result.performance;
+      damage += result.total_damage;
+      for (game::OrgId i = 0; i < game.size(); ++i) {
+        energy += game.payoff_breakdown(i, result.solution.profile).energy_cost;
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(seeds);
+    welfare *= inv;
+    table.add_row_doubles({gamma, welfare, sum_d * inv, performance * inv, energy * inv,
+                           damage * inv},
+                          6);
+    if (welfare > best_welfare) {
+      best_welfare = welfare;
+      best_gamma = gamma;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("coarse grid: gamma* = %.3g with welfare %.1f\n", best_gamma, best_welfare);
+
+  // The mechanism designer's search (grid + golden-section refinement).
+  core::GammaDesignOptions design;
+  design.seeds = seeds;
+  design.coarse_points = 9;
+  const auto designed = core::optimize_gamma(game::ExperimentSpec{}, design);
+  std::printf("refined:     gamma* = %.3g with welfare %.1f (%zu evaluations)\n\n",
+              designed.gamma_star, designed.welfare_at_star, designed.evaluations.size());
+  std::printf("reading the table: up to gamma*, redistribution draws out more data\n"
+              "(Sum d_i grows, P(Omega) improves) faster than the energy cost grows.\n"
+              "Beyond gamma*, organizations over-invest -- energy rises quadratically\n"
+              "with the chosen frequency while the accuracy gain saturates (Eq. 5),\n"
+              "so welfare falls. Damage keeps shrinking because each organization's\n"
+              "marginal contribution diminishes as everyone contributes more (Fig. 9).\n");
+  return 0;
+}

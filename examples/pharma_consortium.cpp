@@ -1,0 +1,94 @@
+// A MELLODDY-style scenario (the paper's motivating example): ten
+// pharmaceutical companies collaboratively train a drug-discovery model while
+// competing in overlapping therapeutic areas. Companies in the same area
+// compete intensely (rho = 0.12); across areas the overlap is mild (0.02).
+//
+// The example runs the FULL TradeFL pipeline: equilibrium computation, FedAvg
+// training with the equilibrium contributions, and smart-contract settlement
+// on the private chain.
+//
+//   $ ./pharma_consortium [fast=1]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "tradefl/report.h"
+#include "tradefl/session.h"
+
+int main(int argc, char** argv) {
+  using namespace tradefl;
+  std::vector<std::string> raw_args;
+  for (int i = 1; i < argc; ++i) raw_args.emplace_back(argv[i]);
+  const Config config = Config::from_args(raw_args).value_or(Config{});
+  const bool fast = config.get_bool("fast", false);
+
+  // --- Build the consortium. Two therapeutic areas, five companies each. ---
+  Rng rng(7);
+  std::vector<game::Organization> companies;
+  const char* names[] = {"novira", "helixa", "genmark", "asterion", "biocel",
+                         "kurapharm", "zelexa", "orphix", "medanta", "synvex"};
+  for (std::size_t i = 0; i < 10; ++i) {
+    game::Organization company;
+    company.name = names[i];
+    company.data_size_bits = rng.uniform(15e9, 25e9);   // compound-assay archives
+    company.sample_count = static_cast<std::size_t>(rng.uniform_int(1000, 2000));
+    company.profitability = rng.uniform(500.0, 2500.0);  // market value per model point
+    company.cycles_per_bit = rng.uniform(8.0, 12.0);
+    const double f_max = rng.uniform(3e9, 5e9);
+    company.freq_levels = {1.5e9, (1.5e9 + f_max) / 2.0, f_max};
+    company.download_time = rng.uniform(1.0, 3.0);
+    company.upload_time = rng.uniform(1.0, 3.0);
+    companies.push_back(std::move(company));
+  }
+
+  // Competition: companies 0-4 work on oncology, 5-9 on immunology.
+  game::CompetitionMatrix rho(10);
+  for (game::OrgId i = 0; i < 10; ++i) {
+    for (game::OrgId j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      const bool same_area = (i < 5) == (j < 5);
+      rho.set(i, j, same_area ? 0.12 : 0.02);
+    }
+  }
+
+  game::GameParams params;  // calibrated defaults; gamma = gamma*
+  auto accuracy = std::make_shared<const game::SqrtAccuracyModel>(params.epochs_g, params.a0);
+  const game::CoopetitionGame consortium(companies, rho, accuracy, params);
+
+  std::printf("consortium of %zu companies; rho guard scale %.3f (Theorem 1)\n\n",
+              consortium.size(), consortium.rho_guard_scale());
+
+  // --- Run the full pipeline. ---
+  TradingSession session(consortium);
+  SessionOptions options;
+  options.scheme = core::Scheme::kDbr;
+  options.run_training = true;
+  options.model = fl::ModelKind::kMlp;            // assay-activity classifier stand-in
+  options.dataset = fl::DatasetKind::kEurosatLike;  // well-separated synthetic task
+  options.sample_scale = fast ? 0.1 : 0.25;
+  options.fedavg.rounds = fast ? 3 : 8;
+  const SessionResult result = session.run(options);
+
+  std::printf("%s\n", describe_session(consortium, result).c_str());
+
+  // Which area carries the training, and who compensates whom?
+  double oncology_d = 0.0, immunology_d = 0.0, oncology_r = 0.0, immunology_r = 0.0;
+  for (game::OrgId i = 0; i < consortium.size(); ++i) {
+    const auto& strategy = result.mechanism.solution.profile[i];
+    const double r = consortium.redistribution(i, result.mechanism.solution.profile);
+    if (i < 5) {
+      oncology_d += strategy.data_fraction;
+      oncology_r += r;
+    } else {
+      immunology_d += strategy.data_fraction;
+      immunology_r += r;
+    }
+  }
+  std::printf("oncology:   Sum d = %.3f, net redistribution %+.2f\n", oncology_d, oncology_r);
+  std::printf("immunology: Sum d = %.3f, net redistribution %+.2f\n", immunology_d,
+              immunology_r);
+  std::printf("\nintra-area competition is compensated through the contract; the \n"
+              "settlement above is recorded immutably for arbitration.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Application Binary Interface for contract calls (the paper's footnote 5:
+// "the functions developed in the smart contract are ABIs in Ethereum").
+// A call payload is a method name plus a list of typed values; encoding is
+// deterministic so payloads can be hashed into transactions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "chain/bytes.h"
+#include "chain/fixed_point.h"
+#include "chain/tx.h"
+
+namespace tradefl::chain {
+
+using AbiValue = std::variant<std::uint64_t, std::int64_t, std::string, Address, Bytes, Fixed>;
+
+/// Human-readable type tag ("u64", "fixed", ...), used in error messages.
+std::string abi_type_name(const AbiValue& value);
+
+struct CallPayload {
+  std::string method;
+  std::vector<AbiValue> args;
+};
+
+Bytes encode_call(const CallPayload& payload);
+CallPayload decode_call(const Bytes& data);  // throws std::invalid_argument on malformed input
+
+Bytes encode_values(const std::vector<AbiValue>& values);
+std::vector<AbiValue> decode_values(const Bytes& data);
+
+/// Typed extractors with index/type error reporting.
+std::uint64_t abi_u64(const std::vector<AbiValue>& args, std::size_t index);
+std::int64_t abi_i64(const std::vector<AbiValue>& args, std::size_t index);
+const std::string& abi_string(const std::vector<AbiValue>& args, std::size_t index);
+Address abi_address(const std::vector<AbiValue>& args, std::size_t index);
+Fixed abi_fixed(const std::vector<AbiValue>& args, std::size_t index);
+
+}  // namespace tradefl::chain

@@ -1,0 +1,53 @@
+// Blocks: a header chained by SHA-256 over the previous header hash plus a
+// Merkle root over the block's transactions. Provides the immutability and
+// traceability guarantees the TradeFL prototype needs for arbitration
+// (Sec. III-F): any mutation of a past transaction changes the Merkle root,
+// which breaks every subsequent prev-hash link.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/tx.h"
+
+namespace tradefl::chain {
+
+struct BlockHeader {
+  std::uint64_t index = 0;
+  std::uint64_t timestamp = 0;  // logical clock maintained by the chain
+  Hash256 prev_hash{};
+  Hash256 tx_root{};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] Hash256 hash() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  /// Merkle root over the transaction hashes (empty block -> zero root;
+  /// odd layers duplicate the last node, Bitcoin-style).
+  [[nodiscard]] static Hash256 merkle_root(const std::vector<Transaction>& transactions);
+
+  /// True when header.tx_root matches the transactions.
+  [[nodiscard]] bool verify_tx_root() const;
+};
+
+/// Merkle inclusion proof: the sibling hashes from a transaction leaf up to
+/// the root. Lets an arbitrator verify "this exact transaction is in that
+/// sealed block" with O(log n) hashes and no access to the other
+/// transactions — the light-client flavour of the paper's arbitration story.
+struct MerkleProof {
+  std::uint64_t leaf_index = 0;
+  std::vector<Hash256> siblings;  // bottom-up; pairing side derives from index
+
+  /// Builds the proof for transactions[index]. Throws std::out_of_range.
+  [[nodiscard]] static MerkleProof build(const std::vector<Transaction>& transactions,
+                                         std::size_t index);
+
+  /// Verifies that `leaf` hashes up to `root` along this proof.
+  [[nodiscard]] bool verify(const Hash256& leaf, const Hash256& root) const;
+};
+
+}  // namespace tradefl::chain

@@ -1,0 +1,180 @@
+#include "chain/blockchain.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace tradefl::chain {
+
+/// Host implementation bound to one in-flight call: restricts transfers to
+/// the callee contract's own funds and stamps events with the block index.
+class Blockchain::HostSession final : public HostInterface {
+ public:
+  HostSession(Blockchain& chain, Address self, GasMeter& gas, std::uint64_t block_index)
+      : chain_(chain), self_(self), gas_(gas), block_index_(block_index) {}
+
+  void contract_transfer(const Address& to, Wei amount) override {
+    gas_.charge_transfer();
+    if (amount < 0) throw Revert("negative transfer");
+    Wei& from_balance = chain_.balances_[self_];
+    if (from_balance < amount) throw Revert("insufficient contract balance");
+    from_balance -= amount;
+    chain_.balances_[to] += amount;
+  }
+
+  [[nodiscard]] Wei balance_of(const Address& account) const override {
+    gas_.charge_storage_read();
+    return chain_.balance(account);
+  }
+
+  void emit_event(std::string name, std::vector<AbiValue> fields) override {
+    gas_.charge_event();
+    staged_events_.push_back(Event{self_, std::move(name), std::move(fields), block_index_});
+  }
+
+  /// Events only reach the chain log if the call succeeds.
+  void commit_events() {
+    for (Event& event : staged_events_) chain_.events_.push_back(std::move(event));
+    staged_events_.clear();
+  }
+
+ private:
+  Blockchain& chain_;
+  Address self_;
+  GasMeter& gas_;
+  std::uint64_t block_index_;
+  std::vector<Event> staged_events_;
+};
+
+Blockchain::Blockchain(GasSchedule gas_schedule) : gas_schedule_(gas_schedule) {
+  // Genesis block.
+  Block genesis;
+  genesis.header.index = 0;
+  genesis.header.timestamp = logical_clock_++;
+  genesis.header.tx_root = Block::merkle_root(genesis.transactions);
+  blocks_.push_back(std::move(genesis));
+}
+
+void Blockchain::credit(const Address& account, Wei amount) {
+  if (amount < 0) throw std::invalid_argument("chain: cannot credit negative wei");
+  balances_[account] += amount;
+}
+
+Wei Blockchain::balance(const Address& account) const {
+  const auto it = balances_.find(account);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+Address Blockchain::deploy(ContractPtr contract) {
+  if (!contract) throw std::invalid_argument("chain: null contract");
+  const std::string salt =
+      contract->contract_name() + "#" + std::to_string(deploy_nonce_++);
+  const Address address = Address::from_name(salt);
+  if (contracts_.count(address) > 0) throw std::logic_error("chain: address collision");
+  TFL_DEBUG << "deploy " << contract->contract_name() << " at " << address.to_hex();
+  contracts_[address] = std::move(contract);
+  return address;
+}
+
+bool Blockchain::has_contract(const Address& address) const {
+  return contracts_.count(address) > 0;
+}
+
+const Contract& Blockchain::contract_at(const Address& address) const {
+  const auto it = contracts_.find(address);
+  if (it == contracts_.end()) throw std::out_of_range("chain: no contract at address");
+  return *it->second;
+}
+
+Receipt Blockchain::submit(Transaction tx) {
+  tx.nonce = nonces_[tx.from]++;
+  Receipt receipt;
+  receipt.tx_hash = tx.hash();
+  receipt.block_index = blocks_.size();  // the block it will be sealed into
+
+  GasMeter gas(tx.gas_limit, gas_schedule_);
+  const auto contract_it = contracts_.find(tx.to);
+
+  // Snapshot for atomic rollback.
+  const std::map<Address, Wei> balance_snapshot = balances_;
+  Bytes state_snapshot;
+  if (contract_it != contracts_.end()) state_snapshot = contract_it->second->save_state();
+
+  try {
+    gas.charge(gas_schedule_.base_call);
+    gas.charge(gas_schedule_.per_payload_byte * tx.data.size());
+
+    // Up-front value transfer (to a contract or an externally owned account).
+    if (tx.value < 0) throw Revert("negative value");
+    Wei& sender_balance = balances_[tx.from];
+    if (sender_balance < tx.value) throw Revert("insufficient sender balance");
+    sender_balance -= tx.value;
+    balances_[tx.to] += tx.value;
+
+    if (contract_it != contracts_.end()) {
+      HostSession host(*this, tx.to, gas, receipt.block_index);
+      CallContext context;
+      context.caller = tx.from;
+      context.self = tx.to;
+      context.value = tx.value;
+      context.block_index = receipt.block_index;
+      context.gas = &gas;
+      context.host = &host;
+      const CallPayload payload = decode_call(tx.data);
+      const std::vector<AbiValue> returned =
+          contract_it->second->call(context, payload.method, payload.args);
+      receipt.return_data = encode_values(returned);
+      host.commit_events();
+    } else if (!tx.data.empty()) {
+      throw Revert("call data sent to a non-contract account");
+    }
+    receipt.success = true;
+  } catch (const std::exception& error) {
+    balances_ = balance_snapshot;
+    if (contract_it != contracts_.end()) contract_it->second->load_state(state_snapshot);
+    receipt.success = false;
+    receipt.revert_reason = error.what();
+  }
+
+  receipt.gas_used = gas.used();
+  receipts_.push_back(receipt);
+  pending_.push_back(std::move(tx));
+  return receipt;
+}
+
+std::uint64_t Blockchain::seal_block() {
+  Block block;
+  block.header.index = blocks_.size();
+  block.header.timestamp = logical_clock_++;
+  block.header.prev_hash = blocks_.back().header.hash();
+  block.transactions = std::move(pending_);
+  pending_.clear();
+  block.header.tx_root = Block::merkle_root(block.transactions);
+  blocks_.push_back(std::move(block));
+  return blocks_.back().header.index;
+}
+
+std::optional<Receipt> Blockchain::receipt_for(const Hash256& tx_hash) const {
+  for (const Receipt& receipt : receipts_) {
+    if (receipt.tx_hash == tx_hash) return receipt;
+  }
+  return std::nullopt;
+}
+
+ChainValidation Blockchain::validate() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& block = blocks_[i];
+    if (block.header.index != i) {
+      return {false, "block " + std::to_string(i) + ": wrong index"};
+    }
+    if (!block.verify_tx_root()) {
+      return {false, "block " + std::to_string(i) + ": Merkle root mismatch"};
+    }
+    if (i > 0 && block.header.prev_hash != blocks_[i - 1].header.hash()) {
+      return {false, "block " + std::to_string(i) + ": broken prev-hash link"};
+    }
+  }
+  return {true, ""};
+}
+
+}  // namespace tradefl::chain

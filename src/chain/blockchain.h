@@ -1,0 +1,87 @@
+// The private chain: account balances, deployed contracts, transaction
+// execution with receipts, block sealing, and full-chain validation with
+// tamper detection. Single-node by construction (the paper deploys on a
+// private Ethereum chain); consensus is out of scope, immutability and
+// traceability are in scope and tested.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/vm.h"
+
+namespace tradefl::chain {
+
+struct ChainValidation {
+  bool valid = false;
+  std::string problem;  // empty when valid
+};
+
+class Blockchain {
+ public:
+  explicit Blockchain(GasSchedule gas_schedule = {});
+
+  // ----- accounts -----
+
+  /// Genesis-style faucet: credits wei out of thin air (testing/setup only).
+  void credit(const Address& account, Wei amount);
+
+  [[nodiscard]] Wei balance(const Address& account) const;
+
+  // ----- contracts -----
+
+  /// Deploys a contract; its address derives from the name + deploy nonce.
+  Address deploy(ContractPtr contract);
+
+  [[nodiscard]] bool has_contract(const Address& address) const;
+  [[nodiscard]] const Contract& contract_at(const Address& address) const;
+
+  // ----- transactions -----
+
+  /// Executes a transaction against the current state and queues it for the
+  /// next block. Value transfer and the contract call are atomic: a revert
+  /// rolls everything back and the receipt carries the reason.
+  Receipt submit(Transaction tx);
+
+  /// Seals all pending transactions into a new block. Returns its index.
+  std::uint64_t seal_block();
+
+  /// True when there are unsealed transactions.
+  [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+
+  // ----- inspection -----
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] const Block& block(std::size_t index) const { return blocks_.at(index); }
+  [[nodiscard]] const std::vector<Receipt>& receipts() const { return receipts_; }
+  [[nodiscard]] std::optional<Receipt> receipt_for(const Hash256& tx_hash) const;
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Walks the whole chain re-hashing headers and Merkle roots; detects any
+  /// post-hoc mutation of sealed data.
+  [[nodiscard]] ChainValidation validate() const;
+
+  /// TEST HOOK: exposes a sealed block for mutation so tamper-detection tests
+  /// can corrupt history and watch validate() fail.
+  [[nodiscard]] Block& mutable_block_for_test(std::size_t index) { return blocks_.at(index); }
+
+  [[nodiscard]] const GasSchedule& gas_schedule() const { return gas_schedule_; }
+
+ private:
+  class HostSession;
+
+  GasSchedule gas_schedule_;
+  std::map<Address, Wei> balances_;
+  std::map<Address, ContractPtr> contracts_;
+  std::map<Address, std::uint64_t> nonces_;
+  std::vector<Block> blocks_;
+  std::vector<Transaction> pending_;
+  std::vector<Receipt> receipts_;
+  std::vector<Event> events_;
+  std::uint64_t deploy_nonce_ = 0;
+  std::uint64_t logical_clock_ = 0;
+};
+
+}  // namespace tradefl::chain

@@ -1,0 +1,54 @@
+// Byte-buffer helpers shared by the chain substrate: hex encoding and a
+// little-endian serializer used for transaction/block hashing and ABI
+// payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tradefl::chain {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::string to_hex(const Bytes& bytes);
+Bytes from_hex(const std::string& hex);  // throws std::invalid_argument on bad input
+
+/// Appends fixed-width little-endian integers / length-prefixed blobs.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t value);
+  void put_u32(std::uint32_t value);
+  void put_u64(std::uint64_t value);
+  void put_i64(std::int64_t value);
+  void put_bytes(const Bytes& value);      // length-prefixed
+  void put_string(const std::string& value);  // length-prefixed
+
+  [[nodiscard]] const Bytes& data() const { return buffer_; }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Mirror image of ByteWriter; throws std::out_of_range when reading past
+/// the end (malformed payload).
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  Bytes get_bytes();
+  std::string get_string();
+
+  [[nodiscard]] bool exhausted() const { return offset_ == data_.size(); }
+
+ private:
+  void require(std::size_t count) const;
+  const Bytes& data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace tradefl::chain

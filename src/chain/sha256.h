@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from the specification. Used for
+// transaction/block hashing, address derivation, and the tamper-evidence
+// properties the TradeFL prototype relies on (Sec. III-F).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "chain/bytes.h"
+
+namespace tradefl::chain {
+
+using Hash256 = std::array<std::uint8_t, 32>;
+
+/// One-shot digest.
+Hash256 sha256(const Bytes& data);
+Hash256 sha256(const std::string& text);
+
+/// Hash of two concatenated hashes (Merkle combination).
+Hash256 sha256_pair(const Hash256& left, const Hash256& right);
+
+std::string hash_to_hex(const Hash256& hash);
+
+/// Streaming interface (used by block hashing to avoid copies).
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t size);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  [[nodiscard]] Hash256 finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tradefl::chain

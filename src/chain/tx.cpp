@@ -1,0 +1,38 @@
+#include "chain/tx.h"
+
+namespace tradefl::chain {
+
+Address Address::from_name(const std::string& name) {
+  const Hash256 digest = sha256("tradefl-address:" + name);
+  Address address;
+  for (std::size_t i = 0; i < address.bytes.size(); ++i) {
+    address.bytes[i] = digest[digest.size() - address.bytes.size() + i];
+  }
+  return address;
+}
+
+std::string Address::to_hex() const {
+  return "0x" + tradefl::chain::to_hex(Bytes(bytes.begin(), bytes.end()));
+}
+
+bool Address::is_zero() const {
+  for (std::uint8_t b : bytes) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+Bytes Transaction::serialize() const {
+  ByteWriter writer;
+  writer.put_bytes(Bytes(from.bytes.begin(), from.bytes.end()));
+  writer.put_bytes(Bytes(to.bytes.begin(), to.bytes.end()));
+  writer.put_i64(value);
+  writer.put_u64(nonce);
+  writer.put_bytes(data);
+  writer.put_u64(gas_limit);
+  return writer.data();
+}
+
+Hash256 Transaction::hash() const { return sha256(serialize()); }
+
+}  // namespace tradefl::chain

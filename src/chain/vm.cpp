@@ -1,0 +1,7 @@
+#include "chain/vm.h"
+
+// The runtime types are header-only aside from this translation unit, which
+// exists so the library has a home for future out-of-line definitions and so
+// vtables/typeinfo for the exception types are emitted exactly once.
+
+namespace tradefl::chain {}  // namespace tradefl::chain

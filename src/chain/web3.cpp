@@ -1,0 +1,43 @@
+#include "chain/web3.h"
+
+#include <stdexcept>
+
+namespace tradefl::chain {
+
+CallOutcome Web3Client::call(const Address& from, const Address& contract,
+                             const std::string& method, std::vector<AbiValue> args, Wei value) {
+  Transaction tx;
+  tx.from = from;
+  tx.to = contract;
+  tx.value = value;
+  tx.data = encode_call(CallPayload{method, std::move(args)});
+  CallOutcome outcome;
+  outcome.receipt = chain_->submit(std::move(tx));
+  if (auto_seal_) chain_->seal_block();
+  if (outcome.receipt.success && !outcome.receipt.return_data.empty()) {
+    outcome.returned = decode_values(outcome.receipt.return_data);
+  }
+  return outcome;
+}
+
+CallOutcome Web3Client::call_or_throw(const Address& from, const Address& contract,
+                                      const std::string& method, std::vector<AbiValue> args,
+                                      Wei value) {
+  CallOutcome outcome = call(from, contract, method, std::move(args), value);
+  if (!outcome.receipt.success) {
+    throw std::runtime_error("web3: " + method + " reverted: " + outcome.receipt.revert_reason);
+  }
+  return outcome;
+}
+
+Receipt Web3Client::transfer(const Address& from, const Address& to, Wei value) {
+  Transaction tx;
+  tx.from = from;
+  tx.to = to;
+  tx.value = value;
+  Receipt receipt = chain_->submit(std::move(tx));
+  if (auto_seal_) chain_->seal_block();
+  return receipt;
+}
+
+}  // namespace tradefl::chain

@@ -1,0 +1,47 @@
+// Web3-style client facade (the paper uses the Web3 API for all data
+// interaction between organizations and the contract). Wraps transaction
+// construction, ABI encoding, submission, and receipt/return decoding in a
+// call-like interface, with optional auto-sealing of one block per call (the
+// behaviour of a dev-mode private chain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+
+namespace tradefl::chain {
+
+struct CallOutcome {
+  Receipt receipt;
+  std::vector<AbiValue> returned;  // decoded return values (empty on revert)
+};
+
+class Web3Client {
+ public:
+  explicit Web3Client(Blockchain& chain, bool auto_seal = true)
+      : chain_(&chain), auto_seal_(auto_seal) {}
+
+  /// Sends a contract call transaction. Never throws on revert — inspect
+  /// outcome.receipt.success / revert_reason (like a JSON-RPC client).
+  CallOutcome call(const Address& from, const Address& contract, const std::string& method,
+                   std::vector<AbiValue> args = {}, Wei value = 0);
+
+  /// Like call(), but throws std::runtime_error on revert — for scripted
+  /// flows where a failure is a bug.
+  CallOutcome call_or_throw(const Address& from, const Address& contract,
+                            const std::string& method, std::vector<AbiValue> args = {},
+                            Wei value = 0);
+
+  /// Plain value transfer between accounts.
+  Receipt transfer(const Address& from, const Address& to, Wei value);
+
+  [[nodiscard]] Wei balance(const Address& account) const { return chain_->balance(account); }
+  [[nodiscard]] Blockchain& chain() { return *chain_; }
+
+ private:
+  Blockchain* chain_;
+  bool auto_seal_;
+};
+
+}  // namespace tradefl::chain

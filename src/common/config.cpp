@@ -1,0 +1,83 @@
+#include "common/config.h"
+
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace tradefl {
+
+Result<Config> Config::from_args(const std::vector<std::string>& args) {
+  Config config;
+  for (const auto& arg : args) {
+    const std::string token = trim(arg);
+    if (token.empty() || token[0] == '#') continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Error{"config", "expected key=value, got '" + token + "'"};
+    }
+    const std::string key = trim(token.substr(0, eq));
+    if (key.empty()) return Error{"config", "empty key in '" + token + "'"};
+    config.set(key, trim(token.substr(eq + 1)));
+  }
+  return config;
+}
+
+Result<Config> Config::from_text(const std::string& text) {
+  return from_args(split(text, '\n'));
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "': cannot parse double from '" +
+                                *value + "'");
+  }
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "': cannot parse int from '" +
+                                *value + "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  const std::string lowered = to_lower(*value);
+  if (lowered == "true" || lowered == "1" || lowered == "yes" || lowered == "on") return true;
+  if (lowered == "false" || lowered == "0" || lowered == "no" || lowered == "off") return false;
+  throw std::invalid_argument("config key '" + key + "': cannot parse bool from '" + *value + "'");
+}
+
+std::string Config::get_string(const std::string& key, std::string fallback) const {
+  const auto value = get(key);
+  return value ? *value : std::move(fallback);
+}
+
+}  // namespace tradefl

@@ -1,0 +1,43 @@
+// Minimal key=value config parsing so examples/benches can be parameterized
+// from the command line ("key=value" args) or simple files, without pulling
+// in a flags library.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tradefl {
+
+/// Flat string-to-string configuration with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; lines starting with '#' are ignored when
+  /// parsing file content. Later keys override earlier ones.
+  static Result<Config> from_args(const std::vector<std::string>& args);
+  static Result<Config> from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters return the fallback when the key is missing and an error
+  /// (thrown as std::invalid_argument) when the value does not parse.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace tradefl

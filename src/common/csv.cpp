@@ -1,0 +1,145 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace tradefl {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width " + std::to_string(row.size()) +
+                                " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row_doubles(const std::vector<double>& row) {
+  std::vector<std::string> formatted;
+  formatted.reserve(row.size());
+  for (double value : row) formatted.push_back(format_double(value, 10));
+  add_row(std::move(formatted));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << quote(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << quote(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Error{"io", "cannot open " + path + " for writing"};
+  file << to_string();
+  if (!file) return Error{"io", "write failed for " + path};
+  return ok_status();
+}
+
+Result<CsvTable> parse_csv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> current_row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    current_row.push_back(field);
+    field.clear();
+    row_has_content = true;
+  };
+  auto end_row = [&]() -> Status {
+    if (!row_has_content && current_row.empty()) return ok_status();
+    end_field();
+    if (table.header.empty()) {
+      table.header = current_row;
+    } else {
+      if (current_row.size() != table.header.size()) {
+        return Error{"csv", "row width mismatch at row " + std::to_string(table.rows.size() + 1)};
+      }
+      table.rows.push_back(current_row);
+    }
+    current_row.clear();
+    row_has_content = false;
+    return ok_status();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      if (row_has_content || !field.empty() || !current_row.empty()) {
+        if (auto status = end_row(); !status.ok()) return status.error();
+      }
+    } else {
+      field += c;
+      row_has_content = true;
+    }
+  }
+  if (in_quotes) return Error{"csv", "unterminated quoted field"};
+  if (row_has_content || !field.empty() || !current_row.empty()) {
+    if (auto status = end_row(); !status.ok()) return status.error();
+  }
+  if (table.header.empty()) return Error{"csv", "empty input"};
+  return table;
+}
+
+Result<CsvTable> read_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Error{"io", "cannot open " + path};
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace tradefl

@@ -1,0 +1,51 @@
+// CSV writing/reading used by the benchmark harness to dump figure series
+// (each bench prints its rows and can optionally persist them for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tradefl {
+
+/// Accumulates rows and serializes them as RFC-4180-ish CSV (quotes fields
+/// containing separator/quote/newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; throws std::invalid_argument if the width differs from
+  /// the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with format_double.
+  void add_row_doubles(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+
+  /// Serializes header + rows.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; returns an error on I/O failure.
+  [[nodiscard]] Status write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV contents.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text (first line is the header). Handles quoted fields.
+Result<CsvTable> parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> read_csv_file(const std::string& path);
+
+}  // namespace tradefl

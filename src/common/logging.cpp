@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace tradefl {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+std::function<void(LogLevel, const std::string&)>& sink_ref() {
+  static std::function<void(LogLevel, const std::string&)> sink;
+  return sink;
+}
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::cerr << "[" << log_level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_ref() = std::move(sink);
+}
+
+void reset_log_sink() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_ref() = nullptr;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink_ref()) {
+    sink_ref()(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace tradefl

@@ -1,0 +1,58 @@
+// Lightweight leveled logger. Single global sink (stderr by default), safe to
+// call from benches and examples. Not a substrate of the paper; purely infra.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tradefl {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the human-readable name of a level ("INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the sink (used by tests to capture output). The sink receives the
+/// fully formatted line without trailing newline.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+void reset_log_sink();
+
+/// Emits one log line through the current sink if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tradefl
+
+#define TRADEFL_LOG(level) \
+  if (static_cast<int>(level) >= static_cast<int>(::tradefl::log_level())) \
+  ::tradefl::detail::LogStream(level)
+
+#define TFL_TRACE TRADEFL_LOG(::tradefl::LogLevel::kTrace)
+#define TFL_DEBUG TRADEFL_LOG(::tradefl::LogLevel::kDebug)
+#define TFL_INFO TRADEFL_LOG(::tradefl::LogLevel::kInfo)
+#define TFL_WARN TRADEFL_LOG(::tradefl::LogLevel::kWarn)
+#define TFL_ERROR TRADEFL_LOG(::tradefl::LogLevel::kError)

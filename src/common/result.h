@@ -1,0 +1,72 @@
+// A minimal Result<T> type for recoverable errors (std::expected is C++23;
+// this project targets C++20). Used where throwing would be heavy-handed,
+// e.g. config parsing and contract call outcomes.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tradefl {
+
+/// Describes a recoverable failure. `code` is a short machine-readable
+/// category, `message` a human-readable explanation.
+struct Error {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  /// Applies `fn` to the value if ok, propagating errors unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) const -> Result<decltype(fn(std::declval<const T&>()))> {
+    using U = decltype(fn(std::declval<const T&>()));
+    if (!ok()) return Result<U>(error());
+    return Result<U>(fn(std::get<T>(data_)));
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Specialization-free helper for operations that produce no value.
+struct Unit {};
+using Status = Result<Unit>;
+
+inline Status ok_status() { return Status(Unit{}); }
+
+}  // namespace tradefl

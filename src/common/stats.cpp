@@ -1,0 +1,140 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tradefl {
+namespace {
+
+void require_same_nonempty(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("stats: series must be equally sized and non-empty");
+  }
+}
+
+double sum_squared_residuals_about_mean(const std::vector<double>& ys) {
+  const double m = mean(ys);
+  double total = 0.0;
+  for (double y : ys) total += (y - m) * (y - m);
+  return total;
+}
+
+}  // namespace
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty series");
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double variance(const std::vector<double>& values) {
+  const double m = mean(values);
+  double total = 0.0;
+  for (double v : values) total += (v - m) * (v - m);
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) { return std::sqrt(variance(values)); }
+
+double min_value(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("min_value: empty series");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("max_value: empty series");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require_same_nonempty(xs, ys);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require_same_nonempty(xs, ys);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  LinearFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += r * r;
+  }
+  const double ss_tot = sum_squared_residuals_about_mean(ys);
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double SqrtSaturationFit::evaluate(double x) const {
+  return a - b / std::sqrt(x + c);
+}
+
+SqrtSaturationFit fit_sqrt_saturation(const std::vector<double>& xs,
+                                      const std::vector<double>& ys) {
+  require_same_nonempty(xs, ys);
+  const double x_max = max_value(xs);
+  SqrtSaturationFit best;
+  best.r_squared = -std::numeric_limits<double>::infinity();
+  const double ss_tot = sum_squared_residuals_about_mean(ys);
+
+  // Candidate offsets c spanning several decades relative to the x-range.
+  for (int exponent = -6; exponent <= 2; ++exponent) {
+    for (double mantissa : {1.0, 2.0, 5.0}) {
+      const double c = mantissa * std::pow(10.0, exponent) * std::max(x_max, 1e-12);
+      // With z = -1/sqrt(x + c), model is y = a + b * z; solve OLS for (a, b).
+      std::vector<double> zs(xs.size());
+      for (std::size_t i = 0; i < xs.size(); ++i) zs[i] = -1.0 / std::sqrt(xs[i] + c);
+      const LinearFit linear = fit_linear(zs, ys);
+      const double a = linear.intercept;
+      const double b = std::max(0.0, linear.slope);
+      double ss_res = 0.0;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double prediction = a - b / std::sqrt(xs[i] + c);
+        ss_res += (ys[i] - prediction) * (ys[i] - prediction);
+      }
+      const double r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+      if (r2 > best.r_squared) best = SqrtSaturationFit{a, b, c, r2};
+    }
+  }
+  return best;
+}
+
+ShapeCheck check_monotone_concave(const std::vector<double>& xs,
+                                  const std::vector<double>& ys, double tol) {
+  require_same_nonempty(xs, ys);
+  ShapeCheck result{true, true};
+  std::vector<double> slopes;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double dx = xs[i] - xs[i - 1];
+    if (dx <= 0.0) throw std::invalid_argument("check_monotone_concave: xs must increase");
+    const double slope = (ys[i] - ys[i - 1]) / dx;
+    if (slope < -tol) result.nondecreasing = false;
+    slopes.push_back(slope);
+  }
+  for (std::size_t i = 1; i < slopes.size(); ++i) {
+    if (slopes[i] > slopes[i - 1] + tol) result.concave = false;
+  }
+  return result;
+}
+
+}  // namespace tradefl

@@ -1,0 +1,54 @@
+// Descriptive statistics and least-squares curve fitting. The Fig. 2
+// pre-experiment fits accuracy-vs-data curves of the form
+//   P(x) = a - b / sqrt(x + c)
+// to empirical FL measurements; we provide a generic linear least squares
+// plus that specific nonlinear fit (grid over c, linear solve for a, b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tradefl {
+
+double mean(const std::vector<double>& values);
+double variance(const std::vector<double>& values);  // population variance
+double stddev(const std::vector<double>& values);
+double min_value(const std::vector<double>& values);
+double max_value(const std::vector<double>& values);
+
+/// Pearson correlation of two equally sized series.
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Ordinary least squares fit y ~ intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fit of y ~ a - b / sqrt(x + c) with b >= 0 (the data-accuracy shape from
+/// the paper's footnote 7). `c` is searched over a log grid; (a, b) solved in
+/// closed form per candidate c.
+struct SqrtSaturationFit {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double evaluate(double x) const;
+};
+SqrtSaturationFit fit_sqrt_saturation(const std::vector<double>& xs,
+                                      const std::vector<double>& ys);
+
+/// Checks empirical first/second-derivative signs of a sampled curve
+/// (Eq. 5): returns true when successive differences are >= -tol (monotone
+/// nondecreasing) and successive difference deltas are <= tol (concavity).
+struct ShapeCheck {
+  bool nondecreasing = false;
+  bool concave = false;
+};
+ShapeCheck check_monotone_concave(const std::vector<double>& xs,
+                                  const std::vector<double>& ys, double tol);
+
+}  // namespace tradefl

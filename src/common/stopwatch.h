@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch for algorithm timing (computational
+// efficiency property, Lemma 4 measurements, contract-latency benches).
+#pragma once
+
+#include <chrono>
+
+namespace tradefl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tradefl

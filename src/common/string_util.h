@@ -1,0 +1,29 @@
+// Small string helpers shared by config/CSV/table code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tradefl {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view separator);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Formats a double compactly (up to `precision` significant digits, no
+/// trailing zeros) — used in table/CSV output.
+std::string format_double(double value, int precision = 6);
+
+}  // namespace tradefl

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace tradefl {
+
+AsciiTable::AsciiTable(std::vector<std::string> header, std::vector<Align> alignments)
+    : header_(std::move(header)), alignments_(std::move(alignments)) {
+  if (header_.empty()) throw std::invalid_argument("AsciiTable: empty header");
+  if (alignments_.empty()) {
+    alignments_.assign(header_.size(), Align::kRight);
+    alignments_[0] = Align::kLeft;
+  }
+  if (alignments_.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable: alignment count != header width");
+  }
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_row_doubles(const std::vector<double>& row, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(row.size());
+  for (double value : row) formatted.push_back(format_double(value, precision));
+  add_row(std::move(formatted));
+}
+
+void AsciiTable::add_labeled_row(const std::string& label, const std::vector<double>& values,
+                                 int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double value : values) row.push_back(format_double(value, precision));
+  add_row(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t pad = widths[i] - row[i].size();
+      line += ' ';
+      if (alignments_[i] == Align::kRight) line += std::string(pad, ' ') + row[i];
+      else line += row[i] + std::string(pad, ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  out << rule() << render_row(header_) << rule();
+  for (const auto& row : rows_) out << render_row(row);
+  out << rule();
+  return out.str();
+}
+
+}  // namespace tradefl

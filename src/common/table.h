@@ -1,0 +1,40 @@
+// ASCII table rendering used by the bench harness to print the paper's
+// tables/figure series in a readable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tradefl {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Collects rows and renders them with box-drawing separators, e.g.
+///   +-------+--------+
+///   | gamma | welfare|
+///   +-------+--------+
+///   | 1e-09 | 8012.3 |
+///   +-------+--------+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header,
+                      std::vector<Align> alignments = {});
+
+  void add_row(std::vector<std::string> row);
+  void add_row_doubles(const std::vector<double>& row, int precision = 6);
+
+  /// Adds a row whose first cell is a label and the rest are doubles.
+  void add_labeled_row(const std::string& label, const std::vector<double>& values,
+                       int precision = 6);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tradefl

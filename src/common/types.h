@@ -1,0 +1,28 @@
+// Basic shared type aliases used across the TradeFL library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tradefl {
+
+/// Index of an organization within a coopetition game (0-based).
+using OrgId = std::size_t;
+
+/// Monetary amounts in the game layer are plain doubles; the chain layer
+/// uses integer wei (see chain/fixed_point.h) for exact settlement.
+using Money = double;
+
+/// Seconds, for the per-phase training timing model.
+using Seconds = double;
+
+/// Joules, for the training-overhead energy model (Eq. 8).
+using Joules = double;
+
+/// CPU frequency in cycles per second (Hz).
+using Hertz = double;
+
+/// Data sizes in bits (paper: s_i is measured in bits).
+using Bits = double;
+
+}  // namespace tradefl

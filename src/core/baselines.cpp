@@ -1,0 +1,138 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stopwatch.h"
+#include "game/potential.h"
+
+namespace tradefl::core {
+
+using game::CoopetitionGame;
+using game::OrgId;
+using game::Strategy;
+using game::StrategyProfile;
+
+Solution run_wpr(const CoopetitionGame& game, const DbrOptions& options) {
+  DbrOptions wpr_options = options;
+  wpr_options.best_response.include_redistribution = false;
+  return run_dbr(game, wpr_options);
+}
+
+namespace {
+
+/// Frequency level closest to k·d from below the deadline: picks the level
+/// nearest to the target and bumps upward until C^(3) admits the given d (a
+/// higher f shortens training).
+std::size_t gca_level(const CoopetitionGame& game, OrgId i, double d, double k_scale,
+                      double full_speed_d) {
+  const auto& levels = game.org(i).freq_levels;
+  const double k = k_scale > 0.0 ? k_scale : levels.back() / full_speed_d;
+  const double target = std::clamp(k * d, levels.front(), levels.back());
+  std::size_t best = 0;
+  double best_gap = std::abs(levels[0] - target);
+  for (std::size_t level = 1; level < levels.size(); ++level) {
+    const double gap = std::abs(levels[level] - target);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = level;
+    }
+  }
+  while (best + 1 < levels.size() && game.data_upper_bound(i, best) < d) ++best;
+  return best;
+}
+
+IterationRecord snapshot(const CoopetitionGame& game, const StrategyProfile& profile,
+                         int iteration) {
+  IterationRecord record;
+  record.iteration = iteration;
+  record.potential = game::potential(game, profile);
+  record.paper_potential = game::paper_potential(game, profile);
+  record.welfare = game.social_welfare(profile);
+  for (OrgId i = 0; i < game.size(); ++i) record.payoffs.push_back(game.payoff(i, profile));
+  record.profile = profile;
+  return record;
+}
+
+}  // namespace
+
+Solution run_gca(const CoopetitionGame& game, const GcaOptions& options) {
+  Stopwatch watch;
+  Solution solution;
+  StrategyProfile profile = game.minimal_profile();
+  for (OrgId i = 0; i < game.size(); ++i) {
+    profile[i].freq_index = gca_level(game, i, profile[i].data_fraction, options.k_scale, options.full_speed_d);
+  }
+  solution.trace.push_back(snapshot(game, profile, 0));
+
+  for (int round = 1; round <= options.dbr.max_rounds; ++round) {
+    bool any_change = false;
+    for (OrgId i = 0; i < game.size(); ++i) {
+      // Best-respond in d with f pinned to the greedy allocation; since the
+      // pin depends on d, evaluate the coupled choice per feasible d via the
+      // forced-level best response at the current pin, then re-pin.
+      BestResponseOptions br = options.dbr.best_response;
+      br.forced_freq_level = static_cast<int>(profile[i].freq_index);
+      const double current = objective_payoff(game, i, profile, br);
+      BestResponse response;
+      try {
+        response = best_response(game, i, profile, br);
+      } catch (const std::runtime_error&) {
+        continue;  // pinned level infeasible; keep the current strategy
+      }
+      const std::size_t repinned =
+          gca_level(game, i, response.strategy.data_fraction, options.k_scale, options.full_speed_d);
+      response.strategy.freq_index = repinned;
+      // Clamp d to the re-pinned level's feasible range.
+      response.strategy.data_fraction =
+          std::min(response.strategy.data_fraction, game.data_upper_bound(i, repinned));
+      if (response.strategy.data_fraction < game.params().d_min) continue;
+      StrategyProfile trial = profile;
+      trial[i] = response.strategy;
+      const double trial_payoff = objective_payoff(game, i, trial, br);
+      const bool moved =
+          response.strategy.freq_index != profile[i].freq_index ||
+          std::abs(response.strategy.data_fraction - profile[i].data_fraction) >
+              options.dbr.strategy_tol;
+      if (trial_payoff > current + options.dbr.improvement_tol && moved) {
+        profile[i] = response.strategy;
+        any_change = true;
+      }
+    }
+    solution.trace.push_back(snapshot(game, profile, round));
+    solution.iterations = round;
+    if (!any_change) {
+      solution.converged = true;
+      break;
+    }
+  }
+  solution.profile = profile;
+  solution.solve_seconds = watch.elapsed_seconds();
+  return solution;
+}
+
+Solution run_fip(const CoopetitionGame& game, const FipOptions& options) {
+  if (options.grid_step <= 0.0 || options.grid_step > 1.0) {
+    throw std::invalid_argument("fip: grid_step must lie in (0, 1]");
+  }
+  DbrOptions fip_options = options.dbr;
+  fip_options.best_response.d_grid_step = options.grid_step;
+  return run_dbr(game, fip_options);
+}
+
+Solution run_tos(const CoopetitionGame& game) {
+  Solution solution;
+  StrategyProfile profile(game.size());
+  for (OrgId i = 0; i < game.size(); ++i) {
+    profile[i].data_fraction = 1.0;
+    profile[i].freq_index = game.org(i).freq_levels.size() - 1;
+  }
+  solution.profile = profile;
+  solution.trace.push_back(snapshot(game, profile, 0));
+  solution.converged = true;
+  solution.iterations = 0;
+  return solution;
+}
+
+}  // namespace tradefl::core

@@ -1,0 +1,51 @@
+// The four comparison baselines of Sec. VI:
+//  * WPR — DBR without payoff redistribution: organizations profit from the
+//    global model only (Eq. 10 removed from the payoff).
+//  * GCA — DBR with greedy computation allocation: f_i = k d_i, projected to
+//    the nearest feasible frequency level.
+//  * FIP — finite-improvement-property scheme: d restricted to the grid
+//    {e, 2e, ..., 1}; improvement steps until no organization can improve.
+//  * TOS — theoretically optimal scheme: d_i = 1, f_i = F^(m); ignores the
+//    deadline and coopetition damage (an infeasible upper-bound reference).
+#pragma once
+
+#include "core/dbr.h"
+#include "core/solution.h"
+#include "game/game.h"
+
+namespace tradefl::core {
+
+/// WPR: best-response dynamics on the redistribution-free payoff.
+Solution run_wpr(const game::CoopetitionGame& game, const DbrOptions& options = {});
+
+struct GcaOptions {
+  /// Proportionality constant k of f = k d. When 0, k is chosen per
+  /// organization as F^(m) / full_speed_d, i.e. the allocation greedily
+  /// ramps to the fastest level once d reaches `full_speed_d`.
+  double k_scale = 0.0;
+
+  /// Data fraction at which the default greedy allocation saturates at
+  /// F^(m). Small values make GCA burn energy aggressively — the "greedy"
+  /// behaviour the paper contrasts against.
+  double full_speed_d = 0.2;
+
+  DbrOptions dbr{};
+};
+
+/// GCA: organizations best-respond in d only; f is pinned to ~k·d (projected
+/// to the level grid, bumped up if the deadline requires it).
+Solution run_gca(const game::CoopetitionGame& game, const GcaOptions& options = {});
+
+struct FipOptions {
+  /// e — grid step of the discretized data strategy space.
+  double grid_step = 0.1;
+  DbrOptions dbr{};
+};
+
+/// FIP: finite improvement path over the discretized strategy space.
+Solution run_fip(const game::CoopetitionGame& game, const FipOptions& options = {});
+
+/// TOS: the all-in profile (d = 1, fastest f). No dynamics; single snapshot.
+Solution run_tos(const game::CoopetitionGame& game);
+
+}  // namespace tradefl::core

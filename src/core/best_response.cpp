@@ -1,0 +1,120 @@
+#include "core/best_response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/scalar_opt.h"
+
+namespace tradefl::core {
+
+using game::CoopetitionGame;
+using game::OrgId;
+using game::Strategy;
+using game::StrategyProfile;
+
+double objective_payoff(const CoopetitionGame& game, OrgId i, const StrategyProfile& profile,
+                        const BestResponseOptions& options) {
+  const game::PayoffBreakdown breakdown = game.payoff_breakdown(i, profile);
+  double value = breakdown.revenue - breakdown.energy_cost - breakdown.damage;
+  if (options.include_redistribution) value += breakdown.redistribution;
+  return value;
+}
+
+namespace {
+
+/// d/dd_i of the objective at fixed frequencies. Derived from Eq. (11):
+///   z_i P'(Ω) w_i - ϖ_e κ f² η_i s_i + [γ s_i Σ_j ρ_{i,j} if R included].
+double objective_derivative(const CoopetitionGame& game, OrgId i,
+                            const StrategyProfile& profile,
+                            const BestResponseOptions& options) {
+  const auto& params = game.params();
+  const auto& org = game.org(i);
+  const double w_i = game.contribution_weight(i);
+  const double f = game.frequency(i, profile[i]);
+  const double omega = game.omega(profile);
+
+  double derivative = game.weight_z(i) * game.accuracy().performance_derivative(omega) * w_i;
+  derivative -= params.omega_e * params.kappa * f * f * org.cycles_per_bit * org.data_size_bits;
+  if (options.include_redistribution) {
+    derivative += params.gamma * org.data_size_bits * game.rho().row_sum(i);
+  }
+  return derivative;
+}
+
+/// Best d for a fixed frequency level; assumes the level is feasible.
+std::pair<double, double> best_data_fraction(const CoopetitionGame& game, OrgId i,
+                                             StrategyProfile& scratch,
+                                             std::size_t level,
+                                             const BestResponseOptions& options) {
+  const double d_min = game.params().d_min;
+  const double upper = game.data_upper_bound(i, level);
+  scratch[i].freq_index = level;
+
+  if (options.d_grid_step > 0.0) {
+    // FIP-style discrete search over {e, 2e, ...} ∩ [D_min, upper].
+    double best_d = d_min;
+    double best_value = -1e300;
+    for (double d = options.d_grid_step; d <= 1.0 + 1e-12; d += options.d_grid_step) {
+      const double clamped = std::min(d, 1.0);
+      if (clamped < d_min || clamped > upper) continue;
+      scratch[i].data_fraction = clamped;
+      const double value = objective_payoff(game, i, scratch, options);
+      if (value > best_value) {
+        best_value = value;
+        best_d = clamped;
+      }
+    }
+    if (best_value == -1e300) {
+      // No grid point inside the feasible interval; fall back to D_min.
+      scratch[i].data_fraction = d_min;
+      best_value = objective_payoff(game, i, scratch, options);
+      best_d = d_min;
+    }
+    return {best_d, best_value};
+  }
+
+  auto value_at = [&](double d) {
+    scratch[i].data_fraction = d;
+    return objective_payoff(game, i, scratch, options);
+  };
+  auto derivative_at = [&](double d) {
+    scratch[i].data_fraction = d;
+    return objective_derivative(game, i, scratch, options);
+  };
+  const auto best = tradefl::math::concave_maximize_with_derivative(
+      value_at, derivative_at, d_min, upper, options.d_tolerance);
+  return {best.x, best.value};
+}
+
+}  // namespace
+
+BestResponse best_response(const CoopetitionGame& game, OrgId i,
+                           const StrategyProfile& profile,
+                           const BestResponseOptions& options) {
+  StrategyProfile scratch = profile;
+  BestResponse best;
+  best.payoff = -1e300;
+
+  std::vector<std::size_t> levels;
+  if (options.forced_freq_level >= 0) {
+    const auto level = static_cast<std::size_t>(options.forced_freq_level);
+    if (game.data_upper_bound(i, level) >= game.params().d_min) levels.push_back(level);
+  } else {
+    levels = game.feasible_freq_levels(i);
+  }
+  if (levels.empty()) {
+    throw std::runtime_error("best_response: no feasible frequency level for " +
+                             game.org(i).name);
+  }
+  for (std::size_t level : levels) {
+    const auto [d, value] = best_data_fraction(game, i, scratch, level, options);
+    if (value > best.payoff) {
+      best.payoff = value;
+      best.strategy = Strategy{d, level};
+    }
+  }
+  return best;
+}
+
+}  // namespace tradefl::core

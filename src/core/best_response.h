@@ -1,0 +1,45 @@
+// Best response of a single organization (Definition 9, Eq. 24): maximize
+// C_i(π_i, π_-i) over d_i ∈ [D_min, 1] and the discrete frequency levels,
+// subject to the deadline C^(3). Payoff is concave in d_i at fixed f for any
+// Eq.(5)-conforming accuracy model, so the inner 1-D problem is solved by
+// derivative bisection with an endpoint/grid safeguard.
+#pragma once
+
+#include "game/game.h"
+
+namespace tradefl::core {
+
+struct BestResponseOptions {
+  /// Include the redistribution term R_i in the objective. The WPR baseline
+  /// turns this off (organizations profit from the model alone).
+  bool include_redistribution = true;
+
+  /// Tolerance of the inner 1-D maximization over d.
+  double d_tolerance = 1e-10;
+
+  /// Optional restriction of d to the discrete grid {e, 2e, ..., 1} used by
+  /// the FIP baseline; 0 disables (continuous d).
+  double d_grid_step = 0.0;
+
+  /// When non-negative, forces the frequency level to this index (the GCA
+  /// baseline pins f as a function of d); -1 searches all feasible levels.
+  int forced_freq_level = -1;
+};
+
+struct BestResponse {
+  game::Strategy strategy;
+  double payoff = 0.0;
+};
+
+/// Objective used by the best response: C_i, optionally without R_i.
+double objective_payoff(const game::CoopetitionGame& game, game::OrgId i,
+                        const game::StrategyProfile& profile,
+                        const BestResponseOptions& options);
+
+/// Computes org i's best response against profile[-i]. Throws
+/// std::runtime_error when no feasible (d, f) exists for org i.
+BestResponse best_response(const game::CoopetitionGame& game, game::OrgId i,
+                           const game::StrategyProfile& profile,
+                           const BestResponseOptions& options = {});
+
+}  // namespace tradefl::core

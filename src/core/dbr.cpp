@@ -1,0 +1,91 @@
+#include "core/dbr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "game/potential.h"
+
+namespace tradefl::core {
+
+using game::CoopetitionGame;
+using game::StrategyProfile;
+
+namespace {
+
+IterationRecord snapshot(const CoopetitionGame& game, const StrategyProfile& profile,
+                         int iteration) {
+  IterationRecord record;
+  record.iteration = iteration;
+  record.potential = game::potential(game, profile);
+  record.paper_potential = game::paper_potential(game, profile);
+  record.welfare = game.social_welfare(profile);
+  record.payoffs.reserve(game.size());
+  for (game::OrgId i = 0; i < game.size(); ++i) record.payoffs.push_back(game.payoff(i, profile));
+  record.profile = profile;
+  return record;
+}
+
+}  // namespace
+
+Solution run_dbr(const CoopetitionGame& game, const DbrOptions& options,
+                 StrategyProfile start) {
+  Stopwatch watch;
+  Solution solution;
+  StrategyProfile profile = start.empty() ? game.minimal_profile() : std::move(start);
+  if (profile.size() != game.size()) {
+    throw std::invalid_argument("dbr: start profile size mismatch");
+  }
+  solution.trace.push_back(snapshot(game, profile, 0));
+
+  for (int round = 1; round <= options.max_rounds; ++round) {
+    bool any_change = false;
+
+    if (options.sequential_updates) {
+      for (game::OrgId i = 0; i < game.size(); ++i) {
+        const double current = objective_payoff(game, i, profile, options.best_response);
+        const BestResponse response = best_response(game, i, profile, options.best_response);
+        const bool strategy_moved =
+            response.strategy.freq_index != profile[i].freq_index ||
+            std::abs(response.strategy.data_fraction - profile[i].data_fraction) >
+                options.strategy_tol;
+        if (response.payoff > current + options.improvement_tol && strategy_moved) {
+          profile[i] = response.strategy;
+          any_change = true;
+        }
+      }
+    } else {
+      StrategyProfile next = profile;
+      for (game::OrgId i = 0; i < game.size(); ++i) {
+        const double current = objective_payoff(game, i, profile, options.best_response);
+        const BestResponse response = best_response(game, i, profile, options.best_response);
+        const bool strategy_moved =
+            response.strategy.freq_index != profile[i].freq_index ||
+            std::abs(response.strategy.data_fraction - profile[i].data_fraction) >
+                options.strategy_tol;
+        if (response.payoff > current + options.improvement_tol && strategy_moved) {
+          next[i] = response.strategy;
+          any_change = true;
+        }
+      }
+      profile = std::move(next);
+    }
+
+    solution.trace.push_back(snapshot(game, profile, round));
+    solution.iterations = round;
+    if (!any_change) {
+      solution.converged = true;
+      break;
+    }
+  }
+
+  if (!solution.converged) {
+    TFL_WARN << "dbr: no convergence within " << options.max_rounds << " rounds";
+  }
+  solution.profile = profile;
+  solution.solve_seconds = watch.elapsed_seconds();
+  return solution;
+}
+
+}  // namespace tradefl::core

@@ -1,0 +1,39 @@
+// DBR — the distributed best-response algorithm (Algorithm 2). Organizations
+// start from {d = D_min, f = F^(m)} and iteratively play best responses until
+// no organization changes its strategy. Converges by the finite-improvement
+// property of the (weighted) potential game; complexity O(T·L·|N|·m).
+#pragma once
+
+#include "core/best_response.h"
+#include "core/solution.h"
+#include "game/game.h"
+
+namespace tradefl::core {
+
+struct DbrOptions {
+  /// H — maximum decision slots before giving up (Algorithm 2 input).
+  int max_rounds = 200;
+
+  /// Minimum payoff improvement required to adopt a new strategy; guards
+  /// against floating-point cycling.
+  double improvement_tol = 1e-9;
+
+  /// Treat |d - d'| below this as "no change" for convergence detection.
+  double strategy_tol = 1e-8;
+
+  /// Options forwarded to every best-response computation (the baselines
+  /// override these: WPR disables redistribution, FIP sets d_grid_step).
+  BestResponseOptions best_response{};
+
+  /// Update style: sequential (Gauss–Seidel) passes converge for potential
+  /// games and are the default; simultaneous (Jacobi) matches a fully
+  /// synchronous reading of Algorithm 2 and is provided for ablations.
+  bool sequential_updates = true;
+};
+
+/// Runs best-response dynamics from `start` (or the minimal profile when
+/// `start` is empty). The trace records potential/payoffs after every round.
+Solution run_dbr(const game::CoopetitionGame& game, const DbrOptions& options = {},
+                 game::StrategyProfile start = {});
+
+}  // namespace tradefl::core

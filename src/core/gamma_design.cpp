@@ -1,0 +1,69 @@
+#include "core/gamma_design.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/grid.h"
+#include "math/scalar_opt.h"
+
+namespace tradefl::core {
+
+double equilibrium_welfare(const game::ExperimentSpec& spec, double gamma,
+                           const GammaDesignOptions& options) {
+  double total = 0.0;
+  for (std::size_t s = 0; s < options.seeds; ++s) {
+    game::ExperimentSpec instance = spec;
+    instance.params.gamma = gamma;
+    const auto game = game::make_experiment_game(instance, options.seed0 + s);
+    total += run_scheme(game, options.scheme).welfare;
+  }
+  return total / static_cast<double>(options.seeds);
+}
+
+GammaDesignResult optimize_gamma(const game::ExperimentSpec& spec,
+                                 const GammaDesignOptions& options) {
+  if (!(options.gamma_lo > 0.0 && options.gamma_lo < options.gamma_hi)) {
+    throw std::invalid_argument("optimize_gamma: need 0 < gamma_lo < gamma_hi");
+  }
+  if (options.coarse_points < 3) {
+    throw std::invalid_argument("optimize_gamma: need >= 3 coarse points");
+  }
+  if (options.seeds == 0) throw std::invalid_argument("optimize_gamma: seeds >= 1");
+
+  GammaDesignResult result;
+  auto evaluate = [&](double gamma) {
+    const double welfare = equilibrium_welfare(spec, gamma, options);
+    result.evaluations.emplace_back(gamma, welfare);
+    return welfare;
+  };
+
+  // Coarse log-grid scan.
+  const auto grid = math::logspace(options.gamma_lo, options.gamma_hi,
+                                   options.coarse_points);
+  std::size_t best = 0;
+  double best_welfare = -1e300;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double welfare = evaluate(grid[i]);
+    if (welfare > best_welfare) {
+      best_welfare = welfare;
+      best = i;
+    }
+  }
+
+  // Golden-section refinement in log-gamma over the bracketing cells.
+  const double lo = grid[best == 0 ? 0 : best - 1];
+  const double hi = grid[std::min(best + 1, grid.size() - 1)];
+  const auto refined = math::golden_section_maximize(
+      [&](double log_gamma) { return evaluate(std::exp(log_gamma)); },
+      std::log(lo), std::log(hi), 1e-3, options.refine_iterations);
+
+  result.gamma_star = std::exp(refined.x);
+  result.welfare_at_star = refined.value;
+  if (best_welfare > result.welfare_at_star) {
+    result.gamma_star = grid[best];
+    result.welfare_at_star = best_welfare;
+  }
+  return result;
+}
+
+}  // namespace tradefl::core

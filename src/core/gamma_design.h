@@ -1,0 +1,42 @@
+// The mechanism designer's problem behind Figs. 7/10: pick the incentive
+// intensity γ* that maximizes social welfare at the induced equilibrium.
+// Welfare-vs-γ is non-monotone (the paper's headline observation), so we
+// search a log-spaced grid and refine around the best cell with
+// golden-section in log-γ space.
+#pragma once
+
+#include <functional>
+
+#include "core/mechanism.h"
+#include "game/game_factory.h"
+
+namespace tradefl::core {
+
+struct GammaDesignOptions {
+  double gamma_lo = 1e-10;
+  double gamma_hi = 1e-7;
+  std::size_t coarse_points = 9;   // log-grid scan
+  int refine_iterations = 16;      // golden-section steps around the best cell
+  Scheme scheme = Scheme::kDbr;
+  /// Number of seeded game replications averaged per γ evaluation.
+  std::size_t seeds = 1;
+  std::uint64_t seed0 = 42;
+};
+
+struct GammaDesignResult {
+  double gamma_star = 0.0;
+  double welfare_at_star = 0.0;
+  /// The scanned (γ, welfare) pairs, coarse grid then refinement probes.
+  std::vector<std::pair<double, double>> evaluations;
+};
+
+/// Evaluates mean equilibrium welfare at γ over the seeded replications of
+/// `spec` (spec.params.gamma is overridden).
+double equilibrium_welfare(const game::ExperimentSpec& spec, double gamma,
+                           const GammaDesignOptions& options);
+
+/// Finds γ* for the experiment family described by `spec`.
+GammaDesignResult optimize_gamma(const game::ExperimentSpec& spec,
+                                 const GammaDesignOptions& options = {});
+
+}  // namespace tradefl::core

@@ -1,0 +1,301 @@
+#include "core/gbd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "game/potential.h"
+#include "math/grid.h"
+#include "math/matrix.h"
+
+namespace tradefl::core {
+
+using game::CoopetitionGame;
+using game::OrgId;
+using game::StrategyProfile;
+using math::Vec;
+
+namespace {
+
+StrategyProfile to_profile(const Vec& d, const std::vector<std::size_t>& freq) {
+  StrategyProfile profile(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    profile[i].data_fraction = d[i];
+    profile[i].freq_index = freq[i];
+  }
+  return profile;
+}
+
+IterationRecord snapshot(const CoopetitionGame& game, const StrategyProfile& profile,
+                         int iteration) {
+  IterationRecord record;
+  record.iteration = iteration;
+  record.potential = game::potential(game, profile);
+  record.paper_potential = game::paper_potential(game, profile);
+  record.welfare = game.social_welfare(profile);
+  record.payoffs.reserve(game.size());
+  for (OrgId i = 0; i < game.size(); ++i) record.payoffs.push_back(game.payoff(i, profile));
+  record.profile = profile;
+  return record;
+}
+
+}  // namespace
+
+GbdSolver::GbdSolver(const CoopetitionGame& game, GbdOptions options)
+    : game_(game), options_(options) {
+  if (options_.epsilon < 0.0) throw std::invalid_argument("gbd: epsilon must be >= 0");
+  if (options_.max_iterations < 1) throw std::invalid_argument("gbd: need >= 1 iteration");
+}
+
+double GbdSolver::deadline_slack(OrgId i, double d, double f) const {
+  const auto& org = game_.org(i);
+  return org.download_time + org.cycles_per_bit * d * org.data_size_bits / f +
+         org.upload_time - game_.params().tau;
+}
+
+PrimalSolve GbdSolver::solve_primal(const std::vector<std::size_t>& freq_indices) const {
+  const std::size_t n = game_.size();
+  const double d_min = game_.params().d_min;
+  PrimalSolve result;
+
+  // Feasibility screen: each org must satisfy the deadline at d = D_min.
+  double worst_slack = -std::numeric_limits<double>::infinity();
+  std::size_t worst_org = 0;
+  for (OrgId i = 0; i < n; ++i) {
+    const double f = game_.org(i).freq_levels.at(freq_indices[i]);
+    const double slack = deadline_slack(i, d_min, f);
+    if (slack > worst_slack) {
+      worst_slack = slack;
+      worst_org = i;
+    }
+  }
+  if (worst_slack >= 0.0) {
+    // Problem (21): ζ* = max_i [g_i(D_min, f_i)]+ at d = D_min (g increases
+    // in d, so D_min minimizes every row simultaneously).
+    result.feasible = false;
+    result.zeta = worst_slack;
+    result.violating_org = worst_org;
+    result.d.assign(n, d_min);
+    return result;
+  }
+
+  // Barrier objective: the exact potential U(d, f) at the fixed frequencies.
+  math::SmoothObjective objective;
+  StrategyProfile scratch = to_profile(Vec(n, d_min), freq_indices);
+  objective.value = [this, &scratch, &freq_indices](const Vec& d) {
+    for (std::size_t i = 0; i < d.size(); ++i) scratch[i].data_fraction = d[i];
+    return game::potential(game_, scratch);
+  };
+  objective.gradient = [this, &scratch](const Vec& d) {
+    for (std::size_t i = 0; i < d.size(); ++i) scratch[i].data_fraction = d[i];
+    Vec grad(d.size());
+    for (OrgId i = 0; i < d.size(); ++i) {
+      grad[i] = game::potential_gradient_d(game_, scratch, i);
+    }
+    return grad;
+  };
+  objective.hessian = [this, &scratch](const Vec& d) {
+    for (std::size_t i = 0; i < d.size(); ++i) scratch[i].data_fraction = d[i];
+    // Rank-one: P''(Ω) w w^T.
+    Vec weights(d.size());
+    for (OrgId i = 0; i < d.size(); ++i) weights[i] = game_.contribution_weight(i);
+    const double curvature =
+        game_.accuracy().performance_second_derivative(game_.omega(scratch));
+    return math::Matrix::outer(weights, curvature);
+  };
+
+  math::BoxBounds box{Vec(n, d_min), Vec(n, 1.0)};
+  // Degenerate boxes (D_min == 1) cannot happen: params validation enforces
+  // d_min <= 1 and the barrier needs strict width; widen infinitesimally.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (box.upper[i] - box.lower[i] < 1e-9) box.upper[i] = box.lower[i] + 1e-9;
+  }
+  math::LinearInequalities inequalities;
+  inequalities.a = math::Matrix(n, n);
+  inequalities.b.assign(n, 0.0);
+  for (OrgId i = 0; i < n; ++i) {
+    const auto& org = game_.org(i);
+    const double f = org.freq_levels.at(freq_indices[i]);
+    inequalities.a.at(i, i) = org.cycles_per_bit * org.data_size_bits / f;
+    inequalities.b[i] = game_.params().tau - org.download_time - org.upload_time;
+  }
+
+  Vec start(n, d_min);
+  const auto barrier = math::maximize_with_barrier(objective, box, inequalities, start,
+                                                   options_.barrier);
+  result.feasible = true;
+  result.d = barrier.x;
+  result.multipliers = barrier.multipliers;
+  result.value = barrier.value;
+  return result;
+}
+
+GbdSolver::OptimalityCut GbdSolver::make_optimality_cut(const PrimalSolve& primal) const {
+  // A valid Benders optimality cut for the max problem must over-estimate
+  // v(f) = max_{d feasible} U(d, f). We take the Lagrangian
+  //   L(d, f, u) = U(d, f) - Σ_i u_i g_i(d, f)   (>= U on the feasible set)
+  // and over-estimate its max over d in closed form by linearizing the only
+  // coupled term, P(Ω(d)), at the primal point Ω_v (P is concave, so its
+  // tangent majorizes it). Everything is then separable per organization:
+  //   cut(f) = P(Ω_v) - P'(Ω_v) Ω_v
+  //            + Σ_i max_{d_i ∈ [D_min, ub_i(f_i)]} [slope_i(f_i) d_i]
+  //            + Σ_i const_i(f_i),
+  // with the max attained at an interval endpoint. Tabulated per org/level.
+  OptimalityCut cut;
+  StrategyProfile probe = to_profile(primal.d, std::vector<std::size_t>(game_.size(), 0));
+  const double omega_v = game_.omega(probe);
+  const double p_slope = game_.accuracy().performance_derivative(omega_v);
+  cut.base = game_.accuracy().performance(omega_v) - p_slope * omega_v;
+
+  const auto& params = game_.params();
+  cut.per_level.resize(game_.size());
+  for (OrgId i = 0; i < game_.size(); ++i) {
+    const auto& org = game_.org(i);
+    const double z = game_.weight_z(i);
+    const double w_i = game_.contribution_weight(i);
+    const double u = primal.multipliers.empty() ? 0.0 : primal.multipliers[i];
+    cut.per_level[i].reserve(org.freq_levels.size());
+    for (std::size_t level = 0; level < org.freq_levels.size(); ++level) {
+      const double f = org.freq_levels[level];
+      // Coefficient of d_i inside L at this frequency.
+      double slope = p_slope * w_i;
+      slope -= params.omega_e * params.kappa * f * f * org.cycles_per_bit *
+               org.data_size_bits / z;
+      slope += params.gamma * game_.rho().row_sum(i) * org.data_size_bits / z;
+      slope -= u * org.cycles_per_bit * org.data_size_bits / f;
+      // d_i-independent contribution at this frequency.
+      double constant = params.gamma * game_.rho().row_sum(i) * params.lambda * f / z;
+      constant -= u * (org.download_time + org.upload_time - params.tau);
+      // Maximize slope * d over the deadline-feasible interval.
+      const double upper =
+          std::max(params.d_min, std::min(1.0, game_.data_upper_bound(i, level)));
+      const double best_linear = std::max(slope * params.d_min, slope * upper);
+      cut.per_level[i].push_back(best_linear + constant);
+    }
+  }
+  return cut;
+}
+
+GbdSolver::FeasibilityCut GbdSolver::make_feasibility_cut(
+    const PrimalSolve& primal, const std::vector<std::size_t>& freq) const {
+  (void)freq;
+  FeasibilityCut cut;
+  cut.org = primal.violating_org;
+  const auto& org = game_.org(cut.org);
+  cut.slack_by_level.reserve(org.freq_levels.size());
+  for (double f : org.freq_levels) {
+    cut.slack_by_level.push_back(deadline_slack(cut.org, primal.d[cut.org], f));
+  }
+  return cut;
+}
+
+bool GbdSolver::solve_master(const std::vector<OptimalityCut>& optimality_cuts,
+                             const std::vector<FeasibilityCut>& feasibility_cuts,
+                             std::vector<std::size_t>& best_tuple, double& best_bound,
+                             std::uint64_t& tuples_visited) const {
+  const std::size_t n = game_.size();
+  std::vector<std::size_t> radices(n);
+  for (OrgId i = 0; i < n; ++i) radices[i] = game_.org(i).freq_levels.size();
+
+  bool found = false;
+  best_bound = -std::numeric_limits<double>::infinity();
+  tuples_visited = math::enumerate_cartesian(radices, [&](const std::vector<std::size_t>& f) {
+    for (const FeasibilityCut& cut : feasibility_cuts) {
+      if (cut.slack_by_level[f[cut.org]] > 0.0) return true;  // pruned, keep going
+    }
+    double envelope = std::numeric_limits<double>::infinity();
+    for (const OptimalityCut& cut : optimality_cuts) {
+      double value = cut.base;
+      for (std::size_t i = 0; i < n; ++i) value += cut.per_level[i][f[i]];
+      envelope = std::min(envelope, value);
+      if (envelope <= best_bound) break;  // cannot beat the incumbent tuple
+    }
+    if (envelope > best_bound) {
+      best_bound = envelope;
+      best_tuple = f;
+      found = true;
+    }
+    return true;
+  });
+  return found;
+}
+
+Solution GbdSolver::solve() {
+  Stopwatch watch;
+  const std::size_t n = game_.size();
+  Solution solution;
+
+  std::vector<OptimalityCut> optimality_cuts;
+  std::vector<FeasibilityCut> feasibility_cuts;
+  std::set<std::vector<std::size_t>> visited;
+
+  // f^(0): fastest level per organization (most likely feasible under C^(3)).
+  std::vector<std::size_t> freq(n);
+  for (OrgId i = 0; i < n; ++i) freq[i] = game_.org(i).freq_levels.size() - 1;
+
+  double lower_bound = -std::numeric_limits<double>::infinity();
+  double upper_bound = std::numeric_limits<double>::infinity();
+  StrategyProfile incumbent;
+  std::uint64_t total_tuples = 0;
+
+  for (int k = 1; k <= options_.max_iterations; ++k) {
+    visited.insert(freq);
+    const PrimalSolve primal = solve_primal(freq);
+    if (primal.feasible) {
+      optimality_cuts.push_back(make_optimality_cut(primal));
+      if (primal.value > lower_bound) {
+        lower_bound = primal.value;
+        incumbent = to_profile(primal.d, freq);
+      }
+    } else {
+      feasibility_cuts.push_back(make_feasibility_cut(primal, freq));
+    }
+
+    if (!incumbent.empty()) {
+      solution.trace.push_back(snapshot(game_, incumbent, k));
+    }
+    solution.iterations = k;
+
+    std::vector<std::size_t> next;
+    double master_bound = 0.0;
+    std::uint64_t tuples = 0;
+    if (!solve_master(optimality_cuts, feasibility_cuts, next, master_bound, tuples)) {
+      // Every tuple excluded by feasibility cuts: the instance is infeasible.
+      throw std::runtime_error("gbd: no frequency assignment satisfies the deadline");
+    }
+    total_tuples = tuples;
+    upper_bound = master_bound;
+
+    if (upper_bound - lower_bound <= options_.epsilon) {
+      solution.converged = true;
+      break;
+    }
+    if (visited.count(next) > 0) {
+      // The master re-proposed a visited tuple: its cut already binds, so the
+      // bounds cannot improve further (finite convergence, Lemma 2).
+      solution.converged = true;
+      break;
+    }
+    freq = std::move(next);
+  }
+
+  if (incumbent.empty()) {
+    throw std::runtime_error("gbd: no feasible primal encountered");
+  }
+  solution.profile = incumbent;
+  solution.solve_seconds = watch.elapsed_seconds();
+  solution.diagnostics.emplace_back("upper_bound", upper_bound);
+  solution.diagnostics.emplace_back("lower_bound", lower_bound);
+  solution.diagnostics.emplace_back("gap", upper_bound - lower_bound);
+  solution.diagnostics.emplace_back("master_tuples", static_cast<double>(total_tuples));
+  solution.diagnostics.emplace_back("optimality_cuts", static_cast<double>(optimality_cuts.size()));
+  solution.diagnostics.emplace_back("feasibility_cuts",
+                                    static_cast<double>(feasibility_cuts.size()));
+  return solution;
+}
+
+}  // namespace tradefl::core

@@ -1,0 +1,93 @@
+// Generalized Benders Decomposition engine (Sec. V-A/B). Solves
+//   max_{d, f}  U(d, f)   s.t.  d_i ∈ [D_min, 1],  f_i ∈ grid,  C^(3)
+// by alternating:
+//   * primal (19): fix f, maximize the concave U over d with the deadline
+//     constraints — solved by the log-barrier interior-point method with
+//     Lagrange multiplier recovery (math/barrier_solver);
+//   * feasibility check (21) when the primal is infeasible — for our
+//     monotone deadline constraints it has the closed form
+//     ζ* = max_i [g_i(D_min, f_i)]+ with λ an indicator of the argmax row;
+//   * master (23): traversal over the discrete f grid (the paper
+//     "exhaustively enumerates the feasible values of f"), maximizing the
+//     upper envelope of the accumulated optimality cuts subject to the
+//     feasibility cuts.
+// Optimality cuts use the Lagrangian of Eq. (20):
+//   cut_k(f) = U(d^(k), f) - Σ_i u_i^(k) g_i(d^(k), f),
+// which is separable per organization at fixed d^(k), so each cut is
+// pre-tabulated per (organization, frequency level).
+#pragma once
+
+#include <cstdint>
+
+#include "core/solution.h"
+#include "game/game.h"
+#include "math/barrier_solver.h"
+
+namespace tradefl::core {
+
+struct GbdOptions {
+  /// ε — UB-LB convergence tolerance (Lemmas 2-3).
+  double epsilon = 1e-6;
+
+  /// K — iteration cap of Algorithm 1.
+  int max_iterations = 64;
+
+  /// Barrier (interior-point) options for the primal; the final duality gap
+  /// is the δ of Lemma 3.
+  math::BarrierOptions barrier{};
+};
+
+/// Result of one primal solve (used by tests and the scaling ablation).
+struct PrimalSolve {
+  bool feasible = false;
+  std::vector<double> d;
+  std::vector<double> multipliers;  // u^(k), one per organization
+  double value = 0.0;               // U(d^(k), f^(k-1)) when feasible
+  double zeta = 0.0;                // ζ* of (21) when infeasible
+  std::size_t violating_org = 0;    // argmax row of (21) when infeasible
+};
+
+class GbdSolver {
+ public:
+  GbdSolver(const game::CoopetitionGame& game, GbdOptions options = {});
+
+  /// Runs Algorithm 1. The trace records the incumbent per iteration; the
+  /// diagnostics include "upper_bound", "lower_bound", "gap", and
+  /// "master_tuples" (the m^|N| traversal size, Lemma 4).
+  [[nodiscard]] Solution solve();
+
+  /// Solves the primal problem (19) at fixed frequency levels. Public for
+  /// tests.
+  [[nodiscard]] PrimalSolve solve_primal(const std::vector<std::size_t>& freq_indices) const;
+
+  /// g_i(d, f) = T^(1) + η_i s_i d / f + T^(3) - τ (the C^(3) slack).
+  [[nodiscard]] double deadline_slack(game::OrgId i, double d, double f) const;
+
+ private:
+  struct OptimalityCut {
+    double base = 0.0;                            // P(Ω(d_v))
+    std::vector<std::vector<double>> per_level;   // [org][level] terms
+  };
+  struct FeasibilityCut {
+    std::size_t org = 0;              // λ is the indicator of this row
+    std::vector<double> slack_by_level;  // g_org(d_v, level)
+  };
+
+  [[nodiscard]] OptimalityCut make_optimality_cut(const PrimalSolve& primal) const;
+  [[nodiscard]] FeasibilityCut make_feasibility_cut(const PrimalSolve& primal,
+                                                    const std::vector<std::size_t>& freq) const;
+
+  /// Solves the master problem by traversal; returns the argmax tuple and
+  /// its bound via out-params; false when no tuple passes the feasibility
+  /// cuts.
+  [[nodiscard]] bool solve_master(const std::vector<OptimalityCut>& optimality_cuts,
+                                  const std::vector<FeasibilityCut>& feasibility_cuts,
+                                  std::vector<std::size_t>& best_tuple,
+                                  double& best_bound,
+                                  std::uint64_t& tuples_visited) const;
+
+  const game::CoopetitionGame& game_;
+  GbdOptions options_;
+};
+
+}  // namespace tradefl::core

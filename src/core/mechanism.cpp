@@ -1,0 +1,104 @@
+#include "core/mechanism.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "game/potential.h"
+
+namespace tradefl::core {
+
+using game::CoopetitionGame;
+using game::OrgId;
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kCgbd: return "CGBD";
+    case Scheme::kDbr: return "DBR";
+    case Scheme::kWpr: return "WPR";
+    case Scheme::kGca: return "GCA";
+    case Scheme::kFip: return "FIP";
+    case Scheme::kTos: return "TOS";
+  }
+  return "?";
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kCgbd, Scheme::kDbr, Scheme::kWpr, Scheme::kGca, Scheme::kFip, Scheme::kTos};
+}
+
+MechanismResult run_scheme(const CoopetitionGame& game, Scheme scheme,
+                           const SchemeOptions& options) {
+  MechanismResult result;
+  result.scheme = scheme;
+  switch (scheme) {
+    case Scheme::kCgbd: result.solution = run_cgbd(game, options.cgbd); break;
+    case Scheme::kDbr: result.solution = run_dbr(game, options.dbr); break;
+    case Scheme::kWpr: result.solution = run_wpr(game, options.dbr); break;
+    case Scheme::kGca: result.solution = run_gca(game, options.gca); break;
+    case Scheme::kFip: result.solution = run_fip(game, options.fip); break;
+    case Scheme::kTos: result.solution = run_tos(game); break;
+  }
+
+  const auto& profile = result.solution.profile;
+  result.welfare = game.social_welfare(profile);
+  result.potential = game::potential(game, profile);
+  result.paper_potential = game::paper_potential(game, profile);
+  result.total_damage = game.total_damage(profile);
+  result.total_data_fraction = game.total_data_fraction(profile);
+  result.performance = game.performance(profile);
+  result.payoffs.reserve(game.size());
+  for (OrgId i = 0; i < game.size(); ++i) result.payoffs.push_back(game.payoff(i, profile));
+
+  result.redistribution.assign(game.size(), std::vector<double>(game.size(), 0.0));
+  for (OrgId i = 0; i < game.size(); ++i) {
+    for (OrgId j = 0; j < game.size(); ++j) {
+      if (i != j) result.redistribution[i][j] = game.redistribution_pair(i, j, profile);
+    }
+  }
+  return result;
+}
+
+std::string PropertyReport::summary() const {
+  std::ostringstream out;
+  out << "IR=" << (individual_rationality ? "yes" : "NO")
+      << " (min payoff " << min_payoff << "), "
+      << "BB=" << (budget_balance ? "yes" : "NO")
+      << " (sum R " << redistribution_sum << "), "
+      << "NE=" << (nash_equilibrium ? "yes" : "NO")
+      << " (max gain " << max_unilateral_gain << "), "
+      << "CE=" << (computationally_efficient ? "yes" : "NO")
+      << " (" << iterations << " iterations)";
+  return out.str();
+}
+
+PropertyReport verify_properties(const CoopetitionGame& game, const MechanismResult& result,
+                                 bool check_nash, const PropertyTolerances& tolerances) {
+  PropertyReport report;
+
+  report.min_payoff = result.payoffs.empty() ? 0.0 : result.payoffs.front();
+  for (double payoff : result.payoffs) report.min_payoff = std::min(report.min_payoff, payoff);
+  report.individual_rationality = report.min_payoff >= -tolerances.payoff_tol;
+
+  double sum_r = 0.0;
+  double scale = 0.0;
+  for (const auto& row : result.redistribution) {
+    for (double r : row) {
+      sum_r += r;
+      scale += std::abs(r);
+    }
+  }
+  report.redistribution_sum = sum_r;
+  report.budget_balance = std::abs(sum_r) <= tolerances.budget_tol * std::max(scale, 1.0);
+
+  if (check_nash) {
+    report.max_unilateral_gain = game.max_unilateral_gain(result.solution.profile);
+    report.nash_equilibrium = report.max_unilateral_gain <= tolerances.nash_tol;
+  }
+
+  report.iterations = result.solution.iterations;
+  report.computationally_efficient = result.solution.converged;
+  return report;
+}
+
+}  // namespace tradefl::core

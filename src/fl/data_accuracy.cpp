@@ -1,0 +1,96 @@
+#include "fl/data_accuracy.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace tradefl::fl {
+
+DataAccuracyCurve measure_data_accuracy(ModelKind model, DatasetKind dataset,
+                                        const DataAccuracyOptions& options) {
+  if (options.org_count < 2) throw std::invalid_argument("data_accuracy: need >= 2 orgs");
+  if (options.d_grid.empty()) throw std::invalid_argument("data_accuracy: empty d grid");
+
+  DataAccuracyCurve curve;
+  curve.model = model;
+  curve.dataset = dataset;
+
+  // Shared concept seed: every shard and the test set describe the SAME task.
+  const DatasetSpec concept_spec = DatasetSpec::builtin(dataset, options.seed);
+  const DatasetSpec test_spec = concept_spec.with_sample_seed(options.seed + 999);
+  const Dataset test_set(test_spec, options.test_samples);
+
+  ModelSpec model_spec;
+  model_spec.kind = model;
+  model_spec.channels = test_spec.channels;
+  model_spec.height = test_spec.height;
+  model_spec.width = test_spec.width;
+  model_spec.classes = test_spec.classes;
+  model_spec.seed = options.seed;
+
+  // Untrained accuracy: the freshly initialized global model.
+  {
+    Net untrained = build_model(model_spec);
+    curve.untrained_accuracy = evaluate(untrained, test_set).accuracy;
+  }
+
+  // Per-organization local datasets (i.i.d. shards, footnote 4).
+  std::vector<Dataset> locals;
+  locals.reserve(options.org_count);
+  for (std::size_t org = 0; org < options.org_count; ++org) {
+    locals.emplace_back(concept_spec.with_sample_seed(options.seed + org + 1),
+                        options.samples_per_org);
+  }
+
+  const std::size_t replications = std::max<std::size_t>(1, options.replications);
+  for (double d : options.d_grid) {
+    DataAccuracyPoint point;
+    point.d = d;
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      std::vector<FedClient> clients;
+      clients.reserve(options.org_count);
+      for (std::size_t org = 0; org < options.org_count; ++org) {
+        FedClient client;
+        client.data = &locals[org];
+        client.fraction = org == 0 ? d : options.others_fraction;
+        client.seed = options.seed * 31 + org + rep * 1009;
+        clients.push_back(client);
+      }
+      ModelSpec rep_spec = model_spec;
+      rep_spec.seed = options.seed + rep * 7919;
+      FedAvgOptions rep_options = options.fedavg;
+      rep_options.shuffle_seed += rep;
+      const FedAvgResult trained = train_fedavg(rep_spec, clients, test_set, rep_options);
+      point.omega_samples += static_cast<double>(trained.total_contributed_samples);
+      point.accuracy += trained.final_accuracy;
+    }
+    point.omega_samples /= static_cast<double>(replications);
+    point.accuracy /= static_cast<double>(replications);
+    point.performance = point.accuracy - curve.untrained_accuracy;
+    curve.points.push_back(point);
+    TFL_DEBUG << "data_accuracy " << model_name(model) << "/" << dataset_name(dataset)
+              << " d=" << d << " acc=" << point.accuracy;
+  }
+
+  std::vector<double> xs, ys;
+  for (const auto& point : curve.points) {
+    xs.push_back(point.omega_samples);
+    ys.push_back(point.performance);
+  }
+  curve.fit = fit_sqrt_saturation(xs, ys);
+  // Accuracy measurements carry sampling noise of order 1/sqrt(test set);
+  // allow that much slack when checking Eq. (5) empirically.
+  const double tol = 2.0 / std::sqrt(static_cast<double>(options.test_samples));
+  std::vector<double> ds;
+  for (const auto& point : curve.points) ds.push_back(point.d);
+  curve.shape = check_monotone_concave(ds, ys, tol);
+  return curve;
+}
+
+game::AccuracyModelPtr empirical_accuracy_model(const DataAccuracyCurve& curve, double a0) {
+  return std::make_shared<const game::EmpiricalAccuracyModel>(curve.fit, a0);
+}
+
+}  // namespace tradefl::fl

@@ -1,0 +1,59 @@
+// The Fig. 2 pre-experiment: measure the data-accuracy function
+// P(d_i, d_-i) empirically by sweeping organization 0's contribution d_i
+// while every other organization contributes d = 0.5, training the global
+// model with FedAvg at each point. The measured curve is fitted with the
+// sqrt-saturation form (common/stats) and checked against the derivative
+// conditions of Eq. (5); the fit can be promoted to an EmpiricalAccuracyModel
+// and plugged straight into the coopetition game — closing the loop between
+// the FL substrate and the mechanism.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "fl/dataset.h"
+#include "fl/fedavg.h"
+#include "fl/model_zoo.h"
+#include "game/accuracy_model.h"
+
+namespace tradefl::fl {
+
+struct DataAccuracyOptions {
+  std::size_t org_count = 5;          // organizations in the probe federation
+  std::size_t samples_per_org = 300;  // |S_i| (paper sweeps 2000..20000)
+  std::size_t test_samples = 400;
+  double others_fraction = 0.5;       // d_{-i} (Fig. 2 setting)
+  std::vector<double> d_grid{0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0};
+  FedAvgOptions fedavg{};
+  std::uint64_t seed = 11;
+
+  /// Replications per grid point (model init + subset draw averaged) — FL
+  /// training is noisy; 2-3 replications give Fig.-2-grade curves.
+  std::size_t replications = 1;
+};
+
+struct DataAccuracyPoint {
+  double d = 0.0;              // organization 0's fraction
+  double omega_samples = 0.0;  // total contributed samples
+  double accuracy = 0.0;       // test accuracy of the trained global model
+  double performance = 0.0;    // P = accuracy - untrained accuracy
+};
+
+struct DataAccuracyCurve {
+  ModelKind model;
+  DatasetKind dataset;
+  double untrained_accuracy = 0.0;
+  std::vector<DataAccuracyPoint> points;
+  SqrtSaturationFit fit;    // P ~ a - b / sqrt(omega + c)
+  ShapeCheck shape;         // Eq. (5) empirical check on the measured points
+};
+
+/// Runs the pre-experiment for one model/dataset pair.
+DataAccuracyCurve measure_data_accuracy(ModelKind model, DatasetKind dataset,
+                                        const DataAccuracyOptions& options = {});
+
+/// Builds a game-layer accuracy model from a measured curve. `a0` is the
+/// untrained accuracy loss anchoring P (Eq. 4).
+game::AccuracyModelPtr empirical_accuracy_model(const DataAccuracyCurve& curve, double a0);
+
+}  // namespace tradefl::fl

@@ -1,0 +1,101 @@
+// Synthetic image classification datasets standing in for the paper's
+// CIFAR-10 / FMNIST / SVHN / EuroSat (see DESIGN.md §2 for the substitution
+// argument). Each dataset profile draws per-class template images and
+// produces samples as template + Gaussian noise (+ optional label noise),
+// which yields exactly the monotone-concave accuracy-vs-data behaviour of
+// Eq. (5) that the mechanism consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fl/tensor.h"
+
+namespace tradefl::fl {
+
+enum class DatasetKind { kCifar10Like, kFmnistLike, kSvhnLike, kEurosatLike };
+
+const char* dataset_name(DatasetKind kind);
+DatasetKind dataset_kind_from_string(const std::string& text);
+
+/// Generation profile. The four built-in kinds differ in image geometry and
+/// hardness (class separation / noise / label noise), mirroring the relative
+/// difficulty of the real datasets.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kFmnistLike;
+  std::size_t classes = 10;
+  std::size_t channels = 1;
+  std::size_t height = 12;
+  std::size_t width = 12;
+  double class_separation = 1.0;  // template magnitude vs noise
+  double noise = 1.0;             // per-pixel Gaussian sigma
+  double label_noise = 0.0;       // probability of a flipped label
+
+  /// Seeds the per-class templates — the "concept" of the task. Datasets
+  /// that should be mutually compatible (each organization's local shard and
+  /// the test set) MUST share this seed.
+  std::uint64_t concept_seed = 1;
+
+  /// Seeds the sample noise/label draws; varies across shards.
+  std::uint64_t sample_seed = 1;
+
+  /// Optional per-class sampling weights (non-IID shards). Empty = uniform.
+  /// The paper assumes i.i.d. organizational data (footnote 4); skewed
+  /// weights let ablations probe that assumption.
+  std::vector<double> class_weights;
+
+  /// Built-in profiles; `size_scale` in (0, 1] shrinks images for fast tests.
+  static DatasetSpec builtin(DatasetKind kind, std::uint64_t concept_seed,
+                             double size_scale = 1.0);
+
+  [[nodiscard]] DatasetSpec with_sample_seed(std::uint64_t seed) const {
+    DatasetSpec copy = *this;
+    copy.sample_seed = seed;
+    return copy;
+  }
+
+  [[nodiscard]] DatasetSpec with_class_weights(std::vector<double> weights) const {
+    DatasetSpec copy = *this;
+    copy.class_weights = std::move(weights);
+    return copy;
+  }
+};
+
+/// An in-memory labeled dataset with contiguous (n, c, h, w) images.
+class Dataset {
+ public:
+  Dataset(DatasetSpec spec, std::size_t samples);
+
+  [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+
+  /// Assembles a batch tensor from sample indices.
+  [[nodiscard]] Tensor batch(const std::vector<std::size_t>& indices) const;
+  [[nodiscard]] std::vector<std::size_t> batch_labels(
+      const std::vector<std::size_t>& indices) const;
+
+  [[nodiscard]] std::size_t label(std::size_t index) const { return labels_.at(index); }
+
+  /// Per-class sample counts (distribution sanity checks).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+ private:
+  DatasetSpec spec_;
+  std::vector<float> images_;  // samples * c * h * w
+  std::vector<std::size_t> labels_;
+  std::size_t image_elements_ = 0;
+};
+
+/// Draws Dirichlet(alpha, ..., alpha) class weights — the standard non-IID
+/// label-skew generator for FL experiments. Small alpha => heavy skew.
+std::vector<double> dirichlet_class_weights(std::size_t classes, double alpha, Rng& rng);
+
+/// Splits a client's local indices: the first `fraction` of a seeded
+/// permutation of [0, dataset.size()) — how organization i selects its
+/// d_i · |S_i| training subset (Sec. III-B phase 2).
+std::vector<std::size_t> contributed_indices(const Dataset& dataset, double fraction,
+                                             std::uint64_t seed);
+
+}  // namespace tradefl::fl

@@ -1,0 +1,128 @@
+#include "fl/fedasync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "fl/loss.h"
+
+namespace tradefl::fl {
+namespace {
+
+struct PendingUpdate {
+  double ready_at = 0.0;
+  double pulled_at = 0.0;
+  std::size_t client = 0;
+
+  bool operator>(const PendingUpdate& other) const { return ready_at > other.ready_at; }
+};
+
+/// One local training pass over the client's contributed subset.
+void train_once(Net& net, const Dataset& data, const std::vector<std::size_t>& subset,
+                const FedAsyncOptions& options, Rng& shuffle_rng) {
+  Sgd optimizer(options.sgd);
+  for (std::size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
+    const std::vector<std::size_t> shuffle = shuffle_rng.permutation(subset.size());
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < subset.size(); start += options.batch_size) {
+      if (options.max_batches_per_epoch > 0 && batches >= options.max_batches_per_epoch) break;
+      const std::size_t end = std::min(subset.size(), start + options.batch_size);
+      std::vector<std::size_t> indices;
+      indices.reserve(end - start);
+      for (std::size_t k = start; k < end; ++k) indices.push_back(subset[shuffle[k]]);
+      net.zero_grad();
+      const Tensor logits = net.forward(data.batch(indices), /*training=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, data.batch_labels(indices));
+      net.backward(loss.grad);
+      optimizer.step(net.parameters());
+      ++batches;
+    }
+  }
+}
+
+}  // namespace
+
+FedAsyncResult train_fedasync(const ModelSpec& model_spec,
+                              const std::vector<AsyncClient>& clients,
+                              const Dataset& test_set, const FedAsyncOptions& options) {
+  if (clients.empty()) throw std::invalid_argument("fedasync: need >= 1 client");
+  if (options.horizon <= 0.0) throw std::invalid_argument("fedasync: horizon must be > 0");
+  if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
+    throw std::invalid_argument("fedasync: alpha must be in (0, 1]");
+  }
+
+  // Contributed subsets and the base model.
+  std::vector<std::vector<std::size_t>> subsets(clients.size());
+  std::size_t contributors = 0;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const FedClient& client = clients[c].client;
+    if (client.data == nullptr) throw std::invalid_argument("fedasync: null client data");
+    if (clients[c].round_latency <= 0.0) {
+      throw std::invalid_argument("fedasync: round_latency must be > 0");
+    }
+    if (client.fraction > 0.0) {
+      subsets[c] = contributed_indices(*client.data, client.fraction, client.seed);
+    }
+    if (!subsets[c].empty()) ++contributors;
+  }
+  if (contributors == 0) throw std::invalid_argument("fedasync: nobody contributes data");
+
+  Net global = build_model(model_spec);
+  std::vector<float> global_weights = global.weights();
+  Net worker = build_model(model_spec);
+  Rng shuffle_rng(options.shuffle_seed);
+
+  // Per-client snapshot of the weights they pulled last.
+  std::vector<std::vector<float>> pulled(clients.size(), global_weights);
+
+  std::priority_queue<PendingUpdate, std::vector<PendingUpdate>, std::greater<>> queue;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    if (!subsets[c].empty()) queue.push({clients[c].round_latency, 0.0, c});
+  }
+
+  FedAsyncResult result;
+  while (!queue.empty() && queue.top().ready_at <= options.horizon) {
+    const PendingUpdate update = queue.top();
+    queue.pop();
+    const std::size_t c = update.client;
+
+    // The client trained from its pulled snapshot; replay that local pass.
+    worker.set_weights(pulled[c]);
+    train_once(worker, *clients[c].client.data, subsets[c], options, shuffle_rng);
+    const std::vector<float> local = worker.weights();
+
+    // Staleness-discounted merge into the CURRENT global model.
+    const double staleness = update.ready_at - update.pulled_at - clients[c].round_latency;
+    const double discount =
+        std::pow(1.0 + std::max(0.0, staleness), -options.staleness_exponent);
+    const float alpha_eff = static_cast<float>(options.alpha * discount);
+    for (std::size_t i = 0; i < global_weights.size(); ++i) {
+      global_weights[i] = (1.0f - alpha_eff) * global_weights[i] + alpha_eff * local[i];
+    }
+    ++result.total_updates;
+
+    AsyncMerge merge;
+    merge.time = update.ready_at;
+    merge.client_index = c;
+    merge.staleness = std::max(0.0, staleness);
+    if (options.eval_every > 0 && result.total_updates % options.eval_every == 0) {
+      global.set_weights(global_weights);
+      merge.test_accuracy = evaluate(global, test_set).accuracy;
+    }
+    result.merges.push_back(merge);
+
+    // The client pulls the fresh global weights and starts the next round.
+    pulled[c] = global_weights;
+    queue.push({update.ready_at + clients[c].round_latency, update.ready_at, c});
+  }
+
+  global.set_weights(global_weights);
+  const EvalResult eval = evaluate(global, test_set);
+  result.final_accuracy = eval.accuracy;
+  result.final_loss = eval.loss;
+  result.final_weights = std::move(global_weights);
+  return result;
+}
+
+}  // namespace tradefl::fl

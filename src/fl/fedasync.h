@@ -1,0 +1,58 @@
+// Asynchronous federated training — the paper's footnote 2 states TradeFL
+// "is applicable to both synchronous and asynchronous scenarios" because the
+// mechanism only concerns resource contribution. This module provides the
+// asynchronous substrate so that claim can be exercised: clients deliver
+// updates with heterogeneous delays derived from their analytic round time
+// (T^(1) + T^(2)(d, f) + T^(3)); the server merges each update when it
+// arrives with a staleness-discounted weight (FedAsync-style):
+//     w_global <- (1 - alpha_eff) w_global + alpha_eff w_client,
+//     alpha_eff = alpha * s(staleness),  s(t) = 1 / (1 + t)^a.
+#pragma once
+
+#include "fl/fedavg.h"
+
+namespace tradefl::fl {
+
+/// One asynchronous participant: the FedClient plus its delivery latency per
+/// local update (seconds of simulated time).
+struct AsyncClient {
+  FedClient client;
+  double round_latency = 1.0;  // T^(1) + T^(2)(d_i, f_i) + T^(3)
+};
+
+struct FedAsyncOptions {
+  double horizon = 100.0;        // simulated seconds of training
+  double alpha = 0.6;            // base mixing rate
+  double staleness_exponent = 0.5;  // a in s(t) = (1 + t)^-a
+  std::size_t local_epochs = 1;
+  std::size_t batch_size = 32;
+  std::size_t max_batches_per_epoch = 8;
+  SgdOptions sgd{};
+  std::uint64_t shuffle_seed = 23;
+  /// Evaluate the global model every `eval_every` merges (0 = only at end).
+  std::size_t eval_every = 5;
+};
+
+struct AsyncMerge {
+  double time = 0.0;            // simulated arrival time
+  std::size_t client_index = 0;
+  double staleness = 0.0;       // seconds between pull and merge
+  double test_accuracy = -1.0;  // -1 when not evaluated at this merge
+};
+
+struct FedAsyncResult {
+  std::vector<AsyncMerge> merges;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  std::size_t total_updates = 0;
+  std::vector<float> final_weights;
+};
+
+/// Event-driven simulation: every client trains continuously; when a local
+/// update completes (after round_latency simulated seconds) it is merged with
+/// the staleness-discounted rule above and the client pulls fresh weights.
+FedAsyncResult train_fedasync(const ModelSpec& model_spec,
+                              const std::vector<AsyncClient>& clients,
+                              const Dataset& test_set, const FedAsyncOptions& options = {});
+
+}  // namespace tradefl::fl

@@ -1,0 +1,144 @@
+#include "fl/fedavg.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "fl/loss.h"
+
+namespace tradefl::fl {
+
+EvalResult evaluate(Net& net, const Dataset& data, std::size_t batch_size) {
+  EvalResult result;
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(data.size(), start + batch_size);
+    std::vector<std::size_t> indices;
+    indices.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) indices.push_back(i);
+    const Tensor logits = net.forward(data.batch(indices), /*training=*/false);
+    const LossResult loss = softmax_cross_entropy(logits, data.batch_labels(indices));
+    loss_sum += loss.mean_loss * static_cast<double>(indices.size());
+    correct += loss.correct;
+    counted += indices.size();
+  }
+  result.loss = loss_sum / static_cast<double>(counted);
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(counted);
+  return result;
+}
+
+namespace {
+
+/// Trains `net` (already loaded with the global weights) on the client's
+/// contributed subset; returns the mean batch loss observed.
+double train_local(Net& net, const Dataset& data, const std::vector<std::size_t>& contributed,
+                   const FedAvgOptions& options, Rng& shuffle_rng) {
+  Sgd optimizer(options.sgd);
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
+    // Epoch-local shuffle of the contributed subset.
+    std::vector<std::size_t> order = contributed;
+    const std::vector<std::size_t> shuffle = shuffle_rng.permutation(order.size());
+    std::vector<std::size_t> shuffled(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) shuffled[i] = order[shuffle[i]];
+
+    std::size_t epoch_batches = 0;
+    for (std::size_t start = 0; start < shuffled.size(); start += options.batch_size) {
+      if (options.max_batches_per_epoch > 0 &&
+          epoch_batches >= options.max_batches_per_epoch) {
+        break;
+      }
+      const std::size_t end = std::min(shuffled.size(), start + options.batch_size);
+      std::vector<std::size_t> indices(shuffled.begin() + static_cast<std::ptrdiff_t>(start),
+                                       shuffled.begin() + static_cast<std::ptrdiff_t>(end));
+      net.zero_grad();
+      const Tensor logits = net.forward(data.batch(indices), /*training=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, data.batch_labels(indices));
+      net.backward(loss.grad);
+      optimizer.step(net.parameters());
+      loss_sum += loss.mean_loss;
+      ++batches;
+      ++epoch_batches;
+    }
+  }
+  return batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+}
+
+}  // namespace
+
+FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClient>& clients,
+                          const Dataset& test_set, const FedAvgOptions& options) {
+  if (clients.empty()) throw std::invalid_argument("fedavg: need >= 1 client");
+  if (options.rounds == 0) throw std::invalid_argument("fedavg: need >= 1 round");
+  if (options.batch_size == 0) throw std::invalid_argument("fedavg: batch_size must be >= 1");
+
+  // Pre-select each client's contributed subset (fixed across rounds: the
+  // organization commits d_i |S_i| samples for the whole training run).
+  std::vector<std::vector<std::size_t>> subsets(clients.size());
+  FedAvgResult result;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    if (clients[c].data == nullptr) throw std::invalid_argument("fedavg: null client dataset");
+    if (clients[c].fraction > 0.0) {
+      subsets[c] = contributed_indices(*clients[c].data, clients[c].fraction, clients[c].seed);
+    }
+    result.total_contributed_samples += subsets[c].size();
+  }
+  if (result.total_contributed_samples == 0) {
+    throw std::invalid_argument("fedavg: no client contributes any data");
+  }
+
+  Net global = build_model(model_spec);
+  std::vector<float> global_weights = global.weights();
+  Net worker = build_model(model_spec);  // reused for every client's local pass
+  Rng shuffle_rng(options.shuffle_seed);
+
+  for (std::size_t round = 1; round <= options.rounds; ++round) {
+    std::vector<double> aggregate(global_weights.size(), 0.0);
+    double weight_total = 0.0;
+    double train_loss_sum = 0.0;
+    std::size_t participants = 0;
+
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (subsets[c].empty()) continue;
+      worker.set_weights(global_weights);
+      const double local_loss =
+          train_local(worker, *clients[c].data, subsets[c], options, shuffle_rng);
+      // Aggregation weight per Eq. (3): proportional to contributed samples
+      // d_i |S_i| (normalized below so the weights sum to one).
+      const double weight = static_cast<double>(subsets[c].size());
+      const std::vector<float> local_weights = worker.weights();
+      for (std::size_t i = 0; i < aggregate.size(); ++i) {
+        aggregate[i] += weight * static_cast<double>(local_weights[i]);
+      }
+      weight_total += weight;
+      train_loss_sum += local_loss;
+      ++participants;
+    }
+
+    for (std::size_t i = 0; i < global_weights.size(); ++i) {
+      global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
+    }
+    global.set_weights(global_weights);
+
+    const EvalResult eval = evaluate(global, test_set);
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.train_loss = participants == 0 ? 0.0
+                                           : train_loss_sum / static_cast<double>(participants);
+    metrics.test_loss = eval.loss;
+    metrics.test_accuracy = eval.accuracy;
+    result.history.push_back(metrics);
+    TFL_DEBUG << "fedavg round " << round << ": test acc " << eval.accuracy << ", loss "
+              << eval.loss;
+  }
+
+  result.final_accuracy = result.history.back().test_accuracy;
+  result.final_loss = result.history.back().test_loss;
+  result.final_weights = std::move(global_weights);
+  return result;
+}
+
+}  // namespace tradefl::fl

@@ -1,0 +1,63 @@
+// FedAvg training loop (Sec. III-B): organizations hold local datasets,
+// contribute a d_i fraction of their samples, train locally for a few
+// epochs, and the server aggregates weight vectors with contribution-
+// proportional weights (Eq. 3). Synchronous rounds; the round deadline τ is
+// modeled analytically by the game layer (Organization::round_time), not by
+// wall-clock here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/dataset.h"
+#include "fl/model_zoo.h"
+#include "fl/optimizer.h"
+
+namespace tradefl::fl {
+
+struct FedAvgOptions {
+  std::size_t rounds = 10;       // G — global aggregation rounds
+  std::size_t local_epochs = 1;  // local passes per round
+  std::size_t batch_size = 32;
+  std::size_t max_batches_per_epoch = 0;  // 0 = no cap
+  SgdOptions sgd{};
+  std::uint64_t shuffle_seed = 7;
+};
+
+/// One organization's training view: a pointer to its local dataset and the
+/// contributed fraction d_i of it.
+struct FedClient {
+  const Dataset* data = nullptr;
+  double fraction = 1.0;       // d_i
+  std::uint64_t seed = 1;      // selects WHICH samples are contributed
+};
+
+struct RoundMetrics {
+  std::size_t round = 0;
+  double train_loss = 0.0;     // mean local loss over participating batches
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
+struct FedAvgResult {
+  std::vector<RoundMetrics> history;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  std::size_t total_contributed_samples = 0;
+  std::vector<float> final_weights;
+};
+
+/// Evaluates mean loss / accuracy of `net` on a dataset.
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+EvalResult evaluate(Net& net, const Dataset& data, std::size_t batch_size = 64);
+
+/// Runs FedAvg for the given model over the clients, testing on `test_set`
+/// each round. Clients contributing zero samples are skipped (they cannot
+/// join training, matching the participation rule of Sec. III-A).
+FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClient>& clients,
+                          const Dataset& test_set, const FedAvgOptions& options = {});
+
+}  // namespace tradefl::fl

@@ -1,0 +1,435 @@
+#include "fl/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tradefl::fl {
+namespace {
+
+/// He-normal initialization for a tensor with the given fan-in.
+Tensor he_init(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng) {
+  Tensor tensor(std::move(shape));
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return tensor;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(he_init({out_features, in_features}, in_features, rng)),
+      bias_(Tensor({out_features}, 0.0f)) {}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Dense: expected (batch, " + std::to_string(in_features_) +
+                                "), got " + input.shape_string());
+  }
+  if (training) cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  Tensor output({batch, out_features_});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      float total = bias_.value[o];
+      const float* w_row = weight_.value.data() + o * in_features_;
+      const float* x_row = input.data() + n * in_features_;
+      for (std::size_t k = 0; k < in_features_; ++k) total += w_row[k] * x_row[k];
+      output.at2(n, o) = total;
+    }
+  }
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != batch ||
+      grad_output.dim(1) != out_features_) {
+    throw std::invalid_argument("Dense: bad grad shape " + grad_output.shape_string());
+  }
+  Tensor grad_input({batch, in_features_});
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* g_row = grad_output.data() + n * out_features_;
+    const float* x_row = cached_input_.data() + n * in_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float g = g_row[o];
+      bias_.grad[o] += g;
+      float* w_grad_row = weight_.grad.data() + o * in_features_;
+      const float* w_row = weight_.value.data() + o * in_features_;
+      float* gi_row = grad_input.data() + n * in_features_;
+      for (std::size_t k = 0; k < in_features_; ++k) {
+        w_grad_row[k] += g * x_row[k];
+        gi_row[k] += g * w_row[k];
+      }
+    }
+  }
+  return grad_input;
+}
+
+// --------------------------------------------------------------- Conv2D ----
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t pad, std::size_t groups, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      groups_(groups),
+      weight_(he_init({out_channels, in_channels / groups, kernel, kernel},
+                      (in_channels / groups) * kernel * kernel, rng)),
+      bias_(Tensor({out_channels}, 0.0f)) {
+  if (groups == 0 || in_channels % groups != 0 || out_channels % groups != 0) {
+    throw std::invalid_argument("Conv2D: channels must divide groups");
+  }
+  if (stride == 0) throw std::invalid_argument("Conv2D: stride must be >= 1");
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2D: expected (n, " + std::to_string(in_channels_) +
+                                ", h, w), got " + input.shape_string());
+  }
+  if (training) cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t in_h = input.dim(2);
+  const std::size_t in_w = input.dim(3);
+  const std::size_t out_h = (in_h + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::size_t out_w = (in_w + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::size_t cin_per_group = in_channels_ / groups_;
+  const std::size_t cout_per_group = out_channels_ / groups_;
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const std::size_t group = oc / cout_per_group;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float total = bias_.value[oc];
+          for (std::size_t ic = 0; ic < cin_per_group; ++ic) {
+            const std::size_t in_c = group * cin_per_group + ic;
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) continue;
+                total += weight_.value.at4(oc, ic, ky, kx) *
+                         input.at4(n, in_c, static_cast<std::size_t>(iy),
+                                   static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          output.at4(n, oc, oy, ox) = total;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0);
+  const std::size_t in_h = cached_input_.dim(2);
+  const std::size_t in_w = cached_input_.dim(3);
+  const std::size_t out_h = grad_output.dim(2);
+  const std::size_t out_w = grad_output.dim(3);
+  const std::size_t cin_per_group = in_channels_ / groups_;
+  const std::size_t cout_per_group = out_channels_ / groups_;
+
+  Tensor grad_input(cached_input_.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const std::size_t group = oc / cout_per_group;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          const float g = grad_output.at4(n, oc, oy, ox);
+          if (g == 0.0f) continue;
+          bias_.grad[oc] += g;
+          for (std::size_t ic = 0; ic < cin_per_group; ++ic) {
+            const std::size_t in_c = group * cin_per_group + ic;
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) continue;
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) continue;
+                const std::size_t uy = static_cast<std::size_t>(iy);
+                const std::size_t ux = static_cast<std::size_t>(ix);
+                weight_.grad.at4(oc, ic, ky, kx) += g * cached_input_.at4(n, in_c, uy, ux);
+                grad_input.at4(n, in_c, uy, ux) += g * weight_.value.at4(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor output = input;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (output[i] < 0.0f) output[i] = 0.0f;
+  }
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad_input[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+// ------------------------------------------------------------ MaxPool2D ----
+
+Tensor MaxPool2D::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4) throw std::invalid_argument("MaxPool2D: need rank-4 input");
+  const std::size_t batch = input.dim(0), channels = input.dim(1);
+  const std::size_t out_h = input.dim(2) / 2, out_w = input.dim(3) / 2;
+  if (out_h == 0 || out_w == 0) throw std::invalid_argument("MaxPool2D: input too small");
+  Tensor output({batch, channels, out_h, out_w});
+  argmax_.assign(output.size(), 0);
+  std::size_t flat = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox, ++flat) {
+          float best = -3.4e38f;
+          std::size_t best_index = 0;
+          for (std::size_t ky = 0; ky < 2; ++ky) {
+            for (std::size_t kx = 0; kx < 2; ++kx) {
+              const std::size_t iy = oy * 2 + ky, ix = ox * 2 + kx;
+              const float value = input.at4(n, c, iy, ix);
+              if (value > best) {
+                best = value;
+                best_index = ((n * channels + c) * input.dim(2) + iy) * input.dim(3) + ix;
+              }
+            }
+          }
+          output[flat] = best;
+          argmax_[flat] = best_index;
+        }
+      }
+    }
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+// -------------------------------------------------------- GlobalAvgPool ----
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4) throw std::invalid_argument("GlobalAvgPool: need rank-4 input");
+  if (training) cached_shape_ = input.shape();
+  else cached_shape_ = input.shape();
+  const std::size_t batch = input.dim(0), channels = input.dim(1);
+  const std::size_t area = input.dim(2) * input.dim(3);
+  Tensor output({batch, channels});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      double total = 0.0;
+      const float* base = input.data() + (n * channels + c) * area;
+      for (std::size_t i = 0; i < area; ++i) total += base[i];
+      output.at2(n, c) = static_cast<float>(total / static_cast<double>(area));
+    }
+  }
+  return output;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_shape_);
+  const std::size_t batch = cached_shape_[0], channels = cached_shape_[1];
+  const std::size_t area = cached_shape_[2] * cached_shape_[3];
+  const float inv_area = 1.0f / static_cast<float>(area);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float g = grad_output.at2(n, c) * inv_area;
+      float* base = grad_input.data() + (n * channels + c) * area;
+      for (std::size_t i = 0; i < area; ++i) base[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (training) cached_shape_ = input.shape();
+  else cached_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+// ------------------------------------------------------------- Residual ----
+
+Residual::Residual(std::vector<LayerPtr> body) : body_(std::move(body)) {
+  if (body_.empty()) throw std::invalid_argument("Residual: empty body");
+}
+
+Tensor Residual::forward(const Tensor& input, bool training) {
+  Tensor hidden = input;
+  for (auto& layer : body_) hidden = layer->forward(hidden, training);
+  if (!hidden.same_shape(input)) {
+    throw std::invalid_argument("Residual: body must preserve shape (" +
+                                input.shape_string() + " -> " + hidden.shape_string() + ")");
+  }
+  hidden.add_scaled(input, 1.0f);
+  cached_sum_ = hidden;
+  Tensor output = hidden;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (output[i] < 0.0f) output[i] = 0.0f;
+  }
+  return output;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor grad_sum = grad_output;
+  for (std::size_t i = 0; i < grad_sum.size(); ++i) {
+    if (cached_sum_[i] <= 0.0f) grad_sum[i] = 0.0f;
+  }
+  Tensor grad_body = grad_sum;
+  for (std::size_t i = body_.size(); i-- > 0;) grad_body = body_[i]->backward(grad_body);
+  grad_body.add_scaled(grad_sum, 1.0f);  // skip connection
+  return grad_body;
+}
+
+std::vector<Param*> Residual::parameters() {
+  std::vector<Param*> params;
+  for (auto& layer : body_) {
+    for (Param* param : layer->parameters()) params.push_back(param);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------- DenseConcat ----
+
+DenseConcat::DenseConcat(std::vector<LayerPtr> body) : body_(std::move(body)) {
+  if (body_.empty()) throw std::invalid_argument("DenseConcat: empty body");
+}
+
+Tensor DenseConcat::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4) throw std::invalid_argument("DenseConcat: need rank-4 input");
+  Tensor hidden = input;
+  for (auto& layer : body_) hidden = layer->forward(hidden, training);
+  if (hidden.rank() != 4 || hidden.dim(0) != input.dim(0) ||
+      hidden.dim(2) != input.dim(2) || hidden.dim(3) != input.dim(3)) {
+    throw std::invalid_argument("DenseConcat: body must preserve spatial shape");
+  }
+  cached_input_channels_ = input.dim(1);
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1) + hidden.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  Tensor output({batch, channels, h, w});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < input.dim(1); ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) output.at4(n, c, y, x) = input.at4(n, c, y, x);
+      }
+    }
+    for (std::size_t c = 0; c < hidden.dim(1); ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          output.at4(n, input.dim(1) + c, y, x) = hidden.at4(n, c, y, x);
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor DenseConcat::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  const std::size_t h = grad_output.dim(2), w = grad_output.dim(3);
+  const std::size_t body_channels = grad_output.dim(1) - cached_input_channels_;
+
+  Tensor grad_body({batch, body_channels, h, w});
+  Tensor grad_passthrough({batch, cached_input_channels_, h, w});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < cached_input_channels_; ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          grad_passthrough.at4(n, c, y, x) = grad_output.at4(n, c, y, x);
+        }
+      }
+    }
+    for (std::size_t c = 0; c < body_channels; ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          grad_body.at4(n, c, y, x) = grad_output.at4(n, cached_input_channels_ + c, y, x);
+        }
+      }
+    }
+  }
+  for (std::size_t i = body_.size(); i-- > 0;) grad_body = body_[i]->backward(grad_body);
+  grad_body.add_scaled(grad_passthrough, 1.0f);
+  return grad_body;
+}
+
+std::vector<Param*> DenseConcat::parameters() {
+  std::vector<Param*> params;
+  for (auto& layer : body_) {
+    for (Param* param : layer->parameters()) params.push_back(param);
+  }
+  return params;
+}
+
+// -------------------------------------------------------------- Dropout ----
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(&rng) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0) return input;
+  mask_ = Tensor(input.shape());
+  Tensor output = input;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const bool keep = !rng_->bernoulli(rate_);
+    mask_[i] = keep ? keep_scale : 0.0f;
+    output[i] *= mask_[i];
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_training_ || rate_ == 0.0) return grad_output;
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i) grad_input[i] *= mask_[i];
+  return grad_input;
+}
+
+}  // namespace tradefl::fl

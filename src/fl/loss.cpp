@@ -1,0 +1,44 @@
+#include "fl/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tradefl::fl {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("loss: logits must be rank 2");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch) throw std::invalid_argument("loss: label count mismatch");
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total_loss = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (labels[n] >= classes) throw std::invalid_argument("loss: label out of range");
+    const float* row = logits.data() + n * classes;
+    float max_logit = row[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (row[c] > max_logit) {
+        max_logit = row[c];
+        argmax = c;
+      }
+    }
+    if (argmax == labels[n]) ++result.correct;
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) denom += std::exp(row[c] - max_logit);
+    const double log_denom = std::log(denom);
+    total_loss += -(row[labels[n]] - max_logit - log_denom);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p = std::exp(row[c] - max_logit) / denom;
+      result.grad.at2(n, c) =
+          (static_cast<float>(p) - (c == labels[n] ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  result.mean_loss = total_loss / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace tradefl::fl

@@ -1,0 +1,20 @@
+// Softmax cross-entropy loss over logits (Eq. 1's per-sample loss l(w, x)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/tensor.h"
+
+namespace tradefl::fl {
+
+struct LossResult {
+  double mean_loss = 0.0;
+  Tensor grad;          // d(mean loss)/d(logits), same shape as logits
+  std::size_t correct = 0;  // argmax == label count (for accuracy)
+};
+
+/// logits: (batch, classes); labels: batch entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace tradefl::fl

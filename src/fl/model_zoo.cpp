@@ -1,0 +1,144 @@
+#include "fl/model_zoo.h"
+
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace tradefl::fl {
+namespace {
+
+std::vector<LayerPtr> conv_relu(std::size_t in, std::size_t out, std::size_t kernel,
+                                std::size_t pad, Rng& rng) {
+  std::vector<LayerPtr> layers;
+  layers.push_back(std::make_unique<Conv2D>(in, out, kernel, 1, pad, 1, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  return layers;
+}
+
+void extend(Net& net, std::vector<LayerPtr> layers) {
+  for (auto& layer : layers) net.append(std::move(layer));
+}
+
+Net build_resnet18_lite(const ModelSpec& spec, Rng& rng) {
+  const std::size_t width = spec.base_width;
+  Net net;
+  extend(net, conv_relu(spec.channels, width, 3, 1, rng));
+  net.append(std::make_unique<MaxPool2D>());
+  for (int block = 0; block < 2; ++block) {
+    std::vector<LayerPtr> body;
+    body.push_back(std::make_unique<Conv2D>(width, width, 3, 1, 1, 1, rng));
+    body.push_back(std::make_unique<ReLU>());
+    auto last_conv = std::make_unique<Conv2D>(width, width, 3, 1, 1, 1, rng);
+    // Fixup-style: zero the residual branch's last conv so every block
+    // starts as the identity — keeps deep-ish stacks trainable without
+    // normalization layers.
+    for (Param* param : last_conv->parameters()) param->value.fill(0.0f);
+    body.push_back(std::move(last_conv));
+    net.append(std::make_unique<Residual>(std::move(body)));
+  }
+  net.append(std::make_unique<Flatten>());
+  const std::size_t spatial = (spec.height / 2) * (spec.width / 2);
+  net.append(std::make_unique<Dense>(width * spatial, spec.classes, rng));
+  return net;
+}
+
+Net build_alexnet_lite(const ModelSpec& spec, Rng& rng) {
+  const std::size_t width = spec.base_width;
+  Net net;
+  extend(net, conv_relu(spec.channels, width, 3, 1, rng));
+  net.append(std::make_unique<MaxPool2D>());
+  extend(net, conv_relu(width, width * 2, 3, 1, rng));
+  net.append(std::make_unique<MaxPool2D>());
+  net.append(std::make_unique<Flatten>());
+  const std::size_t spatial = (spec.height / 4) * (spec.width / 4);
+  net.append(std::make_unique<Dense>(width * 2 * spatial, 32, rng));
+  net.append(std::make_unique<ReLU>());
+  net.append(std::make_unique<Dense>(32, spec.classes, rng));
+  return net;
+}
+
+Net build_densenet_lite(const ModelSpec& spec, Rng& rng) {
+  const std::size_t width = spec.base_width;
+  const std::size_t growth = width / 2 == 0 ? 1 : width / 2;
+  Net net;
+  extend(net, conv_relu(spec.channels, width, 3, 1, rng));
+  net.append(std::make_unique<MaxPool2D>());
+  std::size_t channels = width;
+  for (int block = 0; block < 2; ++block) {
+    std::vector<LayerPtr> body;
+    body.push_back(std::make_unique<Conv2D>(channels, growth, 3, 1, 1, 1, rng));
+    body.push_back(std::make_unique<ReLU>());
+    net.append(std::make_unique<DenseConcat>(std::move(body)));
+    channels += growth;
+  }
+  net.append(std::make_unique<Flatten>());
+  const std::size_t spatial = (spec.height / 2) * (spec.width / 2);
+  net.append(std::make_unique<Dense>(channels * spatial, spec.classes, rng));
+  return net;
+}
+
+Net build_mobilenet_lite(const ModelSpec& spec, Rng& rng) {
+  const std::size_t width = spec.base_width;
+  Net net;
+  extend(net, conv_relu(spec.channels, width, 3, 1, rng));
+  net.append(std::make_unique<MaxPool2D>());
+  for (int block = 0; block < 2; ++block) {
+    // Depthwise 3x3 followed by pointwise 1x1 — the separable-conv motif.
+    net.append(std::make_unique<Conv2D>(width, width, 3, 1, 1, width, rng));
+    net.append(std::make_unique<ReLU>());
+    net.append(std::make_unique<Conv2D>(width, width, 1, 1, 0, 1, rng));
+    net.append(std::make_unique<ReLU>());
+  }
+  net.append(std::make_unique<Flatten>());
+  const std::size_t spatial = (spec.height / 2) * (spec.width / 2);
+  net.append(std::make_unique<Dense>(width * spatial, spec.classes, rng));
+  return net;
+}
+
+Net build_mlp(const ModelSpec& spec, Rng& rng) {
+  Net net;
+  net.append(std::make_unique<Flatten>());
+  const std::size_t features = spec.channels * spec.height * spec.width;
+  net.append(std::make_unique<Dense>(features, 32, rng));
+  net.append(std::make_unique<ReLU>());
+  net.append(std::make_unique<Dense>(32, spec.classes, rng));
+  return net;
+}
+
+}  // namespace
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet18Lite: return "ResNet18-lite";
+    case ModelKind::kAlexNetLite: return "AlexNet-lite";
+    case ModelKind::kDenseNetLite: return "DenseNet-lite";
+    case ModelKind::kMobileNetLite: return "MobileNet-lite";
+    case ModelKind::kMlp: return "MLP";
+  }
+  return "?";
+}
+
+ModelKind model_kind_from_string(const std::string& text) {
+  const std::string lowered = to_lower(text);
+  if (lowered == "resnet18" || lowered == "resnet") return ModelKind::kResNet18Lite;
+  if (lowered == "alexnet") return ModelKind::kAlexNetLite;
+  if (lowered == "densenet") return ModelKind::kDenseNetLite;
+  if (lowered == "mobilenet") return ModelKind::kMobileNetLite;
+  if (lowered == "mlp") return ModelKind::kMlp;
+  throw std::invalid_argument("unknown model kind: " + text);
+}
+
+Net build_model(const ModelSpec& spec) {
+  if (spec.classes < 2) throw std::invalid_argument("model: need >= 2 classes");
+  Rng rng(spec.seed);
+  switch (spec.kind) {
+    case ModelKind::kResNet18Lite: return build_resnet18_lite(spec, rng);
+    case ModelKind::kAlexNetLite: return build_alexnet_lite(spec, rng);
+    case ModelKind::kDenseNetLite: return build_densenet_lite(spec, rng);
+    case ModelKind::kMobileNetLite: return build_mobilenet_lite(spec, rng);
+    case ModelKind::kMlp: return build_mlp(spec, rng);
+  }
+  throw std::invalid_argument("model: unknown kind");
+}
+
+}  // namespace tradefl::fl

@@ -1,0 +1,43 @@
+// Lite variants of the four architectures the paper's Fig. 2 / Figs. 13-15
+// evaluate (ResNet-18, AlexNet, DenseNet, MobileNet), scaled to laptop size
+// while keeping each family's structural idea:
+//  * resnet18_lite  — conv stem + two identity residual blocks;
+//  * alexnet_lite   — plain conv/pool stack with a wide dense head;
+//  * densenet_lite  — two dense-concat growth blocks;
+//  * mobilenet_lite — depthwise-separable convolutions;
+//  * mlp            — small baseline used by fast tests.
+// See DESIGN.md §2 for why lite variants preserve the paper's comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fl/net.h"
+
+namespace tradefl::fl {
+
+enum class ModelKind { kResNet18Lite, kAlexNetLite, kDenseNetLite, kMobileNetLite, kMlp };
+
+const char* model_name(ModelKind kind);
+
+/// Parses "resnet18" / "alexnet" / "densenet" / "mobilenet" / "mlp".
+ModelKind model_kind_from_string(const std::string& text);
+
+struct ModelSpec {
+  ModelKind kind = ModelKind::kMlp;
+  std::size_t channels = 1;
+  std::size_t height = 12;
+  std::size_t width = 12;
+  std::size_t classes = 10;
+  std::uint64_t seed = 1;
+
+  /// Width multiplier for the conv backbones (1 = default lite size).
+  std::size_t base_width = 10;
+};
+
+/// Builds an initialized network for the spec. All models accept
+/// (batch, channels, height, width) inputs and emit (batch, classes) logits;
+/// the MLP flattens internally.
+Net build_model(const ModelSpec& spec);
+
+}  // namespace tradefl::fl

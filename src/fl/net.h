@@ -1,0 +1,46 @@
+// Sequential network container plus flat weight-vector (de)serialization —
+// the interface FedAvg aggregation works against (Eq. 3 averages weight
+// vectors across organizations).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/layers.h"
+
+namespace tradefl::fl {
+
+class Net {
+ public:
+  Net() = default;
+  explicit Net(std::vector<LayerPtr> layers);
+
+  void append(LayerPtr layer);
+
+  /// Forward pass through all layers.
+  Tensor forward(const Tensor& input, bool training);
+
+  /// Backward pass; call after forward(…, training = true).
+  void backward(const Tensor& grad_output);
+
+  [[nodiscard]] std::vector<Param*> parameters();
+  void zero_grad();
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t parameter_count();
+
+  /// Copies all parameter values into one flat vector (layer order).
+  [[nodiscard]] std::vector<float> weights();
+
+  /// Loads a flat vector produced by weights() from an identical topology.
+  void set_weights(const std::vector<float>& flat);
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] std::string summary();
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace tradefl::fl

@@ -1,0 +1,40 @@
+#include "fl/optimizer.h"
+
+#include <stdexcept>
+
+namespace tradefl::fl {
+
+Sgd::Sgd(SgdOptions options) : options_(options) {
+  if (options_.learning_rate <= 0.0) throw std::invalid_argument("sgd: lr must be > 0");
+  if (options_.momentum < 0.0 || options_.momentum >= 1.0) {
+    throw std::invalid_argument("sgd: momentum must be in [0, 1)");
+  }
+  if (options_.weight_decay < 0.0) throw std::invalid_argument("sgd: weight_decay must be >= 0");
+}
+
+void Sgd::step(const std::vector<Param*>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), {});
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      velocity_[p].assign(params[p]->value.size(), 0.0f);
+    }
+  }
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Param& param = *params[p];
+    if (velocity_[p].size() != param.value.size()) {
+      throw std::invalid_argument("sgd: parameter shape changed between steps");
+    }
+    for (std::size_t i = 0; i < param.value.size(); ++i) {
+      const float g = param.grad[i] + wd * param.value[i];
+      velocity_[p][i] = mu * velocity_[p][i] + g;
+      param.value[i] -= lr * velocity_[p][i];
+    }
+  }
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+}  // namespace tradefl::fl

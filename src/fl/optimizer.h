@@ -1,0 +1,35 @@
+// Stochastic gradient descent with momentum and weight decay — the local
+// training rule each organization runs (Sec. III-B, phase 2).
+#pragma once
+
+#include <vector>
+
+#include "fl/layers.h"
+
+namespace tradefl::fl {
+
+struct SgdOptions {
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdOptions options = {});
+
+  /// Applies one update to the given parameters from their .grad members.
+  /// Velocity buffers are keyed by position, so pass the same parameter list
+  /// every step.
+  void step(const std::vector<Param*>& params);
+
+  void reset();
+
+  [[nodiscard]] const SgdOptions& options() const { return options_; }
+
+ private:
+  SgdOptions options_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace tradefl::fl

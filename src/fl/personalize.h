@@ -1,0 +1,44 @@
+// Personalization — the paper's stated future work (Sec. VII: "we will
+// further consider personalizing the global model assigned to organizations
+// to meet their individual needs"). Implemented as local fine-tuning: each
+// organization copies the trained global weights and continues SGD on its own
+// contributed subset, yielding a per-organization model that trades global
+// generalization for local fit.
+#pragma once
+
+#include "fl/fedavg.h"
+
+namespace tradefl::fl {
+
+struct PersonalizeOptions {
+  std::size_t epochs = 2;        // local fine-tuning passes
+  std::size_t batch_size = 32;
+  SgdOptions sgd{0.005, 0.9, 1e-4};  // gentler than global training
+  std::uint64_t shuffle_seed = 17;
+};
+
+struct PersonalizedModel {
+  std::size_t client_index = 0;
+  std::vector<float> weights;
+  double local_accuracy = 0.0;   // on the client's own (held-in) data
+  double global_accuracy = 0.0;  // on the shared test set
+};
+
+struct PersonalizeResult {
+  std::vector<PersonalizedModel> models;
+  double mean_local_accuracy = 0.0;
+  double mean_global_accuracy = 0.0;
+  double global_model_accuracy = 0.0;  // un-personalized baseline on the test set
+};
+
+/// Fine-tunes the trained global model (from `federated.final_weights`) for
+/// every client with a non-empty contribution. Clients with zero contributed
+/// samples keep the plain global model (they could not personalize — and per
+/// Sec. III-A they would not have received the model at all).
+PersonalizeResult personalize(const ModelSpec& model_spec,
+                              const FedAvgResult& federated,
+                              const std::vector<FedClient>& clients,
+                              const Dataset& test_set,
+                              const PersonalizeOptions& options = {});
+
+}  // namespace tradefl::fl

@@ -1,0 +1,106 @@
+#include "fl/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace tradefl::fl {
+namespace {
+
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+  std::size_t count = 1;
+  for (std::size_t dim : shape) {
+    if (dim == 0) throw std::invalid_argument("tensor: zero dimension");
+    count *= dim;
+  }
+  return count;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(element_count(shape_), fill) {}
+
+Tensor Tensor::from_values(std::vector<std::size_t> shape, std::vector<float> values) {
+  Tensor tensor;
+  if (element_count(shape) != values.size()) {
+    throw std::invalid_argument("tensor: value count does not match shape");
+  }
+  tensor.shape_ = std::move(shape);
+  tensor.data_ = std::move(values);
+  return tensor;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) throw std::out_of_range("tensor: axis out of range");
+  return shape_[axis];
+}
+
+float& Tensor::at2(std::size_t row, std::size_t col) {
+  if (rank() != 2) throw std::invalid_argument("tensor: at2 needs rank 2, have " + shape_string());
+  return data_[row * shape_[1] + col];
+}
+
+float Tensor::at2(std::size_t row, std::size_t col) const {
+  if (rank() != 2) throw std::invalid_argument("tensor: at2 needs rank 2, have " + shape_string());
+  return data_[row * shape_[1] + col];
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 4) throw std::invalid_argument("tensor: at4 needs rank 4, have " + shape_string());
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  if (rank() != 4) throw std::invalid_argument("tensor: at4 needs rank 4, have " + shape_string());
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void Tensor::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (element_count(new_shape) != data_.size()) {
+    throw std::invalid_argument("tensor: reshape element count mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::add_scaled(const Tensor& other, float factor) {
+  if (!same_shape(other)) throw std::invalid_argument("tensor: add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+}
+
+void Tensor::scale(float factor) {
+  for (float& x : data_) x *= factor;
+}
+
+float Tensor::sum() const {
+  double total = 0.0;
+  for (float x : data_) total += x;
+  return static_cast<float>(total);
+}
+
+float Tensor::max_abs() const {
+  float best = 0.0f;
+  for (float x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << 'x';
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace tradefl::fl

@@ -1,0 +1,61 @@
+// Minimal dense float tensor for the federated-learning substrate. Row-major,
+// value semantics, shape checked at every op. Deliberately simple: the lite
+// models in this repo are small enough that clarity beats BLAS.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tradefl::fl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  [[nodiscard]] static Tensor from_values(std::vector<std::size_t> shape,
+                                          std::vector<float> values);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const;
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  float& operator[](std::size_t flat_index) { return data_[flat_index]; }
+  float operator[](std::size_t flat_index) const { return data_[flat_index]; }
+
+  /// 2-D accessors (rows x cols); throws unless rank() == 2.
+  float& at2(std::size_t row, std::size_t col);
+  [[nodiscard]] float at2(std::size_t row, std::size_t col) const;
+
+  /// 4-D accessors (n, c, h, w); throws unless rank() == 4.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  void fill(float value);
+  [[nodiscard]] bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reinterprets the layout with a new shape of identical element count.
+  [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// Elementwise in-place: this += factor * other. Shapes must match.
+  void add_scaled(const Tensor& other, float factor);
+
+  /// Elementwise in-place scale.
+  void scale(float factor);
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float max_abs() const;
+
+  [[nodiscard]] std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tradefl::fl

@@ -1,0 +1,120 @@
+#include "game/competition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tradefl::game {
+
+CompetitionMatrix::CompetitionMatrix(std::size_t n) : n_(n), rho_(n * n, 0.0) {}
+
+CompetitionMatrix CompetitionMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  CompetitionMatrix m(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != rows.size()) {
+      throw std::invalid_argument("competition: matrix must be square");
+    }
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (i == j && rows[i][j] != 0.0) {
+        throw std::invalid_argument("competition: diagonal must be zero");
+      }
+      m.set(i, j, rows[i][j]);
+    }
+  }
+  return m;
+}
+
+CompetitionMatrix CompetitionMatrix::random_symmetric(std::size_t n, double mean, Rng& rng) {
+  if (mean < 0.0 || mean > 1.0) {
+    throw std::invalid_argument("competition: mean must lie in [0, 1]");
+  }
+  CompetitionMatrix m(n);
+  const double sigma = mean / 5.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double value =
+          mean == 0.0 ? 0.0 : rng.truncated_normal(mean, sigma, 0.0, 1.0);
+      m.set(i, j, value);
+      m.set(j, i, value);
+    }
+  }
+  return m;
+}
+
+void CompetitionMatrix::set(OrgId i, OrgId j, double value) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("competition: index out of range");
+  if (i == j && value != 0.0) throw std::invalid_argument("competition: diagonal must stay zero");
+  if (value < 0.0 || value > 1.0) throw std::invalid_argument("competition: rho must be in [0,1]");
+  rho_[i * n_ + j] = value;
+}
+
+bool CompetitionMatrix::is_symmetric(double tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (std::abs(at(i, j) - at(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double CompetitionMatrix::row_sum(OrgId i) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) total += at(i, j);
+  return total;
+}
+
+double CompetitionMatrix::weighted_row_sum(OrgId i, const std::vector<double>& weights) const {
+  if (weights.size() != n_) throw std::invalid_argument("competition: weights size mismatch");
+  double total = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) total += at(i, j) * weights[j];
+  return total;
+}
+
+void CompetitionMatrix::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("competition: negative scale");
+  for (double& value : rho_) value = std::clamp(value * factor, 0.0, 1.0);
+}
+
+double CompetitionMatrix::off_diagonal_mean() const {
+  if (n_ < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i != j) total += at(i, j);
+    }
+  }
+  return total / static_cast<double>(n_ * (n_ - 1));
+}
+
+std::vector<double> potential_weights(const CompetitionMatrix& rho,
+                                      const std::vector<double>& profitability) {
+  if (profitability.size() != rho.size()) {
+    throw std::invalid_argument("potential_weights: profitability size mismatch");
+  }
+  std::vector<double> z(rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    z[i] = profitability[i] - rho.weighted_row_sum(i, profitability);
+  }
+  return z;
+}
+
+double enforce_positive_weights(CompetitionMatrix& rho,
+                                const std::vector<double>& profitability,
+                                double margin) {
+  if (!(margin > 0.0 && margin < 1.0)) {
+    throw std::invalid_argument("enforce_positive_weights: margin must be in (0,1)");
+  }
+  const std::vector<double> z = potential_weights(rho, profitability);
+  double worst_ratio = 1.0;  // smallest z_i / p_i observed
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    worst_ratio = std::min(worst_ratio, z[i] / profitability[i]);
+  }
+  if (worst_ratio >= margin) return 1.0;
+  // z_i/p_i = 1 - (Σ ρ_{i,j} p_j)/p_i is affine in a uniform ρ scale s:
+  // ratio(s) = 1 - s * (1 - ratio(1)). Solve ratio(s) = margin.
+  const double scale_factor = (1.0 - margin) / (1.0 - worst_ratio);
+  rho.scale(scale_factor);
+  return scale_factor;
+}
+
+}  // namespace tradefl::game

@@ -1,0 +1,65 @@
+// Competition intensity matrix ρ (Sec. III-C.2). ρ_{i,j} in [0,1] measures
+// the similarity of organizations i and j's products; ρ_{i,i} = 0. The
+// simulations draw ρ_{i,j} ~ N(μ, (μ/5)^2) symmetric (Sec. VI, Figs. 10-11),
+// and Theorem 1 requires ρ small enough that z_i = p_i - Σ_j ρ_{i,j} p_j > 0
+// ("ρ_{i,j} is mapped to a small number to ensure z_i > 0").
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace tradefl::game {
+
+class CompetitionMatrix {
+ public:
+  CompetitionMatrix() = default;
+
+  /// Builds an all-zeros (no-competition) matrix.
+  explicit CompetitionMatrix(std::size_t n);
+
+  /// Builds from an explicit row-major matrix; validates shape, a zero
+  /// diagonal, and entries in [0, 1]. Throws std::invalid_argument otherwise.
+  static CompetitionMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Draws a symmetric matrix with off-diagonal entries
+  /// ρ_{i,j} ~ N(mean, (mean/5)^2) truncated to [0, 1].
+  static CompetitionMatrix random_symmetric(std::size_t n, double mean, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double at(OrgId i, OrgId j) const { return rho_[i * n_ + j]; }
+  void set(OrgId i, OrgId j, double value);
+
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+  /// Σ_j ρ_{i,j} — total competitive exposure of organization i.
+  [[nodiscard]] double row_sum(OrgId i) const;
+
+  /// Σ_j ρ_{i,j} w_j for arbitrary weights (used for Σ_j ρ_{i,j} p_j).
+  [[nodiscard]] double weighted_row_sum(OrgId i, const std::vector<double>& weights) const;
+
+  /// Uniformly rescales all entries by `factor` (clamped to keep entries in
+  /// [0, 1]). Used by the z_i > 0 guard.
+  void scale(double factor);
+
+  /// Mean of the off-diagonal entries (μ of Figs. 10-11).
+  [[nodiscard]] double off_diagonal_mean() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> rho_;
+};
+
+/// z_i = p_i - Σ_j ρ_{i,j} p_j for every organization (Theorem 1).
+std::vector<double> potential_weights(const CompetitionMatrix& rho,
+                                      const std::vector<double>& profitability);
+
+/// Theorem 1's guard: if any z_i <= margin * p_i, rescale ρ uniformly so that
+/// min_i z_i = margin * p_i. Returns the scale factor applied (1.0 when no
+/// rescale was needed).
+double enforce_positive_weights(CompetitionMatrix& rho,
+                                const std::vector<double>& profitability,
+                                double margin = 0.05);
+
+}  // namespace tradefl::game

@@ -1,0 +1,230 @@
+#include "game/game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/scalar_opt.h"
+
+namespace tradefl::game {
+
+CoopetitionGame::CoopetitionGame(std::vector<Organization> orgs, CompetitionMatrix rho,
+                                 AccuracyModelPtr accuracy, GameParams params)
+    : orgs_(std::move(orgs)),
+      rho_(std::move(rho)),
+      accuracy_(std::move(accuracy)),
+      params_(params) {
+  if (orgs_.empty()) throw std::invalid_argument("game: need at least one organization");
+  if (rho_.size() != orgs_.size()) throw std::invalid_argument("game: rho size mismatch");
+  if (!accuracy_) throw std::invalid_argument("game: accuracy model required");
+  if (auto status = params_.validate(); !status.ok()) {
+    throw std::invalid_argument("game: " + status.error().to_string());
+  }
+  for (const auto& org : orgs_) {
+    if (!org.is_valid()) throw std::invalid_argument("game: invalid organization " + org.name);
+  }
+  std::vector<double> profitability(orgs_.size());
+  for (std::size_t i = 0; i < orgs_.size(); ++i) profitability[i] = orgs_[i].profitability;
+  rho_guard_scale_ = enforce_positive_weights(rho_, profitability);
+  z_ = potential_weights(rho_, profitability);
+}
+
+Hertz CoopetitionGame::frequency(OrgId i, const Strategy& strategy) const {
+  return orgs_.at(i).freq_levels.at(strategy.freq_index);
+}
+
+double CoopetitionGame::contribution_weight(OrgId i) const {
+  return orgs_.at(i).data_size_bits / params_.data_scale;
+}
+
+double CoopetitionGame::omega(const StrategyProfile& profile) const {
+  if (profile.size() != orgs_.size()) throw std::invalid_argument("game: profile size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    total += profile[i].data_fraction * contribution_weight(i);
+  }
+  return total;
+}
+
+double CoopetitionGame::omega_excluding(const StrategyProfile& profile, OrgId excluded) const {
+  const double rest =
+      omega(profile) - profile.at(excluded).data_fraction * contribution_weight(excluded);
+  return std::max(0.0, rest);  // guard against floating-point cancellation
+}
+
+double CoopetitionGame::performance(const StrategyProfile& profile) const {
+  return accuracy_->performance(omega(profile));
+}
+
+double CoopetitionGame::revenue(OrgId i, const StrategyProfile& profile) const {
+  return orgs_.at(i).profitability * performance(profile);
+}
+
+double CoopetitionGame::competitor_profit(OrgId i, OrgId j,
+                                          const StrategyProfile& profile) const {
+  // ϖ_j = p_j [P(d_i, d_-i) - P(0, d_-i)] (Eq. 6): j's extra profit due to
+  // i's marginal contribution to the global model.
+  const double with_i = accuracy_->performance(omega(profile));
+  const double without_i = accuracy_->performance(omega_excluding(profile, i));
+  return orgs_.at(j).profitability * (with_i - without_i);
+}
+
+double CoopetitionGame::damage(OrgId i, const StrategyProfile& profile) const {
+  const double with_i = accuracy_->performance(omega(profile));
+  const double without_i = accuracy_->performance(omega_excluding(profile, i));
+  const double marginal = with_i - without_i;
+  // Σ_j ρ_{i,j} p_j marginal (Eq. 7), hoisting the shared marginal factor.
+  double weighted_profitability = 0.0;
+  for (std::size_t j = 0; j < orgs_.size(); ++j) {
+    weighted_profitability += rho_.at(i, j) * orgs_[j].profitability;
+  }
+  return weighted_profitability * marginal;
+}
+
+Joules CoopetitionGame::energy(OrgId i, const StrategyProfile& profile) const {
+  const Organization& org = orgs_.at(i);
+  const Strategy& strategy = profile.at(i);
+  return org.comp_energy(strategy.data_fraction, frequency(i, strategy), params_.kappa) +
+         org.comm_energy();
+}
+
+double CoopetitionGame::redistribution_pair(OrgId i, OrgId j,
+                                            const StrategyProfile& profile) const {
+  if (i == j) return 0.0;
+  // r_{i,j} = γ ρ_{i,j} [(d_i s_i + λ f_i) - (d_j s_j + λ f_j)] (Eq. 9).
+  const double contribution_i = profile.at(i).data_fraction * orgs_.at(i).data_size_bits +
+                                params_.lambda * frequency(i, profile.at(i));
+  const double contribution_j = profile.at(j).data_fraction * orgs_.at(j).data_size_bits +
+                                params_.lambda * frequency(j, profile.at(j));
+  return params_.gamma * rho_.at(i, j) * (contribution_i - contribution_j);
+}
+
+double CoopetitionGame::redistribution(OrgId i, const StrategyProfile& profile) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < orgs_.size(); ++j) {
+    if (j != i) total += redistribution_pair(i, j, profile);
+  }
+  return total;
+}
+
+PayoffBreakdown CoopetitionGame::payoff_breakdown(OrgId i, const StrategyProfile& profile) const {
+  PayoffBreakdown breakdown;
+  breakdown.revenue = revenue(i, profile);
+  breakdown.energy_cost = params_.omega_e * energy(i, profile);
+  breakdown.damage = damage(i, profile);
+  breakdown.redistribution = redistribution(i, profile);
+  return breakdown;
+}
+
+double CoopetitionGame::payoff(OrgId i, const StrategyProfile& profile) const {
+  return payoff_breakdown(i, profile).total();
+}
+
+double CoopetitionGame::social_welfare(const StrategyProfile& profile) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < orgs_.size(); ++i) total += payoff(i, profile);
+  return total;
+}
+
+double CoopetitionGame::total_damage(const StrategyProfile& profile) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < orgs_.size(); ++i) total += damage(i, profile);
+  return total;
+}
+
+double CoopetitionGame::total_data_fraction(const StrategyProfile& profile) const {
+  double total = 0.0;
+  for (const Strategy& strategy : profile) total += strategy.data_fraction;
+  return total;
+}
+
+double CoopetitionGame::data_upper_bound(OrgId i, std::size_t freq_index) const {
+  const Organization& org = orgs_.at(i);
+  const double deadline_bound =
+      org.max_data_fraction_for_deadline(org.freq_levels.at(freq_index), params_.tau);
+  return std::min(1.0, deadline_bound);
+}
+
+std::vector<std::size_t> CoopetitionGame::feasible_freq_levels(OrgId i) const {
+  std::vector<std::size_t> levels;
+  for (std::size_t level = 0; level < orgs_.at(i).freq_levels.size(); ++level) {
+    if (data_upper_bound(i, level) >= params_.d_min) levels.push_back(level);
+  }
+  return levels;
+}
+
+bool CoopetitionGame::is_feasible(const StrategyProfile& profile) const {
+  return feasibility_report(profile).empty();
+}
+
+std::string CoopetitionGame::feasibility_report(const StrategyProfile& profile) const {
+  std::ostringstream report;
+  if (profile.size() != orgs_.size()) {
+    report << "profile size " << profile.size() << " != organizations " << orgs_.size();
+    return report.str();
+  }
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const Strategy& strategy = profile[i];
+    const Organization& org = orgs_[i];
+    if (strategy.freq_index >= org.freq_levels.size()) {
+      report << org.name << ": freq index out of range; ";
+      continue;
+    }
+    if (strategy.data_fraction < params_.d_min - 1e-12 ||
+        strategy.data_fraction > 1.0 + 1e-12) {
+      report << org.name << ": d=" << strategy.data_fraction << " outside [D_min, 1]; ";
+    }
+    const Seconds round = org.round_time(strategy.data_fraction, frequency(i, strategy));
+    if (round > params_.tau + 1e-9) {
+      report << org.name << ": round time " << round << "s exceeds tau=" << params_.tau << "; ";
+    }
+  }
+  return report.str();
+}
+
+StrategyProfile CoopetitionGame::minimal_profile() const {
+  StrategyProfile profile(orgs_.size());
+  for (std::size_t i = 0; i < orgs_.size(); ++i) {
+    const std::vector<std::size_t> levels = feasible_freq_levels(i);
+    if (levels.empty()) {
+      throw std::runtime_error("game: organization " + orgs_[i].name +
+                               " cannot meet the deadline even at d = D_min");
+    }
+    profile[i].data_fraction = params_.d_min;
+    profile[i].freq_index = levels.back();  // fastest feasible level
+  }
+  return profile;
+}
+
+double CoopetitionGame::max_unilateral_gain(const StrategyProfile& profile,
+                                            std::size_t grid) const {
+  double worst_gain = 0.0;
+  for (std::size_t i = 0; i < orgs_.size(); ++i) {
+    const double current = payoff(i, profile);
+    StrategyProfile trial = profile;
+    for (std::size_t level : feasible_freq_levels(i)) {
+      const double upper = data_upper_bound(i, level);
+      trial[i].freq_index = level;
+      // Continuous 1-D search (payoff is concave in d_i for Eq. 5 models).
+      auto payoff_at = [&](double d) {
+        trial[i].data_fraction = d;
+        return payoff(i, trial);
+      };
+      const auto best = tradefl::math::golden_section_maximize(
+          payoff_at, params_.d_min, upper, 1e-10);
+      worst_gain = std::max(worst_gain, best.value - current);
+      // Plus a uniform grid (catches non-concavity in exotic models).
+      for (std::size_t g = 0; g <= grid; ++g) {
+        const double d = params_.d_min + (upper - params_.d_min) *
+                                             static_cast<double>(g) /
+                                             static_cast<double>(grid);
+        worst_gain = std::max(worst_gain, payoff_at(d) - current);
+      }
+    }
+    trial[i] = profile[i];
+  }
+  return worst_gain;
+}
+
+}  // namespace tradefl::game

@@ -1,0 +1,146 @@
+#include "game/game_factory.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "math/grid.h"
+
+namespace tradefl::game {
+
+CoopetitionGame make_experiment_game(const ExperimentSpec& spec, std::uint64_t seed) {
+  if (spec.org_count == 0) throw std::invalid_argument("experiment: need >= 1 organization");
+  Rng rng(seed);
+  std::vector<Organization> orgs;
+  orgs.reserve(spec.org_count);
+  for (std::size_t i = 0; i < spec.org_count; ++i) {
+    Organization org;
+    org.name = "org-" + std::to_string(i);
+    org.data_size_bits = rng.uniform(spec.data_bits_lo, spec.data_bits_hi);
+    org.sample_count = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(spec.samples_lo),
+                        static_cast<std::int64_t>(spec.samples_hi)));
+    org.profitability = rng.uniform(spec.profitability_lo, spec.profitability_hi);
+    org.cycles_per_bit = rng.uniform(spec.cycles_per_bit_lo, spec.cycles_per_bit_hi);
+    const double f_max = rng.uniform(spec.fmax_lo, spec.fmax_hi);
+    org.freq_levels = tradefl::math::linspace(spec.freq_base, f_max, spec.freq_levels);
+    org.download_time = rng.uniform(spec.comm_time_lo, spec.comm_time_hi);
+    org.upload_time = rng.uniform(spec.comm_time_lo, spec.comm_time_hi);
+    org.e_download_per_s = spec.comm_energy_per_s;
+    org.e_upload_per_s = spec.comm_energy_per_s;
+    orgs.push_back(std::move(org));
+  }
+  CompetitionMatrix rho =
+      CompetitionMatrix::random_symmetric(spec.org_count, spec.rho_mean, rng);
+  auto accuracy =
+      std::make_shared<const SqrtAccuracyModel>(spec.params.epochs_g, spec.params.a0);
+  return CoopetitionGame(std::move(orgs), std::move(rho), std::move(accuracy), spec.params);
+}
+
+CoopetitionGame make_default_game(std::uint64_t seed) {
+  return make_experiment_game(ExperimentSpec{}, seed);
+}
+
+CoopetitionGame make_toy_game(double gamma, double rho_mean) {
+  std::vector<Organization> orgs(3);
+  orgs[0].name = "alpha";
+  orgs[0].data_size_bits = 20e9;
+  orgs[0].sample_count = 1500;
+  orgs[0].profitability = 2000.0;
+  orgs[0].cycles_per_bit = 20.0;
+  orgs[1].name = "bravo";
+  orgs[1].data_size_bits = 16e9;
+  orgs[1].sample_count = 1200;
+  orgs[1].profitability = 1200.0;
+  orgs[1].cycles_per_bit = 18.0;
+  orgs[2].name = "carol";
+  orgs[2].data_size_bits = 24e9;
+  orgs[2].sample_count = 1800;
+  orgs[2].profitability = 900.0;
+  orgs[2].cycles_per_bit = 22.0;
+
+  CompetitionMatrix rho(3);
+  for (OrgId i = 0; i < 3; ++i) {
+    for (OrgId j = 0; j < 3; ++j) {
+      if (i != j) rho.set(i, j, rho_mean);
+    }
+  }
+  GameParams params;
+  params.gamma = gamma;
+  auto accuracy = std::make_shared<const SqrtAccuracyModel>(params.epochs_g, params.a0);
+  return CoopetitionGame(std::move(orgs), std::move(rho), std::move(accuracy), params);
+}
+
+Result<CoopetitionGame> game_from_config(const Config& config) {
+  const std::size_t n = static_cast<std::size_t>(config.get_int("orgs", 0));
+  if (n < 2) return Error{"game_config", "need orgs >= 2"};
+
+  GameParams params;
+  try {
+    params.gamma = config.get_double("gamma", params.gamma);
+    params.lambda = config.get_double("lambda", params.lambda);
+    params.omega_e = config.get_double("omega_e", params.omega_e);
+    params.tau = config.get_double("tau", params.tau);
+    params.d_min = config.get_double("d_min", params.d_min);
+    params.a0 = config.get_double("a0", params.a0);
+    params.epochs_g = config.get_double("epochs_g", params.epochs_g);
+  } catch (const std::invalid_argument& error) {
+    return Error{"game_config", error.what()};
+  }
+  if (auto status = params.validate(); !status.ok()) return status.error();
+
+  std::vector<Organization> orgs(n);
+  CompetitionMatrix rho(n);
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string prefix = "org." + std::to_string(i) + ".";
+      Organization& org = orgs[i];
+      org.name = config.get_string(prefix + "name", "org-" + std::to_string(i));
+      org.data_size_bits = config.get_double(prefix + "s_bits", org.data_size_bits);
+      org.sample_count = static_cast<std::size_t>(
+          config.get_int(prefix + "samples", static_cast<std::int64_t>(org.sample_count)));
+      org.profitability = config.get_double(prefix + "p", org.profitability);
+      org.cycles_per_bit = config.get_double(prefix + "eta", org.cycles_per_bit);
+      org.download_time = config.get_double(prefix + "t_down", org.download_time);
+      org.upload_time = config.get_double(prefix + "t_up", org.upload_time);
+      if (const auto freqs = config.get(prefix + "freqs")) {
+        std::vector<double> levels;
+        for (const std::string& piece : split(*freqs, ',')) {
+          std::size_t consumed = 0;
+          const std::string token = trim(piece);
+          const double value = std::stod(token, &consumed);
+          if (consumed != token.size()) {
+            return Error{"game_config", prefix + "freqs: bad number '" + token + "'"};
+          }
+          levels.push_back(value);
+        }
+        org.freq_levels = std::move(levels);
+      }
+      if (!org.is_valid()) {
+        return Error{"game_config", "organization " + org.name + " is invalid"};
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const std::string key = "rho." + std::to_string(i) + "." + std::to_string(j);
+        const double value = config.get_double(key, 0.0);
+        if (value < 0.0 || value > 1.0) {
+          return Error{"game_config", key + " outside [0, 1]"};
+        }
+        rho.set(i, j, value);
+      }
+    }
+  } catch (const std::exception& error) {
+    return Error{"game_config", error.what()};
+  }
+
+  auto accuracy = std::make_shared<const SqrtAccuracyModel>(params.epochs_g, params.a0);
+  try {
+    return CoopetitionGame(std::move(orgs), std::move(rho), std::move(accuracy), params);
+  } catch (const std::exception& error) {
+    return Error{"game_config", error.what()};
+  }
+}
+
+}  // namespace tradefl::game

@@ -1,0 +1,59 @@
+// Builders for the experiment configurations of Sec. VI (Table II): seeded
+// random games with the paper's parameter ranges, plus small hand-built games
+// for unit tests and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "game/game.h"
+
+namespace tradefl::game {
+
+/// Knobs for the Table-II generator. Every field has the paper's default.
+struct ExperimentSpec {
+  std::size_t org_count = 10;       // |N|
+  double data_bits_lo = 15e9;       // s_i ~ U[15, 25] * 1e9 bits
+  double data_bits_hi = 25e9;
+  std::size_t samples_lo = 1000;    // |S_i| ~ U[1000, 2000]
+  std::size_t samples_hi = 2000;
+  double profitability_lo = 500.0;  // p_i ~ U[500, 2500]
+  double profitability_hi = 2500.0;
+  // Table II specifies F_i^(m) (the fastest level) in 3-5 GHz; each org's m
+  // levels span linearly from freq_base up to its drawn F_i^(m).
+  double freq_base = 1.5e9;
+  double fmax_lo = 3e9;
+  double fmax_hi = 5e9;
+  std::size_t freq_levels = 3;      // m
+  double cycles_per_bit_lo = 8.0;   // η_i ~ U[8, 12]
+  double cycles_per_bit_hi = 12.0;
+  double comm_time_lo = 1.0;        // T^(1), T^(3) ~ U[1, 3] s
+  double comm_time_hi = 3.0;
+  double comm_energy_per_s = 1.0;   // E_DL = E_UL
+  double rho_mean = 0.05;           // μ of ρ ~ N(μ, (μ/5)²)
+  GameParams params{};              // γ, λ, ϖ_e, κ, τ, D_min, a0, G
+};
+
+/// Draws the organizations and ρ from `spec` with the given seed and builds
+/// the game with the footnote-7 SqrtAccuracyModel.
+CoopetitionGame make_experiment_game(const ExperimentSpec& spec, std::uint64_t seed);
+
+/// Convenience: default Table-II game.
+CoopetitionGame make_default_game(std::uint64_t seed = 42);
+
+/// A tiny deterministic 3-organization game with hand-set values; used by
+/// unit tests and the quickstart example so results are easy to reason about.
+CoopetitionGame make_toy_game(double gamma = 5.12e-9, double rho_mean = 0.05);
+
+/// Builds a fully explicit game from a flat key=value Config — the format
+/// the `tradefl` CLI loads from files. Keys:
+///   orgs = N                        (required, >= 2)
+///   gamma/lambda/omega_e/tau/d_min/a0/epochs_g   (optional GameParams)
+///   org.<i>.name / .s_bits / .samples / .p / .eta / .t_down / .t_up
+///   org.<i>.freqs = 1.5e9,3e9,5e9   (comma-separated ascending Hz)
+///   rho.<i>.<j> = 0.05              (defaults to 0; symmetric entries are
+///                                    NOT mirrored automatically)
+/// Unknown org fields fall back to Organization's defaults.
+Result<CoopetitionGame> game_from_config(const Config& config);
+
+}  // namespace tradefl::game

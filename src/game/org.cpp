@@ -1,0 +1,39 @@
+#include "game/org.h"
+
+#include <algorithm>
+
+namespace tradefl::game {
+
+Seconds Organization::local_training_time(double d, Hertz f) const {
+  return cycles_per_bit * d * data_size_bits / f;
+}
+
+Seconds Organization::round_time(double d, Hertz f) const {
+  return download_time + local_training_time(d, f) + upload_time;
+}
+
+Joules Organization::comm_energy() const {
+  return e_download_per_s * download_time + e_upload_per_s * upload_time;
+}
+
+Joules Organization::comp_energy(double d, Hertz f, double kappa) const {
+  return kappa * f * f * cycles_per_bit * d * data_size_bits;
+}
+
+double Organization::max_data_fraction_for_deadline(Hertz f, Seconds tau) const {
+  const Seconds compute_budget = tau - download_time - upload_time;
+  return compute_budget * f / (cycles_per_bit * data_size_bits);
+}
+
+bool Organization::is_valid() const {
+  if (data_size_bits <= 0.0 || sample_count == 0 || profitability <= 0.0) return false;
+  if (cycles_per_bit <= 0.0) return false;
+  if (freq_levels.empty()) return false;
+  if (!std::is_sorted(freq_levels.begin(), freq_levels.end())) return false;
+  if (freq_levels.front() <= 0.0) return false;
+  if (download_time < 0.0 || upload_time < 0.0) return false;
+  if (e_download_per_s < 0.0 || e_upload_per_s < 0.0) return false;
+  return true;
+}
+
+}  // namespace tradefl::game

@@ -1,0 +1,68 @@
+// Organization (silo) description — the per-player constants of Sec. III-A/B:
+// local data size s_i, sample count |S_i|, profitability p_i, compute
+// characteristics, and the fixed per-round communication times T^(1), T^(3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tradefl::game {
+
+// Re-export the shared aliases so dependents can say game::OrgId etc.
+using ::tradefl::Bits;
+using ::tradefl::Hertz;
+using ::tradefl::Joules;
+using ::tradefl::Money;
+using ::tradefl::OrgId;
+using ::tradefl::Seconds;
+
+struct Organization {
+  std::string name;
+
+  /// s_i — size of the local dataset in bits.
+  Bits data_size_bits = 20e9;
+
+  /// |S_i| — number of local data samples (used by the FL evaluation).
+  std::size_t sample_count = 1500;
+
+  /// p_i — profitability: revenue per unit of global-model performance.
+  double profitability = 1500.0;
+
+  /// η_i — CPU cycles required to process one bit of local data.
+  double cycles_per_bit = 20.0;
+
+  /// F_i^{(1..m)} — selectable CPU frequency levels in Hz, ascending.
+  std::vector<Hertz> freq_levels{3e9, 4e9, 5e9};
+
+  /// T_i^{(1)} / T_i^{(3)} — average model download / upload times (s).
+  Seconds download_time = 2.0;
+  Seconds upload_time = 2.0;
+
+  /// Energy drawn per second while downloading / uploading (E_DL, E_UL).
+  double e_download_per_s = 1.0;
+  double e_upload_per_s = 1.0;
+
+  /// T_i^{(2)}(d, f) = η_i d s_i / f — local training time (Eq. 2).
+  [[nodiscard]] Seconds local_training_time(double d, Hertz f) const;
+
+  /// Total per-round time T^(1) + T^(2) + T^(3).
+  [[nodiscard]] Seconds round_time(double d, Hertz f) const;
+
+  /// E_i^{comm} = E_DL T^(1) + E_UL T^(3) — communication energy (Sec. III-D).
+  [[nodiscard]] Joules comm_energy() const;
+
+  /// E_i^{comp}(d, f) = κ f^2 η_i d s_i — computation energy (Sec. III-D).
+  [[nodiscard]] Joules comp_energy(double d, Hertz f, double kappa) const;
+
+  /// Largest d meeting the deadline at frequency f: from C^(3),
+  /// d <= (τ - T^(1) - T^(3)) f / (η_i s_i). May be < 0 when even d = 0
+  /// misses the deadline.
+  [[nodiscard]] double max_data_fraction_for_deadline(Hertz f, Seconds tau) const;
+
+  /// Basic sanity checks (positive sizes, ascending frequency levels, ...).
+  [[nodiscard]] bool is_valid() const;
+};
+
+}  // namespace tradefl::game

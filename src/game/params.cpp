@@ -1,0 +1,24 @@
+#include "game/params.h"
+
+#include <string>
+
+namespace tradefl::game {
+
+Status GameParams::validate() const {
+  auto fail = [](const std::string& what) -> Status {
+    return Error{"params", what};
+  };
+  if (gamma < 0.0) return fail("gamma must be >= 0");
+  if (lambda <= 0.0) return fail("lambda must be > 0");
+  if (omega_e < 0.0) return fail("omega_e must be >= 0");
+  if (kappa <= 0.0) return fail("kappa must be > 0");
+  if (tau <= 0.0) return fail("tau must be > 0");
+  if (!(d_min > 0.0 && d_min <= 1.0)) return fail("d_min must lie in (0, 1]");
+  if (a0 <= 0.0) return fail("a0 must be > 0");
+  if (epochs_g <= 1.0) return fail("epochs_g must be > 1");
+  if (data_scale <= 0.0) return fail("data_scale must be > 0");
+  if (a0 <= 1.0 / epochs_g) return fail("a0 must exceed 1/G or P cannot be positive");
+  return ok_status();
+}
+
+}  // namespace tradefl::game

@@ -1,0 +1,48 @@
+// Global mechanism/game parameters (Table II plus the constants the paper
+// uses but does not tabulate). All defaults are calibrated so the default
+// 10-organization game lands in the regime of the paper's Figs. 4-12; see
+// DESIGN.md §3 and bench_calibration.
+#pragma once
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace tradefl::game {
+
+struct GameParams {
+  /// Incentive intensity γ — price of compensation per unit of contributed
+  /// resource difference (Eq. 9). The paper finds γ* ≈ 5.12e-9 optimal.
+  double gamma = 5.12e-9;
+
+  /// λ — scales computational resources f (Hz) into the same magnitude as
+  /// data contribution d·s (bits) inside the redistribution rule (Eq. 9).
+  double lambda = 2.0;
+
+  /// ϖ_e — weighting factor of the training overhead in the payoff (Eq. 11).
+  double omega_e = 0.05;
+
+  /// κ — effective capacitance of the computation chipset (Table II: 1e-27).
+  double kappa = 1e-27;
+
+  /// τ — training deadline in seconds (constraint C^(3)).
+  Seconds tau = 45.0;
+
+  /// D_min — minimum fraction of local data a participant must contribute.
+  double d_min = 0.01;
+
+  /// A(0) — accuracy loss of the untrained model (defines P via Eq. 4).
+  double a0 = 0.75;
+
+  /// G — number of training epochs in the accuracy-loss bound (footnote 7).
+  double epochs_g = 10.0;
+
+  /// Scale that converts contributed bits into the "effective data" units Ω
+  /// fed to the accuracy model (see DESIGN.md §3: raw bits would flatten the
+  /// marginal contribution of a single organization to machine epsilon).
+  double data_scale = 1e9;
+
+  /// Validates ranges (positivity, d_min in (0,1], ...).
+  [[nodiscard]] Status validate() const;
+};
+
+}  // namespace tradefl::game

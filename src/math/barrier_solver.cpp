@@ -1,0 +1,205 @@
+#include "math/barrier_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace tradefl::math {
+namespace {
+
+constexpr double kFeasibilityMargin = 1e-9;
+
+/// Barrier value of phi_t at d; +inf when d leaves the strict interior.
+double barrier_phi(const SmoothObjective& objective, const BoxBounds& box,
+                   const LinearInequalities& ineq, const Vec& d, double t) {
+  // Check strict feasibility BEFORE touching the objective: line-search
+  // candidates may leave the domain where the objective is defined.
+  double barrier_terms = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double low_slack = d[i] - box.lower[i];
+    const double high_slack = box.upper[i] - d[i];
+    if (low_slack <= 0.0 || high_slack <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    barrier_terms -= std::log(low_slack) + std::log(high_slack);
+  }
+  if (ineq.count() > 0) {
+    const Vec ad = ineq.a.multiply(d);
+    for (std::size_t i = 0; i < ineq.count(); ++i) {
+      const double slack = ineq.b[i] - ad[i];
+      if (slack <= 0.0) return std::numeric_limits<double>::infinity();
+      barrier_terms -= std::log(slack);
+    }
+  }
+  return -t * objective.value(d) + barrier_terms;
+}
+
+}  // namespace
+
+BarrierResult maximize_with_barrier(const SmoothObjective& objective,
+                                    const BoxBounds& box,
+                                    const LinearInequalities& inequalities,
+                                    Vec start,
+                                    const BarrierOptions& options) {
+  const std::size_t dim = start.size();
+  if (box.lower.size() != dim || box.upper.size() != dim) {
+    throw std::invalid_argument("barrier: box dimension mismatch");
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (!(box.lower[i] < box.upper[i])) {
+      throw std::invalid_argument("barrier: need lower < upper per coordinate");
+    }
+  }
+  if (inequalities.count() > 0 &&
+      (inequalities.a.rows() != inequalities.count() || inequalities.a.cols() != dim)) {
+    throw std::invalid_argument("barrier: inequality shape mismatch");
+  }
+
+  // Pull the start strictly inside the box.
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double width = box.upper[i] - box.lower[i];
+    const double margin = std::min(kFeasibilityMargin, width / 4.0);
+    start[i] = std::clamp(start[i], box.lower[i] + margin, box.upper[i] - margin);
+  }
+  // Verify strict feasibility wrt the linear constraints; if violated, walk
+  // toward the box's lower corner (our GBD constraints are monotone in d, so
+  // the lower corner is the most feasible point; fail if even that violates).
+  if (inequalities.count() > 0) {
+    auto strictly_feasible = [&](const Vec& d) {
+      const Vec ad = inequalities.a.multiply(d);
+      for (std::size_t i = 0; i < inequalities.count(); ++i) {
+        if (!(ad[i] < inequalities.b[i])) return false;
+      }
+      return true;
+    };
+    if (!strictly_feasible(start)) {
+      Vec corner(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        corner[i] = box.lower[i] + std::min(kFeasibilityMargin,
+                                            (box.upper[i] - box.lower[i]) / 4.0);
+      }
+      bool found = false;
+      for (double blend = 0.5; blend > 1e-12; blend *= 0.5) {
+        Vec candidate(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          candidate[i] = corner[i] + blend * (start[i] - corner[i]);
+        }
+        if (strictly_feasible(candidate)) {
+          start = candidate;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        if (!strictly_feasible(corner)) {
+          throw std::invalid_argument("barrier: no strictly feasible start exists");
+        }
+        start = corner;
+      }
+    }
+  }
+
+  const std::size_t constraint_count = 2 * dim + inequalities.count();
+  BarrierResult result;
+  result.x = start;
+  double t = options.initial_t;
+  int total_newton = 0;
+
+  for (int stage = 0; stage < options.max_stages; ++stage) {
+    // --- Newton's method on phi_t. ---
+    for (int it = 0; it < options.max_newton_per_stage; ++it) {
+      ++total_newton;
+      const Vec& d = result.x;
+      Vec grad = objective.gradient(d);
+      Matrix hess = objective.hessian(d);
+      // phi gradient: -t*g' + barrier terms.
+      Vec phi_grad(dim);
+      Matrix phi_hess = hess.scaled(-t);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double low_slack = d[i] - box.lower[i];
+        const double high_slack = box.upper[i] - d[i];
+        phi_grad[i] = -t * grad[i] - 1.0 / low_slack + 1.0 / high_slack;
+        phi_hess.at(i, i) += 1.0 / (low_slack * low_slack) + 1.0 / (high_slack * high_slack);
+      }
+      if (inequalities.count() > 0) {
+        const Vec ad = inequalities.a.multiply(d);
+        for (std::size_t r = 0; r < inequalities.count(); ++r) {
+          const double slack = inequalities.b[r] - ad[r];
+          const double inv = 1.0 / slack;
+          for (std::size_t i = 0; i < dim; ++i) {
+            const double ari = inequalities.a.at(r, i);
+            if (ari == 0.0) continue;
+            phi_grad[i] += ari * inv;
+            for (std::size_t j = 0; j < dim; ++j) {
+              const double arj = inequalities.a.at(r, j);
+              if (arj != 0.0) phi_hess.at(i, j) += ari * arj * inv * inv;
+            }
+          }
+        }
+      }
+
+      // Newton step with progressive ridge regularization.
+      Vec step;
+      bool solved = false;
+      for (double ridge = 0.0; ridge < 1e9; ridge = (ridge == 0.0 ? 1e-10 : ridge * 100.0)) {
+        try {
+          step = phi_hess.solve_spd(scale(phi_grad, -1.0), ridge);
+          solved = true;
+          break;
+        } catch (const std::runtime_error&) {
+          continue;
+        }
+      }
+      if (!solved) throw std::runtime_error("barrier: Newton system unsolvable");
+
+      // Newton decrement^2 = grad^T H^-1 grad = -step . grad (step = -H^-1 grad).
+      const double lambda_sq = -dot(step, phi_grad);
+      if (lambda_sq / 2.0 <= options.newton_tol) break;
+
+      // Backtracking line search keeping strict feasibility.
+      const double phi_now = barrier_phi(objective, box, inequalities, d, t);
+      double step_size = 1.0;
+      Vec candidate(dim);
+      for (int ls = 0; ls < 80; ++ls) {
+        for (std::size_t i = 0; i < dim; ++i) candidate[i] = d[i] + step_size * step[i];
+        const double phi_candidate = barrier_phi(objective, box, inequalities, candidate, t);
+        if (phi_candidate <=
+            phi_now + options.line_search_slope * step_size * dot(phi_grad, step)) {
+          break;
+        }
+        step_size *= options.line_search_backtrack;
+      }
+      const double movement = step_size * norm_inf(step);
+      result.x = candidate;
+      if (movement < 1e-15) break;
+    }
+
+    result.duality_gap = static_cast<double>(constraint_count) / t;
+    if (result.duality_gap < options.duality_gap_tol) {
+      result.converged = true;
+      break;
+    }
+    t *= options.t_growth;
+  }
+
+  result.newton_iterations = total_newton;
+  result.value = objective.value(result.x);
+  // Multiplier recovery for the linear constraints at the final t.
+  if (inequalities.count() > 0) {
+    result.multipliers.assign(inequalities.count(), 0.0);
+    const Vec ad = inequalities.a.multiply(result.x);
+    for (std::size_t r = 0; r < inequalities.count(); ++r) {
+      const double slack = inequalities.b[r] - ad[r];
+      result.multipliers[r] = 1.0 / (t * std::max(slack, 1e-300));
+    }
+  }
+  if (!result.converged) {
+    TFL_DEBUG << "barrier: stopped at duality gap " << result.duality_gap;
+  }
+  return result;
+}
+
+}  // namespace tradefl::math

@@ -1,0 +1,63 @@
+#include "math/grid.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tradefl::math {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("linspace: n must be >= 1");
+  std::vector<double> out(n);
+  if (n == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0) throw std::invalid_argument("logspace: bounds must be positive");
+  const std::vector<double> exponents = linspace(std::log10(lo), std::log10(hi), n);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::pow(10.0, exponents[i]);
+  return out;
+}
+
+std::uint64_t cartesian_size(const std::vector<std::size_t>& radices) {
+  std::uint64_t total = 1;
+  for (std::size_t radix : radices) {
+    if (radix == 0) return 0;
+    if (total > (1ULL << 62) / radix) {
+      throw std::overflow_error("cartesian_size: product exceeds 2^62");
+    }
+    total *= radix;
+  }
+  return total;
+}
+
+std::uint64_t enumerate_cartesian(
+    const std::vector<std::size_t>& radices,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  for (std::size_t radix : radices) {
+    if (radix == 0) return 0;
+  }
+  std::vector<std::size_t> tuple(radices.size(), 0);
+  std::uint64_t visited = 0;
+  while (true) {
+    ++visited;
+    if (!visit(tuple)) return visited;
+    // Mixed-radix increment (least significant digit first).
+    std::size_t digit = 0;
+    while (digit < radices.size()) {
+      if (++tuple[digit] < radices[digit]) break;
+      tuple[digit] = 0;
+      ++digit;
+    }
+    if (digit == radices.size()) return visited;
+  }
+}
+
+}  // namespace tradefl::math

@@ -1,0 +1,28 @@
+// Grid utilities: linear/log spacing for parameter sweeps and mixed-radix
+// cartesian enumeration, used by the GBD master-problem traversal (the paper
+// enumerates all feasible f assignments) and by the FIP baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tradefl::math {
+
+/// n evenly spaced points from lo to hi inclusive (n >= 1; n == 1 -> {lo}).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n log-spaced points from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Number of tuples in the cartesian product of the given radices; throws on
+/// overflow past 2^62 (the traversal would never finish anyway).
+std::uint64_t cartesian_size(const std::vector<std::size_t>& radices);
+
+/// Enumerates every index tuple in the mixed-radix space `radices`, calling
+/// `visit(tuple)`. Returns the number of tuples visited; `visit` may return
+/// false to stop early.
+std::uint64_t enumerate_cartesian(const std::vector<std::size_t>& radices,
+                                  const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+}  // namespace tradefl::math

@@ -1,0 +1,116 @@
+#include "math/scalar_opt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tradefl::math {
+
+ScalarMaximum golden_section_maximize(const std::function<double(double)>& f,
+                                      double lo, double hi, double tol,
+                                      int max_iterations) {
+  if (!(lo <= hi)) throw std::invalid_argument("golden_section: lo > hi");
+  static const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;        // 1/phi
+  static const double kInvPhi2 = (3.0 - std::sqrt(5.0)) / 2.0;       // 1/phi^2
+
+  double a = lo, b = hi;
+  double h = b - a;
+  ScalarMaximum result;
+  if (h <= tol) {
+    result.x = (a + b) / 2.0;
+    result.value = f(result.x);
+    return result;
+  }
+  double c = a + kInvPhi2 * h;
+  double d = a + kInvPhi * h;
+  double fc = f(c);
+  double fd = f(d);
+  int iterations = 0;
+  while (h > tol && iterations < max_iterations) {
+    ++iterations;
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      h = b - a;
+      c = a + kInvPhi2 * h;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      h = b - a;
+      d = a + kInvPhi * h;
+      fd = f(d);
+    }
+  }
+  result.x = (a + b) / 2.0;
+  result.value = f(result.x);
+  result.iterations = iterations;
+  // A concave function can still peak exactly at an endpoint of the original
+  // interval; compare to be safe.
+  const double f_lo = f(lo);
+  const double f_hi = f(hi);
+  if (f_lo > result.value) {
+    result.x = lo;
+    result.value = f_lo;
+  }
+  if (f_hi > result.value) {
+    result.x = hi;
+    result.value = f_hi;
+  }
+  return result;
+}
+
+ScalarMaximum concave_maximize_with_derivative(
+    const std::function<double(double)>& f,
+    const std::function<double(double)>& derivative,
+    double lo, double hi, double tol, int max_iterations) {
+  if (!(lo <= hi)) throw std::invalid_argument("concave_maximize: lo > hi");
+  ScalarMaximum result;
+  const double g_lo = derivative(lo);
+  const double g_hi = derivative(hi);
+  if (g_lo <= 0.0) {  // decreasing everywhere (concavity) -> maximum at lo
+    result.x = lo;
+  } else if (g_hi >= 0.0) {  // increasing everywhere -> maximum at hi
+    result.x = hi;
+  } else {
+    double a = lo, b = hi;
+    int iterations = 0;
+    while (b - a > tol && iterations < max_iterations) {
+      ++iterations;
+      const double mid = (a + b) / 2.0;
+      if (derivative(mid) > 0.0) a = mid;
+      else b = mid;
+    }
+    result.x = (a + b) / 2.0;
+    result.iterations = iterations;
+  }
+  result.value = f(result.x);
+  return result;
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol, int max_iterations) {
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  if (f_lo == 0.0) return lo;
+  if (f_hi == 0.0) return hi;
+  if ((f_lo > 0.0) == (f_hi > 0.0)) {
+    throw std::invalid_argument("bisect_root: f(lo) and f(hi) have the same sign");
+  }
+  double a = lo, b = hi;
+  for (int i = 0; i < max_iterations && b - a > tol; ++i) {
+    const double mid = (a + b) / 2.0;
+    const double f_mid = f(mid);
+    if (f_mid == 0.0) return mid;
+    if ((f_mid > 0.0) == (f_lo > 0.0)) {
+      a = mid;
+      f_lo = f_mid;
+    } else {
+      b = mid;
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace tradefl::math

@@ -1,0 +1,36 @@
+// One-dimensional optimization. The DBR best response maximizes a concave
+// payoff over d_i in a closed interval per discrete f level; we provide
+// golden-section search (derivative-free) and bisection on the derivative
+// (when d/dx is available), plus Brent-style root finding used in tests.
+#pragma once
+
+#include <functional>
+
+namespace tradefl::math {
+
+struct ScalarMaximum {
+  double x = 0.0;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Golden-section search for the maximum of a unimodal function on [lo, hi].
+/// Always converges to an interval of width <= tol; exact for concave f.
+ScalarMaximum golden_section_maximize(const std::function<double(double)>& f,
+                                      double lo, double hi, double tol = 1e-10,
+                                      int max_iterations = 200);
+
+/// Maximizes a differentiable concave function on [lo, hi] by bisecting the
+/// derivative; falls back to the boundary when the derivative does not change
+/// sign (monotone objective).
+ScalarMaximum concave_maximize_with_derivative(
+    const std::function<double(double)>& f,
+    const std::function<double(double)>& derivative,
+    double lo, double hi, double tol = 1e-12, int max_iterations = 200);
+
+/// Finds a root of `f` on [lo, hi] assuming f(lo) and f(hi) have opposite
+/// signs (plain bisection; robust, used by tests and fitting).
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol = 1e-12, int max_iterations = 200);
+
+}  // namespace tradefl::math

@@ -1,0 +1,78 @@
+#include "math/vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tradefl::math {
+namespace {
+void require_same(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vec: size mismatch");
+}
+}  // namespace
+
+Vec zeros(std::size_t n) { return Vec(n, 0.0); }
+Vec constant(std::size_t n, double value) { return Vec(n, value); }
+
+double dot(const Vec& a, const Vec& b) {
+  require_same(a, b);
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vec& a) {
+  double best = 0.0;
+  for (double v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double sum(const Vec& a) {
+  double total = 0.0;
+  for (double v : a) total += v;
+  return total;
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  require_same(a, b);
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec subtract(const Vec& a, const Vec& b) {
+  require_same(a, b);
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec scale(const Vec& a, double factor) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * factor;
+  return out;
+}
+
+void axpy(Vec& a, double factor, const Vec& b) {
+  require_same(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += factor * b[i];
+}
+
+Vec clamp(const Vec& a, const Vec& lower, const Vec& upper) {
+  require_same(a, lower);
+  require_same(a, upper);
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::clamp(a[i], lower[i], upper[i]);
+  return out;
+}
+
+double max_abs_diff(const Vec& a, const Vec& b) {
+  require_same(a, b);
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+}  // namespace tradefl::math

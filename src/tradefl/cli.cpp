@@ -1,0 +1,201 @@
+#include "tradefl/cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "math/grid.h"
+#include "tradefl/report.h"
+#include "tradefl/session.h"
+
+namespace tradefl::cli {
+namespace {
+
+const char* const kCommands[] = {"solve", "compare", "sweep", "session", "chain", "help"};
+
+game::CoopetitionGame game_from_options(const Config& options) {
+  // file=path loads a fully explicit game definition (see
+  // game::game_from_config); otherwise a seeded Table-II draw is used.
+  if (const auto path = options.get("file")) {
+    std::ifstream input(*path);
+    if (!input) throw std::runtime_error("cannot open game file " + *path);
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    auto file_config = Config::from_text(buffer.str());
+    if (!file_config.ok()) throw std::runtime_error(file_config.error().to_string());
+    // CLI options override file entries (e.g. tweak gamma on the fly).
+    Config merged = file_config.value();
+    for (const auto& [key, value] : options.entries()) merged.set(key, value);
+    auto loaded = game::game_from_config(merged);
+    if (!loaded.ok()) throw std::runtime_error(loaded.error().to_string());
+    return std::move(loaded).take();
+  }
+  return game::make_experiment_game(spec_from_options(options),
+                                    static_cast<std::uint64_t>(options.get_int("seed", 42)));
+}
+
+int run_solve(const Config& options, std::ostream& out) {
+  const auto scheme = parse_scheme(options.get_string("scheme", "dbr"));
+  if (!scheme.ok()) {
+    out << scheme.error().to_string() << "\n";
+    return 2;
+  }
+  const auto game = game_from_options(options);
+  const auto result = core::run_scheme(game, scheme.value());
+  out << describe_mechanism(game, result);
+  out << "properties: " << core::verify_properties(game, result).summary() << "\n";
+  return 0;
+}
+
+int run_compare(const Config& options, std::ostream& out) {
+  const auto game = game_from_options(options);
+  AsciiTable table({"scheme", "welfare", "potential", "damage", "Sum d_i", "P(Omega)",
+                    "iterations"});
+  for (core::Scheme scheme : core::all_schemes()) {
+    const auto result = core::run_scheme(game, scheme);
+    table.add_labeled_row(core::scheme_name(scheme),
+                          {result.welfare, result.potential, result.total_damage,
+                           result.total_data_fraction, result.performance,
+                           static_cast<double>(result.solution.iterations)},
+                          6);
+  }
+  out << table.render();
+  return 0;
+}
+
+int run_sweep(const Config& options, std::ostream& out) {
+  const auto scheme = parse_scheme(options.get_string("scheme", "dbr"));
+  if (!scheme.ok()) {
+    out << scheme.error().to_string() << "\n";
+    return 2;
+  }
+  const double lo = options.get_double("gamma_lo", 1e-10);
+  const double hi = options.get_double("gamma_hi", 1e-7);
+  const std::size_t points = static_cast<std::size_t>(options.get_int("points", 9));
+  AsciiTable table({"gamma", "welfare", "damage", "Sum d_i"});
+  for (double gamma : math::logspace(lo, hi, points)) {
+    Config point = options;
+    point.set("gamma", format_double(gamma, 12));
+    const auto game = game_from_options(point);
+    const auto result = core::run_scheme(game, scheme.value());
+    table.add_row_doubles({gamma, result.welfare, result.total_damage,
+                           result.total_data_fraction},
+                          6);
+  }
+  out << table.render();
+  return 0;
+}
+
+int run_session(const Config& options, std::ostream& out) {
+  const auto scheme = parse_scheme(options.get_string("scheme", "dbr"));
+  if (!scheme.ok()) {
+    out << scheme.error().to_string() << "\n";
+    return 2;
+  }
+  const auto game = game_from_options(options);
+  TradingSession session(game);
+  SessionOptions session_options;
+  session_options.scheme = scheme.value();
+  session_options.run_training = options.get_bool("train", false);
+  session_options.sample_scale = options.get_double("sample_scale", 0.15);
+  session_options.fedavg.rounds =
+      static_cast<std::size_t>(options.get_int("rounds", 5));
+  const SessionResult result = session.run(session_options);
+  out << describe_session(game, result);
+  return result.chain_valid && result.settlement_sum == 0 ? 0 : 1;
+}
+
+int run_chain(const Config& options, std::ostream& out) {
+  const auto game = game_from_options(options);
+  TradingSession session(game);
+  const SessionResult result = session.run();
+  chain::Blockchain& chain = session.blockchain();
+  out << "contract " << result.contract_address.to_hex() << "\n";
+  AsciiTable blocks({"block", "txs", "hash (prefix)"});
+  for (std::size_t b = 0; b < chain.block_count(); ++b) {
+    blocks.add_row({std::to_string(b), std::to_string(chain.block(b).transactions.size()),
+                    chain::hash_to_hex(chain.block(b).header.hash()).substr(0, 16)});
+  }
+  out << blocks.render();
+  AsciiTable events({"#", "event", "block"});
+  for (std::size_t e = 0; e < chain.events().size(); ++e) {
+    events.add_row({std::to_string(e), chain.events()[e].name,
+                    std::to_string(chain.events()[e].block_index)});
+  }
+  out << events.render();
+  const auto validation = chain.validate();
+  out << "validation: " << (validation.valid ? "VALID" : validation.problem) << "\n";
+  return validation.valid ? 0 : 1;
+}
+
+}  // namespace
+
+Result<Invocation> parse(const std::vector<std::string>& args) {
+  if (args.empty()) return Error{"cli", "missing command; try 'help'"};
+  Invocation invocation;
+  invocation.command = to_lower(args.front());
+  bool known = false;
+  for (const char* candidate : kCommands) {
+    if (invocation.command == candidate) known = true;
+  }
+  if (!known) return Error{"cli", "unknown command '" + args.front() + "'; try 'help'"};
+  auto options = Config::from_args({args.begin() + 1, args.end()});
+  if (!options.ok()) return options.error();
+  invocation.options = options.value();
+  return invocation;
+}
+
+Result<core::Scheme> parse_scheme(const std::string& name) {
+  const std::string lowered = to_lower(name);
+  if (lowered == "cgbd") return core::Scheme::kCgbd;
+  if (lowered == "dbr") return core::Scheme::kDbr;
+  if (lowered == "wpr") return core::Scheme::kWpr;
+  if (lowered == "gca") return core::Scheme::kGca;
+  if (lowered == "fip") return core::Scheme::kFip;
+  if (lowered == "tos") return core::Scheme::kTos;
+  return Error{"cli", "unknown scheme '" + name + "' (cgbd|dbr|wpr|gca|fip|tos)"};
+}
+
+game::ExperimentSpec spec_from_options(const Config& options) {
+  game::ExperimentSpec spec;
+  spec.org_count = static_cast<std::size_t>(options.get_int("orgs", 10));
+  spec.params.gamma = options.get_double("gamma", spec.params.gamma);
+  spec.rho_mean = options.get_double("mu", spec.rho_mean);
+  spec.params.omega_e = options.get_double("omega_e", spec.params.omega_e);
+  spec.params.tau = options.get_double("tau", spec.params.tau);
+  spec.params.lambda = options.get_double("lambda", spec.params.lambda);
+  spec.params.d_min = options.get_double("d_min", spec.params.d_min);
+  return spec;
+}
+
+std::string usage() {
+  return "tradefl — the TradeFL cross-silo FL trading mechanism (ICDCS'23 reproduction)\n"
+         "usage: tradefl <command> [key=value ...]\n"
+         "commands:\n"
+         "  solve    compute the equilibrium (scheme=dbr|cgbd|wpr|gca|fip|tos)\n"
+         "  compare  run every scheme and tabulate welfare/damage/data\n"
+         "  sweep    gamma sweep (gamma_lo=, gamma_hi=, points=, scheme=)\n"
+         "  session  full pipeline incl. on-chain settlement (train=1 to run FedAvg)\n"
+         "  chain    settlement walkthrough with blocks/events\n"
+         "  help     this text\n"
+         "common options: seed=42 orgs=10 gamma=5.12e-9 mu=0.05 omega_e= tau= lambda=\n"
+         "               file=game.cfg (explicit game definition; see game_from_config)\n";
+}
+
+int run(const Invocation& invocation, std::ostream& out) {
+  if (invocation.command == "help") {
+    out << usage();
+    return 0;
+  }
+  if (invocation.command == "solve") return run_solve(invocation.options, out);
+  if (invocation.command == "compare") return run_compare(invocation.options, out);
+  if (invocation.command == "sweep") return run_sweep(invocation.options, out);
+  if (invocation.command == "session") return run_session(invocation.options, out);
+  if (invocation.command == "chain") return run_chain(invocation.options, out);
+  out << usage();
+  return 2;
+}
+
+}  // namespace tradefl::cli

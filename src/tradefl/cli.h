@@ -1,0 +1,45 @@
+// Command-line interface logic for the `tradefl` tool. Kept in the library
+// (rather than the tool's main.cpp) so the parsing/dispatch layer is unit
+// tested. Subcommands:
+//   solve    — compute the equilibrium for one scheme and print the report
+//   compare  — run every scheme on one game and tabulate welfare/damage/data
+//   sweep    — gamma sweep under one scheme
+//   session  — full end-to-end pipeline incl. on-chain settlement
+//   chain    — settlement walkthrough with the raw chain artifacts
+// Common options: seed=N orgs=N gamma=X mu=X scheme=dbr|cgbd|wpr|gca|fip|tos.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/mechanism.h"
+#include "game/game_factory.h"
+
+namespace tradefl::cli {
+
+/// Parsed invocation: subcommand plus key=value options.
+struct Invocation {
+  std::string command;
+  Config options;
+};
+
+/// Parses argv (past the program name). Returns an error for an unknown
+/// command or malformed options.
+Result<Invocation> parse(const std::vector<std::string>& args);
+
+/// Maps "dbr"/"cgbd"/... to a Scheme; error otherwise.
+Result<core::Scheme> parse_scheme(const std::string& name);
+
+/// Builds the experiment spec from common options (orgs, gamma, mu, ...).
+game::ExperimentSpec spec_from_options(const Config& options);
+
+/// Executes the invocation, writing human-readable output to `out`.
+/// Returns the process exit code.
+int run(const Invocation& invocation, std::ostream& out);
+
+/// Usage text.
+std::string usage();
+
+}  // namespace tradefl::cli

@@ -1,0 +1,55 @@
+#include "tradefl/report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace tradefl {
+
+std::string describe_mechanism(const game::CoopetitionGame& game,
+                               const core::MechanismResult& result) {
+  std::ostringstream out;
+  out << "scheme " << core::scheme_name(result.scheme) << ": welfare "
+      << format_double(result.welfare, 8) << ", potential "
+      << format_double(result.potential, 8) << ", P(omega) "
+      << format_double(result.performance, 6) << ", total damage "
+      << format_double(result.total_damage, 6) << ", sum d "
+      << format_double(result.total_data_fraction, 6) << "\n";
+  out << "converged " << (result.solution.converged ? "yes" : "no") << " in "
+      << result.solution.iterations << " iterations ("
+      << format_double(result.solution.solve_seconds * 1e3, 4) << " ms)\n";
+
+  AsciiTable table({"org", "d*", "f* (GHz)", "revenue", "energy", "damage", "R_i", "payoff"});
+  for (game::OrgId i = 0; i < game.size(); ++i) {
+    const auto breakdown = game.payoff_breakdown(i, result.solution.profile);
+    table.add_labeled_row(
+        game.org(i).name,
+        {result.solution.profile[i].data_fraction,
+         game.frequency(i, result.solution.profile[i]) / 1e9, breakdown.revenue,
+         breakdown.energy_cost, breakdown.damage, breakdown.redistribution, breakdown.total()},
+        5);
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string describe_session(const game::CoopetitionGame& game, const SessionResult& result) {
+  std::ostringstream out;
+  out << describe_mechanism(game, result.mechanism);
+  out << "properties: " << result.properties.summary() << "\n";
+  if (result.training) {
+    out << "training: final accuracy " << format_double(result.training->final_accuracy, 4)
+        << ", final loss " << format_double(result.training->final_loss, 4) << ", "
+        << result.training->total_contributed_samples << " contributed samples\n";
+  }
+  out << "contract " << result.contract_address.to_hex() << ": " << result.blocks
+      << " blocks, " << result.events << " events, " << result.total_gas << " gas\n";
+  out << "on-chain settlement sum = " << result.settlement_sum
+      << " wei (budget balance), max off/on-chain gap = "
+      << format_double(result.max_settlement_gap, 6) << ", chain "
+      << (result.chain_valid ? "VALID" : "INVALID") << "\n";
+  return out.str();
+}
+
+}  // namespace tradefl

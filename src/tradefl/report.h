@@ -1,0 +1,20 @@
+// Pretty-printing of session / mechanism results for the examples and the
+// bench harness.
+#pragma once
+
+#include <string>
+
+#include "tradefl/session.h"
+
+namespace tradefl {
+
+/// Multi-line human-readable summary of a mechanism run: per-organization
+/// strategies, payoff decomposition, welfare, and the property report.
+std::string describe_mechanism(const game::CoopetitionGame& game,
+                               const core::MechanismResult& result);
+
+/// Multi-line summary of an end-to-end session, including chain statistics
+/// and the on-chain/off-chain settlement cross-check.
+std::string describe_session(const game::CoopetitionGame& game, const SessionResult& result);
+
+}  // namespace tradefl

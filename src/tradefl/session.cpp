@@ -1,0 +1,148 @@
+#include "tradefl/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace tradefl {
+
+using chain::Address;
+using chain::Fixed;
+using chain::Wei;
+
+TradingSession::TradingSession(const game::CoopetitionGame& game) : game_(&game) {}
+
+chain::Blockchain& TradingSession::blockchain() {
+  if (!chain_) throw std::runtime_error("session: no run yet");
+  return *chain_;
+}
+
+Address TradingSession::org_address(game::OrgId i) const {
+  return Address::from_name(game_->org(i).name);
+}
+
+SessionResult TradingSession::run(const SessionOptions& options) {
+  const game::CoopetitionGame& game = *game_;
+  const std::size_t n = game.size();
+  SessionResult result;
+
+  // ---- 1. Equilibrium computation (off-chain, Sec. V). ----
+  result.mechanism = core::run_scheme(game, options.scheme, options.scheme_options);
+  result.properties = core::verify_properties(game, result.mechanism,
+                                              options.scheme != core::Scheme::kTos);
+  const game::StrategyProfile& profile = result.mechanism.solution.profile;
+
+  // ---- 2. Optional FedAvg training with the equilibrium fractions. ----
+  if (options.run_training) {
+    const fl::DatasetSpec concept_spec =
+        fl::DatasetSpec::builtin(options.dataset, options.seed);
+    std::vector<fl::Dataset> locals;
+    locals.reserve(n);
+    std::vector<fl::FedClient> clients;
+    for (game::OrgId i = 0; i < n; ++i) {
+      const std::size_t samples = std::max<std::size_t>(
+          8, static_cast<std::size_t>(std::lround(
+                 options.sample_scale * static_cast<double>(game.org(i).sample_count))));
+      locals.emplace_back(concept_spec.with_sample_seed(options.seed + i + 1), samples);
+    }
+    for (game::OrgId i = 0; i < n; ++i) {
+      clients.push_back(fl::FedClient{&locals[i], profile[i].data_fraction,
+                                      options.seed * 131 + i});
+    }
+    const fl::Dataset test_set(concept_spec.with_sample_seed(options.seed + 7777),
+                               options.test_samples);
+    fl::ModelSpec model_spec;
+    model_spec.kind = options.model;
+    model_spec.channels = concept_spec.channels;
+    model_spec.height = concept_spec.height;
+    model_spec.width = concept_spec.width;
+    model_spec.classes = concept_spec.classes;
+    model_spec.seed = options.seed;
+    result.training = fl::train_fedavg(model_spec, clients, test_set, options.fedavg);
+  }
+
+  // ---- 3. Deploy chain + contract. ----
+  chain_ = std::make_unique<chain::Blockchain>();
+  chain::Web3Client web3(*chain_);
+
+  chain::TradeFlContractConfig config;
+  config.org_count = n;
+  config.gamma_scaled = Fixed::from_double(game.params().gamma * 1e9);
+  config.lambda = Fixed::from_double(game.params().lambda);
+  config.rho.resize(n * n, Fixed{});
+  for (game::OrgId i = 0; i < n; ++i) {
+    for (game::OrgId j = 0; j < n; ++j) {
+      if (i != j) config.rho[i * n + j] = Fixed::from_double(game.rho().at(i, j));
+    }
+  }
+  config.data_size_gb.reserve(n);
+  double worst_outflow = 0.0;
+  for (game::OrgId i = 0; i < n; ++i) {
+    const double s_gb = game.org(i).data_size_bits / 1e9;
+    config.data_size_gb.push_back(Fixed::from_double(s_gb));
+    // Worst-case redistribution outflow bound for deposit sizing: every
+    // coopetitor maxes χ while org i sits at the minimum.
+    const double f_max_ghz = game.org(i).freq_levels.back() / 1e9;
+    const double chi_max = s_gb + game.params().lambda * f_max_ghz;
+    worst_outflow = std::max(
+        worst_outflow,
+        game.params().gamma * 1e9 * game.rho().row_sum(i) * chi_max);
+  }
+  const Wei min_deposit =
+      static_cast<Wei>(std::ceil(worst_outflow * 1.25 * Fixed::kScale)) + 1;
+  config.min_deposit = min_deposit;
+  result.contract_address = chain_->deploy(
+      std::make_unique<chain::TradeFlContract>(config));
+
+  const Wei funding = options.funding > 0 ? options.funding : min_deposit * 2;
+  if (funding < min_deposit) throw std::invalid_argument("session: funding below min deposit");
+
+  // ---- 4. Register + deposit (Fig. 3 step 1). ----
+  for (game::OrgId i = 0; i < n; ++i) {
+    chain_->credit(org_address(i), funding);
+    web3.call_or_throw(org_address(i), result.contract_address, "register",
+                       {org_address(i), static_cast<std::uint64_t>(i)});
+    web3.call_or_throw(org_address(i), result.contract_address, "depositSubmit", {},
+                       min_deposit);
+  }
+
+  // ---- 5. Report contributions (Fig. 3 step 2). ----
+  for (game::OrgId i = 0; i < n; ++i) {
+    const double f_ghz = game.frequency(i, profile[i]) / 1e9;
+    web3.call_or_throw(org_address(i), result.contract_address, "contributionSubmit",
+                       {Fixed::from_double(profile[i].data_fraction),
+                        Fixed::from_double(f_ghz)});
+  }
+
+  // ---- 6. Settle (Fig. 3 step 3). ----
+  web3.call_or_throw(org_address(0), result.contract_address, "payoffCalculate");
+  result.settlements_wei.resize(n);
+  for (game::OrgId i = 0; i < n; ++i) {
+    const auto outcome = web3.call_or_throw(org_address(i), result.contract_address,
+                                            "payoffOf", {static_cast<std::uint64_t>(i)});
+    result.settlements_wei[i] = std::get<std::int64_t>(outcome.returned.at(0));
+  }
+  web3.call_or_throw(org_address(0), result.contract_address, "payoffTransfer");
+
+  // ---- 7. Cross-checks. ----
+  result.settlement_sum = 0;
+  for (Wei wei : result.settlements_wei) result.settlement_sum += wei;
+  for (game::OrgId i = 0; i < n; ++i) {
+    const double off_chain = game.redistribution(i, profile);
+    const double on_chain =
+        static_cast<double>(result.settlements_wei[i]) / static_cast<double>(Fixed::kScale);
+    result.max_settlement_gap =
+        std::max(result.max_settlement_gap, std::abs(off_chain - on_chain));
+  }
+  const chain::ChainValidation validation = chain_->validate();
+  result.chain_valid = validation.valid;
+  if (!validation.valid) TFL_ERROR << "session: chain invalid: " << validation.problem;
+  for (const chain::Receipt& receipt : chain_->receipts()) result.total_gas += receipt.gas_used;
+  result.blocks = chain_->block_count();
+  result.events = chain_->events().size();
+  return result;
+}
+
+}  // namespace tradefl

@@ -1,0 +1,81 @@
+// TradingSession — the end-to-end Fig. 3 procedure, tying every substrate
+// together:
+//   1. spin up a private chain, fund organization accounts, deploy the
+//      TradeFL contract parameterized with (γ, λ, ρ, s);
+//   2. each organization registers and escrows its deposit (depositSubmit);
+//   3. the equilibrium contribution profile {d*, f*} is computed off-chain by
+//      the chosen scheme (CGBD / DBR / baselines, Sec. V);
+//   4. optionally, FedAvg training runs with the equilibrium data fractions
+//      (the global model of Sec. III-B);
+//   5. organizations report their profiles (contributionSubmit), the contract
+//      computes r*_{i,j} (payoffCalculate) and settles (payoffTransfer);
+//   6. the session verifies the mechanism properties off-chain AND the
+//      settlement on-chain (budget balance in integer wei, chain validity,
+//      consistency between Eq. (9) computed in doubles and in fixed point).
+#pragma once
+
+#include <optional>
+
+#include "chain/tradefl_contract.h"
+#include "chain/web3.h"
+#include "core/mechanism.h"
+#include "fl/fedavg.h"
+#include "game/game.h"
+
+namespace tradefl {
+
+struct SessionOptions {
+  core::Scheme scheme = core::Scheme::kDbr;
+  core::SchemeOptions scheme_options{};
+
+  /// Run FedAvg with the equilibrium fractions and record the model metrics.
+  bool run_training = false;
+  fl::ModelKind model = fl::ModelKind::kMlp;
+  fl::DatasetKind dataset = fl::DatasetKind::kFmnistLike;
+  fl::FedAvgOptions fedavg{};
+  /// Scales |S_i| when materializing datasets (1.0 = the game's sample
+  /// counts; smaller for fast runs).
+  double sample_scale = 1.0;
+  std::size_t test_samples = 400;
+
+  /// Funding per organization account (wei). 0 = auto-size from the
+  /// worst-case redistribution bound.
+  chain::Wei funding = 0;
+
+  std::uint64_t seed = 2024;
+};
+
+struct SessionResult {
+  core::MechanismResult mechanism;
+  core::PropertyReport properties;
+  std::optional<fl::FedAvgResult> training;
+
+  chain::Address contract_address{};
+  std::vector<chain::Wei> settlements_wei;  // on-chain net payoff per org
+  chain::Wei settlement_sum = 0;            // must be exactly 0 (budget balance)
+  double max_settlement_gap = 0.0;          // |on-chain - off-chain| in payoff units
+  bool chain_valid = false;
+  std::uint64_t total_gas = 0;
+  std::size_t blocks = 0;
+  std::size_t events = 0;
+};
+
+class TradingSession {
+ public:
+  explicit TradingSession(const game::CoopetitionGame& game);
+
+  /// Runs the full procedure. The session owns a fresh chain per run.
+  SessionResult run(const SessionOptions& options = {});
+
+  /// The chain of the most recent run (for inspection / arbitration demos).
+  [[nodiscard]] chain::Blockchain& blockchain();
+
+  /// Organization account address used on-chain.
+  [[nodiscard]] chain::Address org_address(game::OrgId i) const;
+
+ private:
+  const game::CoopetitionGame* game_;
+  std::unique_ptr<chain::Blockchain> chain_;
+};
+
+}  // namespace tradefl

@@ -1,0 +1,77 @@
+#include "chain/abi.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::chain {
+namespace {
+
+TEST(Abi, CallRoundTripAllTypes) {
+  CallPayload payload;
+  payload.method = "contributionSubmit";
+  payload.args = {std::uint64_t{7},
+                  std::int64_t{-42},
+                  std::string("hello"),
+                  Address::from_name("org-1"),
+                  Bytes{1, 2, 3},
+                  Fixed::from_double(0.75)};
+  const Bytes encoded = encode_call(payload);
+  const CallPayload decoded = decode_call(encoded);
+  EXPECT_EQ(decoded.method, payload.method);
+  ASSERT_EQ(decoded.args.size(), payload.args.size());
+  EXPECT_EQ(std::get<std::uint64_t>(decoded.args[0]), 7u);
+  EXPECT_EQ(std::get<std::int64_t>(decoded.args[1]), -42);
+  EXPECT_EQ(std::get<std::string>(decoded.args[2]), "hello");
+  EXPECT_EQ(std::get<Address>(decoded.args[3]), Address::from_name("org-1"));
+  EXPECT_EQ(std::get<Bytes>(decoded.args[4]), (Bytes{1, 2, 3}));
+  EXPECT_EQ(std::get<Fixed>(decoded.args[5]), Fixed::from_double(0.75));
+}
+
+TEST(Abi, ValuesRoundTrip) {
+  const std::vector<AbiValue> values{std::uint64_t{1}, Fixed::from_int(2)};
+  EXPECT_EQ(decode_values(encode_values(values)).size(), 2u);
+  EXPECT_TRUE(decode_values(encode_values({})).empty());
+}
+
+TEST(Abi, MalformedPayloadRejected) {
+  EXPECT_THROW(decode_call({0xFF, 0xFF}), std::invalid_argument);
+  EXPECT_THROW(decode_call({}), std::invalid_argument);
+  // Trailing garbage.
+  Bytes encoded = encode_call(CallPayload{"m", {}});
+  encoded.push_back(0x00);
+  EXPECT_THROW(decode_call(encoded), std::invalid_argument);
+}
+
+TEST(Abi, UnknownTagRejected) {
+  ByteWriter writer;
+  writer.put_string("m");
+  writer.put_u32(1);
+  writer.put_u8(99);  // bogus tag
+  EXPECT_THROW(decode_call(writer.data()), std::invalid_argument);
+}
+
+TEST(Abi, TypedExtractors) {
+  const std::vector<AbiValue> args{std::uint64_t{5}, std::int64_t{-3},
+                                   std::string("s"), Address::from_name("x"),
+                                   Fixed::from_int(9)};
+  EXPECT_EQ(abi_u64(args, 0), 5u);
+  EXPECT_EQ(abi_i64(args, 1), -3);
+  EXPECT_EQ(abi_string(args, 2), "s");
+  EXPECT_EQ(abi_address(args, 3), Address::from_name("x"));
+  EXPECT_EQ(abi_fixed(args, 4), Fixed::from_int(9));
+}
+
+TEST(Abi, ExtractorErrors) {
+  const std::vector<AbiValue> args{std::uint64_t{5}};
+  EXPECT_THROW(abi_u64(args, 1), std::invalid_argument);   // missing index
+  EXPECT_THROW(abi_i64(args, 0), std::invalid_argument);   // wrong type
+  EXPECT_THROW(abi_fixed(args, 0), std::invalid_argument);
+}
+
+TEST(Abi, TypeNames) {
+  EXPECT_EQ(abi_type_name(AbiValue{std::uint64_t{1}}), "u64");
+  EXPECT_EQ(abi_type_name(AbiValue{Fixed{}}), "fixed");
+  EXPECT_EQ(abi_type_name(AbiValue{std::string{}}), "string");
+}
+
+}  // namespace
+}  // namespace tradefl::chain

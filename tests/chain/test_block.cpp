@@ -1,0 +1,92 @@
+#include "chain/block.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::chain {
+namespace {
+
+Transaction make_tx(const std::string& from, const std::string& to, Wei value) {
+  Transaction tx;
+  tx.from = Address::from_name(from);
+  tx.to = Address::from_name(to);
+  tx.value = value;
+  return tx;
+}
+
+TEST(Address, DeterministicAndDistinct) {
+  EXPECT_EQ(Address::from_name("alice"), Address::from_name("alice"));
+  EXPECT_NE(Address::from_name("alice"), Address::from_name("bob"));
+  EXPECT_TRUE(Address::zero().is_zero());
+  EXPECT_FALSE(Address::from_name("alice").is_zero());
+  EXPECT_EQ(Address::from_name("alice").to_hex().size(), 42u);  // 0x + 40
+}
+
+TEST(Transaction, HashChangesWithEveryField) {
+  Transaction base = make_tx("a", "b", 10);
+  const Hash256 h0 = base.hash();
+  Transaction t = base;
+  t.value = 11;
+  EXPECT_NE(t.hash(), h0);
+  t = base;
+  t.nonce = 1;
+  EXPECT_NE(t.hash(), h0);
+  t = base;
+  t.data = {0x01};
+  EXPECT_NE(t.hash(), h0);
+  t = base;
+  t.from = Address::from_name("c");
+  EXPECT_NE(t.hash(), h0);
+}
+
+TEST(Block, MerkleRootEmpty) {
+  EXPECT_EQ(Block::merkle_root({}), Hash256{});
+}
+
+TEST(Block, MerkleRootSingleTxIsItsHash) {
+  const Transaction tx = make_tx("a", "b", 1);
+  EXPECT_EQ(Block::merkle_root({tx}), tx.hash());
+}
+
+TEST(Block, MerkleRootOrderSensitive) {
+  const Transaction t1 = make_tx("a", "b", 1);
+  const Transaction t2 = make_tx("c", "d", 2);
+  EXPECT_NE(Block::merkle_root({t1, t2}), Block::merkle_root({t2, t1}));
+}
+
+TEST(Block, MerkleRootOddCountDuplicatesLast) {
+  const Transaction t1 = make_tx("a", "b", 1);
+  const Transaction t2 = make_tx("c", "d", 2);
+  const Transaction t3 = make_tx("e", "f", 3);
+  // Manual computation of the 3-leaf tree.
+  const Hash256 left = sha256_pair(t1.hash(), t2.hash());
+  const Hash256 right = sha256_pair(t3.hash(), t3.hash());
+  EXPECT_EQ(Block::merkle_root({t1, t2, t3}), sha256_pair(left, right));
+}
+
+TEST(Block, VerifyTxRootDetectsTamper) {
+  Block block;
+  block.transactions = {make_tx("a", "b", 5), make_tx("c", "d", 6)};
+  block.header.tx_root = Block::merkle_root(block.transactions);
+  EXPECT_TRUE(block.verify_tx_root());
+  block.transactions[0].value = 500;  // tamper
+  EXPECT_FALSE(block.verify_tx_root());
+}
+
+TEST(BlockHeader, HashCoversAllFields) {
+  BlockHeader header;
+  header.index = 1;
+  header.timestamp = 2;
+  const Hash256 h0 = header.hash();
+  BlockHeader changed = header;
+  changed.timestamp = 3;
+  EXPECT_NE(changed.hash(), h0);
+  changed = header;
+  changed.prev_hash[0] = 0xFF;
+  EXPECT_NE(changed.hash(), h0);
+  changed = header;
+  changed.tx_root[31] = 0x01;
+  EXPECT_NE(changed.hash(), h0);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

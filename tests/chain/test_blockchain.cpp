@@ -1,0 +1,277 @@
+// The ledger: balances, atomic execution, sealing, validation, and tamper
+// detection — the immutability/traceability properties Sec. III-F relies on.
+#include "chain/blockchain.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::chain {
+namespace {
+
+const Address kAlice = Address::from_name("alice");
+const Address kBob = Address::from_name("bob");
+
+/// Minimal contract for runtime tests: a counter with a failing method.
+class CounterContract final : public Contract {
+ public:
+  [[nodiscard]] std::string contract_name() const override { return "Counter"; }
+
+  std::vector<AbiValue> call(CallContext& context, const std::string& method,
+                             const std::vector<AbiValue>& args) override {
+    if (method == "increment") {
+      context.gas->charge_storage_write();
+      count_ += abi_u64(args, 0);
+      context.host->emit_event("Incremented", {std::uint64_t{count_}});
+      return {std::uint64_t{count_}};
+    }
+    if (method == "incrementThenFail") {
+      count_ += 100;  // must be rolled back
+      throw Revert("intentional failure");
+    }
+    if (method == "payout") {
+      context.host->contract_transfer(abi_address(args, 0), abi_i64(args, 1));
+      return {};
+    }
+    if (method == "read") {
+      return {std::uint64_t{count_}};
+    }
+    throw Revert("unknown method");
+  }
+
+  [[nodiscard]] Bytes save_state() const override {
+    ByteWriter writer;
+    writer.put_u64(count_);
+    return writer.data();
+  }
+  void load_state(const Bytes& state) override {
+    ByteReader reader(state);
+    count_ = reader.get_u64();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+Transaction call_tx(const Address& from, const Address& to, const std::string& method,
+                    std::vector<AbiValue> args = {}, Wei value = 0) {
+  Transaction tx;
+  tx.from = from;
+  tx.to = to;
+  tx.value = value;
+  tx.data = encode_call(CallPayload{method, std::move(args)});
+  return tx;
+}
+
+TEST(Blockchain, GenesisBlockExists) {
+  Blockchain chain;
+  EXPECT_EQ(chain.block_count(), 1u);
+  EXPECT_TRUE(chain.validate().valid);
+}
+
+TEST(Blockchain, CreditAndBalance) {
+  Blockchain chain;
+  chain.credit(kAlice, 1000);
+  EXPECT_EQ(chain.balance(kAlice), 1000);
+  EXPECT_EQ(chain.balance(kBob), 0);
+  EXPECT_THROW(chain.credit(kAlice, -1), std::invalid_argument);
+}
+
+TEST(Blockchain, PlainTransfer) {
+  Blockchain chain;
+  chain.credit(kAlice, 1000);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 400;
+  const Receipt receipt = chain.submit(tx);
+  EXPECT_TRUE(receipt.success);
+  EXPECT_EQ(chain.balance(kAlice), 600);
+  EXPECT_EQ(chain.balance(kBob), 400);
+}
+
+TEST(Blockchain, InsufficientBalanceReverts) {
+  Blockchain chain;
+  chain.credit(kAlice, 10);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 100;
+  const Receipt receipt = chain.submit(tx);
+  EXPECT_FALSE(receipt.success);
+  EXPECT_NE(receipt.revert_reason.find("insufficient"), std::string::npos);
+  EXPECT_EQ(chain.balance(kAlice), 10);  // untouched
+}
+
+TEST(Blockchain, ContractCallAndReturn) {
+  Blockchain chain;
+  chain.credit(kAlice, 1000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  const Receipt receipt =
+      chain.submit(call_tx(kAlice, counter, "increment", {std::uint64_t{5}}));
+  ASSERT_TRUE(receipt.success);
+  const auto returned = decode_values(receipt.return_data);
+  EXPECT_EQ(std::get<std::uint64_t>(returned.at(0)), 5u);
+  EXPECT_EQ(chain.events().size(), 1u);
+  EXPECT_EQ(chain.events()[0].name, "Incremented");
+}
+
+TEST(Blockchain, RevertRollsBackStateBalanceAndEvents) {
+  Blockchain chain;
+  chain.credit(kAlice, 1000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  chain.submit(call_tx(kAlice, counter, "increment", {std::uint64_t{1}}));
+
+  const Receipt failed =
+      chain.submit(call_tx(kAlice, counter, "incrementThenFail", {}, /*value=*/50));
+  EXPECT_FALSE(failed.success);
+  EXPECT_EQ(failed.revert_reason, "intentional failure");
+  // Value transfer rolled back.
+  EXPECT_EQ(chain.balance(kAlice), 1000);
+  // Contract state rolled back: counter still 1.
+  const Receipt read = chain.submit(call_tx(kAlice, counter, "read"));
+  EXPECT_EQ(std::get<std::uint64_t>(decode_values(read.return_data).at(0)), 1u);
+  // No event from the failed call.
+  EXPECT_EQ(chain.events().size(), 1u);
+}
+
+TEST(Blockchain, ContractTransferLimitedToOwnFunds) {
+  Blockchain chain;
+  chain.credit(kAlice, 500);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  // Fund the contract with 100.
+  chain.submit(call_tx(kAlice, counter, "increment", {std::uint64_t{0}}, 100));
+  // Paying out 200 must revert (insufficient contract balance).
+  const Receipt failed = chain.submit(
+      call_tx(kAlice, counter, "payout", {kBob, std::int64_t{200}}));
+  EXPECT_FALSE(failed.success);
+  // Paying out 60 succeeds.
+  const Receipt ok =
+      chain.submit(call_tx(kAlice, counter, "payout", {kBob, std::int64_t{60}}));
+  EXPECT_TRUE(ok.success);
+  EXPECT_EQ(chain.balance(kBob), 60);
+  EXPECT_EQ(chain.balance(counter), 40);
+}
+
+TEST(Blockchain, OutOfGasReverts) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  Transaction tx = call_tx(kAlice, counter, "increment", {std::uint64_t{1}});
+  tx.gas_limit = 10;  // below the base call cost
+  const Receipt receipt = chain.submit(tx);
+  EXPECT_FALSE(receipt.success);
+  EXPECT_EQ(receipt.revert_reason, "out of gas");
+}
+
+TEST(Blockchain, GasAccounting) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  const Receipt receipt =
+      chain.submit(call_tx(kAlice, counter, "increment", {std::uint64_t{1}}));
+  // base + payload bytes + storage write + event, at least.
+  EXPECT_GE(receipt.gas_used, chain.gas_schedule().base_call +
+                                  chain.gas_schedule().storage_write);
+}
+
+TEST(Blockchain, CallDataToNonContractReverts) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  const Receipt receipt = chain.submit(call_tx(kAlice, kBob, "anything"));
+  EXPECT_FALSE(receipt.success);
+}
+
+TEST(Blockchain, SealAndValidate) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  chain.submit(tx);
+  chain.submit(tx);
+  EXPECT_TRUE(chain.has_pending());
+  const std::uint64_t index = chain.seal_block();
+  EXPECT_EQ(index, 1u);
+  EXPECT_FALSE(chain.has_pending());
+  EXPECT_EQ(chain.block(1).transactions.size(), 2u);
+  EXPECT_TRUE(chain.validate().valid);
+}
+
+TEST(Blockchain, TamperWithSealedTxDetected) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  chain.submit(tx);
+  chain.seal_block();
+  ASSERT_TRUE(chain.validate().valid);
+  chain.mutable_block_for_test(1).transactions[0].value = 99;  // rewrite history
+  const ChainValidation validation = chain.validate();
+  EXPECT_FALSE(validation.valid);
+  EXPECT_NE(validation.problem.find("Merkle"), std::string::npos);
+}
+
+TEST(Blockchain, TamperWithHeaderBreaksLink) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  chain.submit(tx);
+  chain.seal_block();
+  chain.submit(tx);
+  chain.seal_block();
+  // Mutating block 1's header (and fixing its tx_root) still breaks block 2's
+  // prev-hash link.
+  Block& victim = chain.mutable_block_for_test(1);
+  victim.header.timestamp += 1000;
+  const ChainValidation validation = chain.validate();
+  EXPECT_FALSE(validation.valid);
+  EXPECT_NE(validation.problem.find("prev-hash"), std::string::npos);
+}
+
+TEST(Blockchain, ReceiptLookupByHash) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  const Receipt receipt =
+      chain.submit(call_tx(kAlice, counter, "increment", {std::uint64_t{2}}));
+  const auto found = chain.receipt_for(receipt.tx_hash);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(found->success);
+  Hash256 bogus{};
+  EXPECT_FALSE(chain.receipt_for(bogus).has_value());
+}
+
+TEST(Blockchain, NoncesIncrementPerSender) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  const Receipt r1 = chain.submit(tx);
+  const Receipt r2 = chain.submit(tx);
+  // Identical user transactions get distinct hashes thanks to the nonce.
+  EXPECT_NE(r1.tx_hash, r2.tx_hash);
+}
+
+TEST(Blockchain, DeployRejectsNull) {
+  Blockchain chain;
+  EXPECT_THROW(chain.deploy(nullptr), std::invalid_argument);
+}
+
+TEST(Blockchain, ContractLookup) {
+  Blockchain chain;
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  EXPECT_TRUE(chain.has_contract(counter));
+  EXPECT_EQ(chain.contract_at(counter).contract_name(), "Counter");
+  EXPECT_FALSE(chain.has_contract(kAlice));
+  EXPECT_THROW(chain.contract_at(kAlice), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

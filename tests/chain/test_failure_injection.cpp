@@ -1,0 +1,167 @@
+// Failure injection on the chain substrate: gas exhaustion mid-settlement,
+// partially funded rounds, and hostile call sequences must always leave the
+// ledger in a consistent, recoverable state (atomicity of submit()).
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "chain/tradefl_contract.h"
+#include "chain/web3.h"
+
+namespace tradefl::chain {
+namespace {
+
+struct Round {
+  Blockchain chain;
+  Web3Client web3{chain};
+  std::vector<Address> orgs;
+  Address contract;
+  static constexpr Wei kDeposit = 300'000'000'000;
+
+  explicit Round(std::size_t n = 4) {
+    TradeFlContractConfig config;
+    config.org_count = n;
+    config.gamma_scaled = Fixed::from_double(5.12);
+    config.lambda = Fixed::from_double(2.0);
+    config.rho.assign(n * n, Fixed{});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) config.rho[i * n + j] = Fixed::from_double(0.05);
+      }
+    }
+    config.data_size_gb.assign(n, Fixed::from_double(20.0));
+    config.min_deposit = kDeposit;
+    contract = chain.deploy(std::make_unique<TradeFlContract>(config));
+    for (std::size_t i = 0; i < n; ++i) {
+      orgs.push_back(Address::from_name("org-" + std::to_string(i)));
+      chain.credit(orgs[i], 4 * kDeposit);
+    }
+  }
+
+  Transaction call_tx(std::size_t org, const std::string& method,
+                      std::vector<AbiValue> args = {}, Wei value = 0) {
+    Transaction tx;
+    tx.from = orgs[org];
+    tx.to = contract;
+    tx.value = value;
+    tx.data = encode_call(CallPayload{method, std::move(args)});
+    return tx;
+  }
+
+  void advance_to_calculated() {
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+      web3.call_or_throw(orgs[i], contract, "register",
+                         {orgs[i], static_cast<std::uint64_t>(i)});
+      web3.call_or_throw(orgs[i], contract, "depositSubmit", {}, kDeposit);
+    }
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+      web3.call_or_throw(orgs[i], contract, "contributionSubmit",
+                         {Fixed::from_double(0.1 + 0.2 * static_cast<double>(i)),
+                          Fixed::from_double(3.0)});
+    }
+    web3.call_or_throw(orgs[0], contract, "payoffCalculate");
+  }
+};
+
+TEST(FailureInjection, OutOfGasDuringTransferIsAtomic) {
+  Round round;
+  round.advance_to_calculated();
+  const Wei contract_before = round.chain.balance(round.contract);
+  const Wei org0_before = round.chain.balance(round.orgs[0]);
+
+  Transaction tx = round.call_tx(0, "payoffTransfer");
+  tx.gas_limit = 40'000;  // enough to start, not enough to finish the refunds
+  const Receipt receipt = round.chain.submit(std::move(tx));
+  ASSERT_FALSE(receipt.success);
+  EXPECT_EQ(receipt.revert_reason, "out of gas");
+  // Nothing moved, nothing half-settled.
+  EXPECT_EQ(round.chain.balance(round.contract), contract_before);
+  EXPECT_EQ(round.chain.balance(round.orgs[0]), org0_before);
+  // And the settlement still works afterwards with proper gas.
+  round.web3.call_or_throw(round.orgs[0], round.contract, "payoffTransfer");
+  EXPECT_EQ(round.chain.balance(round.contract), 0);
+}
+
+TEST(FailureInjection, PartialFundingKeepsContributionsClosed) {
+  Round round;
+  for (std::size_t i = 0; i < round.orgs.size(); ++i) {
+    round.web3.call_or_throw(round.orgs[i], round.contract, "register",
+                             {round.orgs[i], static_cast<std::uint64_t>(i)});
+  }
+  // Only half the consortium deposits.
+  round.web3.call_or_throw(round.orgs[0], round.contract, "depositSubmit", {},
+                           Round::kDeposit);
+  round.web3.call_or_throw(round.orgs[1], round.contract, "depositSubmit", {},
+                           Round::kDeposit);
+  const auto outcome =
+      round.web3.call(round.orgs[0], round.contract, "contributionSubmit",
+                      {Fixed::from_double(0.5), Fixed::from_double(3.0)});
+  EXPECT_FALSE(outcome.receipt.success);  // phase still Registration
+}
+
+TEST(FailureInjection, UnderfundedDepositDoesNotOpenPhase) {
+  Round round;
+  for (std::size_t i = 0; i < round.orgs.size(); ++i) {
+    round.web3.call_or_throw(round.orgs[i], round.contract, "register",
+                             {round.orgs[i], static_cast<std::uint64_t>(i)});
+    // Everyone deposits HALF the minimum.
+    round.web3.call_or_throw(round.orgs[i], round.contract, "depositSubmit", {},
+                             Round::kDeposit / 2);
+  }
+  const auto phase = round.web3.call_or_throw(round.orgs[0], round.contract, "phase");
+  EXPECT_EQ(std::get<std::uint64_t>(phase.returned.at(0)), 0u);
+  // Topping up opens the round.
+  for (std::size_t i = 0; i < round.orgs.size(); ++i) {
+    round.web3.call_or_throw(round.orgs[i], round.contract, "depositSubmit", {},
+                             Round::kDeposit / 2);
+  }
+  const auto opened = round.web3.call_or_throw(round.orgs[0], round.contract, "phase");
+  EXPECT_EQ(std::get<std::uint64_t>(opened.returned.at(0)), 1u);
+}
+
+TEST(FailureInjection, HostileReplaySequenceLeavesChainValid) {
+  Round round;
+  round.advance_to_calculated();
+  // A hostile org spams every method out of order with bogus arguments.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    round.web3.call(round.orgs[3], round.contract, "register",
+                    {round.orgs[3], std::uint64_t{0}});
+    round.web3.call(round.orgs[3], round.contract, "contributionSubmit",
+                    {Fixed::from_double(-1.0), Fixed::from_double(3.0)});
+    round.web3.call(round.orgs[3], round.contract, "payoffOf", {std::uint64_t{99}});
+    round.web3.call(round.orgs[3], round.contract, "payoffCalculate");
+  }
+  round.web3.call_or_throw(round.orgs[0], round.contract, "payoffTransfer");
+  EXPECT_TRUE(round.chain.validate().valid);
+  EXPECT_EQ(round.chain.balance(round.contract), 0);
+  // Every failed attempt is on the ledger with its revert reason — the
+  // traceability the paper's arbitration story needs.
+  std::size_t failed_receipts = 0;
+  for (const Receipt& receipt : round.chain.receipts()) {
+    if (!receipt.success) ++failed_receipts;
+  }
+  EXPECT_GE(failed_receipts, 9u);
+}
+
+TEST(FailureInjection, MalformedPayloadRejectedNotCrashing) {
+  Round round;
+  Transaction tx;
+  tx.from = round.orgs[0];
+  tx.to = round.contract;
+  tx.data = {0xDE, 0xAD, 0xBE, 0xEF};  // not a valid ABI payload
+  const Receipt receipt = round.chain.submit(std::move(tx));
+  EXPECT_FALSE(receipt.success);
+  EXPECT_TRUE(round.chain.validate().valid);
+}
+
+TEST(FailureInjection, ValueOverflowGuard) {
+  Round round;
+  round.web3.call_or_throw(round.orgs[0], round.contract, "register",
+                           {round.orgs[0], std::uint64_t{0}});
+  Transaction tx = round.call_tx(0, "depositSubmit", {}, -5);
+  const Receipt receipt = round.chain.submit(std::move(tx));
+  EXPECT_FALSE(receipt.success);
+  EXPECT_EQ(round.chain.balance(round.orgs[0]), 4 * Round::kDeposit);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

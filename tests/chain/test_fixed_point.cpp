@@ -1,0 +1,91 @@
+// Deterministic fixed-point arithmetic used by the on-chain payoff math.
+#include "chain/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace tradefl::chain {
+namespace {
+
+TEST(Fixed, Construction) {
+  EXPECT_EQ(Fixed::from_int(3).raw(), 3 * Fixed::kScale);
+  EXPECT_EQ(Fixed::from_double(1.5).raw(), 1'500'000'000);
+  EXPECT_EQ(Fixed::from_raw(123).raw(), 123);
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-2.25).to_double(), -2.25);
+}
+
+TEST(Fixed, DoubleRoundsToNearest) {
+  EXPECT_EQ(Fixed::from_double(1e-9).raw(), 1);
+  EXPECT_EQ(Fixed::from_double(4.9e-10).raw(), 0);
+  EXPECT_EQ(Fixed::from_double(-1e-9).raw(), -1);
+}
+
+TEST(Fixed, AddSub) {
+  const Fixed a = Fixed::from_double(1.25);
+  const Fixed b = Fixed::from_double(0.75);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(Fixed, MulDiv) {
+  const Fixed a = Fixed::from_double(2.5);
+  const Fixed b = Fixed::from_double(0.4);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ((a / b).to_double(), 6.25);
+}
+
+TEST(Fixed, MulUsesWideIntermediate) {
+  // 3e6 * 3e6 would overflow int64 raw without the 128-bit intermediate.
+  const Fixed big = Fixed::from_int(3'000'000);
+  EXPECT_DOUBLE_EQ((big * Fixed::from_int(2)).to_double(), 6'000'000.0);
+}
+
+TEST(Fixed, OverflowDetected) {
+  const Fixed huge = Fixed::from_raw(std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW(huge + Fixed::from_raw(1), std::overflow_error);
+  EXPECT_THROW(huge * Fixed::from_int(2), std::overflow_error);
+  const Fixed lowest = Fixed::from_raw(std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW(-lowest, std::overflow_error);
+  EXPECT_THROW(lowest - Fixed::from_raw(1), std::overflow_error);
+}
+
+TEST(Fixed, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(Fixed::from_double(std::numeric_limits<double>::quiet_NaN()),
+               std::overflow_error);
+  EXPECT_THROW(Fixed::from_double(1e20), std::overflow_error);
+}
+
+TEST(Fixed, FromIntOverflow) {
+  EXPECT_THROW(Fixed::from_int(std::numeric_limits<std::int64_t>::max()),
+               std::overflow_error);
+}
+
+TEST(Fixed, DivideByZero) {
+  EXPECT_THROW(Fixed::from_int(1) / Fixed::from_raw(0), std::domain_error);
+}
+
+TEST(Fixed, Ordering) {
+  EXPECT_LT(Fixed::from_double(1.0), Fixed::from_double(1.5));
+  EXPECT_EQ(Fixed::from_double(2.0), Fixed::from_int(2));
+}
+
+TEST(Fixed, ToString) {
+  EXPECT_EQ(Fixed::from_double(1.5).to_string(), "1.5");
+  EXPECT_EQ(Fixed::from_int(42).to_string(), "42.0");
+  EXPECT_EQ(Fixed::from_double(-0.25).to_string(), "-0.25");
+  EXPECT_EQ(Fixed::from_raw(1).to_string(), "0.000000001");
+}
+
+TEST(Fixed, DeterministicAssociativityOfAddition) {
+  // Integer arithmetic: (a+b)+c == a+(b+c) exactly — the consensus property
+  // floats cannot give.
+  const Fixed a = Fixed::from_double(0.1);
+  const Fixed b = Fixed::from_double(0.2);
+  const Fixed c = Fixed::from_double(0.3);
+  EXPECT_EQ(((a + b) + c).raw(), (a + (b + c)).raw());
+}
+
+}  // namespace
+}  // namespace tradefl::chain

@@ -1,0 +1,83 @@
+// Merkle inclusion proofs: light-client verification for arbitration.
+#include <gtest/gtest.h>
+
+#include "chain/block.h"
+
+namespace tradefl::chain {
+namespace {
+
+Transaction make_tx(int n) {
+  Transaction tx;
+  tx.from = Address::from_name("from-" + std::to_string(n));
+  tx.to = Address::from_name("to-" + std::to_string(n));
+  tx.value = n;
+  return tx;
+}
+
+std::vector<Transaction> make_txs(int count) {
+  std::vector<Transaction> txs;
+  for (int i = 0; i < count; ++i) txs.push_back(make_tx(i));
+  return txs;
+}
+
+TEST(MerkleProof, VerifiesEveryLeafForVariousSizes) {
+  for (int count : {1, 2, 3, 4, 5, 7, 8, 13}) {
+    const auto txs = make_txs(count);
+    const Hash256 root = Block::merkle_root(txs);
+    for (int i = 0; i < count; ++i) {
+      const MerkleProof proof = MerkleProof::build(txs, static_cast<std::size_t>(i));
+      EXPECT_TRUE(proof.verify(txs[static_cast<std::size_t>(i)].hash(), root))
+          << "count " << count << " leaf " << i;
+    }
+  }
+}
+
+TEST(MerkleProof, RejectsWrongLeaf) {
+  const auto txs = make_txs(6);
+  const Hash256 root = Block::merkle_root(txs);
+  const MerkleProof proof = MerkleProof::build(txs, 2);
+  EXPECT_FALSE(proof.verify(txs[3].hash(), root));     // different tx
+  EXPECT_FALSE(proof.verify(Hash256{}, root));         // bogus leaf
+}
+
+TEST(MerkleProof, RejectsWrongRoot) {
+  const auto txs = make_txs(6);
+  const MerkleProof proof = MerkleProof::build(txs, 2);
+  EXPECT_FALSE(proof.verify(txs[2].hash(), Hash256{}));
+}
+
+TEST(MerkleProof, DetectsTamperedTransaction) {
+  auto txs = make_txs(8);
+  const Hash256 root = Block::merkle_root(txs);
+  const MerkleProof proof = MerkleProof::build(txs, 5);
+  ASSERT_TRUE(proof.verify(txs[5].hash(), root));
+  txs[5].value = 999;  // the org rewrites its recorded contribution
+  EXPECT_FALSE(proof.verify(txs[5].hash(), root));
+}
+
+TEST(MerkleProof, ProofSizeLogarithmic) {
+  const auto txs = make_txs(16);
+  EXPECT_EQ(MerkleProof::build(txs, 0).siblings.size(), 4u);  // log2(16)
+  const auto small = make_txs(2);
+  EXPECT_EQ(MerkleProof::build(small, 1).siblings.size(), 1u);
+  const auto single = make_txs(1);
+  EXPECT_TRUE(MerkleProof::build(single, 0).siblings.empty());
+  EXPECT_TRUE(MerkleProof::build(single, 0).verify(single[0].hash(),
+                                                   Block::merkle_root(single)));
+}
+
+TEST(MerkleProof, OutOfRangeThrows) {
+  const auto txs = make_txs(3);
+  EXPECT_THROW(MerkleProof::build(txs, 3), std::out_of_range);
+}
+
+TEST(MerkleProof, WorksAgainstSealedBlockHeader) {
+  Block block;
+  block.transactions = make_txs(5);
+  block.header.tx_root = Block::merkle_root(block.transactions);
+  const MerkleProof proof = MerkleProof::build(block.transactions, 4);
+  EXPECT_TRUE(proof.verify(block.transactions[4].hash(), block.header.tx_root));
+}
+
+}  // namespace
+}  // namespace tradefl::chain

@@ -1,0 +1,84 @@
+#include "chain/web3.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/tradefl_contract.h"
+
+namespace tradefl::chain {
+namespace {
+
+TradeFlContractConfig two_org_config() {
+  TradeFlContractConfig config;
+  config.org_count = 2;
+  config.gamma_scaled = Fixed::from_double(5.0);
+  config.lambda = Fixed::from_double(2.0);
+  config.rho.assign(4, Fixed{});
+  config.rho[1] = Fixed::from_double(0.1);
+  config.rho[2] = Fixed::from_double(0.1);
+  config.data_size_gb.assign(2, Fixed::from_int(20));
+  config.min_deposit = 1000;
+  return config;
+}
+
+TEST(Web3, AutoSealsOneBlockPerCall) {
+  Blockchain chain;
+  Web3Client web3(chain);
+  const Address a = Address::from_name("a");
+  const Address b = Address::from_name("b");
+  chain.credit(a, 100);
+  const std::size_t blocks_before = chain.block_count();
+  web3.transfer(a, b, 10);
+  EXPECT_EQ(chain.block_count(), blocks_before + 1);
+  EXPECT_FALSE(chain.has_pending());
+  EXPECT_EQ(web3.balance(b), 10);
+}
+
+TEST(Web3, ManualSealMode) {
+  Blockchain chain;
+  Web3Client web3(chain, /*auto_seal=*/false);
+  const Address a = Address::from_name("a");
+  chain.credit(a, 100);
+  web3.transfer(a, Address::from_name("b"), 10);
+  EXPECT_TRUE(chain.has_pending());
+  chain.seal_block();
+  EXPECT_FALSE(chain.has_pending());
+}
+
+TEST(Web3, CallDecodesReturnValues) {
+  Blockchain chain;
+  Web3Client web3(chain);
+  const Address contract = chain.deploy(
+      std::make_unique<TradeFlContract>(two_org_config()));
+  const Address org = Address::from_name("org-0");
+  chain.credit(org, 10000);
+  web3.call_or_throw(org, contract, "register", {org, std::uint64_t{0}});
+  const CallOutcome outcome = web3.call_or_throw(org, contract, "phase");
+  ASSERT_EQ(outcome.returned.size(), 1u);
+  EXPECT_EQ(std::get<std::uint64_t>(outcome.returned[0]), 0u);
+}
+
+TEST(Web3, CallReportsRevertWithoutThrowing) {
+  Blockchain chain;
+  Web3Client web3(chain);
+  const Address contract = chain.deploy(
+      std::make_unique<TradeFlContract>(two_org_config()));
+  const Address stranger = Address::from_name("stranger");
+  chain.credit(stranger, 10000);
+  const CallOutcome outcome = web3.call(stranger, contract, "depositSubmit", {}, 100);
+  EXPECT_FALSE(outcome.receipt.success);
+  EXPECT_TRUE(outcome.returned.empty());
+}
+
+TEST(Web3, CallOrThrowThrowsOnRevert) {
+  Blockchain chain;
+  Web3Client web3(chain);
+  const Address contract = chain.deploy(
+      std::make_unique<TradeFlContract>(two_org_config()));
+  const Address stranger = Address::from_name("stranger");
+  chain.credit(stranger, 10000);
+  EXPECT_THROW(web3.call_or_throw(stranger, contract, "depositSubmit", {}, 100),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

@@ -1,0 +1,74 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl {
+namespace {
+
+TEST(Config, ParsesKeyValueArgs) {
+  const auto config = Config::from_args({"gamma=5e-9", "scheme=dbr", "rounds=25"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config.value().get_double("gamma", 0.0), 5e-9);
+  EXPECT_EQ(config.value().get_string("scheme", ""), "dbr");
+  EXPECT_EQ(config.value().get_int("rounds", 0), 25);
+}
+
+TEST(Config, LaterKeysOverride) {
+  const auto config = Config::from_args({"x=1", "x=2"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().get_int("x", 0), 2);
+}
+
+TEST(Config, IgnoresCommentsAndBlanks) {
+  const auto config = Config::from_text("# comment\n\na=1\n  # another\nb=2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().entries().size(), 2u);
+}
+
+TEST(Config, RejectsMissingEquals) {
+  EXPECT_FALSE(Config::from_args({"no-equals-here"}).ok());
+}
+
+TEST(Config, RejectsEmptyKey) {
+  EXPECT_FALSE(Config::from_args({"=value"}).ok());
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config config;
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(config.get_int("missing", -7), -7);
+  EXPECT_TRUE(config.get_bool("missing", true));
+  EXPECT_EQ(config.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Config, BoolParsing) {
+  Config config;
+  config.set("t1", "true");
+  config.set("t2", "1");
+  config.set("t3", "YES");
+  config.set("f1", "false");
+  config.set("f2", "off");
+  EXPECT_TRUE(config.get_bool("t1", false));
+  EXPECT_TRUE(config.get_bool("t2", false));
+  EXPECT_TRUE(config.get_bool("t3", false));
+  EXPECT_FALSE(config.get_bool("f1", true));
+  EXPECT_FALSE(config.get_bool("f2", true));
+}
+
+TEST(Config, ThrowsOnMalformedNumbers) {
+  Config config;
+  config.set("x", "12abc");
+  EXPECT_THROW(config.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(config.get_int("x", 0), std::invalid_argument);
+  config.set("b", "maybe");
+  EXPECT_THROW(config.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, TrimsWhitespace) {
+  const auto config = Config::from_args({"  key =  value  "});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().get_string("key", ""), "value");
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter writer({"a", "b"});
+  writer.add_row({"1", "2"});
+  writer.add_row({"x", "y"});
+  EXPECT_EQ(writer.to_string(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(writer.row_count(), 2u);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_THROW(writer.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter writer({"text"});
+  writer.add_row({"hello, world"});
+  writer.add_row({"line\nbreak"});
+  writer.add_row({"has \"quotes\""});
+  const std::string out = writer.to_string();
+  EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(out.find("\"has \"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(CsvWriter, DoubleRows) {
+  CsvWriter writer({"x", "y"});
+  writer.add_row_doubles({1.5, -2.25});
+  EXPECT_EQ(writer.to_string(), "x,y\n1.5,-2.25\n");
+}
+
+TEST(CsvParse, RoundTripsWriterOutput) {
+  CsvWriter writer({"name", "value"});
+  writer.add_row({"plain", "1"});
+  writer.add_row({"with, comma", "2"});
+  writer.add_row({"with \"quote\"", "3"});
+  const auto parsed = parse_csv(writer.to_string());
+  ASSERT_TRUE(parsed.ok());
+  const CsvTable& table = parsed.value();
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(table.rows[1][0], "with, comma");
+  EXPECT_EQ(table.rows[2][0], "with \"quote\"");
+}
+
+TEST(CsvParse, HandlesCrlf) {
+  const auto parsed = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().rows.size(), 1u);
+  EXPECT_EQ(parsed.value().rows[0][1], "2");
+}
+
+TEST(CsvParse, RejectsRowWidthMismatch) {
+  const auto parsed = parse_csv("a,b\n1,2,3\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "csv");
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  const auto parsed = parse_csv("a\n\"unterminated\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvParse, RejectsEmptyInput) {
+  EXPECT_FALSE(parse_csv("").ok());
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  CsvWriter writer({"k", "v"});
+  writer.add_row({"x", "42"});
+  const std::string path = testing::TempDir() + "/tradefl_csv_test.csv";
+  ASSERT_TRUE(writer.write_file(path).ok());
+  const auto parsed = read_csv_file(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().rows[0][1], "42");
+}
+
+TEST(CsvFile, MissingFileReportsIoError) {
+  const auto parsed = read_csv_file("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "io");
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -1,0 +1,53 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Error{"code", "message"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "code");
+  EXPECT_EQ(result.error().to_string(), "code: message");
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> result(Error{"e", "boom"});
+  EXPECT_THROW((void)result.value(), std::runtime_error);
+}
+
+TEST(Result, MapTransformsValue) {
+  Result<int> result(21);
+  const auto doubled = result.map([](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+}
+
+TEST(Result, MapPropagatesError) {
+  Result<int> result(Error{"e", "nope"});
+  const auto mapped = result.map([](int x) { return x + 1; });
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.error().code, "e");
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> result(std::string("moveme"));
+  const std::string taken = std::move(result).take();
+  EXPECT_EQ(taken, "moveme");
+}
+
+TEST(Status, OkHelper) {
+  EXPECT_TRUE(ok_status().ok());
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tradefl {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.5};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.5);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(min_value({}), std::invalid_argument);
+}
+
+TEST(Stats, CorrelationPerfect) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(correlation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 0.5 * i);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-10);
+}
+
+TEST(SqrtSaturationFit, RecoversKnownCurve) {
+  // y = 0.8 - 2.0 / sqrt(x + 10)
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 200.0; x += 10.0) {
+    xs.push_back(x);
+    ys.push_back(0.8 - 2.0 / std::sqrt(x + 10.0));
+  }
+  const SqrtSaturationFit fit = fit_sqrt_saturation(xs, ys);
+  EXPECT_GT(fit.r_squared, 0.999);
+  // Evaluate near the data, not the raw parameters (c is grid-searched).
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(fit.evaluate(xs[i]), ys[i], 0.01);
+  }
+}
+
+TEST(SqrtSaturationFit, NonNegativeB) {
+  // Decreasing data would want b < 0; the fit clamps to b >= 0.
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{4, 3, 2, 1};
+  const SqrtSaturationFit fit = fit_sqrt_saturation(xs, ys);
+  EXPECT_GE(fit.b, 0.0);
+}
+
+TEST(ShapeCheck, DetectsMonotoneConcave) {
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x <= 10.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(std::sqrt(x));
+  }
+  const ShapeCheck check = check_monotone_concave(xs, ys, 1e-9);
+  EXPECT_TRUE(check.nondecreasing);
+  EXPECT_TRUE(check.concave);
+}
+
+TEST(ShapeCheck, DetectsViolation) {
+  // Convex increasing: monotone yes, concave no.
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x <= 10.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(x * x);
+  }
+  const ShapeCheck check = check_monotone_concave(xs, ys, 1e-9);
+  EXPECT_TRUE(check.nondecreasing);
+  EXPECT_FALSE(check.concave);
+
+  // Decreasing: monotone no.
+  std::vector<double> zs;
+  for (double x : xs) zs.push_back(-x);
+  EXPECT_FALSE(check_monotone_concave(xs, zs, 1e-9).nondecreasing);
+}
+
+TEST(ShapeCheck, ToleranceAbsorbsNoise) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{0.0, 0.5, 0.49, 0.8};  // tiny dip
+  EXPECT_FALSE(check_monotone_concave(xs, ys, 1e-6).nondecreasing);
+  EXPECT_TRUE(check_monotone_concave(xs, ys, 0.05).nondecreasing);
+}
+
+TEST(ShapeCheck, RequiresIncreasingX) {
+  EXPECT_THROW(check_monotone_concave({1, 1}, {0, 0}, 1e-9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -1,0 +1,49 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl {
+namespace {
+
+TEST(AsciiTable, RendersAlignedGrid) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  // Every line has identical width.
+  std::size_t width = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsBadRows) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({"a"}, {Align::kLeft, Align::kRight}), std::invalid_argument);
+}
+
+TEST(AsciiTable, LabeledDoubleRows) {
+  AsciiTable table({"scheme", "welfare", "damage"});
+  table.add_labeled_row("DBR", {8582.7, 16.3}, 6);
+  EXPECT_EQ(table.row_count(), 1u);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("8582.7"), std::string::npos);
+  EXPECT_NE(out.find("DBR"), std::string::npos);
+}
+
+TEST(AsciiTable, AlignmentLeftVsRight) {
+  AsciiTable table({"l", "r"}, {Align::kLeft, Align::kRight});
+  table.add_row({"a", "b"});
+  const std::string out = table.render();
+  // Left cell pads on the right; right cell pads on the left.
+  EXPECT_NE(out.find("| a |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -1,0 +1,145 @@
+// The Sec. VI baselines: WPR, GCA, FIP, TOS.
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/game_factory.h"
+
+namespace tradefl::core {
+namespace {
+
+using game::make_default_game;
+using game::OrgId;
+
+TEST(Wpr, ConvergesAndIgnoresRedistribution) {
+  const auto game = make_default_game(42);
+  const Solution solution = run_wpr(game);
+  EXPECT_TRUE(solution.converged);
+  EXPECT_TRUE(game.is_feasible(solution.profile));
+}
+
+TEST(Wpr, InsensitiveToGamma) {
+  // Without the R_i term the equilibrium cannot depend on gamma.
+  game::ExperimentSpec lo_spec;
+  lo_spec.params.gamma = 1e-10;
+  game::ExperimentSpec hi_spec;
+  hi_spec.params.gamma = 1e-7;
+  const auto lo = make_experiment_game(lo_spec, 42);
+  const auto hi = make_experiment_game(hi_spec, 42);
+  const Solution lo_solution = run_wpr(lo);
+  const Solution hi_solution = run_wpr(hi);
+  EXPECT_NEAR(lo.total_data_fraction(lo_solution.profile),
+              hi.total_data_fraction(hi_solution.profile), 1e-6);
+}
+
+TEST(Wpr, ContributesNoMoreThanDbr) {
+  // Redistribution is the incentive; removing it weakly reduces contribution.
+  const auto game = make_default_game(42);
+  const Solution wpr = run_wpr(game);
+  const Solution dbr = run_dbr(game);
+  EXPECT_LE(game.total_data_fraction(wpr.profile),
+            game.total_data_fraction(dbr.profile) + 1e-6);
+}
+
+TEST(Gca, ConvergesAndFeasible) {
+  const auto game = make_default_game(42);
+  const Solution solution = run_gca(game);
+  EXPECT_TRUE(solution.converged);
+  EXPECT_TRUE(game.is_feasible(solution.profile));
+}
+
+TEST(Gca, FrequencyTracksData) {
+  // Orgs with larger d must sit at weakly faster levels under the greedy pin.
+  const auto game = make_default_game(42);
+  const Solution solution = run_gca(game);
+  for (OrgId i = 0; i < game.size(); ++i) {
+    for (OrgId j = 0; j < game.size(); ++j) {
+      if (solution.profile[i].data_fraction >
+              solution.profile[j].data_fraction + 0.3 &&
+          game.org(i).freq_levels.size() == game.org(j).freq_levels.size()) {
+        EXPECT_GE(solution.profile[i].freq_index + 1, solution.profile[j].freq_index)
+            << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Gca, ExplicitKScale) {
+  const auto game = make_default_game(42);
+  GcaOptions options;
+  options.k_scale = 1e9;  // ~1 GHz per unit d: everyone pinned to the floor
+  const Solution solution = run_gca(game, options);
+  for (OrgId i = 0; i < game.size(); ++i) {
+    // With such a low target the pin stays at (or near) the lowest feasible
+    // level unless the deadline forces a bump.
+    EXPECT_LE(solution.profile[i].freq_index, game.org(i).freq_levels.size() - 1);
+  }
+  EXPECT_TRUE(game.is_feasible(solution.profile));
+}
+
+TEST(Fip, StaysOnGridAndConverges) {
+  const auto game = make_default_game(42);
+  FipOptions options;
+  options.grid_step = 0.1;
+  const Solution solution = run_fip(game, options);
+  EXPECT_TRUE(solution.converged);
+  for (const auto& strategy : solution.profile) {
+    const double d = strategy.data_fraction;
+    const bool on_grid = std::abs(d / 0.1 - std::round(d / 0.1)) < 1e-9;
+    const bool at_dmin = std::abs(d - game.params().d_min) < 1e-12;
+    EXPECT_TRUE(on_grid || at_dmin) << "d = " << d;
+  }
+}
+
+TEST(Fip, CoarserGridWeaklyWorsePotential) {
+  const auto game = make_default_game(42);
+  FipOptions fine;
+  fine.grid_step = 0.05;
+  FipOptions coarse;
+  coarse.grid_step = 0.5;
+  const Solution fine_solution = run_fip(game, fine);
+  const Solution coarse_solution = run_fip(game, coarse);
+  // Not guaranteed strictly, but the fine grid cannot be dramatically worse:
+  // both must at least be feasible and converged.
+  EXPECT_TRUE(fine_solution.converged);
+  EXPECT_TRUE(coarse_solution.converged);
+}
+
+TEST(Fip, RejectsBadGrid) {
+  const auto game = make_default_game(42);
+  EXPECT_THROW(run_fip(game, FipOptions{0.0, {}}), std::invalid_argument);
+  EXPECT_THROW(run_fip(game, FipOptions{1.5, {}}), std::invalid_argument);
+}
+
+TEST(Tos, AllInProfile) {
+  const auto game = make_default_game(42);
+  const Solution solution = run_tos(game);
+  for (OrgId i = 0; i < game.size(); ++i) {
+    EXPECT_DOUBLE_EQ(solution.profile[i].data_fraction, 1.0);
+    EXPECT_EQ(solution.profile[i].freq_index, game.org(i).freq_levels.size() - 1);
+  }
+  EXPECT_DOUBLE_EQ(game.total_data_fraction(solution.profile),
+                   static_cast<double>(game.size()));
+}
+
+TEST(Tos, BestPerformanceWorstEfficiency) {
+  // TOS maximizes P but ignores the deadline and costs: its performance
+  // dominates every scheme while its welfare falls below DBR's.
+  const auto game = make_default_game(42);
+  const Solution tos = run_tos(game);
+  const Solution dbr = run_dbr(game);
+  EXPECT_GE(game.performance(tos.profile), game.performance(dbr.profile));
+  EXPECT_LE(game.social_welfare(tos.profile), game.social_welfare(dbr.profile));
+}
+
+TEST(Tos, MayViolateDeadline) {
+  // The default game's deadline cannot accommodate d = 1 at every org.
+  const auto game = make_default_game(42);
+  const Solution tos = run_tos(game);
+  EXPECT_FALSE(game.is_feasible(tos.profile));
+}
+
+}  // namespace
+}  // namespace tradefl::core

@@ -1,0 +1,131 @@
+// Definition 9 / Eq. (24): the best response maximizes C_i over the feasible
+// strategy set. Verified against brute-force grid search.
+#include "core/best_response.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/game_factory.h"
+
+namespace tradefl::core {
+namespace {
+
+using game::make_default_game;
+using game::make_toy_game;
+using game::OrgId;
+using game::StrategyProfile;
+
+double brute_force_payoff(const game::CoopetitionGame& game, OrgId i,
+                          StrategyProfile profile, const BestResponseOptions& options,
+                          std::size_t grid = 400) {
+  double best = -1e300;
+  for (std::size_t level : game.feasible_freq_levels(i)) {
+    const double upper = game.data_upper_bound(i, level);
+    profile[i].freq_index = level;
+    for (std::size_t g = 0; g <= grid; ++g) {
+      profile[i].data_fraction = game.params().d_min +
+                                 (upper - game.params().d_min) * static_cast<double>(g) /
+                                     static_cast<double>(grid);
+      best = std::max(best, objective_payoff(game, i, profile, options));
+    }
+  }
+  return best;
+}
+
+TEST(BestResponse, MatchesBruteForceToyGame) {
+  const auto game = make_toy_game();
+  const auto profile = game.minimal_profile();
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const BestResponse response = best_response(game, i, profile);
+    const double brute = brute_force_payoff(game, i, profile, {});
+    EXPECT_NEAR(response.payoff, brute, 1e-6 * std::max(1.0, std::abs(brute)));
+    EXPECT_GE(response.payoff, brute - 1e-6);
+  }
+}
+
+TEST(BestResponse, MatchesBruteForceDefaultGame) {
+  const auto game = make_default_game(42);
+  auto profile = game.minimal_profile();
+  profile[3].data_fraction = 0.4;  // non-trivial opponent profile
+  for (OrgId i : {OrgId{0}, OrgId{4}, OrgId{9}}) {
+    const BestResponse response = best_response(game, i, profile);
+    const double brute = brute_force_payoff(game, i, profile, {});
+    EXPECT_NEAR(response.payoff, brute, 1e-6 * std::max(1.0, std::abs(brute)));
+  }
+}
+
+TEST(BestResponse, RespectsFeasibility) {
+  const auto game = make_default_game(42);
+  const auto profile = game.minimal_profile();
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const BestResponse response = best_response(game, i, profile);
+    StrategyProfile check = profile;
+    check[i] = response.strategy;
+    EXPECT_TRUE(game.is_feasible(check)) << game.feasibility_report(check);
+  }
+}
+
+TEST(BestResponse, WithoutRedistributionContributesLess) {
+  // The whole point of TradeFL: removing R_i weakens the incentive.
+  const auto game = make_default_game(42);
+  const auto profile = game.minimal_profile();
+  BestResponseOptions with;
+  BestResponseOptions without;
+  without.include_redistribution = false;
+  double d_with = 0.0, d_without = 0.0;
+  for (OrgId i = 0; i < game.size(); ++i) {
+    d_with += best_response(game, i, profile, with).strategy.data_fraction;
+    d_without += best_response(game, i, profile, without).strategy.data_fraction;
+  }
+  EXPECT_GE(d_with, d_without - 1e-9);
+}
+
+TEST(BestResponse, GridModeStaysOnGrid) {
+  const auto game = make_default_game(42);
+  const auto profile = game.minimal_profile();
+  BestResponseOptions options;
+  options.d_grid_step = 0.1;
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const BestResponse response = best_response(game, i, profile, options);
+    const double d = response.strategy.data_fraction;
+    const bool on_grid = std::abs(d / 0.1 - std::round(d / 0.1)) < 1e-9;
+    const bool is_dmin = std::abs(d - game.params().d_min) < 1e-12;
+    EXPECT_TRUE(on_grid || is_dmin) << "d = " << d;
+  }
+}
+
+TEST(BestResponse, ForcedLevelHonored) {
+  const auto game = make_default_game(42);
+  const auto profile = game.minimal_profile();
+  BestResponseOptions options;
+  options.forced_freq_level = 0;
+  if (game.data_upper_bound(0, 0) >= game.params().d_min) {
+    const BestResponse response = best_response(game, 0, profile, options);
+    EXPECT_EQ(response.strategy.freq_index, 0u);
+  }
+}
+
+TEST(BestResponse, ThrowsWhenNothingFeasible) {
+  auto game = make_toy_game();
+  game::GameParams params = game.params();
+  params.tau = 1.0;  // below comm times
+  game::CoopetitionGame tight(game.orgs(), game.rho(), game.accuracy_ptr(), params);
+  EXPECT_THROW(best_response(tight, 0, StrategyProfile(3)), std::runtime_error);
+}
+
+TEST(BestResponse, ObjectiveToggleMatchesBreakdown) {
+  const auto game = make_toy_game();
+  auto profile = game.minimal_profile();
+  profile[0].data_fraction = 0.7;
+  BestResponseOptions with;
+  BestResponseOptions without;
+  without.include_redistribution = false;
+  const auto breakdown = game.payoff_breakdown(0, profile);
+  EXPECT_NEAR(objective_payoff(game, 0, profile, with), breakdown.total(), 1e-12);
+  EXPECT_NEAR(objective_payoff(game, 0, profile, without),
+              breakdown.total() - breakdown.redistribution, 1e-12);
+}
+
+}  // namespace
+}  // namespace tradefl::core

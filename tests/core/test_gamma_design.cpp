@@ -1,0 +1,71 @@
+// The mechanism designer's gamma* search (behind Figs. 7/10).
+#include "core/gamma_design.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::core {
+namespace {
+
+GammaDesignOptions fast_options() {
+  GammaDesignOptions options;
+  options.coarse_points = 7;
+  options.refine_iterations = 6;
+  options.seeds = 1;
+  return options;
+}
+
+TEST(GammaDesign, FindsInteriorOptimum) {
+  game::ExperimentSpec spec;
+  spec.org_count = 6;
+  const auto result = optimize_gamma(spec, fast_options());
+  EXPECT_GT(result.gamma_star, 1e-10);
+  EXPECT_LT(result.gamma_star, 1e-7);
+  EXPECT_GT(result.welfare_at_star, 0.0);
+  EXPECT_GE(result.evaluations.size(), 7u);
+}
+
+TEST(GammaDesign, StarBeatsEveryProbe) {
+  game::ExperimentSpec spec;
+  spec.org_count = 6;
+  const auto result = optimize_gamma(spec, fast_options());
+  for (const auto& [gamma, welfare] : result.evaluations) {
+    EXPECT_GE(result.welfare_at_star, welfare - 1e-9) << "gamma " << gamma;
+  }
+}
+
+TEST(GammaDesign, WelfareAtStarMatchesDirectEvaluation) {
+  game::ExperimentSpec spec;
+  spec.org_count = 5;
+  const auto options = fast_options();
+  const auto result = optimize_gamma(spec, options);
+  EXPECT_NEAR(result.welfare_at_star,
+              equilibrium_welfare(spec, result.gamma_star, options), 1e-9);
+}
+
+TEST(GammaDesign, NonMonotoneCurveObserved) {
+  // The paper's headline: welfare rises then falls across the gamma range,
+  // so the extremes must both be below the optimum.
+  game::ExperimentSpec spec;
+  const auto options = fast_options();
+  const double at_lo = equilibrium_welfare(spec, 1e-10, options);
+  const double at_hi = equilibrium_welfare(spec, 1e-7, options);
+  const auto result = optimize_gamma(spec, options);
+  EXPECT_GT(result.welfare_at_star, at_lo);
+  EXPECT_GT(result.welfare_at_star, at_hi);
+}
+
+TEST(GammaDesign, ValidatesOptions) {
+  game::ExperimentSpec spec;
+  GammaDesignOptions bad = fast_options();
+  bad.gamma_lo = 0.0;
+  EXPECT_THROW(optimize_gamma(spec, bad), std::invalid_argument);
+  bad = fast_options();
+  bad.coarse_points = 2;
+  EXPECT_THROW(optimize_gamma(spec, bad), std::invalid_argument);
+  bad = fast_options();
+  bad.seeds = 0;
+  EXPECT_THROW(optimize_gamma(spec, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::core

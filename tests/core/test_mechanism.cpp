@@ -1,0 +1,132 @@
+// The TradeFL mechanism facade and Theorem 2's properties (IR, BB, CE) plus
+// the NE check, across schemes and parameter sweeps (TEST_P).
+#include "core/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "game/game_factory.h"
+
+namespace tradefl::core {
+namespace {
+
+using game::make_default_game;
+
+TEST(Mechanism, SchemeNamesRoundTrip) {
+  EXPECT_STREQ(scheme_name(Scheme::kCgbd), "CGBD");
+  EXPECT_STREQ(scheme_name(Scheme::kDbr), "DBR");
+  EXPECT_STREQ(scheme_name(Scheme::kWpr), "WPR");
+  EXPECT_STREQ(scheme_name(Scheme::kGca), "GCA");
+  EXPECT_STREQ(scheme_name(Scheme::kFip), "FIP");
+  EXPECT_STREQ(scheme_name(Scheme::kTos), "TOS");
+  EXPECT_EQ(all_schemes().size(), 6u);
+}
+
+class MechanismPerScheme : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(MechanismPerScheme, ResultFieldsConsistent) {
+  const auto game = make_default_game(42);
+  const MechanismResult result = run_scheme(game, GetParam());
+  EXPECT_EQ(result.scheme, GetParam());
+  EXPECT_EQ(result.payoffs.size(), game.size());
+  EXPECT_NEAR(result.welfare, game.social_welfare(result.solution.profile), 1e-9);
+  EXPECT_NEAR(result.total_damage, game.total_damage(result.solution.profile), 1e-12);
+  EXPECT_NEAR(result.total_data_fraction,
+              game.total_data_fraction(result.solution.profile), 1e-12);
+  // Redistribution matrix matches the game's pairwise rule.
+  for (game::OrgId i = 0; i < game.size(); ++i) {
+    for (game::OrgId j = 0; j < game.size(); ++j) {
+      EXPECT_NEAR(result.redistribution[i][j],
+                  game.redistribution_pair(i, j, result.solution.profile), 1e-12);
+    }
+  }
+}
+
+TEST_P(MechanismPerScheme, BudgetBalanceHolds) {
+  const auto game = make_default_game(42);
+  const MechanismResult result = run_scheme(game, GetParam());
+  const PropertyReport report = verify_properties(game, result, /*check_nash=*/false);
+  EXPECT_TRUE(report.budget_balance) << report.summary();
+}
+
+TEST_P(MechanismPerScheme, IndividualRationalityHolds) {
+  const auto game = make_default_game(42);
+  const MechanismResult result = run_scheme(game, GetParam());
+  const PropertyReport report = verify_properties(game, result, /*check_nash=*/false);
+  EXPECT_TRUE(report.individual_rationality) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MechanismPerScheme,
+                         ::testing::ValuesIn(all_schemes()),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return scheme_name(info.param);
+                         });
+
+TEST(Mechanism, EquilibriumSchemesPassNashCheck) {
+  const auto game = make_default_game(42);
+  for (Scheme scheme : {Scheme::kCgbd, Scheme::kDbr}) {
+    const MechanismResult result = run_scheme(game, scheme);
+    const PropertyReport report = verify_properties(game, result);
+    EXPECT_TRUE(report.nash_equilibrium)
+        << scheme_name(scheme) << ": " << report.summary();
+    EXPECT_TRUE(report.computationally_efficient);
+  }
+}
+
+TEST(Mechanism, TosIsNotAnEquilibrium) {
+  const auto game = make_default_game(42);
+  const MechanismResult result = run_scheme(game, Scheme::kTos);
+  const PropertyReport report = verify_properties(game, result, /*check_nash=*/false);
+  EXPECT_FALSE(report.nash_equilibrium);  // unchecked => reported false
+}
+
+TEST(Mechanism, WelfareOrderingMatchesPaper) {
+  // Fig. 6: the TradeFL schemes (CGBD, DBR) dominate WPR, GCA, and TOS.
+  const auto game = make_default_game(42);
+  const double dbr = run_scheme(game, Scheme::kDbr).welfare;
+  const double cgbd = run_scheme(game, Scheme::kCgbd).welfare;
+  const double wpr = run_scheme(game, Scheme::kWpr).welfare;
+  const double gca = run_scheme(game, Scheme::kGca).welfare;
+  const double tos = run_scheme(game, Scheme::kTos).welfare;
+  EXPECT_GT(dbr, wpr);
+  EXPECT_GT(dbr, gca);
+  EXPECT_GT(dbr, tos);
+  EXPECT_NEAR(cgbd, dbr, 0.01 * std::abs(dbr));
+}
+
+TEST(Mechanism, DbrContributesMoreDataThanGca) {
+  // Fig. 12's headline: DBR's data contribution exceeds GCA's at gamma*.
+  const auto game = make_default_game(42);
+  const double dbr = run_scheme(game, Scheme::kDbr).total_data_fraction;
+  const double gca = run_scheme(game, Scheme::kGca).total_data_fraction;
+  EXPECT_GT(dbr, gca);
+}
+
+class MechanismGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MechanismGammaSweep, PropertiesHoldAcrossGamma) {
+  game::ExperimentSpec spec;
+  spec.params.gamma = GetParam();
+  const auto game = make_experiment_game(spec, 42);
+  const MechanismResult result = run_scheme(game, Scheme::kDbr);
+  const PropertyReport report = verify_properties(game, result);
+  EXPECT_TRUE(report.individual_rationality) << report.summary();
+  EXPECT_TRUE(report.budget_balance) << report.summary();
+  EXPECT_TRUE(report.nash_equilibrium) << report.summary();
+  EXPECT_TRUE(report.computationally_efficient) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaGrid, MechanismGammaSweep,
+                         ::testing::Values(0.0, 1e-9, 5.12e-9, 2e-8, 1e-7));
+
+TEST(Mechanism, PropertySummaryMentionsAllProperties) {
+  const auto game = make_default_game(42);
+  const MechanismResult result = run_scheme(game, Scheme::kDbr);
+  const std::string summary = verify_properties(game, result).summary();
+  EXPECT_NE(summary.find("IR="), std::string::npos);
+  EXPECT_NE(summary.find("BB="), std::string::npos);
+  EXPECT_NE(summary.find("NE="), std::string::npos);
+  EXPECT_NE(summary.find("CE="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tradefl::core

@@ -1,0 +1,84 @@
+// The Fig. 2 pre-experiment machinery: monotone-concave accuracy curves and
+// the empirical accuracy model bridge into the game layer.
+#include "fl/data_accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::fl {
+namespace {
+
+DataAccuracyOptions fast_options() {
+  DataAccuracyOptions options;
+  options.org_count = 3;
+  options.samples_per_org = 150;
+  options.test_samples = 250;
+  options.d_grid = {0.1, 0.4, 0.7, 1.0};
+  options.fedavg.rounds = 6;
+  options.fedavg.local_epochs = 2;
+  options.seed = 21;
+  return options;
+}
+
+TEST(DataAccuracy, CurveIncreasesWithData) {
+  const DataAccuracyCurve curve =
+      measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, fast_options());
+  ASSERT_EQ(curve.points.size(), 4u);
+  // Accuracy at full contribution beats accuracy at the smallest one.
+  EXPECT_GT(curve.points.back().accuracy, curve.points.front().accuracy);
+  EXPECT_TRUE(curve.shape.nondecreasing);
+}
+
+TEST(DataAccuracy, PerformanceAnchoredAtUntrained) {
+  const DataAccuracyCurve curve =
+      measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, fast_options());
+  for (const auto& point : curve.points) {
+    EXPECT_NEAR(point.performance, point.accuracy - curve.untrained_accuracy, 1e-12);
+  }
+}
+
+TEST(DataAccuracy, FitQualityReasonable) {
+  const DataAccuracyCurve curve =
+      measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, fast_options());
+  EXPECT_GT(curve.fit.r_squared, 0.5);
+  EXPECT_GE(curve.fit.b, 0.0);
+}
+
+TEST(DataAccuracy, OmegaCountsAllOrganizations) {
+  DataAccuracyOptions options = fast_options();
+  options.d_grid = {1.0};
+  const DataAccuracyCurve curve =
+      measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, options);
+  // org0 d=1 plus two others at 0.5 of 150 samples each.
+  EXPECT_NEAR(curve.points[0].omega_samples, 150.0 + 2 * 75.0, 1.0);
+}
+
+TEST(DataAccuracy, EmpiricalModelSatisfiesEq5) {
+  const DataAccuracyCurve curve =
+      measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, fast_options());
+  const auto model = empirical_accuracy_model(curve, 0.9);
+  double previous_p = -1.0;
+  double previous_slope = 1e18;
+  for (double omega = 0.0; omega <= 600.0; omega += 50.0) {
+    const double p = model->performance(omega);
+    EXPECT_GE(p, previous_p - 1e-12);
+    const double slope = model->performance_derivative(omega);
+    EXPECT_GE(slope, 0.0);
+    EXPECT_LE(slope, previous_slope + 1e-12);
+    previous_p = p;
+    previous_slope = slope;
+  }
+}
+
+TEST(DataAccuracy, ValidatesOptions) {
+  DataAccuracyOptions bad = fast_options();
+  bad.org_count = 1;
+  EXPECT_THROW(measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, bad),
+               std::invalid_argument);
+  bad = fast_options();
+  bad.d_grid.clear();
+  EXPECT_THROW(measure_data_accuracy(ModelKind::kMlp, DatasetKind::kFmnistLike, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::fl

@@ -1,0 +1,139 @@
+// Asynchronous training substrate (footnote 2): event-driven staleness-
+// discounted merging.
+#include "fl/fedasync.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::fl {
+namespace {
+
+struct Fixture {
+  DatasetSpec concept_spec = DatasetSpec::builtin(DatasetKind::kFmnistLike, 5);
+  std::vector<Dataset> locals;
+  Dataset test_set;
+  ModelSpec model;
+
+  Fixture() : test_set(concept_spec.with_sample_seed(999), 200) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      locals.emplace_back(concept_spec.with_sample_seed(30 + i), 150);
+    }
+    model.kind = ModelKind::kMlp;
+    model.channels = concept_spec.channels;
+    model.height = concept_spec.height;
+    model.width = concept_spec.width;
+    model.classes = concept_spec.classes;
+    model.seed = 3;
+  }
+
+  std::vector<AsyncClient> clients(std::vector<double> latencies,
+                                   std::vector<double> fractions) {
+    std::vector<AsyncClient> out;
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+      out.push_back(AsyncClient{FedClient{&locals[i], fractions[i], 100 + i}, latencies[i]});
+    }
+    return out;
+  }
+};
+
+FedAsyncOptions fast_options(double horizon = 40.0) {
+  FedAsyncOptions options;
+  options.horizon = horizon;
+  options.eval_every = 0;
+  return options;
+}
+
+TEST(FedAsync, LearnsAboveChance) {
+  Fixture fixture;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({3.0, 5.0, 8.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, fast_options(80.0));
+  EXPECT_GT(result.final_accuracy, 0.25);  // chance is 0.1
+  EXPECT_GT(result.total_updates, 10u);
+}
+
+TEST(FedAsync, FasterClientsMergeMoreOften) {
+  Fixture fixture;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({2.0, 10.0, 10.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, fast_options(40.0));
+  std::size_t fast_merges = 0, slow_merges = 0;
+  for (const AsyncMerge& merge : result.merges) {
+    if (merge.client_index == 0) ++fast_merges;
+    else ++slow_merges;
+  }
+  EXPECT_GT(fast_merges, slow_merges);
+}
+
+TEST(FedAsync, MergeTimesAreOrderedWithinHorizon) {
+  Fixture fixture;
+  const double horizon = 30.0;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({3.0, 4.0, 7.0}, {1.0, 0.5, 1.0}),
+                                     fixture.test_set, fast_options(horizon));
+  double previous = 0.0;
+  for (const AsyncMerge& merge : result.merges) {
+    EXPECT_GE(merge.time, previous);
+    EXPECT_LE(merge.time, horizon);
+    previous = merge.time;
+  }
+}
+
+TEST(FedAsync, StalenessNonNegative) {
+  Fixture fixture;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({2.0, 9.0, 5.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, fast_options(40.0));
+  for (const AsyncMerge& merge : result.merges) EXPECT_GE(merge.staleness, 0.0);
+}
+
+TEST(FedAsync, ZeroContributorNeverMerges) {
+  Fixture fixture;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({2.0, 3.0, 4.0}, {1.0, 0.0, 1.0}),
+                                     fixture.test_set, fast_options(30.0));
+  for (const AsyncMerge& merge : result.merges) EXPECT_NE(merge.client_index, 1u);
+}
+
+TEST(FedAsync, PeriodicEvaluationRecorded) {
+  Fixture fixture;
+  FedAsyncOptions options = fast_options(40.0);
+  options.eval_every = 3;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({3.0, 5.0, 7.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, options);
+  std::size_t evaluated = 0;
+  for (const AsyncMerge& merge : result.merges) {
+    if (merge.test_accuracy >= 0.0) ++evaluated;
+  }
+  EXPECT_EQ(evaluated, result.total_updates / 3);
+}
+
+TEST(FedAsync, ValidatesInputs) {
+  Fixture fixture;
+  EXPECT_THROW(train_fedasync(fixture.model, {}, fixture.test_set, fast_options()),
+               std::invalid_argument);
+  auto zero_latency = fixture.clients({0.0}, {1.0});
+  EXPECT_THROW(train_fedasync(fixture.model, zero_latency, fixture.test_set, fast_options()),
+               std::invalid_argument);
+  auto nobody = fixture.clients({2.0, 3.0, 4.0}, {0.0, 0.0, 0.0});
+  EXPECT_THROW(train_fedasync(fixture.model, nobody, fixture.test_set, fast_options()),
+               std::invalid_argument);
+  FedAsyncOptions bad = fast_options();
+  bad.alpha = 0.0;
+  EXPECT_THROW(train_fedasync(fixture.model, fixture.clients({2.0}, {1.0}), fixture.test_set,
+                              bad),
+               std::invalid_argument);
+}
+
+TEST(FedAsync, Deterministic) {
+  Fixture fixture;
+  const auto a = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 0.5}),
+                                fixture.test_set, fast_options(30.0));
+  const auto b = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 0.5}),
+                                fixture.test_set, fast_options(30.0));
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+}
+
+}  // namespace
+}  // namespace tradefl::fl

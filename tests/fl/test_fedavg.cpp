@@ -1,0 +1,156 @@
+// FedAvg (Sec. III-B): aggregation weights, training progress, participation
+// rules, and determinism.
+#include "fl/fedavg.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::fl {
+namespace {
+
+struct Fixture {
+  DatasetSpec concept_spec = DatasetSpec::builtin(DatasetKind::kFmnistLike, 5);
+  std::vector<Dataset> locals;
+  Dataset test_set;
+  ModelSpec model;
+
+  explicit Fixture(std::size_t orgs = 3, std::size_t samples = 150)
+      : test_set(concept_spec.with_sample_seed(999), 200) {
+    for (std::size_t i = 0; i < orgs; ++i) {
+      locals.emplace_back(concept_spec.with_sample_seed(10 + i), samples);
+    }
+    model.kind = ModelKind::kMlp;
+    model.channels = concept_spec.channels;
+    model.height = concept_spec.height;
+    model.width = concept_spec.width;
+    model.classes = concept_spec.classes;
+    model.seed = 3;
+  }
+
+  std::vector<FedClient> clients(std::vector<double> fractions) {
+    std::vector<FedClient> out;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      out.push_back(FedClient{&locals[i], fractions[i], 100 + i});
+    }
+    return out;
+  }
+};
+
+FedAvgOptions fast_options(std::size_t rounds = 6) {
+  FedAvgOptions options;
+  options.rounds = rounds;
+  options.local_epochs = 2;
+  options.batch_size = 32;
+  return options;
+}
+
+TEST(FedAvg, LearnsAboveChance) {
+  Fixture fixture;
+  const FedAvgResult result =
+      train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}), fixture.test_set,
+                   fast_options(8));
+  EXPECT_GT(result.final_accuracy, 0.3);  // chance is 0.1
+  EXPECT_EQ(result.history.size(), 8u);
+}
+
+TEST(FedAvg, LossDecreasesOverRounds) {
+  Fixture fixture;
+  const FedAvgResult result =
+      train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}), fixture.test_set,
+                   fast_options(8));
+  EXPECT_LT(result.history.back().test_loss, result.history.front().test_loss);
+}
+
+TEST(FedAvg, MoreDataHelps) {
+  Fixture fixture;
+  const double accuracy_small =
+      train_fedavg(fixture.model, fixture.clients({0.05, 0.05, 0.05}), fixture.test_set,
+                   fast_options())
+          .final_accuracy;
+  const double accuracy_large =
+      train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}), fixture.test_set,
+                   fast_options())
+          .final_accuracy;
+  EXPECT_GT(accuracy_large, accuracy_small - 0.02);
+}
+
+TEST(FedAvg, CountsContributedSamples) {
+  Fixture fixture;
+  const FedAvgResult result = train_fedavg(
+      fixture.model, fixture.clients({0.5, 1.0, 0.0}), fixture.test_set, fast_options(2));
+  EXPECT_EQ(result.total_contributed_samples, 75u + 150u);
+}
+
+TEST(FedAvg, ZeroContributorsSkipped) {
+  Fixture fixture;
+  // Only org 0 participates; still trains fine.
+  const FedAvgResult result = train_fedavg(
+      fixture.model, fixture.clients({1.0, 0.0, 0.0}), fixture.test_set, fast_options(2));
+  EXPECT_EQ(result.total_contributed_samples, 150u);
+}
+
+TEST(FedAvg, AllZeroContributionThrows) {
+  Fixture fixture;
+  EXPECT_THROW(train_fedavg(fixture.model, fixture.clients({0.0, 0.0, 0.0}),
+                            fixture.test_set, fast_options(1)),
+               std::invalid_argument);
+}
+
+TEST(FedAvg, Deterministic) {
+  Fixture fixture;
+  const FedAvgResult a = train_fedavg(fixture.model, fixture.clients({0.6, 0.8, 1.0}),
+                                      fixture.test_set, fast_options(3));
+  const FedAvgResult b = train_fedavg(fixture.model, fixture.clients({0.6, 0.8, 1.0}),
+                                      fixture.test_set, fast_options(3));
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+TEST(FedAvg, SingleClientMatchesWeightedSelf) {
+  // With one participant, aggregation is a no-op: global = local weights.
+  Fixture fixture(1);
+  const FedAvgResult result = train_fedavg(
+      fixture.model, {FedClient{&fixture.locals[0], 1.0, 7}}, fixture.test_set,
+      fast_options(1));
+  EXPECT_EQ(result.history.size(), 1u);
+  EXPECT_FALSE(result.final_weights.empty());
+}
+
+TEST(FedAvg, MaxBatchCapLimitsWork) {
+  Fixture fixture;
+  FedAvgOptions capped = fast_options(1);
+  capped.max_batches_per_epoch = 1;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, capped);
+  EXPECT_EQ(result.history.size(), 1u);
+}
+
+TEST(FedAvg, ValidatesOptions) {
+  Fixture fixture;
+  FedAvgOptions bad = fast_options();
+  bad.rounds = 0;
+  EXPECT_THROW(train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                            fixture.test_set, bad),
+               std::invalid_argument);
+  bad = fast_options();
+  bad.batch_size = 0;
+  EXPECT_THROW(train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                            fixture.test_set, bad),
+               std::invalid_argument);
+  EXPECT_THROW(train_fedavg(fixture.model, {}, fixture.test_set, fast_options()),
+               std::invalid_argument);
+  EXPECT_THROW(train_fedavg(fixture.model, {FedClient{nullptr, 1.0, 1}}, fixture.test_set,
+                            fast_options()),
+               std::invalid_argument);
+}
+
+TEST(Evaluate, AccuracyAndLossConsistent) {
+  Fixture fixture;
+  Net net = build_model(fixture.model);
+  const EvalResult eval = evaluate(net, fixture.test_set);
+  EXPECT_GE(eval.accuracy, 0.0);
+  EXPECT_LE(eval.accuracy, 1.0);
+  EXPECT_GT(eval.loss, 0.0);
+}
+
+}  // namespace
+}  // namespace tradefl::fl

@@ -1,0 +1,84 @@
+#include "fl/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tradefl::fl {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  const Tensor logits({4, 10}, 0.0f);
+  const LossResult result = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(result.mean_loss, std::log(10.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionNearZeroLoss) {
+  Tensor logits({1, 3}, 0.0f);
+  logits.at2(0, 1) = 30.0f;
+  const LossResult result = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(result.mean_loss, 1e-6);
+  EXPECT_EQ(result.correct, 1u);
+}
+
+TEST(Loss, ConfidentWrongPredictionLargeLoss) {
+  Tensor logits({1, 3}, 0.0f);
+  logits.at2(0, 0) = 30.0f;
+  const LossResult result = softmax_cross_entropy(logits, {1});
+  EXPECT_GT(result.mean_loss, 10.0);
+  EXPECT_EQ(result.correct, 0u);
+}
+
+TEST(Loss, GradientSumsToZeroPerSample) {
+  // Softmax gradient rows sum to zero: sum_c (p_c - 1{c==y}) = 0.
+  Tensor logits = Tensor::from_values({2, 3}, {0.1f, 1.0f, -0.4f, 2.0f, 0.3f, 0.5f});
+  const LossResult result = softmax_cross_entropy(logits, {2, 0});
+  for (std::size_t n = 0; n < 2; ++n) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) row += result.grad.at2(n, c);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  Tensor logits = Tensor::from_values({2, 4}, {0.5f, -1.0f, 0.2f, 1.4f,
+                                               -0.3f, 0.8f, 0.0f, -0.6f});
+  const std::vector<std::size_t> labels{3, 1};
+  const LossResult analytic = softmax_cross_entropy(logits, labels);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor up = logits, down = logits;
+    up[i] += h;
+    down[i] -= h;
+    const double fd = (softmax_cross_entropy(up, labels).mean_loss -
+                       softmax_cross_entropy(down, labels).mean_loss) /
+                      (2.0 * h);
+    EXPECT_NEAR(analytic.grad[i], fd, 1e-3);
+  }
+}
+
+TEST(Loss, NumericallyStableForHugeLogits) {
+  Tensor logits({1, 2}, 0.0f);
+  logits.at2(0, 0) = 1e4f;
+  logits.at2(0, 1) = -1e4f;
+  const LossResult result = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(result.mean_loss));
+  EXPECT_NEAR(result.mean_loss, 0.0, 1e-6);
+}
+
+TEST(Loss, CountsCorrectPredictions) {
+  Tensor logits = Tensor::from_values({3, 2}, {2.0f, 0.0f, 0.0f, 2.0f, 2.0f, 0.0f});
+  const LossResult result = softmax_cross_entropy(logits, {0, 1, 1});
+  EXPECT_EQ(result.correct, 2u);
+}
+
+TEST(Loss, ValidatesInputs) {
+  Tensor logits({2, 3}, 0.0f);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}), std::invalid_argument);
+  Tensor bad({2, 3, 1}, 0.0f);
+  EXPECT_THROW(softmax_cross_entropy(bad, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::fl

@@ -1,0 +1,118 @@
+#include "fl/net.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/model_zoo.h"
+
+namespace tradefl::fl {
+namespace {
+
+ModelSpec tiny_spec(ModelKind kind) {
+  ModelSpec spec;
+  spec.kind = kind;
+  spec.channels = 1;
+  spec.height = 8;
+  spec.width = 8;
+  spec.classes = 4;
+  spec.seed = 3;
+  spec.base_width = 4;
+  return spec;
+}
+
+TEST(Net, ForwardShapeForAllZooModels) {
+  for (ModelKind kind : {ModelKind::kMlp, ModelKind::kAlexNetLite, ModelKind::kResNet18Lite,
+                         ModelKind::kDenseNetLite, ModelKind::kMobileNetLite}) {
+    Net net = build_model(tiny_spec(kind));
+    Tensor input({2, 1, 8, 8}, 0.1f);
+    const Tensor logits = net.forward(input, false);
+    EXPECT_EQ(logits.rank(), 2u) << model_name(kind);
+    EXPECT_EQ(logits.dim(0), 2u) << model_name(kind);
+    EXPECT_EQ(logits.dim(1), 4u) << model_name(kind);
+  }
+}
+
+TEST(Net, WeightsRoundTrip) {
+  Net net = build_model(tiny_spec(ModelKind::kMlp));
+  const std::vector<float> original = net.weights();
+  EXPECT_EQ(original.size(), net.parameter_count());
+
+  std::vector<float> modified = original;
+  for (float& w : modified) w += 1.0f;
+  net.set_weights(modified);
+  EXPECT_EQ(net.weights(), modified);
+  net.set_weights(original);
+  EXPECT_EQ(net.weights(), original);
+}
+
+TEST(Net, SetWeightsValidatesLength) {
+  Net net = build_model(tiny_spec(ModelKind::kMlp));
+  std::vector<float> short_vec(net.parameter_count() - 1, 0.0f);
+  EXPECT_THROW(net.set_weights(short_vec), std::invalid_argument);
+  std::vector<float> long_vec(net.parameter_count() + 1, 0.0f);
+  EXPECT_THROW(net.set_weights(long_vec), std::invalid_argument);
+}
+
+TEST(Net, SameSeedSameInit) {
+  Net a = build_model(tiny_spec(ModelKind::kAlexNetLite));
+  Net b = build_model(tiny_spec(ModelKind::kAlexNetLite));
+  EXPECT_EQ(a.weights(), b.weights());
+  ModelSpec other = tiny_spec(ModelKind::kAlexNetLite);
+  other.seed = 99;
+  Net c = build_model(other);
+  EXPECT_NE(a.weights(), c.weights());
+}
+
+TEST(Net, ZeroGradClearsGradients) {
+  Net net = build_model(tiny_spec(ModelKind::kMlp));
+  Tensor input({2, 1, 8, 8}, 0.3f);
+  const Tensor logits = net.forward(input, true);
+  Tensor grad(logits.shape(), 1.0f);
+  net.backward(grad);
+  bool any_nonzero = false;
+  for (Param* param : net.parameters()) {
+    if (param->grad.max_abs() > 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grad();
+  for (Param* param : net.parameters()) EXPECT_FLOAT_EQ(param->grad.max_abs(), 0.0f);
+}
+
+TEST(Net, AppendRejectsNull) {
+  Net net;
+  EXPECT_THROW(net.append(nullptr), std::invalid_argument);
+}
+
+TEST(Net, SummaryMentionsLayers) {
+  Net net = build_model(tiny_spec(ModelKind::kResNet18Lite));
+  const std::string summary = net.summary();
+  EXPECT_NE(summary.find("Residual"), std::string::npos);
+  EXPECT_NE(summary.find("params"), std::string::npos);
+}
+
+TEST(ModelZoo, NamesAndParsing) {
+  EXPECT_EQ(model_kind_from_string("resnet18"), ModelKind::kResNet18Lite);
+  EXPECT_EQ(model_kind_from_string("AlexNet"), ModelKind::kAlexNetLite);
+  EXPECT_EQ(model_kind_from_string("densenet"), ModelKind::kDenseNetLite);
+  EXPECT_EQ(model_kind_from_string("mobilenet"), ModelKind::kMobileNetLite);
+  EXPECT_EQ(model_kind_from_string("mlp"), ModelKind::kMlp);
+  EXPECT_THROW(model_kind_from_string("vgg"), std::invalid_argument);
+}
+
+TEST(ModelZoo, ModelsDifferStructurally) {
+  // Distinct parameter counts across families (they are not the same net).
+  std::set<std::size_t> counts;
+  for (ModelKind kind : {ModelKind::kMlp, ModelKind::kAlexNetLite, ModelKind::kResNet18Lite,
+                         ModelKind::kDenseNetLite, ModelKind::kMobileNetLite}) {
+    counts.insert(build_model(tiny_spec(kind)).parameter_count());
+  }
+  EXPECT_GE(counts.size(), 4u);
+}
+
+TEST(ModelZoo, RejectsTooFewClasses) {
+  ModelSpec spec = tiny_spec(ModelKind::kMlp);
+  spec.classes = 1;
+  EXPECT_THROW(build_model(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::fl

@@ -1,0 +1,98 @@
+// Non-IID sharding (the footnote-4 ablation): Dirichlet label-skewed class
+// weights and their effect on dataset composition.
+#include <gtest/gtest.h>
+
+#include "fl/dataset.h"
+#include "fl/fedavg.h"
+
+namespace tradefl::fl {
+namespace {
+
+TEST(Dirichlet, WeightsFormADistribution) {
+  Rng rng(7);
+  for (double alpha : {0.1, 0.5, 1.0, 10.0}) {
+    const auto weights = dirichlet_class_weights(10, alpha, rng);
+    ASSERT_EQ(weights.size(), 10u);
+    double total = 0.0;
+    for (double w : weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "alpha " << alpha;
+  }
+}
+
+TEST(Dirichlet, SmallAlphaConcentrates) {
+  // alpha = 0.05 puts most mass on few classes; alpha = 100 is near-uniform.
+  Rng rng(11);
+  double skewed_max = 0.0, uniform_max = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto skewed = dirichlet_class_weights(10, 0.05, rng);
+    const auto uniform = dirichlet_class_weights(10, 100.0, rng);
+    skewed_max += *std::max_element(skewed.begin(), skewed.end()) / 20.0;
+    uniform_max += *std::max_element(uniform.begin(), uniform.end()) / 20.0;
+  }
+  EXPECT_GT(skewed_max, 0.5);
+  EXPECT_LT(uniform_max, 0.25);
+}
+
+TEST(Dirichlet, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_THROW(dirichlet_class_weights(0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(dirichlet_class_weights(10, 0.0, rng), std::invalid_argument);
+}
+
+TEST(NonIidDataset, ClassHistogramFollowsWeights) {
+  auto spec = DatasetSpec::builtin(DatasetKind::kFmnistLike, 5);
+  spec.label_noise = 0.0;
+  std::vector<double> weights(10, 0.0);
+  weights[2] = 0.7;
+  weights[7] = 0.3;
+  const Dataset data(spec.with_class_weights(weights), 1000);
+  const auto histogram = data.class_histogram();
+  EXPECT_NEAR(static_cast<double>(histogram[2]) / 1000.0, 0.7, 0.05);
+  EXPECT_NEAR(static_cast<double>(histogram[7]) / 1000.0, 0.3, 0.05);
+  for (std::size_t c : {0u, 1u, 3u, 9u}) EXPECT_EQ(histogram[c], 0u);
+}
+
+TEST(NonIidDataset, RejectsBadWeights) {
+  auto spec = DatasetSpec::builtin(DatasetKind::kFmnistLike, 5);
+  EXPECT_THROW(Dataset(spec.with_class_weights({0.5, 0.5}), 10), std::invalid_argument);
+  std::vector<double> negative(10, 0.1);
+  negative[0] = -0.1;
+  EXPECT_THROW(Dataset(spec.with_class_weights(negative), 10), std::invalid_argument);
+  EXPECT_THROW(Dataset(spec.with_class_weights(std::vector<double>(10, 0.0)), 10),
+               std::invalid_argument);
+}
+
+TEST(NonIidDataset, FedAvgStillTrainsUnderMildSkew) {
+  // Footnote-4 ablation: mild label skew (alpha = 1) must not break FedAvg.
+  const auto concept_spec = DatasetSpec::builtin(DatasetKind::kFmnistLike, 5);
+  Rng rng(3);
+  std::vector<Dataset> locals;
+  std::vector<FedClient> clients;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto weights = dirichlet_class_weights(concept_spec.classes, 1.0, rng);
+    locals.emplace_back(
+        concept_spec.with_sample_seed(50 + i).with_class_weights(weights), 150);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    clients.push_back(FedClient{&locals[i], 1.0, 200 + i});
+  }
+  const Dataset test_set(concept_spec.with_sample_seed(999), 200);
+  ModelSpec model;
+  model.kind = ModelKind::kMlp;
+  model.channels = concept_spec.channels;
+  model.height = concept_spec.height;
+  model.width = concept_spec.width;
+  model.classes = concept_spec.classes;
+  model.seed = 3;
+  FedAvgOptions options;
+  options.rounds = 8;
+  options.local_epochs = 2;
+  const auto result = train_fedavg(model, clients, test_set, options);
+  EXPECT_GT(result.final_accuracy, 0.2);  // chance is 0.1
+}
+
+}  // namespace
+}  // namespace tradefl::fl

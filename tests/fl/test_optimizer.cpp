@@ -1,0 +1,64 @@
+#include "fl/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::fl {
+namespace {
+
+TEST(Sgd, PlainGradientStep) {
+  Param param(Tensor({2}, 1.0f));
+  param.grad.fill(0.5f);
+  Sgd sgd({0.1, 0.0, 0.0});
+  sgd.step({&param});
+  EXPECT_NEAR(param.value[0], 1.0 - 0.1 * 0.5, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param param(Tensor({1}, 0.0f));
+  Sgd sgd({1.0, 0.5, 0.0});
+  param.grad.fill(1.0f);
+  sgd.step({&param});  // v=1, x=-1
+  EXPECT_NEAR(param.value[0], -1.0, 1e-6);
+  sgd.step({&param});  // v=1.5, x=-2.5
+  EXPECT_NEAR(param.value[0], -2.5, 1e-6);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param param(Tensor({1}, 10.0f));
+  param.grad.fill(0.0f);
+  Sgd sgd({0.1, 0.0, 0.1});
+  sgd.step({&param});
+  EXPECT_LT(param.value[0], 10.0f);
+}
+
+TEST(Sgd, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2; grad = 2(x - 3). Converges to 3.
+  Param param(Tensor({1}, 0.0f));
+  Sgd sgd({0.1, 0.9, 0.0});
+  for (int step = 0; step < 200; ++step) {
+    param.grad[0] = 2.0f * (param.value[0] - 3.0f);
+    sgd.step({&param});
+  }
+  EXPECT_NEAR(param.value[0], 3.0, 1e-3);
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  Param param(Tensor({1}, 0.0f));
+  Sgd sgd({1.0, 0.9, 0.0});
+  param.grad.fill(1.0f);
+  sgd.step({&param});
+  sgd.reset();
+  param.grad.fill(0.0f);
+  const float before = param.value[0];
+  sgd.step({&param});  // no velocity carryover after reset
+  EXPECT_FLOAT_EQ(param.value[0], before);
+}
+
+TEST(Sgd, ValidatesOptions) {
+  EXPECT_THROW(Sgd({0.0, 0.9, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Sgd({0.1, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Sgd({0.1, 0.9, -0.1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::fl

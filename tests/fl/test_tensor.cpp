@@ -1,0 +1,72 @@
+#include "fl/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::fl {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_FLOAT_EQ(t[5], 1.5f);
+  EXPECT_THROW(t.dim(2), std::out_of_range);
+}
+
+TEST(Tensor, ZeroDimensionRejected) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, FromValues) {
+  const Tensor t = Tensor::from_values({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_THROW(Tensor::from_values({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+  Tensor wrong({2, 3, 4});
+  EXPECT_THROW(wrong.at2(0, 0), std::invalid_argument);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_FLOAT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  Tensor a = Tensor::from_values({2}, {1, 2});
+  const Tensor b = Tensor::from_values({2}, {10, 20});
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[1], 12.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[0], 12.0f);
+  Tensor mismatched({3});
+  EXPECT_THROW(a.add_scaled(mismatched, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from_values({3}, {1.0f, -4.0f, 2.0f});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3, 4}).shape_string(), "[2x3x4]");
+}
+
+}  // namespace
+}  // namespace tradefl::fl

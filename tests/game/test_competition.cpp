@@ -1,0 +1,96 @@
+#include "game/competition.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::game {
+namespace {
+
+TEST(Competition, ZeroMatrixByDefault) {
+  const CompetitionMatrix m(3);
+  EXPECT_EQ(m.size(), 3u);
+  for (OrgId i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m.row_sum(i), 0.0);
+  }
+}
+
+TEST(Competition, FromRowsValidates) {
+  EXPECT_NO_THROW(CompetitionMatrix::from_rows({{0.0, 0.2}, {0.2, 0.0}}));
+  EXPECT_THROW(CompetitionMatrix::from_rows({{0.1, 0.2}, {0.2, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(CompetitionMatrix::from_rows({{0.0, 0.2}}), std::invalid_argument);
+  EXPECT_THROW(CompetitionMatrix::from_rows({{0.0, 1.5}, {0.2, 0.0}}), std::invalid_argument);
+}
+
+TEST(Competition, RandomSymmetricProperties) {
+  Rng rng(42);
+  const auto m = CompetitionMatrix::random_symmetric(10, 0.05, rng);
+  EXPECT_TRUE(m.is_symmetric());
+  for (OrgId i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+    for (OrgId j = 0; j < 10; ++j) {
+      EXPECT_GE(m.at(i, j), 0.0);
+      EXPECT_LE(m.at(i, j), 1.0);
+    }
+  }
+  // Mean of draws should track the requested mean.
+  EXPECT_NEAR(m.off_diagonal_mean(), 0.05, 0.01);
+}
+
+TEST(Competition, RandomZeroMeanGivesZeroMatrix) {
+  Rng rng(1);
+  const auto m = CompetitionMatrix::random_symmetric(4, 0.0, rng);
+  EXPECT_DOUBLE_EQ(m.off_diagonal_mean(), 0.0);
+}
+
+TEST(Competition, WeightedRowSum) {
+  auto m = CompetitionMatrix::from_rows({{0.0, 0.5, 0.1}, {0.5, 0.0, 0.2}, {0.1, 0.2, 0.0}});
+  const std::vector<double> weights{100.0, 200.0, 300.0};
+  EXPECT_DOUBLE_EQ(m.weighted_row_sum(0, weights), 0.5 * 200 + 0.1 * 300);
+  EXPECT_THROW(m.weighted_row_sum(0, {1.0}), std::invalid_argument);
+}
+
+TEST(Competition, PotentialWeights) {
+  auto m = CompetitionMatrix::from_rows({{0.0, 0.1}, {0.1, 0.0}});
+  const auto z = potential_weights(m, {1000.0, 2000.0});
+  EXPECT_DOUBLE_EQ(z[0], 1000.0 - 0.1 * 2000.0);
+  EXPECT_DOUBLE_EQ(z[1], 2000.0 - 0.1 * 1000.0);
+}
+
+TEST(Competition, EnforcePositiveWeightsNoOpWhenSafe) {
+  auto m = CompetitionMatrix::from_rows({{0.0, 0.01}, {0.01, 0.0}});
+  const double scale = enforce_positive_weights(m, {1000.0, 1000.0}, 0.05);
+  EXPECT_DOUBLE_EQ(scale, 1.0);
+}
+
+TEST(Competition, EnforcePositiveWeightsRescales) {
+  // rho = 0.9 vs equal profitability: z = 0.1 p < margin 0.5 p.
+  auto m = CompetitionMatrix::from_rows({{0.0, 0.9}, {0.9, 0.0}});
+  const std::vector<double> p{1000.0, 1000.0};
+  const double scale = enforce_positive_weights(m, p, 0.5);
+  EXPECT_LT(scale, 1.0);
+  const auto z = potential_weights(m, p);
+  EXPECT_NEAR(z[0] / p[0], 0.5, 1e-9);
+  EXPECT_NEAR(z[1] / p[1], 0.5, 1e-9);
+}
+
+TEST(Competition, EnforceHandlesNegativeZ) {
+  // Heavily competed low-profitability org: z initially negative.
+  auto m = CompetitionMatrix::from_rows({{0.0, 0.8}, {0.8, 0.0}});
+  const std::vector<double> p{500.0, 2500.0};
+  const auto z_before = potential_weights(m, p);
+  EXPECT_LT(z_before[0], 0.0);
+  enforce_positive_weights(m, p, 0.05);
+  const auto z_after = potential_weights(m, p);
+  EXPECT_GT(z_after[0], 0.0);
+  EXPECT_GT(z_after[1], 0.0);
+  EXPECT_NEAR(z_after[0] / p[0], 0.05, 1e-9);
+}
+
+TEST(Competition, SetValidation) {
+  CompetitionMatrix m(2);
+  EXPECT_THROW(m.set(0, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 1, 1.5), std::invalid_argument);
+  EXPECT_THROW(m.set(5, 0, 0.1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tradefl::game

@@ -1,0 +1,104 @@
+// Constraint set C^(1)-C^(3) of problem (13): bounds on d, discrete f, and
+// the training deadline.
+#include <gtest/gtest.h>
+
+#include "game/game_factory.h"
+
+namespace tradefl::game {
+namespace {
+
+TEST(Feasibility, MinimalProfileIsFeasible) {
+  const auto game = make_default_game(42);
+  const auto profile = game.minimal_profile();
+  EXPECT_TRUE(game.is_feasible(profile));
+  EXPECT_TRUE(game.feasibility_report(profile).empty());
+}
+
+TEST(Feasibility, DataUpperBoundRespectsDeadline) {
+  const auto game = make_default_game(42);
+  for (OrgId i = 0; i < game.size(); ++i) {
+    for (std::size_t level : game.feasible_freq_levels(i)) {
+      const double bound = game.data_upper_bound(i, level);
+      StrategyProfile profile = game.minimal_profile();
+      profile[i] = {bound, level};
+      EXPECT_TRUE(game.is_feasible(profile))
+          << "org " << i << " level " << level << " bound " << bound;
+      if (bound < 1.0) {
+        profile[i].data_fraction = bound + 1e-3;
+        EXPECT_FALSE(game.is_feasible(profile));
+      }
+    }
+  }
+}
+
+TEST(Feasibility, BelowDminRejected) {
+  const auto game = make_default_game(42);
+  auto profile = game.minimal_profile();
+  profile[0].data_fraction = game.params().d_min / 2.0;
+  EXPECT_FALSE(game.is_feasible(profile));
+  EXPECT_NE(game.feasibility_report(profile).find("outside"), std::string::npos);
+}
+
+TEST(Feasibility, AboveOneRejected) {
+  const auto game = make_default_game(42);
+  auto profile = game.minimal_profile();
+  profile[0].data_fraction = 1.01;
+  EXPECT_FALSE(game.is_feasible(profile));
+}
+
+TEST(Feasibility, WrongProfileSizeRejected) {
+  const auto game = make_default_game(42);
+  StrategyProfile too_short(game.size() - 1);
+  EXPECT_FALSE(game.is_feasible(too_short));
+}
+
+TEST(Feasibility, FreqIndexOutOfRangeRejected) {
+  const auto game = make_default_game(42);
+  auto profile = game.minimal_profile();
+  profile[0].freq_index = 99;
+  EXPECT_FALSE(game.is_feasible(profile));
+}
+
+TEST(Feasibility, HigherFrequencyAdmitsMoreData) {
+  const auto game = make_default_game(42);
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const auto& levels = game.org(i).freq_levels;
+    for (std::size_t level = 1; level < levels.size(); ++level) {
+      EXPECT_GE(game.data_upper_bound(i, level) + 1e-12,
+                game.data_upper_bound(i, level - 1));
+    }
+  }
+}
+
+TEST(Feasibility, TightDeadlineRemovesSlowLevels) {
+  ExperimentSpec spec;
+  spec.params.tau = 12.0;  // very tight: only fast levels survive
+  const auto game = make_experiment_game(spec, 42);
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const auto levels = game.feasible_freq_levels(i);
+    // Whatever survives must admit at least D_min.
+    for (std::size_t level : levels) {
+      EXPECT_GE(game.data_upper_bound(i, level), game.params().d_min);
+    }
+  }
+}
+
+TEST(Feasibility, ImpossibleDeadlineThrowsOnMinimalProfile) {
+  ExperimentSpec spec;
+  spec.params.tau = 3.0;  // below T1+T3 ranges: nothing feasible
+  const auto game = make_experiment_game(spec, 42);
+  EXPECT_THROW(game.minimal_profile(), std::runtime_error);
+}
+
+TEST(Feasibility, MinimalProfilePicksFastestFeasibleLevel) {
+  const auto game = make_default_game(42);
+  const auto profile = game.minimal_profile();
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const auto levels = game.feasible_freq_levels(i);
+    EXPECT_EQ(profile[i].freq_index, levels.back());
+    EXPECT_DOUBLE_EQ(profile[i].data_fraction, game.params().d_min);
+  }
+}
+
+}  // namespace
+}  // namespace tradefl::game

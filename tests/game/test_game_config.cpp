@@ -1,0 +1,84 @@
+// game_from_config: explicit game definitions from flat key=value files.
+#include <gtest/gtest.h>
+
+#include "core/dbr.h"
+#include "game/game_factory.h"
+
+namespace tradefl::game {
+namespace {
+
+Config base_config() {
+  Config config;
+  config.set("orgs", "3");
+  config.set("gamma", "5.12e-9");
+  config.set("org.0.name", "ayla");
+  config.set("org.0.s_bits", "20e9");
+  config.set("org.0.p", "2000");
+  config.set("org.1.name", "brint");
+  config.set("org.2.name", "cedra");
+  config.set("rho.0.1", "0.05");
+  config.set("rho.1.0", "0.05");
+  return config;
+}
+
+TEST(GameConfig, BuildsExplicitGame) {
+  const auto result = game_from_config(base_config());
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const CoopetitionGame& game = result.value();
+  EXPECT_EQ(game.size(), 3u);
+  EXPECT_EQ(game.org(0).name, "ayla");
+  EXPECT_DOUBLE_EQ(game.org(0).profitability, 2000.0);
+  EXPECT_DOUBLE_EQ(game.rho().at(0, 1), 0.05);
+  EXPECT_DOUBLE_EQ(game.rho().at(0, 2), 0.0);  // defaults to no competition
+  EXPECT_DOUBLE_EQ(game.params().gamma, 5.12e-9);
+}
+
+TEST(GameConfig, UnspecifiedFieldsUseDefaults) {
+  const auto result = game_from_config(base_config());
+  ASSERT_TRUE(result.ok());
+  const Organization defaults;
+  EXPECT_DOUBLE_EQ(result.value().org(1).cycles_per_bit, defaults.cycles_per_bit);
+  EXPECT_EQ(result.value().org(1).freq_levels, defaults.freq_levels);
+}
+
+TEST(GameConfig, ParsesFrequencyList) {
+  Config config = base_config();
+  config.set("org.0.freqs", "1.5e9, 3e9, 4.5e9");
+  const auto result = game_from_config(config);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().org(0).freq_levels,
+            (std::vector<double>{1.5e9, 3e9, 4.5e9}));
+}
+
+TEST(GameConfig, SolvableEndToEnd) {
+  const auto result = game_from_config(base_config());
+  ASSERT_TRUE(result.ok());
+  const auto solution = core::run_dbr(result.value());
+  EXPECT_TRUE(solution.converged);
+}
+
+TEST(GameConfig, RejectsBadInputs) {
+  Config config;
+  EXPECT_FALSE(game_from_config(config).ok());  // missing orgs
+  config.set("orgs", "1");
+  EXPECT_FALSE(game_from_config(config).ok());  // too few
+
+  Config bad_rho = base_config();
+  bad_rho.set("rho.0.1", "1.5");
+  EXPECT_FALSE(game_from_config(bad_rho).ok());
+
+  Config bad_freqs = base_config();
+  bad_freqs.set("org.0.freqs", "3e9, banana");
+  EXPECT_FALSE(game_from_config(bad_freqs).ok());
+
+  Config descending = base_config();
+  descending.set("org.0.freqs", "5e9, 3e9");
+  EXPECT_FALSE(game_from_config(descending).ok());  // org invalid
+
+  Config bad_param = base_config();
+  bad_param.set("d_min", "0");
+  EXPECT_FALSE(game_from_config(bad_param).ok());
+}
+
+}  // namespace
+}  // namespace tradefl::game

@@ -1,0 +1,166 @@
+// Tests of the economic quantities of Sec. III-C-E: revenue, coopetition
+// damage (Eqs. 6-7), energy (Eq. 8), redistribution (Eqs. 9-10), payoff
+// (Eq. 11), and social welfare.
+#include <gtest/gtest.h>
+
+#include "game/game_factory.h"
+#include "game/game.h"
+
+namespace tradefl::game {
+namespace {
+
+StrategyProfile uniform_profile(const CoopetitionGame& game, double d, std::size_t level) {
+  StrategyProfile profile(game.size());
+  for (auto& strategy : profile) {
+    strategy.data_fraction = d;
+    strategy.freq_index = level;
+  }
+  return profile;
+}
+
+TEST(GamePayoff, OmegaAggregatesScaledBits) {
+  const auto game = make_toy_game();
+  const auto profile = uniform_profile(game, 0.5, 0);
+  // omega = sum d_i s_i / 1e9 = 0.5*(20+16+24) = 30.
+  EXPECT_NEAR(game.omega(profile), 30.0, 1e-12);
+  EXPECT_NEAR(game.omega_excluding(profile, 0), 20.0, 1e-12);
+}
+
+TEST(GamePayoff, RevenueIsProfitabilityTimesPerformance) {
+  const auto game = make_toy_game();
+  const auto profile = uniform_profile(game, 0.5, 0);
+  const double performance = game.performance(profile);
+  EXPECT_NEAR(game.revenue(0, profile), 2000.0 * performance, 1e-9);
+  EXPECT_NEAR(game.revenue(2, profile), 900.0 * performance, 1e-9);
+}
+
+TEST(GamePayoff, DamageFollowsEq6And7) {
+  const auto game = make_toy_game(5e-9, 0.1);
+  const auto profile = uniform_profile(game, 0.5, 0);
+  // Marginal contribution of org 0 to the model performance.
+  const double with_0 = game.accuracy().performance(game.omega(profile));
+  const double without_0 = game.accuracy().performance(game.omega_excluding(profile, 0));
+  const double marginal = with_0 - without_0;
+  EXPECT_GT(marginal, 0.0);
+  // Eq. 6-7: D_0 = sum_j rho_0j p_j marginal.
+  double expected = 0.0;
+  for (OrgId j = 1; j < 3; ++j) {
+    expected += game.rho().at(0, j) * game.org(j).profitability * marginal;
+  }
+  EXPECT_NEAR(game.damage(0, profile), expected, 1e-9);
+}
+
+TEST(GamePayoff, DamageZeroWithoutCompetition) {
+  const auto game = make_toy_game(5e-9, 0.0);
+  const auto profile = uniform_profile(game, 0.5, 0);
+  EXPECT_DOUBLE_EQ(game.damage(0, profile), 0.0);
+  EXPECT_DOUBLE_EQ(game.total_damage(profile), 0.0);
+}
+
+TEST(GamePayoff, DamageGrowsWithCompetitionIntensity) {
+  const auto weak = make_toy_game(5e-9, 0.02);
+  const auto strong = make_toy_game(5e-9, 0.10);
+  const auto profile = uniform_profile(weak, 0.5, 0);
+  EXPECT_LT(weak.total_damage(profile), strong.total_damage(profile));
+}
+
+TEST(GamePayoff, EnergyMatchesEq8) {
+  const auto game = make_toy_game();
+  const auto profile = uniform_profile(game, 0.5, 0);
+  const auto& org = game.org(0);
+  const double f = org.freq_levels[0];
+  const double expected =
+      game.params().kappa * f * f * org.cycles_per_bit * 0.5 * org.data_size_bits +
+      org.comm_energy();
+  EXPECT_NEAR(game.energy(0, profile), expected, 1e-9);
+}
+
+TEST(GamePayoff, RedistributionPairAntisymmetricForSymmetricRho) {
+  const auto game = make_toy_game(5e-9, 0.05);
+  auto profile = uniform_profile(game, 0.5, 0);
+  profile[0].data_fraction = 0.9;  // org 0 contributes more
+  for (OrgId i = 0; i < 3; ++i) {
+    for (OrgId j = 0; j < 3; ++j) {
+      EXPECT_NEAR(game.redistribution_pair(i, j, profile),
+                  -game.redistribution_pair(j, i, profile), 1e-15);
+    }
+  }
+}
+
+TEST(GamePayoff, BiggerContributorReceivesRedistribution) {
+  const auto game = make_toy_game(5e-9, 0.05);
+  auto profile = uniform_profile(game, 0.2, 0);
+  profile[0].data_fraction = 1.0;  // org 0 contributes the most data
+  EXPECT_GT(game.redistribution(0, profile), 0.0);
+}
+
+TEST(GamePayoff, BudgetBalanceExact) {
+  const auto game = make_toy_game(1e-8, 0.07);
+  auto profile = uniform_profile(game, 0.3, 1);
+  profile[1].data_fraction = 0.8;
+  double total = 0.0;
+  for (OrgId i = 0; i < 3; ++i) total += game.redistribution(i, profile);
+  EXPECT_NEAR(total, 0.0, 1e-12);
+}
+
+TEST(GamePayoff, RedistributionScalesWithGamma) {
+  const auto low = make_toy_game(1e-9, 0.05);
+  const auto high = make_toy_game(1e-8, 0.05);
+  auto profile = uniform_profile(low, 0.2, 0);
+  profile[0].data_fraction = 0.9;
+  EXPECT_NEAR(high.redistribution(0, profile), 10.0 * low.redistribution(0, profile), 1e-9);
+}
+
+TEST(GamePayoff, PayoffBreakdownSumsToTotal) {
+  const auto game = make_default_game(7);
+  const auto profile = game.minimal_profile();
+  for (OrgId i = 0; i < game.size(); ++i) {
+    const auto breakdown = game.payoff_breakdown(i, profile);
+    EXPECT_NEAR(breakdown.total(),
+                breakdown.revenue - breakdown.energy_cost - breakdown.damage +
+                    breakdown.redistribution,
+                1e-12);
+    EXPECT_NEAR(game.payoff(i, profile), breakdown.total(), 1e-12);
+  }
+}
+
+TEST(GamePayoff, SocialWelfareIsPayoffSum) {
+  const auto game = make_default_game(11);
+  const auto profile = game.minimal_profile();
+  double total = 0.0;
+  for (OrgId i = 0; i < game.size(); ++i) total += game.payoff(i, profile);
+  EXPECT_NEAR(game.social_welfare(profile), total, 1e-9);
+}
+
+TEST(GamePayoff, WeightsZPositiveAfterGuard) {
+  // Extreme competition: the constructor's guard must keep all z positive.
+  ExperimentSpec spec;
+  spec.rho_mean = 0.5;
+  const auto game = make_experiment_game(spec, 3);
+  for (OrgId i = 0; i < game.size(); ++i) EXPECT_GT(game.weight_z(i), 0.0);
+  EXPECT_LT(game.rho_guard_scale(), 1.0);
+}
+
+TEST(GamePayoff, TotalDataFraction) {
+  const auto game = make_toy_game();
+  const auto profile = uniform_profile(game, 0.25, 0);
+  EXPECT_NEAR(game.total_data_fraction(profile), 0.75, 1e-12);
+}
+
+TEST(GameConstruction, RejectsBadInputs) {
+  auto accuracy = std::make_shared<const SqrtAccuracyModel>(10.0, 0.75);
+  GameParams params;
+  EXPECT_THROW(CoopetitionGame({}, CompetitionMatrix(0), accuracy, params),
+               std::invalid_argument);
+  Organization org;
+  org.name = "solo";
+  EXPECT_THROW(CoopetitionGame({org}, CompetitionMatrix(2), accuracy, params),
+               std::invalid_argument);
+  GameParams bad = params;
+  bad.d_min = 0.0;
+  EXPECT_THROW(CoopetitionGame({org}, CompetitionMatrix(1), accuracy, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::game

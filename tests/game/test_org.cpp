@@ -1,0 +1,80 @@
+#include "game/org.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::game {
+namespace {
+
+Organization sample_org() {
+  Organization org;
+  org.name = "test";
+  org.data_size_bits = 20e9;
+  org.cycles_per_bit = 10.0;
+  org.freq_levels = {2e9, 4e9};
+  org.download_time = 2.0;
+  org.upload_time = 3.0;
+  org.e_download_per_s = 1.5;
+  org.e_upload_per_s = 0.5;
+  return org;
+}
+
+TEST(Organization, LocalTrainingTime) {
+  const Organization org = sample_org();
+  // T2 = eta d s / f = 10 * 0.5 * 2e10 / 4e9 = 25 s (Eq. 2).
+  EXPECT_DOUBLE_EQ(org.local_training_time(0.5, 4e9), 25.0);
+}
+
+TEST(Organization, RoundTimeIncludesCommPhases) {
+  const Organization org = sample_org();
+  EXPECT_DOUBLE_EQ(org.round_time(0.5, 4e9), 2.0 + 25.0 + 3.0);
+}
+
+TEST(Organization, CommEnergy) {
+  const Organization org = sample_org();
+  // E_DL*T1 + E_UL*T3 = 1.5*2 + 0.5*3 = 4.5 J.
+  EXPECT_DOUBLE_EQ(org.comm_energy(), 4.5);
+}
+
+TEST(Organization, CompEnergyQuadraticInFrequency) {
+  const Organization org = sample_org();
+  const double kappa = 1e-27;
+  const double e2 = org.comp_energy(0.5, 2e9, kappa);
+  const double e4 = org.comp_energy(0.5, 4e9, kappa);
+  EXPECT_NEAR(e4 / e2, 4.0, 1e-12);  // f^2 scaling
+  // kappa f^2 eta d s = 1e-27 * 4e18 * 10 * 0.5 * 2e10 = 400 J.
+  EXPECT_DOUBLE_EQ(org.comp_energy(0.5, 2e9, kappa), 400.0);
+}
+
+TEST(Organization, CompEnergyLinearInData) {
+  const Organization org = sample_org();
+  const double e1 = org.comp_energy(0.25, 2e9, 1e-27);
+  const double e2 = org.comp_energy(0.5, 2e9, 1e-27);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-12);
+}
+
+TEST(Organization, DeadlineBound) {
+  const Organization org = sample_org();
+  // d_max = (tau - T1 - T3) f / (eta s) = (55) * 2e9 / (2e11) = 0.55.
+  EXPECT_DOUBLE_EQ(org.max_data_fraction_for_deadline(2e9, 60.0), 0.55);
+  // Deadline shorter than comm time: negative bound (level unusable).
+  EXPECT_LT(org.max_data_fraction_for_deadline(2e9, 4.0), 0.0);
+}
+
+TEST(Organization, ValidityChecks) {
+  EXPECT_TRUE(sample_org().is_valid());
+  Organization bad = sample_org();
+  bad.freq_levels = {4e9, 2e9};  // not ascending
+  EXPECT_FALSE(bad.is_valid());
+  bad = sample_org();
+  bad.data_size_bits = 0.0;
+  EXPECT_FALSE(bad.is_valid());
+  bad = sample_org();
+  bad.freq_levels.clear();
+  EXPECT_FALSE(bad.is_valid());
+  bad = sample_org();
+  bad.profitability = -1.0;
+  EXPECT_FALSE(bad.is_valid());
+}
+
+}  // namespace
+}  // namespace tradefl::game

@@ -1,0 +1,132 @@
+// The tradefl CLI layer: parsing, dispatch, and end-to-end subcommand runs.
+#include "tradefl/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace tradefl::cli {
+namespace {
+
+TEST(CliParse, AcceptsKnownCommands) {
+  for (const char* command : {"solve", "compare", "sweep", "session", "chain", "help"}) {
+    const auto invocation = parse({command});
+    ASSERT_TRUE(invocation.ok()) << command;
+    EXPECT_EQ(invocation.value().command, command);
+  }
+}
+
+TEST(CliParse, CaseInsensitiveCommand) {
+  const auto invocation = parse({"SOLVE", "seed=7"});
+  ASSERT_TRUE(invocation.ok());
+  EXPECT_EQ(invocation.value().command, "solve");
+  EXPECT_EQ(invocation.value().options.get_int("seed", 0), 7);
+}
+
+TEST(CliParse, RejectsUnknownCommandAndBadOptions) {
+  EXPECT_FALSE(parse({}).ok());
+  EXPECT_FALSE(parse({"frobnicate"}).ok());
+  EXPECT_FALSE(parse({"solve", "not-a-kv"}).ok());
+}
+
+TEST(CliParse, SchemeNames) {
+  EXPECT_TRUE(parse_scheme("DBR").ok());
+  EXPECT_EQ(parse_scheme("cgbd").value(), core::Scheme::kCgbd);
+  EXPECT_EQ(parse_scheme("tos").value(), core::Scheme::kTos);
+  EXPECT_FALSE(parse_scheme("equilibrium9000").ok());
+}
+
+TEST(CliSpec, OptionsOverrideDefaults) {
+  Config options;
+  options.set("orgs", "4");
+  options.set("gamma", "1e-8");
+  options.set("mu", "0.02");
+  const auto spec = spec_from_options(options);
+  EXPECT_EQ(spec.org_count, 4u);
+  EXPECT_DOUBLE_EQ(spec.params.gamma, 1e-8);
+  EXPECT_DOUBLE_EQ(spec.rho_mean, 0.02);
+}
+
+TEST(CliRun, HelpPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"help"}).value(), out), 0);
+  EXPECT_NE(out.str().find("usage"), std::string::npos);
+  EXPECT_NE(out.str().find("solve"), std::string::npos);
+}
+
+TEST(CliRun, SolveReportsEquilibrium) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"solve", "orgs=5", "seed=3"}).value(), out), 0);
+  EXPECT_NE(out.str().find("welfare"), std::string::npos);
+  EXPECT_NE(out.str().find("IR="), std::string::npos);
+}
+
+TEST(CliRun, SolveRejectsBadScheme) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"solve", "scheme=bogus"}).value(), out), 2);
+}
+
+TEST(CliRun, CompareListsEverySchemeRow) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"compare", "orgs=5", "seed=3"}).value(), out), 0);
+  for (core::Scheme scheme : core::all_schemes()) {
+    EXPECT_NE(out.str().find(core::scheme_name(scheme)), std::string::npos);
+  }
+}
+
+TEST(CliRun, SweepEmitsRequestedPoints) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"sweep", "orgs=5", "points=4", "seed=3"}).value(), out), 0);
+  // Header + separators + 4 rows: count '\n' in the table body conservatively.
+  std::size_t rows = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("| 1") == 0 || line.find("| 1e-") != std::string::npos) ++rows;
+  }
+  EXPECT_GE(rows, 2u);
+}
+
+TEST(CliRun, SessionSettlesOnChain) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3"}).value(), out), 0);
+  EXPECT_NE(out.str().find("budget balance"), std::string::npos);
+  EXPECT_NE(out.str().find("VALID"), std::string::npos);
+}
+
+TEST(CliRun, ChainShowsBlocksAndEvents) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"chain", "orgs=3", "seed=3"}).value(), out), 0);
+  EXPECT_NE(out.str().find("Registered"), std::string::npos);
+  EXPECT_NE(out.str().find("PayoffTransferred"), std::string::npos);
+  EXPECT_NE(out.str().find("validation: VALID"), std::string::npos);
+}
+
+TEST(CliRun, SolveFromGameFile) {
+  const std::string path = testing::TempDir() + "/tradefl_cli_game.cfg";
+  {
+    std::ofstream file(path);
+    file << "orgs = 2\n"
+            "gamma = 1e-8\n"
+            "org.0.name = ayla\n"
+            "org.0.p = 2200\n"
+            "org.1.name = brint\n"
+            "org.1.p = 800\n"
+            "rho.0.1 = 0.05\n"
+            "rho.1.0 = 0.05\n";
+  }
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"solve", "file=" + path}).value(), out), 0);
+  EXPECT_NE(out.str().find("ayla"), std::string::npos);
+  EXPECT_NE(out.str().find("brint"), std::string::npos);
+}
+
+TEST(CliRun, MissingGameFileFails) {
+  std::ostringstream out;
+  EXPECT_THROW(run(parse({"solve", "file=/nonexistent/game.cfg"}).value(), out),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tradefl::cli

@@ -1,0 +1,118 @@
+// Cross-layer invariants exercised end to end: the empirical accuracy model
+// from real FL measurements driving the game; welfare orderings across
+// schemes surviving the full pipeline; tamper detection after settlement.
+#include <gtest/gtest.h>
+
+#include "fl/data_accuracy.h"
+#include "game/game_factory.h"
+#include "game/potential.h"
+#include "tradefl/session.h"
+
+namespace tradefl {
+namespace {
+
+TEST(EndToEnd, EmpiricalAccuracyModelDrivesTheGame) {
+  // Measure a real accuracy curve with the FL substrate, fit it, and solve
+  // the coopetition game on top of the fitted model (the "no specific
+  // functional form" claim, Sec. III-C).
+  fl::DataAccuracyOptions options;
+  options.org_count = 3;
+  options.samples_per_org = 120;
+  options.test_samples = 200;
+  options.d_grid = {0.2, 0.6, 1.0};
+  options.fedavg.rounds = 4;
+  const auto curve =
+      fl::measure_data_accuracy(fl::ModelKind::kMlp, fl::DatasetKind::kFmnistLike, options);
+
+  auto base = game::make_toy_game();
+  // Rescale: the empirical curve is in units of samples; map the game's
+  // Ω (GB units, ~0-60 for the toy game) onto the sample range.
+  game::GameParams params = base.params();
+  params.a0 = 0.9;
+  params.data_scale = 1e9;
+  const auto model = fl::empirical_accuracy_model(curve, params.a0);
+  game::CoopetitionGame game(base.orgs(), base.rho(), model, params);
+
+  const auto solution = core::run_dbr(game);
+  EXPECT_TRUE(solution.converged);
+  EXPECT_TRUE(game.is_feasible(solution.profile));
+  EXPECT_LE(game.max_unilateral_gain(solution.profile), 1e-3);
+  // The exact-potential identity holds for ANY Eq.(5) model, including the
+  // fitted one.
+  const auto check =
+      game::check_weighted_potential_identity(game, solution.profile, 200, 5);
+  EXPECT_LT(check.max_rel_error, 1e-8);
+}
+
+TEST(EndToEnd, SchemeOrderingSurvivesFullPipeline) {
+  const auto game = game::make_default_game(42);
+  double welfare_dbr = 0.0, welfare_wpr = 0.0, welfare_gca = 0.0;
+  for (auto [scheme, out] :
+       {std::pair{core::Scheme::kDbr, &welfare_dbr},
+        std::pair{core::Scheme::kWpr, &welfare_wpr},
+        std::pair{core::Scheme::kGca, &welfare_gca}}) {
+    TradingSession session(game);
+    SessionOptions options;
+    options.scheme = scheme;
+    const SessionResult result = session.run(options);
+    EXPECT_TRUE(result.chain_valid);
+    EXPECT_EQ(result.settlement_sum, 0);
+    *out = result.mechanism.welfare;
+  }
+  EXPECT_GT(welfare_dbr, welfare_wpr);
+  EXPECT_GT(welfare_dbr, welfare_gca);
+}
+
+TEST(EndToEnd, TamperingAfterSettlementIsDetected) {
+  const auto game = game::make_toy_game();
+  TradingSession session(game);
+  const SessionResult result = session.run();
+  ASSERT_TRUE(result.chain_valid);
+  chain::Blockchain& chain = session.blockchain();
+  // A malicious org rewrites its recorded contribution in a sealed block.
+  for (std::size_t b = 1; b < chain.block_count(); ++b) {
+    if (!chain.block(b).transactions.empty()) {
+      chain.mutable_block_for_test(b).transactions[0].data.push_back(0xFF);
+      break;
+    }
+  }
+  EXPECT_FALSE(chain.validate().valid);
+}
+
+TEST(EndToEnd, GammaSweepKeepsInvariantsAcrossLayers) {
+  for (double gamma : {1e-9, 5.12e-9, 5e-8}) {
+    game::ExperimentSpec spec;
+    spec.org_count = 6;
+    spec.params.gamma = gamma;
+    const auto game = game::make_experiment_game(spec, 11);
+    TradingSession session(game);
+    const SessionResult result = session.run();
+    EXPECT_TRUE(result.properties.individual_rationality) << "gamma " << gamma;
+    EXPECT_TRUE(result.properties.budget_balance) << "gamma " << gamma;
+    EXPECT_EQ(result.settlement_sum, 0) << "gamma " << gamma;
+    EXPECT_TRUE(result.chain_valid) << "gamma " << gamma;
+  }
+}
+
+TEST(EndToEnd, DamageDecreasesWithGammaUnderDbr) {
+  // Fig. 9's qualitative claim, end to end.
+  double damage_low = 0.0, damage_high = 0.0;
+  {
+    game::ExperimentSpec spec;
+    spec.params.gamma = 1e-9;
+    damage_low = core::run_scheme(game::make_experiment_game(spec, 42),
+                                  core::Scheme::kDbr)
+                     .total_damage;
+  }
+  {
+    game::ExperimentSpec spec;
+    spec.params.gamma = 5e-8;
+    damage_high = core::run_scheme(game::make_experiment_game(spec, 42),
+                                   core::Scheme::kDbr)
+                      .total_damage;
+  }
+  EXPECT_LT(damage_high, damage_low);
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -1,0 +1,112 @@
+// End-to-end TradingSession (Fig. 3): equilibrium -> contributions ->
+// on-chain settlement, with cross-checks between layers.
+#include "tradefl/session.h"
+
+#include <gtest/gtest.h>
+
+#include "game/game_factory.h"
+#include "tradefl/report.h"
+
+namespace tradefl {
+namespace {
+
+TEST(Session, FullRunOnDefaultGame) {
+  const auto game = game::make_default_game(42);
+  TradingSession session(game);
+  const SessionResult result = session.run();
+
+  EXPECT_TRUE(result.mechanism.solution.converged);
+  EXPECT_TRUE(result.properties.individual_rationality);
+  EXPECT_TRUE(result.properties.budget_balance);
+  EXPECT_TRUE(result.properties.nash_equilibrium);
+  EXPECT_TRUE(result.chain_valid);
+  EXPECT_EQ(result.settlement_sum, 0);            // exact on-chain budget balance
+  EXPECT_LT(result.max_settlement_gap, 1e-6);     // fixed point matches doubles
+  EXPECT_EQ(result.settlements_wei.size(), game.size());
+  EXPECT_GT(result.total_gas, 0u);
+  EXPECT_GT(result.blocks, game.size());          // register+deposit+... per org
+  EXPECT_GT(result.events, 0u);
+}
+
+TEST(Session, CgbdSchemeSettlesToo) {
+  game::ExperimentSpec spec;
+  spec.org_count = 5;  // keep the master traversal small
+  const auto game = game::make_experiment_game(spec, 7);
+  TradingSession session(game);
+  SessionOptions options;
+  options.scheme = core::Scheme::kCgbd;
+  const SessionResult result = session.run(options);
+  EXPECT_TRUE(result.chain_valid);
+  EXPECT_EQ(result.settlement_sum, 0);
+  EXPECT_TRUE(result.properties.nash_equilibrium);
+}
+
+TEST(Session, OnChainSettlementMatchesGameRedistribution) {
+  const auto game = game::make_default_game(42);
+  TradingSession session(game);
+  const SessionResult result = session.run();
+  for (game::OrgId i = 0; i < game.size(); ++i) {
+    const double off_chain =
+        game.redistribution(i, result.mechanism.solution.profile);
+    const double on_chain = static_cast<double>(result.settlements_wei[i]) / 1e9;
+    EXPECT_NEAR(on_chain, off_chain, 1e-6) << "org " << i;
+  }
+}
+
+TEST(Session, TrainingProducesModelMetrics) {
+  const auto game = game::make_toy_game();
+  TradingSession session(game);
+  SessionOptions options;
+  options.run_training = true;
+  options.sample_scale = 0.12;  // keep the test quick
+  options.fedavg.rounds = 3;
+  const SessionResult result = session.run(options);
+  ASSERT_TRUE(result.training.has_value());
+  EXPECT_EQ(result.training->history.size(), 3u);
+  EXPECT_GT(result.training->total_contributed_samples, 0u);
+  EXPECT_GE(result.training->final_accuracy, 0.0);
+}
+
+TEST(Session, ChainAccessibleAfterRun) {
+  const auto game = game::make_toy_game();
+  TradingSession session(game);
+  EXPECT_THROW(session.blockchain(), std::runtime_error);  // not run yet
+  session.run();
+  chain::Blockchain& chain = session.blockchain();
+  EXPECT_TRUE(chain.validate().valid);
+  // The recorded events include the full Fig. 3 lifecycle.
+  bool registered = false, deposited = false, contributed = false, transferred = false;
+  for (const chain::Event& event : chain.events()) {
+    if (event.name == "Registered") registered = true;
+    if (event.name == "DepositSubmitted") deposited = true;
+    if (event.name == "ContributionSubmitted") contributed = true;
+    if (event.name == "PayoffTransferred") transferred = true;
+  }
+  EXPECT_TRUE(registered);
+  EXPECT_TRUE(deposited);
+  EXPECT_TRUE(contributed);
+  EXPECT_TRUE(transferred);
+}
+
+TEST(Session, ReportsAreHumanReadable) {
+  const auto game = game::make_toy_game();
+  TradingSession session(game);
+  const SessionResult result = session.run();
+  const std::string mechanism_text = describe_mechanism(game, result.mechanism);
+  EXPECT_NE(mechanism_text.find("welfare"), std::string::npos);
+  EXPECT_NE(mechanism_text.find("alpha"), std::string::npos);
+  const std::string session_text = describe_session(game, result);
+  EXPECT_NE(session_text.find("budget balance"), std::string::npos);
+  EXPECT_NE(session_text.find("VALID"), std::string::npos);
+}
+
+TEST(Session, ExplicitFundingRespected) {
+  const auto game = game::make_toy_game();
+  TradingSession session(game);
+  SessionOptions options;
+  options.funding = 1;  // far below any sane deposit
+  EXPECT_THROW(session.run(options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl

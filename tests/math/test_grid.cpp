@@ -1,0 +1,84 @@
+#include "math/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tradefl::math {
+namespace {
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto grid = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  EXPECT_DOUBLE_EQ(grid[2], 0.5);
+}
+
+TEST(Linspace, SinglePoint) {
+  EXPECT_EQ(linspace(3.0, 9.0, 1), (std::vector<double>{3.0}));
+}
+
+TEST(Linspace, ZeroThrows) {
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Logspace, DecadeGrid) {
+  const auto grid = logspace(1e-9, 1e-7, 3);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_NEAR(grid[0], 1e-9, 1e-18);
+  EXPECT_NEAR(grid[1], 1e-8, 1e-15);
+  EXPECT_NEAR(grid[2], 1e-7, 1e-14);
+}
+
+TEST(Logspace, RejectsNonPositive) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(-1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(CartesianSize, Products) {
+  EXPECT_EQ(cartesian_size({3, 3, 3}), 27u);
+  EXPECT_EQ(cartesian_size({}), 1u);
+  EXPECT_EQ(cartesian_size({5, 0}), 0u);
+}
+
+TEST(CartesianSize, OverflowThrows) {
+  const std::vector<std::size_t> huge(64, 1000);
+  EXPECT_THROW(cartesian_size(huge), std::overflow_error);
+}
+
+TEST(EnumerateCartesian, VisitsEveryTuple) {
+  std::set<std::vector<std::size_t>> seen;
+  const auto visited = enumerate_cartesian({2, 3}, [&](const std::vector<std::size_t>& t) {
+    seen.insert(t);
+    return true;
+  });
+  EXPECT_EQ(visited, 6u);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(EnumerateCartesian, EarlyStop) {
+  int count = 0;
+  const auto visited = enumerate_cartesian({10, 10}, [&](const std::vector<std::size_t>&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(EnumerateCartesian, ZeroRadixVisitsNothing) {
+  const auto visited =
+      enumerate_cartesian({2, 0}, [](const std::vector<std::size_t>&) { return true; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(EnumerateCartesian, MatchesCartesianSize) {
+  for (const std::vector<std::size_t> radices :
+       {std::vector<std::size_t>{2, 2, 2}, {1, 5}, {4}}) {
+    const auto visited =
+        enumerate_cartesian(radices, [](const std::vector<std::size_t>&) { return true; });
+    EXPECT_EQ(visited, cartesian_size(radices));
+  }
+}
+
+}  // namespace
+}  // namespace tradefl::math

@@ -1,0 +1,111 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tradefl::math {
+namespace {
+
+TEST(Matrix, IdentityMultiply) {
+  const Matrix eye = Matrix::identity(3);
+  const Vec x{1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.multiply(x), x);
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix m = Matrix::outer({1.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 12.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m.at(0, 2) = 5.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+}
+
+TEST(Matrix, MatrixMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const Matrix sq = a.multiply(a);
+  EXPECT_DOUBLE_EQ(sq.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sq.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sq.at(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(sq.at(1, 1), 22.0);
+}
+
+TEST(Matrix, SolveRandomSystem) {
+  tradefl::Rng rng(5);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  Vec x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+    a.at(i, i) += 5.0;  // diagonally dominant => nonsingular
+  }
+  const Vec b = a.multiply(x_true);
+  const Vec x = a.solve(b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-9);
+}
+
+TEST(Matrix, SolveSingularThrows) {
+  Matrix a(2, 2);  // all zeros
+  EXPECT_THROW(a.solve({1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Matrix, SolveSpdMatchesLu) {
+  tradefl::Rng rng(9);
+  const std::size_t n = 6;
+  Matrix base(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) base.at(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  // SPD via B B^T + I.
+  Matrix spd = base.multiply(base.transposed());
+  spd.add_diagonal(1.0);
+  Vec b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-1.0, 1.0);
+  const Vec x_spd = spd.solve_spd(b);
+  const Vec x_lu = spd.solve(b);
+  EXPECT_LT(max_abs_diff(x_spd, x_lu), 1e-8);
+}
+
+TEST(Matrix, SolveSpdRejectsIndefinite) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 1) = -1.0;
+  EXPECT_THROW(m.solve_spd({1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Matrix, SolveSpdRidgeRegularizes) {
+  Matrix m(2, 2);  // singular PSD (rank one)
+  m.at(0, 0) = 1.0;
+  EXPECT_THROW(m.solve_spd({1.0, 1.0}), std::runtime_error);
+  EXPECT_NO_THROW(m.solve_spd({1.0, 1.0}, 1e-6));
+}
+
+TEST(Matrix, AddDiagonalVector) {
+  Matrix m(2, 2);
+  m.add_diagonal(Vec{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+  EXPECT_THROW(m.add_diagonal(Vec{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, ShapeErrors) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(Vec{1.0}), std::invalid_argument);
+  EXPECT_THROW(m.solve(Vec{1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::math

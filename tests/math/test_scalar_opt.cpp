@@ -1,0 +1,81 @@
+#include "math/scalar_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tradefl::math {
+namespace {
+
+TEST(GoldenSection, FindsInteriorMaximum) {
+  const auto result = golden_section_maximize(
+      [](double x) { return -(x - 2.0) * (x - 2.0) + 5.0; }, 0.0, 10.0, 1e-10);
+  EXPECT_NEAR(result.x, 2.0, 1e-7);
+  EXPECT_NEAR(result.value, 5.0, 1e-12);
+}
+
+TEST(GoldenSection, FindsBoundaryMaximum) {
+  // Monotone increasing: maximum at the right endpoint.
+  const auto inc = golden_section_maximize([](double x) { return x; }, -1.0, 3.0);
+  EXPECT_NEAR(inc.x, 3.0, 1e-8);
+  const auto dec = golden_section_maximize([](double x) { return -x; }, -1.0, 3.0);
+  EXPECT_NEAR(dec.x, -1.0, 1e-8);
+}
+
+TEST(GoldenSection, DegenerateInterval) {
+  const auto result = golden_section_maximize([](double x) { return x * x; }, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(result.x, 2.0);
+}
+
+TEST(GoldenSection, RejectsInvertedInterval) {
+  EXPECT_THROW(golden_section_maximize([](double x) { return x; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ConcaveMaximize, InteriorViaDerivative) {
+  // f(x) = -(x-1)^2, f'(x) = -2(x-1).
+  const auto result = concave_maximize_with_derivative(
+      [](double x) { return -(x - 1.0) * (x - 1.0); },
+      [](double x) { return -2.0 * (x - 1.0); }, -3.0, 3.0, 1e-12);
+  EXPECT_NEAR(result.x, 1.0, 1e-9);
+}
+
+TEST(ConcaveMaximize, BoundaryCases) {
+  // Increasing derivative everywhere positive -> hi.
+  const auto hi = concave_maximize_with_derivative(
+      [](double x) { return x; }, [](double) { return 1.0; }, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(hi.x, 2.0);
+  // Decreasing everywhere -> lo.
+  const auto lo = concave_maximize_with_derivative(
+      [](double x) { return -x; }, [](double) { return -1.0; }, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(lo.x, 0.0);
+}
+
+TEST(ConcaveMaximize, MatchesGoldenSectionOnLogShape) {
+  // Concave saturating shape like the payoff in d: a log minus a line.
+  auto f = [](double x) { return std::log(1.0 + 4.0 * x) - 0.8 * x; };
+  auto df = [](double x) { return 4.0 / (1.0 + 4.0 * x) - 0.8; };
+  const auto a = concave_maximize_with_derivative(f, df, 0.0, 5.0, 1e-13);
+  const auto b = golden_section_maximize(f, 0.0, 5.0, 1e-12);
+  EXPECT_NEAR(a.x, b.x, 1e-6);
+  EXPECT_NEAR(a.value, b.value, 1e-10);
+}
+
+TEST(BisectRoot, FindsRoot) {
+  const double root =
+      bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-13);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BisectRoot, ExactEndpoints) {
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(BisectRoot, SameSignThrows) {
+  EXPECT_THROW(bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::math

@@ -1,0 +1,51 @@
+#include "math/vec.h"
+
+#include <gtest/gtest.h>
+
+namespace tradefl::math {
+namespace {
+
+TEST(Vec, Constructors) {
+  EXPECT_EQ(zeros(3), (Vec{0.0, 0.0, 0.0}));
+  EXPECT_EQ(constant(2, 1.5), (Vec{1.5, 1.5}));
+}
+
+TEST(Vec, DotAndNorms) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({1.0, -7.0, 3.0}), 7.0);
+  EXPECT_DOUBLE_EQ(sum(a), 6.0);
+}
+
+TEST(Vec, Arithmetic) {
+  const Vec a{1.0, 2.0};
+  const Vec b{3.0, 5.0};
+  EXPECT_EQ(add(a, b), (Vec{4.0, 7.0}));
+  EXPECT_EQ(subtract(b, a), (Vec{2.0, 3.0}));
+  EXPECT_EQ(scale(a, 2.0), (Vec{2.0, 4.0}));
+}
+
+TEST(Vec, Axpy) {
+  Vec a{1.0, 1.0};
+  axpy(a, 2.0, {0.5, -1.0});
+  EXPECT_EQ(a, (Vec{2.0, -1.0}));
+}
+
+TEST(Vec, Clamp) {
+  const Vec x{-1.0, 0.5, 2.0};
+  EXPECT_EQ(clamp(x, zeros(3), constant(3, 1.0)), (Vec{0.0, 0.5, 1.0}));
+}
+
+TEST(Vec, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 2.0}, {1.5, -1.0}), 3.0);
+}
+
+TEST(Vec, SizeMismatchThrows) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(add({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tradefl::math

@@ -1,0 +1,25 @@
+// The `tradefl` command-line tool. All logic lives in src/tradefl/cli.* so
+// it can be unit tested; this translation unit only adapts argv and streams.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tradefl/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  const auto invocation = tradefl::cli::parse(args);
+  if (!invocation.ok()) {
+    std::cerr << invocation.error().to_string() << "\n" << tradefl::cli::usage();
+    return 2;
+  }
+  try {
+    return tradefl::cli::run(invocation.value(), std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
