@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_noniid.dir/bench_ablation_noniid.cpp.o"
+  "CMakeFiles/bench_ablation_noniid.dir/bench_ablation_noniid.cpp.o.d"
+  "CMakeFiles/bench_ablation_noniid.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_noniid.dir/bench_common.cpp.o.d"
+  "bench_ablation_noniid"
+  "bench_ablation_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

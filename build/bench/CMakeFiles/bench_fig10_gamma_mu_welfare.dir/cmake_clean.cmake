@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gamma_mu_welfare.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig10_gamma_mu_welfare.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig10_gamma_mu_welfare.dir/bench_fig10_gamma_mu_welfare.cpp.o"
+  "CMakeFiles/bench_fig10_gamma_mu_welfare.dir/bench_fig10_gamma_mu_welfare.cpp.o.d"
+  "bench_fig10_gamma_mu_welfare"
+  "bench_fig10_gamma_mu_welfare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gamma_mu_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mu_we_welfare.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11_mu_we_welfare.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11_mu_we_welfare.dir/bench_fig11_mu_we_welfare.cpp.o"
+  "CMakeFiles/bench_fig11_mu_we_welfare.dir/bench_fig11_mu_we_welfare.cpp.o.d"
+  "bench_fig11_mu_we_welfare"
+  "bench_fig11_mu_we_welfare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mu_we_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_accuracy_contribution.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig12_accuracy_contribution.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig12_accuracy_contribution.dir/bench_fig12_accuracy_contribution.cpp.o"
+  "CMakeFiles/bench_fig12_accuracy_contribution.dir/bench_fig12_accuracy_contribution.cpp.o.d"
+  "bench_fig12_accuracy_contribution"
+  "bench_fig12_accuracy_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_accuracy_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_15_training_curves.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig13_15_training_curves.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig13_15_training_curves.dir/bench_fig13_15_training_curves.cpp.o"
+  "CMakeFiles/bench_fig13_15_training_curves.dir/bench_fig13_15_training_curves.cpp.o.d"
+  "bench_fig13_15_training_curves"
+  "bench_fig13_15_training_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_15_training_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

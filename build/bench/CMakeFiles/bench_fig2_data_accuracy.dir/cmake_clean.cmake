@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_data_accuracy.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig2_data_accuracy.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig2_data_accuracy.dir/bench_fig2_data_accuracy.cpp.o"
+  "CMakeFiles/bench_fig2_data_accuracy.dir/bench_fig2_data_accuracy.cpp.o.d"
+  "bench_fig2_data_accuracy"
+  "bench_fig2_data_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_data_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

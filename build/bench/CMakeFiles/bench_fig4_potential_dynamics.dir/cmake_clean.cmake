@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_potential_dynamics.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig4_potential_dynamics.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig4_potential_dynamics.dir/bench_fig4_potential_dynamics.cpp.o"
+  "CMakeFiles/bench_fig4_potential_dynamics.dir/bench_fig4_potential_dynamics.cpp.o.d"
+  "bench_fig4_potential_dynamics"
+  "bench_fig4_potential_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_potential_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

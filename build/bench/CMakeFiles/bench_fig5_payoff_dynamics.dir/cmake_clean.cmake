@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_payoff_dynamics.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig5_payoff_dynamics.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig5_payoff_dynamics.dir/bench_fig5_payoff_dynamics.cpp.o"
+  "CMakeFiles/bench_fig5_payoff_dynamics.dir/bench_fig5_payoff_dynamics.cpp.o.d"
+  "bench_fig5_payoff_dynamics"
+  "bench_fig5_payoff_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_payoff_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gamma_welfare_dbr.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig7_gamma_welfare_dbr.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig7_gamma_welfare_dbr.dir/bench_fig7_gamma_welfare_dbr.cpp.o"
+  "CMakeFiles/bench_fig7_gamma_welfare_dbr.dir/bench_fig7_gamma_welfare_dbr.cpp.o.d"
+  "bench_fig7_gamma_welfare_dbr"
+  "bench_fig7_gamma_welfare_dbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gamma_welfare_dbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

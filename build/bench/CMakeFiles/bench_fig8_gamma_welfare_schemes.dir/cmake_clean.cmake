@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gamma_welfare_schemes.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig8_gamma_welfare_schemes.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig8_gamma_welfare_schemes.dir/bench_fig8_gamma_welfare_schemes.cpp.o"
+  "CMakeFiles/bench_fig8_gamma_welfare_schemes.dir/bench_fig8_gamma_welfare_schemes.cpp.o.d"
+  "bench_fig8_gamma_welfare_schemes"
+  "bench_fig8_gamma_welfare_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gamma_welfare_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gamma_damage.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig9_gamma_damage.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig9_gamma_damage.dir/bench_fig9_gamma_damage.cpp.o"
+  "CMakeFiles/bench_fig9_gamma_damage.dir/bench_fig9_gamma_damage.cpp.o.d"
+  "bench_fig9_gamma_damage"
+  "bench_fig9_gamma_damage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gamma_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_contract.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_contract.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_contract.dir/bench_table1_contract.cpp.o"
+  "CMakeFiles/bench_table1_contract.dir/bench_table1_contract.cpp.o.d"
+  "bench_table1_contract"
+  "bench_table1_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

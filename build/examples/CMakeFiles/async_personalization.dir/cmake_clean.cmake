@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_personalization.dir/async_personalization.cpp.o"
+  "CMakeFiles/async_personalization.dir/async_personalization.cpp.o.d"
+  "async_personalization"
+  "async_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_settlement.dir/contract_settlement.cpp.o"
+  "CMakeFiles/contract_settlement.dir/contract_settlement.cpp.o.d"
+  "contract_settlement"
+  "contract_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

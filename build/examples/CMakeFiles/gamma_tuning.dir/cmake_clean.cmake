@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_tuning.dir/gamma_tuning.cpp.o"
+  "CMakeFiles/gamma_tuning.dir/gamma_tuning.cpp.o.d"
+  "gamma_tuning"
+  "gamma_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pharma_consortium.dir/pharma_consortium.cpp.o"
+  "CMakeFiles/pharma_consortium.dir/pharma_consortium.cpp.o.d"
+  "pharma_consortium"
+  "pharma_consortium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pharma_consortium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/abi.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/abi.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/abi.cpp.o.d"
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/bytes.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/bytes.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/bytes.cpp.o.d"
+  "/root/repo/src/chain/fixed_point.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/fixed_point.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/chain/sha256.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/sha256.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/sha256.cpp.o.d"
+  "/root/repo/src/chain/tradefl_contract.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/tradefl_contract.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/tradefl_contract.cpp.o.d"
+  "/root/repo/src/chain/tx.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/tx.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/tx.cpp.o.d"
+  "/root/repo/src/chain/vm.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/vm.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/vm.cpp.o.d"
+  "/root/repo/src/chain/web3.cpp" "src/chain/CMakeFiles/tradefl_chain.dir/web3.cpp.o" "gcc" "src/chain/CMakeFiles/tradefl_chain.dir/web3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_chain.dir/abi.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/abi.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/block.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/block.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/bytes.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/bytes.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/fixed_point.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/sha256.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/sha256.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/tradefl_contract.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/tradefl_contract.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/tx.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/tx.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/vm.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/vm.cpp.o.d"
+  "CMakeFiles/tradefl_chain.dir/web3.cpp.o"
+  "CMakeFiles/tradefl_chain.dir/web3.cpp.o.d"
+  "libtradefl_chain.a"
+  "libtradefl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_common.dir/config.cpp.o"
+  "CMakeFiles/tradefl_common.dir/config.cpp.o.d"
+  "CMakeFiles/tradefl_common.dir/csv.cpp.o"
+  "CMakeFiles/tradefl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/tradefl_common.dir/logging.cpp.o"
+  "CMakeFiles/tradefl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tradefl_common.dir/rng.cpp.o"
+  "CMakeFiles/tradefl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tradefl_common.dir/stats.cpp.o"
+  "CMakeFiles/tradefl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tradefl_common.dir/string_util.cpp.o"
+  "CMakeFiles/tradefl_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/tradefl_common.dir/table.cpp.o"
+  "CMakeFiles/tradefl_common.dir/table.cpp.o.d"
+  "libtradefl_common.a"
+  "libtradefl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/tradefl_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/best_response.cpp" "src/core/CMakeFiles/tradefl_core.dir/best_response.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/best_response.cpp.o.d"
+  "/root/repo/src/core/cgbd.cpp" "src/core/CMakeFiles/tradefl_core.dir/cgbd.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/cgbd.cpp.o.d"
+  "/root/repo/src/core/dbr.cpp" "src/core/CMakeFiles/tradefl_core.dir/dbr.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/dbr.cpp.o.d"
+  "/root/repo/src/core/gamma_design.cpp" "src/core/CMakeFiles/tradefl_core.dir/gamma_design.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/gamma_design.cpp.o.d"
+  "/root/repo/src/core/gbd.cpp" "src/core/CMakeFiles/tradefl_core.dir/gbd.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/gbd.cpp.o.d"
+  "/root/repo/src/core/mechanism.cpp" "src/core/CMakeFiles/tradefl_core.dir/mechanism.cpp.o" "gcc" "src/core/CMakeFiles/tradefl_core.dir/mechanism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

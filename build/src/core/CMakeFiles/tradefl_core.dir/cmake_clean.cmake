@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_core.dir/baselines.cpp.o"
+  "CMakeFiles/tradefl_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/tradefl_core.dir/best_response.cpp.o"
+  "CMakeFiles/tradefl_core.dir/best_response.cpp.o.d"
+  "CMakeFiles/tradefl_core.dir/cgbd.cpp.o"
+  "CMakeFiles/tradefl_core.dir/cgbd.cpp.o.d"
+  "CMakeFiles/tradefl_core.dir/dbr.cpp.o"
+  "CMakeFiles/tradefl_core.dir/dbr.cpp.o.d"
+  "CMakeFiles/tradefl_core.dir/gamma_design.cpp.o"
+  "CMakeFiles/tradefl_core.dir/gamma_design.cpp.o.d"
+  "CMakeFiles/tradefl_core.dir/gbd.cpp.o"
+  "CMakeFiles/tradefl_core.dir/gbd.cpp.o.d"
+  "CMakeFiles/tradefl_core.dir/mechanism.cpp.o"
+  "CMakeFiles/tradefl_core.dir/mechanism.cpp.o.d"
+  "libtradefl_core.a"
+  "libtradefl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/data_accuracy.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/data_accuracy.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/data_accuracy.cpp.o.d"
+  "/root/repo/src/fl/dataset.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/dataset.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/dataset.cpp.o.d"
+  "/root/repo/src/fl/fedasync.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/fedasync.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/fedasync.cpp.o.d"
+  "/root/repo/src/fl/fedavg.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/fedavg.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/fedavg.cpp.o.d"
+  "/root/repo/src/fl/layers.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/layers.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/layers.cpp.o.d"
+  "/root/repo/src/fl/loss.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/loss.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/loss.cpp.o.d"
+  "/root/repo/src/fl/model_zoo.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/model_zoo.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/fl/net.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/net.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/net.cpp.o.d"
+  "/root/repo/src/fl/optimizer.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/optimizer.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/optimizer.cpp.o.d"
+  "/root/repo/src/fl/personalize.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/personalize.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/personalize.cpp.o.d"
+  "/root/repo/src/fl/tensor.cpp" "src/fl/CMakeFiles/tradefl_fl.dir/tensor.cpp.o" "gcc" "src/fl/CMakeFiles/tradefl_fl.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_fl.dir/data_accuracy.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/data_accuracy.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/dataset.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/dataset.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/fedasync.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/fedasync.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/fedavg.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/fedavg.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/layers.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/layers.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/loss.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/loss.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/model_zoo.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/net.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/net.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/optimizer.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/personalize.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/personalize.cpp.o.d"
+  "CMakeFiles/tradefl_fl.dir/tensor.cpp.o"
+  "CMakeFiles/tradefl_fl.dir/tensor.cpp.o.d"
+  "libtradefl_fl.a"
+  "libtradefl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

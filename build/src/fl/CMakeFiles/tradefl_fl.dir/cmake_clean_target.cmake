@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtradefl_fl.a"
+)

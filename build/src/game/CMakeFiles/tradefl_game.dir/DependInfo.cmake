@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/accuracy_model.cpp" "src/game/CMakeFiles/tradefl_game.dir/accuracy_model.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/accuracy_model.cpp.o.d"
+  "/root/repo/src/game/competition.cpp" "src/game/CMakeFiles/tradefl_game.dir/competition.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/competition.cpp.o.d"
+  "/root/repo/src/game/game.cpp" "src/game/CMakeFiles/tradefl_game.dir/game.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/game.cpp.o.d"
+  "/root/repo/src/game/game_factory.cpp" "src/game/CMakeFiles/tradefl_game.dir/game_factory.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/game_factory.cpp.o.d"
+  "/root/repo/src/game/org.cpp" "src/game/CMakeFiles/tradefl_game.dir/org.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/org.cpp.o.d"
+  "/root/repo/src/game/params.cpp" "src/game/CMakeFiles/tradefl_game.dir/params.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/params.cpp.o.d"
+  "/root/repo/src/game/potential.cpp" "src/game/CMakeFiles/tradefl_game.dir/potential.cpp.o" "gcc" "src/game/CMakeFiles/tradefl_game.dir/potential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_game.dir/accuracy_model.cpp.o"
+  "CMakeFiles/tradefl_game.dir/accuracy_model.cpp.o.d"
+  "CMakeFiles/tradefl_game.dir/competition.cpp.o"
+  "CMakeFiles/tradefl_game.dir/competition.cpp.o.d"
+  "CMakeFiles/tradefl_game.dir/game.cpp.o"
+  "CMakeFiles/tradefl_game.dir/game.cpp.o.d"
+  "CMakeFiles/tradefl_game.dir/game_factory.cpp.o"
+  "CMakeFiles/tradefl_game.dir/game_factory.cpp.o.d"
+  "CMakeFiles/tradefl_game.dir/org.cpp.o"
+  "CMakeFiles/tradefl_game.dir/org.cpp.o.d"
+  "CMakeFiles/tradefl_game.dir/params.cpp.o"
+  "CMakeFiles/tradefl_game.dir/params.cpp.o.d"
+  "CMakeFiles/tradefl_game.dir/potential.cpp.o"
+  "CMakeFiles/tradefl_game.dir/potential.cpp.o.d"
+  "libtradefl_game.a"
+  "libtradefl_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

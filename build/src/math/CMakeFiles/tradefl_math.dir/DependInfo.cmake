@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/barrier_solver.cpp" "src/math/CMakeFiles/tradefl_math.dir/barrier_solver.cpp.o" "gcc" "src/math/CMakeFiles/tradefl_math.dir/barrier_solver.cpp.o.d"
+  "/root/repo/src/math/grid.cpp" "src/math/CMakeFiles/tradefl_math.dir/grid.cpp.o" "gcc" "src/math/CMakeFiles/tradefl_math.dir/grid.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/tradefl_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/tradefl_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/scalar_opt.cpp" "src/math/CMakeFiles/tradefl_math.dir/scalar_opt.cpp.o" "gcc" "src/math/CMakeFiles/tradefl_math.dir/scalar_opt.cpp.o.d"
+  "/root/repo/src/math/vec.cpp" "src/math/CMakeFiles/tradefl_math.dir/vec.cpp.o" "gcc" "src/math/CMakeFiles/tradefl_math.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_math.dir/barrier_solver.cpp.o"
+  "CMakeFiles/tradefl_math.dir/barrier_solver.cpp.o.d"
+  "CMakeFiles/tradefl_math.dir/grid.cpp.o"
+  "CMakeFiles/tradefl_math.dir/grid.cpp.o.d"
+  "CMakeFiles/tradefl_math.dir/matrix.cpp.o"
+  "CMakeFiles/tradefl_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/tradefl_math.dir/scalar_opt.cpp.o"
+  "CMakeFiles/tradefl_math.dir/scalar_opt.cpp.o.d"
+  "CMakeFiles/tradefl_math.dir/vec.cpp.o"
+  "CMakeFiles/tradefl_math.dir/vec.cpp.o.d"
+  "libtradefl_math.a"
+  "libtradefl_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl_session.dir/cli.cpp.o"
+  "CMakeFiles/tradefl_session.dir/cli.cpp.o.d"
+  "CMakeFiles/tradefl_session.dir/report.cpp.o"
+  "CMakeFiles/tradefl_session.dir/report.cpp.o.d"
+  "CMakeFiles/tradefl_session.dir/session.cpp.o"
+  "CMakeFiles/tradefl_session.dir/session.cpp.o.d"
+  "libtradefl_session.a"
+  "libtradefl_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chain/test_abi.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_abi.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_abi.cpp.o.d"
+  "/root/repo/tests/chain/test_block.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_block.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_block.cpp.o.d"
+  "/root/repo/tests/chain/test_blockchain.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_blockchain.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_blockchain.cpp.o.d"
+  "/root/repo/tests/chain/test_bytes.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_bytes.cpp.o.d"
+  "/root/repo/tests/chain/test_contract.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_contract.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_contract.cpp.o.d"
+  "/root/repo/tests/chain/test_failure_injection.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/chain/test_fixed_point.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/chain/test_merkle_proof.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_merkle_proof.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_merkle_proof.cpp.o.d"
+  "/root/repo/tests/chain/test_sha256.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_sha256.cpp.o.d"
+  "/root/repo/tests/chain/test_web3.cpp" "tests/CMakeFiles/test_chain.dir/chain/test_web3.cpp.o" "gcc" "tests/CMakeFiles/test_chain.dir/chain/test_web3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain.dir/chain/test_abi.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_abi.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_block.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_block.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_blockchain.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_blockchain.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_bytes.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_bytes.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_contract.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_contract.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_failure_injection.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_fixed_point.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_fixed_point.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_merkle_proof.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_merkle_proof.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_sha256.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_sha256.cpp.o.d"
+  "CMakeFiles/test_chain.dir/chain/test_web3.cpp.o"
+  "CMakeFiles/test_chain.dir/chain/test_web3.cpp.o.d"
+  "test_chain"
+  "test_chain.pdb"
+  "test_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/test_common.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/CMakeFiles/test_common.dir/common/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_result.cpp" "tests/CMakeFiles/test_common.dir/common/test_result.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_result.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_baselines.cpp" "tests/CMakeFiles/test_core.dir/core/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_baselines.cpp.o.d"
+  "/root/repo/tests/core/test_best_response.cpp" "tests/CMakeFiles/test_core.dir/core/test_best_response.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_best_response.cpp.o.d"
+  "/root/repo/tests/core/test_dbr.cpp" "tests/CMakeFiles/test_core.dir/core/test_dbr.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dbr.cpp.o.d"
+  "/root/repo/tests/core/test_gamma_design.cpp" "tests/CMakeFiles/test_core.dir/core/test_gamma_design.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_gamma_design.cpp.o.d"
+  "/root/repo/tests/core/test_gbd.cpp" "tests/CMakeFiles/test_core.dir/core/test_gbd.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_gbd.cpp.o.d"
+  "/root/repo/tests/core/test_invariants_sweep.cpp" "tests/CMakeFiles/test_core.dir/core/test_invariants_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_invariants_sweep.cpp.o.d"
+  "/root/repo/tests/core/test_mechanism.cpp" "tests/CMakeFiles/test_core.dir/core/test_mechanism.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mechanism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_baselines.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_baselines.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_best_response.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_best_response.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dbr.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dbr.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_gamma_design.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_gamma_design.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_gbd.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_gbd.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_invariants_sweep.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_invariants_sweep.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mechanism.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mechanism.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fl/test_data_accuracy.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_data_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_data_accuracy.cpp.o.d"
+  "/root/repo/tests/fl/test_dataset.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_dataset.cpp.o.d"
+  "/root/repo/tests/fl/test_fedasync.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_fedasync.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_fedasync.cpp.o.d"
+  "/root/repo/tests/fl/test_fedavg.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_fedavg.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_fedavg.cpp.o.d"
+  "/root/repo/tests/fl/test_layers.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_layers.cpp.o.d"
+  "/root/repo/tests/fl/test_loss.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_loss.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_loss.cpp.o.d"
+  "/root/repo/tests/fl/test_net.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_net.cpp.o.d"
+  "/root/repo/tests/fl/test_noniid.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_noniid.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_noniid.cpp.o.d"
+  "/root/repo/tests/fl/test_optimizer.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_optimizer.cpp.o.d"
+  "/root/repo/tests/fl/test_personalize.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_personalize.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_personalize.cpp.o.d"
+  "/root/repo/tests/fl/test_tensor.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

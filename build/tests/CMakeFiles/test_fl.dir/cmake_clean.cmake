@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl.dir/fl/test_data_accuracy.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_data_accuracy.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_dataset.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_dataset.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_fedasync.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_fedasync.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_fedavg.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_fedavg.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_layers.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_layers.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_loss.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_loss.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_net.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_net.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_noniid.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_noniid.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_optimizer.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_personalize.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_personalize.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_tensor.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_tensor.cpp.o.d"
+  "test_fl"
+  "test_fl.pdb"
+  "test_fl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

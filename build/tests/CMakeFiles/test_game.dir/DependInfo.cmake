@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/game/test_accuracy_model.cpp" "tests/CMakeFiles/test_game.dir/game/test_accuracy_model.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_accuracy_model.cpp.o.d"
+  "/root/repo/tests/game/test_competition.cpp" "tests/CMakeFiles/test_game.dir/game/test_competition.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_competition.cpp.o.d"
+  "/root/repo/tests/game/test_feasibility.cpp" "tests/CMakeFiles/test_game.dir/game/test_feasibility.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_feasibility.cpp.o.d"
+  "/root/repo/tests/game/test_game_config.cpp" "tests/CMakeFiles/test_game.dir/game/test_game_config.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_game_config.cpp.o.d"
+  "/root/repo/tests/game/test_game_payoff.cpp" "tests/CMakeFiles/test_game.dir/game/test_game_payoff.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_game_payoff.cpp.o.d"
+  "/root/repo/tests/game/test_org.cpp" "tests/CMakeFiles/test_game.dir/game/test_org.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_org.cpp.o.d"
+  "/root/repo/tests/game/test_potential.cpp" "tests/CMakeFiles/test_game.dir/game/test_potential.cpp.o" "gcc" "tests/CMakeFiles/test_game.dir/game/test_potential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game.dir/game/test_accuracy_model.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_accuracy_model.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_competition.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_competition.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_feasibility.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_feasibility.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_game_config.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_game_config.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_game_payoff.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_game_payoff.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_org.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_org.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_potential.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_potential.cpp.o.d"
+  "test_game"
+  "test_game.pdb"
+  "test_game[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_cli.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_cli.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_session.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/test_barrier_solver.cpp" "tests/CMakeFiles/test_math.dir/math/test_barrier_solver.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_barrier_solver.cpp.o.d"
+  "/root/repo/tests/math/test_grid.cpp" "tests/CMakeFiles/test_math.dir/math/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_grid.cpp.o.d"
+  "/root/repo/tests/math/test_matrix.cpp" "tests/CMakeFiles/test_math.dir/math/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_matrix.cpp.o.d"
+  "/root/repo/tests/math/test_scalar_opt.cpp" "tests/CMakeFiles/test_math.dir/math/test_scalar_opt.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_scalar_opt.cpp.o.d"
+  "/root/repo/tests/math/test_vec.cpp" "tests/CMakeFiles/test_math.dir/math/test_vec.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradefl/CMakeFiles/tradefl_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tradefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/tradefl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tradefl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/tradefl_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/tradefl_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tradefl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/math/test_barrier_solver.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_barrier_solver.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_grid.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_grid.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_matrix.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_matrix.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_scalar_opt.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_scalar_opt.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_vec.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_vec.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradefl.dir/tradefl.cpp.o"
+  "CMakeFiles/tradefl.dir/tradefl.cpp.o.d"
+  "tradefl"
+  "tradefl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradefl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
