@@ -1,6 +1,9 @@
 #include "chain/abi.h"
 
+#include <limits>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace tradefl::chain {
 namespace {
@@ -85,6 +88,8 @@ std::string abi_type_name(const AbiValue& value) {
 Bytes encode_call(const CallPayload& payload) {
   ByteWriter writer;
   writer.put_string(payload.method);
+  TFL_CHECK(payload.args.size() <= std::numeric_limits<std::uint32_t>::max(),
+            "argument count overflows u32");
   writer.put_u32(static_cast<std::uint32_t>(payload.args.size()));
   for (const AbiValue& value : payload.args) encode_value(writer, value);
   return writer.data();
@@ -96,6 +101,10 @@ CallPayload decode_call(const Bytes& data) {
     CallPayload payload;
     payload.method = reader.get_string();
     const std::uint32_t count = reader.get_u32();
+    // Every encoded value occupies at least its 1-byte tag, so a count larger
+    // than the payload itself is malformed; checking before reserve() keeps a
+    // hostile 4-billion count from allocating gigabytes.
+    if (count > data.size()) throw std::invalid_argument("abi: argument count exceeds payload");
     payload.args.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) payload.args.push_back(decode_value(reader));
     if (!reader.exhausted()) throw std::invalid_argument("abi: trailing bytes");
@@ -107,6 +116,8 @@ CallPayload decode_call(const Bytes& data) {
 
 Bytes encode_values(const std::vector<AbiValue>& values) {
   ByteWriter writer;
+  TFL_CHECK(values.size() <= std::numeric_limits<std::uint32_t>::max(),
+            "value count overflows u32");
   writer.put_u32(static_cast<std::uint32_t>(values.size()));
   for (const AbiValue& value : values) encode_value(writer, value);
   return writer.data();
@@ -116,6 +127,7 @@ std::vector<AbiValue> decode_values(const Bytes& data) {
   try {
     ByteReader reader(data);
     const std::uint32_t count = reader.get_u32();
+    if (count > data.size()) throw std::invalid_argument("abi: value count exceeds payload");
     std::vector<AbiValue> values;
     values.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) values.push_back(decode_value(reader));

@@ -1,0 +1,42 @@
+#include "common/check.h"
+
+#include "common/logging.h"
+
+namespace tradefl::detail {
+namespace {
+
+[[noreturn]] void raise(const std::string& message) {
+  TFL_ERROR << message;
+  throw ContractViolation(message);
+}
+
+}  // namespace
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& details) {
+  std::ostringstream out;
+  out << kind << '(' << expr << ") failed at " << file << ':' << line;
+  if (!details.empty()) out << ": " << details;
+  raise(out.str());
+}
+
+void bounds_fail(const char* index_expr, const char* size_expr, const char* file, int line,
+                 unsigned long long index, unsigned long long size) {
+  std::ostringstream out;
+  out << "TFL_BOUNDS(" << index_expr << ", " << size_expr << ") failed at " << file << ':' << line
+      << ": index " << index << " out of range [0, " << size << ')';
+  raise(out.str());
+}
+
+void finite_fail(const char* expr, const char* file, int line, double value) {
+  std::ostringstream out;
+  out << "TFL_FINITE(" << expr << ") failed at " << file << ':' << line << ": value is ";
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  }
+  raise(out.str());
+}
+
+}  // namespace tradefl::detail

@@ -1,0 +1,147 @@
+// Contract macros for the numeric substrate. The incentive guarantees (IR/BB/
+// CE) and the convergence proofs only hold on finite, in-bounds arithmetic, so
+// the hot correctness surfaces (math/, fl/tensor, game/ invariants, chain/
+// fixed-point) assert their preconditions through these macros instead of
+// ad-hoc ifs.
+//
+// Two tiers:
+//   TFL_CHECK(cond, parts...)   always compiled in; use for cheap invariants
+//                               whose violation would corrupt results.
+//   TFL_ASSERT(cond, parts...)  debug/sanitizer-only (see below); use on hot
+//                               paths where Release builds must not pay.
+//   TFL_BOUNDS(index, size)     TFL_ASSERT-tier index check with a formatted
+//                               "index 7 out of range [0, 4)" message.
+//   TFL_FINITE(value)           TFL_ASSERT-tier isfinite check that prints the
+//                               offending value (NaN/Inf) and expression.
+//
+// A failed contract throws tradefl::ContractViolation (a std::logic_error)
+// carrying "<KIND>(<expr>) failed at <file>:<line>[: <details>]". Throwing --
+// rather than aborting -- keeps the macros unit-testable and lets the CLI
+// report a clean error; under the sanitizer presets an escaped violation still
+// terminates the test with a full report.
+//
+// Gating: TFL_ASSERT/TFL_BOUNDS/TFL_FINITE compile to a no-op (operands
+// unevaluated) unless TRADEFL_ENABLE_CONTRACTS is truthy. When the macro is
+// not defined on the command line, contracts default ON for unoptimized
+// builds (!NDEBUG) and for ASan/UBSan/TSan builds, OFF otherwise. CMake
+// exposes this as the TRADEFL_ENABLE_CONTRACTS option (AUTO/ON/OFF).
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#if !defined(TRADEFL_ENABLE_CONTRACTS)
+#if !defined(NDEBUG)
+#define TRADEFL_ENABLE_CONTRACTS 1
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TRADEFL_ENABLE_CONTRACTS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+#define TRADEFL_ENABLE_CONTRACTS 1
+#else
+#define TRADEFL_ENABLE_CONTRACTS 0
+#endif
+#else
+#define TRADEFL_ENABLE_CONTRACTS 0
+#endif
+#endif
+
+namespace tradefl {
+
+/// Thrown on any failed TFL_* contract. Derives from std::logic_error because
+/// a violated contract is a programming error, not an environmental failure.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/// Streams every part into one string; empty pack yields "".
+template <typename... Parts>
+std::string format_contract_details(const Parts&... parts) {
+  if constexpr (sizeof...(parts) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream out;
+    (out << ... << parts);
+    return out.str();
+  }
+}
+
+/// Builds the message, logs it at error level, and throws ContractViolation.
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& details);
+
+[[noreturn]] void bounds_fail(const char* index_expr, const char* size_expr, const char* file,
+                              int line, unsigned long long index, unsigned long long size);
+
+[[noreturn]] void finite_fail(const char* expr, const char* file, int line, double value);
+
+}  // namespace detail
+}  // namespace tradefl
+
+#define TFL_CHECK(cond, ...)                                                      \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::tradefl::detail::contract_fail(                                           \
+          "TFL_CHECK", #cond, __FILE__, __LINE__,                                 \
+          ::tradefl::detail::format_contract_details(__VA_ARGS__));               \
+    }                                                                             \
+  } while (false)
+
+#if TRADEFL_ENABLE_CONTRACTS
+
+#define TFL_ASSERT(cond, ...)                                                     \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::tradefl::detail::contract_fail(                                           \
+          "TFL_ASSERT", #cond, __FILE__, __LINE__,                                \
+          ::tradefl::detail::format_contract_details(__VA_ARGS__));               \
+    }                                                                             \
+  } while (false)
+
+#define TFL_BOUNDS(index, size)                                                   \
+  do {                                                                            \
+    const auto tfl_bounds_index_ = (index);                                       \
+    const auto tfl_bounds_size_ = (size);                                         \
+    if (!(tfl_bounds_index_ < tfl_bounds_size_)) {                                \
+      ::tradefl::detail::bounds_fail(                                             \
+          #index, #size, __FILE__, __LINE__,                                      \
+          static_cast<unsigned long long>(tfl_bounds_index_),                     \
+          static_cast<unsigned long long>(tfl_bounds_size_));                     \
+    }                                                                             \
+  } while (false)
+
+#define TFL_FINITE(value)                                                         \
+  do {                                                                            \
+    const double tfl_finite_value_ = static_cast<double>(value);                  \
+    if (!std::isfinite(tfl_finite_value_)) {                                      \
+      ::tradefl::detail::finite_fail(#value, __FILE__, __LINE__, tfl_finite_value_); \
+    }                                                                             \
+  } while (false)
+
+#else  // TRADEFL_ENABLE_CONTRACTS
+
+// Disabled tier: operands are parsed (so they stay well-formed) but never
+// evaluated, and the whole statement folds away.
+#define TFL_ASSERT(cond, ...) \
+  do {                        \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (false)
+
+#define TFL_BOUNDS(index, size)   \
+  do {                            \
+    (void)sizeof(index);          \
+    (void)sizeof(size);           \
+  } while (false)
+
+#define TFL_FINITE(value)  \
+  do {                     \
+    (void)sizeof(value);   \
+  } while (false)
+
+#endif  // TRADEFL_ENABLE_CONTRACTS

@@ -55,17 +55,19 @@ std::pair<double, double> best_data_fraction(const CoopetitionGame& game, OrgId 
     // FIP-style discrete search over {e, 2e, ...} ∩ [D_min, upper].
     double best_d = d_min;
     double best_value = -1e300;
+    bool found_grid_point = false;
     for (double d = options.d_grid_step; d <= 1.0 + 1e-12; d += options.d_grid_step) {
       const double clamped = std::min(d, 1.0);
       if (clamped < d_min || clamped > upper) continue;
       scratch[i].data_fraction = clamped;
       const double value = objective_payoff(game, i, scratch, options);
-      if (value > best_value) {
+      if (value > best_value || !found_grid_point) {
         best_value = value;
         best_d = clamped;
       }
+      found_grid_point = true;
     }
-    if (best_value == -1e300) {
+    if (!found_grid_point) {
       // No grid point inside the feasible interval; fall back to D_min.
       scratch[i].data_fraction = d_min;
       best_value = objective_payoff(game, i, scratch, options);

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "game/potential.h"
 
 namespace tradefl::core {
@@ -29,6 +30,11 @@ std::vector<Scheme> all_schemes() {
 
 MechanismResult run_scheme(const CoopetitionGame& game, Scheme scheme,
                            const SchemeOptions& options) {
+  // Theorem 2's budget-balance argument needs r_{i,j} = -r_{j,i}, which holds
+  // exactly when the competition matrix is symmetric (Eq. 9). Games with
+  // asymmetric rho are fine elsewhere, but not under the trading mechanism.
+  TFL_ASSERT(game.rho().is_symmetric(1e-9),
+             "trading mechanism requires a symmetric competition matrix");
   MechanismResult result;
   result.scheme = scheme;
   switch (scheme) {
@@ -51,11 +57,21 @@ MechanismResult run_scheme(const CoopetitionGame& game, Scheme scheme,
   for (OrgId i = 0; i < game.size(); ++i) result.payoffs.push_back(game.payoff(i, profile));
 
   result.redistribution.assign(game.size(), std::vector<double>(game.size(), 0.0));
+  double redistribution_sum = 0.0;
+  double redistribution_scale = 0.0;
   for (OrgId i = 0; i < game.size(); ++i) {
     for (OrgId j = 0; j < game.size(); ++j) {
       if (i != j) result.redistribution[i][j] = game.redistribution_pair(i, j, profile);
+      redistribution_sum += result.redistribution[i][j];
+      redistribution_scale += std::abs(result.redistribution[i][j]);
     }
   }
+  // Budget balance (Thm. 2): pairwise transfers cancel, Σ_{i,j} r_{i,j} = 0,
+  // up to accumulation noise. Holds for every scheme because r is a property
+  // of the game, not the solver.
+  TFL_ASSERT(std::abs(redistribution_sum) <= 1e-9 * std::max(redistribution_scale, 1.0),
+             "redistribution imbalance ", redistribution_sum, " at scale ",
+             redistribution_scale, " for scheme ", scheme_name(scheme));
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace tradefl::fl {
 namespace {
 
@@ -99,6 +101,11 @@ Tensor Conv2D::forward(const Tensor& input, bool training) {
   const std::size_t batch = input.dim(0);
   const std::size_t in_h = input.dim(2);
   const std::size_t in_w = input.dim(3);
+  // Guard the unsigned subtraction below: a kernel larger than the padded
+  // input would wrap out_h/out_w around to ~2^64 and allocate accordingly.
+  TFL_CHECK(in_h + 2 * pad_ >= kernel_ && in_w + 2 * pad_ >= kernel_,
+            "kernel ", kernel_, " exceeds padded input ", input.shape_string(),
+            " with pad ", pad_);
   const std::size_t out_h = (in_h + 2 * pad_ - kernel_) / stride_ + 1;
   const std::size_t out_w = (in_w + 2 * pad_ - kernel_) / stride_ + 1;
   const std::size_t cin_per_group = in_channels_ / groups_;
@@ -193,6 +200,8 @@ Tensor ReLU::forward(const Tensor& input, bool training) {
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
+  TFL_ASSERT(grad_output.same_shape(cached_input_), "grad ", grad_output.shape_string(),
+             " vs cached input ", cached_input_.shape_string());
   Tensor grad_input = grad_output;
   for (std::size_t i = 0; i < grad_input.size(); ++i) {
     if (cached_input_[i] <= 0.0f) grad_input[i] = 0.0f;
@@ -237,6 +246,8 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
 }
 
 Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  TFL_ASSERT(grad_output.size() == argmax_.size(), "grad size ", grad_output.size(),
+             " vs argmax ", argmax_.size());
   Tensor grad_input(cached_input_.shape());
   for (std::size_t i = 0; i < grad_output.size(); ++i) {
     grad_input[argmax_[i]] += grad_output[i];
@@ -257,7 +268,7 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
     for (std::size_t c = 0; c < channels; ++c) {
       double total = 0.0;
       const float* base = input.data() + (n * channels + c) * area;
-      for (std::size_t i = 0; i < area; ++i) total += base[i];
+      for (std::size_t i = 0; i < area; ++i) total += static_cast<double>(base[i]);
       output.at2(n, c) = static_cast<float>(total / static_cast<double>(area));
     }
   }
@@ -372,6 +383,9 @@ Tensor DenseConcat::forward(const Tensor& input, bool training) {
 Tensor DenseConcat::backward(const Tensor& grad_output) {
   const std::size_t batch = grad_output.dim(0);
   const std::size_t h = grad_output.dim(2), w = grad_output.dim(3);
+  TFL_CHECK(grad_output.dim(1) >= cached_input_channels_,
+            "grad channels ", grad_output.dim(1), " below passthrough ",
+            cached_input_channels_);
   const std::size_t body_channels = grad_output.dim(1) - cached_input_channels_;
 
   Tensor grad_body({batch, body_channels, h, w});
@@ -427,6 +441,8 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
 
 Tensor Dropout::backward(const Tensor& grad_output) {
   if (!last_training_ || rate_ == 0.0) return grad_output;
+  TFL_ASSERT(grad_output.same_shape(mask_), "grad ", grad_output.shape_string(),
+             " vs mask ", mask_.shape_string());
   Tensor grad_input = grad_output;
   for (std::size_t i = 0; i < grad_input.size(); ++i) grad_input[i] *= mask_[i];
   return grad_input;

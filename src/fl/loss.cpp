@@ -27,12 +27,14 @@ LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::si
     }
     if (argmax == labels[n]) ++result.correct;
     double denom = 0.0;
-    for (std::size_t c = 0; c < classes; ++c) denom += std::exp(row[c] - max_logit);
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c] - max_logit));
+    }
     const double log_denom = std::log(denom);
-    total_loss += -(row[labels[n]] - max_logit - log_denom);
+    total_loss += -(static_cast<double>(row[labels[n]] - max_logit) - log_denom);
     const float inv_batch = 1.0f / static_cast<float>(batch);
     for (std::size_t c = 0; c < classes; ++c) {
-      const double p = std::exp(row[c] - max_logit) / denom;
+      const double p = std::exp(static_cast<double>(row[c] - max_logit)) / denom;
       result.grad.at2(n, c) =
           (static_cast<float>(p) - (c == labels[n] ? 1.0f : 0.0f)) * inv_batch;
     }

@@ -1,9 +1,12 @@
 #include "fl/tensor.h"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace tradefl::fl {
 namespace {
@@ -12,6 +15,8 @@ std::size_t element_count(const std::vector<std::size_t>& shape) {
   std::size_t count = 1;
   for (std::size_t dim : shape) {
     if (dim == 0) throw std::invalid_argument("tensor: zero dimension");
+    TFL_CHECK(count <= std::numeric_limits<std::size_t>::max() / dim,
+              "element count overflow for dimension ", dim);
     count *= dim;
   }
   return count;
@@ -39,21 +44,29 @@ std::size_t Tensor::dim(std::size_t axis) const {
 
 float& Tensor::at2(std::size_t row, std::size_t col) {
   if (rank() != 2) throw std::invalid_argument("tensor: at2 needs rank 2, have " + shape_string());
+  TFL_CHECK(row < shape_[0] && col < shape_[1],
+            "index (", row, ", ", col, ") outside ", shape_string());
   return data_[row * shape_[1] + col];
 }
 
 float Tensor::at2(std::size_t row, std::size_t col) const {
   if (rank() != 2) throw std::invalid_argument("tensor: at2 needs rank 2, have " + shape_string());
+  TFL_CHECK(row < shape_[0] && col < shape_[1],
+            "index (", row, ", ", col, ") outside ", shape_string());
   return data_[row * shape_[1] + col];
 }
 
 float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
   if (rank() != 4) throw std::invalid_argument("tensor: at4 needs rank 4, have " + shape_string());
+  TFL_CHECK(n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
+            "index (", n, ", ", c, ", ", h, ", ", w, ") outside ", shape_string());
   return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
   if (rank() != 4) throw std::invalid_argument("tensor: at4 needs rank 4, have " + shape_string());
+  TFL_CHECK(n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
+            "index (", n, ", ", c, ", ", h, ", ", w, ") outside ", shape_string());
   return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
@@ -82,7 +95,7 @@ void Tensor::scale(float factor) {
 
 float Tensor::sum() const {
   double total = 0.0;
-  for (float x : data_) total += x;
+  for (float x : data_) total += static_cast<double>(x);
   return static_cast<float>(total);
 }
 

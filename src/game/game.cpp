@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "math/scalar_opt.h"
 
 namespace tradefl::game {
@@ -24,6 +25,9 @@ CoopetitionGame::CoopetitionGame(std::vector<Organization> orgs, CompetitionMatr
   for (const auto& org : orgs_) {
     if (!org.is_valid()) throw std::invalid_argument("game: invalid organization " + org.name);
   }
+  // Asymmetric rho is a valid game (the exact potential identity does not
+  // need symmetry); the budget-balance precondition is asserted where Thm. 2
+  // is actually claimed, in core/mechanism.cpp's run_scheme.
   std::vector<double> profitability(orgs_.size());
   for (std::size_t i = 0; i < orgs_.size(); ++i) profitability[i] = orgs_[i].profitability;
   rho_guard_scale_ = enforce_positive_weights(rho_, profitability);
@@ -114,6 +118,12 @@ PayoffBreakdown CoopetitionGame::payoff_breakdown(OrgId i, const StrategyProfile
   breakdown.energy_cost = params_.omega_e * energy(i, profile);
   breakdown.damage = damage(i, profile);
   breakdown.redistribution = redistribution(i, profile);
+  // IR/BB/CE reasoning is meaningless on non-finite payoffs; trap NaN/Inf at
+  // the source instead of letting it flow into the solvers.
+  TFL_FINITE(breakdown.revenue);
+  TFL_FINITE(breakdown.energy_cost);
+  TFL_FINITE(breakdown.damage);
+  TFL_FINITE(breakdown.redistribution);
   return breakdown;
 }
 

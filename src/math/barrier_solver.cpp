@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace tradefl::math {
@@ -115,6 +116,9 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
       const Vec& d = result.x;
       Vec grad = objective.gradient(d);
       Matrix hess = objective.hessian(d);
+      // A NaN here silently corrupts the Newton system; sum() propagates any
+      // NaN/Inf element (norm_inf would mask NaN via std::max ordering).
+      TFL_FINITE(sum(grad));
       // phi gradient: -t*g' + barrier terms.
       Vec phi_grad(dim);
       Matrix phi_hess = hess.scaled(-t);
@@ -154,6 +158,7 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
         }
       }
       if (!solved) throw std::runtime_error("barrier: Newton system unsolvable");
+      TFL_FINITE(sum(step));
 
       // Newton decrement^2 = grad^T H^-1 grad = -step . grad (step = -H^-1 grad).
       const double lambda_sq = -dot(step, phi_grad);
@@ -187,6 +192,13 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
 
   result.newton_iterations = total_newton;
   result.value = objective.value(result.x);
+  // Always-on exit contract: a NaN objective/gradient corrupts the iterate
+  // silently (NaN fails the `diag <= 0.0` SPD test inside solve_spd, so the
+  // factorization "succeeds" and the poisoned step is accepted). Every
+  // downstream quantity — cuts, payoffs, welfare — would inherit the NaN.
+  TFL_CHECK(std::isfinite(sum(result.x)) && std::isfinite(result.value),
+            "barrier solver produced a non-finite iterate (value ", result.value,
+            "); objective/gradient returned NaN or Inf inside the feasible region");
   // Multiplier recovery for the linear constraints at the final t.
   if (inequalities.count() > 0) {
     result.multipliers.assign(inequalities.count(), 0.0);

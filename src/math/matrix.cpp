@@ -1,9 +1,27 @@
 #include "math/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace tradefl::math {
+namespace {
+
+/// Debug-tier check that a matrix claimed SPD is at least symmetric; the
+/// positive-definite half is established by the Cholesky factorization itself.
+[[maybe_unused]] bool nearly_symmetric(const Matrix& m, double tol) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = r + 1; c < m.cols(); ++c) {
+      const double scale = std::max({1.0, std::abs(m.at(r, c)), std::abs(m.at(c, r))});
+      if (std::abs(m.at(r, c) - m.at(c, r)) > tol * scale) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -116,12 +134,16 @@ Vec Matrix::solve(const Vec& b) const {
     double total = x[ri];
     for (std::size_t c = ri + 1; c < n; ++c) total -= lu.at(ri, c) * x[c];
     x[ri] = total / lu.at(ri, ri);
+    TFL_FINITE(x[ri]);
   }
   return x;
 }
 
 Vec Matrix::solve_spd(const Vec& b, double ridge) const {
   if (rows_ != cols_ || b.size() != rows_) throw std::invalid_argument("matrix: solve shape");
+  TFL_ASSERT(nearly_symmetric(*this, 1e-8),
+             "solve_spd requires a symmetric matrix (", rows_, "x", cols_, ")");
+  TFL_ASSERT(ridge >= 0.0, "negative ridge ", ridge);
   const std::size_t n = rows_;
   Matrix chol = *this;
   chol.add_diagonal(ridge);
@@ -150,6 +172,7 @@ Vec Matrix::solve_spd(const Vec& b, double ridge) const {
     double total = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) total -= chol.at(k, ii) * x[k];
     x[ii] = total / chol.at(ii, ii);
+    TFL_FINITE(x[ii]);
   }
   return x;
 }

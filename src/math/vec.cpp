@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace tradefl::math {
 namespace {
 void require_same(const Vec& a, const Vec& b) {
@@ -18,6 +20,7 @@ double dot(const Vec& a, const Vec& b) {
   require_same(a, b);
   double total = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  TFL_FINITE(total);
   return total;
 }
 

@@ -270,7 +270,7 @@ TEST(Blockchain, ContractLookup) {
   EXPECT_TRUE(chain.has_contract(counter));
   EXPECT_EQ(chain.contract_at(counter).contract_name(), "Counter");
   EXPECT_FALSE(chain.has_contract(kAlice));
-  EXPECT_THROW(chain.contract_at(kAlice), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(chain.contract_at(kAlice)), std::out_of_range);
 }
 
 }  // namespace

@@ -44,26 +44,26 @@ TEST(Fixed, MulUsesWideIntermediate) {
 
 TEST(Fixed, OverflowDetected) {
   const Fixed huge = Fixed::from_raw(std::numeric_limits<std::int64_t>::max());
-  EXPECT_THROW(huge + Fixed::from_raw(1), std::overflow_error);
-  EXPECT_THROW(huge * Fixed::from_int(2), std::overflow_error);
+  EXPECT_THROW(static_cast<void>(huge + Fixed::from_raw(1)), std::overflow_error);
+  EXPECT_THROW(static_cast<void>(huge * Fixed::from_int(2)), std::overflow_error);
   const Fixed lowest = Fixed::from_raw(std::numeric_limits<std::int64_t>::min());
-  EXPECT_THROW(-lowest, std::overflow_error);
-  EXPECT_THROW(lowest - Fixed::from_raw(1), std::overflow_error);
+  EXPECT_THROW(static_cast<void>(-lowest), std::overflow_error);
+  EXPECT_THROW(static_cast<void>(lowest - Fixed::from_raw(1)), std::overflow_error);
 }
 
 TEST(Fixed, FromDoubleRejectsNonFinite) {
-  EXPECT_THROW(Fixed::from_double(std::numeric_limits<double>::quiet_NaN()),
+  EXPECT_THROW(static_cast<void>(Fixed::from_double(std::numeric_limits<double>::quiet_NaN())),
                std::overflow_error);
-  EXPECT_THROW(Fixed::from_double(1e20), std::overflow_error);
+  EXPECT_THROW(static_cast<void>(Fixed::from_double(1e20)), std::overflow_error);
 }
 
 TEST(Fixed, FromIntOverflow) {
-  EXPECT_THROW(Fixed::from_int(std::numeric_limits<std::int64_t>::max()),
+  EXPECT_THROW(static_cast<void>(Fixed::from_int(std::numeric_limits<std::int64_t>::max())),
                std::overflow_error);
 }
 
 TEST(Fixed, DivideByZero) {
-  EXPECT_THROW(Fixed::from_int(1) / Fixed::from_raw(0), std::domain_error);
+  EXPECT_THROW(static_cast<void>(Fixed::from_int(1) / Fixed::from_raw(0)), std::domain_error);
 }
 
 TEST(Fixed, Ordering) {

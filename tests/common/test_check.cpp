@@ -1,0 +1,133 @@
+// Contract macro behavior: pass-through, failure message content, finite and
+// bounds checks. Contracts are force-enabled for this translation unit so the
+// debug-tier macros stay testable in every build type; the definition below
+// must precede the include.
+#define TRADEFL_ENABLE_CONTRACTS 1
+
+#include "common/check.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tradefl {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(TFL_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(TFL_CHECK(true, "unused ", 42));
+  EXPECT_NO_THROW(TFL_ASSERT(3 > 2));
+  EXPECT_NO_THROW(TFL_BOUNDS(std::size_t{3}, std::size_t{4}));
+  EXPECT_NO_THROW(TFL_FINITE(0.0));
+  EXPECT_NO_THROW(TFL_FINITE(-1.5e300));
+}
+
+TEST(CheckTest, FailedCheckThrowsWithExpressionAndLocation) {
+  try {
+    TFL_CHECK(2 + 2 == 5);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("TFL_CHECK(2 + 2 == 5)"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, FailedCheckFormatsDetailParts) {
+  const int lhs = 3;
+  const double rhs = 0.5;
+  try {
+    TFL_CHECK(lhs < rhs, "lhs=", lhs, " rhs=", rhs);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("rhs=0.5"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, FailedAssertNamesItsTier) {
+  try {
+    TFL_ASSERT(false, "context");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("TFL_ASSERT(false)"), std::string::npos) << what;
+    EXPECT_NE(what.find("context"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, BoundsReportsIndexAndRange) {
+  const std::size_t index = 7;
+  const std::size_t size = 4;
+  try {
+    TFL_BOUNDS(index, size);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("index 7 out of range [0, 4)"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, BoundsEvaluatesOperandsExactlyOnce) {
+  std::size_t calls = 0;
+  auto next = [&calls]() {
+    ++calls;
+    return std::size_t{0};
+  };
+  TFL_BOUNDS(next(), std::size_t{1});
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(CheckTest, FiniteRejectsNanWithName) {
+  const double nan_value = std::numeric_limits<double>::quiet_NaN();
+  try {
+    TFL_FINITE(nan_value);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("TFL_FINITE(nan_value)"), std::string::npos) << what;
+    EXPECT_NE(what.find("NaN"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, FiniteRejectsInfinitiesWithSign) {
+  const double pos = std::numeric_limits<double>::infinity();
+  const double neg = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TFL_FINITE(pos), ContractViolation);
+  try {
+    TFL_FINITE(neg);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("-Inf"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, FiniteAcceptsFloatArguments) {
+  const float value = 1.25f;
+  EXPECT_NO_THROW(TFL_FINITE(value));
+  EXPECT_THROW(TFL_FINITE(std::numeric_limits<float>::infinity()), ContractViolation);
+}
+
+TEST(CheckTest, ViolationIsLoggedBeforeThrowing) {
+  std::string captured;
+  set_log_sink([&captured](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kError) captured = line;
+  });
+  EXPECT_THROW(TFL_CHECK(false, "logged-detail"), ContractViolation);
+  reset_log_sink();
+  EXPECT_NE(captured.find("logged-detail"), std::string::npos) << captured;
+}
+
+TEST(CheckTest, ViolationIsALogicError) {
+  // Callers that blanket-catch std::exception (the CLI) must see contract
+  // failures; ContractViolation therefore sits in the std::logic_error tree.
+  EXPECT_THROW(TFL_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tradefl

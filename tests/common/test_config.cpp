@@ -58,10 +58,10 @@ TEST(Config, BoolParsing) {
 TEST(Config, ThrowsOnMalformedNumbers) {
   Config config;
   config.set("x", "12abc");
-  EXPECT_THROW(config.get_double("x", 0.0), std::invalid_argument);
-  EXPECT_THROW(config.get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(config.get_double("x", 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(config.get_int("x", 0)), std::invalid_argument);
   config.set("b", "maybe");
-  EXPECT_THROW(config.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(config.get_bool("b", false)), std::invalid_argument);
 }
 
 TEST(Config, TrimsWhitespace) {

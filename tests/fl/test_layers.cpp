@@ -8,6 +8,8 @@
 #include <cmath>
 #include <functional>
 
+#include "common/check.h"
+
 namespace tradefl::fl {
 namespace {
 
@@ -220,6 +222,16 @@ TEST(Layers, DenseRejectsWrongWidth) {
   Dense layer(4, 2, rng);
   Tensor bad({2, 5});
   EXPECT_THROW(layer.forward(bad, true), std::invalid_argument);
+}
+
+// Regression: Conv2D::forward computed (in_h + 2*pad - kernel) in unsigned
+// arithmetic, so a kernel larger than the padded input wrapped the output
+// height around to ~2^64 instead of failing.
+TEST(LayersContract, Conv2DRejectsKernelLargerThanPaddedInput) {
+  Rng rng(17);
+  Conv2D conv(1, 1, /*kernel=*/5, /*stride=*/1, /*pad=*/0, /*groups=*/1, rng);
+  Tensor tiny({1, 1, 2, 2});
+  EXPECT_THROW(conv.forward(tiny, /*training=*/false), ContractViolation);
 }
 
 }  // namespace

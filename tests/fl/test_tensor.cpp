@@ -1,5 +1,7 @@
 #include "fl/tensor.h"
 
+#include "common/check.h"
+
 #include <gtest/gtest.h>
 
 namespace tradefl::fl {
@@ -12,7 +14,7 @@ TEST(Tensor, ConstructionAndShape) {
   EXPECT_EQ(t.dim(0), 2u);
   EXPECT_EQ(t.dim(1), 3u);
   EXPECT_FLOAT_EQ(t[5], 1.5f);
-  EXPECT_THROW(t.dim(2), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(t.dim(2)), std::out_of_range);
 }
 
 TEST(Tensor, ZeroDimensionRejected) {
@@ -66,6 +68,27 @@ TEST(Tensor, Reductions) {
 
 TEST(Tensor, ShapeString) {
   EXPECT_EQ(Tensor({2, 3, 4}).shape_string(), "[2x3x4]");
+}
+
+// Regression: at2/at4 used to validate only the rank, so an out-of-range row
+// or column silently read (or wrote) past the buffer.
+TEST(Tensor, At2RejectsOutOfRangeIndices) {
+  Tensor t({2, 3});
+  const Tensor& ct = t;
+  EXPECT_NO_THROW(static_cast<void>(t.at2(1, 2)));
+  EXPECT_THROW(static_cast<void>(t.at2(2, 0)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(t.at2(0, 3)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(ct.at2(2, 2)), ContractViolation);
+}
+
+TEST(Tensor, At4RejectsOutOfRangeIndices) {
+  Tensor t({1, 2, 3, 4});
+  const Tensor& ct = t;
+  EXPECT_NO_THROW(static_cast<void>(t.at4(0, 1, 2, 3)));
+  EXPECT_THROW(static_cast<void>(t.at4(1, 0, 0, 0)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(t.at4(0, 2, 0, 0)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(t.at4(0, 0, 3, 0)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(ct.at4(0, 0, 0, 4)), ContractViolation);
 }
 
 }  // namespace

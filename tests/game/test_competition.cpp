@@ -45,7 +45,7 @@ TEST(Competition, WeightedRowSum) {
   auto m = CompetitionMatrix::from_rows({{0.0, 0.5, 0.1}, {0.5, 0.0, 0.2}, {0.1, 0.2, 0.0}});
   const std::vector<double> weights{100.0, 200.0, 300.0};
   EXPECT_DOUBLE_EQ(m.weighted_row_sum(0, weights), 0.5 * 200 + 0.1 * 300);
-  EXPECT_THROW(m.weighted_row_sum(0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.weighted_row_sum(0, {1.0})), std::invalid_argument);
 }
 
 TEST(Competition, PotentialWeights) {

@@ -70,7 +70,7 @@ TEST(Session, TrainingProducesModelMetrics) {
 TEST(Session, ChainAccessibleAfterRun) {
   const auto game = game::make_toy_game();
   TradingSession session(game);
-  EXPECT_THROW(session.blockchain(), std::runtime_error);  // not run yet
+  EXPECT_THROW(static_cast<void>(session.blockchain()), std::runtime_error);  // not run yet
   session.run();
   chain::Blockchain& chain = session.blockchain();
   EXPECT_TRUE(chain.validate().valid);

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "common/check.h"
 
 namespace tradefl::math {
 namespace {
@@ -130,6 +133,32 @@ TEST(Barrier, RejectsDegenerateBox) {
   EXPECT_THROW(maximize_with_barrier(quadratic_objective({0.5}), {Vec{1.0}, Vec{1.0}},
                                      LinearInequalities{}, Vec{1.0}),
                std::invalid_argument);
+}
+
+TEST(Barrier, NanObjectiveIsTrappedNotReturned) {
+  // Regression: a NaN gradient used to flow straight through solve_spd (NaN
+  // fails the `diag <= 0.0` SPD test, so the factorization "succeeded") and
+  // out via result.x without any diagnostic. The solver must throw instead
+  // of handing back a poisoned iterate.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  SmoothObjective poisoned;
+  poisoned.value = [nan](const Vec&) { return nan; };
+  poisoned.gradient = [nan](const Vec& x) {
+    Vec grad(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) grad[i] = nan;
+    return grad;
+  };
+  poisoned.hessian = [](const Vec& x) {
+    Matrix h(x.size(), x.size());
+    h.add_diagonal(-1.0);
+    return h;
+  };
+  BarrierOptions options;
+  options.max_stages = 1;
+  options.max_newton_per_stage = 2;
+  EXPECT_THROW(maximize_with_barrier(poisoned, {Vec{0.0, 0.0}, Vec{1.0, 1.0}},
+                                     LinearInequalities{}, Vec{0.5, 0.5}, options),
+               tradefl::ContractViolation);
 }
 
 TEST(Barrier, DualityGapShrinksWithTolerance) {

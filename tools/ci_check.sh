@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-shot CI gate: exactly what a PR must pass. CI and the local tier-1
+# verify share this entry point so they can never drift apart.
+#
+#   1. configure + build with warnings-as-errors
+#   2. ctest (unit/integration suites plus the tfl-lint tree scan & self-test)
+#   3. ASan+UBSan build of the same suite, zero reports tolerated
+#
+# Usage: tools/ci_check.sh [--no-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_sanitizers=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitizers) run_sanitizers=0 ;;
+    *) echo "usage: tools/ci_check.sh [--no-sanitizers]" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "=== ci: configure (warnings-as-errors) ==="
+cmake -B build -S . -DTRADEFL_WARNINGS_AS_ERRORS=ON
+
+echo "=== ci: build ==="
+cmake --build build -j "$jobs"
+
+echo "=== ci: ctest ==="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [ "$run_sanitizers" -eq 1 ]; then
+  echo "=== ci: sanitizer pass ==="
+  tools/run_sanitizers.sh asan-ubsan
+fi
+
+echo "ci_check: all gates passed"

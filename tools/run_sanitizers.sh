@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds the tier-1 test suite under ASan+UBSan (and optionally TSan) and runs
+# it with halt-on-error semantics, so any sanitizer report fails the run.
+#
+# Usage:
+#   tools/run_sanitizers.sh              # asan-ubsan preset
+#   tools/run_sanitizers.sh tsan         # thread sanitizer preset
+#   tools/run_sanitizers.sh asan-ubsan tsan
+#
+# Presets are defined in CMakePresets.json; each uses its own build tree
+# (build-<preset>/) and force-enables the TFL_* contract macros.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset"
+  echo "=== [$preset] clean ==="
+done
+
+echo "run_sanitizers: all presets passed (${presets[*]})"

@@ -1,0 +1,636 @@
+// tfl-lint: repo-specific static checker for the TradeFL tree.
+//
+// Scans src/ and tests/ for patterns that are banned in this codebase because
+// they break determinism, consensus, or numeric-safety guarantees:
+//
+//   raw-new-delete    raw `new` / `delete` (ownership must go through
+//                     containers or smart pointers)
+//   banned-random     `rand()` / `srand()` / `std::default_random_engine`
+//                     (experiments must be reproducible via common/rng)
+//   unordered-in-chain
+//                     `std::unordered_map` / `std::unordered_set` anywhere in
+//                     src/chain/ (iteration order is implementation-defined,
+//                     so anything feeding block hashes would fork consensus)
+//   float-equality    `==` / `!=` against a floating-point literal in
+//                     src/game/ and src/core/ (incentive and convergence
+//                     checks must use explicit tolerances)
+//   missing-override  a `virtual`-declared member function (other than a
+//                     destructor) inside a class that has a base clause and
+//                     no `override`/`final` on the declaration
+//   include-layering  `#include "module/..."` edges that violate the layer
+//                     graph (common < math < game < {core, fl}; chain sits on
+//                     common only; tradefl/ may include everything)
+//
+// The matcher works on comment- and string-stripped text, so banned words in
+// comments or log messages do not trip it. Justified exceptions live in
+// tools/tfl_lint_allow.txt as `<rule-id> <path-suffix>` lines.
+//
+// Usage:
+//   tfl-lint [--allow FILE] [--list-rules] PATH...   # scan directories/files
+//   tfl-lint --self-test                             # run embedded fixtures
+//
+// Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;  // normalized with forward slashes, relative if input was
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+};
+
+// ---------------------------------------------------------------------------
+// Source scrubbing: blank out comments and string/char literal contents while
+// preserving line structure, so rule matching never fires inside either.
+// ---------------------------------------------------------------------------
+std::string scrub_source(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `word` occurs in `line` as a whole identifier token.
+bool contains_token(const std::string& line, const std::string& word,
+                    std::size_t* position = nullptr) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = line.find(word, from);
+    if (at == std::string::npos) return false;
+    const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (position != nullptr) *position = at;
+      return true;
+    }
+    from = at + 1;
+  }
+}
+
+std::string normalize_path(const fs::path& path) {
+  std::string s = path.generic_string();
+  // Trim leading "./" so allowlist suffix matching is stable.
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each rule receives the normalized path, the raw and scrubbed lines.
+// ---------------------------------------------------------------------------
+
+/// Module name for layering purposes: "math" for src/math/..., "" otherwise.
+std::string module_of(const std::string& path) {
+  const std::size_t at = path.find("src/");
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + 4;
+  const std::size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return "";
+  return path.substr(start, slash - start);
+}
+
+bool path_in(const std::string& path, const std::string& dir_fragment) {
+  return path.find(dir_fragment) != std::string::npos;
+}
+
+void check_raw_new_delete(const std::string& path, const std::vector<std::string>& lines,
+                          std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    std::size_t at = 0;
+    if (contains_token(line, "new", &at)) {
+      // Skip `operator new` and require an allocation-looking right side.
+      const bool is_operator = line.rfind("operator", at) != std::string::npos &&
+                               line.find("operator") + 8 >= at;
+      std::size_t after = at + 3;
+      while (after < line.size() && line[after] == ' ') ++after;
+      const bool allocates = after < line.size() &&
+                             (is_ident_char(line[after]) || line[after] == '(');
+      if (!is_operator && allocates && after > at + 3) {
+        findings.push_back({path, i + 1, "raw-new-delete",
+                            "raw `new` — use std::make_unique/containers instead"});
+      }
+    }
+    if (contains_token(line, "delete", &at)) {
+      // `= delete` (deleted functions) is fine; `delete expr` / `delete[]` is not.
+      std::size_t before = at;
+      while (before > 0 && line[before - 1] == ' ') --before;
+      const bool deleted_fn = before > 0 && line[before - 1] == '=';
+      std::size_t after = at + 6;
+      while (after < line.size() && line[after] == ' ') ++after;
+      const bool has_operand = after < line.size() && line[after] != ';' && line[after] != ',' &&
+                               line[after] != ')';
+      if (!deleted_fn && has_operand) {
+        findings.push_back({path, i + 1, "raw-new-delete",
+                            "raw `delete` — ownership must live in RAII types"});
+      }
+    }
+  }
+}
+
+void check_banned_random(const std::string& path, const std::vector<std::string>& lines,
+                         std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    std::size_t at = 0;
+    if ((contains_token(line, "rand", &at) || contains_token(line, "srand", &at)) &&
+        line.find('(', at) != std::string::npos) {
+      findings.push_back({path, i + 1, "banned-random",
+                          "C `rand()`/`srand()` — use tradefl::Rng for reproducibility"});
+    }
+    if (contains_token(line, "default_random_engine")) {
+      findings.push_back({path, i + 1, "banned-random",
+                          "std::default_random_engine is implementation-defined — "
+                          "use tradefl::Rng"});
+    }
+  }
+}
+
+void check_unordered_in_chain(const std::string& path, const std::vector<std::string>& lines,
+                              std::vector<Finding>& findings) {
+  if (!path_in(path, "src/chain/")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (contains_token(lines[i], "unordered_map") || contains_token(lines[i], "unordered_set")) {
+      findings.push_back({path, i + 1, "unordered-in-chain",
+                          "unordered container in consensus-critical chain code — "
+                          "iteration order would fork block hashes; use std::map/std::set"});
+    }
+  }
+}
+
+/// True when line[pos..] (or ..pos] backwards) holds a floating-point literal.
+bool float_literal_at(const std::string& line, std::size_t pos, bool forward) {
+  if (forward) {
+    std::size_t i = pos;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && (line[i] == '+' || line[i] == '-')) ++i;
+    std::size_t digits = 0;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+      ++digits;
+    }
+    if (i < line.size() && line[i] == '.') return true;           // 1.0, 0.5
+    if (digits > 0 && i < line.size() &&
+        (line[i] == 'e' || line[i] == 'E' || line[i] == 'f')) {
+      return true;  // 1e-9, 2f
+    }
+    return false;
+  }
+  std::size_t i = pos;
+  while (i > 0 && line[i - 1] == ' ') --i;
+  if (i == 0) return false;
+  if (line[i - 1] == 'f' && i >= 2) --i;  // 1.0f
+  std::size_t digits = 0;
+  while (i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) != 0) {
+    --i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (i > 0 && line[i - 1] == '.') return true;                   // ...1.5 ==
+  if (i > 0 && (line[i - 1] == 'e' || line[i - 1] == 'E' || line[i - 1] == '-')) {
+    // Walk through an exponent like 1e-9: keep scanning left of `e`.
+    std::size_t j = i - 1;
+    if (line[j] == '-' && j > 0 && (line[j - 1] == 'e' || line[j - 1] == 'E')) --j;
+    if ((line[j] == 'e' || line[j] == 'E') && j > 0) {
+      std::size_t k = j;
+      while (k > 0 && std::isdigit(static_cast<unsigned char>(line[k - 1])) != 0) --k;
+      if (k < j && k > 0 && line[k - 1] == '.') return true;
+    }
+  }
+  return false;
+}
+
+void check_float_equality(const std::string& path, const std::vector<std::string>& lines,
+                          std::vector<Finding>& findings) {
+  if (!path_in(path, "src/game/") && !path_in(path, "src/core/")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (std::size_t at = 0; at + 1 < line.size(); ++at) {
+      if ((line[at] == '=' || line[at] == '!') && line[at + 1] == '=') {
+        if (at + 2 < line.size() && line[at + 2] == '=') continue;  // ===? never, but safe
+        if (at > 0 && (line[at - 1] == '=' || line[at - 1] == '!' || line[at - 1] == '<' ||
+                       line[at - 1] == '>')) {
+          continue;
+        }
+        const bool lhs = float_literal_at(line, at, /*forward=*/false);
+        const bool rhs = float_literal_at(line, at + 2, /*forward=*/true);
+        if (lhs || rhs) {
+          findings.push_back({path, i + 1, "float-equality",
+                              "exact floating-point comparison — use an explicit tolerance"});
+        }
+      }
+    }
+  }
+}
+
+void check_missing_override(const std::string& path, const std::vector<std::string>& lines,
+                            std::vector<Finding>& findings) {
+  // Track class scopes and whether each has a base clause. One entry per open
+  // class/struct; `depth` is the brace depth just inside the class body.
+  struct ClassScope {
+    int depth = 0;
+    bool has_base = false;
+  };
+  std::vector<ClassScope> scopes;
+  int depth = 0;
+  bool pending_class = false;   // saw `class X ...` but not its `{` yet
+  bool pending_base = false;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+
+    std::size_t class_at = 0;
+    const bool declares_class =
+        (contains_token(line, "class", &class_at) || contains_token(line, "struct", &class_at)) &&
+        !contains_token(line, "enum") && line.find(';') == std::string::npos;
+    if (declares_class) {
+      pending_class = true;
+      pending_base = line.find(':', class_at) != std::string::npos;
+    } else if (pending_class && !pending_base) {
+      // Base clause may start on a continuation line before the `{`.
+      pending_base = line.find(':') != std::string::npos && line.find("::") == std::string::npos;
+    }
+
+    std::size_t virt_at = 0;
+    if (!scopes.empty() && scopes.back().has_base && !pending_class &&
+        contains_token(line, "virtual", &virt_at) && line.find('~') == std::string::npos &&
+        !contains_token(line, "override") && !contains_token(line, "final")) {
+      findings.push_back({path, i + 1, "missing-override",
+                          "virtual re-declaration in derived class without `override`"});
+    }
+
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending_class) {
+          scopes.push_back({depth, pending_base});
+          pending_class = false;
+          pending_base = false;
+        }
+      } else if (c == '}') {
+        if (!scopes.empty() && scopes.back().depth == depth) scopes.pop_back();
+        --depth;
+      }
+    }
+  }
+}
+
+void check_include_layering(const std::string& path, const std::vector<std::string>& raw_lines,
+                            std::vector<Finding>& findings) {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"common", {"common"}},
+      {"math", {"math", "common"}},
+      {"game", {"game", "math", "common"}},
+      {"core", {"core", "game", "math", "common"}},
+      {"fl", {"fl", "game", "common"}},
+      {"chain", {"chain", "common"}},
+      {"tradefl", {"tradefl", "core", "game", "fl", "chain", "math", "common"}},
+  };
+  const std::string module = module_of(path);
+  if (module.empty()) return;
+  const auto allowed = kAllowed.find(module);
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    std::size_t at = line.find("#include \"");
+    if (at == std::string::npos) continue;
+    const std::size_t start = at + 10;
+    const std::size_t slash = line.find('/', start);
+    const std::size_t quote = line.find('"', start);
+    if (slash == std::string::npos || quote == std::string::npos || slash > quote) continue;
+    const std::string target = line.substr(start, slash - start);
+    if (kAllowed.find(target) == kAllowed.end()) continue;  // not a module include
+    if (allowed == kAllowed.end() || allowed->second.count(target) == 0) {
+      findings.push_back({path, i + 1, "include-layering",
+                          "src/" + module + "/ must not include src/" + target +
+                              "/ (layer graph: common < math < game < {core, fl}; "
+                              "chain < common)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+void scan_content(const std::string& path, const std::string& content,
+                  std::vector<Finding>& findings) {
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> lines = split_lines(scrub_source(content));
+  check_raw_new_delete(path, lines, findings);
+  check_banned_random(path, lines, findings);
+  check_unordered_in_chain(path, lines, findings);
+  check_float_equality(path, lines, findings);
+  check_missing_override(path, lines, findings);
+  check_include_layering(path, raw_lines, findings);
+}
+
+bool lintable_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".cc" || ext == ".hpp";
+}
+
+std::vector<AllowEntry> load_allowlist(const std::string& file) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "tfl-lint: cannot open allowlist " << file << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream parts(line);
+    AllowEntry entry;
+    if (parts >> entry.rule >> entry.path_suffix) entries.push_back(entry);
+  }
+  return entries;
+}
+
+bool allowed(const Finding& finding, const std::vector<AllowEntry>& allowlist) {
+  for (const AllowEntry& entry : allowlist) {
+    if (entry.rule != finding.rule) continue;
+    if (finding.path.size() >= entry.path_suffix.size() &&
+        finding.path.compare(finding.path.size() - entry.path_suffix.size(),
+                             entry.path_suffix.size(), entry.path_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test fixtures: one per rule proving detection, one clean file proving
+// no false positives. Paths are virtual but must hit the per-rule dir filters.
+// ---------------------------------------------------------------------------
+struct Fixture {
+  std::string path;
+  std::string content;
+  std::set<std::string> expected_rules;
+};
+
+int run_self_test() {
+  const std::vector<Fixture> fixtures = {
+      {"src/fl/fixture_new.cpp",
+       "void f() {\n"
+       "  int* p = new int(3);\n"
+       "  delete p;\n"
+       "}\n",
+       {"raw-new-delete"}},
+      {"src/common/fixture_rand.cpp",
+       "#include <cstdlib>\n"
+       "#include <random>\n"
+       "int f() { return rand() % 5; }\n"
+       "std::default_random_engine g_engine;\n",
+       {"banned-random"}},
+      {"src/chain/fixture_unordered.cpp",
+       "#include <unordered_map>\n"
+       "std::unordered_map<int, int> g_state;\n",
+       {"unordered-in-chain"}},
+      {"src/game/fixture_float_eq.cpp",
+       "bool f(double x) { return x == 0.0; }\n"
+       "bool g(double x) { return 1e-9 != x; }\n",
+       {"float-equality"}},
+      {"src/core/fixture_float_eq_rhs.cpp",
+       "bool h(float x) { return x != 2.5f; }\n",
+       {"float-equality"}},
+      {"src/fl/fixture_override.h",
+       "struct Base {\n"
+       "  virtual ~Base() = default;\n"
+       "  virtual void step();\n"
+       "};\n"
+       "struct Derived : public Base {\n"
+       "  virtual void step();\n"
+       "};\n",
+       {"missing-override"}},
+      {"src/math/fixture_layering.cpp",
+       "#include \"fl/tensor.h\"\n"
+       "#include \"math/vec.h\"\n",
+       {"include-layering"}},
+      // Clean file: banned words only in comments/strings, tolerance compare,
+      // override used properly, allowed include edge. Must produce no findings.
+      {"src/game/fixture_clean.cpp",
+       "#include \"math/vec.h\"\n"
+       "// mentions new and delete and rand() in a comment only\n"
+       "const char* kMessage = \"use new delete rand() == 0.0\";\n"
+       "bool close(double x) { return std::abs(x - 1.0) < 1e-9; }\n"
+       "struct Base { virtual ~Base() = default; virtual void f(); };\n"
+       "struct Derived : Base { void f() override; };\n"
+       "auto deleted_fn(int) -> int = delete;\n",
+       {}},
+  };
+
+  int failures = 0;
+  for (const Fixture& fixture : fixtures) {
+    std::vector<Finding> findings;
+    scan_content(fixture.path, fixture.content, findings);
+    std::set<std::string> hit;
+    for (const Finding& finding : findings) hit.insert(finding.rule);
+    for (const std::string& rule : fixture.expected_rules) {
+      if (hit.count(rule) == 0) {
+        std::cerr << "self-test FAIL: " << fixture.path << " should trigger " << rule << "\n";
+        ++failures;
+      }
+    }
+    for (const Finding& finding : findings) {
+      if (fixture.expected_rules.count(finding.rule) == 0) {
+        std::cerr << "self-test FAIL: " << fixture.path << ":" << finding.line
+                  << " unexpected " << finding.rule << " (" << finding.message << ")\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "tfl-lint self-test: all " << fixtures.size() << " fixtures behaved\n";
+    return 0;
+  }
+  std::cerr << "tfl-lint self-test: " << failures << " failure(s)\n";
+  return 1;
+}
+
+void list_rules() {
+  std::cout << "raw-new-delete     raw new/delete outside RAII (src/, tests/)\n"
+            << "banned-random      rand()/srand()/std::default_random_engine (src/, tests/)\n"
+            << "unordered-in-chain unordered containers in src/chain/ (consensus order)\n"
+            << "float-equality     ==/!= against float literals in src/game/, src/core/\n"
+            << "missing-override   virtual redecl without override in derived classes\n"
+            << "include-layering   module include edges outside the layer graph (src/)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string allow_file;
+  bool self_test = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (arg == "--allow") {
+      if (i + 1 >= argc) {
+        std::cerr << "tfl-lint: --allow needs a file argument\n";
+        return 2;
+      }
+      allow_file = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "tfl-lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (self_test) return run_self_test();
+  if (roots.empty()) {
+    std::cerr << "usage: tfl-lint [--allow FILE] [--list-rules] PATH...\n"
+              << "       tfl-lint --self-test\n";
+    return 2;
+  }
+
+  std::vector<AllowEntry> allowlist;
+  if (!allow_file.empty()) allowlist = load_allowlist(allow_file);
+
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  for (const std::string& root : roots) {
+    std::vector<fs::path> files;
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable_file(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "tfl-lint: no such path " << root << "\n";
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      scan_content(normalize_path(file), buffer.str(), findings);
+      ++files_scanned;
+    }
+  }
+
+  std::size_t reported = 0;
+  std::size_t suppressed = 0;
+  for (const Finding& finding : findings) {
+    if (allowed(finding, allowlist)) {
+      ++suppressed;
+      continue;
+    }
+    std::cout << finding.path << ":" << finding.line << ": [" << finding.rule << "] "
+              << finding.message << "\n";
+    ++reported;
+  }
+  std::cout << "tfl-lint: " << files_scanned << " files, " << reported << " finding(s)";
+  if (suppressed > 0) std::cout << ", " << suppressed << " allowlisted";
+  std::cout << "\n";
+  return reported == 0 ? 0 : 1;
+}
