@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace tradefl::bench {
 
@@ -15,6 +17,8 @@ Config parse_args(int argc, char** argv) {
     if (starts_with(arg, "--")) continue;  // google-benchmark flags
     args.push_back(arg);
   }
+  // Benches always record telemetry; write_manifest persists it per figure.
+  obs::set_enabled(true);
   auto parsed = Config::from_args(args);
   if (!parsed.ok()) {
     std::cerr << "bad arguments: " << parsed.error().to_string() << "\n";
@@ -42,6 +46,26 @@ void emit(const Config& config, const std::string& name, const AsciiTable& table
       std::printf("csv write failed: %s\n", status.error().to_string().c_str());
     }
   }
+}
+
+void write_manifest(const Config& config, const std::string& name) {
+  const std::string dir = config.get_string("csv", "");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".manifest.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::printf("manifest write failed: cannot open %s\n", path.c_str());
+    return;
+  }
+  file << "{\n  \"bench\": \"" << name << "\",\n  \"config\": {";
+  const auto& entries = config.entries();
+  std::size_t i = 0;
+  for (const auto& [key, value] : entries) {
+    file << (i++ == 0 ? "\n" : ",\n") << "    \"" << key << "\": \"" << value << "\"";
+  }
+  file << (entries.empty() ? "" : "\n  ") << "},\n  \"metrics\": "
+       << obs::metrics().snapshot().to_json() << "}\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 SweepStats replicate(const std::vector<double>& values) {

@@ -5,6 +5,10 @@
 //   * `seeds=N` — number of random game instances averaged (default 3);
 //   * `fast=1`  — shrink the FL workloads for quick smoke runs;
 //   * `csv=DIR` — also write each series to DIR/<bench>.csv.
+//
+// parse_args also enables the metrics registry (obs::set_enabled), so every
+// bench records the instrumented pipelines' telemetry; write_manifest dumps
+// the snapshot as a run manifest JSON next to the CSVs (csv=DIR runs only).
 #pragma once
 
 #include <string>
@@ -29,6 +33,11 @@ void banner(const std::string& experiment_id, const std::string& claim);
 /// Prints a table and optionally writes a CSV next to it.
 void emit(const Config& config, const std::string& name, const AsciiTable& table,
           const CsvWriter* csv = nullptr);
+
+/// Writes <DIR>/<name>.manifest.json (csv=DIR runs; no-op otherwise): the
+/// bench's config entries plus the current metrics snapshot, so every figure
+/// CSV carries the telemetry of the run that produced it.
+void write_manifest(const Config& config, const std::string& name);
 
 /// Mean of a metric across seeded replications of the experiment game.
 struct SweepStats {

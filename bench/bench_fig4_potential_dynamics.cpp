@@ -4,6 +4,7 @@
 
 #include "bench_common.h"
 #include "game/potential.h"
+#include "obs/metrics.h"
 
 using namespace tradefl;
 
@@ -19,16 +20,28 @@ int main(int argc, char** argv) {
   struct Run {
     const char* name;
     core::Solution solution;
+    std::vector<double> potentials;  // per-iteration U from the metrics registry
   };
   std::vector<Run> runs;
-  runs.push_back({"CGBD", core::run_cgbd(game)});
-  runs.push_back({"DBR", core::run_dbr(game)});
-  runs.push_back({"WPR", core::run_wpr(game)});
-  runs.push_back({"GCA", core::run_gca(game)});
-  runs.push_back({"FIP", core::run_fip(game)});
+  // Every scheme feeds solver.potential.trajectory through append_iteration;
+  // resetting the registry before each run separates the per-scheme series
+  // (and leaves the last run's telemetry in place for write_manifest).
+  const auto record = [&runs](const char* name, auto&& solve) {
+    obs::metrics().reset();
+    core::Solution solution = solve();
+    const auto snapshot = obs::metrics().snapshot();
+    const auto* series = snapshot.find_series("solver.potential.trajectory");
+    runs.push_back({name, std::move(solution),
+                    series ? series->values : std::vector<double>{}});
+  };
+  record("CGBD", [&game] { return core::run_cgbd(game); });
+  record("DBR", [&game] { return core::run_dbr(game); });
+  record("WPR", [&game] { return core::run_wpr(game); });
+  record("GCA", [&game] { return core::run_gca(game); });
+  record("FIP", [&game] { return core::run_fip(game); });
 
   std::size_t max_len = 0;
-  for (const Run& run : runs) max_len = std::max(max_len, run.solution.trace.size());
+  for (const Run& run : runs) max_len = std::max(max_len, run.potentials.size());
 
   std::vector<std::string> header{"iteration"};
   for (const Run& run : runs) header.push_back(run.name);
@@ -37,14 +50,14 @@ int main(int argc, char** argv) {
   for (std::size_t k = 0; k < max_len; ++k) {
     std::vector<double> row{static_cast<double>(k)};
     for (const Run& run : runs) {
-      const auto& trace = run.solution.trace;
-      const std::size_t idx = std::min(k, trace.size() - 1);  // hold final value
-      row.push_back(trace[idx].potential);
+      const std::size_t idx = std::min(k, run.potentials.size() - 1);  // hold final value
+      row.push_back(run.potentials[idx]);
     }
     table.add_row_doubles(row, 8);
     csv.add_row_doubles(row);
   }
   bench::emit(config, "fig4_potential_dynamics", table, &csv);
+  bench::write_manifest(config, "fig4_potential_dynamics");
 
   AsciiTable final_table({"scheme", "final potential", "iterations", "converged"});
   for (const Run& run : runs) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 
 using namespace tradefl;
 
@@ -21,17 +22,29 @@ int main(int argc, char** argv) {
   options.sequential_updates = config.get_bool("sequential", false);
   const core::Solution solution = run_dbr(game, options);
 
+  // The per-iteration payoff spread comes from the registry series fed by
+  // append_iteration (max_i C_i - min_i C_i per decision slot).
+  const auto snapshot = obs::metrics().snapshot();
+  const auto* gap_series = snapshot.find_series("solver.payoff_gap.trajectory");
+
   std::vector<std::string> header{"iteration"};
   for (game::OrgId i = 0; i < game.size(); ++i) header.push_back(game.org(i).name);
+  header.push_back("payoff_gap");
   AsciiTable table(header);
   CsvWriter csv(header);
+  std::size_t k = 0;
   for (const auto& record : solution.trace) {
     std::vector<double> row{static_cast<double>(record.iteration)};
     for (double payoff : record.payoffs) row.push_back(payoff);
+    row.push_back(gap_series != nullptr && k < gap_series->values.size()
+                      ? gap_series->values[k]
+                      : 0.0);
+    ++k;
     table.add_row_doubles(row, 6);
     csv.add_row_doubles(row);
   }
   bench::emit(config, "fig5_payoff_dynamics", table, &csv);
+  bench::write_manifest(config, "fig5_payoff_dynamics");
 
   std::printf("converged=%s after %d iterations; max unilateral gain at NE = %.3e\n\n",
               solution.converged ? "yes" : "no", solution.iterations,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace tradefl::chain {
 
@@ -87,6 +88,7 @@ const Contract& Blockchain::contract_at(const Address& address) const {
 }
 
 Receipt Blockchain::submit(Transaction tx) {
+  TFL_SPAN("chain.submit");
   tx.nonce = nonces_[tx.from]++;
   Receipt receipt;
   receipt.tx_hash = tx.hash();
@@ -112,6 +114,7 @@ Receipt Blockchain::submit(Transaction tx) {
     balances_[tx.to] += tx.value;
 
     if (contract_it != contracts_.end()) {
+      TFL_SCOPED_TIMER("chain.call.seconds");
       HostSession host(*this, tx.to, gas, receipt.block_index);
       CallContext context;
       context.caller = tx.from;
@@ -137,6 +140,11 @@ Receipt Blockchain::submit(Transaction tx) {
   }
 
   receipt.gas_used = gas.used();
+  TFL_COUNTER_INC("chain.tx.count");
+  if (!receipt.success) TFL_COUNTER_INC("chain.tx.reverted");
+  TFL_COUNTER_ADD("chain.gas.used", receipt.gas_used);
+  TFL_OBSERVE_BUCKETS("chain.call.gas", static_cast<double>(receipt.gas_used), 25e3, 50e3,
+                      100e3, 250e3, 500e3, 1e6, 5e6);
   receipts_.push_back(receipt);
   pending_.push_back(std::move(tx));
   return receipt;
@@ -151,6 +159,7 @@ std::uint64_t Blockchain::seal_block() {
   pending_.clear();
   block.header.tx_root = Block::merkle_root(block.transactions);
   blocks_.push_back(std::move(block));
+  TFL_COUNTER_INC("chain.block.count");
   return blocks_.back().header.index;
 }
 

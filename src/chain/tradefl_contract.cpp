@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace tradefl::chain {
 namespace {
 
@@ -48,6 +50,8 @@ Fixed TradeFlContract::chi(std::size_t index) const {
 
 std::vector<AbiValue> TradeFlContract::call(CallContext& context, const std::string& method,
                                             const std::vector<AbiValue>& args) {
+  TFL_COUNTER_INC("contract.calls.count");
+  TFL_SPAN("contract." + method);
   if (method == "register") return do_register(context, args);
   if (method == "depositSubmit") return do_deposit(context);
   if (method == "contributionSubmit") return do_contribution(context, args);

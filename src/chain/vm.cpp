@@ -1,7 +1,16 @@
 #include "chain/vm.h"
 
-// The runtime types are header-only aside from this translation unit, which
-// exists so the library has a home for future out-of-line definitions and so
-// vtables/typeinfo for the exception types are emitted exactly once.
+#include "obs/obs.h"
 
-namespace tradefl::chain {}  // namespace tradefl::chain
+// Aside from the cold GasMeter path below, the runtime types are header-only;
+// this translation unit also anchors vtables/typeinfo for the exception types
+// so they are emitted exactly once.
+
+namespace tradefl::chain {
+
+void GasMeter::exhausted() const {
+  TFL_COUNTER_INC("chain.gas.exhausted");
+  throw OutOfGas();
+}
+
+}  // namespace tradefl::chain

@@ -43,7 +43,7 @@ class GasMeter {
 
   void charge(std::uint64_t amount) {
     used_ += amount;
-    if (used_ > limit_) throw OutOfGas();
+    if (used_ > limit_) exhausted();
   }
   void charge_storage_write(std::size_t slots = 1) { charge(schedule_->storage_write * slots); }
   void charge_storage_read(std::size_t slots = 1) { charge(schedule_->storage_read * slots); }
@@ -55,6 +55,10 @@ class GasMeter {
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
 
  private:
+  /// Cold path, out of line (vm.cpp): counts chain.gas.exhausted, then throws
+  /// OutOfGas. Keeps the inline charge() fast path free of obs includes.
+  [[noreturn]] void exhausted() const;
+
   std::uint64_t limit_;
   std::uint64_t used_ = 0;
   const GasSchedule* schedule_;

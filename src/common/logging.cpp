@@ -1,14 +1,28 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
+#include <map>
 #include <mutex>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_id.h"
 
 namespace tradefl {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_timestamps{false};
+std::atomic<bool> g_thread_ids{false};
 std::mutex g_sink_mutex;
+
+/// Epoch for the "[+1.234s]" prefix: started on the first log call.
+const Stopwatch& log_epoch() {
+  static const Stopwatch epoch;
+  return epoch;
+}
 std::function<void(LogLevel, const std::string&)>& sink_ref() {
   static std::function<void(LogLevel, const std::string&)> sink;
   return sink;
@@ -35,6 +49,12 @@ const char* log_level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_timestamps(bool on) { g_timestamps.store(on, std::memory_order_relaxed); }
+bool log_timestamps() { return g_timestamps.load(std::memory_order_relaxed); }
+
+void set_log_thread_ids(bool on) { g_thread_ids.store(on, std::memory_order_relaxed); }
+bool log_thread_ids() { return g_thread_ids.load(std::memory_order_relaxed); }
+
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   sink_ref() = std::move(sink);
@@ -47,12 +67,35 @@ void reset_log_sink() {
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::string line;
+  if (log_timestamps()) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[+%.3fs] ", log_epoch().elapsed_seconds());
+    line += stamp;
+  }
+  if (log_thread_ids()) {
+    line += "[t" + std::to_string(thread_index()) + "] ";
+  }
+  line += message;
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (sink_ref()) {
-    sink_ref()(level, message);
+    sink_ref()(level, line);
   } else {
-    default_sink(level, message);
+    default_sink(level, line);
   }
 }
+
+namespace detail {
+
+bool log_every_n_site(const char* file, int line, std::uint64_t n) {
+  // Keyed by the __FILE__ pointer (stable per call site) + line.
+  static std::mutex mutex;
+  static std::map<std::pair<const void*, int>, std::uint64_t> counts;
+  std::lock_guard<std::mutex> lock(mutex);
+  const std::uint64_t occurrence = counts[{static_cast<const void*>(file), line}]++;
+  return n <= 1 || occurrence % n == 0;
+}
+
+}  // namespace detail
 
 }  // namespace tradefl

@@ -1,7 +1,17 @@
 // Lightweight leveled logger. Single global sink (stderr by default), safe to
 // call from benches and examples. Not a substrate of the paper; purely infra.
+//
+// Optional prefixes (both off by default): set_log_timestamps(true) prepends
+// "[+12.345s]" (seconds since the first log call), set_log_thread_ids(true)
+// prepends "[t0]" (dense index from common/thread_id.h). Prefixes are part of
+// the formatted line handed to the sink, so test-capture sinks see them.
+//
+// TFL_LOG_EVERY_N(level, n) rate-limits a call site: the 1st, (n+1)th, ...
+// occurrence logs, the rest are counted and dropped — for instrumented inner
+// loops that must not flood stderr.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -22,10 +32,24 @@ LogLevel log_level();
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
 void reset_log_sink();
 
+/// Optional "[+12.345s]" prefix: seconds since the first log call.
+void set_log_timestamps(bool on);
+bool log_timestamps();
+
+/// Optional "[t0]" prefix: dense per-thread index.
+void set_log_thread_ids(bool on);
+bool log_thread_ids();
+
 /// Emits one log line through the current sink if `level` is enabled.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
+
+/// Per-call-site occurrence counter behind TFL_LOG_EVERY_N. Returns true on
+/// the 1st, (n+1)th, (2n+1)th, ... call for this (file, line); n == 0 acts
+/// like n == 1 (always log).
+bool log_every_n_site(const char* file, int line, std::uint64_t n);
+
 class LogStream {
  public:
   explicit LogStream(LogLevel level) : level_(level) {}
@@ -56,3 +80,10 @@ class LogStream {
 #define TFL_INFO TRADEFL_LOG(::tradefl::LogLevel::kInfo)
 #define TFL_WARN TRADEFL_LOG(::tradefl::LogLevel::kWarn)
 #define TFL_ERROR TRADEFL_LOG(::tradefl::LogLevel::kError)
+
+// Single statement (a for-loop running at most once), so it stays safe in
+// unbraced-if contexts. Occurrences are counted even when dropped.
+#define TFL_LOG_EVERY_N(level, n)                                                   \
+  for (bool tfl_log_pass_ = ::tradefl::detail::log_every_n_site(__FILE__, __LINE__, n); \
+       tfl_log_pass_; tfl_log_pass_ = false)                                        \
+  TRADEFL_LOG(level)

@@ -1,0 +1,17 @@
+// Small dense thread index (0, 1, 2, ...) assigned on first use. Both the
+// trace spans and the logging thread-id prefix want a stable human-readable
+// id per thread; std::this_thread::get_id() is opaque and non-deterministic
+// across runs, so we hand out our own.
+#pragma once
+
+#include <atomic>
+
+namespace tradefl {
+
+inline int thread_index() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace tradefl

@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "common/stopwatch.h"
-#include "game/potential.h"
+#include "core/iteration_trace.h"
 
 namespace tradefl::core {
 
@@ -43,18 +43,6 @@ std::size_t gca_level(const CoopetitionGame& game, OrgId i, double d, double k_s
   return best;
 }
 
-IterationRecord snapshot(const CoopetitionGame& game, const StrategyProfile& profile,
-                         int iteration) {
-  IterationRecord record;
-  record.iteration = iteration;
-  record.potential = game::potential(game, profile);
-  record.paper_potential = game::paper_potential(game, profile);
-  record.welfare = game.social_welfare(profile);
-  for (OrgId i = 0; i < game.size(); ++i) record.payoffs.push_back(game.payoff(i, profile));
-  record.profile = profile;
-  return record;
-}
-
 }  // namespace
 
 Solution run_gca(const CoopetitionGame& game, const GcaOptions& options) {
@@ -64,7 +52,7 @@ Solution run_gca(const CoopetitionGame& game, const GcaOptions& options) {
   for (OrgId i = 0; i < game.size(); ++i) {
     profile[i].freq_index = gca_level(game, i, profile[i].data_fraction, options.k_scale, options.full_speed_d);
   }
-  solution.trace.push_back(snapshot(game, profile, 0));
+  append_iteration(game, profile, 0, solution.trace);
 
   for (int round = 1; round <= options.dbr.max_rounds; ++round) {
     bool any_change = false;
@@ -100,7 +88,7 @@ Solution run_gca(const CoopetitionGame& game, const GcaOptions& options) {
         any_change = true;
       }
     }
-    solution.trace.push_back(snapshot(game, profile, round));
+    append_iteration(game, profile, round, solution.trace);
     solution.iterations = round;
     if (!any_change) {
       solution.converged = true;
@@ -129,7 +117,7 @@ Solution run_tos(const CoopetitionGame& game) {
     profile[i].freq_index = game.org(i).freq_levels.size() - 1;
   }
   solution.profile = profile;
-  solution.trace.push_back(snapshot(game, profile, 0));
+  append_iteration(game, profile, 0, solution.trace);
   solution.converged = true;
   solution.iterations = 0;
   return solution;

@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "game/potential.h"
 #include "math/grid.h"
+#include "obs/obs.h"
 
 namespace tradefl::core {
 
@@ -15,6 +16,7 @@ Solution run_cgbd(const game::CoopetitionGame& game, const CgbdOptions& options)
 }
 
 Solution solve_by_enumeration(const game::CoopetitionGame& game, const GbdOptions& options) {
+  TFL_SPAN("cgbd.enumeration");
   Stopwatch watch;
   GbdSolver solver(game, options);
   const std::size_t n = game.size();
@@ -42,6 +44,7 @@ Solution solve_by_enumeration(const game::CoopetitionGame& game, const GbdOption
   }
   solution.converged = true;
   solution.iterations = static_cast<int>(visited);
+  TFL_COUNTER_ADD("cgbd.enumeration.tuples", visited);
   solution.solve_seconds = watch.elapsed_seconds();
   solution.diagnostics.emplace_back("best_potential", best_value);
   solution.diagnostics.emplace_back("tuples", static_cast<double>(visited));

@@ -5,41 +5,27 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
-#include "game/potential.h"
+#include "core/iteration_trace.h"
+#include "obs/obs.h"
 
 namespace tradefl::core {
 
 using game::CoopetitionGame;
 using game::StrategyProfile;
 
-namespace {
-
-IterationRecord snapshot(const CoopetitionGame& game, const StrategyProfile& profile,
-                         int iteration) {
-  IterationRecord record;
-  record.iteration = iteration;
-  record.potential = game::potential(game, profile);
-  record.paper_potential = game::paper_potential(game, profile);
-  record.welfare = game.social_welfare(profile);
-  record.payoffs.reserve(game.size());
-  for (game::OrgId i = 0; i < game.size(); ++i) record.payoffs.push_back(game.payoff(i, profile));
-  record.profile = profile;
-  return record;
-}
-
-}  // namespace
-
 Solution run_dbr(const CoopetitionGame& game, const DbrOptions& options,
                  StrategyProfile start) {
+  TFL_SPAN("dbr.solve");
   Stopwatch watch;
   Solution solution;
   StrategyProfile profile = start.empty() ? game.minimal_profile() : std::move(start);
   if (profile.size() != game.size()) {
     throw std::invalid_argument("dbr: start profile size mismatch");
   }
-  solution.trace.push_back(snapshot(game, profile, 0));
+  append_iteration(game, profile, 0, solution.trace);
 
   for (int round = 1; round <= options.max_rounds; ++round) {
+    TFL_SPAN("dbr.round");
     bool any_change = false;
 
     if (options.sequential_updates) {
@@ -53,6 +39,7 @@ Solution run_dbr(const CoopetitionGame& game, const DbrOptions& options,
         if (response.payoff > current + options.improvement_tol && strategy_moved) {
           profile[i] = response.strategy;
           any_change = true;
+          TFL_COUNTER_INC("dbr.best_response.moves");
         }
       }
     } else {
@@ -67,13 +54,17 @@ Solution run_dbr(const CoopetitionGame& game, const DbrOptions& options,
         if (response.payoff > current + options.improvement_tol && strategy_moved) {
           next[i] = response.strategy;
           any_change = true;
+          TFL_COUNTER_INC("dbr.best_response.moves");
         }
       }
       profile = std::move(next);
     }
 
-    solution.trace.push_back(snapshot(game, profile, round));
+    append_iteration(game, profile, round, solution.trace);
     solution.iterations = round;
+    TFL_COUNTER_INC("dbr.rounds.count");
+    TFL_LOG_EVERY_N(::tradefl::LogLevel::kDebug, 25)
+        << "dbr round " << round << ": potential " << solution.trace.back().potential;
     if (!any_change) {
       solution.converged = true;
       break;

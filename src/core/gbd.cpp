@@ -8,9 +8,11 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/iteration_trace.h"
 #include "game/potential.h"
 #include "math/grid.h"
 #include "math/matrix.h"
+#include "obs/obs.h"
 
 namespace tradefl::core {
 
@@ -30,19 +32,6 @@ StrategyProfile to_profile(const Vec& d, const std::vector<std::size_t>& freq) {
   return profile;
 }
 
-IterationRecord snapshot(const CoopetitionGame& game, const StrategyProfile& profile,
-                         int iteration) {
-  IterationRecord record;
-  record.iteration = iteration;
-  record.potential = game::potential(game, profile);
-  record.paper_potential = game::paper_potential(game, profile);
-  record.welfare = game.social_welfare(profile);
-  record.payoffs.reserve(game.size());
-  for (OrgId i = 0; i < game.size(); ++i) record.payoffs.push_back(game.payoff(i, profile));
-  record.profile = profile;
-  return record;
-}
-
 }  // namespace
 
 GbdSolver::GbdSolver(const CoopetitionGame& game, GbdOptions options)
@@ -58,6 +47,8 @@ double GbdSolver::deadline_slack(OrgId i, double d, double f) const {
 }
 
 PrimalSolve GbdSolver::solve_primal(const std::vector<std::size_t>& freq_indices) const {
+  TFL_SPAN("cgbd.primal_solve");
+  TFL_SCOPED_TIMER("cgbd.subproblem.seconds");
   const std::size_t n = game_.size();
   const double d_min = game_.params().d_min;
   PrimalSolve result;
@@ -197,6 +188,8 @@ bool GbdSolver::solve_master(const std::vector<OptimalityCut>& optimality_cuts,
                              const std::vector<FeasibilityCut>& feasibility_cuts,
                              std::vector<std::size_t>& best_tuple, double& best_bound,
                              std::uint64_t& tuples_visited) const {
+  TFL_SPAN("cgbd.master_step");
+  TFL_SCOPED_TIMER("cgbd.master.seconds");
   const std::size_t n = game_.size();
   std::vector<std::size_t> radices(n);
   for (OrgId i = 0; i < n; ++i) radices[i] = game_.org(i).freq_levels.size();
@@ -225,6 +218,7 @@ bool GbdSolver::solve_master(const std::vector<OptimalityCut>& optimality_cuts,
 }
 
 Solution GbdSolver::solve() {
+  TFL_SPAN("cgbd.solve");
   Stopwatch watch;
   const std::size_t n = game_.size();
   Solution solution;
@@ -256,9 +250,10 @@ Solution GbdSolver::solve() {
     }
 
     if (!incumbent.empty()) {
-      solution.trace.push_back(snapshot(game_, incumbent, k));
+      append_iteration(game_, incumbent, k, solution.trace);
     }
     solution.iterations = k;
+    TFL_COUNTER_INC("cgbd.iterations");
 
     std::vector<std::size_t> next;
     double master_bound = 0.0;
@@ -269,6 +264,7 @@ Solution GbdSolver::solve() {
     }
     total_tuples = tuples;
     upper_bound = master_bound;
+    TFL_SERIES_APPEND("cgbd.bound_gap.trajectory", upper_bound - lower_bound);
 
     if (upper_bound - lower_bound <= options_.epsilon) {
       solution.converged = true;
@@ -288,6 +284,8 @@ Solution GbdSolver::solve() {
   }
   solution.profile = incumbent;
   solution.solve_seconds = watch.elapsed_seconds();
+  TFL_COUNTER_ADD("cgbd.cuts.optimality", optimality_cuts.size());
+  TFL_COUNTER_ADD("cgbd.cuts.feasibility", feasibility_cuts.size());
   solution.diagnostics.emplace_back("upper_bound", upper_bound);
   solution.diagnostics.emplace_back("lower_bound", lower_bound);
   solution.diagnostics.emplace_back("gap", upper_bound - lower_bound);

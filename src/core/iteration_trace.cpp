@@ -1,0 +1,41 @@
+#include "core/iteration_trace.h"
+
+#include <algorithm>
+
+#include "game/potential.h"
+#include "obs/metrics.h"
+
+namespace tradefl::core {
+
+IterationRecord make_iteration_record(const game::CoopetitionGame& game,
+                                      const game::StrategyProfile& profile, int iteration) {
+  IterationRecord record;
+  record.iteration = iteration;
+  record.potential = game::potential(game, profile);
+  record.paper_potential = game::paper_potential(game, profile);
+  record.welfare = game.social_welfare(profile);
+  record.payoffs.reserve(game.size());
+  for (game::OrgId i = 0; i < game.size(); ++i) {
+    record.payoffs.push_back(game.payoff(i, profile));
+  }
+  record.profile = profile;
+  return record;
+}
+
+void append_iteration(const game::CoopetitionGame& game,
+                      const game::StrategyProfile& profile, int iteration,
+                      std::vector<IterationRecord>& trace) {
+  IterationRecord record = make_iteration_record(game, profile, iteration);
+  if (obs::enabled()) {
+    auto& registry = obs::metrics();
+    registry.series("solver.potential.trajectory").append(record.potential);
+    registry.series("solver.welfare.trajectory").append(record.welfare);
+    if (!record.payoffs.empty()) {
+      const auto [lo, hi] = std::minmax_element(record.payoffs.begin(), record.payoffs.end());
+      registry.series("solver.payoff_gap.trajectory").append(*hi - *lo);
+    }
+  }
+  trace.push_back(std::move(record));
+}
+
+}  // namespace tradefl::core

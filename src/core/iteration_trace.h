@@ -1,0 +1,29 @@
+// One iteration-snapshot idiom for every equilibrium scheme. GBD, DBR, and
+// the baselines used to carry three private copies of the same snapshot()
+// helper; this is the shared replacement, and it is also the single place
+// where the per-iteration solver trajectories (potential, welfare, payoff
+// gap) flow into the metrics registry for Fig. 4 / Fig. 5 style plots.
+#pragma once
+
+#include <vector>
+
+#include "core/solution.h"
+#include "game/game.h"
+
+namespace tradefl::core {
+
+/// Builds the IterationRecord for `profile` (potential, paper potential,
+/// welfare, per-org payoffs).
+IterationRecord make_iteration_record(const game::CoopetitionGame& game,
+                                      const game::StrategyProfile& profile, int iteration);
+
+/// make_iteration_record + push onto `trace`; when obs is enabled, also
+/// appends to the shared series solver.potential.trajectory,
+/// solver.welfare.trajectory, and solver.payoff_gap.trajectory (max - min
+/// payoff). Cold per-iteration bookkeeping, so it is runtime-gated only and
+/// works identically in TRADEFL_ENABLE_TRACING=OFF builds.
+void append_iteration(const game::CoopetitionGame& game,
+                      const game::StrategyProfile& profile, int iteration,
+                      std::vector<IterationRecord>& trace);
+
+}  // namespace tradefl::core

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "fl/loss.h"
+#include "obs/obs.h"
 
 namespace tradefl::fl {
 namespace {
@@ -46,6 +47,7 @@ void train_once(Net& net, const Dataset& data, const std::vector<std::size_t>& s
 FedAsyncResult train_fedasync(const ModelSpec& model_spec,
                               const std::vector<AsyncClient>& clients,
                               const Dataset& test_set, const FedAsyncOptions& options) {
+  TFL_SPAN("fedasync.train");
   if (clients.empty()) throw std::invalid_argument("fedasync: need >= 1 client");
   if (options.horizon <= 0.0) throw std::invalid_argument("fedasync: horizon must be > 0");
   if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
@@ -89,7 +91,10 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
 
     // The client trained from its pulled snapshot; replay that local pass.
     worker.set_weights(pulled[c]);
-    train_once(worker, *clients[c].client.data, subsets[c], options, shuffle_rng);
+    {
+      TFL_SCOPED_TIMER("fl.local_train.seconds");
+      train_once(worker, *clients[c].client.data, subsets[c], options, shuffle_rng);
+    }
     const std::vector<float> local = worker.weights();
 
     // Staleness-discounted merge into the CURRENT global model.
@@ -101,6 +106,9 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
       global_weights[i] = (1.0f - alpha_eff) * global_weights[i] + alpha_eff * local[i];
     }
     ++result.total_updates;
+    TFL_COUNTER_INC("fl.async.updates.count");
+    TFL_OBSERVE_BUCKETS("fl.async.staleness", std::max(0.0, staleness), 0.01, 0.1, 0.5, 1.0,
+                        2.0, 5.0, 10.0, 50.0);
 
     AsyncMerge merge;
     merge.time = update.ready_at;

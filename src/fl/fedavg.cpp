@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fl/loss.h"
+#include "obs/obs.h"
 
 namespace tradefl::fl {
 
@@ -71,6 +72,7 @@ double train_local(Net& net, const Dataset& data, const std::vector<std::size_t>
 
 FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClient>& clients,
                           const Dataset& test_set, const FedAvgOptions& options) {
+  TFL_SPAN("fedavg.train");
   if (clients.empty()) throw std::invalid_argument("fedavg: need >= 1 client");
   if (options.rounds == 0) throw std::invalid_argument("fedavg: need >= 1 round");
   if (options.batch_size == 0) throw std::invalid_argument("fedavg: batch_size must be >= 1");
@@ -96,6 +98,7 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
   Rng shuffle_rng(options.shuffle_seed);
 
   for (std::size_t round = 1; round <= options.rounds; ++round) {
+    TFL_SPAN("fedavg.round");
     std::vector<double> aggregate(global_weights.size(), 0.0);
     double weight_total = 0.0;
     double train_loss_sum = 0.0;
@@ -104,8 +107,11 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     for (std::size_t c = 0; c < clients.size(); ++c) {
       if (subsets[c].empty()) continue;
       worker.set_weights(global_weights);
-      const double local_loss =
-          train_local(worker, *clients[c].data, subsets[c], options, shuffle_rng);
+      double local_loss = 0.0;
+      {
+        TFL_SCOPED_TIMER("fl.local_train.seconds");
+        local_loss = train_local(worker, *clients[c].data, subsets[c], options, shuffle_rng);
+      }
       // Aggregation weight per Eq. (3): proportional to contributed samples
       // d_i |S_i| (normalized below so the weights sum to one).
       const double weight = static_cast<double>(subsets[c].size());
@@ -118,12 +124,22 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
       ++participants;
     }
 
-    for (std::size_t i = 0; i < global_weights.size(); ++i) {
-      global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
+    {
+      TFL_SCOPED_TIMER("fl.aggregate.seconds");
+      for (std::size_t i = 0; i < global_weights.size(); ++i) {
+        global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
+      }
+      global.set_weights(global_weights);
     }
-    global.set_weights(global_weights);
+    TFL_COUNTER_INC("fl.rounds.count");
+    TFL_COUNTER_ADD("fl.clients.participating", participants);
 
-    const EvalResult eval = evaluate(global, test_set);
+    EvalResult eval;
+    {
+      TFL_SCOPED_TIMER("fl.eval.seconds");
+      eval = evaluate(global, test_set);
+    }
+    TFL_SERIES_APPEND("fl.accuracy.trajectory", eval.accuracy);
     RoundMetrics metrics;
     metrics.round = round;
     metrics.train_loss = participants == 0 ? 0.0

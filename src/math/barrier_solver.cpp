@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace tradefl::math {
 namespace {
@@ -45,6 +46,7 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
                                     const LinearInequalities& inequalities,
                                     Vec start,
                                     const BarrierOptions& options) {
+  TFL_SPAN("barrier.solve");
   const std::size_t dim = start.size();
   if (box.lower.size() != dim || box.upper.size() != dim) {
     throw std::invalid_argument("barrier: box dimension mismatch");
@@ -148,13 +150,17 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
       // Newton step with progressive ridge regularization.
       Vec step;
       bool solved = false;
-      for (double ridge = 0.0; ridge < 1e9; ridge = (ridge == 0.0 ? 1e-10 : ridge * 100.0)) {
-        try {
-          step = phi_hess.solve_spd(scale(phi_grad, -1.0), ridge);
-          solved = true;
-          break;
-        } catch (const std::runtime_error&) {
-          continue;
+      {
+        TFL_SCOPED_TIMER("solver.factorize.seconds");
+        for (double ridge = 0.0; ridge < 1e9;
+             ridge = (ridge == 0.0 ? 1e-10 : ridge * 100.0)) {
+          try {
+            step = phi_hess.solve_spd(scale(phi_grad, -1.0), ridge);
+            solved = true;
+            break;
+          } catch (const std::runtime_error&) {
+            continue;
+          }
         }
       }
       if (!solved) throw std::runtime_error("barrier: Newton system unsolvable");
@@ -168,7 +174,8 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
       const double phi_now = barrier_phi(objective, box, inequalities, d, t);
       double step_size = 1.0;
       Vec candidate(dim);
-      for (int ls = 0; ls < 80; ++ls) {
+      int backtracks = 0;
+      for (; backtracks < 80; ++backtracks) {
         for (std::size_t i = 0; i < dim; ++i) candidate[i] = d[i] + step_size * step[i];
         const double phi_candidate = barrier_phi(objective, box, inequalities, candidate, t);
         if (phi_candidate <=
@@ -177,6 +184,7 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
         }
         step_size *= options.line_search_backtrack;
       }
+      TFL_COUNTER_ADD("solver.linesearch.backtracks", backtracks);
       const double movement = step_size * norm_inf(step);
       result.x = candidate;
       if (movement < 1e-15) break;
@@ -191,6 +199,7 @@ BarrierResult maximize_with_barrier(const SmoothObjective& objective,
   }
 
   result.newton_iterations = total_newton;
+  TFL_COUNTER_ADD("solver.newton.iterations", total_newton);
   result.value = objective.value(result.x);
   // Always-on exit contract: a NaN objective/gradient corrupts the iterate
   // silently (NaN fails the `diag <= 0.0` SPD test inside solve_spd, so the

@@ -1,0 +1,340 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace tradefl::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// %.12g keeps trajectories readable while round-tripping to ~1e-12.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_value(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(upper_bounds)),
+      bucket_counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) throw std::invalid_argument("histogram: need >= 1 bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.reserve(bucket_counts_.size());
+  for (const auto& bucket : bucket_counts_) {
+    snap.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snap.max = snap.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : bucket_counts_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Series
+// ---------------------------------------------------------------------------
+
+void Series::append(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (values_.size() < capacity_) values_.push_back(value);
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+std::uint64_t Series::total_appends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void Series::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+  total_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+bool MetricsSnapshot::empty() const {
+  return counters.empty() && gauges.empty() && histograms.empty() && series.empty();
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  for (const auto& metric : counters) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::find_gauge(const std::string& name) const {
+  for (const auto& metric : gauges) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& metric : histograms) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::SeriesValue* MetricsSnapshot::find_series(
+    const std::string& name) const {
+  for (const auto& metric : series) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << json_string(counters[i].name) << ": "
+        << counters[i].value;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << json_string(gauges[i].name) << ": "
+        << json_number(gauges[i].value);
+  }
+  out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const Histogram::Snapshot& data = histograms[i].data;
+    out << (i == 0 ? "\n" : ",\n") << "    " << json_string(histograms[i].name) << ": {"
+        << "\"count\": " << data.count << ", \"sum\": " << json_number(data.sum)
+        << ", \"min\": " << json_number(data.min) << ", \"max\": " << json_number(data.max)
+        << ", \"buckets\": [";
+    for (std::size_t b = 0; b < data.counts.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << "{\"le\": ";
+      if (b < data.upper_bounds.size()) {
+        out << json_number(data.upper_bounds[b]);
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ", \"count\": " << data.counts[b] << "}";
+    }
+    out << "]}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "},\n  \"series\": {";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << json_string(series[i].name) << ": [";
+    for (std::size_t v = 0; v < series[i].values.size(); ++v) {
+      if (v > 0) out << ", ";
+      out << json_number(series[i].values[v]);
+    }
+    out << "]";
+  }
+  out << (series.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_table() const {
+  AsciiTable table({"metric", "type", "count", "value", "min", "max"},
+                   {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                    Align::kRight});
+  for (const auto& metric : counters) {
+    table.add_row({metric.name, "counter", "-", std::to_string(metric.value), "-", "-"});
+  }
+  for (const auto& metric : gauges) {
+    table.add_row({metric.name, "gauge", "-", format_value(metric.value), "-", "-"});
+  }
+  for (const auto& metric : histograms) {
+    const auto& data = metric.data;
+    const double mean =
+        data.count == 0 ? 0.0 : data.sum / static_cast<double>(data.count);
+    table.add_row({metric.name, "histogram", std::to_string(data.count),
+                   format_value(mean) + " (mean)", format_value(data.min),
+                   format_value(data.max)});
+  }
+  for (const auto& metric : series) {
+    const double last = metric.values.empty() ? 0.0 : metric.values.back();
+    double lo = 0.0;
+    double hi = 0.0;
+    if (!metric.values.empty()) {
+      lo = *std::min_element(metric.values.begin(), metric.values.end());
+      hi = *std::max_element(metric.values.begin(), metric.values.end());
+    }
+    table.add_row({metric.name, "series", std::to_string(metric.total_appends),
+                   format_value(last) + " (last)", format_value(lo), format_value(hi)});
+  }
+  return table.render();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(name);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (upper_bounds.empty()) upper_bounds = default_latency_bounds();
+    slot = std::make_unique<Histogram>(name, std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>(name);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    snap.counters.push_back({name, metric->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    snap.gauges.push_back({name, metric->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    snap.histograms.push_back({name, metric->snapshot()});
+  }
+  snap.series.reserve(series_.size());
+  for (const auto& [name, metric] : series_) {
+    snap.series.push_back({name, metric->values(), metric->total_appends()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) entry.second->reset();
+  for (const auto& entry : gauges_) entry.second->reset();
+  for (const auto& entry : histograms_) entry.second->reset();
+  for (const auto& entry : series_) entry.second->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+}  // namespace tradefl::obs

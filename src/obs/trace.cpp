@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_id.h"
+
+namespace tradefl::obs {
+namespace {
+
+thread_local int g_span_depth = 0;
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string format_us(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+double trace_now_us() {
+  static const Stopwatch epoch;
+  return epoch.elapsed_micros();
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("trace buffer: capacity must be > 0");
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceBuffer::record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  // Ring is full: overwrite the oldest slot.
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<SpanEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!wrapped_) return ring_;
+  std::vector<SpanEvent> ordered;
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ordered.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return ordered;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("trace buffer: capacity must be > 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+  capacity_ = capacity;
+}
+
+void TraceBuffer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<SpanEvent> ordered = events();
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const SpanEvent& event = ordered[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"name\": \"" << escape_json(event.name) << "\", \"ph\": \"X\""
+        << ", \"ts\": " << format_us(event.start_us)
+        << ", \"dur\": " << format_us(event.duration_us) << ", \"pid\": 0, \"tid\": "
+        << event.thread << ", \"args\": {\"depth\": " << event.depth << "}}";
+  }
+  out << (ordered.empty() ? "" : "\n") << "]}\n";
+}
+
+TraceBuffer& trace() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+Span::Span(std::string name) : name_(std::move(name)), active_(enabled()) {
+  if (!active_) return;
+  depth_ = g_span_depth++;
+  start_us_ = trace_now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = trace_now_us();
+  --g_span_depth;
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.start_us = start_us_;
+  event.duration_us = end_us - start_us_;
+  event.thread = thread_index();
+  event.depth = depth_;
+  trace().record(std::move(event));
+}
+
+}  // namespace tradefl::obs

@@ -1,0 +1,108 @@
+// Scoped trace spans. A Span measures one region (RAII: construction to
+// destruction) and records name/start/duration/thread/depth into a bounded
+// in-memory ring buffer; the buffer exports Chrome trace-event JSON that
+// loads directly in chrome://tracing or https://ui.perfetto.dev. Use the
+// TFL_SPAN macro from obs/obs.h rather than constructing Span by hand so the
+// compile-time gate applies.
+//
+// Timestamps come from a process-wide Stopwatch epoch (first use), so spans
+// never touch std::chrono directly and the tfl-lint raw-steady-clock rule
+// holds trivially.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tradefl::obs {
+
+/// One completed span, timestamps in microseconds since the trace epoch.
+struct SpanEvent {
+  std::string name;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  int thread = 0;
+  int depth = 0;  // nesting level on the recording thread at open time
+};
+
+/// Bounded ring of completed spans. When full, the oldest event is
+/// overwritten and `dropped()` grows, so long runs keep the most recent
+/// window instead of failing or ballooning.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void record(SpanEvent event);
+
+  /// Events in recording order (oldest surviving first).
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void reset();
+  /// Resets and re-bounds the ring (tests shrink it to force overflow).
+  void set_capacity(std::size_t capacity);
+
+  /// Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "ts",
+  /// "dur", "pid", "tid"}, ...]}. ts/dur are microseconds.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring write cursor
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+  std::vector<SpanEvent> ring_;
+};
+
+/// Process-wide span sink used by TFL_SPAN.
+TraceBuffer& trace();
+
+/// Microseconds since the process trace epoch (first call).
+double trace_now_us();
+
+/// RAII span. Captures obs::enabled() once at construction, so a span that
+/// opened while tracing was on still closes cleanly if it is toggled off
+/// mid-flight (and vice versa records nothing).
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+/// RAII timer feeding a latency histogram (seconds). Pass nullptr to make it
+/// inert; TFL_SCOPED_TIMER does so whenever obs is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink) : sink_(sink), start_us_(sink ? trace_now_us() : 0.0) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->observe((trace_now_us() - start_us_) * 1e-6);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  double start_us_;
+};
+
+}  // namespace tradefl::obs

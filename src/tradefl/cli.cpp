@@ -7,13 +7,16 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "math/grid.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tradefl/report.h"
 #include "tradefl/session.h"
 
 namespace tradefl::cli {
 namespace {
 
-const char* const kCommands[] = {"solve", "compare", "sweep", "session", "chain", "help"};
+const char* const kCommands[] = {"solve",   "compare", "sweep", "metrics",
+                                 "session", "chain",   "help"};
 
 game::CoopetitionGame game_from_options(const Config& options) {
   // file=path loads a fully explicit game definition (see
@@ -107,6 +110,22 @@ int run_session(const Config& options, std::ostream& out) {
   return result.chain_valid && result.settlement_sum == 0 ? 0 : 1;
 }
 
+int run_metrics(const Config& options, std::ostream& out) {
+  // Runs one solve purely for its telemetry; the caller (run) prints the
+  // registry snapshot afterwards.
+  const auto scheme = parse_scheme(options.get_string("scheme", "cgbd"));
+  if (!scheme.ok()) {
+    out << scheme.error().to_string() << "\n";
+    return 2;
+  }
+  const auto game = game_from_options(options);
+  const auto result = core::run_scheme(game, scheme.value());
+  out << "scheme " << core::scheme_name(scheme.value()) << ": welfare "
+      << format_double(result.welfare, 6) << ", iterations " << result.solution.iterations
+      << ", " << format_double(result.solution.solve_seconds, 4) << "s\n";
+  return 0;
+}
+
 int run_chain(const Config& options, std::ostream& out) {
   const auto game = game_from_options(options);
   TradingSession session(game);
@@ -177,25 +196,80 @@ std::string usage() {
          "  solve    compute the equilibrium (scheme=dbr|cgbd|wpr|gca|fip|tos)\n"
          "  compare  run every scheme and tabulate welfare/damage/data\n"
          "  sweep    gamma sweep (gamma_lo=, gamma_hi=, points=, scheme=)\n"
+         "  metrics  run one solve and print its metrics snapshot (scheme=cgbd)\n"
          "  session  full pipeline incl. on-chain settlement (train=1 to run FedAvg)\n"
          "  chain    settlement walkthrough with blocks/events\n"
          "  help     this text\n"
          "common options: seed=42 orgs=10 gamma=5.12e-9 mu=0.05 omega_e= tau= lambda=\n"
-         "               file=game.cfg (explicit game definition; see game_from_config)\n";
+         "               file=game.cfg (explicit game definition; see game_from_config)\n"
+         "observability: metrics=1 (print snapshot table after any command)\n"
+         "               metrics_json=FILE (write snapshot JSON)\n"
+         "               trace=FILE (write Chrome trace-event JSON; open in\n"
+         "               chrome://tracing or ui.perfetto.dev)\n";
 }
+
+namespace {
+
+int dispatch(const Invocation& invocation, std::ostream& out) {
+  if (invocation.command == "solve") return run_solve(invocation.options, out);
+  if (invocation.command == "compare") return run_compare(invocation.options, out);
+  if (invocation.command == "sweep") return run_sweep(invocation.options, out);
+  if (invocation.command == "metrics") return run_metrics(invocation.options, out);
+  if (invocation.command == "session") return run_session(invocation.options, out);
+  if (invocation.command == "chain") return run_chain(invocation.options, out);
+  out << usage();
+  return 2;
+}
+
+}  // namespace
 
 int run(const Invocation& invocation, std::ostream& out) {
   if (invocation.command == "help") {
     out << usage();
     return 0;
   }
-  if (invocation.command == "solve") return run_solve(invocation.options, out);
-  if (invocation.command == "compare") return run_compare(invocation.options, out);
-  if (invocation.command == "sweep") return run_sweep(invocation.options, out);
-  if (invocation.command == "session") return run_session(invocation.options, out);
-  if (invocation.command == "chain") return run_chain(invocation.options, out);
-  out << usage();
-  return 2;
+  const Config& options = invocation.options;
+  const bool want_table =
+      invocation.command == "metrics" || options.get_bool("metrics", false);
+  const auto trace_path = options.get("trace");
+  const auto json_path = options.get("metrics_json");
+  const bool observing = want_table || trace_path.has_value() || json_path.has_value();
+  if (observing) {
+    // Fresh telemetry for exactly this invocation.
+    obs::metrics().reset();
+    obs::trace().reset();
+    obs::set_enabled(true);
+  }
+
+  int code = dispatch(invocation, out);
+
+  if (observing) {
+    obs::set_enabled(false);
+    const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
+    if (want_table) out << snapshot.to_table();
+    if (json_path) {
+      std::ofstream file(*json_path);
+      if (!file) {
+        out << "cannot write metrics JSON to " << *json_path << "\n";
+        code = code == 0 ? 1 : code;
+      } else {
+        file << snapshot.to_json();
+        out << "metrics JSON written to " << *json_path << "\n";
+      }
+    }
+    if (trace_path) {
+      std::ofstream file(*trace_path);
+      if (!file) {
+        out << "cannot write trace to " << *trace_path << "\n";
+        code = code == 0 ? 1 : code;
+      } else {
+        obs::trace().write_chrome_trace(file);
+        out << "trace written to " << *trace_path << " ("
+            << obs::trace().size() << " spans)\n";
+      }
+    }
+  }
+  return code;
 }
 
 }  // namespace tradefl::cli

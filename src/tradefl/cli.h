@@ -4,9 +4,13 @@
 //   solve    — compute the equilibrium for one scheme and print the report
 //   compare  — run every scheme on one game and tabulate welfare/damage/data
 //   sweep    — gamma sweep under one scheme
+//   metrics  — run one solve and print its metrics snapshot
 //   session  — full end-to-end pipeline incl. on-chain settlement
 //   chain    — settlement walkthrough with the raw chain artifacts
 // Common options: seed=N orgs=N gamma=X mu=X scheme=dbr|cgbd|wpr|gca|fip|tos.
+// Observability options (any command): metrics=1 prints the registry snapshot
+// after the run, metrics_json=FILE writes it as JSON, trace=FILE writes a
+// Chrome trace-event file. See docs/OBSERVABILITY.md.
 #pragma once
 
 #include <iosfwd>

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace tradefl {
 
@@ -24,18 +25,23 @@ Address TradingSession::org_address(game::OrgId i) const {
 }
 
 SessionResult TradingSession::run(const SessionOptions& options) {
+  TFL_SPAN("session.run");
   const game::CoopetitionGame& game = *game_;
   const std::size_t n = game.size();
   SessionResult result;
 
   // ---- 1. Equilibrium computation (off-chain, Sec. V). ----
-  result.mechanism = core::run_scheme(game, options.scheme, options.scheme_options);
-  result.properties = core::verify_properties(game, result.mechanism,
-                                              options.scheme != core::Scheme::kTos);
+  {
+    TFL_SPAN("session.solve");
+    result.mechanism = core::run_scheme(game, options.scheme, options.scheme_options);
+    result.properties = core::verify_properties(game, result.mechanism,
+                                                options.scheme != core::Scheme::kTos);
+  }
   const game::StrategyProfile& profile = result.mechanism.solution.profile;
 
   // ---- 2. Optional FedAvg training with the equilibrium fractions. ----
   if (options.run_training) {
+    TFL_SPAN("session.train");
     const fl::DatasetSpec concept_spec =
         fl::DatasetSpec::builtin(options.dataset, options.seed);
     std::vector<fl::Dataset> locals;
@@ -117,6 +123,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   }
 
   // ---- 6. Settle (Fig. 3 step 3). ----
+  TFL_SPAN("session.settle");
   web3.call_or_throw(org_address(0), result.contract_address, "payoffCalculate");
   result.settlements_wei.resize(n);
   for (game::OrgId i = 0; i < n; ++i) {

@@ -18,6 +18,8 @@ class LoggingTest : public ::testing::Test {
   void TearDown() override {
     reset_log_sink();
     set_log_level(LogLevel::kWarn);
+    set_log_timestamps(false);
+    set_log_thread_ids(false);
   }
   std::vector<std::pair<LogLevel, std::string>> captured_;
 };
@@ -42,6 +44,82 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   set_log_level(LogLevel::kOff);
   TFL_ERROR << "nope";
   EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, TimestampPrefix) {
+  set_log_timestamps(true);
+  TFL_INFO << "stamped";
+  ASSERT_EQ(captured_.size(), 1u);
+  // "[+<seconds>s] stamped" with three decimals.
+  const std::string& line = captured_[0].second;
+  EXPECT_EQ(line.substr(0, 2), "[+");
+  const auto close = line.find("s] ");
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(line.substr(close + 3), "stamped");
+  const std::string seconds = line.substr(2, close - 2);
+  EXPECT_NE(seconds.find('.'), std::string::npos);
+  EXPECT_GE(std::stod(seconds), 0.0);
+}
+
+TEST_F(LoggingTest, ThreadIdPrefix) {
+  set_log_thread_ids(true);
+  TFL_INFO << "tagged";
+  ASSERT_EQ(captured_.size(), 1u);
+  const std::string& line = captured_[0].second;
+  ASSERT_EQ(line.substr(0, 2), "[t");
+  const auto close = line.find("] ");
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(line.substr(close + 2), "tagged");
+  // The index is a small non-negative integer.
+  EXPECT_GE(std::stoi(line.substr(2, close - 2)), 0);
+}
+
+TEST_F(LoggingTest, BothPrefixesComposeInOrder) {
+  set_log_timestamps(true);
+  set_log_thread_ids(true);
+  TFL_WARN << "x";
+  ASSERT_EQ(captured_.size(), 1u);
+  const std::string& line = captured_[0].second;
+  EXPECT_EQ(line.substr(0, 2), "[+");
+  EXPECT_NE(line.find("s] [t"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EveryNLogsFirstAndEveryNth) {
+  for (int i = 0; i < 10; ++i) {
+    TFL_LOG_EVERY_N(LogLevel::kInfo, 4) << "tick " << i;
+  }
+  // Occurrences 0, 4, 8 pass.
+  ASSERT_EQ(captured_.size(), 3u);
+  EXPECT_EQ(captured_[0].second, "tick 0");
+  EXPECT_EQ(captured_[1].second, "tick 4");
+  EXPECT_EQ(captured_[2].second, "tick 8");
+}
+
+TEST_F(LoggingTest, EveryNCountsPerCallSite) {
+  for (int i = 0; i < 3; ++i) {
+    TFL_LOG_EVERY_N(LogLevel::kInfo, 100) << "site a " << i;
+    TFL_LOG_EVERY_N(LogLevel::kInfo, 100) << "site b " << i;
+  }
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "site a 0");
+  EXPECT_EQ(captured_[1].second, "site b 0");
+}
+
+TEST_F(LoggingTest, EveryNStillRespectsLevel) {
+  set_log_level(LogLevel::kError);
+  for (int i = 0; i < 5; ++i) {
+    TFL_LOG_EVERY_N(LogLevel::kDebug, 1) << "suppressed";
+  }
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, EveryNIsSafeInUnbracedIf) {
+  for (int i = 0; i < 2; ++i) {
+    if (i == 1)
+      TFL_LOG_EVERY_N(LogLevel::kInfo, 1) << "branch " << i;
+  }
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "branch 1");
 }
 
 TEST(LogLevelName, AllNamed) {

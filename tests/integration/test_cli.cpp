@@ -6,11 +6,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace tradefl::cli {
 namespace {
 
 TEST(CliParse, AcceptsKnownCommands) {
-  for (const char* command : {"solve", "compare", "sweep", "session", "chain", "help"}) {
+  for (const char* command :
+       {"solve", "compare", "sweep", "metrics", "session", "chain", "help"}) {
     const auto invocation = parse({command});
     ASSERT_TRUE(invocation.ok()) << command;
     EXPECT_EQ(invocation.value().command, command);
@@ -127,6 +130,66 @@ TEST(CliRun, MissingGameFileFails) {
   EXPECT_THROW(run(parse({"solve", "file=/nonexistent/game.cfg"}).value(), out),
                std::runtime_error);
 }
+
+#if TRADEFL_ENABLE_TRACING
+TEST(CliRun, MetricsCommandPrintsSolverTelemetry) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"metrics", "orgs=4", "seed=3", "scheme=cgbd"}).value(), out), 0);
+  // CGBD drives the barrier solver, so the Newton counters must show up.
+  EXPECT_NE(out.str().find("solver.newton.iterations"), std::string::npos);
+  EXPECT_NE(out.str().find("cgbd.iterations"), std::string::npos);
+  EXPECT_NE(out.str().find("solver.potential.trajectory"), std::string::npos);
+  EXPECT_FALSE(obs::enabled());  // the CLI turns observation back off after the run
+}
+
+TEST(CliRun, MetricsFlagAugmentsAnyCommand) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"solve", "orgs=4", "seed=3", "scheme=dbr", "metrics=1"}).value(), out),
+            0);
+  EXPECT_NE(out.str().find("dbr.rounds.count"), std::string::npos);
+}
+
+TEST(CliRun, MetricsJsonAndTraceFilesAreWritten) {
+  const std::string json_path = testing::TempDir() + "/tradefl_cli_metrics.json";
+  const std::string trace_path = testing::TempDir() + "/tradefl_cli_trace.json";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"metrics", "orgs=4", "seed=3", "scheme=cgbd",
+                       "metrics_json=" + json_path, "trace=" + trace_path})
+                    .value(),
+                out),
+            0);
+  std::ifstream json_file(json_path);
+  ASSERT_TRUE(json_file.good());
+  std::stringstream json;
+  json << json_file.rdbuf();
+  EXPECT_NE(json.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.str().find("solver.newton.iterations"), std::string::npos);
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.good());
+  std::stringstream trace;
+  trace << trace_file.rdbuf();
+  EXPECT_EQ(trace.str().rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(trace.str().find("\"cgbd.solve\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(CliRun, UnwritableMetricsJsonFails) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"metrics", "orgs=4", "seed=3",
+                       "metrics_json=/nonexistent/dir/metrics.json"})
+                    .value(),
+                out),
+            1);
+}
+#else
+TEST(CliRun, MetricsCommandStillRunsWithTracingCompiledOut) {
+  // With the compile gate off the solver runs normally; only the runtime
+  // series recorded by append_iteration remain available.
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"metrics", "orgs=4", "seed=3", "scheme=cgbd"}).value(), out), 0);
+  EXPECT_NE(out.str().find("solver.potential.trajectory"), std::string::npos);
+}
+#endif
 
 }  // namespace
 }  // namespace tradefl::cli

@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tradefl::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter("c");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Counter, ResetZeroes) {
+  Counter counter("c");
+  counter.add(7);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge gauge("g");
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram("h", {}), std::invalid_argument);
+  EXPECT_THROW(Histogram("h", {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram("h", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketEdgesUseLessOrEqualSemantics) {
+  Histogram histogram("h", {1.0, 2.0, 5.0});
+  histogram.observe(0.5);  // <= 1.0
+  histogram.observe(1.0);  // exactly on the edge: still the 1.0 bucket
+  histogram.observe(1.5);  // <= 2.0
+  histogram.observe(5.0);  // exactly on the last finite edge
+  histogram.observe(7.0);  // overflow -> +Inf bucket
+  const Histogram::Snapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 finite bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 15.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST(Histogram, EmptySnapshotReportsZeroMinMax) {
+  Histogram histogram("h", {1.0});
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST(Histogram, ResetClearsCountsButKeepsBounds) {
+  Histogram histogram("h", {1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.reset();
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{0, 0, 0}));
+  EXPECT_EQ(snap.upper_bounds, (std::vector<double>{1.0, 2.0}));
+  histogram.observe(10.0);
+  EXPECT_DOUBLE_EQ(histogram.snapshot().min, 10.0);  // reset restored +inf seed
+}
+
+TEST(Series, AppendsUpToCapacityAndCountsOverflow) {
+  Series series("s", 4);
+  for (int i = 0; i < 6; ++i) series.append(static_cast<double>(i));
+  EXPECT_EQ(series.values(), (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+  EXPECT_EQ(series.total_appends(), 6u);
+  series.reset();
+  EXPECT_TRUE(series.values().empty());
+  EXPECT_EQ(series.total_appends(), 0u);
+}
+
+TEST(Registry, SameNameReturnsSameObject) {
+  MetricsRegistry registry;
+  EXPECT_EQ(&registry.counter("a"), &registry.counter("a"));
+  EXPECT_NE(&registry.counter("a"), &registry.counter("b"));
+  EXPECT_EQ(&registry.gauge("a"), &registry.gauge("a"));
+  EXPECT_EQ(&registry.series("a"), &registry.series("a"));
+}
+
+TEST(Registry, FirstHistogramRegistrationFixesBounds) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h", {1.0, 2.0});
+  Histogram& again = registry.histogram("h", {99.0});
+  EXPECT_EQ(&histogram, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, EmptyBoundsSelectDefaultLatencyBounds) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.histogram("h").bounds(), default_latency_bounds());
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrationsAndAddresses) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  counter.add(3);
+  registry.series("s").append(1.0);
+  registry.reset();
+  EXPECT_EQ(&registry.counter("c"), &counter);  // cached references stay valid
+  EXPECT_EQ(counter.value(), 0u);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_NE(snap.find_counter("c"), nullptr);  // still registered
+  ASSERT_NE(snap.find_series("s"), nullptr);
+  EXPECT_TRUE(snap.find_series("s")->values.empty());
+}
+
+TEST(Snapshot, FindHelpersAndDeterministicOrder) {
+  MetricsRegistry registry;
+  registry.counter("z.second").add(2);
+  registry.counter("a.first").add(1);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");  // sorted by name
+  EXPECT_EQ(snap.counters[1].name, "z.second");
+  ASSERT_NE(snap.find_counter("a.first"), nullptr);
+  EXPECT_EQ(snap.find_counter("a.first")->value, 1u);
+  EXPECT_EQ(snap.find_counter("missing"), nullptr);
+  EXPECT_EQ(snap.find_gauge("missing"), nullptr);
+  EXPECT_EQ(snap.find_histogram("missing"), nullptr);
+  EXPECT_EQ(snap.find_series("missing"), nullptr);
+}
+
+TEST(Snapshot, EmptyReportsEmpty) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.snapshot().empty());
+  registry.counter("c");
+  EXPECT_FALSE(registry.snapshot().empty());
+}
+
+TEST(Snapshot, ToJsonCarriesEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("solver.newton.iterations").add(12);
+  registry.gauge("solver.gap").set(0.25);
+  registry.histogram("chain.call.seconds", {0.5, 1.0}).observe(0.75);
+  registry.series("fl.accuracy.trajectory").append(0.5);
+  registry.series("fl.accuracy.trajectory").append(0.625);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"solver.newton.iterations\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"solver.gap\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 0.5, \"count\": 0}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 1, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 0}"), std::string::npos);
+  EXPECT_NE(json.find("\"fl.accuracy.trajectory\": [0.5, 0.625]"), std::string::npos);
+}
+
+TEST(Snapshot, ToJsonTurnsNonFiniteIntoNull) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(std::nan(""));
+  EXPECT_NE(registry.snapshot().to_json().find("\"g\": null"), std::string::npos);
+}
+
+TEST(Snapshot, ToTableListsOneRowPerMetric) {
+  MetricsRegistry registry;
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h", {1.0}).observe(0.5);
+  registry.series("s").append(2.0);
+  const std::string table = registry.snapshot().to_table();
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+  EXPECT_NE(table.find("(mean)"), std::string::npos);
+  EXPECT_NE(table.find("(last)"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Histogram& histogram = registry.histogram("h", {0.5});
+  Gauge& gauge = registry.gauge("g");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram, &gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.observe(1.0);
+        gauge.set(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+}
+
+TEST(Enabled, RuntimeToggleRoundTrips) {
+  const bool before = enabled();
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(before);
+}
+
+TEST(GlobalRegistry, IsAProcessSingleton) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+}  // namespace
+}  // namespace tradefl::obs

@@ -1,0 +1,70 @@
+// Compiled with TRADEFL_ENABLE_TRACING=0 (forced in tests/CMakeLists.txt) no
+// matter how the enclosing build is configured: regression-proves that a
+// fully disabled build records no metric, no span, and never evaluates the
+// macro operands — the guarantee behind "byte-identical solver results".
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+static_assert(TRADEFL_ENABLE_TRACING == 0,
+              "this test must be compiled with the tracing gate off");
+
+namespace tradefl::obs {
+namespace {
+
+class ObsDisabledTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics().reset();
+    trace().reset();
+    set_enabled(true);  // even the runtime switch must not matter
+  }
+  void TearDown() override {
+    set_enabled(false);
+    metrics().reset();
+    trace().reset();
+  }
+};
+
+TEST_F(ObsDisabledTest, MacrosRegisterAndRecordNothing) {
+  TFL_COUNTER_INC("disabled.counter");
+  TFL_COUNTER_ADD("disabled.counter", 5);
+  TFL_GAUGE_SET("disabled.gauge", 1.25);
+  TFL_OBSERVE("disabled.latency", 0.5);
+  TFL_OBSERVE_BUCKETS("disabled.buckets", 0.5, 1.0, 2.0);
+  TFL_SERIES_APPEND("disabled.series", 3.0);
+  {
+    TFL_SPAN("disabled.span");
+    TFL_SCOPED_TIMER("disabled.timer");
+  }
+  const MetricsSnapshot snap = metrics().snapshot();
+  EXPECT_EQ(snap.find_counter("disabled.counter"), nullptr);
+  EXPECT_EQ(snap.find_gauge("disabled.gauge"), nullptr);
+  EXPECT_EQ(snap.find_histogram("disabled.latency"), nullptr);
+  EXPECT_EQ(snap.find_histogram("disabled.buckets"), nullptr);
+  EXPECT_EQ(snap.find_histogram("disabled.timer"), nullptr);
+  EXPECT_EQ(snap.find_series("disabled.series"), nullptr);
+  EXPECT_TRUE(trace().events().empty());
+}
+
+TEST_F(ObsDisabledTest, OperandsAreParsedButNeverEvaluated) {
+  int calls = 0;
+  const auto touch = [&calls] {
+    ++calls;
+    return 1;
+  };
+  TFL_COUNTER_ADD("disabled.counter", touch());
+  TFL_GAUGE_SET("disabled.gauge", touch());
+  TFL_OBSERVE("disabled.latency", touch());
+  TFL_SERIES_APPEND("disabled.series", touch());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ObsDisabledTest, ObsOnlyCompilesToNothing) {
+  int value = 0;
+  TFL_OBS_ONLY(value = 1;)
+  EXPECT_EQ(value, 0);
+}
+
+}  // namespace
+}  // namespace tradefl::obs

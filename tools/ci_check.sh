@@ -4,7 +4,9 @@
 #
 #   1. configure + build with warnings-as-errors
 #   2. ctest (unit/integration suites plus the tfl-lint tree scan & self-test)
-#   3. ASan+UBSan build of the same suite, zero reports tolerated
+#   3. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
+#      instrumentation macros compile away cleanly
+#   4. ASan+UBSan build of the same suite, zero reports tolerated
 #
 # Usage: tools/ci_check.sh [--no-sanitizers]
 set -euo pipefail
@@ -29,6 +31,13 @@ cmake --build build -j "$jobs"
 
 echo "=== ci: ctest ==="
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "=== ci: tracing-off build ==="
+cmake -B build-notrace -S . -DTRADEFL_WARNINGS_AS_ERRORS=ON \
+      -DTRADEFL_ENABLE_TRACING=OFF -DTRADEFL_BUILD_BENCH=OFF \
+      -DTRADEFL_BUILD_EXAMPLES=OFF
+cmake --build build-notrace -j "$jobs"
+ctest --test-dir build-notrace --output-on-failure -j "$jobs"
 
 if [ "$run_sanitizers" -eq 1 ]; then
   echo "=== ci: sanitizer pass ==="

@@ -17,9 +17,13 @@
 //   missing-override  a `virtual`-declared member function (other than a
 //                     destructor) inside a class that has a base clause and
 //                     no `override`/`final` on the declaration
+//   raw-steady-clock  `std::chrono::steady_clock` outside src/obs/ and
+//                     src/common/stopwatch.h (timing must flow through
+//                     tradefl::Stopwatch or the obs layer so instrumentation
+//                     stays consistent)
 //   include-layering  `#include "module/..."` edges that violate the layer
-//                     graph (common < math < game < {core, fl}; chain sits on
-//                     common only; tradefl/ may include everything)
+//                     graph (common < obs < math < game < {core, fl}; chain
+//                     sits on common+obs only; tradefl/ may include everything)
 //
 // The matcher works on comment- and string-stripped text, so banned words in
 // comments or log messages do not trip it. Justified exceptions live in
@@ -190,6 +194,11 @@ bool path_in(const std::string& path, const std::string& dir_fragment) {
   return path.find(dir_fragment) != std::string::npos;
 }
 
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 void check_raw_new_delete(const std::string& path, const std::vector<std::string>& lines,
                           std::vector<Finding>& findings) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -320,6 +329,21 @@ void check_float_equality(const std::string& path, const std::vector<std::string
   }
 }
 
+void check_raw_steady_clock(const std::string& path, const std::vector<std::string>& lines,
+                            std::vector<Finding>& findings) {
+  // The obs layer and the Stopwatch wrapper are the only sanctioned clock
+  // readers; everything else must time through them so instrumented and
+  // un-instrumented builds agree on where time is measured.
+  if (path_in(path, "src/obs/") || path_ends_with(path, "src/common/stopwatch.h")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (contains_token(lines[i], "steady_clock")) {
+      findings.push_back({path, i + 1, "raw-steady-clock",
+                          "raw std::chrono::steady_clock — use tradefl::Stopwatch or "
+                          "obs::trace_now_us() instead"});
+    }
+  }
+}
+
 void check_missing_override(const std::string& path, const std::vector<std::string>& lines,
                             std::vector<Finding>& findings) {
   // Track class scopes and whether each has a base clause. One entry per open
@@ -376,12 +400,13 @@ void check_include_layering(const std::string& path, const std::vector<std::stri
                             std::vector<Finding>& findings) {
   static const std::map<std::string, std::set<std::string>> kAllowed = {
       {"common", {"common"}},
-      {"math", {"math", "common"}},
-      {"game", {"game", "math", "common"}},
-      {"core", {"core", "game", "math", "common"}},
-      {"fl", {"fl", "game", "common"}},
-      {"chain", {"chain", "common"}},
-      {"tradefl", {"tradefl", "core", "game", "fl", "chain", "math", "common"}},
+      {"obs", {"obs", "common"}},
+      {"math", {"math", "obs", "common"}},
+      {"game", {"game", "math", "obs", "common"}},
+      {"core", {"core", "game", "math", "obs", "common"}},
+      {"fl", {"fl", "game", "obs", "common"}},
+      {"chain", {"chain", "obs", "common"}},
+      {"tradefl", {"tradefl", "core", "game", "fl", "chain", "math", "obs", "common"}},
   };
   const std::string module = module_of(path);
   if (module.empty()) return;
@@ -399,8 +424,8 @@ void check_include_layering(const std::string& path, const std::vector<std::stri
     if (allowed == kAllowed.end() || allowed->second.count(target) == 0) {
       findings.push_back({path, i + 1, "include-layering",
                           "src/" + module + "/ must not include src/" + target +
-                              "/ (layer graph: common < math < game < {core, fl}; "
-                              "chain < common)"});
+                              "/ (layer graph: common < obs < math < game < {core, fl}; "
+                              "chain < obs < common)"});
     }
   }
 }
@@ -417,6 +442,7 @@ void scan_content(const std::string& path, const std::string& content,
   check_banned_random(path, lines, findings);
   check_unordered_in_chain(path, lines, findings);
   check_float_equality(path, lines, findings);
+  check_raw_steady_clock(path, lines, findings);
   check_missing_override(path, lines, findings);
   check_include_layering(path, raw_lines, findings);
 }
@@ -504,6 +530,15 @@ int run_self_test() {
        "#include \"fl/tensor.h\"\n"
        "#include \"math/vec.h\"\n",
        {"include-layering"}},
+      {"src/core/fixture_clock.cpp",
+       "#include <chrono>\n"
+       "auto f() { return std::chrono::steady_clock::now(); }\n",
+       {"raw-steady-clock"}},
+      // The obs layer itself may read the clock directly.
+      {"src/obs/fixture_clock_ok.cpp",
+       "#include <chrono>\n"
+       "auto f() { return std::chrono::steady_clock::now(); }\n",
+       {}},
       // Clean file: banned words only in comments/strings, tolerance compare,
       // override used properly, allowed include edge. Must produce no findings.
       {"src/game/fixture_clean.cpp",
@@ -550,6 +585,7 @@ void list_rules() {
             << "banned-random      rand()/srand()/std::default_random_engine (src/, tests/)\n"
             << "unordered-in-chain unordered containers in src/chain/ (consensus order)\n"
             << "float-equality     ==/!= against float literals in src/game/, src/core/\n"
+            << "raw-steady-clock   std::chrono::steady_clock outside src/obs/ and stopwatch.h\n"
             << "missing-override   virtual redecl without override in derived classes\n"
             << "include-layering   module include edges outside the layer graph (src/)\n";
 }
