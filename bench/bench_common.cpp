@@ -1,10 +1,12 @@
 #include "bench_common.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
@@ -24,6 +26,10 @@ Config parse_args(int argc, char** argv) {
     std::cerr << "bad arguments: " << parsed.error().to_string() << "\n";
     return Config{};
   }
+  // threads=N sizes the shared pool; being a config entry, the value lands in
+  // the run manifest automatically.
+  const std::int64_t threads = parsed.value().get_int("threads", 1);
+  set_global_threads(threads < 1 ? 1 : static_cast<std::size_t>(threads));
   return parsed.value();
 }
 

@@ -101,8 +101,26 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return indices;
 }
 
+void Rng::shuffle(std::vector<std::size_t>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
 Rng Rng::split() {
   return Rng(next_u64() ^ 0xD2B74407B1CE6E93ULL);
+}
+
+std::uint64_t Rng::derive_stream_seed(std::uint64_t base_seed, std::uint64_t stream_id) {
+  // Two splitmix64 steps keyed by (base, stream): the first decorrelates the
+  // base seed, the second folds in the stream id, so neighbouring stream ids
+  // (client 0, 1, 2, ...) land far apart in seed space.
+  std::uint64_t x = base_seed;
+  std::uint64_t mixed = splitmix64(x);
+  x = mixed ^ (stream_id * 0x9E3779B97F4A7C15ULL + 0xD2B74407B1CE6E93ULL);
+  return splitmix64(x);
 }
 
 }  // namespace tradefl

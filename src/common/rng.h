@@ -51,9 +51,20 @@ class Rng {
   /// Fisher–Yates shuffle of indices [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 
+  /// In-place Fisher–Yates shuffle of an existing index vector (the
+  /// allocation-free counterpart of permutation()).
+  void shuffle(std::vector<std::size_t>& items);
+
   /// Splits off an independently seeded child stream; used to give each
   /// organization / client its own stream without coupling draw order.
   Rng split();
+
+  /// Derives a child seed for stream `stream_id` of `base_seed`, statelessly:
+  /// unlike split(), the result does not depend on how many draws the parent
+  /// has made. This is how parallel FedAvg gives client c its own shuffle
+  /// stream (derive_stream_seed(shuffle_seed, c)) so the schedule of every
+  /// client is independent of thread interleaving and client count.
+  static std::uint64_t derive_stream_seed(std::uint64_t base_seed, std::uint64_t stream_id);
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/iteration_trace.h"
 #include "game/potential.h"
@@ -193,28 +194,88 @@ bool GbdSolver::solve_master(const std::vector<OptimalityCut>& optimality_cuts,
   const std::size_t n = game_.size();
   std::vector<std::size_t> radices(n);
   for (OrgId i = 0; i < n; ++i) radices[i] = game_.org(i).freq_levels.size();
-
-  bool found = false;
   best_bound = -std::numeric_limits<double>::infinity();
-  tuples_visited = math::enumerate_cartesian(radices, [&](const std::vector<std::size_t>& f) {
-    for (const FeasibilityCut& cut : feasibility_cuts) {
-      if (cut.slack_by_level[f[cut.org]] > 0.0) return true;  // pruned, keep going
+  tuples_visited = 0;
+  if (math::cartesian_size(radices) == 0) return false;  // an org with no levels
+
+  ThreadPool* pool = global_pool();
+  const std::size_t workers = pool == nullptr ? 1 : pool->size();
+  TFL_GAUGE_SET("parallel.pool.size", workers);
+
+  // Split the mixed-radix grid by fixing suffix digits [split, n): each chunk
+  // enumerates the leading digits [0, split) with the suffix held constant.
+  // enumerate_cartesian increments digit 0 fastest, so increasing chunk index
+  // walks suffixes in exactly the serial visiting order — folding chunks in
+  // index order with a strict `>` reproduces the serial first-max tuple bit
+  // for bit. The chunk grid depends only on the problem and worker count
+  // target, never on scheduling.
+  std::size_t split = n;
+  std::size_t chunks = 1;
+  if (pool != nullptr) {
+    const std::size_t target = 4 * workers;
+    while (split > 0 && chunks < target) {
+      --split;
+      chunks *= radices[split];
     }
-    double envelope = std::numeric_limits<double>::infinity();
-    for (const OptimalityCut& cut : optimality_cuts) {
-      double value = cut.base;
-      for (std::size_t i = 0; i < n; ++i) value += cut.per_level[i][f[i]];
-      envelope = std::min(envelope, value);
-      if (envelope <= best_bound) break;  // cannot beat the incumbent tuple
+  }
+  TFL_GAUGE_SET("parallel.queue.depth", pool == nullptr ? 0 : chunks);
+
+  const std::vector<std::size_t> lead_radices(radices.begin(),
+                                              radices.begin() + static_cast<std::ptrdiff_t>(split));
+
+  struct ChunkBest {
+    bool found = false;
+    double bound = -std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> tuple;
+    std::uint64_t visited = 0;
+  };
+
+  const auto scan_chunk = [&](std::size_t chunk, std::size_t) {
+    ChunkBest local;
+    std::vector<std::size_t> f(n, 0);
+    // Decode the fixed suffix digits of this chunk (digit `split` varies
+    // fastest across chunks, mirroring the serial mixed-radix order).
+    std::size_t remainder = chunk;
+    for (std::size_t j = split; j < n; ++j) {
+      f[j] = remainder % radices[j];
+      remainder /= radices[j];
     }
-    if (envelope > best_bound) {
-      best_bound = envelope;
-      best_tuple = f;
-      found = true;
-    }
-    return true;
-  });
-  return found;
+    local.visited = math::enumerate_cartesian(lead_radices, [&](const std::vector<std::size_t>& lead) {
+      for (std::size_t i = 0; i < split; ++i) f[i] = lead[i];
+      for (const FeasibilityCut& cut : feasibility_cuts) {
+        if (cut.slack_by_level[f[cut.org]] > 0.0) return true;  // pruned, keep going
+      }
+      double envelope = std::numeric_limits<double>::infinity();
+      for (const OptimalityCut& cut : optimality_cuts) {
+        double value = cut.base;
+        for (std::size_t i = 0; i < n; ++i) value += cut.per_level[i][f[i]];
+        envelope = std::min(envelope, value);
+        if (envelope <= local.bound) break;  // cannot beat the incumbent tuple
+      }
+      if (envelope > local.bound) {
+        local.bound = envelope;
+        local.tuple = f;
+        local.found = true;
+      }
+      return true;
+    });
+    return local;
+  };
+
+  const ChunkBest best = ordered_reduce<ChunkBest>(
+      pool, chunks, ChunkBest{}, scan_chunk, [](ChunkBest& acc, ChunkBest&& value) {
+        acc.visited += value.visited;
+        if (value.found && value.bound > acc.bound) {
+          acc.bound = value.bound;
+          acc.tuple = std::move(value.tuple);
+          acc.found = true;
+        }
+      });
+
+  tuples_visited = best.visited;
+  best_bound = best.bound;
+  if (best.found) best_tuple = best.tuple;
+  return best.found;
 }
 
 Solution GbdSolver::solve() {

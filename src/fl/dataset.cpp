@@ -162,9 +162,13 @@ Dataset::Dataset(DatasetSpec spec, std::size_t samples) : spec_(spec) {
 }
 
 Tensor Dataset::batch(const std::vector<std::size_t>& indices) const {
-  if (indices.empty()) throw std::invalid_argument("dataset: empty batch");
-  Tensor out({indices.size(), spec_.channels, spec_.height, spec_.width});
-  for (std::size_t b = 0; b < indices.size(); ++b) {
+  return batch_span(indices.data(), indices.size());
+}
+
+Tensor Dataset::batch_span(const std::size_t* indices, std::size_t count) const {
+  if (count == 0) throw std::invalid_argument("dataset: empty batch");
+  Tensor out({count, spec_.channels, spec_.height, spec_.width});
+  for (std::size_t b = 0; b < count; ++b) {
     const std::size_t index = indices[b];
     if (index >= size()) throw std::out_of_range("dataset: sample index out of range");
     const float* src = images_.data() + index * image_elements_;
@@ -172,6 +176,25 @@ Tensor Dataset::batch(const std::vector<std::size_t>& indices) const {
     std::copy(src, src + image_elements_, dst);
   }
   return out;
+}
+
+Tensor Dataset::batch_range(std::size_t start, std::size_t count) const {
+  if (count == 0) throw std::invalid_argument("dataset: empty batch");
+  if (start + count > size()) throw std::out_of_range("dataset: batch range out of range");
+  Tensor out({count, spec_.channels, spec_.height, spec_.width});
+  const float* src = images_.data() + start * image_elements_;
+  std::copy(src, src + count * image_elements_, out.data());
+  return out;
+}
+
+void Dataset::batch_labels_into(const std::size_t* indices, std::size_t count,
+                                std::vector<std::size_t>& out) const {
+  out.resize(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t index = indices[b];
+    if (index >= size()) throw std::out_of_range("dataset: label index out of range");
+    out[b] = labels_[index];
+  }
 }
 
 std::vector<std::size_t> Dataset::batch_labels(const std::vector<std::size_t>& indices) const {

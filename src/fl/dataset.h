@@ -76,7 +76,24 @@ class Dataset {
   [[nodiscard]] std::vector<std::size_t> batch_labels(
       const std::vector<std::size_t>& indices) const;
 
+  /// Pointer-span variant of batch(): `count` indices starting at `indices`.
+  /// Lets training loops slice a shuffled epoch order without materializing a
+  /// per-batch index vector.
+  [[nodiscard]] Tensor batch_span(const std::size_t* indices, std::size_t count) const;
+
+  /// One contiguous memcpy: samples [start, start + count) in storage order —
+  /// the evaluation fast path (no index vector, no per-sample copies).
+  [[nodiscard]] Tensor batch_range(std::size_t start, std::size_t count) const;
+
+  /// Fills `out` (resized to `count`) with the labels of an index span;
+  /// reuses the caller's buffer across batches.
+  void batch_labels_into(const std::size_t* indices, std::size_t count,
+                         std::vector<std::size_t>& out) const;
+
   [[nodiscard]] std::size_t label(std::size_t index) const { return labels_.at(index); }
+
+  /// All labels in storage order (pairs with batch_range()).
+  [[nodiscard]] const std::vector<std::size_t>& labels() const { return labels_; }
 
   /// Per-class sample counts (distribution sanity checks).
   [[nodiscard]] std::vector<std::size_t> class_histogram() const;

@@ -23,18 +23,22 @@ struct PendingUpdate {
 void train_once(Net& net, const Dataset& data, const std::vector<std::size_t>& subset,
                 const FedAsyncOptions& options, Rng& shuffle_rng) {
   Sgd optimizer(options.sgd);
+  // Shuffled order and label buffers are reused across epochs/batches rather
+  // than rebuilt per batch (same churn fix as fedavg's train_local).
+  std::vector<std::size_t> shuffled = subset;
+  std::vector<std::size_t> labels;
   for (std::size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
-    const std::vector<std::size_t> shuffle = shuffle_rng.permutation(subset.size());
+    shuffle_rng.shuffle(shuffled);
     std::size_t batches = 0;
-    for (std::size_t start = 0; start < subset.size(); start += options.batch_size) {
+    for (std::size_t start = 0; start < shuffled.size(); start += options.batch_size) {
       if (options.max_batches_per_epoch > 0 && batches >= options.max_batches_per_epoch) break;
-      const std::size_t end = std::min(subset.size(), start + options.batch_size);
-      std::vector<std::size_t> indices;
-      indices.reserve(end - start);
-      for (std::size_t k = start; k < end; ++k) indices.push_back(subset[shuffle[k]]);
+      const std::size_t end = std::min(shuffled.size(), start + options.batch_size);
+      const std::size_t count = end - start;
       net.zero_grad();
-      const Tensor logits = net.forward(data.batch(indices), /*training=*/true);
-      const LossResult loss = softmax_cross_entropy(logits, data.batch_labels(indices));
+      const Tensor logits =
+          net.forward(data.batch_span(shuffled.data() + start, count), /*training=*/true);
+      data.batch_labels_into(shuffled.data() + start, count, labels);
+      const LossResult loss = softmax_cross_entropy(logits, labels.data(), count);
       net.backward(loss.grad);
       optimizer.step(net.parameters());
       ++batches;

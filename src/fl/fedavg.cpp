@@ -4,47 +4,61 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "fl/loss.h"
 #include "obs/obs.h"
 
 namespace tradefl::fl {
 
 EvalResult evaluate(Net& net, const Dataset& data, std::size_t batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("evaluate: batch_size must be >= 1");
   EvalResult result;
-  std::size_t correct = 0;
+  // Batches are independent eval forwards (the layers write no state when
+  // training == false), so they fan out over the pool; per-batch results land
+  // in indexed slots and are folded serially in batch order, keeping the
+  // float summation identical at any thread count.
+  const std::size_t batches = chunk_count(data.size(), batch_size);
+  std::vector<double> batch_loss(batches, 0.0);
+  std::vector<std::size_t> batch_correct(batches, 0);
+  ThreadPool* pool = global_pool();
+  TFL_GAUGE_SET("parallel.queue.depth", pool == nullptr ? 0 : batches);
+  run_chunks(pool, batches, [&](std::size_t b, std::size_t) {
+    const std::size_t start = b * batch_size;
+    const std::size_t count = std::min(data.size() - start, batch_size);
+    const Tensor logits = net.forward(data.batch_range(start, count), /*training=*/false);
+    const LossResult loss = softmax_cross_entropy(logits, data.labels().data() + start, count);
+    batch_loss[b] = loss.mean_loss * static_cast<double>(count);
+    batch_correct[b] = loss.correct;
+  });
   double loss_sum = 0.0;
-  std::size_t counted = 0;
-  for (std::size_t start = 0; start < data.size(); start += batch_size) {
-    const std::size_t end = std::min(data.size(), start + batch_size);
-    std::vector<std::size_t> indices;
-    indices.reserve(end - start);
-    for (std::size_t i = start; i < end; ++i) indices.push_back(i);
-    const Tensor logits = net.forward(data.batch(indices), /*training=*/false);
-    const LossResult loss = softmax_cross_entropy(logits, data.batch_labels(indices));
-    loss_sum += loss.mean_loss * static_cast<double>(indices.size());
-    correct += loss.correct;
-    counted += indices.size();
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    loss_sum += batch_loss[b];
+    correct += batch_correct[b];
   }
-  result.loss = loss_sum / static_cast<double>(counted);
-  result.accuracy = static_cast<double>(correct) / static_cast<double>(counted);
+  result.loss = loss_sum / static_cast<double>(data.size());
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
   return result;
 }
 
 namespace {
 
 /// Trains `net` (already loaded with the global weights) on the client's
-/// contributed subset; returns the mean batch loss observed.
+/// contributed subset; returns the mean batch loss observed. `shuffle_rng`
+/// is the client's private stream, so local schedules are independent of how
+/// clients interleave across threads.
 double train_local(Net& net, const Dataset& data, const std::vector<std::size_t>& contributed,
                    const FedAvgOptions& options, Rng& shuffle_rng) {
   Sgd optimizer(options.sgd);
   double loss_sum = 0.0;
   std::size_t batches = 0;
+  // Epoch order and label buffers are reused across epochs/batches: the seed
+  // rebuilt three vectors per epoch plus one per batch, which dominated the
+  // allocator profile of small-model rounds.
+  std::vector<std::size_t> shuffled = contributed;
+  std::vector<std::size_t> labels;
   for (std::size_t epoch = 0; epoch < options.local_epochs; ++epoch) {
-    // Epoch-local shuffle of the contributed subset.
-    std::vector<std::size_t> order = contributed;
-    const std::vector<std::size_t> shuffle = shuffle_rng.permutation(order.size());
-    std::vector<std::size_t> shuffled(order.size());
-    for (std::size_t i = 0; i < order.size(); ++i) shuffled[i] = order[shuffle[i]];
+    shuffle_rng.shuffle(shuffled);
 
     std::size_t epoch_batches = 0;
     for (std::size_t start = 0; start < shuffled.size(); start += options.batch_size) {
@@ -53,11 +67,12 @@ double train_local(Net& net, const Dataset& data, const std::vector<std::size_t>
         break;
       }
       const std::size_t end = std::min(shuffled.size(), start + options.batch_size);
-      std::vector<std::size_t> indices(shuffled.begin() + static_cast<std::ptrdiff_t>(start),
-                                       shuffled.begin() + static_cast<std::ptrdiff_t>(end));
+      const std::size_t count = end - start;
       net.zero_grad();
-      const Tensor logits = net.forward(data.batch(indices), /*training=*/true);
-      const LossResult loss = softmax_cross_entropy(logits, data.batch_labels(indices));
+      const Tensor logits =
+          net.forward(data.batch_span(shuffled.data() + start, count), /*training=*/true);
+      data.batch_labels_into(shuffled.data() + start, count, labels);
+      const LossResult loss = softmax_cross_entropy(logits, labels.data(), count);
       net.backward(loss.grad);
       optimizer.step(net.parameters());
       loss_sum += loss.mean_loss;
@@ -94,38 +109,63 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
 
   Net global = build_model(model_spec);
   std::vector<float> global_weights = global.weights();
-  Net worker = build_model(model_spec);  // reused for every client's local pass
-  Rng shuffle_rng(options.shuffle_seed);
+
+  ThreadPool* pool = global_pool();
+  const std::size_t workers = pool == nullptr ? 1 : pool->size();
+  TFL_GAUGE_SET("parallel.pool.size", workers);
+
+  // One scratch net per pool worker: run_chunks assigns client c to worker
+  // c % workers, so each net is only ever touched by one thread at a time.
+  std::vector<Net> worker_nets;
+  worker_nets.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) worker_nets.push_back(build_model(model_spec));
+
+  // Per-client shuffle streams derived statelessly from the shared seed:
+  // client c's epoch orders depend only on (shuffle_seed, c), never on which
+  // thread ran it or which clients ran before it. Streams persist across
+  // rounds, matching the serial semantics of one long-lived RNG per client.
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(clients.size());
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    client_rngs.emplace_back(Rng::derive_stream_seed(options.shuffle_seed, c));
+  }
 
   for (std::size_t round = 1; round <= options.rounds; ++round) {
     TFL_SPAN("fedavg.round");
-    std::vector<double> aggregate(global_weights.size(), 0.0);
-    double weight_total = 0.0;
-    double train_loss_sum = 0.0;
-    std::size_t participants = 0;
-
-    for (std::size_t c = 0; c < clients.size(); ++c) {
-      if (subsets[c].empty()) continue;
-      worker.set_weights(global_weights);
-      double local_loss = 0.0;
-      {
-        TFL_SCOPED_TIMER("fl.local_train.seconds");
-        local_loss = train_local(worker, *clients[c].data, subsets[c], options, shuffle_rng);
-      }
-      // Aggregation weight per Eq. (3): proportional to contributed samples
-      // d_i |S_i| (normalized below so the weights sum to one).
-      const double weight = static_cast<double>(subsets[c].size());
-      const std::vector<float> local_weights = worker.weights();
-      for (std::size_t i = 0; i < aggregate.size(); ++i) {
-        aggregate[i] += weight * static_cast<double>(local_weights[i]);
-      }
-      weight_total += weight;
-      train_loss_sum += local_loss;
-      ++participants;
-    }
+    std::vector<double> local_losses(clients.size(), 0.0);
+    std::vector<std::vector<float>> local_weights(clients.size());
 
     {
+      TFL_SCOPED_TIMER("fl.local_train.seconds");
+      TFL_GAUGE_SET("parallel.queue.depth", pool == nullptr ? 0 : clients.size());
+      run_chunks(pool, clients.size(), [&](std::size_t c, std::size_t w) {
+        if (subsets[c].empty()) return;
+        Net& net = worker_nets[w];
+        net.set_weights(global_weights);
+        local_losses[c] = train_local(net, *clients[c].data, subsets[c], options, client_rngs[c]);
+        local_weights[c] = net.weights();
+      });
+    }
+
+    double train_loss_sum = 0.0;
+    std::size_t participants = 0;
+    {
       TFL_SCOPED_TIMER("fl.aggregate.seconds");
+      // Aggregation per Eq. (3): weights proportional to contributed samples
+      // d_i |S_i|, folded in fixed client order so the double-precision sums
+      // are bit-identical at any thread count.
+      std::vector<double> aggregate(global_weights.size(), 0.0);
+      double weight_total = 0.0;
+      for (std::size_t c = 0; c < clients.size(); ++c) {
+        if (local_weights[c].empty()) continue;
+        const double weight = static_cast<double>(subsets[c].size());
+        for (std::size_t i = 0; i < aggregate.size(); ++i) {
+          aggregate[i] += weight * static_cast<double>(local_weights[c][i]);
+        }
+        weight_total += weight;
+        train_loss_sum += local_losses[c];
+        ++participants;
+      }
       for (std::size_t i = 0; i < global_weights.size(); ++i) {
         global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
       }

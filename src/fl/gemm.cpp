@@ -1,0 +1,171 @@
+#include "fl/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace tradefl::fl {
+namespace {
+
+std::atomic<KernelBackend> g_backend{KernelBackend::kGemm};
+
+// k-dimension tile: small enough that a B tile (kTileK rows) stays in L1/L2
+// while a chunk of C rows streams over it. Tiles are walked in ascending
+// order, so per-element accumulation order stays the plain ascending-k
+// sequence regardless of tiling or chunking.
+constexpr std::size_t kTileK = 64;
+
+/// Rows-per-chunk for parallelizing an m-row output: aim for ~4 chunks per
+/// worker so static round-robin balances without shrinking chunks to
+/// cache-hostile slivers. Serial callers get one chunk.
+std::size_t row_grain(std::size_t m, ThreadPool* pool) {
+  const std::size_t workers = pool == nullptr ? 1 : pool->size();
+  if (workers <= 1 || m == 0) return m == 0 ? 1 : m;
+  return std::max<std::size_t>(1, (m + workers * 4 - 1) / (workers * 4));
+}
+
+void prepare_rows(float* c, std::size_t ldc, std::size_t lo, std::size_t hi, std::size_t n,
+                  bool accumulate) {
+  if (accumulate) return;
+  for (std::size_t i = lo; i < hi; ++i) std::memset(c + i * ldc, 0, n * sizeof(float));
+}
+
+}  // namespace
+
+void set_kernel_backend(KernelBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+KernelBackend kernel_backend() { return g_backend.load(std::memory_order_relaxed); }
+
+namespace gemm {
+
+void sgemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+              const float* b, std::size_t ldb, bool accumulate, float* c, std::size_t ldc,
+              ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  parallel_for(pool, 0, m, row_grain(m, pool),
+               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 prepare_rows(c, ldc, lo, hi, n, accumulate);
+                 for (std::size_t kb = 0; kb < k; kb += kTileK) {
+                   const std::size_t kend = std::min(k, kb + kTileK);
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     const float* a_row = a + i * lda;
+                     float* c_row = c + i * ldc;
+                     for (std::size_t kk = kb; kk < kend; ++kk) {
+                       const float aik = a_row[kk];
+                       const float* b_row = b + kk * ldb;
+                       for (std::size_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
+                     }
+                   }
+                 }
+               });
+}
+
+void sgemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+              const float* b, std::size_t ldb, bool accumulate, float* c, std::size_t ldc,
+              ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  parallel_for(pool, 0, m, row_grain(m, pool),
+               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   const float* a_row = a + i * lda;
+                   float* c_row = c + i * ldc;
+                   for (std::size_t j = 0; j < n; ++j) {
+                     const float* b_row = b + j * ldb;
+                     // Four-lane dot product: lane partials combine in a fixed
+                     // order, so results never depend on the pool size.
+                     float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+                     std::size_t kk = 0;
+                     for (; kk + 4 <= k; kk += 4) {
+                       acc0 += a_row[kk] * b_row[kk];
+                       acc1 += a_row[kk + 1] * b_row[kk + 1];
+                       acc2 += a_row[kk + 2] * b_row[kk + 2];
+                       acc3 += a_row[kk + 3] * b_row[kk + 3];
+                     }
+                     for (; kk < k; ++kk) acc0 += a_row[kk] * b_row[kk];
+                     const float total = (acc0 + acc1) + (acc2 + acc3);
+                     c_row[j] = accumulate ? c_row[j] + total : total;
+                   }
+                 }
+               });
+}
+
+void sgemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+              const float* b, std::size_t ldb, bool accumulate, float* c, std::size_t ldc,
+              ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  parallel_for(pool, 0, m, row_grain(m, pool),
+               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                 prepare_rows(c, ldc, lo, hi, n, accumulate);
+                 for (std::size_t kk = 0; kk < k; ++kk) {
+                   const float* a_row = a + kk * lda;
+                   const float* b_row = b + kk * ldb;
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     const float aki = a_row[i];
+                     float* c_row = c + i * ldc;
+                     for (std::size_t j = 0; j < n; ++j) c_row[j] += aki * b_row[j];
+                   }
+                 }
+               });
+}
+
+void im2col(const float* image, const ConvGeom& geom, float* col) {
+  const std::size_t plane = geom.in_h * geom.in_w;
+  float* out = col;
+  for (std::size_t c = 0; c < geom.channels; ++c) {
+    const float* channel = image + c * plane;
+    for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < geom.kernel; ++kx) {
+        for (std::size_t oy = 0; oy < geom.out_h; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
+                                    static_cast<std::ptrdiff_t>(geom.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(geom.in_h)) {
+            for (std::size_t ox = 0; ox < geom.out_w; ++ox) *out++ = 0.0f;
+            continue;
+          }
+          const float* in_row = channel + static_cast<std::size_t>(iy) * geom.in_w;
+          for (std::size_t ox = 0; ox < geom.out_w; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * geom.stride + kx) -
+                                      static_cast<std::ptrdiff_t>(geom.pad);
+            *out++ = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(geom.in_w))
+                         ? 0.0f
+                         : in_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const float* col, const ConvGeom& geom, float* image) {
+  const std::size_t plane = geom.in_h * geom.in_w;
+  const float* in = col;
+  for (std::size_t c = 0; c < geom.channels; ++c) {
+    float* channel = image + c * plane;
+    for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < geom.kernel; ++kx) {
+        for (std::size_t oy = 0; oy < geom.out_h; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
+                                    static_cast<std::ptrdiff_t>(geom.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(geom.in_h)) {
+            in += geom.out_w;
+            continue;
+          }
+          float* out_row = channel + static_cast<std::size_t>(iy) * geom.in_w;
+          for (std::size_t ox = 0; ox < geom.out_w; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * geom.stride + kx) -
+                                      static_cast<std::ptrdiff_t>(geom.pad);
+            if (ix >= 0 && ix < static_cast<std::ptrdiff_t>(geom.in_w)) {
+              out_row[static_cast<std::size_t>(ix)] += *in;
+            }
+            ++in;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gemm
+}  // namespace tradefl::fl

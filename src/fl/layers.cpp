@@ -1,9 +1,12 @@
 #include "fl/layers.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "fl/gemm.h"
 
 namespace tradefl::fl {
 namespace {
@@ -17,6 +20,28 @@ Tensor he_init(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng) {
   }
   return tensor;
 }
+
+/// Per-thread im2col scratch: each pool worker (and the main thread) owns its
+/// buffer, so concurrent forwards through the same Conv2D never share state.
+/// Capacity only grows, so steady-state training does no allocation here.
+std::vector<float>& col_scratch(std::size_t elements) {
+  thread_local std::vector<float> buffer;
+  if (buffer.size() < elements) buffer.resize(elements);
+  return buffer;
+}
+
+/// Second buffer for backward passes that need the input patches and the
+/// gradient patches alive at the same time.
+std::vector<float>& col_scratch2(std::size_t elements) {
+  thread_local std::vector<float> buffer;
+  if (buffer.size() < elements) buffer.resize(elements);
+  return buffer;
+}
+
+/// Samples per chunk when reducing weight/bias gradients across the batch.
+/// Fixed (never derived from the pool size) so the partial-sum tree — and
+/// with it every float rounding step — is identical for any thread count.
+constexpr std::size_t kGradChunkSamples = 8;
 
 }  // namespace
 
@@ -36,14 +61,26 @@ Tensor Dense::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   const std::size_t batch = input.dim(0);
   Tensor output({batch, out_features_});
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      float total = bias_.value[o];
-      const float* w_row = weight_.value.data() + o * in_features_;
-      const float* x_row = input.data() + n * in_features_;
-      for (std::size_t k = 0; k < in_features_; ++k) total += w_row[k] * x_row[k];
-      output.at2(n, o) = total;
+  if (kernel_backend() == KernelBackend::kNaive) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t o = 0; o < out_features_; ++o) {
+        float total = bias_.value[o];
+        const float* w_row = weight_.value.data() + o * in_features_;
+        const float* x_row = input.data() + n * in_features_;
+        for (std::size_t k = 0; k < in_features_; ++k) total += w_row[k] * x_row[k];
+        output.at2(n, o) = total;
+      }
     }
+    return output;
+  }
+  // Y = X W^T + b: one contiguous dot per output, rows parallelized.
+  ThreadPool* pool = global_pool();
+  gemm::sgemm_nt(batch, out_features_, in_features_, input.data(), in_features_,
+                 weight_.value.data(), in_features_, /*accumulate=*/false, output.data(),
+                 out_features_, pool);
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* row = output.data() + n * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
   }
   return output;
 }
@@ -55,20 +92,37 @@ Tensor Dense::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Dense: bad grad shape " + grad_output.shape_string());
   }
   Tensor grad_input({batch, in_features_});
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* g_row = grad_output.data() + n * out_features_;
-    const float* x_row = cached_input_.data() + n * in_features_;
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float g = g_row[o];
-      bias_.grad[o] += g;
-      float* w_grad_row = weight_.grad.data() + o * in_features_;
-      const float* w_row = weight_.value.data() + o * in_features_;
-      float* gi_row = grad_input.data() + n * in_features_;
-      for (std::size_t k = 0; k < in_features_; ++k) {
-        w_grad_row[k] += g * x_row[k];
-        gi_row[k] += g * w_row[k];
+  if (kernel_backend() == KernelBackend::kNaive) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* g_row = grad_output.data() + n * out_features_;
+      const float* x_row = cached_input_.data() + n * in_features_;
+      for (std::size_t o = 0; o < out_features_; ++o) {
+        const float g = g_row[o];
+        bias_.grad[o] += g;
+        float* w_grad_row = weight_.grad.data() + o * in_features_;
+        const float* w_row = weight_.value.data() + o * in_features_;
+        float* gi_row = grad_input.data() + n * in_features_;
+        for (std::size_t k = 0; k < in_features_; ++k) {
+          w_grad_row[k] += g * x_row[k];
+          gi_row[k] += g * w_row[k];
+        }
       }
     }
+    return grad_input;
+  }
+  ThreadPool* pool = global_pool();
+  // dX = dY W (each grad_input row owned by one worker).
+  gemm::sgemm_nn(batch, in_features_, out_features_, grad_output.data(), out_features_,
+                 weight_.value.data(), in_features_, /*accumulate=*/false, grad_input.data(),
+                 in_features_, pool);
+  // dW += dY^T X (each weight-grad row owned by one worker, k = batch in
+  // ascending order — the same accumulation order at every thread count).
+  gemm::sgemm_tn(out_features_, in_features_, batch, grad_output.data(), out_features_,
+                 cached_input_.data(), in_features_, /*accumulate=*/true, weight_.grad.data(),
+                 in_features_, pool);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* g_row = grad_output.data() + n * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) bias_.grad[o] += g_row[o];
   }
   return grad_input;
 }
@@ -112,35 +166,63 @@ Tensor Conv2D::forward(const Tensor& input, bool training) {
   const std::size_t cout_per_group = out_channels_ / groups_;
 
   Tensor output({batch, out_channels_, out_h, out_w});
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const std::size_t group = oc / cout_per_group;
-      for (std::size_t oy = 0; oy < out_h; ++oy) {
-        for (std::size_t ox = 0; ox < out_w; ++ox) {
-          float total = bias_.value[oc];
-          for (std::size_t ic = 0; ic < cin_per_group; ++ic) {
-            const std::size_t in_c = group * cin_per_group + ic;
-            for (std::size_t ky = 0; ky < kernel_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                  static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) continue;
-              for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+  if (kernel_backend() == KernelBackend::kNaive) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const std::size_t group = oc / cout_per_group;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            float total = bias_.value[oc];
+            for (std::size_t ic = 0; ic < cin_per_group; ++ic) {
+              const std::size_t in_c = group * cin_per_group + ic;
+              for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
                     static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) continue;
-                total += weight_.value.at4(oc, ic, ky, kx) *
-                         input.at4(n, in_c, static_cast<std::size_t>(iy),
-                                   static_cast<std::size_t>(ix));
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) continue;
+                for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                  const std::ptrdiff_t ix =
+                      static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                      static_cast<std::ptrdiff_t>(pad_);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) continue;
+                  total += weight_.value.at4(oc, ic, ky, kx) *
+                           input.at4(n, in_c, static_cast<std::size_t>(iy),
+                                     static_cast<std::size_t>(ix));
+                }
               }
             }
+            output.at4(n, oc, oy, ox) = total;
           }
-          output.at4(n, oc, oy, ox) = total;
         }
       }
     }
+    return output;
   }
+  // GEMM path: per sample and group, Y_g = W_g * im2col(x_g) on top of the
+  // broadcast bias. Samples are disjoint outputs, so the batch parallelizes
+  // with no reduction at all.
+  const gemm::ConvGeom geom{cin_per_group, in_h, in_w, kernel_, stride_, pad_, out_h, out_w};
+  const std::size_t patch = geom.patch();
+  const std::size_t area = geom.out_area();
+  const std::size_t in_sample = in_channels_ * in_h * in_w;
+  const std::size_t out_sample = out_channels_ * area;
+  parallel_for(global_pool(), 0, batch, 1, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    float* col = col_scratch(patch * area).data();
+    for (std::size_t n = lo; n < hi; ++n) {
+      for (std::size_t g = 0; g < groups_; ++g) {
+        gemm::im2col(input.data() + n * in_sample + g * cin_per_group * in_h * in_w, geom, col);
+        float* out_g = output.data() + n * out_sample + g * cout_per_group * area;
+        for (std::size_t ocg = 0; ocg < cout_per_group; ++ocg) {
+          const float b = bias_.value[g * cout_per_group + ocg];
+          float* row = out_g + ocg * area;
+          for (std::size_t p = 0; p < area; ++p) row[p] = b;
+        }
+        gemm::sgemm_nn(cout_per_group, area, patch,
+                       weight_.value.data() + g * cout_per_group * patch, patch, col, area,
+                       /*accumulate=*/true, out_g, area, nullptr);
+      }
+    }
+  });
   return output;
 }
 
@@ -154,6 +236,73 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   const std::size_t cout_per_group = out_channels_ / groups_;
 
   Tensor grad_input(cached_input_.shape());
+  if (kernel_backend() == KernelBackend::kGemm) {
+    const gemm::ConvGeom geom{cin_per_group, in_h, in_w, kernel_, stride_, pad_, out_h, out_w};
+    const std::size_t patch = geom.patch();
+    const std::size_t area = geom.out_area();
+    const std::size_t in_sample = in_channels_ * in_h * in_w;
+    const std::size_t out_sample = out_channels_ * area;
+    ThreadPool* pool = global_pool();
+    // dX: per sample/group, fold W_g^T dY_g back through col2im. Samples are
+    // disjoint outputs, so the batch parallelizes without a reduction.
+    parallel_for(pool, 0, batch, 1, [&](std::size_t lo, std::size_t hi, std::size_t) {
+      float* dcol = col_scratch(patch * area).data();
+      for (std::size_t n = lo; n < hi; ++n) {
+        for (std::size_t g = 0; g < groups_; ++g) {
+          gemm::sgemm_tn(patch, area, cout_per_group,
+                         weight_.value.data() + g * cout_per_group * patch, patch,
+                         grad_output.data() + n * out_sample + g * cout_per_group * area, area,
+                         /*accumulate=*/false, dcol, area, nullptr);
+          gemm::col2im_add(dcol, geom,
+                           grad_input.data() + n * in_sample + g * cin_per_group * in_h * in_w);
+        }
+      }
+    });
+    // dW/db: partial sums over fixed-size sample chunks, folded serially in
+    // chunk order — the partial-sum tree depends only on the batch size, so
+    // gradients are bit-identical at any thread count.
+    struct GradPartial {
+      std::vector<float> w;
+      std::vector<float> b;
+    };
+    const std::size_t chunks = chunk_count(batch, kGradChunkSamples);
+    GradPartial total = ordered_reduce<GradPartial>(
+        pool, chunks,
+        GradPartial{std::vector<float>(weight_.grad.size(), 0.0f),
+                    std::vector<float>(out_channels_, 0.0f)},
+        [&](std::size_t chunk, std::size_t) {
+          GradPartial local{std::vector<float>(weight_.grad.size(), 0.0f),
+                            std::vector<float>(out_channels_, 0.0f)};
+          const std::size_t n_lo = chunk * kGradChunkSamples;
+          const std::size_t n_hi = std::min(batch, n_lo + kGradChunkSamples);
+          float* col = col_scratch2(patch * area).data();
+          for (std::size_t n = n_lo; n < n_hi; ++n) {
+            for (std::size_t g = 0; g < groups_; ++g) {
+              gemm::im2col(cached_input_.data() + n * in_sample +
+                               g * cin_per_group * in_h * in_w,
+                           geom, col);
+              const float* dy_g =
+                  grad_output.data() + n * out_sample + g * cout_per_group * area;
+              gemm::sgemm_nt(cout_per_group, patch, area, dy_g, area, col, area,
+                             /*accumulate=*/true, local.w.data() + g * cout_per_group * patch,
+                             patch, nullptr);
+              for (std::size_t ocg = 0; ocg < cout_per_group; ++ocg) {
+                const float* dy_row = dy_g + ocg * area;
+                float& b = local.b[g * cout_per_group + ocg];
+                for (std::size_t p = 0; p < area; ++p) b += dy_row[p];
+              }
+            }
+          }
+          return local;
+        },
+        [](GradPartial& acc, GradPartial&& part) {
+          for (std::size_t i = 0; i < acc.w.size(); ++i) acc.w[i] += part.w[i];
+          for (std::size_t i = 0; i < acc.b.size(); ++i) acc.b[i] += part.b[i];
+        });
+    for (std::size_t i = 0; i < total.w.size(); ++i) weight_.grad[i] += total.w[i];
+    for (std::size_t i = 0; i < total.b.size(); ++i) bias_.grad[i] += total.b[i];
+    return grad_input;
+  }
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       const std::size_t group = oc / cout_per_group;
@@ -217,7 +366,10 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
   const std::size_t out_h = input.dim(2) / 2, out_w = input.dim(3) / 2;
   if (out_h == 0 || out_w == 0) throw std::invalid_argument("MaxPool2D: input too small");
   Tensor output({batch, channels, out_h, out_w});
-  argmax_.assign(output.size(), 0);
+  // The argmax bookkeeping exists only for backward; the evaluation path
+  // skips it so a shared net can run concurrent eval forwards (parallel
+  // evaluate()) without writing any layer state.
+  if (training) argmax_.assign(output.size(), 0);
   std::size_t flat = 0;
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t c = 0; c < channels; ++c) {
@@ -236,7 +388,7 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
             }
           }
           output[flat] = best;
-          argmax_[flat] = best_index;
+          if (training) argmax_[flat] = best_index;
         }
       }
     }
@@ -260,7 +412,6 @@ Tensor MaxPool2D::backward(const Tensor& grad_output) {
 Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
   if (input.rank() != 4) throw std::invalid_argument("GlobalAvgPool: need rank-4 input");
   if (training) cached_shape_ = input.shape();
-  else cached_shape_ = input.shape();
   const std::size_t batch = input.dim(0), channels = input.dim(1);
   const std::size_t area = input.dim(2) * input.dim(3);
   Tensor output({batch, channels});
@@ -294,7 +445,6 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
 
 Tensor Flatten::forward(const Tensor& input, bool training) {
   if (training) cached_shape_ = input.shape();
-  else cached_shape_ = input.shape();
   const std::size_t batch = input.dim(0);
   return input.reshaped({batch, input.size() / batch});
 }
@@ -317,7 +467,7 @@ Tensor Residual::forward(const Tensor& input, bool training) {
                                 input.shape_string() + " -> " + hidden.shape_string() + ")");
   }
   hidden.add_scaled(input, 1.0f);
-  cached_sum_ = hidden;
+  if (training) cached_sum_ = hidden;
   Tensor output = hidden;
   for (std::size_t i = 0; i < output.size(); ++i) {
     if (output[i] < 0.0f) output[i] = 0.0f;
@@ -358,7 +508,7 @@ Tensor DenseConcat::forward(const Tensor& input, bool training) {
       hidden.dim(2) != input.dim(2) || hidden.dim(3) != input.dim(3)) {
     throw std::invalid_argument("DenseConcat: body must preserve spatial shape");
   }
-  cached_input_channels_ = input.dim(1);
+  if (training) cached_input_channels_ = input.dim(1);
   const std::size_t batch = input.dim(0);
   const std::size_t channels = input.dim(1) + hidden.dim(1);
   const std::size_t h = input.dim(2), w = input.dim(3);
@@ -426,8 +576,9 @@ Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(&rng) {
 }
 
 Tensor Dropout::forward(const Tensor& input, bool training) {
-  last_training_ = training;
+  // No state writes on the eval path (concurrent eval forwards share layers).
   if (!training || rate_ == 0.0) return input;
+  last_training_ = true;
   mask_ = Tensor(input.shape());
   Tensor output = input;
   const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));

@@ -6,10 +6,15 @@
 namespace tradefl::fl {
 
 LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  return softmax_cross_entropy(logits, labels.data(), labels.size());
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::size_t* labels,
+                                 std::size_t count) {
   if (logits.rank() != 2) throw std::invalid_argument("loss: logits must be rank 2");
   const std::size_t batch = logits.dim(0);
   const std::size_t classes = logits.dim(1);
-  if (labels.size() != batch) throw std::invalid_argument("loss: label count mismatch");
+  if (count != batch) throw std::invalid_argument("loss: label count mismatch");
 
   LossResult result;
   result.grad = Tensor(logits.shape());

@@ -17,4 +17,10 @@ struct LossResult {
 /// logits: (batch, classes); labels: batch entries in [0, classes).
 LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<std::size_t>& labels);
 
+/// Pointer-span variant: `count` labels starting at `labels`. Lets callers
+/// evaluate on a slice of Dataset::labels() without copying a label vector
+/// per batch.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::size_t* labels,
+                                 std::size_t count);
+
 }  // namespace tradefl::fl

@@ -1,9 +1,11 @@
 #include "tradefl/cli.h"
 
+#include <cstdint>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "math/grid.h"
@@ -202,6 +204,9 @@ std::string usage() {
          "  help     this text\n"
          "common options: seed=42 orgs=10 gamma=5.12e-9 mu=0.05 omega_e= tau= lambda=\n"
          "               file=game.cfg (explicit game definition; see game_from_config)\n"
+         "               threads=1 (worker threads for training/eval/master "
+         "enumeration;\n"
+         "               results are bit-identical for any value)\n"
          "observability: metrics=1 (print snapshot table after any command)\n"
          "               metrics_json=FILE (write snapshot JSON)\n"
          "               trace=FILE (write Chrome trace-event JSON; open in\n"
@@ -229,6 +234,12 @@ int run(const Invocation& invocation, std::ostream& out) {
     return 0;
   }
   const Config& options = invocation.options;
+  const std::int64_t threads = options.get_int("threads", 1);
+  if (threads < 1) {
+    out << "threads must be >= 1\n";
+    return 2;
+  }
+  set_global_threads(static_cast<std::size_t>(threads));
   const bool want_table =
       invocation.command == "metrics" || options.get_bool("metrics", false);
   const auto trace_path = options.get("trace");

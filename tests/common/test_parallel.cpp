@@ -1,0 +1,132 @@
+// The execution layer's contract: every chunk runs exactly once, nesting is
+// inline (no deadlock), exceptions propagate, and ordered_reduce makes the
+// fold bit-identical for any pool size.
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tradefl {
+namespace {
+
+TEST(ThreadPool, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+}
+
+TEST(ThreadPool, RunChunksVisitsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  for (auto& v : visits) v.store(0);
+  pool.run_chunks(visits.size(), [&](std::size_t chunk, std::size_t worker) {
+    EXPECT_LT(worker, pool.size());
+    visits[chunk].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInlineOnCaller) {
+  std::vector<int> visits(10, 0);
+  run_chunks(nullptr, visits.size(), [&](std::size_t chunk, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ++visits[chunk];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeWithGrainBound) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(100);
+  for (auto& v : touched) v.store(0);
+  pool.parallel_for(5, 100, 7, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    EXPECT_LE(hi - lo, 7u);
+    for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), i >= 5 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkCountMath) {
+  EXPECT_EQ(chunk_count(0, 8), 0u);
+  EXPECT_EQ(chunk_count(1, 8), 1u);
+  EXPECT_EQ(chunk_count(8, 8), 1u);
+  EXPECT_EQ(chunk_count(9, 8), 2u);
+  EXPECT_EQ(chunk_count(17, 8), 3u);
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run_chunks(8, [&](std::size_t, std::size_t outer_worker) {
+    // A nested region on the same pool must not wait for pool workers (they
+    // are all busy here) — it runs inline on this worker.
+    pool.run_chunks(4, [&](std::size_t, std::size_t inner_worker) {
+      EXPECT_EQ(inner_worker, outer_worker);
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownAfterDrain) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_chunks(64,
+                               [&](std::size_t chunk, std::size_t) {
+                                 if (chunk == 13) throw std::runtime_error("chunk 13");
+                               }),
+               std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.run_chunks(16, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, QueueDepthZeroWhenIdle) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  pool.run_chunks(8, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+double chunk_value(std::size_t chunk) {
+  double acc = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    acc += std::sin(static_cast<double>(chunk) * 0.1 + static_cast<double>(i));
+  }
+  return acc;
+}
+
+TEST(ParallelOrderedReduce, BitIdenticalAcrossPoolSizes) {
+  const std::size_t chunks = 97;
+  const auto fold = [&](ThreadPool* pool) {
+    return ordered_reduce<double>(
+        pool, chunks, 0.0, [](std::size_t chunk, std::size_t) { return chunk_value(chunk); },
+        [](double& acc, double&& value) { acc += value; });
+  };
+  const double serial = fold(nullptr);
+  ThreadPool pool2(2), pool4(4), pool7(7);
+  EXPECT_EQ(serial, fold(&pool2));  // exact: same fold order, same rounding
+  EXPECT_EQ(serial, fold(&pool4));
+  EXPECT_EQ(serial, fold(&pool7));
+}
+
+TEST(ParallelGlobalPool, SizedByThreadsSetting) {
+  set_global_threads(1);
+  EXPECT_EQ(global_pool(), nullptr);
+  EXPECT_EQ(global_threads(), 1u);
+  set_global_threads(4);
+  ASSERT_NE(global_pool(), nullptr);
+  EXPECT_EQ(global_pool()->size(), 4u);
+  EXPECT_EQ(global_threads(), 4u);
+  set_global_threads(1);
+  EXPECT_EQ(global_pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -136,5 +136,36 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ShuffleMatchesPermutationGather) {
+  // shuffle(items) must reorder exactly as gathering through permutation(n)
+  // from the same generator state: it is the allocation-free equivalent.
+  std::vector<std::size_t> items{10, 11, 12, 13, 14, 15, 16, 17, 18};
+  Rng a(91), b(91);
+  std::vector<std::size_t> shuffled = items;
+  a.shuffle(shuffled);
+  const std::vector<std::size_t> perm = b.permutation(items.size());
+  std::vector<std::size_t> gathered(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) gathered[i] = items[perm[i]];
+  EXPECT_EQ(shuffled, gathered);
+}
+
+TEST(Rng, DeriveStreamSeedIsStateless) {
+  const std::uint64_t base = 12345;
+  const std::uint64_t seed3 = Rng::derive_stream_seed(base, 3);
+  // Same inputs, same seed — no hidden generator state involved.
+  EXPECT_EQ(seed3, Rng::derive_stream_seed(base, 3));
+  // Distinct streams and distinct bases diverge.
+  EXPECT_NE(seed3, Rng::derive_stream_seed(base, 4));
+  EXPECT_NE(seed3, Rng::derive_stream_seed(base + 1, 3));
+  // Consecutive stream ids yield uncorrelated generators.
+  Rng s0(Rng::derive_stream_seed(base, 0));
+  Rng s1(Rng::derive_stream_seed(base, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 }  // namespace
 }  // namespace tradefl

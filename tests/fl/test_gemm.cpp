@@ -1,0 +1,265 @@
+// The GEMM backend's contract: numerical agreement with the naive seed
+// kernels, exact bit-identity across pool sizes, im2col/col2im adjointness,
+// and Conv2D/Dense producing the same results under either backend.
+#include "fl/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "fl/layers.h"
+
+namespace tradefl::fl {
+namespace {
+
+std::vector<float> random_values(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(count);
+  for (float& v : out) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return out;
+}
+
+void reference_nn(std::size_t m, std::size_t n, std::size_t k, const std::vector<float>& a,
+                  const std::vector<float>& b, std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * static_cast<double>(b[kk * n + j]);
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+TEST(Gemm, NnMatchesReference) {
+  const std::size_t m = 17, n = 23, k = 71;  // spans multiple k-tiles (64)
+  const auto a = random_values(m * k, 1);
+  const auto b = random_values(k * n, 2);
+  std::vector<float> expected(m * n), actual(m * n);
+  reference_nn(m, n, k, a, b, expected);
+  gemm::sgemm_nn(m, n, k, a.data(), k, b.data(), n, /*accumulate=*/false, actual.data(), n);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4f * (1.0f + std::fabs(expected[i])));
+  }
+}
+
+TEST(Gemm, NtMatchesReference) {
+  const std::size_t m = 9, n = 13, k = 65;
+  const auto a = random_values(m * k, 3);
+  const auto bt = random_values(n * k, 4);  // B stored (n, k)
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t kk = 0; kk < k; ++kk) b[kk * n + j] = bt[j * k + kk];
+  }
+  std::vector<float> expected(m * n), actual(m * n);
+  reference_nn(m, n, k, a, b, expected);
+  gemm::sgemm_nt(m, n, k, a.data(), k, bt.data(), k, /*accumulate=*/false, actual.data(), n);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4f * (1.0f + std::fabs(expected[i])));
+  }
+}
+
+TEST(Gemm, TnMatchesReferenceAndAccumulates) {
+  const std::size_t m = 11, n = 7, k = 70;
+  const auto at = random_values(k * m, 5);  // A stored (k, m)
+  const auto b = random_values(k * n, 6);
+  std::vector<float> a(m * k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t i = 0; i < m; ++i) a[i * k + kk] = at[kk * m + i];
+  }
+  std::vector<float> expected(m * n), actual(m * n, 0.5f);
+  reference_nn(m, n, k, a, b, expected);
+  gemm::sgemm_tn(m, n, k, at.data(), m, b.data(), n, /*accumulate=*/true, actual.data(), n);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i] + 0.5f, 1e-4f * (1.0f + std::fabs(expected[i])));
+  }
+}
+
+TEST(Gemm, BitIdenticalAcrossPoolSizes) {
+  const std::size_t m = 33, n = 29, k = 130;
+  const auto a = random_values(m * k, 7);
+  const auto b = random_values(k * n, 8);
+  std::vector<float> serial(m * n), threaded(m * n);
+  gemm::sgemm_nn(m, n, k, a.data(), k, b.data(), n, false, serial.data(), n, nullptr);
+  ThreadPool pool(4);
+  gemm::sgemm_nn(m, n, k, a.data(), k, b.data(), n, false, threaded.data(), n, &pool);
+  EXPECT_EQ(serial, threaded);  // exact: rows partition, fixed ascending-k order
+}
+
+TEST(Gemm, Im2colExtractsPatchesWithZeroPadding) {
+  // 1 channel, 3x3 image, 3x3 kernel, pad 1, stride 1 -> out 3x3.
+  gemm::ConvGeom geom;
+  geom.channels = 1;
+  geom.in_h = geom.in_w = 3;
+  geom.kernel = 3;
+  geom.stride = 1;
+  geom.pad = 1;
+  geom.out_h = geom.out_w = 3;
+  const std::vector<float> image{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> col(geom.patch() * geom.out_area());
+  gemm::im2col(image.data(), geom, col.data());
+  const auto at = [&](std::size_t row, std::size_t column) {
+    return col[row * geom.out_area() + column];
+  };
+  // Output position (0, 0): kernel center (ky=1, kx=1) reads pixel (0, 0).
+  EXPECT_EQ(at(1 * 3 + 1, 0), 1.0f);
+  // Top-left kernel tap at output (0, 0) falls on padding.
+  EXPECT_EQ(at(0, 0), 0.0f);
+  // Output center (1, 1): center tap reads pixel (1, 1) = 5.
+  EXPECT_EQ(at(1 * 3 + 1, 4), 5.0f);
+  // Output (2, 2): top-left tap reads pixel (1, 1) = 5.
+  EXPECT_EQ(at(0, 8), 5.0f);
+}
+
+TEST(Gemm, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im_add(y)> for all x, y (adjoint identity).
+  gemm::ConvGeom geom;
+  geom.channels = 2;
+  geom.in_h = 5;
+  geom.in_w = 4;
+  geom.kernel = 3;
+  geom.stride = 2;
+  geom.pad = 1;
+  geom.out_h = (geom.in_h + 2 * geom.pad - geom.kernel) / geom.stride + 1;
+  geom.out_w = (geom.in_w + 2 * geom.pad - geom.kernel) / geom.stride + 1;
+  const std::size_t image_size = geom.channels * geom.in_h * geom.in_w;
+  const std::size_t col_size = geom.patch() * geom.out_area();
+  const auto x = random_values(image_size, 9);
+  const auto y = random_values(col_size, 10);
+
+  std::vector<float> col(col_size);
+  gemm::im2col(x.data(), geom, col.data());
+  std::vector<float> folded(image_size, 0.0f);
+  gemm::col2im_add(y.data(), geom, folded.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_size; ++i) {
+    lhs += static_cast<double>(col[i]) * static_cast<double>(y[i]);
+  }
+  for (std::size_t i = 0; i < image_size; ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(folded[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (1.0 + std::fabs(lhs)));
+}
+
+struct BackendRestorer {
+  ~BackendRestorer() { set_kernel_backend(KernelBackend::kGemm); }
+};
+
+/// Runs forward + backward through `layer` and returns (output, grad_input,
+/// parameter gradients) for backend comparisons.
+struct PassResult {
+  Tensor output;
+  Tensor grad_input;
+  std::vector<std::vector<float>> param_grads;
+};
+
+PassResult run_pass(Layer& layer, const Tensor& input) {
+  PassResult result;
+  result.output = layer.forward(input, /*training=*/true);
+  Tensor grad(result.output.shape());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = 0.01f * static_cast<float>(i % 7) - 0.02f;
+  }
+  result.grad_input = layer.backward(grad);
+  for (Param* param : layer.parameters()) {
+    result.param_grads.emplace_back(param->grad.data(),
+                                    param->grad.data() + param->grad.size());
+  }
+  return result;
+}
+
+void expect_near_tensors(const Tensor& a, const Tensor& b, float tolerance) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tolerance * (1.0f + std::fabs(a[i]))) << "index " << i;
+  }
+}
+
+void compare_conv_backends(std::size_t in_channels, std::size_t out_channels,
+                           std::size_t kernel, std::size_t stride, std::size_t pad,
+                           std::size_t groups) {
+  BackendRestorer restore;
+  Rng rng_a(21), rng_b(21);
+  Conv2D naive(in_channels, out_channels, kernel, stride, pad, groups, rng_a);
+  Conv2D blocked(in_channels, out_channels, kernel, stride, pad, groups, rng_b);
+  Tensor input({4, in_channels, 9, 8});
+  const auto values = random_values(input.size(), 22);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = values[i];
+
+  set_kernel_backend(KernelBackend::kNaive);
+  const PassResult expected = run_pass(naive, input);
+  set_kernel_backend(KernelBackend::kGemm);
+  const PassResult actual = run_pass(blocked, input);
+
+  expect_near_tensors(actual.output, expected.output, 1e-4f);
+  expect_near_tensors(actual.grad_input, expected.grad_input, 1e-4f);
+  ASSERT_EQ(actual.param_grads.size(), expected.param_grads.size());
+  for (std::size_t p = 0; p < actual.param_grads.size(); ++p) {
+    ASSERT_EQ(actual.param_grads[p].size(), expected.param_grads[p].size());
+    for (std::size_t i = 0; i < actual.param_grads[p].size(); ++i) {
+      EXPECT_NEAR(actual.param_grads[p][i], expected.param_grads[p][i],
+                  1e-4f * (1.0f + std::fabs(expected.param_grads[p][i])));
+    }
+  }
+}
+
+TEST(GemmConv2D, BackendsAgreeStandard) { compare_conv_backends(3, 8, 3, 1, 1, 1); }
+
+TEST(GemmConv2D, BackendsAgreeStrided) { compare_conv_backends(4, 6, 3, 2, 1, 1); }
+
+TEST(GemmConv2D, BackendsAgreeGrouped) { compare_conv_backends(6, 8, 3, 1, 1, 2); }
+
+TEST(GemmConv2D, BackendsAgreeDepthwise) { compare_conv_backends(5, 5, 3, 1, 1, 5); }
+
+TEST(GemmConv2D, BackendsAgree1x1) { compare_conv_backends(4, 7, 1, 1, 0, 1); }
+
+TEST(GemmDense, BackendsAgree) {
+  BackendRestorer restore;
+  Rng rng_a(31), rng_b(31);
+  Dense naive(37, 19, rng_a);
+  Dense blocked(37, 19, rng_b);
+  Tensor input({8, 37});
+  const auto values = random_values(input.size(), 32);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = values[i];
+
+  set_kernel_backend(KernelBackend::kNaive);
+  const PassResult expected = run_pass(naive, input);
+  set_kernel_backend(KernelBackend::kGemm);
+  const PassResult actual = run_pass(blocked, input);
+
+  expect_near_tensors(actual.output, expected.output, 1e-4f);
+  expect_near_tensors(actual.grad_input, expected.grad_input, 1e-4f);
+  for (std::size_t p = 0; p < actual.param_grads.size(); ++p) {
+    for (std::size_t i = 0; i < actual.param_grads[p].size(); ++i) {
+      EXPECT_NEAR(actual.param_grads[p][i], expected.param_grads[p][i],
+                  1e-4f * (1.0f + std::fabs(expected.param_grads[p][i])));
+    }
+  }
+}
+
+TEST(GemmConv2D, ForwardBitIdenticalAcrossPoolSizes) {
+  Rng rng(41);
+  Conv2D conv(4, 8, 3, 1, 1, 1, rng);
+  Tensor input({6, 4, 10, 10});
+  const auto values = random_values(input.size(), 42);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = values[i];
+
+  set_global_threads(1);
+  const Tensor serial = conv.forward(input, /*training=*/true);
+  set_global_threads(4);
+  const Tensor threaded = conv.forward(input, /*training=*/true);
+  set_global_threads(1);
+
+  ASSERT_EQ(serial.shape(), threaded.shape());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tradefl::fl

@@ -1,0 +1,108 @@
+// ISSUE 3's headline guarantee: threads=1 and threads=N produce bit-identical
+// results — FedAvg final weights, evaluation metrics, and the CGBD solution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/mechanism.h"
+#include "fl/fedavg.h"
+#include "game/game_factory.h"
+
+namespace tradefl {
+namespace {
+
+/// Restores the serial global pool even when an assertion fails mid-test.
+struct ThreadsRestorer {
+  ~ThreadsRestorer() { set_global_threads(1); }
+};
+
+struct FlFixture {
+  fl::DatasetSpec concept_spec = fl::DatasetSpec::builtin(fl::DatasetKind::kFmnistLike, 5);
+  std::vector<fl::Dataset> locals;
+  fl::Dataset test_set;
+  fl::ModelSpec model;
+
+  FlFixture() : test_set(concept_spec.with_sample_seed(999), 120) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      locals.emplace_back(concept_spec.with_sample_seed(10 + i), 90);
+    }
+    model.kind = fl::ModelKind::kMlp;
+    model.channels = concept_spec.channels;
+    model.height = concept_spec.height;
+    model.width = concept_spec.width;
+    model.classes = concept_spec.classes;
+    model.seed = 3;
+  }
+
+  [[nodiscard]] std::vector<fl::FedClient> clients() const {
+    std::vector<fl::FedClient> out;
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      out.push_back(fl::FedClient{&locals[i], 0.5 + 0.25 * static_cast<double>(i), 100 + i});
+    }
+    return out;
+  }
+
+  [[nodiscard]] fl::FedAvgResult train() const {
+    fl::FedAvgOptions options;
+    options.rounds = 2;
+    options.local_epochs = 2;
+    options.batch_size = 32;
+    return fl::train_fedavg(model, clients(), test_set, options);
+  }
+};
+
+TEST(ParallelDeterminism, FedAvgFinalWeightsBitIdentical) {
+  ThreadsRestorer restore;
+  FlFixture fixture;
+  set_global_threads(1);
+  const fl::FedAvgResult serial = fixture.train();
+  set_global_threads(4);
+  const fl::FedAvgResult threaded = fixture.train();
+
+  ASSERT_EQ(serial.final_weights.size(), threaded.final_weights.size());
+  EXPECT_EQ(serial.final_weights, threaded.final_weights);  // bitwise
+  ASSERT_EQ(serial.history.size(), threaded.history.size());
+  for (std::size_t r = 0; r < serial.history.size(); ++r) {
+    EXPECT_EQ(serial.history[r].train_loss, threaded.history[r].train_loss);
+    EXPECT_EQ(serial.history[r].test_loss, threaded.history[r].test_loss);
+    EXPECT_EQ(serial.history[r].test_accuracy, threaded.history[r].test_accuracy);
+  }
+}
+
+TEST(ParallelDeterminism, EvaluateBitIdentical) {
+  ThreadsRestorer restore;
+  FlFixture fixture;
+  fl::Net net = fl::build_model(fixture.model);
+  set_global_threads(1);
+  const fl::EvalResult serial = fl::evaluate(net, fixture.test_set, 32);
+  set_global_threads(4);
+  const fl::EvalResult threaded = fl::evaluate(net, fixture.test_set, 32);
+  EXPECT_EQ(serial.loss, threaded.loss);
+  EXPECT_EQ(serial.accuracy, threaded.accuracy);
+}
+
+TEST(ParallelDeterminism, CgbdSolutionBitIdentical) {
+  ThreadsRestorer restore;
+  game::ExperimentSpec spec;
+  spec.org_count = 6;
+  const auto game = game::make_experiment_game(spec, 42);
+
+  set_global_threads(1);
+  const auto serial = core::run_scheme(game, core::Scheme::kCgbd);
+  set_global_threads(4);
+  const auto threaded = core::run_scheme(game, core::Scheme::kCgbd);
+
+  EXPECT_EQ(serial.welfare, threaded.welfare);
+  EXPECT_EQ(serial.potential, threaded.potential);
+  EXPECT_EQ(serial.solution.iterations, threaded.solution.iterations);
+  ASSERT_EQ(serial.solution.profile.size(), threaded.solution.profile.size());
+  for (std::size_t i = 0; i < serial.solution.profile.size(); ++i) {
+    EXPECT_EQ(serial.solution.profile[i].freq_index, threaded.solution.profile[i].freq_index);
+    EXPECT_EQ(serial.solution.profile[i].data_fraction,
+              threaded.solution.profile[i].data_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace tradefl

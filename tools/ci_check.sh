@@ -7,6 +7,7 @@
 #   3. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
 #      instrumentation macros compile away cleanly
 #   4. ASan+UBSan build of the same suite, zero reports tolerated
+#   5. TSan build of the concurrency suites (ThreadPool/Parallel/Gemm/Metrics)
 #
 # Usage: tools/ci_check.sh [--no-sanitizers]
 set -euo pipefail
@@ -41,7 +42,7 @@ ctest --test-dir build-notrace --output-on-failure -j "$jobs"
 
 if [ "$run_sanitizers" -eq 1 ]; then
   echo "=== ci: sanitizer pass ==="
-  tools/run_sanitizers.sh asan-ubsan
+  tools/run_sanitizers.sh asan-ubsan tsan
 fi
 
 echo "ci_check: all gates passed"

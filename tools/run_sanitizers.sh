@@ -26,7 +26,14 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$jobs"
   echo "=== [$preset] ctest ==="
-  ctest --preset "$preset"
+  if [ "$preset" = "tsan" ]; then
+    # TSan's value is catching races in the code that actually spawns threads;
+    # restricting to the concurrency suites keeps the pass fast enough to gate
+    # every PR (the full suite still runs under ASan+UBSan).
+    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics'
+  else
+    ctest --preset "$preset"
+  fi
   echo "=== [$preset] clean ==="
 done
 

@@ -21,6 +21,10 @@
 //                     src/common/stopwatch.h (timing must flow through
 //                     tradefl::Stopwatch or the obs layer so instrumentation
 //                     stays consistent)
+//   raw-thread        `std::thread` / `std::jthread` / `std::async` outside
+//                     src/common/parallel.{h,cpp} (all fan-out must go through
+//                     tradefl::ThreadPool so chunk grids, reduction order, and
+//                     shutdown stay deterministic and centralized)
 //   include-layering  `#include "module/..."` edges that violate the layer
 //                     graph (common < obs < math < game < {core, fl}; chain
 //                     sits on common+obs only; tradefl/ may include everything)
@@ -344,6 +348,42 @@ void check_raw_steady_clock(const std::string& path, const std::vector<std::stri
   }
 }
 
+void check_raw_thread(const std::string& path, const std::vector<std::string>& lines,
+                      std::vector<Finding>& findings) {
+  // The parallel execution layer is the only sanctioned owner of raw threads;
+  // everything else fans out through tradefl::ThreadPool / parallel_for so
+  // chunk grids (and therefore float rounding), reduction order, and shutdown
+  // stay in one audited place.
+  if (path_ends_with(path, "src/common/parallel.h") ||
+      path_ends_with(path, "src/common/parallel.cpp")) {
+    return;
+  }
+  static const std::vector<std::string> kBanned = {"std::thread", "std::jthread", "std::async"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (const std::string& word : kBanned) {
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t at = line.find(word, from);
+        if (at == std::string::npos) break;
+        from = at + 1;
+        // Whole-token match only: `std::this_thread` never contains a banned
+        // spelling, but guard both edges anyway (e.g. a hypothetical
+        // `mystd::thread` or `std::thready` must not fire).
+        const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+        const std::size_t end = at + word.size();
+        const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+        if (left_ok && right_ok) {
+          findings.push_back({path, i + 1, "raw-thread",
+                              "raw `" + word + "` — fan out through "
+                              "tradefl::ThreadPool (src/common/parallel.h) instead"});
+          break;  // one finding per line per spelling is enough
+        }
+      }
+    }
+  }
+}
+
 void check_missing_override(const std::string& path, const std::vector<std::string>& lines,
                             std::vector<Finding>& findings) {
   // Track class scopes and whether each has a base clause. One entry per open
@@ -443,6 +483,7 @@ void scan_content(const std::string& path, const std::string& content,
   check_unordered_in_chain(path, lines, findings);
   check_float_equality(path, lines, findings);
   check_raw_steady_clock(path, lines, findings);
+  check_raw_thread(path, lines, findings);
   check_missing_override(path, lines, findings);
   check_include_layering(path, raw_lines, findings);
 }
@@ -539,6 +580,25 @@ int run_self_test() {
        "#include <chrono>\n"
        "auto f() { return std::chrono::steady_clock::now(); }\n",
        {}},
+      {"src/fl/fixture_thread.cpp",
+       "#include <future>\n"
+       "#include <thread>\n"
+       "void f() {\n"
+       "  std::thread worker([] {});\n"
+       "  auto pending = std::async([] { return 1; });\n"
+       "  worker.join();\n"
+       "}\n",
+       {"raw-thread"}},
+      // The pool implementation itself is the sanctioned raw-thread owner.
+      {"src/common/parallel.cpp",
+       "#include <thread>\n"
+       "std::thread g_worker;\n",
+       {}},
+      // std::this_thread is navigation, not thread creation — must not fire.
+      {"src/core/fixture_this_thread_ok.cpp",
+       "#include <thread>\n"
+       "auto f() { return std::this_thread::get_id(); }\n",
+       {}},
       // Clean file: banned words only in comments/strings, tolerance compare,
       // override used properly, allowed include edge. Must produce no findings.
       {"src/game/fixture_clean.cpp",
@@ -586,6 +646,8 @@ void list_rules() {
             << "unordered-in-chain unordered containers in src/chain/ (consensus order)\n"
             << "float-equality     ==/!= against float literals in src/game/, src/core/\n"
             << "raw-steady-clock   std::chrono::steady_clock outside src/obs/ and stopwatch.h\n"
+            << "raw-thread         std::thread/std::jthread/std::async outside "
+               "src/common/parallel.*\n"
             << "missing-override   virtual redecl without override in derived classes\n"
             << "include-layering   module include edges outside the layer graph (src/)\n";
 }
