@@ -1,8 +1,41 @@
 #include "chain/web3.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace tradefl::chain {
+
+bool Web3Client::inject_fault(const std::string& method, std::uint64_t gas_limit,
+                              CallOutcome& outcome) {
+  if (injector_ == nullptr || !injector_->enabled()) return false;
+  const std::uint64_t index = call_index_;
+  if (injector_->fail_submission(index)) {
+    outcome.receipt.success = false;
+    outcome.receipt.revert_reason = "fault: submission failure for " + method;
+    outcome.receipt.gas_used = 0;
+    outcome.injected_fault = true;
+    outcome.transient = true;
+    TFL_COUNTER_INC("fault.injected.submit_failure");
+  } else if (injector_->exhaust_gas(index)) {
+    outcome.receipt.success = false;
+    outcome.receipt.revert_reason = "fault: gas exhausted for " + method;
+    outcome.receipt.gas_used = gas_limit;
+    outcome.injected_fault = true;
+    outcome.transient = true;
+    TFL_COUNTER_INC("fault.injected.gas_exhaustion");
+  } else if (injector_->revert_call(index)) {
+    outcome.receipt.success = false;
+    outcome.receipt.revert_reason = "fault: injected revert for " + method;
+    outcome.receipt.gas_used = 0;
+    outcome.injected_fault = true;
+    outcome.transient = false;
+    TFL_COUNTER_INC("fault.injected.revert");
+  }
+  if (outcome.injected_fault) ++injected_faults_;
+  return outcome.injected_fault;
+}
 
 CallOutcome Web3Client::call(const Address& from, const Address& contract,
                              const std::string& method, std::vector<AbiValue> args, Wei value) {
@@ -12,6 +45,14 @@ CallOutcome Web3Client::call(const Address& from, const Address& contract,
   tx.value = value;
   tx.data = encode_call(CallPayload{method, std::move(args)});
   CallOutcome outcome;
+  // Fault injection happens before submission: a synthesized failure means
+  // the chain never saw the transaction, so chain state (balances, nonces,
+  // blocks) is identical to the call simply not having happened.
+  if (inject_fault(method, tx.gas_limit, outcome)) {
+    ++call_index_;
+    return outcome;
+  }
+  ++call_index_;
   outcome.receipt = chain_->submit(std::move(tx));
   if (auto_seal_) chain_->seal_block();
   if (outcome.receipt.success && !outcome.receipt.return_data.empty()) {
@@ -25,9 +66,50 @@ CallOutcome Web3Client::call_or_throw(const Address& from, const Address& contra
                                       Wei value) {
   CallOutcome outcome = call(from, contract, method, std::move(args), value);
   if (!outcome.receipt.success) {
-    throw std::runtime_error("web3: " + method + " reverted: " + outcome.receipt.revert_reason);
+    throw std::runtime_error("web3: " + method + " reverted: " +
+                             outcome.receipt.revert_reason + " (gas used " +
+                             std::to_string(outcome.receipt.gas_used) + ")");
   }
   return outcome;
+}
+
+Result<CallOutcome> Web3Client::call_with_retry(const Address& from, const Address& contract,
+                                                const std::string& method,
+                                                const std::vector<AbiValue>& args, Wei value) {
+  const RetryPolicy& policy = retry_policy_;
+  const std::uint64_t sequence = retry_sequence_++;
+  double backoff = policy.base_backoff_seconds;
+  double total_backoff = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    CallOutcome outcome = call(from, contract, method, args, value);
+    outcome.attempts = attempt;
+    outcome.simulated_backoff_seconds = total_backoff;
+    if (outcome.receipt.success) return outcome;
+    if (!outcome.transient) {
+      return Error{"revert", method + " reverted: " + outcome.receipt.revert_reason +
+                                 " (gas used " + std::to_string(outcome.receipt.gas_used) +
+                                 ", attempt " + std::to_string(attempt) + ")"};
+    }
+    if (attempt >= policy.max_attempts) {
+      ++retry_giveups_;
+      TFL_COUNTER_INC("retry.giveups");
+      return Error{"retry-exhausted",
+                   method + " failed after " + std::to_string(attempt) +
+                       " attempts: " + outcome.receipt.revert_reason};
+    }
+    ++retry_attempts_;
+    TFL_COUNTER_INC("retry.attempts");
+    // Deterministic jitter: the stream depends only on (policy seed, which
+    // retried call this is, attempt), never on wall clock or thread timing.
+    Rng jitter_rng(Rng::derive_stream_seed(Rng::derive_stream_seed(policy.jitter_seed, sequence),
+                                           static_cast<std::uint64_t>(attempt)));
+    const double jitter = 1.0 + policy.jitter_fraction * (2.0 * jitter_rng.uniform01() - 1.0);
+    const double delay =
+        std::min(std::max(backoff * jitter, 0.0), policy.max_backoff_seconds);
+    total_backoff += delay;
+    TFL_OBSERVE("retry.backoff.seconds", delay);
+    backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_seconds);
+  }
 }
 
 Receipt Web3Client::transfer(const Address& from, const Address& to, Wei value) {

@@ -3,24 +3,66 @@
 // construction, ABI encoding, submission, and receipt/return decoding in a
 // call-like interface, with optional auto-sealing of one block per call (the
 // behaviour of a dev-mode private chain).
+//
+// Fault tolerance: the client accepts a FaultInjector that can make any call
+// fail before it reaches the chain — transient submission failures and gas
+// exhaustion (retryable) or injected reverts (not retryable) — and a
+// RetryPolicy that call_with_retry() uses to survive the transient class with
+// capped exponential backoff. Backoff delays are *simulated* (accumulated in
+// CallOutcome::simulated_backoff_seconds, never slept), so retried flows stay
+// deterministic and fast; the jitter is seeded, not wall-clock derived.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "chain/blockchain.h"
+#include "common/faults.h"
+#include "common/result.h"
 
 namespace tradefl::chain {
 
 struct CallOutcome {
   Receipt receipt;
   std::vector<AbiValue> returned;  // decoded return values (empty on revert)
+
+  /// True when the receipt was synthesized by the fault injector (the chain
+  /// never saw the transaction).
+  bool injected_fault = false;
+  /// True for failures worth retrying (submission failure, gas exhaustion);
+  /// false for reverts, which are contract-level outcomes.
+  bool transient = false;
+
+  /// Populated by call_with_retry: attempts consumed and total simulated
+  /// backoff "waited" across them.
+  int attempts = 1;
+  double simulated_backoff_seconds = 0.0;
+};
+
+/// Capped exponential backoff with deterministic seeded jitter. The policy is
+/// the ONLY sanctioned way to retry contract calls (tfl-lint's ad-hoc-retry
+/// rule bans loops around `->call(` elsewhere).
+struct RetryPolicy {
+  int max_attempts = 4;                 // total attempts, including the first
+  double base_backoff_seconds = 0.05;   // delay before the second attempt
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;     // cap per individual delay
+  double jitter_fraction = 0.1;         // +/- fraction applied per delay
+  std::uint64_t jitter_seed = 17;       // seeds the deterministic jitter
 };
 
 class Web3Client {
  public:
   explicit Web3Client(Blockchain& chain, bool auto_seal = true)
       : chain_(&chain), auto_seal_(auto_seal) {}
+
+  /// Arms fault injection for subsequent calls; nullptr (the default)
+  /// restores fault-free behaviour. The injector must outlive the client's
+  /// use of it. Calls are keyed by a per-client monotone call index.
+  void set_fault_injector(const FaultInjector* injector) { injector_ = injector; }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   /// Sends a contract call transaction. Never throws on revert — inspect
   /// outcome.receipt.success / revert_reason (like a JSON-RPC client).
@@ -33,15 +75,41 @@ class Web3Client {
                             const std::string& method, std::vector<AbiValue> args = {},
                             Wei value = 0);
 
+  /// Retrying call: transient failures (injected submission failures and gas
+  /// exhaustion) are retried per the RetryPolicy; reverts return an Error
+  /// immediately. Returns the successful outcome (with attempts and
+  /// simulated backoff populated) or an Error whose code is "revert" or
+  /// "retry-exhausted".
+  Result<CallOutcome> call_with_retry(const Address& from, const Address& contract,
+                                      const std::string& method,
+                                      const std::vector<AbiValue>& args = {}, Wei value = 0);
+
   /// Plain value transfer between accounts.
   Receipt transfer(const Address& from, const Address& to, Wei value);
 
   [[nodiscard]] Wei balance(const Address& account) const { return chain_->balance(account); }
   [[nodiscard]] Blockchain& chain() { return *chain_; }
 
+  /// Lifetime retry statistics (also exported as obs counters
+  /// `retry.attempts` / `retry.giveups` when observability is enabled).
+  [[nodiscard]] std::uint64_t retry_attempts() const { return retry_attempts_; }
+  [[nodiscard]] std::uint64_t retry_giveups() const { return retry_giveups_; }
+  [[nodiscard]] std::uint64_t injected_faults() const { return injected_faults_; }
+
  private:
+  /// Consults the injector for the next call; true when a fault was
+  /// synthesized into `outcome` (the chain must not be touched).
+  bool inject_fault(const std::string& method, std::uint64_t gas_limit, CallOutcome& outcome);
+
   Blockchain* chain_;
   bool auto_seal_;
+  const FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_{};
+  std::uint64_t call_index_ = 0;       // keys injector decisions
+  std::uint64_t retry_sequence_ = 0;   // keys jitter streams
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t retry_giveups_ = 0;
+  std::uint64_t injected_faults_ = 0;
 };
 
 }  // namespace tradefl::chain

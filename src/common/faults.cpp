@@ -1,0 +1,187 @@
+#include "common/faults.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace tradefl {
+namespace {
+
+/// Stream seed for one (kind, round, target) cell. Chained derivations keep
+/// each coordinate independent: changing the round of a query can never
+/// collide with changing its target.
+std::uint64_t cell_seed(std::uint64_t base, FaultKind kind, std::uint64_t round,
+                        std::uint64_t target) {
+  std::uint64_t seed = Rng::derive_stream_seed(base, static_cast<std::uint64_t>(kind));
+  seed = Rng::derive_stream_seed(seed, round);
+  return Rng::derive_stream_seed(seed, target);
+}
+
+void append_rate(std::ostringstream& out, const char* key, double rate) {
+  if (rate > 0.0) out << (out.tellp() > 0 ? "," : "") << key << ":" << rate;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kClientDropout: return "dropout";
+    case FaultKind::kStragglerDelay: return "straggler";
+    case FaultKind::kUpdateCorruption: return "corruption";
+    case FaultKind::kTxRevert: return "revert";
+    case FaultKind::kTxGasExhaustion: return "gas_exhaustion";
+    case FaultKind::kTxSubmitFailure: return "submit_failure";
+    case FaultKind::kSolverPerturbation: return "solver_perturbation";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::empty() const {
+  return dropout_rate <= 0.0 && straggler_rate <= 0.0 && corrupt_rate <= 0.0 &&
+         revert_rate <= 0.0 && gas_exhaustion_rate <= 0.0 && submit_failure_rate <= 0.0 &&
+         solver_perturb_rate <= 0.0 && events.empty();
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  append_rate(out, "drop", dropout_rate);
+  append_rate(out, "straggle", straggler_rate);
+  append_rate(out, "corrupt", corrupt_rate);
+  append_rate(out, "revert", revert_rate);
+  append_rate(out, "gas", gas_exhaustion_rate);
+  append_rate(out, "submit", submit_failure_rate);
+  append_rate(out, "solver", solver_perturb_rate);
+  if (!events.empty()) out << (out.tellp() > 0 ? "," : "") << "events:" << events.size();
+  if (out.tellp() == 0) return "none";
+  out << ",seed:" << seed;
+  return out.str();
+}
+
+Result<FaultPlan> parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  if (trim(spec).empty()) return plan;
+  for (const std::string& raw : split(spec, ',')) {
+    const std::string pair = trim(raw);
+    if (pair.empty()) continue;
+    const std::size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Error{"faults", "expected key:value in fault spec, got '" + pair + "'"};
+    }
+    const std::string key = trim(pair.substr(0, colon));
+    const std::string value = trim(pair.substr(colon + 1));
+    double parsed = 0.0;
+    try {
+      std::size_t used = 0;
+      parsed = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      return Error{"faults", "cannot parse fault value '" + value + "' for key '" + key + "'"};
+    }
+    const bool is_rate = key == "drop" || key == "straggle" || key == "corrupt" ||
+                         key == "revert" || key == "gas" || key == "submit" || key == "solver";
+    if (is_rate && (parsed < 0.0 || parsed > 1.0)) {
+      return Error{"faults", "rate '" + key + "' must be in [0, 1], got " + value};
+    }
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parsed);
+    } else if (key == "drop") {
+      plan.dropout_rate = parsed;
+    } else if (key == "straggle") {
+      plan.straggler_rate = parsed;
+    } else if (key == "scale") {
+      if (parsed < 1.0) return Error{"faults", "scale must be >= 1, got " + value};
+      plan.straggler_scale = parsed;
+    } else if (key == "corrupt") {
+      plan.corrupt_rate = parsed;
+    } else if (key == "noise") {
+      if (parsed < 0.0) return Error{"faults", "noise must be >= 0, got " + value};
+      plan.corrupt_noise = parsed;
+    } else if (key == "revert") {
+      plan.revert_rate = parsed;
+    } else if (key == "gas") {
+      plan.gas_exhaustion_rate = parsed;
+    } else if (key == "submit") {
+      plan.submit_failure_rate = parsed;
+    } else if (key == "solver") {
+      plan.solver_perturb_rate = parsed;
+    } else {
+      return Error{"faults", "unknown fault key '" + key +
+                                 "' (seed|drop|straggle|scale|corrupt|noise|revert|gas|"
+                                 "submit|solver)"};
+    }
+  }
+  return plan;
+}
+
+const FaultEvent* FaultInjector::find_event(FaultKind kind, std::uint64_t round,
+                                            std::uint64_t target) const {
+  for (const FaultEvent& event : plan_.events) {
+    if (event.kind != kind || event.round != round) continue;
+    if (event.target == kAnyFaultTarget || event.target == target) return &event;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::decide(FaultKind kind, std::uint64_t round, std::uint64_t target,
+                           double rate) const {
+  if (find_event(kind, round, target) != nullptr) return true;
+  if (rate <= 0.0) return false;
+  Rng rng(cell_seed(plan_.seed, kind, round, target));
+  return rng.bernoulli(rate);
+}
+
+bool FaultInjector::drop_client(std::uint64_t round, std::uint64_t client) const {
+  return decide(FaultKind::kClientDropout, round, client, plan_.dropout_rate);
+}
+
+double FaultInjector::straggler_scale(std::uint64_t round, std::uint64_t client) const {
+  const FaultEvent* event = find_event(FaultKind::kStragglerDelay, round, client);
+  if (event != nullptr) {
+    return event->magnitude > 0.0 ? event->magnitude : plan_.straggler_scale;
+  }
+  if (plan_.straggler_rate <= 0.0) return 1.0;
+  Rng rng(cell_seed(plan_.seed, FaultKind::kStragglerDelay, round, client));
+  return rng.bernoulli(plan_.straggler_rate) ? plan_.straggler_scale : 1.0;
+}
+
+CorruptionSpec FaultInjector::corrupt_update(std::uint64_t round, std::uint64_t client) const {
+  CorruptionSpec spec;
+  const FaultEvent* event = find_event(FaultKind::kUpdateCorruption, round, client);
+  double stddev = plan_.corrupt_noise;
+  if (event != nullptr) {
+    spec.corrupt = true;
+    if (event->magnitude > 0.0) stddev = event->magnitude;
+  } else if (plan_.corrupt_rate > 0.0) {
+    Rng rng(cell_seed(plan_.seed, FaultKind::kUpdateCorruption, round, client));
+    spec.corrupt = rng.bernoulli(plan_.corrupt_rate);
+  }
+  if (spec.corrupt && stddev > 0.0) {
+    spec.use_nan = false;
+    spec.noise_stddev = stddev;
+  }
+  return spec;
+}
+
+Rng FaultInjector::corruption_rng(std::uint64_t round, std::uint64_t client) const {
+  // Offset the kind so the noise stream never reuses the decision stream.
+  return Rng(cell_seed(plan_.seed ^ 0xC0FFEEULL, FaultKind::kUpdateCorruption, round, client));
+}
+
+bool FaultInjector::fail_submission(std::uint64_t call_index) const {
+  return decide(FaultKind::kTxSubmitFailure, call_index, 0, plan_.submit_failure_rate);
+}
+
+bool FaultInjector::exhaust_gas(std::uint64_t call_index) const {
+  return decide(FaultKind::kTxGasExhaustion, call_index, 0, plan_.gas_exhaustion_rate);
+}
+
+bool FaultInjector::revert_call(std::uint64_t call_index) const {
+  return decide(FaultKind::kTxRevert, call_index, 0, plan_.revert_rate);
+}
+
+bool FaultInjector::perturb_solver(std::uint64_t iteration) const {
+  return decide(FaultKind::kSolverPerturbation, iteration, 0, plan_.solver_perturb_rate);
+}
+
+}  // namespace tradefl

@@ -1,0 +1,134 @@
+// Seeded, fully deterministic fault injection. A FaultPlan describes which
+// failures a run should experience — client dropout, straggler delay scaling,
+// gradient/update corruption, chain transaction failures, solver perturbation
+// — either as probabilistic rates or as explicit per-round events. The
+// FaultInjector answers every "does fault X hit (round, target)?" query
+// statelessly through Rng::derive_stream_seed, so a schedule replays
+// bit-identically regardless of thread count, query order, or how many other
+// faults fired before it. Consumers (fl/, chain/, core/, tradefl/) own the
+// degradation behaviour and the obs counters; this layer only decides.
+//
+// Determinism contract: for a fixed FaultPlan, the value of every query is a
+// pure function of (plan, kind, round, target). Nothing here mutates state,
+// so the injector can be shared across threads without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace tradefl {
+
+enum class FaultKind : std::uint64_t {
+  kClientDropout = 1,      // client misses a whole FL round
+  kStragglerDelay = 2,     // client's round latency is scaled up
+  kUpdateCorruption = 3,   // client's weight update turns NaN / noisy
+  kTxRevert = 4,           // contract call reverts (not retryable)
+  kTxGasExhaustion = 5,    // call runs out of gas (transient, retryable)
+  kTxSubmitFailure = 6,    // tx never reaches the chain (transient, retryable)
+  kSolverPerturbation = 7, // CGBD primal subproblem diverges numerically
+};
+
+/// Short stable name ("dropout", "revert", ...) used in metrics and logs.
+const char* fault_kind_name(FaultKind kind);
+
+/// Sentinel target matching every client/org index.
+inline constexpr std::uint64_t kAnyFaultTarget = ~0ULL;
+
+/// One scheduled fault. `round` is the FL round for client faults, the call
+/// index for chain faults, and the iteration for solver faults. `magnitude`
+/// overrides the plan-wide default (straggler scale / noise stddev); 0 keeps
+/// the default.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kClientDropout;
+  std::uint64_t round = 0;
+  std::uint64_t target = kAnyFaultTarget;
+  double magnitude = 0.0;
+};
+
+/// The full fault schedule of a run. Rates are per-(round, target) Bernoulli
+/// probabilities in [0, 1]; explicit events fire unconditionally on top.
+/// A default-constructed plan is the all-zero plan: every query returns
+/// "no fault" and pipelines behave bit-identically to a fault-free build.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double dropout_rate = 0.0;
+  double straggler_rate = 0.0;
+  double straggler_scale = 3.0;  // latency multiplier when a straggle fires
+  double corrupt_rate = 0.0;
+  double corrupt_noise = 0.0;    // stddev of additive noise; 0 = NaN poison
+  double revert_rate = 0.0;
+  double gas_exhaustion_rate = 0.0;
+  double submit_failure_rate = 0.0;
+  double solver_perturb_rate = 0.0;
+
+  std::vector<FaultEvent> events;
+
+  /// True when no rate is positive and no event is scheduled.
+  [[nodiscard]] bool empty() const;
+
+  /// One-line human-readable summary ("drop:0.2 revert:0.1 seed:7").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Parses the CLI `faults=` spec: comma-separated `key:value` pairs with keys
+///   seed, drop, straggle, scale, corrupt, noise, revert, gas, submit, solver
+/// e.g. "drop:0.2,straggle:0.1,scale:4,revert:0.05,seed:7". Unknown keys,
+/// malformed numbers, and out-of-range rates are errors.
+Result<FaultPlan> parse_fault_plan(const std::string& spec);
+
+/// Outcome of a corruption query.
+struct CorruptionSpec {
+  bool corrupt = false;
+  bool use_nan = true;          // false: additive Gaussian noise instead
+  double noise_stddev = 0.0;    // meaningful when !use_nan
+};
+
+/// Stateless oracle over a FaultPlan. All queries are const and pure; see the
+/// determinism contract above.
+class FaultInjector {
+ public:
+  /// Inert injector (all-zero plan): every query answers "no fault".
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] bool enabled() const { return !plan_.empty(); }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // ----- federated-learning faults (keyed by round, client) -----
+
+  [[nodiscard]] bool drop_client(std::uint64_t round, std::uint64_t client) const;
+
+  /// Latency multiplier for this client's round; 1.0 when no straggle fires.
+  [[nodiscard]] double straggler_scale(std::uint64_t round, std::uint64_t client) const;
+
+  [[nodiscard]] CorruptionSpec corrupt_update(std::uint64_t round, std::uint64_t client) const;
+
+  /// The seeded noise stream for a corruption at (round, client); stateless,
+  /// so the noise a client receives never depends on other clients.
+  [[nodiscard]] Rng corruption_rng(std::uint64_t round, std::uint64_t client) const;
+
+  // ----- chain faults (keyed by the client-side call index) -----
+
+  [[nodiscard]] bool fail_submission(std::uint64_t call_index) const;
+  [[nodiscard]] bool exhaust_gas(std::uint64_t call_index) const;
+  [[nodiscard]] bool revert_call(std::uint64_t call_index) const;
+
+  // ----- solver faults (keyed by the CGBD iteration) -----
+
+  [[nodiscard]] bool perturb_solver(std::uint64_t iteration) const;
+
+ private:
+  [[nodiscard]] bool decide(FaultKind kind, std::uint64_t round, std::uint64_t target,
+                            double rate) const;
+  [[nodiscard]] const FaultEvent* find_event(FaultKind kind, std::uint64_t round,
+                                             std::uint64_t target) const;
+
+  FaultPlan plan_{};
+};
+
+}  // namespace tradefl

@@ -59,6 +59,24 @@ class Result {
     return Result<U>(fn(std::get<T>(data_)));
   }
 
+  /// Monadic bind: `fn` must itself return a Result; errors short-circuit.
+  /// This is the composition primitive for fallible chains (e.g. a retried
+  /// contract call feeding a decode step) without intermediate throws.
+  template <typename Fn>
+  auto and_then(Fn&& fn) const -> decltype(fn(std::declval<const T&>())) {
+    using R = decltype(fn(std::declval<const T&>()));
+    if (!ok()) return R(error());
+    return fn(std::get<T>(data_));
+  }
+
+  /// Error handler: `fn(error)` produces a replacement Result<T> (recover or
+  /// rewrap); an ok value passes through untouched.
+  template <typename Fn>
+  Result<T> or_else(Fn&& fn) const {
+    if (ok()) return Result<T>(std::get<T>(data_));
+    return fn(error());
+  }
+
  private:
   std::variant<T, Error> data_;
 };

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -48,6 +49,39 @@ double GbdSolver::deadline_slack(OrgId i, double d, double f) const {
 }
 
 PrimalSolve GbdSolver::solve_primal(const std::vector<std::size_t>& freq_indices) const {
+  return solve_primal_impl(freq_indices, options_.barrier, /*poison=*/false);
+}
+
+PrimalSolve GbdSolver::solve_primal_recovering(const std::vector<std::size_t>& freq_indices,
+                                               int iteration) const {
+  const bool perturbed = options_.faults != nullptr && options_.faults->enabled() &&
+                         options_.faults->perturb_solver(static_cast<std::uint64_t>(iteration));
+  if (perturbed) TFL_COUNTER_INC("fault.injected.solver");
+  try {
+    return solve_primal_impl(freq_indices, options_.barrier, perturbed);
+  } catch (const ContractViolation& diverged) {
+    // Structured recovery, stage 1: restart the barrier from scratch with a
+    // damped t-schedule (more, gentler centering stages) and no fault. The
+    // damped schedule trades iterations for numerical headroom.
+    TFL_COUNTER_INC("solver.recoveries");
+    TFL_WARN << "gbd: primal barrier diverged at iteration " << iteration
+             << ", restarting damped: " << diverged.what();
+    math::BarrierOptions damped = options_.barrier;
+    damped.t_growth = std::min(damped.t_growth, options_.recovery_t_growth);
+    try {
+      return solve_primal_impl(freq_indices, damped, /*poison=*/false);
+    } catch (const ContractViolation& second) {
+      // Stage 2 is the caller's: run_cgbd() catches SolverFailure and falls
+      // back to DBR, which needs no barrier at all.
+      throw SolverFailure(std::string("gbd: damped barrier restart diverged at iteration ") +
+                          std::to_string(iteration) + ": " + second.what());
+    }
+  }
+}
+
+PrimalSolve GbdSolver::solve_primal_impl(const std::vector<std::size_t>& freq_indices,
+                                         const math::BarrierOptions& barrier_options,
+                                         bool poison) const {
   TFL_SPAN("cgbd.primal_solve");
   TFL_SCOPED_TIMER("cgbd.subproblem.seconds");
   const std::size_t n = game_.size();
@@ -78,7 +112,8 @@ PrimalSolve GbdSolver::solve_primal(const std::vector<std::size_t>& freq_indices
   // Barrier objective: the exact potential U(d, f) at the fixed frequencies.
   math::SmoothObjective objective;
   StrategyProfile scratch = to_profile(Vec(n, d_min), freq_indices);
-  objective.value = [this, &scratch, &freq_indices](const Vec& d) {
+  objective.value = [this, &scratch, &freq_indices, poison](const Vec& d) {
+    if (poison) return std::numeric_limits<double>::quiet_NaN();
     for (std::size_t i = 0; i < d.size(); ++i) scratch[i].data_fraction = d[i];
     return game::potential(game_, scratch);
   };
@@ -118,7 +153,7 @@ PrimalSolve GbdSolver::solve_primal(const std::vector<std::size_t>& freq_indices
 
   Vec start(n, d_min);
   const auto barrier = math::maximize_with_barrier(objective, box, inequalities, start,
-                                                   options_.barrier);
+                                                   barrier_options);
   result.feasible = true;
   result.d = barrier.x;
   result.multipliers = barrier.multipliers;
@@ -299,7 +334,7 @@ Solution GbdSolver::solve() {
 
   for (int k = 1; k <= options_.max_iterations; ++k) {
     visited.insert(freq);
-    const PrimalSolve primal = solve_primal(freq);
+    const PrimalSolve primal = solve_primal_recovering(freq, k);
     if (primal.feasible) {
       optimality_cuts.push_back(make_optimality_cut(primal));
       if (primal.value > lower_bound) {

@@ -18,7 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
+#include "common/faults.h"
 #include "core/solution.h"
 #include "game/game.h"
 #include "math/barrier_solver.h"
@@ -35,6 +38,24 @@ struct GbdOptions {
   /// Barrier (interior-point) options for the primal; the final duality gap
   /// is the δ of Lemma 3.
   math::BarrierOptions barrier{};
+
+  /// Fault injection (nullptr = fault-free; must outlive the solve). A
+  /// perturbed iteration poisons the primal objective so the barrier's
+  /// finiteness contract trips, exercising the recovery path below.
+  const FaultInjector* faults = nullptr;
+
+  /// Barrier-t growth used for the damped restart after a diverged primal;
+  /// smaller growth takes more, gentler centering stages.
+  double recovery_t_growth = 4.0;
+};
+
+/// Thrown when the primal barrier diverges AND the damped restart also fails
+/// — the structured signal run_cgbd() uses to fall back to DBR. Genuine
+/// infeasibility ("no frequency assignment satisfies the deadline") stays a
+/// plain std::runtime_error and propagates: no solver can fix a bad instance.
+class SolverFailure : public std::runtime_error {
+ public:
+  explicit SolverFailure(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Result of one primal solve (used by tests and the scaling ablation).
@@ -60,10 +81,24 @@ class GbdSolver {
   /// tests.
   [[nodiscard]] PrimalSolve solve_primal(const std::vector<std::size_t>& freq_indices) const;
 
+  /// solve_primal with the fault/recovery wrapper applied: an injected
+  /// perturbation (keyed on `iteration`) poisons the first barrier attempt;
+  /// on divergence the barrier restarts damped (recovery_t_growth) without
+  /// the fault, and a second divergence raises SolverFailure. Public for
+  /// tests.
+  [[nodiscard]] PrimalSolve solve_primal_recovering(
+      const std::vector<std::size_t>& freq_indices, int iteration) const;
+
   /// g_i(d, f) = T^(1) + η_i s_i d / f + T^(3) - τ (the C^(3) slack).
   [[nodiscard]] double deadline_slack(game::OrgId i, double d, double f) const;
 
  private:
+  /// Shared body of the two public primal entry points: `barrier` selects the
+  /// interior-point schedule and `poison` injects a non-finite objective.
+  [[nodiscard]] PrimalSolve solve_primal_impl(const std::vector<std::size_t>& freq_indices,
+                                              const math::BarrierOptions& barrier,
+                                              bool poison) const;
+
   struct OptimalityCut {
     double base = 0.0;                            // P(Ω(d_v))
     std::vector<std::vector<double>> per_level;   // [org][level] terms

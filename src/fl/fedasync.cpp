@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -79,19 +80,53 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
   Net worker = build_model(model_spec);
   Rng shuffle_rng(options.shuffle_seed);
 
+  const FaultInjector* faults =
+      (options.faults != nullptr && options.faults->enabled()) ? options.faults : nullptr;
+  // Each client's completed-update count stands in for FedAvg's round number
+  // when keying fault decisions: decision k for client c is the same whether
+  // the run is replayed, extended, or interleaved differently.
+  std::vector<std::size_t> update_counts(clients.size(), 0);
+
   // Per-client snapshot of the weights they pulled last.
   std::vector<std::vector<float>> pulled(clients.size(), global_weights);
 
+  FedAsyncResult result;
+
+  // Delivery latency for the update a client is about to start, with any
+  // injected straggler stretch applied at scheduling time. The stretch shows
+  // up as extra staleness at merge, so the FedAsync discount handles it.
+  auto next_latency = [&](std::size_t c) {
+    double latency = clients[c].round_latency;
+    if (faults != nullptr) {
+      const double scale = faults->straggler_scale(update_counts[c] + 1, c);
+      if (scale > 1.0) {
+        latency *= scale;
+        ++result.total_delayed;
+        TFL_COUNTER_INC("fault.injected.straggler");
+      }
+    }
+    return latency;
+  };
+
   std::priority_queue<PendingUpdate, std::vector<PendingUpdate>, std::greater<>> queue;
   for (std::size_t c = 0; c < clients.size(); ++c) {
-    if (!subsets[c].empty()) queue.push({clients[c].round_latency, 0.0, c});
+    if (!subsets[c].empty()) queue.push({next_latency(c), 0.0, c});
   }
-
-  FedAsyncResult result;
   while (!queue.empty() && queue.top().ready_at <= options.horizon) {
     const PendingUpdate update = queue.top();
     queue.pop();
     const std::size_t c = update.client;
+    const std::size_t client_round = ++update_counts[c];
+
+    if (faults != nullptr && faults->drop_client(client_round, c)) {
+      // The client crashed mid-round: its update never arrives. It rejoins by
+      // pulling the current global weights and starting over.
+      ++result.total_dropped;
+      TFL_COUNTER_INC("fault.injected.dropout");
+      pulled[c] = global_weights;
+      queue.push({update.ready_at + next_latency(c), update.ready_at, c});
+      continue;
+    }
 
     // The client trained from its pulled snapshot; replay that local pass.
     worker.set_weights(pulled[c]);
@@ -99,7 +134,33 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
       TFL_SCOPED_TIMER("fl.local_train.seconds");
       train_once(worker, *clients[c].client.data, subsets[c], options, shuffle_rng);
     }
-    const std::vector<float> local = worker.weights();
+    std::vector<float> local = worker.weights();
+
+    if (faults != nullptr) {
+      const CorruptionSpec spec = faults->corrupt_update(client_round, c);
+      if (spec.corrupt) {
+        TFL_COUNTER_INC("fault.injected.corruption");
+        if (spec.use_nan) {
+          local.front() = std::numeric_limits<float>::quiet_NaN();
+        } else {
+          Rng noise = faults->corruption_rng(client_round, c);
+          for (float& weight : local) {
+            weight += static_cast<float>(noise.normal(0.0, spec.noise_stddev));
+          }
+        }
+      }
+      // Quarantine before the merge touches the global model: one NaN in a
+      // merged update poisons every weight through the mixing rule.
+      double finite_probe = 0.0;
+      for (const float weight : local) finite_probe += static_cast<double>(weight);
+      if (!std::isfinite(finite_probe)) {
+        ++result.total_quarantined;
+        TFL_COUNTER_INC("fl.updates.quarantined");
+        pulled[c] = global_weights;
+        queue.push({update.ready_at + next_latency(c), update.ready_at, c});
+        continue;
+      }
+    }
 
     // Staleness-discounted merge into the CURRENT global model.
     const double staleness = update.ready_at - update.pulled_at - clients[c].round_latency;
@@ -126,7 +187,7 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
 
     // The client pulls the fresh global weights and starts the next round.
     pulled[c] = global_weights;
-    queue.push({update.ready_at + clients[c].round_latency, update.ready_at, c});
+    queue.push({update.ready_at + next_latency(c), update.ready_at, c});
   }
 
   global.set_weights(global_weights);

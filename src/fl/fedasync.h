@@ -31,6 +31,10 @@ struct FedAsyncOptions {
   std::uint64_t shuffle_seed = 23;
   /// Evaluate the global model every `eval_every` merges (0 = only at end).
   std::size_t eval_every = 5;
+  /// Fault injection (nullptr = fault-free run; must outlive the call). The
+  /// per-client update count plays the role of FedAvg's round number when
+  /// keying fault decisions, so schedules replay identically.
+  const FaultInjector* faults = nullptr;
 };
 
 struct AsyncMerge {
@@ -46,6 +50,9 @@ struct FedAsyncResult {
   double final_loss = 0.0;
   std::size_t total_updates = 0;
   std::vector<float> final_weights;
+  std::size_t total_dropped = 0;      // updates discarded by injected dropout
+  std::size_t total_quarantined = 0;  // non-finite updates discarded pre-merge
+  std::size_t total_delayed = 0;      // merges whose delivery was straggler-scaled
 };
 
 /// Event-driven simulation: every client trains continuously; when a local

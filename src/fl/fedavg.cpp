@@ -1,8 +1,12 @@
 #include "fl/fedavg.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "fl/loss.h"
@@ -130,34 +134,96 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     client_rngs.emplace_back(Rng::derive_stream_seed(options.shuffle_seed, c));
   }
 
+  const FaultInjector* faults =
+      (options.faults != nullptr && options.faults->enabled()) ? options.faults : nullptr;
+  const std::size_t quorum = std::max<std::size_t>(options.quorum, 1);
+
   for (std::size_t round = 1; round <= options.rounds; ++round) {
     TFL_SPAN("fedavg.round");
     std::vector<double> local_losses(clients.size(), 0.0);
     std::vector<std::vector<float>> local_weights(clients.size());
 
+    // The round's fault schedule is decided serially up front: every drop /
+    // straggle / corruption is a pure function of (plan, round, client), so
+    // the same plan replays identically at any thread count.
+    std::vector<std::uint8_t> excluded(clients.size(), 0);
+    std::vector<CorruptionSpec> corruption(clients.size());
+    std::size_t dropped = 0;
+    if (faults != nullptr) {
+      for (std::size_t c = 0; c < clients.size(); ++c) {
+        if (subsets[c].empty()) continue;
+        if (faults->drop_client(round, c)) {
+          excluded[c] = 1;
+          ++dropped;
+          TFL_COUNTER_INC("fault.injected.dropout");
+          continue;
+        }
+        const double scale = faults->straggler_scale(round, c);
+        if (scale > 1.0) {
+          TFL_COUNTER_INC("fault.injected.straggler");
+          if (options.straggler_cutoff > 0.0 && scale >= options.straggler_cutoff) {
+            // Missed the round deadline τ: synchronous FedAvg aggregates
+            // without this client (same Eq. (3) renormalization as dropout).
+            excluded[c] = 1;
+            ++dropped;
+            continue;
+          }
+        }
+        corruption[c] = faults->corrupt_update(round, c);
+        if (corruption[c].corrupt) TFL_COUNTER_INC("fault.injected.corruption");
+      }
+    }
+
     {
       TFL_SCOPED_TIMER("fl.local_train.seconds");
       TFL_GAUGE_SET("parallel.queue.depth", pool == nullptr ? 0 : clients.size());
       run_chunks(pool, clients.size(), [&](std::size_t c, std::size_t w) {
-        if (subsets[c].empty()) return;
+        if (subsets[c].empty() || excluded[c] != 0) return;
         Net& net = worker_nets[w];
         net.set_weights(global_weights);
         local_losses[c] = train_local(net, *clients[c].data, subsets[c], options, client_rngs[c]);
         local_weights[c] = net.weights();
+        if (corruption[c].corrupt) {
+          if (corruption[c].use_nan) {
+            // Poison the update the way a diverged local step would: the
+            // aggregation quarantine below must catch and discard it.
+            local_weights[c].front() = std::numeric_limits<float>::quiet_NaN();
+          } else {
+            // Additive noise from the client's private stateless stream.
+            Rng noise = faults->corruption_rng(round, c);
+            for (float& weight : local_weights[c]) {
+              weight += static_cast<float>(noise.normal(0.0, corruption[c].noise_stddev));
+            }
+          }
+        }
       });
     }
 
     double train_loss_sum = 0.0;
     std::size_t participants = 0;
+    std::size_t quarantined = 0;
+    bool skipped = false;
     {
       TFL_SCOPED_TIMER("fl.aggregate.seconds");
       // Aggregation per Eq. (3): weights proportional to contributed samples
       // d_i |S_i|, folded in fixed client order so the double-precision sums
-      // are bit-identical at any thread count.
+      // are bit-identical at any thread count. Survivors renormalize the
+      // weight sum, so dropouts shift influence, never scale.
       std::vector<double> aggregate(global_weights.size(), 0.0);
       double weight_total = 0.0;
       for (std::size_t c = 0; c < clients.size(); ++c) {
         if (local_weights[c].empty()) continue;
+        // Quarantine: a non-finite update would poison every aggregated
+        // weight through the shared sums, so it is discarded before Eq. (3).
+        double finite_probe = 0.0;
+        for (const float weight : local_weights[c]) {
+          finite_probe += static_cast<double>(weight);
+        }
+        if (!std::isfinite(finite_probe)) {
+          ++quarantined;
+          TFL_COUNTER_INC("fl.updates.quarantined");
+          continue;
+        }
         const double weight = static_cast<double>(subsets[c].size());
         for (std::size_t i = 0; i < aggregate.size(); ++i) {
           aggregate[i] += weight * static_cast<double>(local_weights[c][i]);
@@ -166,13 +232,27 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
         train_loss_sum += local_losses[c];
         ++participants;
       }
-      for (std::size_t i = 0; i < global_weights.size(); ++i) {
-        global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
+      if (participants < quorum) {
+        // Quorum failure: the round is skipped outright — the global model
+        // stays put and the (possibly empty) survivor sums are discarded, so
+        // weight_total == 0 can never reach the division below.
+        skipped = true;
+        TFL_COUNTER_INC("fl.rounds.skipped");
+        TFL_WARN << "fedavg round " << round << " skipped: " << participants
+                 << " survivors below quorum " << quorum;
+      } else {
+        TFL_CHECK(weight_total > 0.0, "fedavg: aggregation weight sum must be positive with ",
+                  participants, " participants");
+        for (std::size_t i = 0; i < global_weights.size(); ++i) {
+          global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
+        }
+        global.set_weights(global_weights);
       }
-      global.set_weights(global_weights);
     }
     TFL_COUNTER_INC("fl.rounds.count");
     TFL_COUNTER_ADD("fl.clients.participating", participants);
+    TFL_GAUGE_SET("round.participation", participants);
+    TFL_SERIES_APPEND("round.participation", participants);
 
     EvalResult eval;
     {
@@ -186,7 +266,14 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
                                            : train_loss_sum / static_cast<double>(participants);
     metrics.test_loss = eval.loss;
     metrics.test_accuracy = eval.accuracy;
+    metrics.participants = participants;
+    metrics.dropped = dropped;
+    metrics.quarantined = quarantined;
+    metrics.skipped = skipped;
     result.history.push_back(metrics);
+    result.rounds_skipped += skipped ? 1 : 0;
+    result.total_dropped += dropped;
+    result.total_quarantined += quarantined;
     TFL_DEBUG << "fedavg round " << round << ": test acc " << eval.accuracy << ", loss "
               << eval.loss;
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/faults.h"
 #include "fl/dataset.h"
 #include "fl/model_zoo.h"
 #include "fl/optimizer.h"
@@ -22,6 +23,17 @@ struct FedAvgOptions {
   std::size_t max_batches_per_epoch = 0;  // 0 = no cap
   SgdOptions sgd{};
   std::uint64_t shuffle_seed = 7;
+
+  /// Fault injection (nullptr = fault-free run; must outlive the call).
+  const FaultInjector* faults = nullptr;
+  /// Minimum surviving clients a round needs; below it the round is skipped
+  /// (global weights untouched, RoundMetrics::skipped set) rather than
+  /// renormalizing Eq. (3) over a degenerate survivor set.
+  std::size_t quorum = 1;
+  /// A straggler whose injected delay scale reaches this cutoff misses the
+  /// round deadline τ and sits the round out. 0 = stragglers are recorded but
+  /// never excluded (synchronous FedAvg waits for them).
+  double straggler_cutoff = 0.0;
 };
 
 /// One organization's training view: a pointer to its local dataset and the
@@ -37,6 +49,10 @@ struct RoundMetrics {
   double train_loss = 0.0;     // mean local loss over participating batches
   double test_loss = 0.0;
   double test_accuracy = 0.0;
+  std::size_t participants = 0;  // clients aggregated into Eq. (3) this round
+  std::size_t dropped = 0;       // dropout + straggler exclusions this round
+  std::size_t quarantined = 0;   // non-finite updates discarded this round
+  bool skipped = false;          // quorum failure: no aggregation happened
 };
 
 struct FedAvgResult {
@@ -45,6 +61,9 @@ struct FedAvgResult {
   double final_loss = 0.0;
   std::size_t total_contributed_samples = 0;
   std::vector<float> final_weights;
+  std::size_t rounds_skipped = 0;
+  std::size_t total_dropped = 0;
+  std::size_t total_quarantined = 0;
 };
 
 /// Evaluates mean loss / accuracy of `net` on a dataset.

@@ -107,6 +107,17 @@ int run_session(const Config& options, std::ostream& out) {
   session_options.sample_scale = options.get_double("sample_scale", 0.15);
   session_options.fedavg.rounds =
       static_cast<std::size_t>(options.get_int("rounds", 5));
+  session_options.fedavg.quorum =
+      static_cast<std::size_t>(options.get_int("quorum", 1));
+  if (const auto spec = options.get("faults")) {
+    const auto plan = parse_fault_plan(*spec);
+    if (!plan.ok()) {
+      out << plan.error().to_string() << "\n";
+      return 2;
+    }
+    session_options.faults = plan.value();
+    out << "fault plan: " << session_options.faults.summary() << "\n";
+  }
   const SessionResult result = session.run(session_options);
   out << describe_session(game, result);
   return result.chain_valid && result.settlement_sum == 0 ? 0 : 1;
@@ -207,6 +218,11 @@ std::string usage() {
          "               threads=1 (worker threads for training/eval/master "
          "enumeration;\n"
          "               results are bit-identical for any value)\n"
+         "robustness:    faults=seed:1,drop:0.2,submit:0.1 (session only; seeded\n"
+         "               deterministic fault injection. keys: seed drop straggle scale\n"
+         "               corrupt noise revert gas submit solver; rates in [0,1])\n"
+         "               quorum=1 (min surviving clients per FedAvg round; a round\n"
+         "               below quorum is skipped, never aborted)\n"
          "observability: metrics=1 (print snapshot table after any command)\n"
          "               metrics_json=FILE (write snapshot JSON)\n"
          "               trace=FILE (write Chrome trace-event JSON; open in\n"

@@ -42,13 +42,33 @@ std::string describe_session(const game::CoopetitionGame& game, const SessionRes
     out << "training: final accuracy " << format_double(result.training->final_accuracy, 4)
         << ", final loss " << format_double(result.training->final_loss, 4) << ", "
         << result.training->total_contributed_samples << " contributed samples\n";
+    if (result.training->total_dropped > 0 || result.training->total_quarantined > 0 ||
+        result.training->rounds_skipped > 0) {
+      out << "training faults: " << result.training->total_dropped << " dropped, "
+          << result.training->total_quarantined << " quarantined, "
+          << result.training->rounds_skipped << " round(s) skipped\n";
+    }
   }
   out << "contract " << result.contract_address.to_hex() << ": " << result.blocks
       << " blocks, " << result.events << " events, " << result.total_gas << " gas\n";
-  out << "on-chain settlement sum = " << result.settlement_sum
-      << " wei (budget balance), max off/on-chain gap = "
-      << format_double(result.max_settlement_gap, 6) << ", chain "
-      << (result.chain_valid ? "VALID" : "INVALID") << "\n";
+  if (result.settled) {
+    out << "on-chain settlement sum = " << result.settlement_sum
+        << " wei (budget balance), max off/on-chain gap = "
+        << format_double(result.max_settlement_gap, 6) << ", chain "
+        << (result.chain_valid ? "VALID" : "INVALID") << "\n";
+  } else {
+    out << "settlement ABORTED (retries exhausted or revert); escrow retained, chain "
+        << (result.chain_valid ? "VALID" : "INVALID") << "\n";
+  }
+  if (result.retry_attempts > 0) {
+    out << "on-chain retries: " << result.retry_attempts << "\n";
+  }
+  if (!result.degradations.empty()) {
+    out << "degradations (" << result.degradations.size() << "):\n";
+    for (const Degradation& degradation : result.degradations) {
+      out << "  [" << degradation.phase << "] " << degradation.detail << "\n";
+    }
+  }
   return out.str();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <variant>
 
 #include "common/logging.h"
 #include "obs/obs.h"
@@ -30,10 +32,29 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   const std::size_t n = game.size();
   SessionResult result;
 
+  // One injector drives every phase; a default-constructed plan disables it.
+  const FaultInjector injector(options.faults);
+  const FaultInjector* faults = injector.enabled() ? &injector : nullptr;
+  const auto degraded = [&](const char* phase, const std::string& detail) {
+    result.degradations.push_back(Degradation{phase, detail});
+    TFL_COUNTER_INC("session.degradations");
+    TFL_WARN << "session degraded [" << phase << "]: " << detail;
+  };
+
   // ---- 1. Equilibrium computation (off-chain, Sec. V). ----
   {
     TFL_SPAN("session.solve");
-    result.mechanism = core::run_scheme(game, options.scheme, options.scheme_options);
+    core::SchemeOptions scheme_options = options.scheme_options;
+    scheme_options.cgbd.faults = faults;
+    // A solve failure is not containable — without {d*, f*} there is nothing
+    // to trade — but CGBD recovers internally (damped restart, then DBR
+    // fallback); surface the fallback as a degradation rather than hiding it.
+    result.mechanism = core::run_scheme(game, options.scheme, scheme_options);
+    for (const auto& [key, value] : result.mechanism.solution.diagnostics) {
+      if (key == "fallback_dbr" && value > 0.0) {
+        degraded("solve", "CGBD barrier diverged twice; solution computed by DBR fallback");
+      }
+    }
     result.properties = core::verify_properties(game, result.mechanism,
                                                 options.scheme != core::Scheme::kTos);
   }
@@ -42,36 +63,57 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   // ---- 2. Optional FedAvg training with the equilibrium fractions. ----
   if (options.run_training) {
     TFL_SPAN("session.train");
-    const fl::DatasetSpec concept_spec =
-        fl::DatasetSpec::builtin(options.dataset, options.seed);
-    std::vector<fl::Dataset> locals;
-    locals.reserve(n);
-    std::vector<fl::FedClient> clients;
-    for (game::OrgId i = 0; i < n; ++i) {
-      const std::size_t samples = std::max<std::size_t>(
-          8, static_cast<std::size_t>(std::lround(
-                 options.sample_scale * static_cast<double>(game.org(i).sample_count))));
-      locals.emplace_back(concept_spec.with_sample_seed(options.seed + i + 1), samples);
+    try {
+      const fl::DatasetSpec concept_spec =
+          fl::DatasetSpec::builtin(options.dataset, options.seed);
+      std::vector<fl::Dataset> locals;
+      locals.reserve(n);
+      std::vector<fl::FedClient> clients;
+      for (game::OrgId i = 0; i < n; ++i) {
+        const std::size_t samples = std::max<std::size_t>(
+            8, static_cast<std::size_t>(std::lround(
+                   options.sample_scale * static_cast<double>(game.org(i).sample_count))));
+        locals.emplace_back(concept_spec.with_sample_seed(options.seed + i + 1), samples);
+      }
+      for (game::OrgId i = 0; i < n; ++i) {
+        clients.push_back(fl::FedClient{&locals[i], profile[i].data_fraction,
+                                        options.seed * 131 + i});
+      }
+      const fl::Dataset test_set(concept_spec.with_sample_seed(options.seed + 7777),
+                                 options.test_samples);
+      fl::ModelSpec model_spec;
+      model_spec.kind = options.model;
+      model_spec.channels = concept_spec.channels;
+      model_spec.height = concept_spec.height;
+      model_spec.width = concept_spec.width;
+      model_spec.classes = concept_spec.classes;
+      model_spec.seed = options.seed;
+      fl::FedAvgOptions fedavg_options = options.fedavg;
+      fedavg_options.faults = faults;
+      result.training = fl::train_fedavg(model_spec, clients, test_set, fedavg_options);
+      if (result.training->rounds_skipped > 0) {
+        degraded("training", std::to_string(result.training->rounds_skipped) +
+                                 " round(s) skipped below quorum " +
+                                 std::to_string(fedavg_options.quorum));
+      }
+      if (result.training->total_quarantined > 0) {
+        degraded("training", std::to_string(result.training->total_quarantined) +
+                                 " corrupted update(s) quarantined");
+      }
+    } catch (const std::exception& failure) {
+      // Training is advisory for the trade itself (the settlement depends on
+      // the equilibrium profile, not the model), so its failure degrades the
+      // session rather than aborting it.
+      result.training.reset();
+      degraded("training", failure.what());
     }
-    for (game::OrgId i = 0; i < n; ++i) {
-      clients.push_back(fl::FedClient{&locals[i], profile[i].data_fraction,
-                                      options.seed * 131 + i});
-    }
-    const fl::Dataset test_set(concept_spec.with_sample_seed(options.seed + 7777),
-                               options.test_samples);
-    fl::ModelSpec model_spec;
-    model_spec.kind = options.model;
-    model_spec.channels = concept_spec.channels;
-    model_spec.height = concept_spec.height;
-    model_spec.width = concept_spec.width;
-    model_spec.classes = concept_spec.classes;
-    model_spec.seed = options.seed;
-    result.training = fl::train_fedavg(model_spec, clients, test_set, options.fedavg);
   }
 
   // ---- 3. Deploy chain + contract. ----
   chain_ = std::make_unique<chain::Blockchain>();
   chain::Web3Client web3(*chain_);
+  web3.set_fault_injector(faults);
+  web3.set_retry_policy(options.retry);
 
   chain::TradeFlContractConfig config;
   config.org_count = n;
@@ -105,44 +147,77 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   const Wei funding = options.funding > 0 ? options.funding : min_deposit * 2;
   if (funding < min_deposit) throw std::invalid_argument("session: funding below min deposit");
 
+  // On-chain phases run through call_with_retry: transient injected failures
+  // (submission loss, gas exhaustion) are absorbed by the RetryPolicy; a
+  // giveup or revert aborts the REMAINING chain steps gracefully — the
+  // contract simply never settles (escrow untouched on the simulated chain),
+  // settlements stay zero, and the failure lands in `degradations`.
+  bool chain_ok = true;
+  const auto chain_call = [&](const Address& from, const std::string& method,
+                              std::vector<chain::AbiValue> args = {},
+                              Wei value = 0) -> Result<chain::CallOutcome> {
+    Result<chain::CallOutcome> outcome =
+        web3.call_with_retry(from, result.contract_address, method, args, value);
+    if (!outcome) {
+      chain_ok = false;
+      degraded("chain", outcome.error().to_string());
+    }
+    return outcome;
+  };
+
   // ---- 4. Register + deposit (Fig. 3 step 1). ----
-  for (game::OrgId i = 0; i < n; ++i) {
+  for (game::OrgId i = 0; i < n && chain_ok; ++i) {
     chain_->credit(org_address(i), funding);
-    web3.call_or_throw(org_address(i), result.contract_address, "register",
-                       {org_address(i), static_cast<std::uint64_t>(i)});
-    web3.call_or_throw(org_address(i), result.contract_address, "depositSubmit", {},
-                       min_deposit);
+    chain_call(org_address(i), "register", {org_address(i), static_cast<std::uint64_t>(i)});
+    if (!chain_ok) break;
+    chain_call(org_address(i), "depositSubmit", {}, min_deposit);
   }
 
   // ---- 5. Report contributions (Fig. 3 step 2). ----
-  for (game::OrgId i = 0; i < n; ++i) {
+  for (game::OrgId i = 0; i < n && chain_ok; ++i) {
     const double f_ghz = game.frequency(i, profile[i]) / 1e9;
-    web3.call_or_throw(org_address(i), result.contract_address, "contributionSubmit",
-                       {Fixed::from_double(profile[i].data_fraction),
-                        Fixed::from_double(f_ghz)});
+    chain_call(org_address(i), "contributionSubmit",
+               {Fixed::from_double(profile[i].data_fraction), Fixed::from_double(f_ghz)});
   }
 
   // ---- 6. Settle (Fig. 3 step 3). ----
-  TFL_SPAN("session.settle");
-  web3.call_or_throw(org_address(0), result.contract_address, "payoffCalculate");
-  result.settlements_wei.resize(n);
-  for (game::OrgId i = 0; i < n; ++i) {
-    const auto outcome = web3.call_or_throw(org_address(i), result.contract_address,
-                                            "payoffOf", {static_cast<std::uint64_t>(i)});
-    result.settlements_wei[i] = std::get<std::int64_t>(outcome.returned.at(0));
+  result.settlements_wei.assign(n, 0);
+  if (chain_ok) {
+    TFL_SPAN("session.settle");
+    chain_call(org_address(0), "payoffCalculate");
+    for (game::OrgId i = 0; i < n && chain_ok; ++i) {
+      // Exemplar Result chain: retried call -> decoded payoff without an
+      // intermediate throw; a failed step short-circuits as the Error.
+      const Result<Wei> payoff =
+          chain_call(org_address(i), "payoffOf", {static_cast<std::uint64_t>(i)})
+              .and_then([](const chain::CallOutcome& outcome) -> Result<Wei> {
+                if (outcome.returned.empty() ||
+                    !std::holds_alternative<std::int64_t>(outcome.returned.front())) {
+                  return Error{"decode", "payoffOf returned no int64 payoff"};
+                }
+                return std::get<std::int64_t>(outcome.returned.front());
+              });
+      if (payoff) result.settlements_wei[i] = payoff.value();
+    }
+    if (chain_ok) {
+      chain_call(org_address(0), "payoffTransfer");
+      result.settled = chain_ok;
+    }
   }
-  web3.call_or_throw(org_address(0), result.contract_address, "payoffTransfer");
 
   // ---- 7. Cross-checks. ----
   result.settlement_sum = 0;
   for (Wei wei : result.settlements_wei) result.settlement_sum += wei;
-  for (game::OrgId i = 0; i < n; ++i) {
-    const double off_chain = game.redistribution(i, profile);
-    const double on_chain =
-        static_cast<double>(result.settlements_wei[i]) / static_cast<double>(Fixed::kScale);
-    result.max_settlement_gap =
-        std::max(result.max_settlement_gap, std::abs(off_chain - on_chain));
+  if (result.settled) {
+    for (game::OrgId i = 0; i < n; ++i) {
+      const double off_chain = game.redistribution(i, profile);
+      const double on_chain =
+          static_cast<double>(result.settlements_wei[i]) / static_cast<double>(Fixed::kScale);
+      result.max_settlement_gap =
+          std::max(result.max_settlement_gap, std::abs(off_chain - on_chain));
+    }
   }
+  result.retry_attempts = web3.retry_attempts();
   const chain::ChainValidation validation = chain_->validate();
   result.chain_valid = validation.valid;
   if (!validation.valid) TFL_ERROR << "session: chain invalid: " << validation.problem;

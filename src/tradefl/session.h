@@ -15,9 +15,11 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "chain/tradefl_contract.h"
 #include "chain/web3.h"
+#include "common/faults.h"
 #include "core/mechanism.h"
 #include "fl/fedavg.h"
 #include "game/game.h"
@@ -43,6 +45,21 @@ struct SessionOptions {
   chain::Wei funding = 0;
 
   std::uint64_t seed = 2024;
+
+  /// Fault plan for the whole session (empty = fault-free). The session owns
+  /// the injector and threads it through solver, training, and chain phases.
+  FaultPlan faults{};
+
+  /// Retry policy for on-chain calls (only exercised when faults inject
+  /// transient submission failures / gas exhaustion).
+  chain::RetryPolicy retry{};
+};
+
+/// One contained failure: the session survived it, degraded, and reports it
+/// here instead of aborting.
+struct Degradation {
+  std::string phase;   // "solve", "training", "chain"
+  std::string detail;
 };
 
 struct SessionResult {
@@ -58,6 +75,14 @@ struct SessionResult {
   std::uint64_t total_gas = 0;
   std::size_t blocks = 0;
   std::size_t events = 0;
+
+  /// True once payoffTransfer landed; false when the chain phase aborted
+  /// after exhausted retries (settlements_wei stays zeroed).
+  bool settled = false;
+  /// Every contained fault, in the order the session absorbed it. Empty in a
+  /// healthy run.
+  std::vector<Degradation> degradations;
+  std::uint64_t retry_attempts = 0;  // on-chain retries consumed this run
 };
 
 class TradingSession {

@@ -39,6 +39,66 @@ TEST(Result, MapPropagatesError) {
   EXPECT_EQ(mapped.error().code, "e");
 }
 
+TEST(Result, AndThenChainsResults) {
+  Result<int> result(20);
+  const auto chained = result
+                           .and_then([](int x) -> Result<int> { return x + 1; })
+                           .and_then([](int x) -> Result<int> { return x * 2; });
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained.value(), 42);
+}
+
+TEST(Result, AndThenShortCircuitsOnError) {
+  Result<int> result(1);
+  bool second_ran = false;
+  const auto chained = result
+                           .and_then([](int) -> Result<int> { return Error{"mid", "stop"}; })
+                           .and_then([&](int x) -> Result<int> {
+                             second_ran = true;
+                             return x;
+                           });
+  ASSERT_FALSE(chained.ok());
+  EXPECT_EQ(chained.error().code, "mid");
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Result, AndThenCanChangeType) {
+  Result<int> result(7);
+  const Result<std::string> text =
+      result.and_then([](int x) -> Result<std::string> { return std::to_string(x); });
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "7");
+}
+
+TEST(Result, OrElseRecoversFromError) {
+  Result<int> result(Error{"e", "broken"});
+  const Result<int> recovered = result.or_else([](const Error&) -> Result<int> { return 5; });
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 5);
+}
+
+TEST(Result, OrElseCanRewrapError) {
+  Result<int> result(Error{"inner", "detail"});
+  const Result<int> rewrapped = result.or_else([](const Error& error) -> Result<int> {
+    return Error{"outer", "context: " + error.message};
+  });
+  ASSERT_FALSE(rewrapped.ok());
+  EXPECT_EQ(rewrapped.error().code, "outer");
+  EXPECT_EQ(rewrapped.error().message, "context: detail");
+}
+
+TEST(Result, OrElsePassesValueThrough) {
+  Result<int> result(3);
+  bool handler_ran = false;
+  const Result<int> passed = result.or_else([&](const Error&) -> Result<int> {
+    handler_ran = true;
+    return 0;
+  });
+  ASSERT_TRUE(passed.ok());
+  EXPECT_EQ(passed.value(), 3);
+  EXPECT_FALSE(handler_ran);
+}
+
 TEST(Result, TakeMovesValue) {
   Result<std::string> result(std::string("moveme"));
   const std::string taken = std::move(result).take();

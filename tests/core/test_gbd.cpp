@@ -167,6 +167,57 @@ TEST(Cgbd, ThrowsWhenNoTupleFeasible) {
   EXPECT_THROW(run_cgbd(game), std::runtime_error);
 }
 
+TEST(GbdFaults, EmptyPlanInjectorIsNoOp) {
+  const auto game = small_game(42);
+  const FaultInjector inert{};
+  GbdOptions options;
+  options.faults = &inert;  // disabled: all-zero plan
+  const Solution faulted = run_cgbd(game, options);
+  const Solution plain = run_cgbd(game);
+  ASSERT_EQ(faulted.profile.size(), plain.profile.size());
+  for (OrgId i = 0; i < game.size(); ++i) {
+    EXPECT_EQ(faulted.profile[i].data_fraction, plain.profile[i].data_fraction);  // bitwise
+    EXPECT_EQ(faulted.profile[i].freq_index, plain.profile[i].freq_index);
+  }
+}
+
+TEST(GbdFaults, PerturbationRecoversViaDampedRestart) {
+  // Every primal solve is poisoned with NaN; the solver must recover through
+  // the damped barrier restart and still converge to a feasible equilibrium.
+  const auto game = small_game(42);
+  FaultPlan plan;
+  plan.solver_perturb_rate = 1.0;
+  const FaultInjector injector(plan);
+  GbdOptions options;
+  options.faults = &injector;
+  const Solution recovered = run_cgbd(game, options);
+  EXPECT_TRUE(recovered.converged);
+  EXPECT_TRUE(game.is_feasible(recovered.profile));
+  // The damped restart solves the same concave primal: the equilibrium value
+  // matches the unperturbed run to solver tolerance.
+  const Solution plain = run_cgbd(game);
+  const double v_recovered = game::potential(game, recovered.profile);
+  const double v_plain = game::potential(game, plain.profile);
+  EXPECT_NEAR(v_recovered, v_plain, 1e-4 * std::max(1.0, std::abs(v_plain)));
+}
+
+TEST(GbdFaults, PerturbationScheduleIsDeterministic) {
+  const auto game = small_game(42);
+  FaultPlan plan;
+  plan.solver_perturb_rate = 0.5;
+  plan.seed = 19;
+  const FaultInjector injector(plan);
+  GbdOptions options;
+  options.faults = &injector;
+  const Solution a = run_cgbd(game, options);
+  const Solution b = run_cgbd(game, options);
+  ASSERT_EQ(a.profile.size(), b.profile.size());
+  for (OrgId i = 0; i < game.size(); ++i) {
+    EXPECT_EQ(a.profile[i].data_fraction, b.profile[i].data_fraction);
+    EXPECT_EQ(a.profile[i].freq_index, b.profile[i].freq_index);
+  }
+}
+
 TEST(Enumeration, VisitsAllTuples) {
   const auto game = small_game(9, 3);
   const Solution brute = solve_by_enumeration(game);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace tradefl::fl {
 namespace {
 
@@ -133,6 +135,98 @@ TEST(FedAsync, Deterministic) {
                                 fixture.test_set, fast_options(30.0));
   EXPECT_EQ(a.final_weights, b.final_weights);
   EXPECT_EQ(a.total_updates, b.total_updates);
+}
+
+TEST(FedAsyncFaults, EmptyPlanIsBitIdenticalToNoInjector) {
+  Fixture fixture;
+  const FaultInjector inert{};
+  FedAsyncOptions with_injector = fast_options(30.0);
+  with_injector.faults = &inert;
+  const auto faulted = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 0.5}),
+                                      fixture.test_set, with_injector);
+  const auto plain = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 0.5}),
+                                    fixture.test_set, fast_options(30.0));
+  EXPECT_EQ(faulted.final_weights, plain.final_weights);  // bitwise
+  EXPECT_EQ(faulted.total_updates, plain.total_updates);
+  EXPECT_EQ(faulted.total_dropped, 0u);
+  EXPECT_EQ(faulted.total_delayed, 0u);
+}
+
+TEST(FedAsyncFaults, DropoutDiscardsUpdatesButKeepsTraining) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.dropout_rate = 0.3;
+  plan.seed = 21;
+  const FaultInjector injector(plan);
+  FedAsyncOptions options = fast_options(40.0);
+  options.faults = &injector;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({2.0, 3.0, 4.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, options);
+  EXPECT_GT(result.total_dropped, 0u);
+  EXPECT_GT(result.total_updates, 0u);  // survivors still merge
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAsyncFaults, StragglerStretchDelaysMerges) {
+  Fixture fixture;
+  // Every update of client 0 is stretched 4x; with the same horizon it can
+  // complete strictly fewer updates than the fault-free baseline.
+  FaultPlan plan;
+  plan.straggler_scale = 4.0;
+  for (std::uint64_t update = 1; update <= 32; ++update) {
+    plan.events.push_back(FaultEvent{FaultKind::kStragglerDelay, update, 0, 0.0});
+  }
+  const FaultInjector injector(plan);
+  FedAsyncOptions options = fast_options(40.0);
+  options.faults = &injector;
+  const auto slowed = train_fedasync(fixture.model,
+                                     fixture.clients({2.0, 5.0, 5.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, options);
+  const auto baseline = train_fedasync(fixture.model,
+                                       fixture.clients({2.0, 5.0, 5.0}, {1.0, 1.0, 1.0}),
+                                       fixture.test_set, fast_options(40.0));
+  EXPECT_GT(slowed.total_delayed, 0u);
+  std::size_t slowed_merges = 0, baseline_merges = 0;
+  for (const AsyncMerge& merge : slowed.merges) {
+    if (merge.client_index == 0) ++slowed_merges;
+  }
+  for (const AsyncMerge& merge : baseline.merges) {
+    if (merge.client_index == 0) ++baseline_merges;
+  }
+  EXPECT_LT(slowed_merges, baseline_merges);
+}
+
+TEST(FedAsyncFaults, NanCorruptionIsQuarantined) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kUpdateCorruption, 1, 0, 0.0});
+  const FaultInjector injector(plan);
+  FedAsyncOptions options = fast_options(30.0);
+  options.faults = &injector;
+  const auto result = train_fedasync(fixture.model,
+                                     fixture.clients({2.0, 3.0, 4.0}, {1.0, 1.0, 1.0}),
+                                     fixture.test_set, options);
+  EXPECT_EQ(result.total_quarantined, 1u);
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAsyncFaults, FaultScheduleIsDeterministic) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.dropout_rate = 0.25;
+  plan.corrupt_rate = 0.1;
+  plan.seed = 77;
+  const FaultInjector injector(plan);
+  FedAsyncOptions options = fast_options(30.0);
+  options.faults = &injector;
+  const auto a = train_fedasync(fixture.model, fixture.clients({2.0, 4.0}, {1.0, 1.0}),
+                                fixture.test_set, options);
+  const auto b = train_fedasync(fixture.model, fixture.clients({2.0, 4.0}, {1.0, 1.0}),
+                                fixture.test_set, options);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.total_dropped, b.total_dropped);
+  EXPECT_EQ(a.total_quarantined, b.total_quarantined);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace tradefl::fl {
 namespace {
 
@@ -141,6 +143,147 @@ TEST(FedAvg, ValidatesOptions) {
   EXPECT_THROW(train_fedavg(fixture.model, {FedClient{nullptr, 1.0, 1}}, fixture.test_set,
                             fast_options()),
                std::invalid_argument);
+}
+
+TEST(FedAvgFaults, EmptyPlanIsBitIdenticalToNoInjector) {
+  Fixture fixture;
+  const FaultInjector inert{};  // all-zero plan
+  FedAvgOptions with_injector = fast_options(3);
+  with_injector.faults = &inert;
+  const FedAvgResult faulted = train_fedavg(fixture.model, fixture.clients({0.6, 0.8, 1.0}),
+                                            fixture.test_set, with_injector);
+  const FedAvgResult plain = train_fedavg(fixture.model, fixture.clients({0.6, 0.8, 1.0}),
+                                          fixture.test_set, fast_options(3));
+  EXPECT_EQ(faulted.final_weights, plain.final_weights);  // bitwise
+  EXPECT_EQ(faulted.total_dropped, 0u);
+  EXPECT_EQ(faulted.rounds_skipped, 0u);
+}
+
+TEST(FedAvgFaults, DropoutRenormalizesOverSurvivors) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kClientDropout, 1, 1, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(2);
+  options.faults = &injector;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  EXPECT_EQ(result.history[0].participants, 2u);
+  EXPECT_EQ(result.history[0].dropped, 1u);
+  EXPECT_FALSE(result.history[0].skipped);
+  EXPECT_EQ(result.history[1].participants, 3u);  // fault was round-1 only
+  EXPECT_EQ(result.total_dropped, 1u);
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAvgFaults, DropoutScheduleIsDeterministic) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.dropout_rate = 0.4;
+  plan.seed = 11;
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(3);
+  options.faults = &injector;
+  const FedAvgResult a = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                      fixture.test_set, options);
+  const FedAvgResult b = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                      fixture.test_set, options);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.total_dropped, b.total_dropped);
+  for (std::size_t r = 0; r < a.history.size(); ++r) {
+    EXPECT_EQ(a.history[r].participants, b.history[r].participants);
+  }
+}
+
+TEST(FedAvgFaults, NanCorruptionIsQuarantined) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kUpdateCorruption, 1, 0, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(1);
+  options.faults = &injector;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  EXPECT_EQ(result.history[0].quarantined, 1u);
+  EXPECT_EQ(result.history[0].participants, 2u);
+  EXPECT_EQ(result.total_quarantined, 1u);
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAvgFaults, NoiseCorruptionStaysAggregated) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.corrupt_noise = 0.01;  // finite noise, not NaN poison
+  plan.events.push_back(FaultEvent{FaultKind::kUpdateCorruption, 1, 0, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(1);
+  options.faults = &injector;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  EXPECT_EQ(result.history[0].quarantined, 0u);
+  EXPECT_EQ(result.history[0].participants, 3u);
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAvgFaults, QuorumFailureSkipsRoundKeepsModel) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kClientDropout, 1, kAnyFaultTarget, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(1);
+  options.faults = &injector;
+  options.quorum = 2;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_TRUE(result.history[0].skipped);
+  EXPECT_EQ(result.rounds_skipped, 1u);
+  // The global model never moved: final weights are the initial weights.
+  Net untouched = build_model(fixture.model);
+  EXPECT_EQ(result.final_weights, untouched.weights());
+}
+
+TEST(FedAvgFaults, ZeroSampleClientPlusDropoutHitsQuorumNotDivideByZero) {
+  Fixture fixture;
+  // Only client 0 contributes data; clients 1 and 2 are zero-sample (skipped
+  // by the participation rule). Dropping client 0 leaves ZERO survivors — the
+  // round must be skipped under the default quorum of 1, never divide by a
+  // zero weight sum.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kClientDropout, 1, 0, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(2);
+  options.faults = &injector;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 0.0, 0.0}),
+                                           fixture.test_set, options);
+  EXPECT_TRUE(result.history[0].skipped);
+  EXPECT_EQ(result.history[0].participants, 0u);
+  EXPECT_FALSE(result.history[1].skipped);  // client 0 returns in round 2
+  EXPECT_EQ(result.history[1].participants, 1u);
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAvgFaults, StragglerCutoffExcludesSlowClient) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.straggler_scale = 5.0;
+  plan.events.push_back(FaultEvent{FaultKind::kStragglerDelay, 1, 1, 0.0});
+  const FaultInjector injector(plan);
+
+  FedAvgOptions waiting = fast_options(1);
+  waiting.faults = &injector;  // cutoff 0: synchronous FedAvg waits
+  const FedAvgResult waited = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, waiting);
+  EXPECT_EQ(waited.history[0].participants, 3u);
+  EXPECT_EQ(waited.history[0].dropped, 0u);
+
+  FedAvgOptions strict = fast_options(1);
+  strict.faults = &injector;
+  strict.straggler_cutoff = 4.0;  // scale 5 misses the deadline
+  const FedAvgResult excluded = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                             fixture.test_set, strict);
+  EXPECT_EQ(excluded.history[0].participants, 2u);
+  EXPECT_EQ(excluded.history[0].dropped, 1u);
 }
 
 TEST(Evaluate, AccuracyAndLossConsistent) {

@@ -98,6 +98,35 @@ TEST(CliRun, SessionSettlesOnChain) {
   EXPECT_NE(out.str().find("VALID"), std::string::npos);
 }
 
+TEST(CliRun, SessionRejectsMalformedFaultSpec) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "faults=drop:1.5"}).value(), out), 2);
+  EXPECT_NE(out.str().find("faults"), std::string::npos);
+}
+
+TEST(CliRun, SessionEchoesFaultPlanAndSurvivesChaos) {
+  std::ostringstream out;
+  // Transient submission loss at 20%: retries absorb it, settlement lands,
+  // exit code stays 0.
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3",
+                       "faults=seed:5,submit:0.2"}).value(),
+                out),
+            0);
+  EXPECT_NE(out.str().find("fault plan:"), std::string::npos);
+  EXPECT_NE(out.str().find("submit:0.2"), std::string::npos);
+  EXPECT_NE(out.str().find("budget balance"), std::string::npos);
+}
+
+TEST(CliRun, SessionReportsAbortWhenRetriesExhausted) {
+  std::ostringstream out;
+  // Every submission lost: the chain phase gives up gracefully. The escrow
+  // is retained, settlements stay zero, the chain stays valid — exit 0.
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "faults=submit:1.0"}).value(), out),
+            0);
+  EXPECT_NE(out.str().find("ABORTED"), std::string::npos);
+  EXPECT_NE(out.str().find("degradations"), std::string::npos);
+}
+
 TEST(CliRun, ChainShowsBlocksAndEvents) {
   std::ostringstream out;
   EXPECT_EQ(run(parse({"chain", "orgs=3", "seed=3"}).value(), out), 0);

@@ -7,7 +7,11 @@
 #   3. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
 #      instrumentation macros compile away cleanly
 #   4. ASan+UBSan build of the same suite, zero reports tolerated
-#   5. TSan build of the concurrency suites (ThreadPool/Parallel/Gemm/Metrics)
+#   5. TSan build of the concurrency suites (ThreadPool/Parallel/Gemm/Metrics/
+#      Chaos)
+#   6. chaos suite re-run under ASan+UBSan (fault-injection paths: dropout,
+#      corruption quarantine, retry exhaustion, solver recovery) as its own
+#      named gate so a filter change can never silently drop it
 #
 # Usage: tools/ci_check.sh [--no-sanitizers]
 set -euo pipefail
@@ -43,6 +47,12 @@ ctest --test-dir build-notrace --output-on-failure -j "$jobs"
 if [ "$run_sanitizers" -eq 1 ]; then
   echo "=== ci: sanitizer pass ==="
   tools/run_sanitizers.sh asan-ubsan tsan
+
+  echo "=== ci: chaos suite (asan-ubsan) ==="
+  # Fault-injection robustness tests under ASan+UBSan: dropout/quarantine in
+  # FL, retry/abort on chain, solver recovery, and the thread-count replay.
+  ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
+        -R 'Chaos|Retry|Fault|GbdFaults'
 fi
 
 echo "ci_check: all gates passed"

@@ -30,7 +30,9 @@ for preset in "${presets[@]}"; do
     # TSan's value is catching races in the code that actually spawns threads;
     # restricting to the concurrency suites keeps the pass fast enough to gate
     # every PR (the full suite still runs under ASan+UBSan).
-    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics'
+    # Chaos is included because its replay test drives the pool at 4 threads
+    # under an active fault plan.
+    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos'
   else
     ctest --preset "$preset"
   fi

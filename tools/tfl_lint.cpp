@@ -28,6 +28,10 @@
 //   include-layering  `#include "module/..."` edges that violate the layer
 //                     graph (common < obs < math < game < {core, fl}; chain
 //                     sits on common+obs only; tradefl/ may include everything)
+//   ad-hoc-retry      a `for`/`while` loop wrapped around `->call(` outside
+//                     src/chain/web3.cpp (hand-rolled retries bypass
+//                     RetryPolicy's deterministic backoff, jitter seeding, and
+//                     retry counters — route through call_with_retry)
 //
 // The matcher works on comment- and string-stripped text, so banned words in
 // comments or log messages do not trip it. Justified exceptions live in
@@ -384,6 +388,56 @@ void check_raw_thread(const std::string& path, const std::vector<std::string>& l
   }
 }
 
+void check_ad_hoc_retry(const std::string& path, const std::vector<std::string>& lines,
+                        std::vector<Finding>& findings) {
+  // Hand-rolled retry loops around chain calls fork behavior from RetryPolicy
+  // (deterministic backoff, seeded jitter, retry/giveup counters, fault
+  // accounting). Web3Client::call_with_retry is the one sanctioned loop.
+  if (path_ends_with(path, "src/chain/web3.cpp")) return;
+  std::vector<int> loop_depths;  // brace depth just inside each open loop body
+  int depth = 0;
+  int paren = 0;              // unbalanced `(` carried across lines
+  bool pending_loop = false;  // saw for/while; its `{` (or braceless body) pending
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+
+    std::size_t kw_at = 0;
+    const bool opens_loop =
+        contains_token(line, "for", &kw_at) || contains_token(line, "while", &kw_at);
+
+    const std::size_t call_at = line.find("->call(");
+    const bool in_loop = !loop_depths.empty() || pending_loop ||
+                         (opens_loop && call_at != std::string::npos && call_at > kw_at);
+    if (call_at != std::string::npos && in_loop) {
+      findings.push_back({path, i + 1, "ad-hoc-retry",
+                          "chain call inside a hand-rolled loop — use "
+                          "Web3Client::call_with_retry (RetryPolicy) instead"});
+    }
+
+    if (opens_loop) pending_loop = true;
+    for (char c : line) {
+      if (c == '(') {
+        ++paren;
+      } else if (c == ')') {
+        if (paren > 0) --paren;
+      } else if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+      } else if (c == '}') {
+        if (!loop_depths.empty() && loop_depths.back() == depth) loop_depths.pop_back();
+        --depth;
+      } else if (c == ';' && pending_loop && paren == 0) {
+        // Braceless loop body ended (`;` inside a for header stays
+        // paren-guarded and does not end the loop).
+        pending_loop = false;
+      }
+    }
+  }
+}
+
 void check_missing_override(const std::string& path, const std::vector<std::string>& lines,
                             std::vector<Finding>& findings) {
   // Track class scopes and whether each has a base clause. One entry per open
@@ -484,6 +538,7 @@ void scan_content(const std::string& path, const std::string& content,
   check_float_equality(path, lines, findings);
   check_raw_steady_clock(path, lines, findings);
   check_raw_thread(path, lines, findings);
+  check_ad_hoc_retry(path, lines, findings);
   check_missing_override(path, lines, findings);
   check_include_layering(path, raw_lines, findings);
 }
@@ -599,6 +654,36 @@ int run_self_test() {
        "#include <thread>\n"
        "auto f() { return std::this_thread::get_id(); }\n",
        {}},
+      {"src/tradefl/fixture_retry_loop.cpp",
+       "void f(Client* web3) {\n"
+       "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+       "    auto outcome = web3->call(from, to, method, args);\n"
+       "    if (outcome.ok()) break;\n"
+       "  }\n"
+       "}\n",
+       {"ad-hoc-retry"}},
+      {"src/tradefl/fixture_retry_while.cpp",
+       "void f(Client* web3) {\n"
+       "  bool done = false;\n"
+       "  while (!done) done = web3->call(from, to, method, args).ok();\n"
+       "}\n",
+       {"ad-hoc-retry"}},
+      // The sanctioned retry loop itself (and single calls, even after an
+      // unrelated loop) must not fire.
+      {"src/chain/web3.cpp",
+       "Outcome g(Client* inner) {\n"
+       "  for (int attempt = 1;; ++attempt) {\n"
+       "    auto receipt = inner->call(from, to, method, args);\n"
+       "    if (receipt.ok()) return receipt;\n"
+       "  }\n"
+       "}\n",
+       {}},
+      {"src/chain/fixture_single_call_ok.cpp",
+       "Outcome g(Client* contract) {\n"
+       "  for (int i = 0; i < 3; ++i) prepare(i);\n"
+       "  return contract->call(context, method, args);\n"
+       "}\n",
+       {}},
       // Clean file: banned words only in comments/strings, tolerance compare,
       // override used properly, allowed include edge. Must produce no findings.
       {"src/game/fixture_clean.cpp",
@@ -649,7 +734,9 @@ void list_rules() {
             << "raw-thread         std::thread/std::jthread/std::async outside "
                "src/common/parallel.*\n"
             << "missing-override   virtual redecl without override in derived classes\n"
-            << "include-layering   module include edges outside the layer graph (src/)\n";
+            << "include-layering   module include edges outside the layer graph (src/)\n"
+            << "ad-hoc-retry       for/while wrapped around ->call( outside src/chain/web3.cpp "
+               "(use Web3Client::call_with_retry)\n";
 }
 
 }  // namespace
