@@ -1,11 +1,157 @@
 #include "chain/blockchain.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/snapshot.h"
 #include "obs/obs.h"
 
 namespace tradefl::chain {
+namespace {
+
+// WAL record framing: [u32 magic "TFWL"] [u32 payload length] [payload]
+// [u32 CRC32(payload)]. One record per sealed block, appended and flushed
+// before seal_block returns.
+constexpr std::uint32_t kWalMagic = 0x4C575446u;  // "TFWL" little-endian
+constexpr std::size_t kWalFrameOverhead = 4 + 4 + 4;
+constexpr std::uint32_t kChainStateVersion = 1;
+
+void put_fixed(ByteWriter& writer, const std::uint8_t* data, std::size_t size) {
+  writer.put_bytes(Bytes(data, data + size));
+}
+
+Hash256 get_hash(ByteReader& reader) {
+  const Bytes raw = reader.get_bytes();
+  if (raw.size() != 32) throw std::invalid_argument("chain: hash field is not 32 bytes");
+  Hash256 hash{};
+  std::copy(raw.begin(), raw.end(), hash.begin());
+  return hash;
+}
+
+Address get_address(ByteReader& reader) {
+  const Bytes raw = reader.get_bytes();
+  if (raw.size() != 20) throw std::invalid_argument("chain: address field is not 20 bytes");
+  Address address{};
+  std::copy(raw.begin(), raw.end(), address.bytes.begin());
+  return address;
+}
+
+void put_tx(ByteWriter& writer, const Transaction& tx) {
+  put_fixed(writer, tx.from.bytes.data(), tx.from.bytes.size());
+  put_fixed(writer, tx.to.bytes.data(), tx.to.bytes.size());
+  writer.put_i64(tx.value);
+  writer.put_u64(tx.nonce);
+  writer.put_bytes(tx.data);
+  writer.put_u64(tx.gas_limit);
+}
+
+Transaction get_tx(ByteReader& reader) {
+  Transaction tx;
+  tx.from = get_address(reader);
+  tx.to = get_address(reader);
+  tx.value = reader.get_i64();
+  tx.nonce = reader.get_u64();
+  tx.data = reader.get_bytes();
+  tx.gas_limit = reader.get_u64();
+  return tx;
+}
+
+Bytes serialize_block(const Block& block) {
+  ByteWriter writer;
+  writer.put_u64(block.header.index);
+  writer.put_u64(block.header.timestamp);
+  put_fixed(writer, block.header.prev_hash.data(), block.header.prev_hash.size());
+  put_fixed(writer, block.header.tx_root.data(), block.header.tx_root.size());
+  writer.put_u64(block.transactions.size());
+  for (const Transaction& tx : block.transactions) put_tx(writer, tx);
+  return writer.data();
+}
+
+Block decode_block(const Bytes& payload) {
+  ByteReader reader(payload);
+  Block block;
+  block.header.index = reader.get_u64();
+  block.header.timestamp = reader.get_u64();
+  block.header.prev_hash = get_hash(reader);
+  block.header.tx_root = get_hash(reader);
+  const std::uint64_t tx_count = reader.get_u64();
+  for (std::uint64_t i = 0; i < tx_count; ++i) block.transactions.push_back(get_tx(reader));
+  if (!reader.exhausted()) throw std::invalid_argument("chain: trailing bytes in block record");
+  return block;
+}
+
+void append_u32_le(Bytes& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFFu));
+  }
+}
+
+Bytes frame_wal_record(const Block& block) {
+  const Bytes payload = serialize_block(block);
+  Bytes frame;
+  append_u32_le(frame, kWalMagic);
+  append_u32_le(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  append_u32_le(frame, crc32(payload.data(), payload.size()));
+  return frame;
+}
+
+std::uint32_t read_u32_le(const Bytes& raw, std::size_t offset) {
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(raw[offset++]) << shift;
+  }
+  return value;
+}
+
+/// Tries to parse one CRC-valid, decodable WAL frame at `offset`. Returns the
+/// block and advances `offset` past the frame on success.
+bool parse_wal_frame(const Bytes& raw, std::size_t& offset, Block& block) {
+  if (raw.size() - offset < kWalFrameOverhead) return false;
+  if (read_u32_le(raw, offset) != kWalMagic) return false;
+  const std::uint32_t length = read_u32_le(raw, offset + 4);
+  if (raw.size() - offset - kWalFrameOverhead < length) return false;
+  const std::size_t payload_at = offset + 8;
+  const std::uint32_t stored_crc = read_u32_le(raw, payload_at + length);
+  if (crc32(raw.data() + payload_at, length) != stored_crc) return false;
+  try {
+    block = decode_block(Bytes(raw.begin() + static_cast<std::ptrdiff_t>(payload_at),
+                               raw.begin() + static_cast<std::ptrdiff_t>(payload_at + length)));
+  } catch (const std::exception&) {
+    return false;
+  }
+  offset = payload_at + length + 4;
+  return true;
+}
+
+/// Evidence probe for mid-log corruption: is there ANY complete valid frame
+/// at or after `from`? A torn tail (crash mid-append) can never contain one;
+/// a flipped byte in the middle of the log always leaves the later,
+/// fully-committed records intact and findable.
+bool valid_frame_exists_after(const Bytes& raw, std::size_t from) {
+  for (std::size_t offset = from; offset + kWalFrameOverhead <= raw.size(); ++offset) {
+    std::size_t probe = offset;
+    Block ignored;
+    if (parse_wal_frame(raw, probe, ignored)) return true;
+  }
+  return false;
+}
+
+Status write_file_bytes(const std::string& path, const Bytes& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Error{"io", "cannot open " + path + " for writing"};
+  const std::size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    return Error{"io", "write failed for " + path};
+  }
+  return ok_status();
+}
+
+}  // namespace
 
 /// Host implementation bound to one in-flight call: restricts transfers to
 /// the callee contract's own funds and stamps events with the block index.
@@ -160,6 +306,23 @@ std::uint64_t Blockchain::seal_block() {
   block.header.tx_root = Block::merkle_root(block.transactions);
   blocks_.push_back(std::move(block));
   TFL_COUNTER_INC("chain.block.count");
+  if (!wal_path_.empty()) {
+    // Write-ahead durability: the record is on disk (flushed) before the
+    // seal returns. A failed append is a broken durability promise — fatal,
+    // not a degradation.
+    const Bytes frame = frame_wal_record(blocks_.back());
+    std::FILE* file = std::fopen(wal_path_.c_str(), "ab");
+    if (file == nullptr) {
+      throw std::runtime_error("chain: cannot open WAL " + wal_path_ + " for append");
+    }
+    const std::size_t written = std::fwrite(frame.data(), 1, frame.size(), file);
+    const bool flushed = std::fflush(file) == 0;
+    const bool closed = std::fclose(file) == 0;
+    if (written != frame.size() || !flushed || !closed) {
+      throw std::runtime_error("chain: WAL append failed for " + wal_path_);
+    }
+    TFL_COUNTER_INC("chain.wal.appends");
+  }
   return blocks_.back().header.index;
 }
 
@@ -184,6 +347,221 @@ ChainValidation Blockchain::validate() const {
     }
   }
   return {true, ""};
+}
+
+// ----- durability -----
+
+Bytes Blockchain::save_chain_state() const {
+  ByteWriter writer;
+  writer.put_u32(kChainStateVersion);
+  writer.put_u64(balances_.size());
+  for (const auto& [address, amount] : balances_) {
+    put_fixed(writer, address.bytes.data(), address.bytes.size());
+    writer.put_i64(amount);
+  }
+  writer.put_u64(contracts_.size());
+  for (const auto& [address, contract] : contracts_) {
+    put_fixed(writer, address.bytes.data(), address.bytes.size());
+    writer.put_string(contract->contract_name());
+    writer.put_bytes(contract->save_state());
+  }
+  writer.put_u64(nonces_.size());
+  for (const auto& [address, nonce] : nonces_) {
+    put_fixed(writer, address.bytes.data(), address.bytes.size());
+    writer.put_u64(nonce);
+  }
+  writer.put_u64(blocks_.size());
+  for (const Block& block : blocks_) writer.put_bytes(serialize_block(block));
+  writer.put_u64(receipts_.size());
+  for (const Receipt& receipt : receipts_) {
+    put_fixed(writer, receipt.tx_hash.data(), receipt.tx_hash.size());
+    writer.put_u8(receipt.success ? 1 : 0);
+    writer.put_string(receipt.revert_reason);
+    writer.put_u64(receipt.gas_used);
+    writer.put_bytes(receipt.return_data);
+    writer.put_u64(receipt.block_index);
+  }
+  writer.put_u64(events_.size());
+  for (const Event& event : events_) {
+    put_fixed(writer, event.contract.bytes.data(), event.contract.bytes.size());
+    writer.put_string(event.name);
+    writer.put_bytes(encode_values(event.fields));
+    writer.put_u64(event.block_index);
+  }
+  writer.put_u64(deploy_nonce_);
+  writer.put_u64(logical_clock_);
+  return writer.data();
+}
+
+Status Blockchain::restore_chain_state(const Bytes& bytes, const ContractFactory& factory) {
+  // Decode into locals first: a malformed payload must leave this chain
+  // exactly as it was (fail closed, never partial state).
+  std::map<Address, Wei> balances;
+  std::map<Address, ContractPtr> contracts;
+  std::map<Address, std::uint64_t> nonces;
+  std::vector<Block> blocks;
+  std::vector<Receipt> receipts;
+  std::vector<Event> events;
+  std::uint64_t deploy_nonce = 0;
+  std::uint64_t logical_clock = 0;
+  try {
+    ByteReader reader(bytes);
+    const std::uint32_t version = reader.get_u32();
+    if (version != kChainStateVersion) {
+      return Error{"chain.snapshot", "unsupported chain state version " +
+                                         std::to_string(version)};
+    }
+    const std::uint64_t balance_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < balance_count; ++i) {
+      const Address address = get_address(reader);
+      balances[address] = reader.get_i64();
+    }
+    const std::uint64_t contract_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < contract_count; ++i) {
+      const Address address = get_address(reader);
+      const std::string name = reader.get_string();
+      const Bytes state = reader.get_bytes();
+      ContractPtr contract = factory ? factory(name) : nullptr;
+      if (!contract) {
+        return Error{"chain.snapshot", "no factory for contract '" + name + "'"};
+      }
+      contract->load_state(state);
+      contracts[address] = std::move(contract);
+    }
+    const std::uint64_t nonce_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < nonce_count; ++i) {
+      const Address address = get_address(reader);
+      nonces[address] = reader.get_u64();
+    }
+    const std::uint64_t block_count = reader.get_u64();
+    if (block_count == 0) return Error{"chain.snapshot", "chain state holds no blocks"};
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      blocks.push_back(decode_block(reader.get_bytes()));
+    }
+    const std::uint64_t receipt_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < receipt_count; ++i) {
+      Receipt receipt;
+      receipt.tx_hash = get_hash(reader);
+      receipt.success = reader.get_u8() == 1;
+      receipt.revert_reason = reader.get_string();
+      receipt.gas_used = reader.get_u64();
+      receipt.return_data = reader.get_bytes();
+      receipt.block_index = reader.get_u64();
+      receipts.push_back(std::move(receipt));
+    }
+    const std::uint64_t event_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < event_count; ++i) {
+      Event event;
+      event.contract = get_address(reader);
+      event.name = reader.get_string();
+      event.fields = decode_values(reader.get_bytes());
+      event.block_index = reader.get_u64();
+      events.push_back(std::move(event));
+    }
+    deploy_nonce = reader.get_u64();
+    logical_clock = reader.get_u64();
+    if (!reader.exhausted()) {
+      return Error{"chain.snapshot", "trailing bytes after chain state"};
+    }
+  } catch (const std::exception& error) {
+    return Error{"chain.snapshot", std::string("malformed chain state: ") + error.what()};
+  }
+  balances_ = std::move(balances);
+  contracts_ = std::move(contracts);
+  nonces_ = std::move(nonces);
+  blocks_ = std::move(blocks);
+  pending_.clear();
+  receipts_ = std::move(receipts);
+  events_ = std::move(events);
+  deploy_nonce_ = deploy_nonce;
+  logical_clock_ = logical_clock;
+  return ok_status();
+}
+
+Status Blockchain::attach_wal(const std::string& path) {
+  Bytes content;
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    const Bytes frame = frame_wal_record(blocks_[i]);
+    content.insert(content.end(), frame.begin(), frame.end());
+  }
+  auto written = write_file_bytes(path, content);
+  if (!written.ok()) return written.error();
+  wal_path_ = path;
+  return ok_status();
+}
+
+Result<WalReplay> Blockchain::replay_wal(const std::string& path) {
+  if (blocks_.size() != 1 || !pending_.empty() || !receipts_.empty()) {
+    return Error{"wal.state", "replay_wal requires a freshly-constructed chain"};
+  }
+  WalReplay report;
+  if (!std::filesystem::exists(path)) {
+    // First boot: start an empty log.
+    auto created = write_file_bytes(path, {});
+    if (!created.ok()) return created.error();
+    wal_path_ = path;
+    return report;
+  }
+
+  Bytes raw;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return Error{"io", "cannot open " + path + " for reading"};
+    std::uint8_t chunk[4096];
+    std::size_t read = 0;
+    while ((read = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+      raw.insert(raw.end(), chunk, chunk + read);
+    }
+    const bool clean = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!clean) return Error{"io", "read failed for " + path};
+  }
+
+  std::size_t offset = 0;
+  std::size_t last_good = 0;
+  while (offset < raw.size()) {
+    Block block;
+    std::size_t next = offset;
+    bool frame_ok = parse_wal_frame(raw, next, block);
+    if (frame_ok) {
+      // Chain continuity: a CRC-valid record that does not extend this chain
+      // is corruption evidence too (e.g. a record swapped in from another
+      // log), never silently skippable.
+      if (block.header.index != blocks_.size() ||
+          block.header.prev_hash != blocks_.back().header.hash() || !block.verify_tx_root()) {
+        return Error{"wal.corrupt",
+                     path + ": record at offset " + std::to_string(offset) +
+                         " does not extend the chain (block " +
+                         std::to_string(block.header.index) + ")"};
+      }
+      blocks_.push_back(std::move(block));
+      ++report.blocks_replayed;
+      offset = next;
+      last_good = offset;
+      continue;
+    }
+    // Damaged record. If any complete valid record exists beyond it, the
+    // damage is mid-log — refusing is the only honest answer, because
+    // truncating here would drop fully-committed blocks.
+    if (valid_frame_exists_after(raw, offset + 1)) {
+      return Error{"wal.corrupt", path + ": corrupt record at offset " +
+                                      std::to_string(offset) +
+                                      " precedes committed records (mid-log corruption)"};
+    }
+    // Torn tail: a crash mid-append. Cut it off and keep everything durable.
+    report.tail_truncated = true;
+    report.bytes_truncated = raw.size() - last_good;
+    auto truncated = write_file_bytes(
+        path, Bytes(raw.begin(), raw.begin() + static_cast<std::ptrdiff_t>(last_good)));
+    if (!truncated.ok()) return truncated.error();
+    TFL_WARN << "chain WAL " << path << ": truncated torn tail of "
+             << report.bytes_truncated << " bytes";
+    break;
+  }
+  logical_clock_ = blocks_.back().header.timestamp + 1;
+  wal_path_ = path;
+  TFL_COUNTER_ADD("chain.wal.replayed", report.blocks_replayed);
+  return report;
 }
 
 }  // namespace tradefl::chain

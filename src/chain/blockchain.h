@@ -5,18 +5,33 @@
 // traceability are in scope and tested.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "chain/block.h"
 #include "chain/vm.h"
+#include "common/result.h"
 
 namespace tradefl::chain {
 
 struct ChainValidation {
   bool valid = false;
   std::string problem;  // empty when valid
+};
+
+/// Rebuilds a contract instance by name during restore_chain_state; the
+/// restored state bytes are loaded into the fresh instance afterwards.
+using ContractFactory = std::function<ContractPtr(const std::string& name)>;
+
+/// Outcome of a write-ahead-log replay.
+struct WalReplay {
+  std::size_t blocks_replayed = 0;
+  /// True when a torn final record (a crash mid-append) was cut off. All
+  /// fully-committed blocks before it were recovered.
+  bool tail_truncated = false;
+  std::size_t bytes_truncated = 0;
 };
 
 class Blockchain {
@@ -69,6 +84,39 @@ class Blockchain {
 
   [[nodiscard]] const GasSchedule& gas_schedule() const { return gas_schedule_; }
 
+  // ----- durability -----
+
+  /// Serializes the complete chain state — balances, deployed contracts (name
+  /// + their save_state bytes), nonces, every sealed block, receipts, events,
+  /// clocks — as an opaque payload for the snapshot subsystem. Pending
+  /// (unsealed) transactions are deliberately excluded: they are not durable
+  /// until sealed, exactly like a real mempool.
+  [[nodiscard]] Bytes save_chain_state() const;
+
+  /// Restores a save_chain_state payload into this chain (replacing the
+  /// genesis-only state). Contracts are re-instantiated through `factory` and
+  /// their saved state loaded. Fails closed with a typed Error on malformed
+  /// payloads or a factory that does not know a stored contract name.
+  Status restore_chain_state(const Bytes& bytes, const ContractFactory& factory);
+
+  /// Attaches a write-ahead block log at `path`: every subsequently sealed
+  /// block is appended (CRC-framed) and flushed before seal_block returns.
+  /// Any existing file content is replaced by the currently sealed chain, so
+  /// the log always mirrors this chain exactly (genesis excluded — it is
+  /// reconstructed, never logged).
+  Status attach_wal(const std::string& path);
+
+  /// Startup recovery: replays a WAL into this freshly-constructed chain
+  /// (genesis only, nothing pending) and attaches it for appends. A torn
+  /// final record — the signature of a crash mid-append — is truncated away
+  /// and reported; corruption *before* fully-committed records (a damaged
+  /// record followed by valid ones) is rejected outright with
+  /// Error{"wal.corrupt"}, because silently dropping committed blocks would
+  /// forge history.
+  Result<WalReplay> replay_wal(const std::string& path);
+
+  [[nodiscard]] bool wal_attached() const { return !wal_path_.empty(); }
+
  private:
   class HostSession;
 
@@ -82,6 +130,7 @@ class Blockchain {
   std::vector<Event> events_;
   std::uint64_t deploy_nonce_ = 0;
   std::uint64_t logical_clock_ = 0;
+  std::string wal_path_;  // empty = no WAL attached
 };
 
 }  // namespace tradefl::chain

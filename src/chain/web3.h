@@ -96,6 +96,16 @@ class Web3Client {
   [[nodiscard]] std::uint64_t retry_giveups() const { return retry_giveups_; }
   [[nodiscard]] std::uint64_t injected_faults() const { return injected_faults_; }
 
+  /// Checkpoint hooks: the call index keys injector decisions and the retry
+  /// sequence keys jitter streams, so a resumed session must restore both for
+  /// its fault schedule to continue exactly where the killed run stopped.
+  [[nodiscard]] std::uint64_t call_index() const { return call_index_; }
+  [[nodiscard]] std::uint64_t retry_sequence() const { return retry_sequence_; }
+  void restore_fault_cursor(std::uint64_t call_index, std::uint64_t retry_sequence) {
+    call_index_ = call_index;
+    retry_sequence_ = retry_sequence;
+  }
+
  private:
   /// Consults the injector for the next call; true when a fault was
   /// synthesized into `outcome` (the chain must not be touched).

@@ -1,5 +1,7 @@
 #include "common/faults.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,6 +35,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kTxGasExhaustion: return "gas_exhaustion";
     case FaultKind::kTxSubmitFailure: return "submit_failure";
     case FaultKind::kSolverPerturbation: return "solver_perturbation";
+    case FaultKind::kProcessCrash: return "crash";
   }
   return "unknown";
 }
@@ -105,10 +108,16 @@ Result<FaultPlan> parse_fault_plan(const std::string& spec) {
       plan.submit_failure_rate = parsed;
     } else if (key == "solver") {
       plan.solver_perturb_rate = parsed;
+    } else if (key == "crash") {
+      if (parsed < 0.0 || parsed != static_cast<double>(static_cast<std::uint64_t>(parsed))) {
+        return Error{"faults", "crash point must be a non-negative integer, got " + value};
+      }
+      plan.events.push_back({FaultKind::kProcessCrash, static_cast<std::uint64_t>(parsed),
+                             kAnyFaultTarget, 0.0});
     } else {
       return Error{"faults", "unknown fault key '" + key +
                                  "' (seed|drop|straggle|scale|corrupt|noise|revert|gas|"
-                                 "submit|solver)"};
+                                 "submit|solver|crash)"};
     }
   }
   return plan;
@@ -182,6 +191,20 @@ bool FaultInjector::revert_call(std::uint64_t call_index) const {
 
 bool FaultInjector::perturb_solver(std::uint64_t iteration) const {
   return decide(FaultKind::kSolverPerturbation, iteration, 0, plan_.solver_perturb_rate);
+}
+
+bool FaultInjector::crash_now(std::uint64_t point) const {
+  return find_event(FaultKind::kProcessCrash, point, 0) != nullptr;
+}
+
+void crash_if_scheduled(const FaultInjector* injector, std::uint64_t point) {
+  if (injector == nullptr || !injector->enabled() || !injector->crash_now(point)) return;
+  // _Exit skips destructors and atexit handlers: from the snapshot layer's
+  // point of view this is indistinguishable from SIGKILL, which is the
+  // contract the kill-and-resume suite verifies.
+  std::fprintf(stderr, "[faults] injected crash at point %llu\n",
+               static_cast<unsigned long long>(point));
+  std::_Exit(kCrashExitCode);
 }
 
 }  // namespace tradefl

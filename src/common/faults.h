@@ -30,6 +30,7 @@ enum class FaultKind : std::uint64_t {
   kTxGasExhaustion = 5,    // call runs out of gas (transient, retryable)
   kTxSubmitFailure = 6,    // tx never reaches the chain (transient, retryable)
   kSolverPerturbation = 7, // CGBD primal subproblem diverges numerically
+  kProcessCrash = 8,       // whole process dies abruptly (std::_Exit, no cleanup)
 };
 
 /// Short stable name ("dropout", "revert", ...) used in metrics and logs.
@@ -76,10 +77,27 @@ struct FaultPlan {
 };
 
 /// Parses the CLI `faults=` spec: comma-separated `key:value` pairs with keys
-///   seed, drop, straggle, scale, corrupt, noise, revert, gas, submit, solver
-/// e.g. "drop:0.2,straggle:0.1,scale:4,revert:0.05,seed:7". Unknown keys,
+///   seed, drop, straggle, scale, corrupt, noise, revert, gas, submit, solver,
+///   crash
+/// e.g. "drop:0.2,straggle:0.1,scale:4,revert:0.05,seed:7". `crash:N`
+/// schedules a process crash at pipeline point N (an FL round, CGBD
+/// iteration, or session phase — whichever crash-eligible point the run
+/// reaches first); repeat the key for multiple points. Unknown keys,
 /// malformed numbers, and out-of-range rates are errors.
 Result<FaultPlan> parse_fault_plan(const std::string& spec);
+
+/// Exit code used by injected crashes so the kill-and-resume harness can tell
+/// an injected death from an ordinary failure.
+inline constexpr int kCrashExitCode = 86;
+
+class FaultInjector;
+
+/// Dies via std::_Exit(kCrashExitCode) — no destructors, no stream flushes,
+/// exactly like a SIGKILL from the checkpoint subsystem's point of view —
+/// when the injector schedules a crash at `point`. Null/inert injectors are
+/// no-ops. Pipelines call this at the instants right after a checkpoint
+/// becomes durable.
+void crash_if_scheduled(const FaultInjector* injector, std::uint64_t point);
 
 /// Outcome of a corruption query.
 struct CorruptionSpec {
@@ -121,6 +139,13 @@ class FaultInjector {
   // ----- solver faults (keyed by the CGBD iteration) -----
 
   [[nodiscard]] bool perturb_solver(std::uint64_t iteration) const;
+
+  // ----- crash faults (keyed by a pipeline-specific checkpoint point) -----
+
+  /// True when a `crash:N` event is scheduled for this point. Crashes are
+  /// event-only (no Bernoulli rate): a random crash schedule could never be
+  /// compared against an uninterrupted baseline.
+  [[nodiscard]] bool crash_now(std::uint64_t point) const;
 
  private:
   [[nodiscard]] bool decide(FaultKind kind, std::uint64_t round, std::uint64_t target,

@@ -113,6 +113,12 @@ Rng Rng::split() {
   return Rng(next_u64() ^ 0xD2B74407B1CE6E93ULL);
 }
 
+void Rng::restore(const State& state) {
+  state_ = state;
+  has_cached_normal_ = false;
+  cached_normal_ = 0.0;
+}
+
 std::uint64_t Rng::derive_stream_seed(std::uint64_t base_seed, std::uint64_t stream_id) {
   // Two splitmix64 steps keyed by (base, stream): the first decorrelates the
   // base seed, the second folds in the stream id, so neighbouring stream ids

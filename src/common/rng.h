@@ -59,6 +59,16 @@ class Rng {
   /// organization / client its own stream without coupling draw order.
   Rng split();
 
+  /// The 4×u64 xoshiro256** state words, for checkpointing. restore() makes
+  /// the generator continue exactly where state() was captured — including
+  /// clearing the Box–Muller cache, so the first post-restore draw matches a
+  /// generator that never cached (normal() callers that need mid-pair
+  /// fidelity should capture state *between* pairs; every checkpoint in this
+  /// repo does).
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State state() const { return state_; }
+  void restore(const State& state);
+
   /// Derives a child seed for stream `stream_id` of `base_seed`, statelessly:
   /// unlike split(), the result does not depend on how many draws the parent
   /// has made. This is how parallel FedAvg gives client c its own shuffle

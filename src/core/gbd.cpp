@@ -9,8 +9,10 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/snapshot.h"
 #include "common/stopwatch.h"
 #include "core/iteration_trace.h"
+#include "core/solution_codec.h"
 #include "game/potential.h"
 #include "math/grid.h"
 #include "math/matrix.h"
@@ -331,8 +333,123 @@ Solution GbdSolver::solve() {
   double upper_bound = std::numeric_limits<double>::infinity();
   StrategyProfile incumbent;
   std::uint64_t total_tuples = 0;
+  int first_iteration = 1;
 
-  for (int k = 1; k <= options_.max_iterations; ++k) {
+  // ----- checkpoint codec (kept local: the cut types are private) -----
+  constexpr std::uint32_t kGbdSnapshotVersion = 1;
+  constexpr const char* kGbdSnapshotKind = "core.gbd";
+  // Fingerprint the economic parameters, not just the problem shape: two
+  // games with identical org/level counts but different draws must not be
+  // able to exchange checkpoints.
+  std::uint64_t level_fingerprint = 0;
+  {
+    SnapshotWriter fingerprint;
+    for (OrgId i = 0; i < n; ++i) {
+      const game::Organization& org = game_.org(i);
+      fingerprint.put_f64(org.data_size_bits);
+      fingerprint.put_u64(org.sample_count);
+      fingerprint.put_f64(org.profitability);
+      fingerprint.put_f64(org.cycles_per_bit);
+      fingerprint.put_f64s(org.freq_levels);
+      fingerprint.put_f64(org.download_time);
+      fingerprint.put_f64(org.upload_time);
+    }
+    level_fingerprint = crc32(fingerprint.payload());
+  }
+
+  const auto write_checkpoint = [&](int iteration_completed) {
+    SnapshotWriter writer;
+    writer.put_u64(n);
+    writer.put_u64(level_fingerprint);
+    writer.put_i64(iteration_completed);
+    writer.put_u64s(std::vector<std::uint64_t>(freq.begin(), freq.end()));
+    writer.put_f64(lower_bound);
+    writer.put_f64(upper_bound);
+    put_profile(writer, incumbent);
+    writer.put_u64(total_tuples);
+    writer.put_u64(solution.trace.size());
+    for (const IterationRecord& record : solution.trace) put_iteration_record(writer, record);
+    writer.put_u64(optimality_cuts.size());
+    for (const OptimalityCut& cut : optimality_cuts) {
+      writer.put_f64(cut.base);
+      writer.put_u64(cut.per_level.size());
+      for (const std::vector<double>& levels : cut.per_level) writer.put_f64s(levels);
+    }
+    writer.put_u64(feasibility_cuts.size());
+    for (const FeasibilityCut& cut : feasibility_cuts) {
+      writer.put_u64(cut.org);
+      writer.put_f64s(cut.slack_by_level);
+    }
+    writer.put_u64(visited.size());
+    for (const std::vector<std::size_t>& tuple : visited) {
+      writer.put_u64s(std::vector<std::uint64_t>(tuple.begin(), tuple.end()));
+    }
+    const auto written =
+        write_snapshot_file(options_.checkpoint_path, kGbdSnapshotKind, kGbdSnapshotVersion,
+                            writer);
+    if (!written.ok()) {
+      throw std::runtime_error("gbd checkpoint write failed [" + written.error().code +
+                               "]: " + written.error().message);
+    }
+    TFL_COUNTER_INC("snapshot.writes");
+    TFL_COUNTER_ADD("snapshot.bytes", written.value());
+  };
+
+  if (options_.resume && !options_.checkpoint_path.empty() &&
+      snapshot_exists(options_.checkpoint_path)) {
+    auto payload =
+        read_snapshot_file(options_.checkpoint_path, kGbdSnapshotKind, kGbdSnapshotVersion);
+    if (!payload.ok()) {
+      throw std::runtime_error("gbd resume failed closed [" + payload.error().code +
+                               "]: " + payload.error().message);
+    }
+    auto decoded = decode_snapshot<bool>(payload.value(), [&](SnapshotReader& reader) {
+      if (reader.get_u64() != n || reader.get_u64() != level_fingerprint) {
+        throw SnapshotError("checkpoint was written for a different game instance");
+      }
+      first_iteration = static_cast<int>(reader.get_i64()) + 1;
+      const std::vector<std::uint64_t> raw_freq = reader.get_u64s();
+      freq.assign(raw_freq.begin(), raw_freq.end());
+      lower_bound = reader.get_f64();
+      upper_bound = reader.get_f64();
+      incumbent = get_profile(reader);
+      total_tuples = reader.get_u64();
+      const std::uint64_t trace_count = reader.get_u64();
+      for (std::uint64_t i = 0; i < trace_count; ++i) {
+        solution.trace.push_back(get_iteration_record(reader));
+      }
+      const std::uint64_t optimality_count = reader.get_u64();
+      for (std::uint64_t i = 0; i < optimality_count; ++i) {
+        OptimalityCut cut;
+        cut.base = reader.get_f64();
+        const std::uint64_t org_count = reader.get_u64();
+        for (std::uint64_t o = 0; o < org_count; ++o) cut.per_level.push_back(reader.get_f64s());
+        optimality_cuts.push_back(std::move(cut));
+      }
+      const std::uint64_t feasibility_count = reader.get_u64();
+      for (std::uint64_t i = 0; i < feasibility_count; ++i) {
+        FeasibilityCut cut;
+        cut.org = static_cast<std::size_t>(reader.get_u64());
+        cut.slack_by_level = reader.get_f64s();
+        feasibility_cuts.push_back(std::move(cut));
+      }
+      const std::uint64_t visited_count = reader.get_u64();
+      for (std::uint64_t i = 0; i < visited_count; ++i) {
+        const std::vector<std::uint64_t> raw_tuple = reader.get_u64s();
+        visited.insert(std::vector<std::size_t>(raw_tuple.begin(), raw_tuple.end()));
+      }
+      return true;
+    });
+    if (!decoded.ok()) {
+      throw std::runtime_error("gbd resume failed closed [" + decoded.error().code +
+                               "]: " + decoded.error().message);
+    }
+    solution.iterations = first_iteration - 1;
+    TFL_COUNTER_INC("snapshot.resumes");
+  }
+
+  for (int k = first_iteration; k <= options_.max_iterations; ++k) {
+    crash_if_scheduled(options_.faults, static_cast<std::uint64_t>(k));
     visited.insert(freq);
     const PrimalSolve primal = solve_primal_recovering(freq, k);
     if (primal.feasible) {
@@ -373,6 +490,15 @@ Solution GbdSolver::solve() {
       break;
     }
     freq = std::move(next);
+    // Iteration k is complete (cuts recorded, bounds updated, `freq` holds
+    // the next tuple): this is the durable point a resumed solve restarts
+    // from. A converged solve breaks above without checkpointing — replaying
+    // its final iteration from the previous checkpoint reconverges
+    // identically.
+    if (!options_.checkpoint_path.empty() &&
+        (k % static_cast<int>(std::max<std::size_t>(options_.checkpoint_every, 1)) == 0)) {
+      write_checkpoint(k);
+    }
   }
 
   if (incumbent.empty()) {

@@ -47,6 +47,15 @@ struct GbdOptions {
   /// Barrier-t growth used for the damped restart after a diverged primal;
   /// smaller growth takes more, gentler centering stages.
   double recovery_t_growth = 4.0;
+
+  /// Crash-consistent checkpointing (empty = none): every `checkpoint_every`
+  /// iterations the accumulated Benders state — optimality/feasibility cuts,
+  /// visited tuples, bounds, incumbent, trace — is snapshotted atomically.
+  /// `resume` reloads it so a killed solve continues without re-deriving a
+  /// single cut, bit-identically to an uninterrupted run.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
 };
 
 /// Thrown when the primal barrier diverges AND the damped restart also fails

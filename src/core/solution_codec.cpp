@@ -1,0 +1,133 @@
+#include "core/solution_codec.h"
+
+namespace tradefl::core {
+
+void put_profile(SnapshotWriter& writer, const game::StrategyProfile& profile) {
+  writer.put_u64(profile.size());
+  for (const game::Strategy& strategy : profile) {
+    writer.put_f64(strategy.data_fraction);
+    writer.put_u64(strategy.freq_index);
+  }
+}
+
+game::StrategyProfile get_profile(SnapshotReader& reader) {
+  const std::uint64_t count = reader.get_u64();
+  game::StrategyProfile profile;
+  profile.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    game::Strategy strategy;
+    strategy.data_fraction = reader.get_f64();
+    strategy.freq_index = static_cast<std::size_t>(reader.get_u64());
+    profile.push_back(strategy);
+  }
+  return profile;
+}
+
+void put_iteration_record(SnapshotWriter& writer, const IterationRecord& record) {
+  writer.put_i64(record.iteration);
+  writer.put_f64(record.potential);
+  writer.put_f64(record.paper_potential);
+  writer.put_f64(record.welfare);
+  writer.put_f64s(record.payoffs);
+  put_profile(writer, record.profile);
+}
+
+IterationRecord get_iteration_record(SnapshotReader& reader) {
+  IterationRecord record;
+  record.iteration = static_cast<int>(reader.get_i64());
+  record.potential = reader.get_f64();
+  record.paper_potential = reader.get_f64();
+  record.welfare = reader.get_f64();
+  record.payoffs = reader.get_f64s();
+  record.profile = get_profile(reader);
+  return record;
+}
+
+void put_solution(SnapshotWriter& writer, const Solution& solution) {
+  put_profile(writer, solution.profile);
+  writer.put_u64(solution.trace.size());
+  for (const IterationRecord& record : solution.trace) put_iteration_record(writer, record);
+  writer.put_bool(solution.converged);
+  writer.put_i64(solution.iterations);
+  writer.put_f64(solution.solve_seconds);
+  writer.put_u64(solution.diagnostics.size());
+  for (const auto& [name, value] : solution.diagnostics) {
+    writer.put_string(name);
+    writer.put_f64(value);
+  }
+}
+
+Solution get_solution(SnapshotReader& reader) {
+  Solution solution;
+  solution.profile = get_profile(reader);
+  const std::uint64_t trace_count = reader.get_u64();
+  for (std::uint64_t i = 0; i < trace_count; ++i) {
+    solution.trace.push_back(get_iteration_record(reader));
+  }
+  solution.converged = reader.get_bool();
+  solution.iterations = static_cast<int>(reader.get_i64());
+  solution.solve_seconds = reader.get_f64();
+  const std::uint64_t diagnostic_count = reader.get_u64();
+  for (std::uint64_t i = 0; i < diagnostic_count; ++i) {
+    std::string name = reader.get_string();
+    const double value = reader.get_f64();
+    solution.diagnostics.emplace_back(std::move(name), value);
+  }
+  return solution;
+}
+
+void put_mechanism_result(SnapshotWriter& writer, const MechanismResult& result) {
+  writer.put_u64(static_cast<std::uint64_t>(result.scheme));
+  put_solution(writer, result.solution);
+  writer.put_f64(result.welfare);
+  writer.put_f64(result.potential);
+  writer.put_f64(result.paper_potential);
+  writer.put_f64(result.total_damage);
+  writer.put_f64(result.total_data_fraction);
+  writer.put_f64(result.performance);
+  writer.put_f64s(result.payoffs);
+  writer.put_u64(result.redistribution.size());
+  for (const std::vector<double>& row : result.redistribution) writer.put_f64s(row);
+}
+
+MechanismResult get_mechanism_result(SnapshotReader& reader) {
+  MechanismResult result;
+  result.scheme = static_cast<Scheme>(reader.get_u64());
+  result.solution = get_solution(reader);
+  result.welfare = reader.get_f64();
+  result.potential = reader.get_f64();
+  result.paper_potential = reader.get_f64();
+  result.total_damage = reader.get_f64();
+  result.total_data_fraction = reader.get_f64();
+  result.performance = reader.get_f64();
+  result.payoffs = reader.get_f64s();
+  const std::uint64_t rows = reader.get_u64();
+  for (std::uint64_t i = 0; i < rows; ++i) result.redistribution.push_back(reader.get_f64s());
+  return result;
+}
+
+void put_property_report(SnapshotWriter& writer, const PropertyReport& report) {
+  writer.put_bool(report.individual_rationality);
+  writer.put_f64(report.min_payoff);
+  writer.put_bool(report.budget_balance);
+  writer.put_f64(report.redistribution_sum);
+  writer.put_bool(report.nash_equilibrium);
+  writer.put_f64(report.max_unilateral_gain);
+  writer.put_bool(report.computationally_efficient);
+  writer.put_i64(report.iterations);
+}
+
+PropertyReport get_property_report(SnapshotReader& reader) {
+  PropertyReport report;
+  report.individual_rationality = reader.get_bool();
+  report.min_payoff = reader.get_f64();
+  report.budget_balance = reader.get_bool();
+  report.redistribution_sum = reader.get_f64();
+  report.nash_equilibrium = reader.get_bool();
+  report.max_unilateral_gain = reader.get_f64();
+  report.computationally_efficient = reader.get_bool();
+  report.iterations = static_cast<int>(reader.get_i64());
+  return report;
+}
+
+}  // namespace tradefl::core

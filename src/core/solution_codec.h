@@ -1,0 +1,28 @@
+// Snapshot codecs for the solver result types, shared by the CGBD checkpoint
+// (core/gbd.cpp) and the trading-session checkpoint (tradefl/session.cpp).
+// Encoding is the snapshot subsystem's canonical little-endian form; doubles
+// round-trip bit-exactly, which is what makes resumed runs byte-comparable.
+#pragma once
+
+#include "common/snapshot.h"
+#include "core/mechanism.h"
+#include "core/solution.h"
+
+namespace tradefl::core {
+
+void put_profile(SnapshotWriter& writer, const game::StrategyProfile& profile);
+[[nodiscard]] game::StrategyProfile get_profile(SnapshotReader& reader);
+
+void put_iteration_record(SnapshotWriter& writer, const IterationRecord& record);
+[[nodiscard]] IterationRecord get_iteration_record(SnapshotReader& reader);
+
+void put_solution(SnapshotWriter& writer, const Solution& solution);
+[[nodiscard]] Solution get_solution(SnapshotReader& reader);
+
+void put_mechanism_result(SnapshotWriter& writer, const MechanismResult& result);
+[[nodiscard]] MechanismResult get_mechanism_result(SnapshotReader& reader);
+
+void put_property_report(SnapshotWriter& writer, const PropertyReport& report);
+[[nodiscard]] PropertyReport get_property_report(SnapshotReader& reader);
+
+}  // namespace tradefl::core

@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/snapshot.h"
 #include "fl/loss.h"
 #include "obs/obs.h"
 
@@ -17,7 +18,15 @@ struct PendingUpdate {
   double pulled_at = 0.0;
   std::size_t client = 0;
 
-  bool operator>(const PendingUpdate& other) const { return ready_at > other.ready_at; }
+  // Strict total order (each client has exactly one pending update, so the
+  // client index breaks ready_at ties uniquely): pop order depends only on
+  // the queue's CONTENTS, never on push order, which is what lets a resumed
+  // run rebuild the heap from a drained snapshot and still replay
+  // bit-identically.
+  bool operator>(const PendingUpdate& other) const {
+    if (ready_at != other.ready_at) return ready_at > other.ready_at;
+    return client > other.client;
+  }
 };
 
 /// One local training pass over the client's contributed subset.
@@ -45,6 +54,96 @@ void train_once(Net& net, const Dataset& data, const std::vector<std::size_t>& s
       ++batches;
     }
   }
+}
+
+// ----- checkpointing -----
+
+constexpr std::uint32_t kFedAsyncSnapshotVersion = 1;
+constexpr const char* kFedAsyncSnapshotKind = "fl.fedasync";
+
+struct FedAsyncCheckpoint {
+  std::uint64_t client_count = 0;
+  std::uint64_t weight_count = 0;
+  std::uint64_t shuffle_seed = 0;
+
+  std::uint64_t events_processed = 0;
+  std::vector<float> global_weights;
+  std::vector<std::vector<float>> pulled;
+  std::vector<std::uint64_t> update_counts;
+  Rng::State shuffle_rng{};
+  std::vector<PendingUpdate> queue;
+  FedAsyncResult partial;
+};
+
+Result<std::size_t> write_fedasync_checkpoint(const std::string& path,
+                                              const FedAsyncCheckpoint& state) {
+  SnapshotWriter writer;
+  writer.put_u64(state.client_count);
+  writer.put_u64(state.weight_count);
+  writer.put_u64(state.shuffle_seed);
+  writer.put_u64(state.events_processed);
+  writer.put_f32s(state.global_weights);
+  writer.put_u64(state.pulled.size());
+  for (const std::vector<float>& weights : state.pulled) writer.put_f32s(weights);
+  writer.put_u64s(state.update_counts);
+  for (std::uint64_t word : state.shuffle_rng) writer.put_u64(word);
+  writer.put_u64(state.queue.size());
+  for (const PendingUpdate& update : state.queue) {
+    writer.put_f64(update.ready_at);
+    writer.put_f64(update.pulled_at);
+    writer.put_u64(update.client);
+  }
+  writer.put_u64(state.partial.merges.size());
+  for (const AsyncMerge& merge : state.partial.merges) {
+    writer.put_f64(merge.time);
+    writer.put_u64(merge.client_index);
+    writer.put_f64(merge.staleness);
+    writer.put_f64(merge.test_accuracy);
+  }
+  writer.put_u64(state.partial.total_updates);
+  writer.put_u64(state.partial.total_dropped);
+  writer.put_u64(state.partial.total_quarantined);
+  writer.put_u64(state.partial.total_delayed);
+  return write_snapshot_file(path, kFedAsyncSnapshotKind, kFedAsyncSnapshotVersion, writer);
+}
+
+Result<FedAsyncCheckpoint> read_fedasync_checkpoint(const std::string& path) {
+  auto payload = read_snapshot_file(path, kFedAsyncSnapshotKind, kFedAsyncSnapshotVersion);
+  if (!payload.ok()) return payload.error();
+  return decode_snapshot<FedAsyncCheckpoint>(payload.value(), [](SnapshotReader& reader) {
+    FedAsyncCheckpoint state;
+    state.client_count = reader.get_u64();
+    state.weight_count = reader.get_u64();
+    state.shuffle_seed = reader.get_u64();
+    state.events_processed = reader.get_u64();
+    state.global_weights = reader.get_f32s();
+    const std::uint64_t pulled_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < pulled_count; ++i) state.pulled.push_back(reader.get_f32s());
+    state.update_counts = reader.get_u64s();
+    for (std::uint64_t& word : state.shuffle_rng) word = reader.get_u64();
+    const std::uint64_t queue_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < queue_count; ++i) {
+      PendingUpdate update;
+      update.ready_at = reader.get_f64();
+      update.pulled_at = reader.get_f64();
+      update.client = static_cast<std::size_t>(reader.get_u64());
+      state.queue.push_back(update);
+    }
+    const std::uint64_t merge_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < merge_count; ++i) {
+      AsyncMerge merge;
+      merge.time = reader.get_f64();
+      merge.client_index = static_cast<std::size_t>(reader.get_u64());
+      merge.staleness = reader.get_f64();
+      merge.test_accuracy = reader.get_f64();
+      state.partial.merges.push_back(merge);
+    }
+    state.partial.total_updates = static_cast<std::size_t>(reader.get_u64());
+    state.partial.total_dropped = static_cast<std::size_t>(reader.get_u64());
+    state.partial.total_quarantined = static_cast<std::size_t>(reader.get_u64());
+    state.partial.total_delayed = static_cast<std::size_t>(reader.get_u64());
+    return state;
+  });
 }
 
 }  // namespace
@@ -109,10 +208,72 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
   };
 
   std::priority_queue<PendingUpdate, std::vector<PendingUpdate>, std::greater<>> queue;
-  for (std::size_t c = 0; c < clients.size(); ++c) {
-    if (!subsets[c].empty()) queue.push({next_latency(c), 0.0, c});
+  std::uint64_t events_processed = 0;
+
+  if (options.resume && !options.checkpoint_path.empty() &&
+      snapshot_exists(options.checkpoint_path)) {
+    auto loaded = read_fedasync_checkpoint(options.checkpoint_path);
+    if (!loaded.ok()) {
+      throw std::runtime_error("fedasync resume failed closed [" + loaded.error().code +
+                               "]: " + loaded.error().message);
+    }
+    FedAsyncCheckpoint& state = loaded.value();
+    if (state.client_count != clients.size() || state.weight_count != global_weights.size() ||
+        state.shuffle_seed != options.shuffle_seed ||
+        state.pulled.size() != clients.size() || state.update_counts.size() != clients.size()) {
+      throw std::runtime_error("fedasync resume failed closed [snapshot.mismatch]: " +
+                               options.checkpoint_path +
+                               " was written by a differently-configured run");
+    }
+    events_processed = state.events_processed;
+    global_weights = std::move(state.global_weights);
+    pulled = std::move(state.pulled);
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      update_counts[c] = static_cast<std::size_t>(state.update_counts[c]);
+    }
+    shuffle_rng.restore(state.shuffle_rng);
+    for (const PendingUpdate& update : state.queue) queue.push(update);
+    result = std::move(state.partial);
+    TFL_COUNTER_INC("snapshot.resumes");
+  } else {
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (!subsets[c].empty()) queue.push({next_latency(c), 0.0, c});
+    }
   }
+
+  const auto maybe_checkpoint = [&]() {
+    if (options.checkpoint_path.empty()) return;
+    const std::uint64_t every = std::max<std::uint64_t>(options.checkpoint_every, 1);
+    if (events_processed % every != 0) return;
+    FedAsyncCheckpoint state;
+    state.client_count = clients.size();
+    state.weight_count = global_weights.size();
+    state.shuffle_seed = options.shuffle_seed;
+    state.events_processed = events_processed;
+    state.global_weights = global_weights;
+    state.pulled = pulled;
+    for (std::size_t c = 0; c < clients.size(); ++c) state.update_counts.push_back(update_counts[c]);
+    state.shuffle_rng = shuffle_rng.state();
+    std::priority_queue<PendingUpdate, std::vector<PendingUpdate>, std::greater<>> drain = queue;
+    while (!drain.empty()) {
+      state.queue.push_back(drain.top());
+      drain.pop();
+    }
+    state.partial = result;
+    const auto written = write_fedasync_checkpoint(options.checkpoint_path, state);
+    if (!written.ok()) {
+      throw std::runtime_error("fedasync checkpoint write failed [" + written.error().code +
+                               "]: " + written.error().message);
+    }
+    TFL_COUNTER_INC("snapshot.writes");
+    TFL_COUNTER_ADD("snapshot.bytes", written.value());
+  };
+
   while (!queue.empty() && queue.top().ready_at <= options.horizon) {
+    // Crash at event N fires before the event runs: the durable state is
+    // whatever the last maybe_checkpoint() persisted.
+    crash_if_scheduled(faults, events_processed + 1);
+    ++events_processed;
     const PendingUpdate update = queue.top();
     queue.pop();
     const std::size_t c = update.client;
@@ -125,6 +286,7 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
       TFL_COUNTER_INC("fault.injected.dropout");
       pulled[c] = global_weights;
       queue.push({update.ready_at + next_latency(c), update.ready_at, c});
+      maybe_checkpoint();
       continue;
     }
 
@@ -158,6 +320,7 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
         TFL_COUNTER_INC("fl.updates.quarantined");
         pulled[c] = global_weights;
         queue.push({update.ready_at + next_latency(c), update.ready_at, c});
+        maybe_checkpoint();
         continue;
       }
     }
@@ -188,6 +351,7 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
     // The client pulls the fresh global weights and starts the next round.
     pulled[c] = global_weights;
     queue.push({update.ready_at + next_latency(c), update.ready_at, c});
+    maybe_checkpoint();
   }
 
   global.set_weights(global_weights);

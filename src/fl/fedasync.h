@@ -35,6 +35,15 @@ struct FedAsyncOptions {
   /// per-client update count plays the role of FedAvg's round number when
   /// keying fault decisions, so schedules replay identically.
   const FaultInjector* faults = nullptr;
+
+  /// Crash-consistent checkpointing (empty = none), keyed by processed queue
+  /// events: every `checkpoint_every` events the simulation state — global
+  /// weights, per-client pulled snapshots and update counts, the pending
+  /// event queue, the shared shuffle RNG, merge history — is snapshotted
+  /// atomically. `resume` reloads it and continues bit-identically.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
 };
 
 struct AsyncMerge {

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/snapshot.h"
 #include "fl/loss.h"
 #include "obs/obs.h"
 
@@ -87,6 +88,139 @@ double train_local(Net& net, const Dataset& data, const std::vector<std::size_t>
   return batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
 }
 
+// ----- checkpointing -----
+
+constexpr std::uint32_t kFedAvgSnapshotVersion = 1;
+constexpr const char* kFedAvgSnapshotKind = "fl.fedavg";
+
+}  // namespace
+
+void put_round_metrics(SnapshotWriter& writer, const RoundMetrics& metrics) {
+  writer.put_u64(metrics.round);
+  writer.put_f64(metrics.train_loss);
+  writer.put_f64(metrics.test_loss);
+  writer.put_f64(metrics.test_accuracy);
+  writer.put_u64(metrics.participants);
+  writer.put_u64(metrics.dropped);
+  writer.put_u64(metrics.quarantined);
+  writer.put_bool(metrics.skipped);
+}
+
+RoundMetrics get_round_metrics(SnapshotReader& reader) {
+  RoundMetrics metrics;
+  metrics.round = static_cast<std::size_t>(reader.get_u64());
+  metrics.train_loss = reader.get_f64();
+  metrics.test_loss = reader.get_f64();
+  metrics.test_accuracy = reader.get_f64();
+  metrics.participants = static_cast<std::size_t>(reader.get_u64());
+  metrics.dropped = static_cast<std::size_t>(reader.get_u64());
+  metrics.quarantined = static_cast<std::size_t>(reader.get_u64());
+  metrics.skipped = reader.get_bool();
+  return metrics;
+}
+
+void put_fedavg_result(SnapshotWriter& writer, const FedAvgResult& result) {
+  writer.put_u64(result.history.size());
+  for (const RoundMetrics& metrics : result.history) put_round_metrics(writer, metrics);
+  writer.put_f64(result.final_accuracy);
+  writer.put_f64(result.final_loss);
+  writer.put_u64(result.total_contributed_samples);
+  writer.put_f32s(result.final_weights);
+  writer.put_u64(result.rounds_skipped);
+  writer.put_u64(result.total_dropped);
+  writer.put_u64(result.total_quarantined);
+}
+
+FedAvgResult get_fedavg_result(SnapshotReader& reader) {
+  FedAvgResult result;
+  const std::uint64_t history_count = reader.get_u64();
+  for (std::uint64_t i = 0; i < history_count; ++i) {
+    result.history.push_back(get_round_metrics(reader));
+  }
+  result.final_accuracy = reader.get_f64();
+  result.final_loss = reader.get_f64();
+  result.total_contributed_samples = static_cast<std::size_t>(reader.get_u64());
+  result.final_weights = reader.get_f32s();
+  result.rounds_skipped = static_cast<std::size_t>(reader.get_u64());
+  result.total_dropped = static_cast<std::size_t>(reader.get_u64());
+  result.total_quarantined = static_cast<std::size_t>(reader.get_u64());
+  return result;
+}
+
+namespace {
+
+/// The bits a resumed run must see exactly as the interrupted run left them.
+struct FedAvgCheckpoint {
+  // Fingerprint: a snapshot resumed under a different configuration would
+  // silently train a different experiment, so mismatches fail closed.
+  std::uint64_t client_count = 0;
+  std::uint64_t weight_count = 0;
+  std::uint64_t shuffle_seed = 0;
+  std::uint64_t contributed_samples = 0;
+
+  std::uint64_t round_completed = 0;
+  std::vector<float> global_weights;
+  std::vector<Rng::State> rng_states;
+  std::vector<RoundMetrics> history;
+  std::uint64_t rounds_skipped = 0;
+  std::uint64_t total_dropped = 0;
+  std::uint64_t total_quarantined = 0;
+};
+
+Result<std::size_t> write_fedavg_checkpoint(const std::string& path,
+                                            const FedAvgCheckpoint& state) {
+  SnapshotWriter writer;
+  writer.put_u64(state.client_count);
+  writer.put_u64(state.weight_count);
+  writer.put_u64(state.shuffle_seed);
+  writer.put_u64(state.contributed_samples);
+  writer.put_u64(state.round_completed);
+  writer.put_f32s(state.global_weights);
+  writer.put_u64(state.rng_states.size());
+  for (const Rng::State& rng : state.rng_states) {
+    for (std::uint64_t word : rng) writer.put_u64(word);
+  }
+  writer.put_u64(state.history.size());
+  for (const RoundMetrics& metrics : state.history) put_round_metrics(writer, metrics);
+  writer.put_u64(state.rounds_skipped);
+  writer.put_u64(state.total_dropped);
+  writer.put_u64(state.total_quarantined);
+  return write_snapshot_file(path, kFedAvgSnapshotKind, kFedAvgSnapshotVersion, writer);
+}
+
+Result<FedAvgCheckpoint> read_fedavg_checkpoint(const std::string& path) {
+  auto payload = read_snapshot_file(path, kFedAvgSnapshotKind, kFedAvgSnapshotVersion);
+  if (!payload.ok()) return payload.error();
+  return decode_snapshot<FedAvgCheckpoint>(payload.value(), [](SnapshotReader& reader) {
+    FedAvgCheckpoint state;
+    state.client_count = reader.get_u64();
+    state.weight_count = reader.get_u64();
+    state.shuffle_seed = reader.get_u64();
+    state.contributed_samples = reader.get_u64();
+    state.round_completed = reader.get_u64();
+    state.global_weights = reader.get_f32s();
+    const std::uint64_t rng_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < rng_count; ++i) {
+      Rng::State rng{};
+      for (std::uint64_t& word : rng) word = reader.get_u64();
+      state.rng_states.push_back(rng);
+    }
+    const std::uint64_t history_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < history_count; ++i) {
+      state.history.push_back(get_round_metrics(reader));
+    }
+    state.rounds_skipped = reader.get_u64();
+    state.total_dropped = reader.get_u64();
+    state.total_quarantined = reader.get_u64();
+    return state;
+  });
+}
+
+[[noreturn]] void fail_resume(const char* pipeline, const Error& error) {
+  throw std::runtime_error(std::string(pipeline) + " resume failed closed [" + error.code +
+                           "]: " + error.message);
+}
+
 }  // namespace
 
 FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClient>& clients,
@@ -138,8 +272,70 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
       (options.faults != nullptr && options.faults->enabled()) ? options.faults : nullptr;
   const std::size_t quorum = std::max<std::size_t>(options.quorum, 1);
 
-  for (std::size_t round = 1; round <= options.rounds; ++round) {
+  // Resume: restore the completed-round state exactly. The contributed
+  // subsets are re-derived above (pure functions of the client seeds), so the
+  // snapshot only needs weights + RNG words + metric history.
+  std::size_t first_round = 1;
+  if (options.resume && !options.checkpoint_path.empty() &&
+      snapshot_exists(options.checkpoint_path)) {
+    auto loaded = read_fedavg_checkpoint(options.checkpoint_path);
+    if (!loaded.ok()) fail_resume("fedavg", loaded.error());
+    FedAvgCheckpoint& state = loaded.value();
+    if (state.client_count != clients.size() || state.weight_count != global_weights.size() ||
+        state.shuffle_seed != options.shuffle_seed ||
+        state.contributed_samples != result.total_contributed_samples) {
+      fail_resume("fedavg", Error{"snapshot.mismatch",
+                                  options.checkpoint_path +
+                                      " was written by a differently-configured run"});
+    }
+    if (state.rng_states.size() != clients.size()) {
+      fail_resume("fedavg",
+                  Error{"snapshot.mismatch", "client RNG stream count does not match"});
+    }
+    global_weights = std::move(state.global_weights);
+    global.set_weights(global_weights);
+    for (std::size_t c = 0; c < clients.size(); ++c) client_rngs[c].restore(state.rng_states[c]);
+    result.history = std::move(state.history);
+    result.rounds_skipped = static_cast<std::size_t>(state.rounds_skipped);
+    result.total_dropped = static_cast<std::size_t>(state.total_dropped);
+    result.total_quarantined = static_cast<std::size_t>(state.total_quarantined);
+    first_round = static_cast<std::size_t>(state.round_completed) + 1;
+    TFL_COUNTER_INC("snapshot.resumes");
+    TFL_INFO << "fedavg resumed at round " << first_round << " from "
+             << options.checkpoint_path;
+  }
+
+  const auto checkpoint_now = [&](std::size_t round_completed) {
+    if (options.checkpoint_path.empty()) return;
+    const std::size_t every = std::max<std::size_t>(options.checkpoint_every, 1);
+    if (round_completed % every != 0 && round_completed != options.rounds) return;
+    FedAvgCheckpoint state;
+    state.client_count = clients.size();
+    state.weight_count = global_weights.size();
+    state.shuffle_seed = options.shuffle_seed;
+    state.contributed_samples = result.total_contributed_samples;
+    state.round_completed = round_completed;
+    state.global_weights = global_weights;
+    for (const Rng& rng : client_rngs) state.rng_states.push_back(rng.state());
+    state.history = result.history;
+    state.rounds_skipped = result.rounds_skipped;
+    state.total_dropped = result.total_dropped;
+    state.total_quarantined = result.total_quarantined;
+    const auto written = write_fedavg_checkpoint(options.checkpoint_path, state);
+    if (!written.ok()) {
+      throw std::runtime_error("fedavg checkpoint write failed [" + written.error().code +
+                               "]: " + written.error().message);
+    }
+    TFL_COUNTER_INC("snapshot.writes");
+    TFL_COUNTER_ADD("snapshot.bytes", written.value());
+  };
+
+  for (std::size_t round = first_round; round <= options.rounds; ++round) {
     TFL_SPAN("fedavg.round");
+    // Injected crashes fire at the top of a round: everything up to and
+    // including the previous checkpoint is durable, everything since is the
+    // loss the resume path must reconstruct.
+    crash_if_scheduled(faults, round);
     std::vector<double> local_losses(clients.size(), 0.0);
     std::vector<std::vector<float>> local_weights(clients.size());
 
@@ -274,10 +470,18 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     result.rounds_skipped += skipped ? 1 : 0;
     result.total_dropped += dropped;
     result.total_quarantined += quarantined;
+    checkpoint_now(round);
     TFL_DEBUG << "fedavg round " << round << ": test acc " << eval.accuracy << ", loss "
               << eval.loss;
   }
 
+  if (result.history.empty()) {
+    // A fully-resumed run (checkpoint already covers every round) re-executes
+    // nothing; the restored history would still be empty only if the snapshot
+    // itself recorded zero rounds, which the round loop above makes
+    // impossible for a fresh run.
+    throw std::runtime_error("fedavg: resume checkpoint holds no completed rounds");
+  }
   result.final_accuracy = result.history.back().test_accuracy;
   result.final_loss = result.history.back().test_loss;
   result.final_weights = std::move(global_weights);

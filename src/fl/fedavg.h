@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/faults.h"
+#include "common/snapshot.h"
 #include "fl/dataset.h"
 #include "fl/model_zoo.h"
 #include "fl/optimizer.h"
@@ -34,6 +35,19 @@ struct FedAvgOptions {
   /// round deadline τ and sits the round out. 0 = stragglers are recorded but
   /// never excluded (synchronous FedAvg waits for them).
   double straggler_cutoff = 0.0;
+
+  /// Crash-consistent checkpointing (empty = none). Every `checkpoint_every`
+  /// completed rounds the full training state — global weights, per-client
+  /// RNG words, metric history, fault totals — is snapshotted atomically to
+  /// `checkpoint_path`. With `resume`, an existing snapshot is loaded and
+  /// training continues at the next round, bit-identically to a run that was
+  /// never interrupted (the Sgd optimizer holds no cross-round state: it is
+  /// rebuilt per client per round, so weights + RNG streams are the complete
+  /// state). A corrupt or mismatched snapshot aborts with the snapshot
+  /// layer's typed error — resume never silently restarts from scratch.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
 };
 
 /// One organization's training view: a pointer to its local dataset and the
@@ -65,6 +79,13 @@ struct FedAvgResult {
   std::size_t total_dropped = 0;
   std::size_t total_quarantined = 0;
 };
+
+/// Snapshot codecs for the training result types, shared by the FedAvg
+/// checkpoint and the trading-session checkpoint (tradefl/session.cpp).
+void put_round_metrics(SnapshotWriter& writer, const RoundMetrics& metrics);
+[[nodiscard]] RoundMetrics get_round_metrics(SnapshotReader& reader);
+void put_fedavg_result(SnapshotWriter& writer, const FedAvgResult& result);
+[[nodiscard]] FedAvgResult get_fedavg_result(SnapshotReader& reader);
 
 /// Evaluates mean loss / accuracy of `net` on a dataset.
 struct EvalResult {

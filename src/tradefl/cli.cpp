@@ -1,11 +1,13 @@
 #include "tradefl/cli.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/parallel.h"
+#include "common/snapshot.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "math/grid.h"
@@ -41,6 +43,20 @@ game::CoopetitionGame game_from_options(const Config& options) {
                                     static_cast<std::uint64_t>(options.get_int("seed", 42)));
 }
 
+/// Applies checkpoint=DIR checkpoint_every=N resume=1 to a CGBD solve.
+/// resume with no snapshot yet is a cold start (the kill may predate the
+/// first durable checkpoint); a present-but-corrupt snapshot fails closed.
+void wire_solver_checkpoint(const Config& options, core::CgbdOptions& cgbd) {
+  const auto dir = options.get("checkpoint");
+  if (!dir) return;
+  std::error_code ec;
+  std::filesystem::create_directories(*dir, ec);
+  cgbd.checkpoint_path = *dir + "/cgbd.snap";
+  cgbd.checkpoint_every =
+      static_cast<std::size_t>(options.get_int("checkpoint_every", 1));
+  cgbd.resume = options.get_bool("resume", false) && snapshot_exists(cgbd.checkpoint_path);
+}
+
 int run_solve(const Config& options, std::ostream& out) {
   const auto scheme = parse_scheme(options.get_string("scheme", "dbr"));
   if (!scheme.ok()) {
@@ -48,7 +64,20 @@ int run_solve(const Config& options, std::ostream& out) {
     return 2;
   }
   const auto game = game_from_options(options);
-  const auto result = core::run_scheme(game, scheme.value());
+  core::SchemeOptions scheme_options;
+  wire_solver_checkpoint(options, scheme_options.cgbd);
+  FaultInjector injector;
+  if (const auto spec = options.get("faults")) {
+    const auto plan = parse_fault_plan(*spec);
+    if (!plan.ok()) {
+      out << plan.error().to_string() << "\n";
+      return 2;
+    }
+    injector = FaultInjector(plan.value());
+    if (injector.enabled()) scheme_options.cgbd.faults = &injector;
+    out << "fault plan: " << plan.value().summary() << "\n";
+  }
+  const auto result = core::run_scheme(game, scheme.value(), scheme_options);
   out << describe_mechanism(game, result);
   out << "properties: " << core::verify_properties(game, result).summary() << "\n";
   return 0;
@@ -118,8 +147,22 @@ int run_session(const Config& options, std::ostream& out) {
     session_options.faults = plan.value();
     out << "fault plan: " << session_options.faults.summary() << "\n";
   }
+  if (const auto dir = options.get("checkpoint")) {
+    session_options.checkpoint_dir = *dir;
+    session_options.checkpoint_every =
+        static_cast<std::size_t>(options.get_int("checkpoint_every", 1));
+    session_options.resume = options.get_bool("resume", false);
+  }
   const SessionResult result = session.run(session_options);
   out << describe_session(game, result);
+  if (const auto report_path = options.get("report")) {
+    const Status written = write_session_report(*report_path, game, result);
+    if (!written.ok()) {
+      out << written.error().to_string() << "\n";
+      return 1;
+    }
+    out << "report written to " << *report_path << "\n";
+  }
   return result.chain_valid && result.settlement_sum == 0 ? 0 : 1;
 }
 
@@ -218,11 +261,18 @@ std::string usage() {
          "               threads=1 (worker threads for training/eval/master "
          "enumeration;\n"
          "               results are bit-identical for any value)\n"
-         "robustness:    faults=seed:1,drop:0.2,submit:0.1 (session only; seeded\n"
+         "robustness:    faults=seed:1,drop:0.2,submit:0.1 (solve+session; seeded\n"
          "               deterministic fault injection. keys: seed drop straggle scale\n"
-         "               corrupt noise revert gas submit solver; rates in [0,1])\n"
+         "               corrupt noise revert gas submit solver; rates in [0,1];\n"
+         "               crash:N kills the process at deterministic point N, right\n"
+         "               after a checkpoint became durable — exit code 86)\n"
          "               quorum=1 (min surviving clients per FedAvg round; a round\n"
          "               below quorum is skipped, never aborted)\n"
+         "durability:    checkpoint=DIR (solve+session; crash-consistent snapshots +\n"
+         "               chain WAL in DIR) checkpoint_every=N resume=1 (continue at\n"
+         "               the last durable checkpoint, bit-identically to an\n"
+         "               uninterrupted run) report=FILE (session only; canonical\n"
+         "               deterministic report for byte-comparison)\n"
          "observability: metrics=1 (print snapshot table after any command)\n"
          "               metrics_json=FILE (write snapshot JSON)\n"
          "               trace=FILE (write Chrome trace-event JSON; open in\n"

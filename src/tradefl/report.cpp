@@ -1,14 +1,20 @@
 #include "tradefl/report.h"
 
+#include <fstream>
 #include <sstream>
 
+#include "common/snapshot.h"
 #include "common/string_util.h"
 #include "common/table.h"
 
 namespace tradefl {
+namespace {
 
-std::string describe_mechanism(const game::CoopetitionGame& game,
-                               const core::MechanismResult& result) {
+/// Shared body of the two mechanism summaries. `include_timing` gates the
+/// solve wall-clock, the one nondeterministic figure in the block.
+std::string describe_mechanism_impl(const game::CoopetitionGame& game,
+                                    const core::MechanismResult& result,
+                                    bool include_timing) {
   std::ostringstream out;
   out << "scheme " << core::scheme_name(result.scheme) << ": welfare "
       << format_double(result.welfare, 8) << ", potential "
@@ -17,8 +23,11 @@ std::string describe_mechanism(const game::CoopetitionGame& game,
       << format_double(result.total_damage, 6) << ", sum d "
       << format_double(result.total_data_fraction, 6) << "\n";
   out << "converged " << (result.solution.converged ? "yes" : "no") << " in "
-      << result.solution.iterations << " iterations ("
-      << format_double(result.solution.solve_seconds * 1e3, 4) << " ms)\n";
+      << result.solution.iterations << " iterations";
+  if (include_timing) {
+    out << " (" << format_double(result.solution.solve_seconds * 1e3, 4) << " ms)";
+  }
+  out << "\n";
 
   AsciiTable table({"org", "d*", "f* (GHz)", "revenue", "energy", "damage", "R_i", "payoff"});
   for (game::OrgId i = 0; i < game.size(); ++i) {
@@ -34,9 +43,13 @@ std::string describe_mechanism(const game::CoopetitionGame& game,
   return out.str();
 }
 
-std::string describe_session(const game::CoopetitionGame& game, const SessionResult& result) {
+/// Shared body of the session summaries. `canonical` drops wall-clock timing
+/// and adds the round-by-round trajectory + weight fingerprint, so the output
+/// is a stable artifact rather than a console log.
+std::string describe_session_impl(const game::CoopetitionGame& game, const SessionResult& result,
+                                  bool canonical) {
   std::ostringstream out;
-  out << describe_mechanism(game, result.mechanism);
+  out << describe_mechanism_impl(game, result.mechanism, /*include_timing=*/!canonical);
   out << "properties: " << result.properties.summary() << "\n";
   if (result.training) {
     out << "training: final accuracy " << format_double(result.training->final_accuracy, 4)
@@ -47,6 +60,25 @@ std::string describe_session(const game::CoopetitionGame& game, const SessionRes
       out << "training faults: " << result.training->total_dropped << " dropped, "
           << result.training->total_quarantined << " quarantined, "
           << result.training->rounds_skipped << " round(s) skipped\n";
+    }
+    if (canonical) {
+      AsciiTable history({"round", "train_loss", "test_loss", "test_acc", "participants",
+                          "dropped", "quarantined", "skipped"});
+      for (const fl::RoundMetrics& metrics : result.training->history) {
+        history.add_row({std::to_string(metrics.round), format_double(metrics.train_loss, 8),
+                         format_double(metrics.test_loss, 8),
+                         format_double(metrics.test_accuracy, 8),
+                         std::to_string(metrics.participants), std::to_string(metrics.dropped),
+                         std::to_string(metrics.quarantined), metrics.skipped ? "yes" : "no"});
+      }
+      out << history.render();
+      // Bit-exact fingerprint of the final model: two runs agree here iff
+      // every weight agrees, which is the resume-determinism contract.
+      const std::vector<float>& weights = result.training->final_weights;
+      out << "final weights: " << weights.size() << " floats, crc32 "
+          << crc32(reinterpret_cast<const std::uint8_t*>(weights.data()),
+                   weights.size() * sizeof(float))
+          << "\n";
     }
   }
   out << "contract " << result.contract_address.to_hex() << ": " << result.blocks
@@ -60,6 +92,12 @@ std::string describe_session(const game::CoopetitionGame& game, const SessionRes
     out << "settlement ABORTED (retries exhausted or revert); escrow retained, chain "
         << (result.chain_valid ? "VALID" : "INVALID") << "\n";
   }
+  if (canonical) {
+    for (std::size_t i = 0; i < result.settlements_wei.size(); ++i) {
+      out << "settlement[" << game.org(i).name << "] = " << result.settlements_wei[i]
+          << " wei\n";
+    }
+  }
   if (result.retry_attempts > 0) {
     out << "on-chain retries: " << result.retry_attempts << "\n";
   }
@@ -70,6 +108,32 @@ std::string describe_session(const game::CoopetitionGame& game, const SessionRes
     }
   }
   return out.str();
+}
+
+}  // namespace
+
+std::string describe_mechanism(const game::CoopetitionGame& game,
+                               const core::MechanismResult& result) {
+  return describe_mechanism_impl(game, result, /*include_timing=*/true);
+}
+
+std::string describe_session(const game::CoopetitionGame& game, const SessionResult& result) {
+  return describe_session_impl(game, result, /*canonical=*/false);
+}
+
+std::string canonical_session_report(const game::CoopetitionGame& game,
+                                     const SessionResult& result) {
+  return describe_session_impl(game, result, /*canonical=*/true);
+}
+
+Status write_session_report(const std::string& path, const game::CoopetitionGame& game,
+                            const SessionResult& result) {
+  std::ofstream file(path);
+  if (!file) return Error{"io", "cannot open " + path + " for writing"};
+  file << canonical_session_report(game, result);
+  file.flush();
+  if (!file) return Error{"io", "write failed for " + path};
+  return ok_status();
 }
 
 }  // namespace tradefl

@@ -1,9 +1,11 @@
 // Pretty-printing of session / mechanism results for the examples and the
-// bench harness.
+// bench harness, plus the canonical on-disk session report the
+// kill-and-resume suite byte-compares.
 #pragma once
 
 #include <string>
 
+#include "common/result.h"
 #include "tradefl/session.h"
 
 namespace tradefl {
@@ -16,5 +18,18 @@ std::string describe_mechanism(const game::CoopetitionGame& game,
 /// Multi-line summary of an end-to-end session, including chain statistics
 /// and the on-chain/off-chain settlement cross-check.
 std::string describe_session(const game::CoopetitionGame& game, const SessionResult& result);
+
+/// describe_session minus every wall-clock figure, plus the full per-round
+/// training trajectory and a CRC32 fingerprint of the final model weights.
+/// Deterministic runs render byte-identical reports, which is what lets a
+/// resumed session be diffed against an uninterrupted one.
+std::string canonical_session_report(const game::CoopetitionGame& game,
+                                     const SessionResult& result);
+
+/// Writes the canonical report to `path`. Open and write failures return a
+/// typed Error{"io", ...} — never a silently truncated file (same contract as
+/// CsvWriter::write_file; tfl-lint bans unchecked ad-hoc persistence).
+Status write_session_report(const std::string& path, const game::CoopetitionGame& game,
+                            const SessionResult& result);
 
 }  // namespace tradefl

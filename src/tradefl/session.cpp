@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <variant>
 
 #include "common/logging.h"
+#include "common/snapshot.h"
+#include "core/solution_codec.h"
 #include "obs/obs.h"
 
 namespace tradefl {
@@ -26,6 +30,152 @@ Address TradingSession::org_address(game::OrgId i) const {
   return Address::from_name(game_->org(i).name);
 }
 
+namespace {
+
+// ----- session checkpoint (phase-boundary snapshots) -----
+
+constexpr std::uint32_t kSessionSnapshotVersion = 1;
+constexpr const char* kSessionSnapshotKind = "tradefl.session";
+
+/// Everything a resumed session needs to continue at the last completed
+/// phase: the result fields filled so far, plus — once the chain exists —
+/// the full chain state (escrow included) and the Web3 fault cursor, so
+/// re-executed calls draw the same injected faults the killed run would
+/// have seen.
+struct SessionCheckpoint {
+  // Fingerprint: resuming under a different experiment fails closed.
+  std::uint64_t org_count = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t scheme = 0;
+  bool run_training = false;
+
+  /// 1 = solve, 2 = training, 3 = escrow, 4 = contributions, 5 = settled.
+  std::uint64_t completed_phase = 0;
+  SessionResult result;
+
+  bool has_chain = false;  // phases >= 3 carry the chain alongside
+  chain::Bytes chain_state;
+  std::uint64_t call_index = 0;
+  std::uint64_t retry_sequence = 0;
+  std::uint64_t retry_attempts = 0;  // lifetime web3 attempts at snapshot time
+  bool chain_ok = true;
+};
+
+void put_address(SnapshotWriter& writer, const Address& address) {
+  writer.put_bytes(std::vector<std::uint8_t>(address.bytes.begin(), address.bytes.end()));
+}
+
+Address get_address(SnapshotReader& reader) {
+  const std::vector<std::uint8_t> raw = reader.get_bytes();
+  Address address;
+  if (raw.size() != address.bytes.size()) {
+    throw SnapshotError("session: address must be 20 bytes");
+  }
+  std::copy(raw.begin(), raw.end(), address.bytes.begin());
+  return address;
+}
+
+Result<std::size_t> write_session_checkpoint(const std::string& path,
+                                             const SessionCheckpoint& state) {
+  SnapshotWriter writer;
+  writer.put_u64(state.org_count);
+  writer.put_u64(state.seed);
+  writer.put_u64(state.scheme);
+  writer.put_bool(state.run_training);
+  writer.put_u64(state.completed_phase);
+
+  const SessionResult& result = state.result;
+  core::put_mechanism_result(writer, result.mechanism);
+  core::put_property_report(writer, result.properties);
+  writer.put_bool(result.training.has_value());
+  if (result.training.has_value()) fl::put_fedavg_result(writer, *result.training);
+  writer.put_u64(result.degradations.size());
+  for (const Degradation& degradation : result.degradations) {
+    writer.put_string(degradation.phase);
+    writer.put_string(degradation.detail);
+  }
+
+  writer.put_bool(state.has_chain);
+  if (state.has_chain) {
+    put_address(writer, result.contract_address);
+    writer.put_bytes(state.chain_state);
+    writer.put_u64(state.call_index);
+    writer.put_u64(state.retry_sequence);
+    writer.put_u64(state.retry_attempts);
+    writer.put_bool(state.chain_ok);
+  }
+
+  // Cross-check fields (meaningful once completed_phase == 5; written
+  // unconditionally so the layout never forks on phase).
+  writer.put_u64(result.settlements_wei.size());
+  for (Wei wei : result.settlements_wei) writer.put_i64(wei);
+  writer.put_i64(result.settlement_sum);
+  writer.put_f64(result.max_settlement_gap);
+  writer.put_bool(result.chain_valid);
+  writer.put_u64(result.total_gas);
+  writer.put_u64(result.blocks);
+  writer.put_u64(result.events);
+  writer.put_bool(result.settled);
+  writer.put_u64(result.retry_attempts);
+  return write_snapshot_file(path, kSessionSnapshotKind, kSessionSnapshotVersion, writer);
+}
+
+Result<SessionCheckpoint> read_session_checkpoint(const std::string& path) {
+  auto payload = read_snapshot_file(path, kSessionSnapshotKind, kSessionSnapshotVersion);
+  if (!payload.ok()) return payload.error();
+  return decode_snapshot<SessionCheckpoint>(payload.value(), [](SnapshotReader& reader) {
+    SessionCheckpoint state;
+    state.org_count = reader.get_u64();
+    state.seed = reader.get_u64();
+    state.scheme = reader.get_u64();
+    state.run_training = reader.get_bool();
+    state.completed_phase = reader.get_u64();
+
+    SessionResult& result = state.result;
+    result.mechanism = core::get_mechanism_result(reader);
+    result.properties = core::get_property_report(reader);
+    if (reader.get_bool()) result.training = fl::get_fedavg_result(reader);
+    const std::uint64_t degradation_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < degradation_count; ++i) {
+      Degradation degradation;
+      degradation.phase = reader.get_string();
+      degradation.detail = reader.get_string();
+      result.degradations.push_back(std::move(degradation));
+    }
+
+    state.has_chain = reader.get_bool();
+    if (state.has_chain) {
+      result.contract_address = get_address(reader);
+      state.chain_state = reader.get_bytes();
+      state.call_index = reader.get_u64();
+      state.retry_sequence = reader.get_u64();
+      state.retry_attempts = reader.get_u64();
+      state.chain_ok = reader.get_bool();
+    }
+
+    const std::uint64_t settlement_count = reader.get_u64();
+    for (std::uint64_t i = 0; i < settlement_count; ++i) {
+      result.settlements_wei.push_back(reader.get_i64());
+    }
+    result.settlement_sum = reader.get_i64();
+    result.max_settlement_gap = reader.get_f64();
+    result.chain_valid = reader.get_bool();
+    result.total_gas = reader.get_u64();
+    result.blocks = static_cast<std::size_t>(reader.get_u64());
+    result.events = static_cast<std::size_t>(reader.get_u64());
+    result.settled = reader.get_bool();
+    result.retry_attempts = reader.get_u64();
+    return state;
+  });
+}
+
+[[noreturn]] void fail_session(const char* action, const Error& error) {
+  throw std::runtime_error(std::string("session ") + action + " failed closed [" + error.code +
+                           "]: " + error.message);
+}
+
+}  // namespace
+
 SessionResult TradingSession::run(const SessionOptions& options) {
   TFL_SPAN("session.run");
   const game::CoopetitionGame& game = *game_;
@@ -41,11 +191,86 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     TFL_WARN << "session degraded [" << phase << "]: " << detail;
   };
 
+  // ---- Checkpoint plumbing (see SessionOptions::checkpoint_dir). ----
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  const std::string session_snap =
+      checkpointing ? options.checkpoint_dir + "/session.snap" : std::string();
+  const std::string wal_path =
+      checkpointing ? options.checkpoint_dir + "/chain.wal" : std::string();
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    // Best-effort: an unusable directory surfaces as a typed write error below.
+  }
+
+  std::uint64_t completed_phase = 0;
+  std::uint64_t retry_baseline = 0;
+  std::uint64_t resumed_call_index = 0;
+  std::uint64_t resumed_retry_sequence = 0;
+  chain::Bytes resumed_chain_state;
+  bool resumed_has_chain = false;
+  bool chain_ok = true;
+
+  if (checkpointing && options.resume && snapshot_exists(session_snap)) {
+    Result<SessionCheckpoint> loaded = read_session_checkpoint(session_snap);
+    if (!loaded.ok()) fail_session("resume", loaded.error());
+    SessionCheckpoint& state = loaded.value();
+    if (state.org_count != n || state.seed != options.seed ||
+        state.scheme != static_cast<std::uint64_t>(options.scheme) ||
+        state.run_training != options.run_training) {
+      fail_session("resume", Error{"snapshot.decode",
+                                   "checkpoint belongs to a different session configuration"});
+    }
+    completed_phase = state.completed_phase;
+    result = std::move(state.result);
+    resumed_has_chain = state.has_chain;
+    resumed_chain_state = std::move(state.chain_state);
+    resumed_call_index = state.call_index;
+    resumed_retry_sequence = state.retry_sequence;
+    retry_baseline = state.retry_attempts;
+    chain_ok = state.chain_ok;
+    TFL_COUNTER_INC("snapshot.resumes");
+    TFL_INFO << "session resumed at completed phase " << completed_phase;
+  }
+
+  chain::Web3Client* web3_ptr = nullptr;
+  const auto save_phase = [&](std::uint64_t phase) {
+    if (!checkpointing) return;
+    SessionCheckpoint state;
+    state.org_count = n;
+    state.seed = options.seed;
+    state.scheme = static_cast<std::uint64_t>(options.scheme);
+    state.run_training = options.run_training;
+    state.completed_phase = phase;
+    state.result = result;
+    if (phase >= 3 && chain_ && web3_ptr != nullptr) {
+      state.has_chain = true;
+      state.chain_state = chain_->save_chain_state();
+      state.call_index = web3_ptr->call_index();
+      state.retry_sequence = web3_ptr->retry_sequence();
+      state.retry_attempts = retry_baseline + web3_ptr->retry_attempts();
+      state.chain_ok = chain_ok;
+    }
+    const Result<std::size_t> written = write_session_checkpoint(session_snap, state);
+    if (!written.ok()) fail_session("checkpoint", written.error());
+    TFL_COUNTER_INC("snapshot.writes");
+    TFL_COUNTER_ADD("snapshot.bytes", written.value());
+    // A scheduled crash fires only after the phase is durable, so the killed
+    // run is always resumable from exactly this boundary.
+    crash_if_scheduled(faults, phase);
+  };
+
   // ---- 1. Equilibrium computation (off-chain, Sec. V). ----
-  {
+  if (completed_phase < 1) {
     TFL_SPAN("session.solve");
     core::SchemeOptions scheme_options = options.scheme_options;
     scheme_options.cgbd.faults = faults;
+    if (checkpointing) {
+      scheme_options.cgbd.checkpoint_path = options.checkpoint_dir + "/cgbd.snap";
+      scheme_options.cgbd.checkpoint_every = options.checkpoint_every;
+      scheme_options.cgbd.resume =
+          options.resume && snapshot_exists(scheme_options.cgbd.checkpoint_path);
+    }
     // A solve failure is not containable — without {d*, f*} there is nothing
     // to trade — but CGBD recovers internally (damped restart, then DBR
     // fallback); surface the fallback as a degradation rather than hiding it.
@@ -57,63 +282,70 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     }
     result.properties = core::verify_properties(game, result.mechanism,
                                                 options.scheme != core::Scheme::kTos);
+    save_phase(1);
   }
   const game::StrategyProfile& profile = result.mechanism.solution.profile;
 
   // ---- 2. Optional FedAvg training with the equilibrium fractions. ----
-  if (options.run_training) {
-    TFL_SPAN("session.train");
-    try {
-      const fl::DatasetSpec concept_spec =
-          fl::DatasetSpec::builtin(options.dataset, options.seed);
-      std::vector<fl::Dataset> locals;
-      locals.reserve(n);
-      std::vector<fl::FedClient> clients;
-      for (game::OrgId i = 0; i < n; ++i) {
-        const std::size_t samples = std::max<std::size_t>(
-            8, static_cast<std::size_t>(std::lround(
-                   options.sample_scale * static_cast<double>(game.org(i).sample_count))));
-        locals.emplace_back(concept_spec.with_sample_seed(options.seed + i + 1), samples);
+  if (completed_phase < 2) {
+    if (options.run_training) {
+      TFL_SPAN("session.train");
+      try {
+        const fl::DatasetSpec concept_spec =
+            fl::DatasetSpec::builtin(options.dataset, options.seed);
+        std::vector<fl::Dataset> locals;
+        locals.reserve(n);
+        std::vector<fl::FedClient> clients;
+        for (game::OrgId i = 0; i < n; ++i) {
+          const std::size_t samples = std::max<std::size_t>(
+              8, static_cast<std::size_t>(std::lround(
+                     options.sample_scale * static_cast<double>(game.org(i).sample_count))));
+          locals.emplace_back(concept_spec.with_sample_seed(options.seed + i + 1), samples);
+        }
+        for (game::OrgId i = 0; i < n; ++i) {
+          clients.push_back(fl::FedClient{&locals[i], profile[i].data_fraction,
+                                          options.seed * 131 + i});
+        }
+        const fl::Dataset test_set(concept_spec.with_sample_seed(options.seed + 7777),
+                                   options.test_samples);
+        fl::ModelSpec model_spec;
+        model_spec.kind = options.model;
+        model_spec.channels = concept_spec.channels;
+        model_spec.height = concept_spec.height;
+        model_spec.width = concept_spec.width;
+        model_spec.classes = concept_spec.classes;
+        model_spec.seed = options.seed;
+        fl::FedAvgOptions fedavg_options = options.fedavg;
+        fedavg_options.faults = faults;
+        if (checkpointing) {
+          fedavg_options.checkpoint_path = options.checkpoint_dir + "/fedavg.snap";
+          fedavg_options.checkpoint_every = options.checkpoint_every;
+          fedavg_options.resume =
+              options.resume && snapshot_exists(fedavg_options.checkpoint_path);
+        }
+        result.training = fl::train_fedavg(model_spec, clients, test_set, fedavg_options);
+        if (result.training->rounds_skipped > 0) {
+          degraded("training", std::to_string(result.training->rounds_skipped) +
+                                   " round(s) skipped below quorum " +
+                                   std::to_string(fedavg_options.quorum));
+        }
+        if (result.training->total_quarantined > 0) {
+          degraded("training", std::to_string(result.training->total_quarantined) +
+                                   " corrupted update(s) quarantined");
+        }
+      } catch (const std::exception& failure) {
+        // Training is advisory for the trade itself (the settlement depends on
+        // the equilibrium profile, not the model), so its failure degrades the
+        // session rather than aborting it.
+        result.training.reset();
+        degraded("training", failure.what());
       }
-      for (game::OrgId i = 0; i < n; ++i) {
-        clients.push_back(fl::FedClient{&locals[i], profile[i].data_fraction,
-                                        options.seed * 131 + i});
-      }
-      const fl::Dataset test_set(concept_spec.with_sample_seed(options.seed + 7777),
-                                 options.test_samples);
-      fl::ModelSpec model_spec;
-      model_spec.kind = options.model;
-      model_spec.channels = concept_spec.channels;
-      model_spec.height = concept_spec.height;
-      model_spec.width = concept_spec.width;
-      model_spec.classes = concept_spec.classes;
-      model_spec.seed = options.seed;
-      fl::FedAvgOptions fedavg_options = options.fedavg;
-      fedavg_options.faults = faults;
-      result.training = fl::train_fedavg(model_spec, clients, test_set, fedavg_options);
-      if (result.training->rounds_skipped > 0) {
-        degraded("training", std::to_string(result.training->rounds_skipped) +
-                                 " round(s) skipped below quorum " +
-                                 std::to_string(fedavg_options.quorum));
-      }
-      if (result.training->total_quarantined > 0) {
-        degraded("training", std::to_string(result.training->total_quarantined) +
-                                 " corrupted update(s) quarantined");
-      }
-    } catch (const std::exception& failure) {
-      // Training is advisory for the trade itself (the settlement depends on
-      // the equilibrium profile, not the model), so its failure degrades the
-      // session rather than aborting it.
-      result.training.reset();
-      degraded("training", failure.what());
     }
+    save_phase(2);
   }
 
-  // ---- 3. Deploy chain + contract. ----
+  // ---- 3. Deploy chain + contract (or restore both from the checkpoint). ----
   chain_ = std::make_unique<chain::Blockchain>();
-  chain::Web3Client web3(*chain_);
-  web3.set_fault_injector(faults);
-  web3.set_retry_policy(options.retry);
 
   chain::TradeFlContractConfig config;
   config.org_count = n;
@@ -141,8 +373,38 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   const Wei min_deposit =
       static_cast<Wei>(std::ceil(worst_outflow * 1.25 * Fixed::kScale)) + 1;
   config.min_deposit = min_deposit;
-  result.contract_address = chain_->deploy(
-      std::make_unique<chain::TradeFlContract>(config));
+
+  if (completed_phase >= 3) {
+    if (!resumed_has_chain) {
+      fail_session("resume",
+                   Error{"snapshot.decode", "phase >= 3 checkpoint lacks chain state"});
+    }
+    // The contract config is rebuilt deterministically from the game above,
+    // so the factory recreates the exact contract the killed run deployed;
+    // load_state then restores escrow, profiles, and round phase.
+    const chain::ContractFactory factory =
+        [&config](const std::string& name) -> chain::ContractPtr {
+      if (name != "TradeFL") return nullptr;
+      return std::make_unique<chain::TradeFlContract>(config);
+    };
+    const Status restored = chain_->restore_chain_state(resumed_chain_state, factory);
+    if (!restored.ok()) fail_session("resume", restored.error());
+  }
+  if (checkpointing) {
+    // Mirror-rewrite: the WAL is re-synced to the restored chain, discarding
+    // any blocks the killed run sealed after its last durable snapshot (they
+    // will be re-sealed identically by the re-executed phase).
+    const Status attached = chain_->attach_wal(wal_path);
+    if (!attached.ok()) fail_session("checkpoint", attached.error());
+  }
+
+  chain::Web3Client web3(*chain_);
+  web3.set_fault_injector(faults);
+  web3.set_retry_policy(options.retry);
+  if (completed_phase >= 3) {
+    web3.restore_fault_cursor(resumed_call_index, resumed_retry_sequence);
+  }
+  web3_ptr = &web3;
 
   const Wei funding = options.funding > 0 ? options.funding : min_deposit * 2;
   if (funding < min_deposit) throw std::invalid_argument("session: funding below min deposit");
@@ -152,7 +414,6 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   // giveup or revert aborts the REMAINING chain steps gracefully — the
   // contract simply never settles (escrow untouched on the simulated chain),
   // settlements stay zero, and the failure lands in `degradations`.
-  bool chain_ok = true;
   const auto chain_call = [&](const Address& from, const std::string& method,
                               std::vector<chain::AbiValue> args = {},
                               Wei value = 0) -> Result<chain::CallOutcome> {
@@ -166,64 +427,75 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   };
 
   // ---- 4. Register + deposit (Fig. 3 step 1). ----
-  for (game::OrgId i = 0; i < n && chain_ok; ++i) {
-    chain_->credit(org_address(i), funding);
-    chain_call(org_address(i), "register", {org_address(i), static_cast<std::uint64_t>(i)});
-    if (!chain_ok) break;
-    chain_call(org_address(i), "depositSubmit", {}, min_deposit);
+  if (completed_phase < 3) {
+    result.contract_address = chain_->deploy(
+        std::make_unique<chain::TradeFlContract>(config));
+    for (game::OrgId i = 0; i < n && chain_ok; ++i) {
+      chain_->credit(org_address(i), funding);
+      chain_call(org_address(i), "register", {org_address(i), static_cast<std::uint64_t>(i)});
+      if (!chain_ok) break;
+      chain_call(org_address(i), "depositSubmit", {}, min_deposit);
+    }
+    save_phase(3);
   }
 
   // ---- 5. Report contributions (Fig. 3 step 2). ----
-  for (game::OrgId i = 0; i < n && chain_ok; ++i) {
-    const double f_ghz = game.frequency(i, profile[i]) / 1e9;
-    chain_call(org_address(i), "contributionSubmit",
-               {Fixed::from_double(profile[i].data_fraction), Fixed::from_double(f_ghz)});
-  }
-
-  // ---- 6. Settle (Fig. 3 step 3). ----
-  result.settlements_wei.assign(n, 0);
-  if (chain_ok) {
-    TFL_SPAN("session.settle");
-    chain_call(org_address(0), "payoffCalculate");
+  if (completed_phase < 4) {
     for (game::OrgId i = 0; i < n && chain_ok; ++i) {
-      // Exemplar Result chain: retried call -> decoded payoff without an
-      // intermediate throw; a failed step short-circuits as the Error.
-      const Result<Wei> payoff =
-          chain_call(org_address(i), "payoffOf", {static_cast<std::uint64_t>(i)})
-              .and_then([](const chain::CallOutcome& outcome) -> Result<Wei> {
-                if (outcome.returned.empty() ||
-                    !std::holds_alternative<std::int64_t>(outcome.returned.front())) {
-                  return Error{"decode", "payoffOf returned no int64 payoff"};
-                }
-                return std::get<std::int64_t>(outcome.returned.front());
-              });
-      if (payoff) result.settlements_wei[i] = payoff.value();
+      const double f_ghz = game.frequency(i, profile[i]) / 1e9;
+      chain_call(org_address(i), "contributionSubmit",
+                 {Fixed::from_double(profile[i].data_fraction), Fixed::from_double(f_ghz)});
     }
-    if (chain_ok) {
-      chain_call(org_address(0), "payoffTransfer");
-      result.settled = chain_ok;
-    }
+    save_phase(4);
   }
 
-  // ---- 7. Cross-checks. ----
-  result.settlement_sum = 0;
-  for (Wei wei : result.settlements_wei) result.settlement_sum += wei;
-  if (result.settled) {
-    for (game::OrgId i = 0; i < n; ++i) {
-      const double off_chain = game.redistribution(i, profile);
-      const double on_chain =
-          static_cast<double>(result.settlements_wei[i]) / static_cast<double>(Fixed::kScale);
-      result.max_settlement_gap =
-          std::max(result.max_settlement_gap, std::abs(off_chain - on_chain));
+  // ---- 6. Settle (Fig. 3 step 3) + cross-checks. ----
+  if (completed_phase < 5) {
+    result.settlements_wei.assign(n, 0);
+    if (chain_ok) {
+      TFL_SPAN("session.settle");
+      chain_call(org_address(0), "payoffCalculate");
+      for (game::OrgId i = 0; i < n && chain_ok; ++i) {
+        // Exemplar Result chain: retried call -> decoded payoff without an
+        // intermediate throw; a failed step short-circuits as the Error.
+        const Result<Wei> payoff =
+            chain_call(org_address(i), "payoffOf", {static_cast<std::uint64_t>(i)})
+                .and_then([](const chain::CallOutcome& outcome) -> Result<Wei> {
+                  if (outcome.returned.empty() ||
+                      !std::holds_alternative<std::int64_t>(outcome.returned.front())) {
+                    return Error{"decode", "payoffOf returned no int64 payoff"};
+                  }
+                  return std::get<std::int64_t>(outcome.returned.front());
+                });
+        if (payoff) result.settlements_wei[i] = payoff.value();
+      }
+      if (chain_ok) {
+        chain_call(org_address(0), "payoffTransfer");
+        result.settled = chain_ok;
+      }
     }
+
+    // ---- 7. Cross-checks. ----
+    result.settlement_sum = 0;
+    for (Wei wei : result.settlements_wei) result.settlement_sum += wei;
+    if (result.settled) {
+      for (game::OrgId i = 0; i < n; ++i) {
+        const double off_chain = game.redistribution(i, profile);
+        const double on_chain =
+            static_cast<double>(result.settlements_wei[i]) / static_cast<double>(Fixed::kScale);
+        result.max_settlement_gap =
+            std::max(result.max_settlement_gap, std::abs(off_chain - on_chain));
+      }
+    }
+    result.retry_attempts = retry_baseline + web3.retry_attempts();
+    const chain::ChainValidation validation = chain_->validate();
+    result.chain_valid = validation.valid;
+    if (!validation.valid) TFL_ERROR << "session: chain invalid: " << validation.problem;
+    for (const chain::Receipt& receipt : chain_->receipts()) result.total_gas += receipt.gas_used;
+    result.blocks = chain_->block_count();
+    result.events = chain_->events().size();
+    save_phase(5);
   }
-  result.retry_attempts = web3.retry_attempts();
-  const chain::ChainValidation validation = chain_->validate();
-  result.chain_valid = validation.valid;
-  if (!validation.valid) TFL_ERROR << "session: chain invalid: " << validation.problem;
-  for (const chain::Receipt& receipt : chain_->receipts()) result.total_gas += receipt.gas_used;
-  result.blocks = chain_->block_count();
-  result.events = chain_->events().size();
   return result;
 }
 

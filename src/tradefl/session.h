@@ -53,6 +53,21 @@ struct SessionOptions {
   /// Retry policy for on-chain calls (only exercised when faults inject
   /// transient submission failures / gas exhaustion).
   chain::RetryPolicy retry{};
+
+  /// Crash-consistent checkpointing (empty = none). The session snapshots at
+  /// every phase boundary into `checkpoint_dir`/session.snap, the chain keeps
+  /// a write-ahead block log in chain.wal, and the solver / training
+  /// sub-pipelines checkpoint into cgbd.snap / fedavg.snap in the same
+  /// directory. With `resume`, the session continues at the last completed
+  /// phase — escrow intact, fault cursors restored — and re-produces the
+  /// uninterrupted run's result bit-identically. A missing checkpoint under
+  /// `resume` starts fresh (kill-anywhere semantics: the crash may predate
+  /// the first durable snapshot); a corrupt one fails closed.
+  std::string checkpoint_dir;
+  /// Forwarded to the sub-pipelines (FedAvg rounds / CGBD iterations per
+  /// snapshot); session-level snapshots always land on phase boundaries.
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
 };
 
 /// One contained failure: the session survived it, degraded, and reports it

@@ -1,0 +1,317 @@
+// Chain durability: the write-ahead block log (append-on-seal, startup
+// replay, torn-tail truncation vs mid-log rejection) and the full chain
+// state snapshot used by the trading-session checkpoint.
+#include "chain/blockchain.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tradefl::chain {
+namespace {
+
+const Address kAlice = Address::from_name("alice");
+const Address kBob = Address::from_name("bob");
+
+class CounterContract final : public Contract {
+ public:
+  [[nodiscard]] std::string contract_name() const override { return "Counter"; }
+
+  std::vector<AbiValue> call(CallContext& context, const std::string& method,
+                             const std::vector<AbiValue>& args) override {
+    if (method == "increment") {
+      context.gas->charge_storage_write();
+      count_ += abi_u64(args, 0);
+      context.host->emit_event("Incremented", {std::uint64_t{count_}});
+      return {std::uint64_t{count_}};
+    }
+    if (method == "read") return {std::uint64_t{count_}};
+    throw Revert("unknown method");
+  }
+
+  [[nodiscard]] Bytes save_state() const override {
+    ByteWriter writer;
+    writer.put_u64(count_);
+    return writer.data();
+  }
+  void load_state(const Bytes& state) override {
+    ByteReader reader(state);
+    count_ = reader.get_u64();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+Transaction call_tx(const Address& from, const Address& to, const std::string& method,
+                    std::vector<AbiValue> args = {}, Wei value = 0) {
+  Transaction tx;
+  tx.from = from;
+  tx.to = to;
+  tx.value = value;
+  tx.data = encode_call(CallPayload{method, std::move(args)});
+  return tx;
+}
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  return {std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>()};
+}
+
+void dump(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(file.good()) << path;
+}
+
+/// Runs a few contract calls, sealing one block per call (dev-chain style).
+void run_activity(Blockchain& chain, const Address& counter, int calls) {
+  for (int i = 0; i < calls; ++i) {
+    const Receipt receipt =
+        chain.submit(call_tx(kAlice, counter, "increment", {std::uint64_t{1}}));
+    ASSERT_TRUE(receipt.success) << receipt.revert_reason;
+    chain.seal_block();
+  }
+}
+
+/// Builds a chain that logs `calls` sealed blocks into `wal`.
+std::vector<Hash256> build_logged_chain(const std::string& wal, int calls) {
+  Blockchain chain;
+  EXPECT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, calls);
+  std::vector<Hash256> hashes;
+  for (std::size_t b = 0; b < chain.block_count(); ++b) {
+    hashes.push_back(chain.block(b).header.hash());
+  }
+  return hashes;
+}
+
+TEST(ChainWal, MissingFileIsCleanFirstBoot) {
+  Blockchain chain;
+  const auto report = chain.replay_wal(temp_path("fresh.wal"));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().blocks_replayed, 0u);
+  EXPECT_FALSE(report.value().tail_truncated);
+  EXPECT_TRUE(chain.wal_attached());
+  EXPECT_TRUE(std::filesystem::exists(temp_path("fresh.wal")));
+}
+
+TEST(ChainWal, ReplayRecoversEverySealedBlock) {
+  const std::string wal = temp_path("replay.wal");
+  const std::vector<Hash256> expected = build_logged_chain(wal, 4);
+
+  Blockchain restored;
+  const auto report = restored.replay_wal(wal);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().blocks_replayed, expected.size() - 1);  // genesis not logged
+  EXPECT_FALSE(report.value().tail_truncated);
+  ASSERT_EQ(restored.block_count(), expected.size());
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    EXPECT_EQ(restored.block(b).header.hash(), expected[b]) << "block " << b;
+  }
+}
+
+TEST(ChainWal, ReplayRequiresFreshChain) {
+  const std::string wal = temp_path("dirty.wal");
+  build_logged_chain(wal, 2);
+  Blockchain dirty;
+  dirty.credit(kAlice, 10);
+  const Address counter = dirty.deploy(std::make_unique<CounterContract>());
+  run_activity(dirty, counter, 1);
+  const auto report = dirty.replay_wal(wal);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, "wal.state");
+}
+
+TEST(ChainWal, TornTailIsTruncatedKeepingCommittedBlocks) {
+  const std::string wal = temp_path("torn.wal");
+  const std::vector<Hash256> expected = build_logged_chain(wal, 3);
+
+  // Simulate a crash mid-append: half of a new record made it to disk.
+  std::vector<std::uint8_t> raw = slurp(wal);
+  const std::size_t committed = raw.size();
+  std::vector<std::uint8_t> torn = raw;
+  torn.insert(torn.end(), raw.begin(), raw.begin() + 9);  // partial frame
+  dump(wal, torn);
+
+  Blockchain restored;
+  const auto report = restored.replay_wal(wal);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_TRUE(report.value().tail_truncated);
+  EXPECT_EQ(report.value().bytes_truncated, 9u);
+  EXPECT_EQ(report.value().blocks_replayed, expected.size() - 1);
+  EXPECT_EQ(restored.block_count(), expected.size());
+  // The log itself was repaired: a second replay is clean.
+  EXPECT_EQ(slurp(wal).size(), committed);
+  Blockchain again;
+  const auto second = again.replay_wal(wal);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().tail_truncated);
+}
+
+TEST(ChainWal, CorruptLastRecordDropsOnlyThatRecord) {
+  const std::string wal = temp_path("tail_flip.wal");
+  const std::vector<Hash256> expected = build_logged_chain(wal, 3);
+
+  // Flip one byte inside the LAST record: it fails its CRC, nothing valid
+  // follows, so it is torn-tail — all fully-committed earlier blocks survive.
+  std::vector<std::uint8_t> raw = slurp(wal);
+  raw[raw.size() - 5] ^= 0x40;
+  dump(wal, raw);
+
+  Blockchain restored;
+  const auto report = restored.replay_wal(wal);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_TRUE(report.value().tail_truncated);
+  EXPECT_EQ(report.value().blocks_replayed, expected.size() - 2);
+  EXPECT_EQ(restored.block_count(), expected.size() - 1);
+}
+
+TEST(ChainWal, MidLogCorruptionIsRejectedNotTruncated) {
+  const std::string wal = temp_path("midlog.wal");
+  build_logged_chain(wal, 3);
+
+  // Damage the FIRST record while valid records follow: truncating here
+  // would silently drop committed blocks, so replay must refuse.
+  std::vector<std::uint8_t> raw = slurp(wal);
+  raw[6] ^= 0x01;
+  dump(wal, raw);
+
+  Blockchain restored;
+  const auto report = restored.replay_wal(wal);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, "wal.corrupt");
+  EXPECT_NE(report.error().message.find("mid-log"), std::string::npos)
+      << report.error().message;
+  EXPECT_EQ(restored.block_count(), 1u);  // only genesis; no partial replay
+}
+
+TEST(ChainWal, ForeignRecordFailsChainContinuity) {
+  // A CRC-valid record from ANOTHER chain's log must not splice in.
+  const std::string wal_a = temp_path("continuity_a.wal");
+  const std::string wal_b = temp_path("continuity_b.wal");
+  build_logged_chain(wal_a, 2);
+  {
+    Blockchain other;
+    ASSERT_TRUE(other.attach_wal(wal_b).ok());
+    other.credit(kBob, 500);
+    Transaction tx;
+    tx.from = kBob;
+    tx.to = kAlice;
+    tx.value = 100;
+    other.submit(tx);
+    other.seal_block();
+  }
+  // Replace log A's content with log B's first record: valid frame, wrong
+  // lineage (prev_hash cannot match A's genesis successor chain).
+  std::vector<std::uint8_t> spliced = slurp(wal_a);
+  const std::vector<std::uint8_t> foreign = slurp(wal_b);
+  spliced.insert(spliced.end(), foreign.begin(), foreign.end());
+  dump(wal_a, spliced);
+
+  Blockchain restored;
+  const auto report = restored.replay_wal(wal_a);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, "wal.corrupt");
+  EXPECT_NE(report.error().message.find("does not extend"), std::string::npos);
+}
+
+TEST(ChainWal, AttachAfterTheFactMirrorsSealedBlocks) {
+  const std::string wal = temp_path("mirror.wal");
+  Blockchain chain;
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 2);
+  ASSERT_TRUE(chain.attach_wal(wal).ok());  // rewrite to mirror current chain
+  run_activity(chain, counter, 1);          // and keep appending
+
+  Blockchain restored;
+  const auto report = restored.replay_wal(wal);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(restored.block_count(), chain.block_count());
+  EXPECT_EQ(restored.block(restored.block_count() - 1).header.hash(),
+            chain.block(chain.block_count() - 1).header.hash());
+}
+
+// ----- full chain state snapshot (session checkpoint payload) -----
+
+ContractFactory counter_factory() {
+  return [](const std::string& name) -> ContractPtr {
+    if (name != "Counter") return nullptr;
+    return std::make_unique<CounterContract>();
+  };
+}
+
+TEST(ChainState, SaveRestoreRoundTripsLedgerAndContracts) {
+  Blockchain chain;
+  chain.credit(kAlice, 1'000'000);
+  chain.credit(kBob, 777);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 3);
+  const Bytes saved = chain.save_chain_state();
+
+  Blockchain restored;
+  const Status status = restored.restore_chain_state(saved, counter_factory());
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+
+  EXPECT_EQ(restored.balance(kAlice), chain.balance(kAlice));
+  EXPECT_EQ(restored.balance(kBob), 777);
+  EXPECT_EQ(restored.block_count(), chain.block_count());
+  EXPECT_EQ(restored.receipts().size(), chain.receipts().size());
+  EXPECT_EQ(restored.events().size(), chain.events().size());
+  EXPECT_TRUE(restored.validate().valid);
+  // Contract storage came back: the counter continues from 3.
+  const Receipt receipt = restored.submit(call_tx(kAlice, counter, "read"));
+  ASSERT_TRUE(receipt.success);
+  EXPECT_EQ(std::get<std::uint64_t>(decode_values(receipt.return_data).at(0)), 3u);
+  // And the two chains keep producing identical blocks afterwards.
+  restored.seal_block();
+  chain.submit(call_tx(kAlice, counter, "read"));
+  chain.seal_block();
+  EXPECT_EQ(restored.block_count(), chain.block_count());
+}
+
+TEST(ChainState, RestoreWithoutFactoryFailsClosed) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 1);
+  const Bytes saved = chain.save_chain_state();
+
+  Blockchain restored;
+  const Status status = restored.restore_chain_state(saved, ContractFactory{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "chain.snapshot");
+  // Fail closed: the target chain is untouched (still only genesis).
+  EXPECT_EQ(restored.block_count(), 1u);
+  EXPECT_EQ(restored.balance(kAlice), 0);
+}
+
+TEST(ChainState, CorruptStateBytesFailClosed) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 1);
+  Bytes saved = chain.save_chain_state();
+  saved.resize(saved.size() / 2);
+
+  Blockchain restored;
+  const Status status = restored.restore_chain_state(saved, counter_factory());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "chain.snapshot");
+  EXPECT_EQ(restored.block_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

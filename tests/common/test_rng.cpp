@@ -167,5 +167,53 @@ TEST(Rng, DeriveStreamSeedIsStateless) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, StateRestoreRoundTripsAllFourWords) {
+  Rng rng(2024);
+  for (int i = 0; i < 37; ++i) (void)rng.next_u64();  // advance off the seed
+  const Rng::State state = rng.state();
+
+  Rng restored(1);  // deliberately different seed — restore must overwrite it
+  restored.restore(state);
+  EXPECT_EQ(restored.state(), state);
+  EXPECT_EQ(restored.state(), rng.state());
+}
+
+TEST(Rng, RestoredGeneratorContinuesIdentically) {
+  // The checkpoint contract: capture state mid-stream, keep drawing from the
+  // original, then restore into a fresh generator — both must produce the
+  // exact same continuation across every draw type.
+  Rng original(777);
+  for (int i = 0; i < 11; ++i) (void)original.uniform01();
+  const Rng::State state = original.state();
+
+  Rng resumed(0);
+  resumed.restore(state);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(original.next_u64(), resumed.next_u64()) << "draw " << i;
+  }
+  EXPECT_EQ(original.uniform01(), resumed.uniform01());
+
+  std::vector<std::size_t> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::size_t> b = a;
+  original.shuffle(a);
+  resumed.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, RestoreClearsBoxMullerCache) {
+  // normal() caches the second Box–Muller draw. restore() must drop that
+  // cache: the four state words alone define the continuation. If the cache
+  // survived, the first normal() after restore would return the stale value
+  // without advancing the state, desynchronizing the streams immediately.
+  Rng rng(99);
+  (void)rng.normal();  // leaves a cached second normal behind
+  const Rng::State state = rng.state();
+  rng.restore(state);  // self-restore must clear the cache
+
+  Rng resumed(0);
+  resumed.restore(state);  // fresh generator, trivially cache-free
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.normal(), resumed.normal()) << "draw " << i;
+}
+
 }  // namespace
 }  // namespace tradefl

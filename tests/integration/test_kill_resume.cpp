@@ -1,0 +1,201 @@
+// Kill-and-resume against the real `tradefl` binary: sessions are killed by
+// injected crashes (exit 86, indistinguishable from SIGKILL) and by an actual
+// SIGKILL, then resumed from their checkpoint directory. The resumed run's
+// canonical report must be byte-identical to an uninterrupted baseline —
+// at threads=1 and threads=4.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faults.h"
+#include "common/stopwatch.h"
+
+namespace tradefl {
+namespace {
+
+#ifndef TRADEFL_CLI_PATH
+#error "TRADEFL_CLI_PATH must point at the tradefl executable"
+#endif
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);  // TempDir persists across runs: start clean
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "missing " << path;
+  return {std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>()};
+}
+
+/// The session under test: small but exercises every phase — DBR solve,
+/// 3 rounds of FedAvg, escrow, contributions, settlement.
+std::vector<std::string> session_args(const std::string& report) {
+  return {"session", "scheme=dbr", "orgs=4",    "seed=3",
+          "train=1", "rounds=3",   "sample_scale=0.02", "report=" + report};
+}
+
+/// Runs the CLI synchronously; returns the raw exit code.
+int run_cli(const std::vector<std::string>& args, const std::string& log) {
+  std::string command = std::string(TRADEFL_CLI_PATH);
+  for (const std::string& arg : args) command += " " + arg;
+  command += " > " + log + " 2>&1";
+  const int status = std::system(command.c_str());
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -WTERMSIG(status);
+}
+
+/// Spawns the CLI detached and returns the pid (for the real-SIGKILL test).
+pid_t spawn_cli(const std::vector<std::string>& args, const std::string& log) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child: silence output and exec the real binary.
+  if (std::freopen(log.c_str(), "w", stdout) == nullptr) std::_Exit(127);
+  if (std::freopen(log.c_str(), "a", stderr) == nullptr) std::_Exit(127);
+  std::vector<std::string> storage = args;
+  std::vector<char*> argv;
+  std::string binary = TRADEFL_CLI_PATH;
+  argv.push_back(binary.data());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(TRADEFL_CLI_PATH, argv.data());
+  std::_Exit(127);  // exec failed
+}
+
+/// One full crash-then-resume cycle at a given thread count: baseline run,
+/// crashed run (expects exit 86 at the injected point), resume run, then a
+/// byte comparison of the two reports.
+void crash_resume_roundtrip(const std::string& label, const std::string& crash_spec,
+                            const std::string& threads) {
+  const std::string dir = temp_dir(label);
+  const std::string baseline_report = dir + "/baseline.txt";
+  const std::string resumed_report = dir + "/resumed.txt";
+
+  std::vector<std::string> baseline = session_args(baseline_report);
+  baseline.push_back("threads=" + threads);
+  ASSERT_EQ(run_cli(baseline, dir + "/baseline.log"), 0) << slurp(dir + "/baseline.log");
+
+  std::vector<std::string> crashed = session_args(dir + "/never_written.txt");
+  crashed.push_back("threads=" + threads);
+  crashed.push_back("checkpoint=" + dir + "/ckpt");
+  crashed.push_back("faults=" + crash_spec);
+  ASSERT_EQ(run_cli(crashed, dir + "/crashed.log"), kCrashExitCode)
+      << slurp(dir + "/crashed.log");
+  EXPECT_FALSE(std::filesystem::exists(dir + "/never_written.txt"))
+      << "a killed run must not have produced a report";
+
+  // The crash plan belonged to the killed run; the resumed invocation runs
+  // fault-free from the last durable checkpoint.
+  std::vector<std::string> resumed = session_args(resumed_report);
+  resumed.push_back("threads=" + threads);
+  resumed.push_back("checkpoint=" + dir + "/ckpt");
+  resumed.push_back("resume=1");
+  ASSERT_EQ(run_cli(resumed, dir + "/resumed.log"), 0) << slurp(dir + "/resumed.log");
+
+  EXPECT_EQ(slurp(baseline_report), slurp(resumed_report))
+      << "resumed report must be byte-identical to the uninterrupted baseline";
+}
+
+TEST(KillResume, CrashDuringTrainingResumesToIdenticalReport) {
+  // crash:2 fires at FedAvg round 2, right after round 1's snapshot landed.
+  crash_resume_roundtrip("kill_resume_train", "crash:2", "1");
+}
+
+TEST(KillResume, CrashAfterContributionPhaseResumesToIdenticalReport) {
+  // crash:4 fires right after the phase-4 (contributions) checkpoint became
+  // durable: only settlement is left, and it must replay on intact escrow.
+  crash_resume_roundtrip("kill_resume_contrib", "crash:4", "1");
+}
+
+TEST(KillResume, CrashResumeIsBitIdenticalUnderFourThreads) {
+  crash_resume_roundtrip("kill_resume_mt", "crash:2", "4");
+}
+
+TEST(KillResume, RealSigkillMidRunResumesToIdenticalReport) {
+  const std::string dir = temp_dir("kill_resume_sigkill");
+  const std::string baseline_report = dir + "/baseline.txt";
+  ASSERT_EQ(run_cli(session_args(baseline_report), dir + "/baseline.log"), 0)
+      << slurp(dir + "/baseline.log");
+
+  // Start a checkpointing run, wait for the first training snapshot to land,
+  // then kill -9 — no warning, no cleanup.
+  std::vector<std::string> victim = session_args(dir + "/victim.txt");
+  victim.push_back("checkpoint=" + dir + "/ckpt");
+  const pid_t pid = spawn_cli(victim, dir + "/victim.log");
+  ASSERT_GT(pid, 0);
+  Stopwatch watch;
+  while (!std::filesystem::exists(dir + "/ckpt/fedavg.snap") &&
+         watch.elapsed_seconds() < 60.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+  // Whether the kill landed mid-run or the run had already finished, the
+  // resume path must converge on the baseline bytes (idempotent restart).
+  std::vector<std::string> resumed = session_args(dir + "/resumed.txt");
+  resumed.push_back("checkpoint=" + dir + "/ckpt");
+  resumed.push_back("resume=1");
+  ASSERT_EQ(run_cli(resumed, dir + "/resumed.log"), 0) << slurp(dir + "/resumed.log");
+  EXPECT_EQ(slurp(baseline_report), slurp(dir + "/resumed.txt"));
+}
+
+TEST(KillResume, ResumeAfterCleanCompletionIsIdempotent) {
+  const std::string dir = temp_dir("kill_resume_idempotent");
+  std::vector<std::string> first = session_args(dir + "/first.txt");
+  first.push_back("checkpoint=" + dir + "/ckpt");
+  ASSERT_EQ(run_cli(first, dir + "/first.log"), 0) << slurp(dir + "/first.log");
+
+  std::vector<std::string> second = session_args(dir + "/second.txt");
+  second.push_back("checkpoint=" + dir + "/ckpt");
+  second.push_back("resume=1");
+  ASSERT_EQ(run_cli(second, dir + "/second.log"), 0) << slurp(dir + "/second.log");
+  EXPECT_EQ(slurp(dir + "/first.txt"), slurp(dir + "/second.txt"));
+}
+
+TEST(KillResume, CorruptSessionSnapshotFailsClosedNotSilentRestart) {
+  const std::string dir = temp_dir("kill_resume_corrupt");
+  std::vector<std::string> first = session_args(dir + "/first.txt");
+  first.push_back("checkpoint=" + dir + "/ckpt");
+  ASSERT_EQ(run_cli(first, dir + "/first.log"), 0) << slurp(dir + "/first.log");
+
+  {  // flip a byte mid-snapshot
+    const std::string snap = dir + "/ckpt/session.snap";
+    std::fstream file(snap, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good()) << snap;
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  std::vector<std::string> resumed = session_args(dir + "/resumed.txt");
+  resumed.push_back("checkpoint=" + dir + "/ckpt");
+  resumed.push_back("resume=1");
+  EXPECT_EQ(run_cli(resumed, dir + "/resumed.log"), 1);
+  const std::string log = slurp(dir + "/resumed.log");
+  EXPECT_NE(log.find("failed closed"), std::string::npos) << log;
+  EXPECT_FALSE(std::filesystem::exists(dir + "/resumed.txt"))
+      << "a failed-closed resume must not emit a report";
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "game/game_factory.h"
 #include "tradefl/report.h"
 
@@ -106,6 +109,85 @@ TEST(Session, ExplicitFundingRespected) {
   SessionOptions options;
   options.funding = 1;  // far below any sane deposit
   EXPECT_THROW(session.run(options), std::invalid_argument);
+}
+
+TEST(Session, CanonicalReportIsDeterministicAcrossRuns) {
+  // The canonical report drops wall-clock timing, the one nondeterministic
+  // field — two independent runs of the same session must agree byte-for-byte.
+  const auto game = game::make_toy_game();
+  SessionOptions options;
+  options.run_training = true;
+  options.sample_scale = 0.12;
+  options.fedavg.rounds = 2;
+  TradingSession first(game);
+  TradingSession second(game);
+  EXPECT_EQ(canonical_session_report(game, first.run(options)),
+            canonical_session_report(game, second.run(options)));
+}
+
+TEST(Session, CheckpointedResumeReturnsStoredResult) {
+  // A session resumed after its final phase checkpoint re-runs nothing and
+  // reports exactly what the completed run reported.
+  const auto game = game::make_toy_game();
+  const std::string dir = std::string(::testing::TempDir()) + "/session_idempotent";
+  SessionOptions options;
+  options.checkpoint_dir = dir;
+  TradingSession first(game);
+  const std::string completed = canonical_session_report(game, first.run(options));
+
+  options.resume = true;
+  TradingSession second(game);
+  EXPECT_EQ(completed, canonical_session_report(game, second.run(options)));
+}
+
+TEST(Session, CorruptSessionSnapshotFailsClosed) {
+  const auto game = game::make_toy_game();
+  const std::string dir = std::string(::testing::TempDir()) + "/session_corrupt";
+  SessionOptions options;
+  options.checkpoint_dir = dir;
+  TradingSession first(game);
+  (void)first.run(options);
+
+  {  // flip one byte mid-snapshot
+    const std::string snap = dir + "/session.snap";
+    std::fstream file(snap, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good()) << snap;
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  options.resume = true;
+  TradingSession second(game);
+  try {
+    (void)second.run(options);
+    FAIL() << "corrupt session snapshot must not resume";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("failed closed"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Session, WriteReportToUnwritablePathIsTypedError) {
+  const auto game = game::make_toy_game();
+  TradingSession session(game);
+  const SessionResult result = session.run();
+  const Status written =
+      write_session_report("/nonexistent-dir/report.txt", game, result);
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.error().code, "io");
+
+  const std::string good = std::string(::testing::TempDir()) + "/session_report.txt";
+  ASSERT_TRUE(write_session_report(good, game, result).ok());
+  std::ifstream file(good);
+  const std::string bytes{std::istreambuf_iterator<char>(file),
+                          std::istreambuf_iterator<char>()};
+  EXPECT_EQ(bytes, canonical_session_report(game, result));
 }
 
 }  // namespace

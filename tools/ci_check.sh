@@ -12,6 +12,9 @@
 #   6. chaos suite re-run under ASan+UBSan (fault-injection paths: dropout,
 #      corruption quarantine, retry exhaustion, solver recovery) as its own
 #      named gate so a filter change can never silently drop it
+#   7. kill-and-resume suite re-run under ASan+UBSan (snapshot corruption,
+#      chain WAL replay, checkpoint/resume bit-identity, real SIGKILL against
+#      the CLI binary) as its own named gate
 #
 # Usage: tools/ci_check.sh [--no-sanitizers]
 set -euo pipefail
@@ -53,6 +56,13 @@ if [ "$run_sanitizers" -eq 1 ]; then
   # FL, retry/abort on chain, solver recovery, and the thread-count replay.
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
         -R 'Chaos|Retry|Fault|GbdFaults'
+
+  echo "=== ci: kill-and-resume suite (asan-ubsan) ==="
+  # Durability gate: snapshot corruption fails closed, the chain WAL replays
+  # torn tails, FedAvg/FedAsync/CGBD/session resume bit-identically, and the
+  # real CLI binary survives injected crashes and a genuine SIGKILL.
+  ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
+        -R 'KillResume|Snapshot|ChainWal|ChainState|Checkpoint|Session\.C'
 fi
 
 echo "ci_check: all gates passed"

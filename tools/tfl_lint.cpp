@@ -32,6 +32,12 @@
 //                     src/chain/web3.cpp (hand-rolled retries bypass
 //                     RetryPolicy's deterministic backoff, jitter seeding, and
 //                     retry counters — route through call_with_retry)
+//   ad-hoc-persistence
+//                     `std::ofstream` / `fopen` in src/ outside the audited
+//                     writers (common/snapshot.cpp, common/csv.cpp,
+//                     chain/blockchain.cpp, tradefl/report.cpp) — durable
+//                     state must tear-proof through the snapshot layer or a
+//                     checked writer, never a stray stream
 //
 // The matcher works on comment- and string-stripped text, so banned words in
 // comments or log messages do not trip it. Justified exceptions live in
@@ -438,6 +444,33 @@ void check_ad_hoc_retry(const std::string& path, const std::vector<std::string>&
   }
 }
 
+void check_ad_hoc_persistence(const std::string& path, const std::vector<std::string>& lines,
+                              std::vector<Finding>& findings) {
+  // Durable state must flow through an audited writer: the snapshot layer
+  // (atomic temp+rename, CRC, typed errors), the CSV writer, the chain WAL,
+  // or the checked report writer. A stray ofstream/fopen elsewhere in src/ is
+  // a crash-consistency hole — it can tear on kill and resume from garbage.
+  if (!path_in(path, "src/")) return;
+  if (path_ends_with(path, "src/common/snapshot.cpp") ||
+      path_ends_with(path, "src/common/csv.cpp") ||
+      path_ends_with(path, "src/chain/blockchain.cpp") ||
+      path_ends_with(path, "src/tradefl/report.cpp")) {
+    return;
+  }
+  static const std::vector<std::string> kBanned = {"ofstream", "fopen"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const std::string& word : kBanned) {
+      if (contains_token(lines[i], word)) {
+        findings.push_back({path, i + 1, "ad-hoc-persistence",
+                            "ad-hoc state persistence via `" + word +
+                                "` — write through common/snapshot.h, the CSV "
+                                "writer, or a checked report writer instead"});
+        break;
+      }
+    }
+  }
+}
+
 void check_missing_override(const std::string& path, const std::vector<std::string>& lines,
                             std::vector<Finding>& findings) {
   // Track class scopes and whether each has a base clause. One entry per open
@@ -539,6 +572,7 @@ void scan_content(const std::string& path, const std::string& content,
   check_raw_steady_clock(path, lines, findings);
   check_raw_thread(path, lines, findings);
   check_ad_hoc_retry(path, lines, findings);
+  check_ad_hoc_persistence(path, lines, findings);
   check_missing_override(path, lines, findings);
   check_include_layering(path, raw_lines, findings);
 }
@@ -684,6 +718,27 @@ int run_self_test() {
        "  return contract->call(context, method, args);\n"
        "}\n",
        {}},
+      {"src/fl/fixture_persist.cpp",
+       "#include <fstream>\n"
+       "void f() {\n"
+       "  std::ofstream out(\"weights.bin\", std::ios::binary);\n"
+       "  out << 1;\n"
+       "}\n",
+       {"ad-hoc-persistence"}},
+      {"src/core/fixture_persist_fopen.cpp",
+       "#include <cstdio>\n"
+       "void f() { std::FILE* file = std::fopen(\"state.bin\", \"wb\"); (void)file; }\n",
+       {"ad-hoc-persistence"}},
+      // The snapshot layer is the sanctioned owner of raw file handles.
+      {"src/common/snapshot.cpp",
+       "#include <cstdio>\n"
+       "void f() { std::FILE* file = std::fopen(\"x.tmp\", \"wb\"); (void)file; }\n",
+       {}},
+      // Tests may write scratch files freely; the rule polices src/ only.
+      {"tests/fl/fixture_persist_test_ok.cpp",
+       "#include <fstream>\n"
+       "void f() { std::ofstream out(\"scratch.txt\"); }\n",
+       {}},
       // Clean file: banned words only in comments/strings, tolerance compare,
       // override used properly, allowed include edge. Must produce no findings.
       {"src/game/fixture_clean.cpp",
@@ -736,7 +791,9 @@ void list_rules() {
             << "missing-override   virtual redecl without override in derived classes\n"
             << "include-layering   module include edges outside the layer graph (src/)\n"
             << "ad-hoc-retry       for/while wrapped around ->call( outside src/chain/web3.cpp "
-               "(use Web3Client::call_with_retry)\n";
+               "(use Web3Client::call_with_retry)\n"
+            << "ad-hoc-persistence ofstream/fopen in src/ outside the audited writers "
+               "(snapshot, csv, chain WAL, report)\n";
 }
 
 }  // namespace
