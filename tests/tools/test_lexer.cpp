@@ -1,0 +1,148 @@
+// Unit tests for the tfl-analyze lexer: the corners that break regex tools
+// (raw strings, splices, digit separators, preprocessor lines) must tokenize
+// exactly, because every semantic rule walks this stream.
+#include "analyze/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace tfl_analyze {
+namespace {
+
+std::vector<Token> toks(const std::string& text) { return lex(text); }
+
+TEST(Lexer, IdentifiersNumbersPunctuation) {
+  const auto t = toks("int x = f(a1, 2.5e-3) + 0x1F;");
+  ASSERT_EQ(t.size(), 12u);
+  EXPECT_TRUE(is_ident(t[0], "int"));
+  EXPECT_TRUE(is_ident(t[1], "x"));
+  EXPECT_TRUE(is_punct(t[2], "="));
+  EXPECT_TRUE(is_ident(t[3], "f"));
+  EXPECT_EQ(t[7].kind, Tok::kNumber);
+  EXPECT_EQ(t[7].text, "2.5e-3");
+  EXPECT_EQ(t[10].kind, Tok::kNumber);
+  EXPECT_EQ(t[10].text, "0x1F");
+}
+
+TEST(Lexer, MaximalMunchPunctuators) {
+  const auto t = toks("a::b->c <<= d >>= e ... f ->* g .* h ## i");
+  std::vector<std::string> puncts;
+  for (const Token& tok : t) {
+    if (tok.kind == Tok::kPunct) puncts.push_back(tok.text);
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"::", "->", "<<=", ">>=", "...", "->*", ".*", "##"}));
+}
+
+TEST(Lexer, DigitSeparatorIsNotCharLiteral) {
+  const auto t = toks("std::uint64_t n = 1'000'000; char c = 'x';");
+  // 1'000'000 must be one number token, 'x' one char token.
+  bool saw_number = false, saw_char = false;
+  for (const Token& tok : t) {
+    if (tok.kind == Tok::kNumber && tok.text == "1'000'000") saw_number = true;
+    if (tok.kind == Tok::kChar && tok.text == "x") saw_char = true;
+    EXPECT_NE(tok.text, "000");  // separator never splits the literal
+  }
+  EXPECT_TRUE(saw_number);
+  EXPECT_TRUE(saw_char);
+}
+
+TEST(Lexer, StringLiteralKeepsEscapes) {
+  const auto t = toks("const char* s = \"a\\\"b\\n\";");
+  ASSERT_GE(t.size(), 6u);
+  EXPECT_EQ(t[5].kind, Tok::kString);
+  EXPECT_EQ(t[5].text, "a\\\"b\\n");
+}
+
+TEST(Lexer, EncodingPrefixedLiterals) {
+  const auto t = toks("auto a = u8\"x\"; auto b = L'y';");
+  bool saw_string = false, saw_char = false;
+  for (const Token& tok : t) {
+    if (tok.kind == Tok::kString && tok.text == "x") saw_string = true;
+    if (tok.kind == Tok::kChar && tok.text == "y") saw_char = true;
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_char);
+}
+
+TEST(Lexer, RawStringCustomDelimiter) {
+  // The )" inside must not close the literal; only )x" does.
+  const auto t = toks("const char* s = R\"x(quote \" close )\" still)x\"; int k;");
+  ASSERT_GE(t.size(), 6u);
+  EXPECT_EQ(t[5].kind, Tok::kString);
+  EXPECT_EQ(t[5].text, "quote \" close )\" still");
+  // Code after the literal still tokenizes.
+  EXPECT_TRUE(is_ident(t[t.size() - 3], "int"));
+  EXPECT_TRUE(is_ident(t[t.size() - 2], "k"));
+}
+
+TEST(Lexer, RawStringAdvancesLineNumbers) {
+  const auto t = toks("auto s = R\"(line one\nline two\n)\";\nint after;");
+  // `after` sits on line 4: the raw string spans lines 1-3.
+  bool found = false;
+  for (const Token& tok : t) {
+    if (is_ident(tok, "after")) {
+      EXPECT_EQ(tok.line, 4u);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+}
+
+TEST(Lexer, LineSpliceJoinsTokens) {
+  const auto t = toks("int ab\\\ncd = 1;\nint next;");
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_TRUE(is_ident(t[1], "abcd"));
+  EXPECT_EQ(t[1].line, 1u);
+  // The splice consumed a physical line: `next` is on line 3.
+  for (const Token& tok : t) {
+    if (is_ident(tok, "next")) {
+      EXPECT_EQ(tok.line, 3u);
+    }
+  }
+}
+
+TEST(Lexer, SpliceStaysLiteralInsideRawString) {
+  const auto t = toks("auto s = R\"(a\\\nb)\";");
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_EQ(t[3].kind, Tok::kString);
+  // Phase-1 revert: the backslash-newline survives verbatim inside.
+  EXPECT_EQ(t[3].text, "a\\\nb");
+}
+
+TEST(Lexer, PreprocessorDirectivesSkipped) {
+  const auto t = toks("#include <vector>\n#define FOO bar(1, 2)\nint real;\n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_TRUE(is_ident(t[0], "int"));
+  EXPECT_TRUE(is_ident(t[1], "real"));
+  EXPECT_EQ(t[0].line, 3u);
+}
+
+TEST(Lexer, SplicedMacroDefinitionFullySkipped) {
+  // The continuation lines belong to the directive, not to real code.
+  const auto t = toks("#define WIDE(x) do { \\\n  f(x); \\\n} while (false)\nint code;\n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_TRUE(is_ident(t[0], "int"));
+  EXPECT_EQ(t[0].line, 4u);
+}
+
+TEST(Lexer, CommentsSkippedEvenWithQuotes) {
+  const auto t = toks("int a; // can't touch \"this\"\n/* nor 'this' */ int b;");
+  std::size_t idents = 0;
+  for (const Token& tok : t) {
+    if (tok.kind == Tok::kIdent) ++idents;
+    EXPECT_NE(tok.kind, Tok::kString);
+    EXPECT_NE(tok.kind, Tok::kChar);
+  }
+  EXPECT_EQ(idents, 4u);  // int a int b
+}
+
+TEST(Lexer, HashMidLineIsNotADirective) {
+  const auto t = toks("int x = a ## b;\n");
+  bool saw = false;
+  for (const Token& tok : t) {
+    if (is_punct(tok, "##")) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace tfl_analyze

@@ -1,0 +1,209 @@
+// Real-tree guarantees for the tfl-analyze schema pass, run in-process against
+// the actual src/ checkout (TRADEFL_SOURCE_DIR):
+//
+//   1. every persisted codec pair in the repo is discovered and compared —
+//      the list below is the repo's durable-format inventory, so adding a
+//      codec without the analyzer seeing it fails here;
+//   2. the tree is clean modulo the reviewed baseline entries;
+//   3. a mutation test: flipping any pair's primitive op type in the
+//      in-memory file set must produce a schema-drift finding for that pair.
+//      This proves the comparison is live for every pair, not vacuously green.
+#include "analyze/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "lint_common.h"
+
+namespace {
+
+using tfl_analyze::Analysis;
+using tfl_analyze::CodecOp;
+using tfl_analyze::CodecPair;
+using tfl_analyze::SourceFile;
+
+std::vector<SourceFile> load_tree() {
+  std::vector<std::filesystem::path> paths;
+  std::string error;
+  const std::string root = std::string(TRADEFL_SOURCE_DIR) + "/src";
+  if (!tfl_tools::collect_files({root}, paths, error)) {
+    ADD_FAILURE() << "cannot walk " << root << ": " << error;
+    return {};
+  }
+  std::vector<SourceFile> files;
+  for (const auto& path : paths) {
+    std::string content;
+    if (tfl_tools::read_file(path, content)) {
+      files.push_back({tfl_tools::normalize_path(path), std::move(content)});
+    }
+  }
+  return files;
+}
+
+Analysis analyze_tree(const std::vector<SourceFile>& files) {
+  tradefl::ThreadPool pool(4);
+  return tfl_analyze::analyze(files, tfl_analyze::Options{}, &pool);
+}
+
+/// The repo's durable-format inventory: every writer/reader codec pair that
+/// persists bytes. Update this list when adding a codec — that is the point.
+const std::vector<std::pair<std::string, std::string>>& expected_pairs() {
+  static const std::vector<std::pair<std::string, std::string>> kPairs = {
+      // chain: ABI, mempool/chain persistence, contract state
+      {"encode_value", "decode_value"},
+      {"encode_call", "decode_call"},
+      {"encode_values", "decode_values"},
+      {"put_tx", "get_tx"},
+      {"serialize_block", "decode_block"},
+      {"save_chain_state", "restore_chain_state"},
+      {"save_state", "load_state"},
+      // solver solutions & mechanism results
+      {"put_profile", "get_profile"},
+      {"put_iteration_record", "get_iteration_record"},
+      {"put_solution", "get_solution"},
+      {"put_mechanism_result", "get_mechanism_result"},
+      {"put_property_report", "get_property_report"},
+      // FL training state
+      {"put_round_metrics", "get_round_metrics"},
+      {"put_fedavg_result", "get_fedavg_result"},
+      // session bookkeeping
+      {"put_address", "get_address"},
+  };
+  return kPairs;
+}
+
+/// Checkpoint writers whose reader is an anonymous decode lambda; the pass
+/// pairs them by proximity, so only the writer name is stable.
+const std::vector<std::string>& expected_checkpoint_writers() {
+  static const std::vector<std::string> kWriters = {
+      "write_checkpoint",           // CGBD solver (core/gbd.cpp)
+      "write_fedavg_checkpoint",    // fl/fedavg.cpp
+      "write_fedasync_checkpoint",  // fl/fedasync.cpp
+      "write_session_checkpoint",   // tradefl/session.cpp
+  };
+  return kWriters;
+}
+
+TEST(SchemaCoverage, EveryCodecPairInTheTreeIsCompared) {
+  const std::vector<SourceFile> files = load_tree();
+  ASSERT_FALSE(files.empty());
+  const Analysis analysis = analyze_tree(files);
+
+  std::set<std::pair<std::string, std::string>> seen;
+  std::set<std::string> seen_writers;
+  for (const CodecPair& pair : analysis.pairs) {
+    seen.insert({pair.writer_name, pair.reader_name});
+    seen_writers.insert(pair.writer_name);
+    EXPECT_FALSE(pair.writer_ops.empty()) << pair.writer_name;
+    EXPECT_FALSE(pair.reader_ops.empty()) << pair.reader_name;
+  }
+  for (const auto& expected : expected_pairs()) {
+    EXPECT_TRUE(seen.count(expected))
+        << "codec pair " << expected.first << " / " << expected.second
+        << " not discovered by the schema pass";
+  }
+  for (const std::string& writer : expected_checkpoint_writers()) {
+    EXPECT_TRUE(seen_writers.count(writer))
+        << "checkpoint writer " << writer << " not paired with its decode lambda";
+  }
+}
+
+TEST(SchemaCoverage, TreeIsCleanModuloTheReviewedBaseline) {
+  const std::vector<SourceFile> files = load_tree();
+  ASSERT_FALSE(files.empty());
+  const Analysis analysis = analyze_tree(files);
+
+  // Exactly the findings justified in tools/tfl_analyze_baseline.txt: the
+  // abi.cpp variant codec (beyond the flat-sequence model) and the two
+  // hash-only serialize helpers. Anything else is a regression.
+  // Paths come back absolute (the tree is loaded from TRADEFL_SOURCE_DIR);
+  // compare on the repo-relative suffix.
+  std::multiset<std::pair<std::string, std::string>> got;
+  for (const auto& finding : analysis.findings) {
+    std::string path = finding.path;
+    const std::size_t src = path.rfind("src/");
+    if (src != std::string::npos) path.erase(0, src);
+    got.insert({finding.rule, path});
+  }
+  const std::multiset<std::pair<std::string, std::string>> want = {
+      {"schema-drift", "src/chain/abi.cpp"},
+      {"schema-unpaired", "src/chain/block.cpp"},
+      {"schema-unpaired", "src/chain/tx.cpp"},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(SchemaCoverage, MutatingAnyPairIsDetected) {
+  const std::vector<SourceFile> files = load_tree();
+  ASSERT_FALSE(files.empty());
+  const Analysis baseline = analyze_tree(files);
+
+  std::map<std::string, std::size_t> file_index;
+  for (std::size_t i = 0; i < files.size(); ++i) file_index[files[i].path] = i;
+
+  // Pairs already drifting (the baselined abi variant codec) can't show a
+  // *new* drift, so they are exempt; everything else must be mutation-live.
+  std::set<std::string> already_drifting;
+  for (const auto& finding : baseline.findings) {
+    if (finding.rule == "schema-drift") already_drifting.insert(finding.path);
+  }
+
+  std::size_t verified = 0;
+  for (const CodecPair& pair : baseline.pairs) {
+    if (already_drifting.count(pair.writer_file)) continue;
+
+    // Pick a primitive op recorded in the writer's own file and flip its
+    // type at the recorded site (put_u32 -> put_u8, ...).
+    const CodecOp* target = nullptr;
+    for (const CodecOp& op : pair.writer_ops) {
+      if (!op.type.empty() && op.type[0] != '#' && op.file == pair.writer_file) {
+        target = &op;
+        break;
+      }
+    }
+    ASSERT_NE(target, nullptr) << pair.writer_name << " has no direct primitive op";
+
+    const std::string from = "put_" + target->type;
+    const std::string to = target->type == "u8" ? "put_u64" : "put_u8";
+    std::vector<SourceFile> mutated = files;
+    SourceFile& victim = mutated[file_index.at(target->file)];
+
+    // Locate the recorded line inside the file text and rewrite the call.
+    std::size_t line_start = 0;
+    for (std::size_t line = 1; line < target->line; ++line) {
+      line_start = victim.content.find('\n', line_start);
+      ASSERT_NE(line_start, std::string::npos) << target->file << ":" << target->line;
+      ++line_start;
+    }
+    const std::size_t line_end = victim.content.find('\n', line_start);
+    const std::size_t hit = victim.content.find(from, line_start);
+    ASSERT_TRUE(hit != std::string::npos && (line_end == std::string::npos || hit < line_end))
+        << pair.writer_name << ": no `" << from << "` on " << target->file << ":"
+        << target->line;
+    victim.content.replace(hit, from.size(), to);
+
+    const Analysis after = analyze_tree(mutated);
+    bool drifted = false;
+    for (const auto& finding : after.findings) {
+      if (finding.rule == "schema-drift" &&
+          finding.message.find("`" + pair.writer_name + "`") != std::string::npos) {
+        drifted = true;
+      }
+    }
+    EXPECT_TRUE(drifted) << "mutating " << from << " in " << pair.writer_name << " ("
+                         << target->file << ":" << target->line
+                         << ") was not reported as schema-drift";
+    ++verified;
+  }
+  // The inventory currently holds 19 pairs; at least the non-abi ones must
+  // have been mutation-verified. Guards against the loop silently skipping.
+  EXPECT_GE(verified, 15u);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// End-to-end exit-code contract for the two checker binaries: 0 clean,
+// 1 findings (or self-test failure), 2 usage/configuration error. CI scripts
+// branch on these codes, so they are API. Binary paths are baked in by CMake
+// (TFL_LINT_BIN / TFL_ANALYZE_BIN).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int run(const std::string& command) {
+  const int status = std::system((command + " > /dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+class ToolCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each discovered test as its own process, possibly in
+    // parallel — the scratch dir must be unique per process AND per test.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("tfl_cli_" + std::to_string(::getpid()) + "_" + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write(const std::string& name, const std::string& content) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// tfl-lint
+// ---------------------------------------------------------------------------
+
+TEST_F(ToolCli, LintSelfTestPasses) { EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " --self-test"), 0); }
+
+TEST_F(ToolCli, LintCleanTreeExitsZero) {
+  write("clean.cpp", "int add(int a, int b) { return a + b; }\n");
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " " + dir_.string()), 0);
+}
+
+TEST_F(ToolCli, LintFindingExitsOne) {
+  write("timer.cpp", "auto t0 = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " " + dir_.string()), 1);
+}
+
+TEST_F(ToolCli, LintAllowlistSuppressesToZero) {
+  write("timer.cpp", "auto t0 = std::chrono::steady_clock::now();\n");
+  const fs::path allow = write("allow.txt", "raw-steady-clock timer.cpp\n");
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " --allow " + allow.string() + " " + dir_.string()),
+            0);
+}
+
+TEST_F(ToolCli, LintUsageErrorsExitTwo) {
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " --no-such-flag"), 2);
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN)), 2);                      // no paths
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " --allow"), 2);        // missing operand
+  EXPECT_EQ(run(std::string(TFL_LINT_BIN) + " /nonexistent/tree"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// tfl-analyze
+// ---------------------------------------------------------------------------
+
+TEST_F(ToolCli, AnalyzeSelfTestPasses) {
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --self-test"), 0);
+}
+
+TEST_F(ToolCli, AnalyzeCleanTreeExitsZero) {
+  write("clean.cpp", "int add(int a, int b) { return a + b; }\n");
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " " + dir_.string()), 0);
+}
+
+TEST_F(ToolCli, AnalyzeFindingExitsOneInEveryFormat) {
+  write("audit.cpp",
+        "void write_audit(SnapshotWriter& writer, const Audit& audit) {\n"
+        "  writer.put_u64(audit.seq);\n"
+        "}\n");
+  for (const char* format : {"text", "json", "sarif"}) {
+    EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --format " + format + " " + dir_.string()), 1)
+        << format;
+  }
+}
+
+TEST_F(ToolCli, AnalyzeBaselineSuppressesToZero) {
+  write("audit.cpp",
+        "void write_audit(SnapshotWriter& writer, const Audit& audit) {\n"
+        "  writer.put_u64(audit.seq);\n"
+        "}\n");
+  const fs::path baseline =
+      write("baseline.txt", "schema-unpaired audit.cpp  # write-only audit trail\n");
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --baseline " + baseline.string() + " " +
+                dir_.string()),
+            0);
+}
+
+TEST_F(ToolCli, AnalyzeBaselineWithoutJustificationExitsTwo) {
+  write("audit.cpp",
+        "void write_audit(SnapshotWriter& writer, const Audit& audit) {\n"
+        "  writer.put_u64(audit.seq);\n"
+        "}\n");
+  const fs::path baseline = write("baseline.txt", "schema-unpaired audit.cpp\n");
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --baseline " + baseline.string() + " " +
+                dir_.string()),
+            2);
+}
+
+TEST_F(ToolCli, AnalyzeUsageErrorsExitTwo) {
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --no-such-flag"), 2);
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN)), 2);  // no paths
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --format yaml ."), 2);
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " /nonexistent/tree"), 2);
+  EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --baseline /nonexistent/base.txt ."), 2);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Regression test for the documentation side of the obs vocabulary contract:
+// tfl-analyze proves code <-> tools/obs_vocab.txt agree; this test proves
+// tools/obs_vocab.txt <-> docs/OBSERVABILITY.md agree, closing the triangle.
+// (This PR's tree scan originally caught six names instrumented in code but
+// missing from the doc's table — this keeps that from regressing.)
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_common.h"
+
+namespace {
+
+std::string must_read(const std::string& relative) {
+  const std::string path = std::string(TRADEFL_SOURCE_DIR) + "/" + relative;
+  std::string content;
+  EXPECT_TRUE(tfl_tools::read_file(path, content)) << path;
+  return content;
+}
+
+/// Expands one level of `{a,b,c}` alternation groups, the doc's shorthand for
+/// metric families (`fl.{local_train,aggregate,eval}.seconds`).
+std::vector<std::string> expand_braces(const std::string& text) {
+  const std::size_t open = text.find('{');
+  if (open == std::string::npos) return {text};
+  const std::size_t close = text.find('}', open);
+  if (close == std::string::npos) return {text};
+  std::vector<std::string> out;
+  std::string alternative;
+  const std::string prefix = text.substr(0, open);
+  const std::string suffix = text.substr(close + 1);
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    if (i == close || text[i] == ',') {
+      for (const std::string& rest : expand_braces(suffix)) {
+        out.push_back(prefix + alternative + rest);
+      }
+      alternative.clear();
+    } else {
+      alternative.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+/// All dotted names documented in OBSERVABILITY.md: the contents of every
+/// inline code span, brace-expanded, with `<placeholder>` segments mapped to
+/// the vocabulary's `*` wildcard.
+std::set<std::string> documented_names(const std::string& markdown) {
+  std::set<std::string> names;
+  std::size_t i = 0;
+  while ((i = markdown.find('`', i)) != std::string::npos) {
+    const std::size_t end = markdown.find('`', i + 1);
+    if (end == std::string::npos) break;
+    std::string span = markdown.substr(i + 1, end - i - 1);
+    i = end + 1;
+    if (span.find(' ') != std::string::npos || span.find('.') == std::string::npos) continue;
+    // `<kernel>`-style placeholders document a dynamic segment.
+    while (true) {
+      const std::size_t lt = span.find('<');
+      const std::size_t gt = span.find('>', lt == std::string::npos ? 0 : lt);
+      if (lt == std::string::npos || gt == std::string::npos) break;
+      span.replace(lt, gt - lt + 1, "*");
+    }
+    for (const std::string& name : expand_braces(span)) names.insert(name);
+  }
+  return names;
+}
+
+TEST(VocabDoc, EveryVocabularyEntryIsDocumented) {
+  const std::string vocab = must_read("tools/obs_vocab.txt");
+  const std::set<std::string> documented = documented_names(must_read("docs/OBSERVABILITY.md"));
+  ASSERT_FALSE(documented.empty());
+
+  std::size_t checked = 0;
+  for (std::string line : tfl_tools::split_lines(vocab)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    const std::string name = line.substr(begin, end - begin + 1);
+    EXPECT_TRUE(documented.count(name))
+        << "vocabulary entry `" << name
+        << "` is not documented in docs/OBSERVABILITY.md (code spans, after "
+           "{a,b} expansion)";
+    ++checked;
+  }
+  // The vocabulary currently holds ~80 names; a mostly-empty parse would make
+  // this test vacuous.
+  EXPECT_GE(checked, 50u);
+}
+
+TEST(VocabDoc, DeliberateExclusionsStayExcluded) {
+  // solver.*.trajectory and bench.<kernel>.speedup are recorded through the
+  // registry API, not the TFL_* macros; listing them in the vocabulary would
+  // trip obs-orphan. The header comment documents this — keep it true.
+  const std::string vocab = must_read("tools/obs_vocab.txt");
+  for (const char* name : {"solver.potential.trajectory", "solver.welfare.trajectory",
+                           "solver.payoff_gap.trajectory", "bench."}) {
+    std::size_t pos = 0;
+    while ((pos = vocab.find(name, pos)) != std::string::npos) {
+      // Allowed only inside the explanatory header comment.
+      const std::size_t line_start = vocab.rfind('\n', pos) + 1;
+      EXPECT_EQ(vocab[line_start], '#') << name << " must not be a live vocabulary entry";
+      ++pos;
+    }
+  }
+}
+
+}  // namespace

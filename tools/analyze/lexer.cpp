@@ -1,0 +1,255 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace tfl_analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// True when the identifier spelling is a valid string/char encoding prefix.
+bool encoding_prefix(const std::string& s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+/// True when the identifier spelling is a raw-string prefix (ends in R with an
+/// optional encoding prefix before it).
+bool raw_prefix(const std::string& s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+/// Phase 1+2: remove line splices (backslash-newline) while preserving the
+/// original line number of every surviving character. Raw string literals are
+/// copied verbatim — splices do not apply inside them.
+void splice(const std::string& text, std::string& out, std::vector<std::size_t>& line_of) {
+  std::size_t line = 1;
+  std::size_t i = 0;
+  // Last identifier run, used to decide whether a `"` opens a raw string.
+  auto raw_string_at = [&](std::size_t at) -> std::size_t {
+    // Returns the length of the raw-string prefix ending just before `at`
+    // (the `"`), or 0 when this is not a raw string opener. Checks against
+    // `out`, which holds everything emitted so far.
+    if (out.empty() || out.back() != 'R') return 0;
+    std::size_t start = out.size() - 1;
+    if (start >= 2 && out[start - 2] == 'u' && out[start - 1] == '8') {
+      start -= 2;
+    } else if (start >= 1 &&
+               (out[start - 1] == 'u' || out[start - 1] == 'U' || out[start - 1] == 'L')) {
+      start -= 1;
+    }
+    if (start > 0 && ident_char(out[start - 1])) return 0;
+    (void)at;
+    return out.size() - start;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size() &&
+        (text[i + 1] == '\n' || (text[i + 1] == '\r' && i + 2 < text.size() &&
+                                 text[i + 2] == '\n'))) {
+      // Line splice: drop it, advance the physical line counter.
+      i += text[i + 1] == '\r' ? 3 : 2;
+      ++line;
+      continue;
+    }
+    if (c == '"' && raw_string_at(i) > 0) {
+      // Raw string: copy verbatim through `)delim"`; splices stay literal.
+      std::size_t delim_end = i + 1;
+      while (delim_end < text.size() && text[delim_end] != '(' && text[delim_end] != '\n' &&
+             delim_end - i - 1 <= 16) {
+        ++delim_end;
+      }
+      if (delim_end < text.size() && text[delim_end] == '(') {
+        const std::string closer = ")" + text.substr(i + 1, delim_end - i - 1) + "\"";
+        std::size_t close = text.find(closer, delim_end + 1);
+        const std::size_t end =
+            close == std::string::npos ? text.size() : close + closer.size();
+        for (; i < end; ++i) {
+          out.push_back(text[i]);
+          line_of.push_back(line);
+          if (text[i] == '\n') ++line;
+        }
+        continue;
+      }
+    }
+    out.push_back(c);
+    line_of.push_back(line);
+    if (c == '\n') ++line;
+    ++i;
+  }
+}
+
+}  // namespace
+
+bool is_punct(const Token& token, const char* spelling) {
+  return token.kind == Tok::kPunct && token.text == spelling;
+}
+
+bool is_ident(const Token& token, const char* spelling) {
+  return token.kind == Tok::kIdent && token.text == spelling;
+}
+
+std::vector<Token> lex(const std::string& text) {
+  std::string s;
+  std::vector<std::size_t> line_of;
+  s.reserve(text.size());
+  line_of.reserve(text.size());
+  splice(text, s, line_of);
+
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  bool line_start = true;  // only whitespace seen so far on this line
+
+  auto line_at = [&](std::size_t pos) -> std::size_t {
+    return pos < line_of.size() ? line_of[pos] : (line_of.empty() ? 1 : line_of.back());
+  };
+
+  // Consumes a quoted literal starting at the opening quote; returns contents.
+  auto quoted = [&](char quote) -> std::string {
+    std::string value;
+    ++i;  // opening quote
+    while (i < s.size() && s[i] != quote) {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        value.push_back(s[i]);
+        value.push_back(s[i + 1]);
+        i += 2;
+      } else if (s[i] == '\n') {
+        break;  // unterminated; stop at end of line
+      } else {
+        value.push_back(s[i]);
+        ++i;
+      }
+    }
+    if (i < s.size() && s[i] == quote) ++i;  // closing quote
+    return value;
+  };
+
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && line_start) {
+      // Preprocessor directive: splices are already merged, so it ends at \n.
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    line_start = false;
+    const std::size_t start = i;
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = i + 1 < s.size() ? i + 2 : s.size();
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t end = i;
+      while (end < s.size() && ident_char(s[end])) ++end;
+      const std::string word = s.substr(i, end - i);
+      // String/char literal prefixes: R"( ... , u8"...", L'x', ...
+      if (end < s.size() && s[end] == '"' && raw_prefix(word)) {
+        // Raw string literal.
+        std::size_t delim_end = end + 1;
+        while (delim_end < s.size() && s[delim_end] != '(' && s[delim_end] != '\n' &&
+               delim_end - end - 1 <= 16) {
+          ++delim_end;
+        }
+        if (delim_end < s.size() && s[delim_end] == '(') {
+          const std::string closer = ")" + s.substr(end + 1, delim_end - end - 1) + "\"";
+          const std::size_t close = s.find(closer, delim_end + 1);
+          const std::size_t lit_end =
+              close == std::string::npos ? s.size() : close;
+          tokens.push_back(
+              {Tok::kString, s.substr(delim_end + 1, lit_end - delim_end - 1), line_at(start)});
+          i = close == std::string::npos ? s.size() : close + closer.size();
+          continue;
+        }
+      }
+      if (end < s.size() && s[end] == '"' && (encoding_prefix(word))) {
+        i = end;
+        tokens.push_back({Tok::kString, quoted('"'), line_at(start)});
+        continue;
+      }
+      if (end < s.size() && s[end] == '\'' && encoding_prefix(word)) {
+        i = end;
+        tokens.push_back({Tok::kChar, quoted('\''), line_at(start)});
+        continue;
+      }
+      tokens.push_back({Tok::kIdent, word, line_at(start)});
+      i = end;
+      continue;
+    }
+    if (digit(c) || (c == '.' && i + 1 < s.size() && digit(s[i + 1]))) {
+      std::size_t end = i + 1;
+      while (end < s.size()) {
+        const char d = s[end];
+        if (ident_char(d) || d == '.') {
+          ++end;
+        } else if (d == '\'' && end + 1 < s.size() && ident_char(s[end + 1])) {
+          ++end;  // digit separator
+        } else if ((d == '+' || d == '-') &&
+                   (s[end - 1] == 'e' || s[end - 1] == 'E' || s[end - 1] == 'p' ||
+                    s[end - 1] == 'P')) {
+          ++end;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({Tok::kNumber, s.substr(i, end - i), line_at(start)});
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      tokens.push_back({Tok::kString, quoted('"'), line_at(start)});
+      continue;
+    }
+    if (c == '\'') {
+      tokens.push_back({Tok::kChar, quoted('\''), line_at(start)});
+      continue;
+    }
+    // Punctuators, maximal munch.
+    static const char* kThree[] = {"<<=", ">>=", "...", "->*"};
+    static const char* kTwo[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+                                 "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                                 "|=", "^=", ".*", "##"};
+    std::size_t len = 1;
+    for (const char* p : kThree) {
+      if (s.compare(i, 3, p) == 0) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (const char* p : kTwo) {
+        if (s.compare(i, 2, p) == 0) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    tokens.push_back({Tok::kPunct, s.substr(i, len), line_at(start)});
+    i += len;
+  }
+  return tokens;
+}
+
+}  // namespace tfl_analyze

@@ -1,0 +1,47 @@
+// A real (if deliberately small) C++ lexer for tfl-analyze. Unlike
+// tfl-lint's line scrubber, this produces a token stream the semantic rules
+// can walk: identifiers, numbers, string/char literals, and punctuators, with
+// 1-based source lines attached. It handles the lexical corners that break
+// regex tools:
+//
+//   - backslash-newline line splices (removed before tokenization, with the
+//     original line numbers preserved),
+//   - raw string literals `R"delim( ... )delim"` with encoding prefixes
+//     (splices do NOT apply inside them, per the standard's phase-1 revert),
+//   - digit separators (1'000'000) vs char literals,
+//   - preprocessor directives (skipped wholesale; rules only see real code),
+//   - comments.
+//
+// It does not attempt preprocessing or template-angle-bracket disambiguation;
+// the rules that need brackets track them heuristically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tfl_analyze {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,   // integer / floating literals, separators and suffixes included
+  kString,   // string literal; text holds the raw contents (no quotes)
+  kChar,     // char literal; text holds the raw contents (no quotes)
+  kPunct,    // operators and punctuation, maximal munch (`::`, `->`, ...)
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the token's first character
+};
+
+/// Tokenizes `text`. Never fails: ill-formed input degrades to best-effort
+/// single-character punctuator tokens.
+std::vector<Token> lex(const std::string& text);
+
+/// Convenience predicates used throughout the rule passes.
+bool is_punct(const Token& token, const char* spelling);
+bool is_ident(const Token& token, const char* spelling);
+
+}  // namespace tfl_analyze

@@ -1,0 +1,358 @@
+// parallel-capture / parallel-rng / unordered-hash-iter: flow-aware checks on
+// lambdas handed to the parallel execution layer (src/common/parallel.h) and
+// on iteration over unordered containers.
+//
+// The determinism discipline these rules enforce:
+//   - a parallel lambda may write only to locals, its parameters, or a
+//     distinct slot of a shared array indexed by something derived from its
+//     chunk/worker parameters (the disjoint-slot pattern);
+//   - random draws inside a parallel body must come from a per-chunk stream
+//     (Rng::derive_stream_seed or a *_rng stream factory), never a shared or
+//     ad-hoc-seeded Rng;
+//   - unordered container iteration must never feed hashing/serialization,
+//     because the visit order is implementation-defined.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace tfl_analyze {
+
+namespace {
+
+using tfl_tools::Finding;
+
+const std::set<std::string>& rng_draw_methods() {
+  static const std::set<std::string> kDraws = {
+      "next_u64", "uniform01",        "uniform",   "uniform_int", "normal",
+      "bernoulli", "truncated_normal", "permutation", "shuffle",   "split",
+  };
+  return kDraws;
+}
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "insert", "erase", "clear", "resize", "pop_back",
+  };
+  return kMutators;
+}
+
+bool assign_punct(const Token& t) {
+  if (t.kind != Tok::kPunct) return false;
+  return t.text == "=" || t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+         t.text == "/=" || t.text == "%=" || t.text == "&=" || t.text == "|=" ||
+         t.text == "^=" || t.text == "<<=" || t.text == ">>=";
+}
+
+/// Walks an lvalue chain starting at the base identifier `i`:
+///   base (.ident | ->ident | [expr])*
+/// Fills the token index just past the chain, whether any subscript appeared,
+/// and the subscript index ranges.
+struct Chain {
+  std::size_t end = 0;  // first token after the chain
+  bool subscripted = false;
+  std::vector<std::pair<std::size_t, std::size_t>> indices;
+  std::string last_member;  // trailing `.member` name if the chain ends there
+};
+
+Chain walk_chain(const std::vector<Token>& tokens, std::size_t i, std::size_t last) {
+  Chain chain;
+  std::size_t j = i + 1;
+  while (j < last) {
+    if ((is_punct(tokens[j], ".") || is_punct(tokens[j], "->")) && j + 1 < last &&
+        tokens[j + 1].kind == Tok::kIdent) {
+      chain.last_member = tokens[j + 1].text;
+      j += 2;
+    } else if (is_punct(tokens[j], "[")) {
+      const std::size_t close = match_forward(tokens, j);
+      if (close >= last) break;
+      chain.subscripted = true;
+      chain.indices.push_back({j + 1, close});
+      chain.last_member.clear();
+      j = close + 1;
+    } else {
+      break;
+    }
+  }
+  chain.end = j;
+  return chain;
+}
+
+bool range_mentions(const std::vector<Token>& tokens, std::size_t first, std::size_t last,
+                    const std::set<std::string>& names) {
+  for (std::size_t i = first; i < last && i < tokens.size(); ++i) {
+    if (tokens[i].kind == Tok::kIdent && names.count(tokens[i].text) != 0) return true;
+  }
+  return false;
+}
+
+/// True when the initializer range sanctions a local Rng for parallel use:
+/// it derives a per-chunk stream (`Rng::derive_stream_seed(...)`) or calls a
+/// stream factory whose name ends in `_rng` (e.g. faults->corruption_rng).
+bool sanctioned_rng_init(const std::vector<Token>& tokens,
+                         std::pair<std::size_t, std::size_t> init) {
+  for (std::size_t i = init.first; i < init.second && i < tokens.size(); ++i) {
+    if (tokens[i].kind != Tok::kIdent) continue;
+    if (tokens[i].text == "derive_stream_seed") return true;
+    const std::string& name = tokens[i].text;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, "_rng") == 0 && i + 1 < tokens.size() &&
+        is_punct(tokens[i + 1], "(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Lambda {
+  std::size_t capture_open = 0;  // index of `[`
+  std::size_t body_first = 0;    // first token inside `{`
+  std::size_t body_last = 0;     // index of matching `}`
+  bool valid = false;
+  std::set<std::string> params;
+};
+
+Lambda parse_lambda(const std::vector<Token>& tokens, std::size_t open_bracket) {
+  Lambda lambda;
+  lambda.capture_open = open_bracket;
+  const std::size_t capture_close = match_forward(tokens, open_bracket);
+  if (capture_close >= tokens.size()) return lambda;
+  std::size_t j = capture_close + 1;
+  if (j < tokens.size() && is_punct(tokens[j], "(")) {
+    const std::size_t params_close = match_forward(tokens, j);
+    for (const auto& [first, last] : split_args(tokens, j, params_close)) {
+      // Parameter name: the last identifier in the range (skips the type).
+      for (std::size_t k = last; k > first; --k) {
+        if (tokens[k - 1].kind == Tok::kIdent) {
+          lambda.params.insert(tokens[k - 1].text);
+          break;
+        }
+      }
+    }
+    j = params_close + 1;
+  }
+  // Skip specifiers / trailing return type up to the body brace.
+  while (j < tokens.size() && !is_punct(tokens[j], "{")) ++j;
+  if (j >= tokens.size()) return lambda;
+  lambda.body_first = j + 1;
+  lambda.body_last = match_forward(tokens, j);
+  lambda.valid = lambda.body_last < tokens.size();
+  return lambda;
+}
+
+void analyze_parallel_lambda(const LexedFile& file, const Lambda& lambda,
+                             std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = file.tokens;
+  Locals locals = collect_locals(tokens, lambda.body_first, lambda.body_last);
+  auto is_safe_name = [&](const std::string& name) {
+    return lambda.params.count(name) != 0 || locals.contains(name);
+  };
+  std::set<std::string> safe_names(lambda.params.begin(), lambda.params.end());
+  for (const std::string& name : locals.names) safe_names.insert(name);
+
+  for (std::size_t i = lambda.body_first; i < lambda.body_last; ++i) {
+    const Token& t = tokens[i];
+    // Prefix increment/decrement: ++target.
+    if (t.kind == Tok::kPunct && (t.text == "++" || t.text == "--") && i + 1 < lambda.body_last &&
+        tokens[i + 1].kind == Tok::kIdent) {
+      const std::string& name = tokens[i + 1].text;
+      if (!is_safe_name(name)) {
+        findings.push_back({file.path, tokens[i + 1].line, "parallel-capture",
+                            "increment of captured non-local `" + name +
+                                "` inside a parallel lambda — accumulate per-chunk and fold "
+                                "with ordered_reduce"});
+      }
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    // Skip identifiers that are mid-chain (preceded by . -> or ::).
+    if (i > 0 && (is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->") ||
+                  is_punct(tokens[i - 1], "::"))) {
+      continue;
+    }
+    const Chain chain = walk_chain(tokens, i, lambda.body_last);
+    const std::string& base = t.text;
+
+    // Rng draws: base.method( where method is a draw.
+    if (!chain.last_member.empty() && rng_draw_methods().count(chain.last_member) != 0 &&
+        chain.end < lambda.body_last && is_punct(tokens[chain.end], "(")) {
+      bool sanctioned = lambda.params.count(base) != 0;
+      if (!sanctioned) {
+        const auto* init = locals.init_of(base);
+        sanctioned = init != nullptr && sanctioned_rng_init(tokens, *init);
+      }
+      if (!sanctioned) {
+        findings.push_back({file.path, t.line, "parallel-rng",
+                            "`" + base + "." + chain.last_member +
+                                "` draws inside a parallel lambda from a stream not derived "
+                                "per-chunk — seed a local Rng via Rng::derive_stream_seed or a "
+                                "*_rng factory"});
+      }
+      continue;
+    }
+
+    // Mutating container method on a captured object.
+    if (!chain.last_member.empty() && mutating_methods().count(chain.last_member) != 0 &&
+        chain.end < lambda.body_last && is_punct(tokens[chain.end], "(") &&
+        !is_safe_name(base) && !chain.subscripted) {
+      findings.push_back({file.path, t.line, "parallel-capture",
+                          "`" + base + "." + chain.last_member +
+                              "(...)` mutates captured non-local state inside a parallel "
+                              "lambda — collect per-chunk results and merge serially"});
+      continue;
+    }
+
+    // Assignments: target chain followed by an assignment operator (or ++/--).
+    const bool assigns =
+        chain.end < lambda.body_last &&
+        (assign_punct(tokens[chain.end]) || is_punct(tokens[chain.end], "++") ||
+         is_punct(tokens[chain.end], "--"));
+    if (!assigns) continue;
+    if (is_safe_name(base)) continue;
+    if (chain.subscripted) {
+      // Disjoint-slot pattern: writing arr[i] where the index is derived from
+      // a lambda parameter or a body local is the sanctioned way to produce
+      // parallel output. A subscript mentioning neither is a shared slot.
+      bool derived = false;
+      for (const auto& index : chain.indices) {
+        if (range_mentions(tokens, index.first, index.second, safe_names)) derived = true;
+      }
+      if (derived) continue;
+      findings.push_back({file.path, t.line, "parallel-capture",
+                          "write to `" + base +
+                              "[...]` with an index not derived from the lambda's parameters — "
+                              "threads may collide on one slot"});
+      continue;
+    }
+    findings.push_back({file.path, t.line, "parallel-capture",
+                        "write to by-reference-captured `" + base +
+                            "` inside a parallel lambda — race; write to a per-chunk slot or "
+                            "fold with ordered_reduce"});
+  }
+}
+
+/// File-local named lambdas: `name = [ ... ] ... { ... }` at any scope, so a
+/// lambda defined once and handed to run_chunks by name is still analyzed.
+std::size_t named_lambda_bracket(const std::vector<Token>& tokens, const std::string& name) {
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].kind == Tok::kIdent && tokens[i].text == name &&
+        is_punct(tokens[i + 1], "=") && is_punct(tokens[i + 2], "[")) {
+      return i + 2;
+    }
+  }
+  return tokens.size();
+}
+
+void check_parallel_calls(const LexedFile& file, std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = file.tokens;
+  std::set<std::size_t> analyzed;  // capture-open indices already handled
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Tok::kIdent) continue;
+    const std::string& callee = tokens[i].text;
+    const bool entry = callee == "parallel_for" || callee == "run_chunks" ||
+                       callee == "ordered_reduce";
+    if (!entry || !is_punct(tokens[i + 1], "(")) continue;
+    const std::size_t close = match_forward(tokens, i + 1);
+    if (close >= tokens.size()) continue;
+    const auto args = split_args(tokens, i + 1, close);
+    for (std::size_t a = 0; a < args.size(); ++a) {
+      // ordered_reduce's final argument is the reduce step, which runs
+      // serially in chunk order — captured accumulation there is the point.
+      if (callee == "ordered_reduce" && a + 1 == args.size()) continue;
+      const auto [first, last] = args[a];
+      std::size_t bracket = tokens.size();
+      if (first < last && is_punct(tokens[first], "[")) {
+        bracket = first;
+      } else if (last == first + 1 && tokens[first].kind == Tok::kIdent) {
+        bracket = named_lambda_bracket(tokens, tokens[first].text);
+      }
+      if (bracket >= tokens.size() || !analyzed.insert(bracket).second) continue;
+      const Lambda lambda = parse_lambda(tokens, bracket);
+      if (lambda.valid) analyze_parallel_lambda(file, lambda, findings);
+    }
+  }
+}
+
+void check_unordered_iteration(const LexedFile& file, std::vector<Finding>& findings) {
+  const std::vector<Token>& tokens = file.tokens;
+  // Names declared with an unordered container type anywhere in the file.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Tok::kIdent) continue;
+    const std::string& t = tokens[i].text;
+    if (t != "unordered_map" && t != "unordered_set" && t != "unordered_multimap" &&
+        t != "unordered_multiset") {
+      continue;
+    }
+    if (!is_punct(tokens[i + 1], "<")) continue;
+    // Find the matching `>` by angle counting (tolerates `>>`).
+    int angle = 0;
+    std::size_t j = i + 1;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].kind != Tok::kPunct) continue;
+      if (tokens[j].text == "<") ++angle;
+      if (tokens[j].text == ">") --angle;
+      if (tokens[j].text == ">>") angle -= 2;
+      if (angle <= 0) break;
+    }
+    if (j + 1 < tokens.size() && tokens[j + 1].kind == Tok::kIdent) {
+      unordered_names.insert(tokens[j + 1].text);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!is_ident(tokens[i], "for") || !is_punct(tokens[i + 1], "(")) continue;
+    const std::size_t close = match_forward(tokens, i + 1);
+    if (close >= tokens.size()) continue;
+    // Range-for: a top-level `:` inside the parens.
+    std::size_t colon = tokens.size();
+    int depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (tokens[j].kind != Tok::kPunct) continue;
+      const std::string& p = tokens[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      if (p == ":" && depth == 0 && !(j > 0 && is_punct(tokens[j - 1], ":"))) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon >= tokens.size()) continue;
+    if (!range_mentions(tokens, colon + 1, close, unordered_names)) continue;
+    // Body: `{ ... }` or a single statement up to `;`.
+    std::size_t body_first = close + 1;
+    std::size_t body_last = body_first;
+    if (body_first < tokens.size() && is_punct(tokens[body_first], "{")) {
+      body_last = match_forward(tokens, body_first);
+      ++body_first;
+    } else {
+      while (body_last < tokens.size() && !is_punct(tokens[body_last], ";")) ++body_last;
+    }
+    for (std::size_t j = body_first; j < body_last && j < tokens.size(); ++j) {
+      if (tokens[j].kind != Tok::kIdent) continue;
+      const std::string& name = tokens[j].text;
+      const bool hashes = name == "sha256" || name == "crc32" || name == "hash_combine" ||
+                          name == "serialize" || name.rfind("put_", 0) == 0;
+      if (hashes && j + 1 < tokens.size() &&
+          (is_punct(tokens[j + 1], "(") ||
+           (j > 0 && (is_punct(tokens[j - 1], ".") || is_punct(tokens[j - 1], "->"))))) {
+        findings.push_back(
+            {file.path, tokens[i].line, "unordered-hash-iter",
+             "iteration over unordered container reaches `" + name +
+                 "` — visit order is implementation-defined and would fork any hash or "
+                 "serialized stream; use std::map/std::set or sort first"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_parallel(const LexedFile& file, std::vector<Finding>& findings) {
+  check_parallel_calls(file, findings);
+  check_unordered_iteration(file, findings);
+}
+
+}  // namespace tfl_analyze

@@ -1,0 +1,646 @@
+// schema-drift / schema-unpaired: cross-TU snapshot codec checking.
+//
+// Every function or lambda whose body touches a codec (SnapshotWriter /
+// SnapshotReader / ByteWriter / ByteReader put_*/get_* primitives, or calls
+// to other codec helpers) becomes a "unit". Units expand recursively —
+// helper calls are replaced by the helper's primitive sequence, with loop
+// depth accumulated — so a writer and its paired reader can be compared as
+// flat (primitive type, loop depth) sequences even when they factor their
+// helpers differently.
+//
+// Pairing:
+//   1. by name: put_X/get_X, write_X/read_X, save_X/restore_X|load_X,
+//      serialize_X/decode_X|deserialize_X, encode_X/decode_X — same file
+//      preferred, else a unique global match;
+//   2. leftover pure writers/readers with direct primitive ops, not absorbed
+//      into an already-paired unit, are order-paired within their file
+//      (covers checkpoint writers paired with anonymous decode_snapshot
+//      lambdas).
+// Anything still unpaired is reported as schema-unpaired.
+//
+// Digest-only writers (the unit hashes its own payload — `crc32(...)` over
+// `.payload()` — rather than persisting it) have no read side by design and
+// are exempt.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace tfl_analyze {
+
+namespace {
+
+using tfl_tools::Finding;
+
+const std::set<std::string>& primitive_types() {
+  static const std::set<std::string> kTypes = {
+      "u8", "u32", "u64", "i64", "bool", "f32", "f64", "string", "bytes",
+      "f32s", "f64s", "u64s",
+  };
+  return kTypes;
+}
+
+bool codec_callee_name(const std::string& name) {
+  static const char* kPrefixes[] = {"put_",  "get_",       "write_",     "read_",
+                                    "save_", "restore_",   "load_",      "encode_",
+                                    "decode_", "serialize", "deserialize"};
+  for (const char* prefix : kPrefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// put_u32 -> ("u32", put=true); returns empty type for non-primitives.
+std::pair<std::string, bool> primitive_of(const std::string& name) {
+  if (name.rfind("put_", 0) == 0 && primitive_types().count(name.substr(4)) != 0) {
+    return {name.substr(4), true};
+  }
+  if (name.rfind("get_", 0) == 0 && primitive_types().count(name.substr(4)) != 0) {
+    return {name.substr(4), false};
+  }
+  return {"", false};
+}
+
+struct Event {
+  bool is_call = false;
+  // primitive
+  std::string type;
+  bool is_put = false;
+  std::size_t line = 0;
+  // call
+  std::string callee;
+  int depth = 0;
+};
+
+struct Unit {
+  std::string name;
+  std::string file;
+  std::size_t line = 0;
+  bool is_lambda = false;
+  std::vector<Event> events;
+  bool digest = false;       // hashes its own payload; write-only by design
+  std::size_t direct_prims = 0;
+
+  // Filled by expansion.
+  std::vector<CodecOp> ops;
+  int puts = 0;
+  int gets = 0;
+  bool expanded = false;
+  bool expanding = false;
+  std::vector<Unit*> resolved;  // units this one calls
+  bool paired = false;
+};
+
+struct Range {
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kWords = {
+      "if",     "for",   "while", "switch",        "catch",  "return", "sizeof",
+      "do",     "else",  "new",   "delete",        "assert", "throw",  "decltype",
+      "alignof", "case", "goto",  "static_assert", "co_return",
+  };
+  return kWords;
+}
+
+/// Could the token appear between a function's `)` and its body `{`
+/// (specifiers, trailing return type, ctor init list)?
+bool header_tail_token(const Token& t) {
+  if (t.kind == Tok::kIdent) return true;  // const, noexcept, type names, try
+  if (t.kind == Tok::kNumber) return true;  // noexcept(...) arguments etc.
+  if (t.kind != Tok::kPunct) return false;
+  return t.text == "->" || t.text == "::" || t.text == "<" || t.text == ">" ||
+         t.text == ">>" || t.text == "&" || t.text == "&&" || t.text == "*" ||
+         t.text == "," || t.text == ":" || t.text == "(" || t.text == ")" ||
+         t.text == "[" || t.text == "]" || t.text == "{" || t.text == "}" || t.text == "...";
+}
+
+/// True when `[` at `i` opens a lambda introducer (vs subscript/attribute).
+bool lambda_intro(const std::vector<Token>& tokens, std::size_t i) {
+  if (i + 1 < tokens.size() && is_punct(tokens[i + 1], "[")) return false;  // [[attr]]
+  if (i > 0 && is_punct(tokens[i - 1], "[")) return false;
+  if (i == 0) return true;
+  const Token& prev = tokens[i - 1];
+  if (prev.kind == Tok::kIdent) return prev.text == "return" || prev.text == "co_return";
+  if (prev.kind != Tok::kPunct) return false;  // number/string ["..."[0]]
+  const std::string& p = prev.text;
+  return p == "(" || p == "," || p == "=" || p == "{" || p == ";" || p == ":" || p == "?" ||
+         p == "&&" || p == "||" || p == "!" || p == "}";
+}
+
+struct LambdaDef {
+  Range body;
+  std::string name;  // assigned name for `ident = [...]`, else synthetic
+  std::size_t line = 0;
+};
+
+/// Finds every lambda body in the file. Used both to register lambda units
+/// and to carve lambda ranges out of their enclosing function's body.
+std::vector<LambdaDef> find_lambdas(const std::vector<Token>& tokens) {
+  std::vector<LambdaDef> lambdas;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!is_punct(tokens[i], "[") || !lambda_intro(tokens, i)) continue;
+    const std::size_t capture_close = match_forward(tokens, i);
+    if (capture_close >= tokens.size()) continue;
+    std::size_t j = capture_close + 1;
+    if (j < tokens.size() && is_punct(tokens[j], "(")) j = match_forward(tokens, j) + 1;
+    // Specifiers / trailing return type, bounded so a misdetected subscript
+    // cannot swallow the file.
+    bool ok = true;
+    std::size_t guard = 0;
+    while (j < tokens.size() && !is_punct(tokens[j], "{")) {
+      if (is_punct(tokens[j], "(")) {
+        j = match_forward(tokens, j) + 1;
+      } else if (header_tail_token(tokens[j]) && !is_punct(tokens[j], "{") &&
+                 !is_punct(tokens[j], "}")) {
+        ++j;
+      } else {
+        ok = false;
+        break;
+      }
+      if (++guard > 32) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || j >= tokens.size()) continue;
+    const std::size_t body_close = match_forward(tokens, j);
+    if (body_close >= tokens.size()) continue;
+    LambdaDef def;
+    def.body = {j + 1, body_close};
+    def.line = tokens[i].line;
+    if (i >= 2 && is_punct(tokens[i - 1], "=") && tokens[i - 2].kind == Tok::kIdent) {
+      def.name = tokens[i - 2].text;
+    } else {
+      def.name = "<lambda:" + std::to_string(tokens[i].line) + ">";
+    }
+    lambdas.push_back(def);
+  }
+  return lambdas;
+}
+
+struct FnDef {
+  Range body;
+  std::string name;
+  std::size_t line = 0;
+};
+
+std::vector<FnDef> find_functions(const std::vector<Token>& tokens) {
+  std::vector<FnDef> fns;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Tok::kIdent || !is_punct(tokens[i + 1], "(")) continue;
+    if (control_keywords().count(tokens[i].text) != 0) continue;
+    if (i > 0 && (is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->"))) continue;
+    const std::size_t params_close = match_forward(tokens, i + 1);
+    if (params_close >= tokens.size()) continue;
+    // Walk the header tail; a real definition reaches `{` through specifier /
+    // init-list / trailing-return tokens only.
+    std::size_t j = params_close + 1;
+    bool ok = true;
+    std::size_t guard = 0;
+    while (j < tokens.size() && !is_punct(tokens[j], "{")) {
+      if (is_punct(tokens[j], ";") || is_punct(tokens[j], "=") || is_punct(tokens[j], "}")) {
+        ok = false;  // declaration, call statement, or deleted/defaulted
+        break;
+      }
+      if (is_punct(tokens[j], "(")) {
+        j = match_forward(tokens, j) + 1;  // ctor init-list element
+      } else if (header_tail_token(tokens[j])) {
+        ++j;
+      } else {
+        ok = false;
+        break;
+      }
+      if (++guard > 64) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || j >= tokens.size()) continue;
+    const std::size_t body_close = match_forward(tokens, j);
+    if (body_close >= tokens.size()) continue;
+    fns.push_back({{j + 1, body_close}, tokens[i].text, tokens[i].line});
+  }
+  return fns;
+}
+
+/// Tracks enclosing loop depth while iterating a token range in order.
+class LoopTracker {
+ public:
+  LoopTracker(const std::vector<Token>& tokens, std::size_t last)
+      : tokens_(tokens), last_(last) {}
+
+  /// Call with monotonically increasing i before inspecting tokens[i].
+  void advance(std::size_t i) {
+    while (!ends_.empty() && i >= ends_.back()) ends_.pop_back();
+    const Token& t = tokens_[i];
+    if (t.kind != Tok::kIdent) return;
+    if (t.text == "do" && i + 1 < last_ && is_punct(tokens_[i + 1], "{")) {
+      ends_.push_back(match_forward(tokens_, i + 1));
+      return;
+    }
+    if ((t.text != "for" && t.text != "while") || i + 1 >= last_ ||
+        !is_punct(tokens_[i + 1], "(")) {
+      return;
+    }
+    const std::size_t header_close = match_forward(tokens_, i + 1);
+    if (header_close >= last_) return;
+    std::size_t body = header_close + 1;
+    if (body < last_ && is_punct(tokens_[body], "{")) {
+      ends_.push_back(match_forward(tokens_, body));
+    } else {
+      // Braceless body: runs to the next `;` at bracket depth 0.
+      int depth = 0;
+      std::size_t k = body;
+      while (k < last_) {
+        if (tokens_[k].kind == Tok::kPunct) {
+          const std::string& p = tokens_[k].text;
+          if (p == "(" || p == "[" || p == "{") ++depth;
+          if (p == ")" || p == "]" || p == "}") --depth;
+          if (p == ";" && depth == 0) break;
+        }
+        ++k;
+      }
+      ends_.push_back(k + 1);
+    }
+  }
+
+  int depth() const { return static_cast<int>(ends_.size()); }
+
+ private:
+  const std::vector<Token>& tokens_;
+  std::size_t last_;
+  std::vector<std::size_t> ends_;
+};
+
+/// Extracts the ordered primitive/call events of a body range, skipping any
+/// nested lambda ranges (they are their own units).
+void extract_events(const std::vector<Token>& tokens, const Range& body,
+                    const std::vector<Range>& skip, Unit& unit) {
+  LoopTracker loops(tokens, body.last);
+  bool saw_crc = false;
+  bool saw_payload = false;
+  for (std::size_t i = body.first; i < body.last; ++i) {
+    bool skipped = false;
+    for (const Range& range : skip) {
+      if (i >= range.first && i < range.last && range.first > body.first &&
+          range.last <= body.last) {
+        i = range.last - 1;  // jump past the nested lambda body
+        skipped = true;
+        break;
+      }
+    }
+    if (skipped) continue;
+    loops.advance(i);
+    const Token& t = tokens[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "crc32" || t.text == "sha256") saw_crc = true;
+    if (t.text == "payload") saw_payload = true;
+    if (i + 1 >= body.last || !is_punct(tokens[i + 1], "(")) continue;
+    const auto [prim, is_put] = primitive_of(t.text);
+    if (!prim.empty()) {
+      // A schema read consumes the stream and takes no arguments; a keyed
+      // config getter (`options.get_string("scheme", "dbr")`) is not a codec
+      // read despite the name.
+      if (!is_put && !(i + 2 < body.last && is_punct(tokens[i + 2], ")"))) continue;
+      Event event;
+      event.type = prim;
+      event.is_put = is_put;
+      event.line = t.line;
+      event.depth = loops.depth();
+      unit.events.push_back(event);
+      ++unit.direct_prims;
+      continue;
+    }
+    if (codec_callee_name(t.text)) {
+      // Framed sub-payload, reader shape: `decode_block(reader.get_bytes())`
+      // reads the frame first, then decodes it. Canonicalize to
+      // bytes-then-call so it aligns with the writer's
+      // `put_bytes(serialize_block(block))` token order.
+      const std::size_t close = match_forward(tokens, i + 1);
+      std::size_t framed_bytes = 0;
+      for (std::size_t k = i + 2; k + 2 < close; ++k) {
+        if (tokens[k].kind == Tok::kIdent && tokens[k].text == "get_bytes" &&
+            is_punct(tokens[k + 1], "(") && is_punct(tokens[k + 2], ")")) {
+          framed_bytes = k;
+          break;
+        }
+      }
+      if (framed_bytes != 0) {
+        Event frame;
+        frame.type = "bytes";
+        frame.is_put = false;
+        frame.line = tokens[framed_bytes].line;
+        frame.depth = loops.depth();
+        unit.events.push_back(frame);
+        ++unit.direct_prims;
+      }
+      Event event;
+      event.is_call = true;
+      event.callee = t.text;
+      event.line = t.line;
+      event.depth = loops.depth();
+      unit.events.push_back(event);
+      if (framed_bytes != 0) i = close;  // args already represented
+    }
+  }
+  unit.digest = saw_crc && saw_payload;
+}
+
+/// Codec primitive implementations — not schemas, so never units.
+bool engine_file(const std::string& path) {
+  return tfl_tools::path_ends_with(path, "common/snapshot.h") ||
+         tfl_tools::path_ends_with(path, "common/snapshot.cpp") ||
+         tfl_tools::path_ends_with(path, "chain/bytes.h") ||
+         tfl_tools::path_ends_with(path, "chain/bytes.cpp");
+}
+
+/// Name with its codec prefix stripped: put_item -> item, decode_block ->
+/// block. Empty when no prefix applies.
+std::string codec_stem(const std::string& name) {
+  static const char* kPrefixes[] = {"put_",     "get_",        "write_",  "read_",
+                                    "save_",    "restore_",    "load_",   "encode_",
+                                    "decode_",  "serialize_",  "deserialize_"};
+  for (const char* prefix : kPrefixes) {
+    const std::string p = prefix;
+    if (name.size() > p.size() && name.rfind(p, 0) == 0) return name.substr(p.size());
+  }
+  return "";
+}
+
+/// Counterpart unit names for a codec helper, in either direction:
+/// put_item -> get_item, decode_block -> {serialize_block, encode_block}, ...
+std::vector<std::string> counterpart_names(const std::string& name) {
+  static const std::pair<const char*, const char*> kPairs[] = {
+      {"put_", "get_"},          {"write_", "read_"},       {"save_", "restore_"},
+      {"save_", "load_"},        {"serialize_", "decode_"}, {"serialize_", "deserialize_"},
+      {"encode_", "decode_"},
+  };
+  std::vector<std::string> out;
+  for (const auto& [writer, reader] : kPairs) {
+    const std::string w = writer;
+    const std::string r = reader;
+    if (name.rfind(w, 0) == 0) out.push_back(r + name.substr(w.size()));
+    if (name.rfind(r, 0) == 0) out.push_back(w + name.substr(r.size()));
+  }
+  return out;
+}
+
+void expand(Unit& unit, const std::map<std::string, std::vector<Unit*>>& by_name) {
+  if (unit.expanded || unit.expanding) return;
+  unit.expanding = true;
+  for (const Event& event : unit.events) {
+    if (!event.is_call) {
+      unit.ops.push_back({event.type, event.depth, unit.file, event.line});
+      if (event.is_put) {
+        ++unit.puts;
+      } else {
+        ++unit.gets;
+      }
+      continue;
+    }
+    const auto it = by_name.find(event.callee);
+    if (it == by_name.end()) continue;
+    Unit* callee = nullptr;
+    for (Unit* candidate : it->second) {
+      if (candidate->file == unit.file) {
+        callee = candidate;
+        break;
+      }
+    }
+    if (callee == nullptr && it->second.size() == 1) callee = it->second.front();
+    if (callee == nullptr || callee == &unit) continue;
+    expand(*callee, by_name);
+    // A callee with a name-paired counterpart is verified once, as its own
+    // pair; callers see it as a single opaque op so a drift (or a baselined
+    // exemption, like the abi variant codec) never propagates upward. Both
+    // sides of the caller pair collapse to the same `#stem`, e.g.
+    // serialize_block / decode_block -> #block.
+    bool has_counterpart = false;
+    for (const std::string& candidate : counterpart_names(callee->name)) {
+      const auto candidates = by_name.find(candidate);
+      if (candidates == by_name.end()) continue;
+      // The counterpart must live in the callee's own file — a same-named
+      // helper elsewhere (session.cpp's put_address vs blockchain.cpp's
+      // raw-bytes get_address) is a different codec.
+      for (const Unit* match : candidates->second) {
+        if (match->file == callee->file) {
+          has_counterpart = true;
+          break;
+        }
+      }
+      if (has_counterpart) break;
+    }
+    if (has_counterpart) {
+      unit.ops.push_back({"#" + codec_stem(callee->name), event.depth, unit.file, event.line});
+    } else {
+      for (const CodecOp& op : callee->ops) {
+        unit.ops.push_back({op.type, op.depth + event.depth, op.file, op.line});
+      }
+    }
+    unit.puts += callee->puts;
+    unit.gets += callee->gets;
+    unit.resolved.push_back(callee);
+  }
+  unit.expanding = false;
+  unit.expanded = true;
+}
+
+/// Reader-name candidates for a writer unit name, best first.
+std::vector<std::string> reader_candidates(const std::string& writer) {
+  struct Mapping {
+    const char* writer_prefix;
+    const char* reader_prefix;
+  };
+  static const Mapping kMaps[] = {
+      {"put_", "get_"},          {"write_", "read_"},      {"save_", "restore_"},
+      {"save_", "load_"},        {"serialize_", "decode_"}, {"serialize_", "deserialize_"},
+      {"encode_", "decode_"},
+  };
+  std::vector<std::string> candidates;
+  for (const Mapping& map : kMaps) {
+    const std::string prefix = map.writer_prefix;
+    if (writer.rfind(prefix, 0) == 0) {
+      candidates.push_back(map.reader_prefix + writer.substr(prefix.size()));
+    }
+  }
+  return candidates;
+}
+
+std::string describe_op(const CodecOp& op) {
+  return op.type + "@" + op.file + ":" + std::to_string(op.line) + " (loop depth " +
+         std::to_string(op.depth) + ")";
+}
+
+void compare_pair(Unit& writer, Unit& reader, Analysis& out) {
+  writer.paired = true;
+  reader.paired = true;
+  CodecPair pair;
+  pair.writer_name = writer.name;
+  pair.reader_name = reader.name;
+  pair.writer_file = writer.file;
+  pair.reader_file = reader.file;
+  pair.writer_line = writer.line;
+  pair.reader_line = reader.line;
+  pair.writer_ops = writer.ops;
+  pair.reader_ops = reader.ops;
+  out.pairs.push_back(pair);
+
+  const std::size_t n = std::min(writer.ops.size(), reader.ops.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CodecOp& w = writer.ops[i];
+    const CodecOp& r = reader.ops[i];
+    if (w.type != r.type || w.depth != r.depth) {
+      out.findings.push_back(
+          {writer.file, writer.line, "schema-drift",
+           "codec pair `" + writer.name + "` / `" + reader.name + "`: op #" +
+               std::to_string(i + 1) + " writes " + describe_op(w) + " but reads " +
+               describe_op(r)});
+      return;
+    }
+  }
+  if (writer.ops.size() != reader.ops.size()) {
+    const bool writer_longer = writer.ops.size() > reader.ops.size();
+    const CodecOp& extra = writer_longer ? writer.ops[n] : reader.ops[n];
+    out.findings.push_back(
+        {writer.file, writer.line, "schema-drift",
+         "codec pair `" + writer.name + "` / `" + reader.name + "`: writer has " +
+             std::to_string(writer.ops.size()) + " ops, reader has " +
+             std::to_string(reader.ops.size()) + " — first unmatched is " +
+             (writer_longer ? "written " : "read ") + describe_op(extra)});
+  }
+}
+
+}  // namespace
+
+void check_schema(const std::vector<LexedFile>& files, Analysis& out) {
+  std::vector<Unit> units;
+  for (const LexedFile& file : files) {
+    if (engine_file(file.path)) continue;
+    const std::vector<LambdaDef> lambdas = find_lambdas(file.tokens);
+    std::vector<Range> lambda_ranges;
+    lambda_ranges.reserve(lambdas.size());
+    for (const LambdaDef& def : lambdas) lambda_ranges.push_back(def.body);
+
+    for (const FnDef& fn : find_functions(file.tokens)) {
+      Unit unit;
+      unit.name = fn.name;
+      unit.file = file.path;
+      unit.line = fn.line;
+      extract_events(file.tokens, fn.body, lambda_ranges, unit);
+      if (!unit.events.empty()) units.push_back(std::move(unit));
+    }
+    for (std::size_t i = 0; i < lambdas.size(); ++i) {
+      Unit unit;
+      unit.name = lambdas[i].name;
+      unit.file = file.path;
+      unit.line = lambdas[i].line;
+      unit.is_lambda = true;
+      // A lambda's own nested lambdas are separate units too.
+      std::vector<Range> nested;
+      for (std::size_t j = 0; j < lambdas.size(); ++j) {
+        if (j != i && lambdas[j].body.first > lambdas[i].body.first &&
+            lambdas[j].body.last <= lambdas[i].body.last) {
+          nested.push_back(lambdas[j].body);
+        }
+      }
+      extract_events(file.tokens, lambdas[i].body, nested, unit);
+      if (!unit.events.empty()) units.push_back(std::move(unit));
+    }
+  }
+
+  std::map<std::string, std::vector<Unit*>> by_name;
+  for (Unit& unit : units) {
+    if (!unit.is_lambda || unit.name[0] != '<') by_name[unit.name].push_back(&unit);
+  }
+  for (Unit& unit : units) expand(unit, by_name);
+
+  auto pure_writer = [](const Unit& u) { return u.puts > 0 && u.gets == 0 && !u.digest; };
+  auto pure_reader = [](const Unit& u) { return u.gets > 0 && u.puts == 0 && !u.digest; };
+
+  // Phase 1: name pairing.
+  for (Unit& writer : units) {
+    if (!pure_writer(writer) || writer.paired) continue;
+    for (const std::string& candidate : reader_candidates(writer.name)) {
+      const auto it = by_name.find(candidate);
+      if (it == by_name.end()) continue;
+      Unit* reader = nullptr;
+      for (Unit* u : it->second) {
+        if (u->file == writer.file && pure_reader(*u) && !u->paired) {
+          reader = u;
+          break;
+        }
+      }
+      if (reader == nullptr) {
+        for (Unit* u : it->second) {
+          if (pure_reader(*u) && !u->paired) {
+            reader = reader == nullptr ? u : reader;
+          }
+        }
+      }
+      if (reader != nullptr) {
+        compare_pair(writer, *reader, out);
+        break;
+      }
+    }
+  }
+
+  // Absorption: helpers reachable from a paired unit are already covered by
+  // their caller's expanded comparison.
+  auto absorbed_closure = [&units]() {
+    std::set<const Unit*> absorbed;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Unit& unit : units) {
+        if (!unit.paired && absorbed.count(&unit) == 0) continue;
+        for (const Unit* callee : unit.resolved) {
+          if (absorbed.insert(callee).second) changed = true;
+        }
+      }
+    }
+    return absorbed;
+  };
+  std::set<const Unit*> absorbed = absorbed_closure();
+
+  // Phase 2: order-pair the remaining root codecs within each file. This is
+  // what links a named checkpoint writer to its anonymous decode_snapshot
+  // reader lambda.
+  std::map<std::string, std::vector<Unit*>> leftover_writers;
+  std::map<std::string, std::vector<Unit*>> leftover_readers;
+  for (Unit& unit : units) {
+    if (unit.paired || absorbed.count(&unit) != 0 || unit.direct_prims == 0) continue;
+    if (pure_writer(unit)) leftover_writers[unit.file].push_back(&unit);
+    if (pure_reader(unit)) leftover_readers[unit.file].push_back(&unit);
+  }
+  for (auto& [file, writers] : leftover_writers) {
+    std::vector<Unit*>& readers = leftover_readers[file];
+    const std::size_t n = std::min(writers.size(), readers.size());
+    for (std::size_t i = 0; i < n; ++i) compare_pair(*writers[i], *readers[i], out);
+  }
+
+  // Phase 3: anything still standing has no counterpart at all.
+  absorbed = absorbed_closure();
+  for (const Unit& unit : units) {
+    if (unit.paired || absorbed.count(&unit) != 0 || unit.direct_prims == 0 || unit.digest) {
+      continue;
+    }
+    if (pure_writer(unit)) {
+      out.findings.push_back({unit.file, unit.line, "schema-unpaired",
+                              "codec writer `" + unit.name +
+                                  "` has no paired reader (no get_/read_/restore_/load_/"
+                                  "decode_ counterpart, and no same-file order match)"});
+    } else if (pure_reader(unit)) {
+      out.findings.push_back({unit.file, unit.line, "schema-unpaired",
+                              "codec reader `" + unit.name +
+                                  "` has no paired writer (no put_/write_/save_/serialize_/"
+                                  "encode_ counterpart, and no same-file order match)"});
+    }
+  }
+}
+
+}  // namespace tfl_analyze

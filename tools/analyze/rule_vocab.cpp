@@ -1,0 +1,146 @@
+// obs-vocab / obs-orphan: every metric/span name used at a TFL_* macro site
+// must appear in the registered vocabulary (tools/obs_vocab.txt), and every
+// vocabulary entry must correspond to at least one site — so the docs, the
+// dashboards, and the code can never silently disagree about what exists.
+//
+// Vocabulary grammar: one dotted name per line, `#` comments. A `*` segment
+// matches exactly one site segment, which is how dynamically-suffixed names
+// (`"contract." + method`) are registered: the site contributes the literal
+// prefix plus `*`.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace tfl_analyze {
+
+namespace {
+
+using tfl_tools::Finding;
+
+const std::set<std::string>& name_taking_macros() {
+  static const std::set<std::string> kMacros = {
+      "TFL_COUNTER_INC", "TFL_COUNTER_ADD",    "TFL_GAUGE_SET",     "TFL_OBSERVE",
+      "TFL_OBSERVE_BUCKETS", "TFL_SERIES_APPEND", "TFL_SPAN",       "TFL_SCOPED_TIMER",
+  };
+  return kMacros;
+}
+
+std::vector<std::string> segments(const std::string& name) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : name) {
+    if (c == '.') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+/// Entry/site match: same segment count; an entry `*` matches any one site
+/// segment; a site `*` (dynamic suffix) requires the entry to hold `*` there.
+bool matches(const std::vector<std::string>& entry, const std::vector<std::string>& site) {
+  if (entry.size() != site.size()) return false;
+  for (std::size_t i = 0; i < entry.size(); ++i) {
+    if (entry[i] == "*") continue;
+    if (site[i] == "*" || entry[i] != site[i]) return false;
+  }
+  return true;
+}
+
+struct VocabEntry {
+  std::string name;
+  std::vector<std::string> parts;
+  std::size_t line = 0;
+  bool used = false;
+};
+
+struct Site {
+  std::string name;  // literal name, possibly ending in a `*` segment
+  std::string file;
+  std::size_t line = 0;
+  std::string macro;
+};
+
+}  // namespace
+
+void check_vocab(const std::vector<LexedFile>& files, const Options& options,
+                 std::vector<tfl_tools::Finding>& findings) {
+  if (options.vocab_lines.empty()) return;
+
+  std::vector<VocabEntry> vocab;
+  for (std::size_t i = 0; i < options.vocab_lines.size(); ++i) {
+    std::string line = options.vocab_lines[i];
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    std::size_t end = line.find_last_not_of(" \t\r");
+    const std::string name = line.substr(begin, end - begin + 1);
+    if (name.find(' ') != std::string::npos) continue;  // malformed; ignore
+    vocab.push_back({name, segments(name), i + 1, false});
+  }
+
+  std::vector<Site> sites;
+  for (const LexedFile& file : files) {
+    const std::vector<Token>& tokens = file.tokens;
+    // Skip the macro definitions themselves.
+    if (tfl_tools::path_ends_with(file.path, "obs/obs.h")) continue;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].kind != Tok::kIdent || name_taking_macros().count(tokens[i].text) == 0) {
+        continue;
+      }
+      if (!is_punct(tokens[i + 1], "(")) continue;
+      const std::size_t close = match_forward(tokens, i + 1);
+      const auto args = split_args(tokens, i + 1, close);
+      if (args.empty()) continue;
+      const auto [first, last] = args.front();
+      if (first >= last || tokens[first].kind != Tok::kString) continue;  // non-literal name
+      std::string name = tokens[first].text;
+      // `"prefix." + dynamic` registers as `prefix.*`.
+      if (first + 1 < last && is_punct(tokens[first + 1], "+")) {
+        if (!name.empty() && name.back() == '.') {
+          name += "*";
+        } else {
+          name += ".*";
+        }
+      }
+      sites.push_back({name, file.path, tokens[i].line, tokens[i].text});
+    }
+  }
+
+  for (const Site& site : sites) {
+    const std::vector<std::string> parts = segments(site.name);
+    bool found = false;
+    for (VocabEntry& entry : vocab) {
+      if (matches(entry.parts, parts)) {
+        entry.used = true;
+        found = true;
+      }
+    }
+    if (!found) {
+      findings.push_back({site.file, site.line, "obs-vocab",
+                          site.macro + " name `" + site.name +
+                              "` is not in the registered vocabulary — add it to " +
+                              (options.vocab_path.empty() ? "the vocabulary file"
+                                                          : options.vocab_path) +
+                              " and docs/OBSERVABILITY.md, or fix the typo"});
+    }
+  }
+
+  for (const VocabEntry& entry : vocab) {
+    if (entry.used) continue;
+    findings.push_back({options.vocab_path.empty() ? "<vocab>" : options.vocab_path, entry.line,
+                        "obs-orphan",
+                        "vocabulary entry `" + entry.name +
+                            "` matches no TFL_* site in the scanned tree — remove it or "
+                            "restore the instrumentation"});
+  }
+}
+
+}  // namespace tfl_analyze

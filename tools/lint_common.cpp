@@ -1,0 +1,330 @@
+#include "lint_common.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tfl_tools {
+
+namespace fs = std::filesystem;
+
+bool finding_before(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  return a.rule < b.rule;
+}
+
+std::string format_rule_table(const std::vector<RuleInfo>& rules) {
+  std::size_t width = 0;
+  for (const RuleInfo& rule : rules) width = std::max(width, rule.id.size());
+  std::ostringstream out;
+  for (const RuleInfo& rule : rules) {
+    out << rule.id << std::string(width - rule.id.size() + 2, ' ') << rule.summary << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// True when text[at] starts a raw-string literal (the opening `"` of R"...).
+/// `at` points at the quote; the R (with optional encoding prefix) sits just
+/// before it.
+bool raw_string_quote(const std::string& text, std::size_t at) {
+  if (at == 0 || text[at] != '"') return false;
+  if (text[at - 1] != 'R') return false;
+  // The R must begin the prefix token: R, u8R, uR, UR, LR. Whatever precedes
+  // the prefix must not be an identifier character.
+  std::size_t start = at - 1;
+  if (start >= 2 && text[start - 2] == 'u' && text[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (text[start - 1] == 'u' || text[start - 1] == 'U' || text[start - 1] == 'L')) {
+    start -= 1;
+  }
+  return start == 0 || !is_ident_char(text[start - 1]);
+}
+
+}  // namespace
+
+std::string scrub_source(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"' && raw_string_quote(out, i)) {
+          // Raw string literal: find the delimiter, then the real terminator
+          // `)delim"`. No escapes apply inside. Blank everything from the R
+          // prefix through the closing quote (newlines preserved) so neither
+          // the contents nor the delimiters can match a rule, and code after
+          // the literal on the same line is scanned normally.
+          std::size_t delim_end = i + 1;
+          while (delim_end < out.size() && out[delim_end] != '(' && out[delim_end] != '\n' &&
+                 delim_end - i - 1 <= 16) {
+            ++delim_end;
+          }
+          if (delim_end >= out.size() || out[delim_end] != '(') break;  // ill-formed; bail
+          const std::string closer =
+              ")" + out.substr(i + 1, delim_end - i - 1) + "\"";
+          std::size_t close_at = out.find(closer, delim_end + 1);
+          const std::size_t literal_end =
+              close_at == std::string::npos ? out.size() : close_at + closer.size();
+          // Blank the prefix characters (R and any u8/u/U/L) too.
+          std::size_t from = i - 1;
+          while (from > 0 && is_ident_char(out[from - 1])) --from;
+          for (std::size_t k = from; k < literal_end; ++k) {
+            if (out[k] != '\n') out[k] = ' ';
+          }
+          i = literal_end == 0 ? 0 : literal_end - 1;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !is_ident_char(out[i - 1]))) {
+          // A quote directly after an identifier/digit is a digit separator
+          // (1'000'000) or a literal suffix — not a char literal.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool contains_token(const std::string& line, const std::string& word, std::size_t* position) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = line.find(word, from);
+    if (at == std::string::npos) return false;
+    const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (position != nullptr) *position = at;
+      return true;
+    }
+    from = at + 1;
+  }
+}
+
+std::string normalize_path(const fs::path& path) {
+  std::string s = path.generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+bool path_in(const std::string& path, const std::string& dir_fragment) {
+  return path.find(dir_fragment) != std::string::npos;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool lintable_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".cc" || ext == ".hpp";
+}
+
+bool collect_files(const std::vector<std::string>& roots, std::vector<fs::path>& files,
+                   std::string& error) {
+  for (const std::string& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable_file(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      error = "no such path " + root;
+      return false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return true;
+}
+
+bool read_file(const fs::path& path, std::string& content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  content = buffer.str();
+  return true;
+}
+
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+AllowParse parse_allow_text(const std::string& text, const std::set<std::string>& known_rules,
+                            bool require_justification) {
+  AllowParse result;
+  std::set<std::pair<std::string, std::string>> seen;
+  const std::vector<std::string> lines = split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    std::string justification;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      justification = trim(line.substr(hash + 1));
+      line.erase(hash);
+    }
+    std::istringstream parts(line);
+    AllowEntry entry;
+    entry.line = i + 1;
+    entry.justification = justification;
+    if (!(parts >> entry.rule >> entry.path_suffix)) {
+      if (!trim(line).empty()) {
+        result.warnings.push_back("line " + std::to_string(i + 1) +
+                                  ": expected `<rule-id> <path-suffix>`, got '" + trim(line) +
+                                  "'");
+      }
+      continue;  // blank or comment-only line
+    }
+    std::string extra;
+    if (parts >> extra) {
+      result.warnings.push_back("line " + std::to_string(i + 1) + ": trailing tokens after '" +
+                                entry.path_suffix + "' ignored");
+    }
+    if (!known_rules.empty() && known_rules.count(entry.rule) == 0) {
+      result.warnings.push_back("line " + std::to_string(i + 1) + ": unknown rule id '" +
+                                entry.rule + "'");
+    }
+    if (!seen.insert({entry.rule, entry.path_suffix}).second) {
+      result.warnings.push_back("line " + std::to_string(i + 1) + ": duplicate entry `" +
+                                entry.rule + " " + entry.path_suffix + "`");
+      continue;
+    }
+    if (require_justification && entry.justification.empty()) {
+      result.errors.push_back("line " + std::to_string(i + 1) + ": baseline entry `" +
+                              entry.rule + " " + entry.path_suffix +
+                              "` needs a same-line `# justification` comment");
+      continue;
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+bool load_allow_file(const std::string& file, const std::set<std::string>& known_rules,
+                     bool require_justification, AllowParse& out, std::string& error) {
+  std::string content;
+  if (!read_file(file, content)) {
+    error = "cannot open " + file;
+    return false;
+  }
+  out = parse_allow_text(content, known_rules, require_justification);
+  return true;
+}
+
+bool allowed(const Finding& finding, const std::vector<AllowEntry>& allowlist) {
+  for (const AllowEntry& entry : allowlist) {
+    if (entry.rule != finding.rule) continue;
+    if (path_ends_with(finding.path, entry.path_suffix)) return true;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tfl_tools

@@ -1,0 +1,116 @@
+// Shared plumbing for the repo's two static checkers, tfl-lint (line/pattern
+// rules) and tfl-analyze (token/flow rules): finding records, the
+// comment/string scrubber, allowlist & baseline parsing, path normalization,
+// source-tree walking, and the --list-rules table formatter.
+//
+// This header (and lint_common.cpp) must stay dependency-free beyond the
+// standard library: tfl-lint builds against it with no tradefl libraries so
+// the linter keeps working even when src/ is mid-refactor.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tfl_tools {
+
+struct Finding {
+  std::string path;  // normalized with forward slashes, relative if input was
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Orders findings for stable output: path, then line, then rule.
+bool finding_before(const Finding& a, const Finding& b);
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Formats the rule catalog as aligned `id  summary` lines for --list-rules.
+std::string format_rule_table(const std::vector<RuleInfo>& rules);
+
+// ---------------------------------------------------------------------------
+// Source scrubbing (line-oriented tools). Blanks out comments and
+// string/char-literal contents while preserving line structure, so pattern
+// rules never fire inside either. Raw string literals — `R"( ... )"` and
+// custom-delimiter forms like `R"x( ... )x"` — are scrubbed by their actual
+// grammar: no escape processing inside, closed only by `)delim"`. A `'`
+// following an identifier/digit character is treated as a digit separator
+// (1'000'000), not a char literal.
+// ---------------------------------------------------------------------------
+std::string scrub_source(const std::string& text);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+bool is_ident_char(char c);
+
+/// True when `word` occurs in `line` as a whole identifier token. Writes the
+/// match offset to `position` when provided.
+bool contains_token(const std::string& line, const std::string& word,
+                    std::size_t* position = nullptr);
+
+// ---------------------------------------------------------------------------
+// Paths and tree walking
+// ---------------------------------------------------------------------------
+std::string normalize_path(const std::filesystem::path& path);
+bool path_in(const std::string& path, const std::string& dir_fragment);
+bool path_ends_with(const std::string& path, const std::string& suffix);
+
+/// True for the C++ extensions the checkers scan (.cpp/.h/.cc/.hpp).
+bool lintable_file(const std::filesystem::path& path);
+
+/// Expands directories (recursively) and regular files into a sorted file
+/// list. Returns false and sets `error` when a root does not exist.
+bool collect_files(const std::vector<std::string>& roots,
+                   std::vector<std::filesystem::path>& files, std::string& error);
+
+/// Reads a whole file in binary mode. Returns false when unreadable.
+bool read_file(const std::filesystem::path& path, std::string& content);
+
+// ---------------------------------------------------------------------------
+// Allowlist / baseline files. Shared grammar, one entry per line:
+//
+//   <rule-id> <path-suffix>         # justification
+//
+// `#` starts a comment; blank lines and comment-only lines are skipped.
+// Findings whose rule matches and whose path ends with the suffix are
+// suppressed. Baselines (tfl-analyze) additionally require every entry to
+// carry a non-empty same-line justification comment.
+// ---------------------------------------------------------------------------
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string justification;  // same-line comment text, may be empty
+  std::size_t line = 0;       // 1-based line in the allow/baseline file
+};
+
+struct AllowParse {
+  std::vector<AllowEntry> entries;       // deduplicated, in file order
+  std::vector<std::string> warnings;     // unknown rules, duplicates, extras
+  std::vector<std::string> errors;       // fatal: missing justification, etc.
+};
+
+/// Parses allowlist text. `known_rules` non-empty enables unknown-rule-id
+/// warnings; `require_justification` turns entries without a same-line
+/// `# reason` comment into errors (the baseline policy).
+AllowParse parse_allow_text(const std::string& text, const std::set<std::string>& known_rules,
+                            bool require_justification);
+
+/// File wrapper around parse_allow_text. Returns false (with `error` set)
+/// when the file cannot be opened.
+bool load_allow_file(const std::string& file, const std::set<std::string>& known_rules,
+                     bool require_justification, AllowParse& out, std::string& error);
+
+/// True when `finding` matches an allow/baseline entry (rule equal, path
+/// suffix match).
+bool allowed(const Finding& finding, const std::vector<AllowEntry>& allowlist);
+
+/// Minimal JSON string escaping for the machine-readable outputs.
+std::string json_escape(const std::string& text);
+
+}  // namespace tfl_tools

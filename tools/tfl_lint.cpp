@@ -50,145 +50,29 @@
 // Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage error.
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <optional>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint_common.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-  std::string path;  // normalized with forward slashes, relative if input was
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct AllowEntry {
-  std::string rule;
-  std::string path_suffix;
-};
-
-// ---------------------------------------------------------------------------
-// Source scrubbing: blank out comments and string/char literal contents while
-// preserving line structure, so rule matching never fires inside either.
-// ---------------------------------------------------------------------------
-std::string scrub_source(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `word` occurs in `line` as a whole identifier token.
-bool contains_token(const std::string& line, const std::string& word,
-                    std::size_t* position = nullptr) {
-  std::size_t from = 0;
-  while (true) {
-    const std::size_t at = line.find(word, from);
-    if (at == std::string::npos) return false;
-    const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
-    const std::size_t end = at + word.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) {
-      if (position != nullptr) *position = at;
-      return true;
-    }
-    from = at + 1;
-  }
-}
-
-std::string normalize_path(const fs::path& path) {
-  std::string s = path.generic_string();
-  // Trim leading "./" so allowlist suffix matching is stable.
-  while (s.rfind("./", 0) == 0) s.erase(0, 2);
-  return s;
-}
+using tfl_tools::AllowEntry;
+using tfl_tools::Finding;
+using tfl_tools::allowed;
+using tfl_tools::contains_token;
+using tfl_tools::is_ident_char;
+using tfl_tools::normalize_path;
+using tfl_tools::path_ends_with;
+using tfl_tools::path_in;
+using tfl_tools::scrub_source;
+using tfl_tools::split_lines;
 
 // ---------------------------------------------------------------------------
 // Rules. Each rule receives the normalized path, the raw and scrubbed lines.
@@ -202,15 +86,6 @@ std::string module_of(const std::string& path) {
   const std::size_t slash = path.find('/', start);
   if (slash == std::string::npos) return "";
   return path.substr(start, slash - start);
-}
-
-bool path_in(const std::string& path, const std::string& dir_fragment) {
-  return path.find(dir_fragment) != std::string::npos;
-}
-
-bool path_ends_with(const std::string& path, const std::string& suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 void check_raw_new_delete(const std::string& path, const std::vector<std::string>& lines,
@@ -577,39 +452,44 @@ void scan_content(const std::string& path, const std::string& content,
   check_include_layering(path, raw_lines, findings);
 }
 
-bool lintable_file(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cpp" || ext == ".h" || ext == ".cc" || ext == ".hpp";
+/// The rule catalog, shared by --list-rules and allowlist validation.
+const std::vector<tfl_tools::RuleInfo>& rule_catalog() {
+  static const std::vector<tfl_tools::RuleInfo> kRules = {
+      {"raw-new-delete", "raw new/delete outside RAII (src/, tests/)"},
+      {"banned-random", "rand()/srand()/std::default_random_engine (src/, tests/)"},
+      {"unordered-in-chain", "unordered containers in src/chain/ (consensus order)"},
+      {"float-equality", "==/!= against float literals in src/game/, src/core/"},
+      {"raw-steady-clock", "std::chrono::steady_clock outside src/obs/ and stopwatch.h"},
+      {"raw-thread", "std::thread/std::jthread/std::async outside src/common/parallel.*"},
+      {"missing-override", "virtual redecl without override in derived classes"},
+      {"include-layering", "module include edges outside the layer graph (src/)"},
+      {"ad-hoc-retry",
+       "for/while wrapped around ->call( outside src/chain/web3.cpp "
+       "(use Web3Client::call_with_retry)"},
+      {"ad-hoc-persistence",
+       "ofstream/fopen in src/ outside the audited writers (snapshot, csv, chain WAL, report)"},
+  };
+  return kRules;
+}
+
+std::set<std::string> known_rule_ids() {
+  std::set<std::string> ids;
+  for (const tfl_tools::RuleInfo& rule : rule_catalog()) ids.insert(rule.id);
+  return ids;
 }
 
 std::vector<AllowEntry> load_allowlist(const std::string& file) {
-  std::vector<AllowEntry> entries;
-  std::ifstream in(file);
-  if (!in) {
-    std::cerr << "tfl-lint: cannot open allowlist " << file << "\n";
+  tfl_tools::AllowParse parsed;
+  std::string error;
+  if (!tfl_tools::load_allow_file(file, known_rule_ids(), /*require_justification=*/false,
+                                  parsed, error)) {
+    std::cerr << "tfl-lint: " << error << "\n";
     std::exit(2);
   }
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream parts(line);
-    AllowEntry entry;
-    if (parts >> entry.rule >> entry.path_suffix) entries.push_back(entry);
+  for (const std::string& warning : parsed.warnings) {
+    std::cerr << "tfl-lint: allowlist " << file << ": " << warning << "\n";
   }
-  return entries;
-}
-
-bool allowed(const Finding& finding, const std::vector<AllowEntry>& allowlist) {
-  for (const AllowEntry& entry : allowlist) {
-    if (entry.rule != finding.rule) continue;
-    if (finding.path.size() >= entry.path_suffix.size() &&
-        finding.path.compare(finding.path.size() - entry.path_suffix.size(),
-                             entry.path_suffix.size(), entry.path_suffix) == 0) {
-      return true;
-    }
-  }
-  return false;
+  return parsed.entries;
 }
 
 // ---------------------------------------------------------------------------
@@ -739,6 +619,31 @@ int run_self_test() {
        "#include <fstream>\n"
        "void f() { std::ofstream out(\"scratch.txt\"); }\n",
        {}},
+      // Raw string literals must be scrubbed by their actual grammar: code
+      // after the closing `)"` on the same line is still scanned...
+      {"src/fl/fixture_rawstring_after.cpp",
+       "const char* kJson = R\"({\"a\": 1})\"; int* leak = new int(3);\n",
+       {"raw-new-delete"}},
+      // ...and banned tokens inside the literal (including on the closing
+      // line, with a custom delimiter) must not fire.
+      {"src/fl/fixture_rawstring_contents_ok.cpp",
+       "const char* kDoc = R\"x(call new int; then\n"
+       "delete p; also rand() and \"quoted\" text)x\";\n",
+       {}},
+      // An escape-like sequence inside a raw string does not escape: the
+      // literal ends at `)\"`, and the delete after it is real code.
+      {"src/core/fixture_rawstring_noescape.cpp",
+       "void f(int* p) { const char* s = R\"(\\\")\"; delete p; }\n",
+       {"raw-new-delete"}},
+      // Digit separators are not char-literal openers; code after 1'000'000
+      // is still scanned.
+      {"src/fl/fixture_digit_separator.cpp",
+       "void f() {\n"
+       "  const long budget = 1'000'000;\n"
+       "  int* p = new int(3);\n"
+       "  delete p;\n"
+       "}\n",
+       {"raw-new-delete"}},
       // Clean file: banned words only in comments/strings, tolerance compare,
       // override used properly, allowed include edge. Must produce no findings.
       {"src/game/fixture_clean.cpp",
@@ -780,21 +685,7 @@ int run_self_test() {
   return 1;
 }
 
-void list_rules() {
-  std::cout << "raw-new-delete     raw new/delete outside RAII (src/, tests/)\n"
-            << "banned-random      rand()/srand()/std::default_random_engine (src/, tests/)\n"
-            << "unordered-in-chain unordered containers in src/chain/ (consensus order)\n"
-            << "float-equality     ==/!= against float literals in src/game/, src/core/\n"
-            << "raw-steady-clock   std::chrono::steady_clock outside src/obs/ and stopwatch.h\n"
-            << "raw-thread         std::thread/std::jthread/std::async outside "
-               "src/common/parallel.*\n"
-            << "missing-override   virtual redecl without override in derived classes\n"
-            << "include-layering   module include edges outside the layer graph (src/)\n"
-            << "ad-hoc-retry       for/while wrapped around ->call( outside src/chain/web3.cpp "
-               "(use Web3Client::call_with_retry)\n"
-            << "ad-hoc-persistence ofstream/fopen in src/ outside the audited writers "
-               "(snapshot, csv, chain WAL, report)\n";
-}
+void list_rules() { std::cout << tfl_tools::format_rule_table(rule_catalog()); }
 
 }  // namespace
 
@@ -834,30 +725,23 @@ int main(int argc, char** argv) {
   std::vector<AllowEntry> allowlist;
   if (!allow_file.empty()) allowlist = load_allowlist(allow_file);
 
+  std::vector<fs::path> files;
+  std::string walk_error;
+  if (!tfl_tools::collect_files(roots, files, walk_error)) {
+    std::cerr << "tfl-lint: " << walk_error << "\n";
+    return 2;
+  }
+
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
-  for (const std::string& root : roots) {
-    std::vector<fs::path> files;
-    if (fs::is_directory(root)) {
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (entry.is_regular_file() && lintable_file(entry.path())) {
-          files.push_back(entry.path());
-        }
-      }
-    } else if (fs::is_regular_file(root)) {
-      files.push_back(root);
-    } else {
-      std::cerr << "tfl-lint: no such path " << root << "\n";
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!tfl_tools::read_file(file, content)) {
+      std::cerr << "tfl-lint: cannot read " << normalize_path(file) << "\n";
       return 2;
     }
-    std::sort(files.begin(), files.end());
-    for (const fs::path& file : files) {
-      std::ifstream in(file, std::ios::binary);
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      scan_content(normalize_path(file), buffer.str(), findings);
-      ++files_scanned;
-    }
+    scan_content(normalize_path(file), content, findings);
+    ++files_scanned;
   }
 
   std::size_t reported = 0;
