@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -54,24 +55,35 @@ void emit(const Config& config, const std::string& name, const AsciiTable& table
   }
 }
 
-void write_manifest(const Config& config, const std::string& name) {
+Status write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Error{"io", "bench: cannot open " + path + " for writing"};
+  file << text;
+  file.flush();
+  if (!file) return Error{"io", "bench: short write to " + path};
+  return ok_status();
+}
+
+Status write_manifest(const Config& config, const std::string& name) {
   const std::string dir = config.get_string("csv", "");
-  if (dir.empty()) return;
+  if (dir.empty()) return ok_status();
   const std::string path = dir + "/" + name + ".manifest.json";
-  std::ofstream file(path);
-  if (!file) {
-    std::printf("manifest write failed: cannot open %s\n", path.c_str());
-    return;
-  }
-  file << "{\n  \"bench\": \"" << name << "\",\n  \"config\": {";
+  std::ostringstream payload;
+  payload << "{\n  \"bench\": \"" << name << "\",\n  \"config\": {";
   const auto& entries = config.entries();
   std::size_t i = 0;
   for (const auto& [key, value] : entries) {
-    file << (i++ == 0 ? "\n" : ",\n") << "    \"" << key << "\": \"" << value << "\"";
+    payload << (i++ == 0 ? "\n" : ",\n") << "    \"" << key << "\": \"" << value << "\"";
   }
-  file << (entries.empty() ? "" : "\n  ") << "},\n  \"metrics\": "
-       << obs::metrics().snapshot().to_json() << "}\n";
+  payload << (entries.empty() ? "" : "\n  ") << "},\n  \"metrics\": "
+          << obs::metrics().snapshot().to_json() << "}\n";
+  const Status written = write_text_file(path, payload.str());
+  if (!written.ok()) {
+    std::cerr << "manifest write failed: " << written.error().to_string() << "\n";
+    return written;
+  }
   std::printf("wrote %s\n", path.c_str());
+  return ok_status();
 }
 
 SweepStats replicate(const std::vector<double>& values) {

@@ -16,6 +16,7 @@
 
 #include "common/config.h"
 #include "common/csv.h"
+#include "common/result.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/mechanism.h"
@@ -34,10 +35,16 @@ void banner(const std::string& experiment_id, const std::string& claim);
 void emit(const Config& config, const std::string& name, const AsciiTable& table,
           const CsvWriter* csv = nullptr);
 
-/// Writes <DIR>/<name>.manifest.json (csv=DIR runs; no-op otherwise): the
+/// Checked whole-file text writer for bench artifacts (manifests, BENCH_*
+/// JSON): typed Error{"io", ...} on open or short write, never a silent
+/// truncation. Bench mains must propagate the failure as a nonzero exit.
+[[nodiscard]] Status write_text_file(const std::string& path, const std::string& text);
+
+/// Writes <DIR>/<name>.manifest.json (csv=DIR runs; ok no-op otherwise): the
 /// bench's config entries plus the current metrics snapshot, so every figure
-/// CSV carries the telemetry of the run that produced it.
-void write_manifest(const Config& config, const std::string& name);
+/// CSV carries the telemetry of the run that produced it. An I/O failure is
+/// reported to stderr and returned; callers turn it into a nonzero exit.
+[[nodiscard]] Status write_manifest(const Config& config, const std::string& name);
 
 /// Mean of a metric across seeded replications of the experiment game.
 struct SweepStats {

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     csv.add_row_doubles(row);
   }
   bench::emit(config, "fig4_potential_dynamics", table, &csv);
-  bench::write_manifest(config, "fig4_potential_dynamics");
+  if (!bench::write_manifest(config, "fig4_potential_dynamics").ok()) return 1;
 
   AsciiTable final_table({"scheme", "final potential", "iterations", "converged"});
   for (const Run& run : runs) {

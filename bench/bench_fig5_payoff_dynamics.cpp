@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     csv.add_row_doubles(row);
   }
   bench::emit(config, "fig5_payoff_dynamics", table, &csv);
-  bench::write_manifest(config, "fig5_payoff_dynamics");
+  if (!bench::write_manifest(config, "fig5_payoff_dynamics").ok()) return 1;
 
   std::printf("converged=%s after %d iterations; max unilateral gain at NE = %.3e\n\n",
               solution.converged ? "yes" : "no", solution.iterations,

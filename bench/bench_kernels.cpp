@@ -233,6 +233,6 @@ int main(int argc, char** argv) {
   }
   std::printf("threads=%zu\n", global_threads());
   bench::emit(config, "kernels", table, &csv);
-  bench::write_manifest(config, "kernels");
+  if (!bench::write_manifest(config, "kernels").ok()) return 1;
   return 0;
 }

@@ -1,0 +1,122 @@
+// Load bench — sustained mechanism throughput and per-phase latency SLOs.
+// Drives the deterministic load generator (src/tradefl/loadgen.h) over full
+// trading sessions and bulk chain transfers, then emits the canonical
+// root-level BENCH_session.json / BENCH_chain.json manifests plus the
+// combined BENCH_load.json shape the CI regression gate diffs against
+// bench/baselines/bench_load.fast.json (tools/tfl_bench_diff.cpp).
+//
+// Knobs (key=value): sessions= orgs= transfers= accounts= batch= seed=
+//   repeats=N   timed passes per load; the best pass is reported (best-of-N
+//               damps transient machine-load noise; default 3)
+//   threads=N   worker pool for the pipelines (op sequence is identical for
+//               any value; only the timing numbers move)
+//   fast=1      shrunk workload for smoke runs and the CI gate
+//   out=DIR     where the BENCH_*.json manifests land (default ".")
+//   csv=DIR     also write the summary CSV + standard run manifest
+//   ledger=FILE JSON-lines run ledger of the whole load run
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "tradefl/loadgen.h"
+
+using namespace tradefl;
+
+namespace {
+
+void add_report_row(AsciiTable& table, CsvWriter& csv, const loadgen::LoadReport& report) {
+  const auto row_for = [&report](const loadgen::PhaseStats& phase) {
+    return std::vector<std::string>{report.name,
+                                    std::to_string(report.operations),
+                                    format_double(report.wall_seconds, 4),
+                                    format_double(report.ops_per_sec, 2),
+                                    phase.name,
+                                    std::to_string(phase.count),
+                                    format_double(phase.p50 * 1e6, 2),
+                                    format_double(phase.p99 * 1e6, 2),
+                                    format_double(phase.max * 1e6, 2)};
+  };
+  for (const loadgen::PhaseStats& phase : report.phases) {
+    table.add_row(row_for(phase));
+    csv.add_row(row_for(phase));
+  }
+}
+
+int write_bench_json(const std::string& path, const std::string& payload) {
+  const Status written = bench::write_text_file(path, payload);
+  if (!written.ok()) {
+    std::cerr << "bench_load: " << written.error().to_string() << "\n";
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("load bench — serving-side SLO telemetry",
+                "sustained sessions/s and tx/s with per-phase p50/p99 latency "
+                "(mechanism-as-a-service trajectory, ROADMAP item 1)");
+
+  loadgen::LoadOptions options;
+  if (config.get_bool("fast", false)) options = options.fast();
+  options.sessions = static_cast<std::size_t>(config.get_int("sessions", options.sessions));
+  options.orgs = static_cast<std::size_t>(config.get_int("orgs", options.orgs));
+  options.transfers = static_cast<std::size_t>(config.get_int("transfers", options.transfers));
+  options.accounts = static_cast<std::size_t>(config.get_int("accounts", options.accounts));
+  options.batch = static_cast<std::size_t>(config.get_int("batch", options.batch));
+  options.seed = static_cast<std::uint64_t>(config.get_int("seed", options.seed));
+  options.repeats = static_cast<std::size_t>(config.get_int("repeats", options.repeats));
+  const std::string out_dir = config.get_string("out", ".");
+
+  if (const auto ledger = config.get("ledger")) {
+    const Status opened = obs::event_log().open(*ledger);
+    if (!opened.ok()) {
+      std::cerr << "bench_load: [" << opened.error().code << "] " << opened.error().message
+                << "\n";
+      return 1;
+    }
+    const std::int64_t every = config.get_int("ledger_metrics_every", 32);
+    obs::event_log().set_metrics_every(every < 0 ? 0 : static_cast<std::size_t>(every));
+  }
+
+  const loadgen::LoadReport session_report = loadgen::run_session_load(options);
+  std::printf("session load: %llu sessions in %.3fs -> %.2f sessions/s\n",
+              static_cast<unsigned long long>(session_report.operations),
+              session_report.wall_seconds, session_report.ops_per_sec);
+  const std::string session_manifest = loadgen::manifest_json(session_report, options);
+
+  const loadgen::LoadReport chain_report = loadgen::run_chain_load(options);
+  std::printf("chain load: %llu transfers in %.3fs -> %.2f tx/s\n",
+              static_cast<unsigned long long>(chain_report.operations),
+              chain_report.wall_seconds, chain_report.ops_per_sec);
+
+  const std::vector<std::string> header{"load",  "operations", "wall_s",  "ops_per_sec",
+                                        "phase", "count",      "p50_us",  "p99_us",
+                                        "max_us"};
+  AsciiTable table(header);
+  CsvWriter csv(header);
+  add_report_row(table, csv, session_report);
+  add_report_row(table, csv, chain_report);
+  bench::emit(config, "bench_load", table, &csv);
+
+  int exit_code = 0;
+  exit_code |= write_bench_json(out_dir + "/BENCH_session.json", session_manifest);
+  exit_code |= write_bench_json(out_dir + "/BENCH_chain.json",
+                                loadgen::manifest_json(chain_report, options));
+  exit_code |= write_bench_json(
+      out_dir + "/BENCH_load.json",
+      loadgen::combined_manifest_json(session_report, chain_report, options));
+  if (!bench::write_manifest(config, "bench_load").ok()) exit_code = 1;
+
+  if (obs::event_log().active()) {
+    obs::event_log().metrics_event(obs::metrics().snapshot());
+    obs::event_log().close();
+  }
+  return exit_code;
+}

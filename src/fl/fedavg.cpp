@@ -449,6 +449,10 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     TFL_COUNTER_ADD("fl.clients.participating", participants);
     TFL_GAUGE_SET("round.participation", participants);
     TFL_SERIES_APPEND("round.participation", participants);
+    // Emitted from this serial point (never inside the parallel client loop)
+    // so the run ledger keeps its cross-thread-count byte identity.
+    TFL_LEDGER_EVENT("fedavg.round", {"round", static_cast<double>(round)},
+                     {"participants", static_cast<double>(participants)});
 
     EvalResult eval;
     {

@@ -1,0 +1,172 @@
+#include "obs/event_log.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace tradefl::obs {
+namespace {
+
+/// %.12g matches the metrics JSON exporter, so ledger field values and
+/// snapshot values render identically.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string micros_field(double us) {
+  const long long rounded = us <= 0.0 ? 0 : std::llround(us);
+  return std::to_string(rounded);
+}
+
+/// Counters and histogram observation counts only: the deterministic shape
+/// of the run. Gauges, sums, and series carry wall clock / thread count and
+/// would break the cross-thread-count ledger identity (see header).
+std::string metrics_body(const MetricsSnapshot& snapshot) {
+  std::ostringstream body;
+  body << "\"type\": \"metrics\", \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    body << (i == 0 ? "" : ", ") << json_string(snapshot.counters[i].name) << ": "
+         << snapshot.counters[i].value;
+  }
+  body << "}, \"histogram_counts\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    body << (i == 0 ? "" : ", ") << json_string(snapshot.histograms[i].name) << ": "
+         << snapshot.histograms[i].data.count;
+  }
+  body << "}";
+  return body.str();
+}
+
+}  // namespace
+
+Status EventLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_.load(std::memory_order_relaxed)) {
+    out_.close();
+    active_.store(false, std::memory_order_relaxed);
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    return Error{"io", "event log: cannot open " + path + " for writing"};
+  }
+  active_.store(true, std::memory_order_relaxed);
+  last_us_ = trace_now_us();
+  written_ = 0;
+  since_metrics_ = 0;
+  write_line_locked("\"type\": \"ledger\", \"name\": \"open\", \"version\": 1");
+  return ok_status();
+}
+
+void EventLog::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  write_line_locked("\"type\": \"ledger\", \"name\": \"close\", \"events\": " +
+                    std::to_string(written_));
+  out_.close();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+bool EventLog::active() const { return active_.load(std::memory_order_relaxed); }
+
+void EventLog::set_metrics_every(std::size_t every) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_every_ = every;
+  since_metrics_ = 0;
+}
+
+void EventLog::phase_begin(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  write_line_locked("\"type\": \"phase_begin\", \"name\": " + json_string(name));
+  maybe_auto_metrics_locked();
+}
+
+void EventLog::phase_end(const std::string& name, double duration_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  write_line_locked("\"type\": \"phase_end\", \"name\": " + json_string(name) +
+                    ", \"dur_us\": " + micros_field(duration_us));
+  maybe_auto_metrics_locked();
+}
+
+void EventLog::event(const std::string& name, const Fields& fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  std::string body = "\"type\": \"event\", \"name\": " + json_string(name);
+  for (const auto& [key, value] : fields) {
+    body += ", " + json_string(key) + ": " + json_number(value);
+  }
+  write_line_locked(body);
+  maybe_auto_metrics_locked();
+}
+
+void EventLog::metrics_event(const MetricsSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  write_line_locked(metrics_body(snapshot));
+  since_metrics_ = 0;
+}
+
+std::uint64_t EventLog::events_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+void EventLog::write_line_locked(const std::string& body) {
+  const double now = trace_now_us();
+  const double delta = now - last_us_;
+  last_us_ = now;
+  out_ << "{\"dt_us\": " << micros_field(delta) << ", " << body << "}\n";
+  out_.flush();
+  ++written_;
+  ++since_metrics_;
+  TFL_COUNTER_INC("ledger.events");
+}
+
+void EventLog::maybe_auto_metrics_locked() {
+  if (metrics_every_ == 0 || since_metrics_ < metrics_every_) return;
+  // The metrics registry mutex is independent of ours and never calls back
+  // into the log, so snapshotting under our lock cannot deadlock.
+  write_line_locked(metrics_body(metrics().snapshot()));
+  since_metrics_ = 0;
+}
+
+EventLog& event_log() {
+  static EventLog log;
+  return log;
+}
+
+LedgerPhase::LedgerPhase(std::string name) : name_(std::move(name)) {
+  active_ = event_log().active();
+  if (!active_) return;
+  start_us_ = trace_now_us();
+  event_log().phase_begin(name_);
+}
+
+LedgerPhase::~LedgerPhase() {
+  if (!active_) return;
+  event_log().phase_end(name_, trace_now_us() - start_us_);
+}
+
+}  // namespace tradefl::obs

@@ -1,0 +1,110 @@
+// Run ledger: a structured JSON-lines telemetry stream that any session /
+// solve / bench run can leave behind (`ledger=FILE` on the CLI and the load
+// bench). One line per event, in recording order:
+//
+//   {"dt_us": 12, "type": "phase_begin", "name": "session.solve"}
+//   {"dt_us": 3405, "type": "phase_end", "name": "session.solve", "dur_us": 3391}
+//   {"dt_us": 2, "type": "event", "name": "fedavg.round", "round": 3}
+//   {"dt_us": 1, "type": "metrics", "counters": {...}, "histogram_counts": {...}}
+//
+// Design constraints, in priority order:
+//
+//   * **Replayable**: `dt_us` is the monotonic delta (microseconds, from the
+//     shared trace epoch) since the previous ledger line, so absolute wall
+//     clock never appears and two runs diff cleanly after stripping the
+//     `*_us` fields.
+//   * **Deterministic shape**: events are only emitted from serial program
+//     points (phase boundaries, round loops), and the periodic `metrics`
+//     lines carry counters and histogram observation *counts* only — never
+//     gauges, sums, or series, whose values encode wall clock or thread
+//     count. A `threads=1` and a `threads=N` run therefore produce
+//     byte-identical ledgers once timestamps are stripped (regression-tested
+//     in tests/integration/test_cli.cpp).
+//   * **Gated like every other obs surface**: the TFL_LEDGER_* macros in
+//     obs/obs.h compile away under TRADEFL_ENABLE_TRACING=0 and no-op until a
+//     surface opens the log; library code never opens it.
+//
+// The writer is audited (typed Error{"io", ...} on open, append-only, one
+// flushed line per event): the ledger is operator telemetry, nothing resumes
+// from it, so a torn final line on crash is acceptable by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace tradefl::obs {
+
+class EventLog {
+ public:
+  /// Numeric payload fields appended to an event line, in the given order.
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  /// Opens (truncating) the ledger at `path` and writes the ledger_open line.
+  /// Returns Error{"io", ...} when the file cannot be created; the log stays
+  /// inactive in that case.
+  Status open(const std::string& path);
+
+  /// Writes the ledger_close line (with the total event count) and closes.
+  /// No-op when inactive.
+  void close();
+
+  [[nodiscard]] bool active() const;
+
+  /// Auto-emit a `metrics` line after every `every` recorded lines
+  /// (0 = only explicit metrics_event calls). Counted deterministically, so
+  /// the cadence replays identically across runs.
+  void set_metrics_every(std::size_t every);
+
+  void phase_begin(const std::string& name);
+  void phase_end(const std::string& name, double duration_us);
+  void event(const std::string& name, const Fields& fields = {});
+
+  /// Compact snapshot line: counter values and histogram observation counts.
+  void metrics_event(const MetricsSnapshot& snapshot);
+
+  /// Lines written since open (0 when inactive).
+  [[nodiscard]] std::uint64_t events_written() const;
+
+ private:
+  void write_line_locked(const std::string& body);
+  void maybe_auto_metrics_locked();
+
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::atomic<bool> active_{false};  // lock-free inactive fast path
+  double last_us_ = 0.0;
+  std::uint64_t written_ = 0;
+  std::size_t metrics_every_ = 0;
+  std::size_t since_metrics_ = 0;
+};
+
+/// Process-wide ledger used by the TFL_LEDGER_* macros and the CLI/bench
+/// `ledger=` knobs.
+EventLog& event_log();
+
+/// RAII phase scope: phase_begin at construction, phase_end (with duration)
+/// at destruction. Captures activity once, so a log closed mid-phase still
+/// gets the matching end line. Use via TFL_LEDGER_PHASE.
+class LedgerPhase {
+ public:
+  explicit LedgerPhase(std::string name);
+  ~LedgerPhase();
+
+  LedgerPhase(const LedgerPhase&) = delete;
+  LedgerPhase& operator=(const LedgerPhase&) = delete;
+
+ private:
+  std::string name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace tradefl::obs

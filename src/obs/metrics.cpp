@@ -99,6 +99,29 @@ void Histogram::observe(double value) {
   detail::atomic_max(max_, value);
 }
 
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Rank q*count lands in bucket b: interpolate between its bounds, using
+    // the observed min/max as the edges of the open-ended first and overflow
+    // buckets.
+    const double lo = b == 0 ? min : upper_bounds[b - 1];
+    const double hi = b < upper_bounds.size() ? upper_bounds[b] : max;
+    const double fraction = (target - before) / static_cast<double>(counts[b]);
+    const double estimate = hi <= lo ? lo : lo + fraction * (hi - lo);
+    return std::clamp(estimate, min, max);
+  }
+  return max;  // unreachable when counts are consistent with count
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
   snap.upper_bounds = bounds_;
@@ -204,7 +227,8 @@ std::string MetricsSnapshot::to_json() const {
     out << (i == 0 ? "\n" : ",\n") << "    " << json_string(histograms[i].name) << ": {"
         << "\"count\": " << data.count << ", \"sum\": " << json_number(data.sum)
         << ", \"min\": " << json_number(data.min) << ", \"max\": " << json_number(data.max)
-        << ", \"buckets\": [";
+        << ", \"p50\": " << json_number(data.p50()) << ", \"p90\": " << json_number(data.p90())
+        << ", \"p99\": " << json_number(data.p99()) << ", \"buckets\": [";
     for (std::size_t b = 0; b < data.counts.size(); ++b) {
       if (b > 0) out << ", ";
       out << "{\"le\": ";
@@ -231,14 +255,15 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 std::string MetricsSnapshot::to_table() const {
-  AsciiTable table({"metric", "type", "count", "value", "min", "max"},
+  AsciiTable table({"metric", "type", "count", "value", "min", "p50", "p99", "max"},
                    {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
-                    Align::kRight});
+                    Align::kRight, Align::kRight, Align::kRight});
   for (const auto& metric : counters) {
-    table.add_row({metric.name, "counter", "-", std::to_string(metric.value), "-", "-"});
+    table.add_row({metric.name, "counter", "-", std::to_string(metric.value), "-", "-", "-",
+                   "-"});
   }
   for (const auto& metric : gauges) {
-    table.add_row({metric.name, "gauge", "-", format_value(metric.value), "-", "-"});
+    table.add_row({metric.name, "gauge", "-", format_value(metric.value), "-", "-", "-", "-"});
   }
   for (const auto& metric : histograms) {
     const auto& data = metric.data;
@@ -246,6 +271,7 @@ std::string MetricsSnapshot::to_table() const {
         data.count == 0 ? 0.0 : data.sum / static_cast<double>(data.count);
     table.add_row({metric.name, "histogram", std::to_string(data.count),
                    format_value(mean) + " (mean)", format_value(data.min),
+                   format_value(data.p50()), format_value(data.p99()),
                    format_value(data.max)});
   }
   for (const auto& metric : series) {
@@ -257,7 +283,8 @@ std::string MetricsSnapshot::to_table() const {
       hi = *std::max_element(metric.values.begin(), metric.values.end());
     }
     table.add_row({metric.name, "series", std::to_string(metric.total_appends),
-                   format_value(last) + " (last)", format_value(lo), format_value(hi)});
+                   format_value(last) + " (last)", format_value(lo), "-", "-",
+                   format_value(hi)});
   }
   return table.render();
 }
@@ -335,6 +362,32 @@ MetricsRegistry& metrics() {
 
 std::vector<double> default_latency_bounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<double> log_bucket_bounds(double lo, double hi, std::size_t per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || per_decade == 0) {
+    throw std::invalid_argument("log_bucket_bounds: need 0 < lo < hi and per_decade >= 1");
+  }
+  std::vector<double> bounds;
+  const double start = std::log10(lo);
+  for (std::size_t i = 0;; ++i) {
+    const double bound =
+        std::pow(10.0, start + static_cast<double>(i) / static_cast<double>(per_decade));
+    // pow() is monotone here, but equal adjacent doubles would violate the
+    // Histogram contract — guard anyway.
+    if (!bounds.empty() && bound <= bounds.back()) continue;
+    bounds.push_back(bound);
+    if (bound >= hi) break;
+  }
+  return bounds;
+}
+
+std::vector<double> latency_histogram_bounds() {
+  return log_bucket_bounds(1e-7, 10.0, 4);
+}
+
+Histogram& latency_histogram(const std::string& name) {
+  return metrics().histogram(name, latency_histogram_bounds());
 }
 
 }  // namespace tradefl::obs

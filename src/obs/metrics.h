@@ -84,6 +84,16 @@ class Histogram {
     double sum = 0.0;
     double min = 0.0;  // 0 when count == 0
     double max = 0.0;
+
+    /// Interpolated quantile (q in [0,1]) from the bucket counts: the bucket
+    /// holding rank q*count is interpolated linearly between its bounds, with
+    /// the first bucket floored at `min` and the +Inf overflow bucket capped
+    /// at `max`, so the estimate never leaves the observed range and a
+    /// single-sample histogram reports the sample exactly. Empty -> 0.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p90() const { return quantile(0.90); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
   };
   [[nodiscard]] Snapshot snapshot() const;
   void reset();
@@ -196,5 +206,21 @@ MetricsRegistry& metrics();
 
 /// Log-spaced latency bounds in seconds: 1us .. 10s.
 std::vector<double> default_latency_bounds();
+
+/// Strictly increasing log-spaced bounds: `per_decade` buckets per factor of
+/// ten, from `lo` up to and including the first bound >= `hi`. Requires
+/// 0 < lo < hi and per_decade >= 1.
+std::vector<double> log_bucket_bounds(double lo, double hi, std::size_t per_decade);
+
+/// Fine-grained log bucketing for seconds-scale latency metrics (100ns .. 10s,
+/// 4 buckets per decade) — tight enough that interpolated p50/p99 are usable
+/// SLO figures, unlike default_latency_bounds() whose decade-wide buckets
+/// only localize the order of magnitude.
+std::vector<double> latency_histogram_bounds();
+
+/// Registers (or fetches) `name` in the process registry with
+/// latency_histogram_bounds(). The TFL_LATENCY_TIMER macro routes here; use
+/// it for any histogram whose quantiles feed SLO reporting.
+Histogram& latency_histogram(const std::string& name);
 
 }  // namespace tradefl::obs

@@ -23,11 +23,20 @@
 //   TFL_SERIES_APPEND(name, value)       bounded trajectory append
 //   TFL_SPAN(name)                       RAII trace span for this scope
 //   TFL_SCOPED_TIMER(name)               RAII seconds-histogram timer
+//   TFL_LATENCY_TIMER(name)              RAII timer on a fine-grained
+//                                        latency_histogram (SLO percentiles)
+//   TFL_LEDGER_PHASE(name)               RAII run-ledger phase scope
+//   TFL_LEDGER_EVENT(name, fields...)    run-ledger event line; fields are
+//                                        {"key", value} pairs
 //   TFL_OBS_ONLY(...)                    statement compiled only when tracing
+//
+// The TFL_LEDGER_* macros are additionally gated on obs::event_log().active():
+// they stay no-ops until a CLI/bench surface opens a ledger file.
 #pragma once
 
 #include <cstdint>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -94,6 +103,21 @@
       ::tradefl::obs::enabled() ? &::tradefl::obs::metrics().histogram(name)    \
                                 : nullptr)
 
+#define TFL_LATENCY_TIMER(name)                                                 \
+  ::tradefl::obs::ScopedTimer TFL_OBS_CONCAT(tfl_latency_, __LINE__)(           \
+      ::tradefl::obs::enabled() ? &::tradefl::obs::latency_histogram(name)      \
+                                : nullptr)
+
+#define TFL_LEDGER_PHASE(name) \
+  ::tradefl::obs::LedgerPhase TFL_OBS_CONCAT(tfl_ledger_phase_, __LINE__)(name)
+
+#define TFL_LEDGER_EVENT(name, ...)                                             \
+  do {                                                                          \
+    if (::tradefl::obs::event_log().active()) {                                 \
+      ::tradefl::obs::event_log().event(name, {__VA_ARGS__});                   \
+    }                                                                           \
+  } while (false)
+
 #define TFL_OBS_ONLY(...) __VA_ARGS__
 
 #else  // TRADEFL_ENABLE_TRACING
@@ -143,6 +167,21 @@
 #define TFL_SCOPED_TIMER(name) \
   do {                         \
     (void)sizeof(name);        \
+  } while (false)
+
+#define TFL_LATENCY_TIMER(name) \
+  do {                          \
+    (void)sizeof(name);         \
+  } while (false)
+
+#define TFL_LEDGER_PHASE(name) \
+  do {                         \
+    (void)sizeof(name);        \
+  } while (false)
+
+#define TFL_LEDGER_EVENT(name, ...) \
+  do {                              \
+    (void)sizeof(name);             \
   } while (false)
 
 #define TFL_OBS_ONLY(...)

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "math/grid.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tradefl/report.h"
@@ -276,7 +278,12 @@ std::string usage() {
          "observability: metrics=1 (print snapshot table after any command)\n"
          "               metrics_json=FILE (write snapshot JSON)\n"
          "               trace=FILE (write Chrome trace-event JSON; open in\n"
-         "               chrome://tracing or ui.perfetto.dev)\n";
+         "               chrome://tracing or ui.perfetto.dev)\n"
+         "               ledger=FILE (write a JSON-lines run ledger: phase\n"
+         "               events + periodic metrics snapshots; identical across\n"
+         "               threads= values after stripping *_us timestamps)\n"
+         "               ledger_metrics_every=32 (auto metrics-line cadence;\n"
+         "               0 = final snapshot only)\n";
 }
 
 namespace {
@@ -310,16 +317,34 @@ int run(const Invocation& invocation, std::ostream& out) {
       invocation.command == "metrics" || options.get_bool("metrics", false);
   const auto trace_path = options.get("trace");
   const auto json_path = options.get("metrics_json");
-  const bool observing = want_table || trace_path.has_value() || json_path.has_value();
+  const auto ledger_path = options.get("ledger");
+  const bool observing = want_table || trace_path.has_value() || json_path.has_value() ||
+                         ledger_path.has_value();
   if (observing) {
     // Fresh telemetry for exactly this invocation.
     obs::metrics().reset();
     obs::trace().reset();
     obs::set_enabled(true);
   }
+  if (ledger_path) {
+    const Status opened = obs::event_log().open(*ledger_path);
+    if (!opened.ok()) {
+      std::cerr << "tradefl: [" << opened.error().code << "] " << opened.error().message << "\n";
+      obs::set_enabled(false);
+      return 1;
+    }
+    const std::int64_t every = options.get_int("ledger_metrics_every", 32);
+    obs::event_log().set_metrics_every(every < 0 ? 0 : static_cast<std::size_t>(every));
+  }
 
   int code = dispatch(invocation, out);
 
+  if (ledger_path && obs::event_log().active()) {
+    // Final deterministic-shape snapshot, then the close line.
+    obs::event_log().metrics_event(obs::metrics().snapshot());
+    obs::event_log().close();
+    out << "run ledger written to " << *ledger_path << "\n";
+  }
   if (observing) {
     obs::set_enabled(false);
     const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();

@@ -1,0 +1,239 @@
+#include "tradefl/loadgen.h"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "chain/blockchain.h"
+#include "common/stopwatch.h"
+#include "game/game_factory.h"
+#include "obs/obs.h"
+#include "tradefl/session.h"
+
+namespace tradefl::loadgen {
+namespace {
+
+/// Matches the metrics JSON exporter, so manifest values and snapshot values
+/// render identically.
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Every latency histogram (`*.seconds`) with at least one observation,
+/// sorted by name (the snapshot order is already deterministic). Non-latency
+/// histograms (e.g. chain.call.gas) are not phases.
+std::vector<PhaseStats> collect_phases() {
+  std::vector<PhaseStats> phases;
+  const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.data.count == 0 || !ends_with(histogram.name, ".seconds")) continue;
+    PhaseStats stats;
+    stats.name = histogram.name;
+    stats.count = histogram.data.count;
+    stats.p50 = histogram.data.p50();
+    stats.p90 = histogram.data.p90();
+    stats.p99 = histogram.data.p99();
+    stats.max = histogram.data.max;
+    phases.push_back(std::move(stats));
+  }
+  return phases;
+}
+
+void finish_report(LoadReport& report, const Stopwatch& wall) {
+  report.wall_seconds = wall.elapsed_seconds();
+  report.ops_per_sec = report.wall_seconds > 0.0
+                           ? static_cast<double>(report.operations) / report.wall_seconds
+                           : 0.0;
+  report.phases = collect_phases();
+}
+
+std::string throughput_key(const LoadReport& report) {
+  return report.name == "session" ? "sessions_per_sec" : "tx_per_sec";
+}
+
+/// Best-of-N pass selection: transient machine load slows a whole pass, so
+/// the minimum-interference pass is the reproducible number. The metrics
+/// registry is reset before each pass; each pass snapshots its own phase
+/// percentiles into its report (finish_report), so the winning report is
+/// self-contained even though later passes overwrite the registry.
+LoadReport best_of(std::size_t repeats, const std::function<LoadReport()>& pass) {
+  LoadReport best;
+  if (repeats == 0) repeats = 1;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    obs::metrics().reset();  // percentiles must cover exactly this pass
+    LoadReport candidate = pass();
+    if (r == 0 || candidate.ops_per_sec > best.ops_per_sec) best = std::move(candidate);
+  }
+  return best;
+}
+
+void append_config(std::ostringstream& out, const LoadOptions& options) {
+  out << "{\"accounts\": " << options.accounts << ", \"batch\": " << options.batch
+      << ", \"orgs\": " << options.orgs << ", \"repeats\": " << options.repeats
+      << ", \"seed\": " << options.seed << ", \"sessions\": " << options.sessions
+      << ", \"transfers\": " << options.transfers << "}";
+}
+
+void append_metrics(std::ostringstream& out, const LoadReport& report) {
+  out << "{\"" << throughput_key(report) << "\": " << json_number(report.ops_per_sec)
+      << ", \"operations\": " << report.operations
+      << ", \"wall_seconds\": " << json_number(report.wall_seconds) << ", \"phases\": {";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseStats& phase = report.phases[i];
+    out << (i == 0 ? "" : ", ") << "\"" << phase.name << "\": {\"count\": " << phase.count
+        << ", \"p50\": " << json_number(phase.p50) << ", \"p90\": " << json_number(phase.p90)
+        << ", \"p99\": " << json_number(phase.p99) << ", \"max\": " << json_number(phase.max)
+        << "}";
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+LoadOptions LoadOptions::fast() const {
+  LoadOptions shrunk = *this;
+  shrunk.sessions = 64;
+  shrunk.orgs = 4;
+  shrunk.transfers = 8192;
+  shrunk.accounts = 8;
+  shrunk.batch = 64;
+  return shrunk;
+}
+
+LoadReport run_session_load(const LoadOptions& options) {
+  game::ExperimentSpec spec;
+  spec.org_count = options.orgs;
+
+  // Warmup session outside the timed window: first-touch allocation and cache
+  // effects otherwise dominate the first measured op and skew the gate.
+  {
+    const game::CoopetitionGame warm_game = game::make_experiment_game(spec, options.seed);
+    TradingSession warm_session(warm_game);
+    SessionOptions warm_options;
+    warm_options.seed = options.seed;
+    (void)warm_session.run(warm_options);
+  }
+  LoadReport best = best_of(options.repeats, [&options, &spec] {
+    LoadReport report;
+    report.name = "session";
+    const Stopwatch wall;
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      const game::CoopetitionGame game = game::make_experiment_game(spec, options.seed + s);
+      TradingSession session(game);
+      SessionOptions session_options;
+      session_options.seed = options.seed + s;
+      const SessionResult result = session.run(session_options);
+      if (!result.settled || !result.chain_valid) {
+        throw std::runtime_error("load: session " + std::to_string(s) +
+                                 " failed to settle on a healthy run");
+      }
+      ++report.operations;
+      TFL_LEDGER_EVENT("bench.load.session", {"index", static_cast<double>(s)},
+                       {"blocks", static_cast<double>(result.blocks)});
+    }
+    finish_report(report, wall);
+    return report;
+  });
+  TFL_GAUGE_SET("bench.load.sessions_per_sec", best.ops_per_sec);
+  return best;
+}
+
+LoadReport run_chain_load(const LoadOptions& options) {
+  if (options.accounts < 2) throw std::invalid_argument("load: need >= 2 accounts");
+
+  // Warmup on a scratch chain outside the timed window (see session load).
+  {
+    chain::Blockchain scratch;
+    const chain::Address a = chain::Address::from_name("warmup-a");
+    const chain::Address b = chain::Address::from_name("warmup-b");
+    scratch.credit(a, 1024);
+    for (std::uint64_t w = 0; w < 512; ++w) {
+      chain::Transaction tx;
+      tx.from = a;
+      tx.to = b;
+      tx.value = 1;
+      tx.nonce = w;
+      (void)scratch.submit(tx);
+      if ((w + 1) % 128 == 0) scratch.seal_block();
+    }
+  }
+  LoadReport best = best_of(options.repeats, [&options] {
+    chain::Blockchain chain;
+    std::vector<chain::Address> accounts;
+    accounts.reserve(options.accounts);
+    for (std::size_t i = 0; i < options.accounts; ++i) {
+      accounts.push_back(chain::Address::from_name("load-" + std::to_string(i)));
+      // Every account can fund its whole round-robin share up front.
+      chain.credit(accounts.back(), static_cast<chain::Wei>(options.transfers) + 1);
+    }
+
+    LoadReport report;
+    report.name = "chain";
+    std::uint64_t nonce = 0;
+    const Stopwatch wall;
+    for (std::size_t t = 0; t < options.transfers; ++t) {
+      chain::Transaction tx;
+      tx.from = accounts[t % accounts.size()];
+      tx.to = accounts[(t + 1) % accounts.size()];
+      tx.value = 1;
+      tx.nonce = nonce++;
+      {
+        TFL_LATENCY_TIMER("chain.transfer.seconds");
+        const chain::Receipt receipt = chain.submit(tx);
+        if (!receipt.success) {
+          throw std::runtime_error("load: transfer " + std::to_string(t) +
+                                   " reverted: " + receipt.revert_reason);
+        }
+      }
+      ++report.operations;
+      if ((t + 1) % options.batch == 0) {
+        chain.seal_block();
+        TFL_LEDGER_EVENT("bench.load.block",
+                         {"blocks", static_cast<double>(chain.block_count())});
+      }
+    }
+    if (chain.has_pending()) chain.seal_block();
+    const chain::ChainValidation validation = chain.validate();
+    if (!validation.valid) {
+      throw std::runtime_error("load: chain invalid after bulk transfers: " + validation.problem);
+    }
+    finish_report(report, wall);
+    return report;
+  });
+  TFL_GAUGE_SET("bench.load.tx_per_sec", best.ops_per_sec);
+  return best;
+}
+
+std::string manifest_json(const LoadReport& report, const LoadOptions& options) {
+  std::ostringstream out;
+  out << "{\"bench\": \"bench_load." << report.name << "\", \"schema\": 1, \"config\": ";
+  append_config(out, options);
+  out << ", \"metrics\": ";
+  append_metrics(out, report);
+  out << "}\n";
+  return out.str();
+}
+
+std::string combined_manifest_json(const LoadReport& session_report,
+                                   const LoadReport& chain_report,
+                                   const LoadOptions& options) {
+  std::ostringstream out;
+  out << "{\"bench\": \"bench_load\", \"schema\": 1, \"config\": ";
+  append_config(out, options);
+  out << ", \"metrics\": {\"session\": ";
+  append_metrics(out, session_report);
+  out << ", \"chain\": ";
+  append_metrics(out, chain_report);
+  out << "}}\n";
+  return out.str();
+}
+
+}  // namespace tradefl::loadgen

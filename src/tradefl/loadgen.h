@@ -1,0 +1,86 @@
+// Deterministic load generator behind bench/bench_load.cpp: drives repeated
+// TradingSessions and bulk plain-value chain transfers, then reports
+// sustained throughput (sessions/s, tx/s) and per-phase latency percentiles
+// pulled from the SLO latency histograms (session.latency.seconds,
+// chain.settle.seconds, chain.transfer.seconds, ...).
+//
+// The driver loop is serial — parallelism lives inside the pipelines
+// (threads= sizes the shared pool) — so the op sequence, the resulting chain,
+// and the run-ledger events are identical for any thread count; only the
+// timing numbers move. Lives in src/ rather than bench/ so the bench.load.*
+// macro sites stay inside the tfl-analyze-scanned tree and the reports are
+// unit-testable in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tradefl::loadgen {
+
+struct LoadOptions {
+  // Session load: full solve -> deploy -> settle pipelines.
+  std::size_t sessions = 256;
+  std::size_t orgs = 6;
+  // Chain load: plain 1-wei transfers round-robin over funded accounts.
+  std::size_t transfers = 16384;
+  std::size_t accounts = 16;
+  std::size_t batch = 128;  // seal a block every `batch` transfers
+
+  std::uint64_t seed = 42;
+
+  /// Timed passes per load; the reported numbers are the best pass (standard
+  /// best-of-N benchmarking — transient machine load slows a whole pass, so
+  /// the minimum-interference pass is the reproducible one).
+  std::size_t repeats = 3;
+
+  /// Shrunk workload for smoke runs and the CI regression gate — still sized
+  /// so each timed section runs tens of milliseconds, keeping the >25%
+  /// regression gate out of scheduler-noise territory.
+  [[nodiscard]] LoadOptions fast() const;
+};
+
+/// Quantiles of one latency histogram recorded during the load run.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct LoadReport {
+  std::string name;  // "session" | "chain"
+  std::uint64_t operations = 0;
+  double wall_seconds = 0.0;
+  double ops_per_sec = 0.0;
+  /// Every `*.seconds` latency histogram that recorded at least one
+  /// observation, sorted by name.
+  std::vector<PhaseStats> phases;
+};
+
+/// Runs `sessions` full trading sessions (DBR scheme, no training) on seeded
+/// Table-II games, `repeats` times; reports the best pass. Resets the metrics
+/// registry per pass so the percentiles cover exactly the reported pass;
+/// throws on a session that fails to settle.
+LoadReport run_session_load(const LoadOptions& options);
+
+/// Runs `transfers` plain value transfers over `accounts` funded accounts,
+/// sealing every `batch`, `repeats` times; reports the best pass. Resets the
+/// metrics registry per pass; throws when the resulting chain fails
+/// validation.
+LoadReport run_chain_load(const LoadOptions& options);
+
+/// Canonical manifest JSON for one report (BENCH_session.json /
+/// BENCH_chain.json): config + throughput + per-phase percentiles.
+std::string manifest_json(const LoadReport& report, const LoadOptions& options);
+
+/// Combined manifest holding both reports under "metrics": {"session": ...,
+/// "chain": ...} — the shape the CI regression baseline
+/// (bench/baselines/bench_load.fast.json) is diffed against.
+std::string combined_manifest_json(const LoadReport& session_report,
+                                   const LoadReport& chain_report,
+                                   const LoadOptions& options);
+
+}  // namespace tradefl::loadgen

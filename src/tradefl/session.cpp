@@ -178,6 +178,8 @@ Result<SessionCheckpoint> read_session_checkpoint(const std::string& path) {
 
 SessionResult TradingSession::run(const SessionOptions& options) {
   TFL_SPAN("session.run");
+  TFL_LATENCY_TIMER("session.latency.seconds");
+  TFL_LEDGER_PHASE("session.run");
   const game::CoopetitionGame& game = *game_;
   const std::size_t n = game.size();
   SessionResult result;
@@ -263,6 +265,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   // ---- 1. Equilibrium computation (off-chain, Sec. V). ----
   if (completed_phase < 1) {
     TFL_SPAN("session.solve");
+    TFL_LEDGER_PHASE("session.solve");
     core::SchemeOptions scheme_options = options.scheme_options;
     scheme_options.cgbd.faults = faults;
     if (checkpointing) {
@@ -290,6 +293,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
   if (completed_phase < 2) {
     if (options.run_training) {
       TFL_SPAN("session.train");
+      TFL_LEDGER_PHASE("session.train");
       try {
         const fl::DatasetSpec concept_spec =
             fl::DatasetSpec::builtin(options.dataset, options.seed);
@@ -454,6 +458,8 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     result.settlements_wei.assign(n, 0);
     if (chain_ok) {
       TFL_SPAN("session.settle");
+      TFL_LATENCY_TIMER("chain.settle.seconds");
+      TFL_LEDGER_PHASE("session.settle");
       chain_call(org_address(0), "payoffCalculate");
       for (game::OrgId i = 0; i < n && chain_ok; ++i) {
         // Exemplar Result chain: retried call -> decoded payoff without an

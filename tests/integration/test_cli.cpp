@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstddef>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "obs/obs.h"
 
@@ -206,6 +209,79 @@ TEST(CliRun, UnwritableMetricsJsonFails) {
   std::ostringstream out;
   EXPECT_EQ(run(parse({"metrics", "orgs=4", "seed=3",
                        "metrics_json=/nonexistent/dir/metrics.json"})
+                    .value(),
+                out),
+            1);
+}
+
+namespace {
+
+/// Replaces the numeric payload of every `dt_us` / `dur_us` field — the
+/// documented way to compare two ledgers of the same workload.
+std::string strip_ledger_timestamps(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  for (const std::string& field : {std::string("\"dt_us\": "), std::string("\"dur_us\": ")}) {
+    std::size_t pos = 0;
+    while ((pos = text.find(field, pos)) != std::string::npos) {
+      std::size_t digit = pos + field.size();
+      std::size_t end = digit;
+      while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end])) != 0) {
+        ++end;
+      }
+      text.replace(digit, end - digit, "X");
+      pos = digit;
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+TEST(CliRun, LedgerOptionWritesWellFormedRunLedger) {
+  const std::string path = testing::TempDir() + "/tradefl_cli_ledger.jsonl";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "ledger=" + path}).value(), out), 0);
+  EXPECT_NE(out.str().find("run ledger"), std::string::npos);
+  const std::string text = strip_ledger_timestamps(path);
+  EXPECT_EQ(text.rfind("{\"dt_us\": X, \"type\": \"ledger\", \"name\": \"open\"", 0), 0u);
+  EXPECT_NE(text.find("\"type\": \"phase_begin\", \"name\": \"session.run\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"type\": \"phase_end\", \"name\": \"session.settle\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"type\": \"metrics\""), std::string::npos);  // final snapshot
+  EXPECT_NE(text.find("\"name\": \"close\""), std::string::npos);
+  EXPECT_FALSE(obs::event_log().active());  // the CLI closes its own ledger
+}
+
+TEST(CliRun, LedgerIsByteIdenticalAcrossThreadCounts) {
+  // The determinism contract from obs/event_log.h: events come from serial
+  // points and metrics lines carry no timing-derived values, so only the
+  // *_us fields may differ between a serial and a parallel run.
+  const std::string serial = testing::TempDir() + "/tradefl_cli_ledger_t1.jsonl";
+  const std::string parallel = testing::TempDir() + "/tradefl_cli_ledger_t4.jsonl";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "train=1", "rounds=2", "threads=1",
+                       "ledger=" + serial})
+                    .value(),
+                out),
+            0);
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "train=1", "rounds=2", "threads=4",
+                       "ledger=" + parallel})
+                    .value(),
+                out),
+            0);
+  const std::string serial_text = strip_ledger_timestamps(serial);
+  EXPECT_NE(serial_text.find("\"name\": \"fedavg.round\""), std::string::npos);
+  EXPECT_EQ(serial_text, strip_ledger_timestamps(parallel));
+}
+
+TEST(CliRun, UnwritableLedgerFails) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3",
+                       "ledger=/nonexistent/dir/run.jsonl"})
                     .value(),
                 out),
             1);

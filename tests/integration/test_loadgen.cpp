@@ -1,0 +1,126 @@
+// In-process smoke tests for the deterministic load generator behind
+// bench/bench_load.cpp: report shapes, phase percentiles, and the manifest
+// JSON the CI perf gate diffs.
+#include "tradefl/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace tradefl::loadgen {
+namespace {
+
+[[maybe_unused]] bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+LoadOptions tiny() {
+  LoadOptions options;
+  options.sessions = 2;
+  options.orgs = 3;
+  options.transfers = 192;
+  options.accounts = 4;
+  options.batch = 64;
+  options.repeats = 1;
+  return options;
+}
+
+/// The load generator reads the global metrics registry; run it observed and
+/// leave the process state clean.
+class LoadgenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics().reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::metrics().reset();
+  }
+};
+
+TEST_F(LoadgenTest, SessionLoadReportsThroughputAndLatencyPhases) {
+  const LoadReport report = run_session_load(tiny());
+  EXPECT_EQ(report.name, "session");
+  EXPECT_EQ(report.operations, 2u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.ops_per_sec, 0.0);
+#if TRADEFL_ENABLE_TRACING
+  ASSERT_FALSE(report.phases.empty());
+  bool saw_session_latency = false;
+  for (const PhaseStats& phase : report.phases) {
+    EXPECT_TRUE(ends_with(phase.name, ".seconds")) << phase.name;
+    EXPECT_GT(phase.count, 0u) << phase.name;
+    EXPECT_LE(phase.p50, phase.p90) << phase.name;
+    EXPECT_LE(phase.p90, phase.p99) << phase.name;
+    EXPECT_LE(phase.p99, phase.max) << phase.name;
+    if (phase.name == "session.latency.seconds") {
+      saw_session_latency = true;
+      EXPECT_EQ(phase.count, report.operations);  // one observation per session
+    }
+  }
+  EXPECT_TRUE(saw_session_latency);
+#else
+  // With the obs gate compiled out the latency timers fold away entirely:
+  // throughput still reports, but there are no phase histograms to collect.
+  EXPECT_TRUE(report.phases.empty());
+#endif
+}
+
+TEST_F(LoadgenTest, ChainLoadCountsEveryTransfer) {
+  const LoadReport report = run_chain_load(tiny());
+  EXPECT_EQ(report.name, "chain");
+  EXPECT_EQ(report.operations, 192u);
+#if TRADEFL_ENABLE_TRACING
+  ASSERT_EQ(report.phases.size(), 1u);
+  EXPECT_EQ(report.phases[0].name, "chain.transfer.seconds");
+  EXPECT_EQ(report.phases[0].count, 192u);
+#else
+  EXPECT_TRUE(report.phases.empty());
+#endif
+}
+
+TEST_F(LoadgenTest, ChainLoadRejectsDegenerateAccountCount) {
+  LoadOptions options = tiny();
+  options.accounts = 1;
+  EXPECT_THROW(run_chain_load(options), std::invalid_argument);
+}
+
+TEST_F(LoadgenTest, ManifestJsonCarriesConfigAndMetrics) {
+  const LoadOptions options = tiny();
+  const LoadReport session_report = run_session_load(options);
+  const std::string manifest = manifest_json(session_report, options);
+  EXPECT_EQ(manifest.rfind("{\"bench\": \"bench_load.session\", \"schema\": 1, ", 0), 0u);
+  EXPECT_NE(manifest.find("\"sessions\": 2"), std::string::npos);
+  EXPECT_NE(manifest.find("\"repeats\": 1"), std::string::npos);
+  EXPECT_NE(manifest.find("\"sessions_per_sec\": "), std::string::npos);
+  EXPECT_NE(manifest.find("\"operations\": 2"), std::string::npos);
+#if TRADEFL_ENABLE_TRACING
+  EXPECT_NE(manifest.find("\"session.latency.seconds\": {\"count\": 2, \"p50\": "),
+            std::string::npos);
+#endif
+
+  const LoadReport chain_report = run_chain_load(options);
+  const std::string combined = combined_manifest_json(session_report, chain_report, options);
+  EXPECT_EQ(combined.rfind("{\"bench\": \"bench_load\", \"schema\": 1, ", 0), 0u);
+  EXPECT_NE(combined.find("\"metrics\": {\"session\": {"), std::string::npos);
+  EXPECT_NE(combined.find(", \"chain\": {\"tx_per_sec\": "), std::string::npos);
+}
+
+TEST_F(LoadgenTest, FastPresetShrinksEveryDimension) {
+  const LoadOptions full;
+  const LoadOptions fast = full.fast();
+  EXPECT_LT(fast.sessions, full.sessions);
+  EXPECT_LT(fast.orgs, full.orgs);
+  EXPECT_LT(fast.transfers, full.transfers);
+  EXPECT_LT(fast.accounts, full.accounts);
+  EXPECT_EQ(fast.seed, full.seed);
+  EXPECT_EQ(fast.repeats, full.repeats);
+}
+
+}  // namespace
+}  // namespace tradefl::loadgen

@@ -1,0 +1,148 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tradefl::obs {
+namespace {
+
+std::string ledger_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Replaces the numeric payload of every `"dt_us": N` / `"dur_us": N` field
+/// with `X` — the documented way to diff two ledgers of the same workload.
+std::string strip_timestamps(std::string line) {
+  for (const std::string& field : {std::string("\"dt_us\": "), std::string("\"dur_us\": ")}) {
+    std::size_t pos = 0;
+    while ((pos = line.find(field, pos)) != std::string::npos) {
+      std::size_t digit = pos + field.size();
+      std::size_t end = digit;
+      while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end])) != 0) {
+        ++end;
+      }
+      line.replace(digit, end - digit, "X");
+      pos = digit;
+    }
+  }
+  return line;
+}
+
+/// Every test opens/closes the process-wide log; leave it closed for the
+/// rest of the binary.
+class EventLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { event_log().close(); }
+};
+
+TEST_F(EventLogTest, OpenFailureIsTypedAndLeavesLogInactive) {
+  const Status status = event_log().open(ledger_path("no/such/dir/ledger.jsonl"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "io");
+  EXPECT_FALSE(event_log().active());
+  event_log().event("dropped");  // must be a silent no-op, not a crash
+  EXPECT_EQ(event_log().events_written(), 0u);
+}
+
+TEST_F(EventLogTest, LedgerMatchesGoldenAfterTimestampStrip) {
+  const std::string path = ledger_path("tradefl_ledger_golden.jsonl");
+  ASSERT_TRUE(event_log().open(path).ok());
+  EXPECT_TRUE(event_log().active());
+  {
+    LedgerPhase phase("session.solve");
+    event_log().event("fedavg.round", {{"round", 3.0}, {"participants", 2.5}});
+  }
+  MetricsRegistry registry;
+  registry.counter("c.count").add(2);
+  registry.histogram("h.seconds", {1.0}).observe(0.5);
+  event_log().metrics_event(registry.snapshot());
+  EXPECT_EQ(event_log().events_written(), 5u);
+  event_log().close();
+  EXPECT_FALSE(event_log().active());
+
+  const std::vector<std::string> lines = read_lines(path);
+  const std::vector<std::string> expected{
+      "{\"dt_us\": X, \"type\": \"ledger\", \"name\": \"open\", \"version\": 1}",
+      "{\"dt_us\": X, \"type\": \"phase_begin\", \"name\": \"session.solve\"}",
+      "{\"dt_us\": X, \"type\": \"event\", \"name\": \"fedavg.round\", "
+      "\"round\": 3, \"participants\": 2.5}",
+      "{\"dt_us\": X, \"type\": \"phase_end\", \"name\": \"session.solve\", \"dur_us\": X}",
+      "{\"dt_us\": X, \"type\": \"metrics\", \"counters\": {\"c.count\": 2}, "
+      "\"histogram_counts\": {\"h.seconds\": 1}}",
+      "{\"dt_us\": X, \"type\": \"ledger\", \"name\": \"close\", \"events\": 5}",
+  };
+  ASSERT_EQ(lines.size(), expected.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(strip_timestamps(lines[i]), expected[i]) << "line " << i;
+  }
+}
+
+TEST_F(EventLogTest, EscapesNamesAndTurnsNonFiniteIntoNull) {
+  const std::string path = ledger_path("tradefl_ledger_escape.jsonl");
+  ASSERT_TRUE(event_log().open(path).ok());
+  event_log().event("quote\"back\\slash", {{"bad", std::nan("")}});
+  event_log().close();
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"bad\": null"), std::string::npos);
+}
+
+TEST_F(EventLogTest, AutoMetricsCadenceIsDeterministic) {
+  const std::string path = ledger_path("tradefl_ledger_cadence.jsonl");
+  ASSERT_TRUE(event_log().open(path).ok());
+  event_log().set_metrics_every(2);
+  for (int i = 0; i < 4; ++i) event_log().event("tick");
+  event_log().close();
+  std::size_t metrics_lines = 0;
+  std::size_t event_lines = 0;
+  for (const std::string& line : read_lines(path)) {
+    if (line.find("\"type\": \"metrics\"") != std::string::npos) ++metrics_lines;
+    if (line.find("\"type\": \"event\"") != std::string::npos) ++event_lines;
+  }
+  EXPECT_EQ(event_lines, 4u);
+  EXPECT_EQ(metrics_lines, 2u);  // one snapshot after every second line
+}
+
+TEST_F(EventLogTest, ReopenTruncatesAndRestartsCounts) {
+  const std::string path = ledger_path("tradefl_ledger_reopen.jsonl");
+  ASSERT_TRUE(event_log().open(path).ok());
+  event_log().event("first-run");
+  ASSERT_TRUE(event_log().open(path).ok());  // implicit close + truncate
+  event_log().close();
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);  // open + close only; "first-run" is gone
+  EXPECT_NE(lines[1].find("\"events\": 1"), std::string::npos);
+}
+
+TEST_F(EventLogTest, PhaseConstructedWhileInactiveStaysSilent) {
+  const std::string path = ledger_path("tradefl_ledger_phase_gate.jsonl");
+  {
+    LedgerPhase phase("never.recorded");  // log not open: captures inactive
+    ASSERT_TRUE(event_log().open(path).ok());
+  }  // destructor must not emit a phase_end with no matching begin
+  event_log().close();
+  for (const std::string& line : read_lines(path)) {
+    EXPECT_EQ(line.find("never.recorded"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tradefl::obs

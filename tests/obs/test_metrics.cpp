@@ -80,6 +80,101 @@ TEST(Histogram, ResetClearsCountsButKeepsBounds) {
   EXPECT_DOUBLE_EQ(histogram.snapshot().min, 10.0);  // reset restored +inf seed
 }
 
+TEST(Quantile, EmptyHistogramReportsZero) {
+  Histogram histogram("h", {1.0, 2.0});
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99(), 0.0);
+}
+
+TEST(Quantile, SingleSampleReportsTheSampleExactly) {
+  Histogram histogram("h", {1.0, 2.0, 5.0});
+  histogram.observe(1.5);  // somewhere inside the (1, 2] bucket
+  const Histogram::Snapshot snap = histogram.snapshot();
+  // min == max == 1.5, so the clamp pins every quantile to the sample.
+  EXPECT_DOUBLE_EQ(snap.p50(), 1.5);
+  EXPECT_DOUBLE_EQ(snap.p90(), 1.5);
+  EXPECT_DOUBLE_EQ(snap.p99(), 1.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1.5);
+}
+
+TEST(Quantile, InterpolatesLinearlyInsideABucket) {
+  Histogram histogram("h", {10.0, 20.0});
+  for (double v : {10.5, 12.0, 14.0, 19.0}) histogram.observe(v);  // all (10, 20]
+  const Histogram::Snapshot snap = histogram.snapshot();
+  // Rank q*4 inside the (10, 20] bucket: lo = 10, hi = 20, fraction = q.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 12.5);
+  EXPECT_DOUBLE_EQ(snap.p50(), 15.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.75), 17.5);
+  // q = 0 / q = 1 are the observed extremes, not bucket edges.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 10.5);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 19.0);
+}
+
+TEST(Quantile, OverflowBucketInterpolatesUpToObservedMax) {
+  Histogram histogram("h", {1.0});
+  histogram.observe(0.5);  // <= 1.0
+  histogram.observe(3.0);  // overflow
+  histogram.observe(7.0);  // overflow, sets max
+  const Histogram::Snapshot snap = histogram.snapshot();
+  // p99: target rank 2.97 lands in the overflow bucket (1 before it, 2 in
+  // it); the bucket spans [1.0, max=7.0], fraction (2.97-1)/2.
+  EXPECT_DOUBLE_EQ(snap.p99(), 1.0 + (0.99 * 3.0 - 1.0) / 2.0 * 6.0);
+  EXPECT_LE(snap.p99(), snap.max);
+}
+
+TEST(Quantile, EstimateNeverLeavesObservedRange) {
+  Histogram histogram("h", {1.0, 2.0});
+  histogram.observe(0.9);
+  histogram.observe(0.9);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  // Raw interpolation inside [min=0.9, 1.0] would say 0.95; the clamp to the
+  // observed [0.9, 0.9] wins.
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.9);
+  EXPECT_DOUBLE_EQ(snap.p99(), 0.9);
+}
+
+TEST(Quantile, QuantilesAreMonotoneInQ) {
+  Histogram histogram("h", log_bucket_bounds(1e-6, 1.0, 4));
+  for (int i = 1; i <= 100; ++i) histogram.observe(1e-5 * i);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  double previous = snap.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, previous) << "q=" << q;
+    previous = estimate;
+  }
+}
+
+TEST(LogBucketBounds, RejectsBadArguments) {
+  EXPECT_THROW(log_bucket_bounds(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(log_bucket_bounds(-1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(log_bucket_bounds(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(log_bucket_bounds(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(log_bucket_bounds(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(LogBucketBounds, CoversRangeWithStrictlyIncreasingBounds) {
+  const std::vector<double> bounds = log_bucket_bounds(1.0, 10.0, 2);
+  ASSERT_EQ(bounds.size(), 3u);  // 1, sqrt(10), 10
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_NEAR(bounds[1], std::sqrt(10.0), 1e-12);
+  EXPECT_GE(bounds.back(), 10.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+TEST(LatencyHistogram, UsesFineLogBucketsAndRegistersOnce) {
+  const std::vector<double> bounds = latency_histogram_bounds();
+  EXPECT_NEAR(bounds.front(), 1e-7, 1e-15);
+  EXPECT_GE(bounds.back(), 10.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+  Histogram& histogram = latency_histogram("test.latency.seconds");
+  EXPECT_EQ(&histogram, &latency_histogram("test.latency.seconds"));
+  EXPECT_EQ(histogram.bounds(), bounds);
+}
+
 TEST(Series, AppendsUpToCapacityAndCountsOverflow) {
   Series series("s", 4);
   for (int i = 0; i < 6; ++i) series.append(static_cast<double>(i));

@@ -36,13 +36,17 @@ TEST_F(ObsDisabledTest, MacrosRegisterAndRecordNothing) {
   {
     TFL_SPAN("disabled.span");
     TFL_SCOPED_TIMER("disabled.timer");
+    TFL_LATENCY_TIMER("disabled.slo.seconds");
+    TFL_LEDGER_PHASE("disabled.phase");
   }
+  TFL_LEDGER_EVENT("disabled.event", {"round", 1.0});
   const MetricsSnapshot snap = metrics().snapshot();
   EXPECT_EQ(snap.find_counter("disabled.counter"), nullptr);
   EXPECT_EQ(snap.find_gauge("disabled.gauge"), nullptr);
   EXPECT_EQ(snap.find_histogram("disabled.latency"), nullptr);
   EXPECT_EQ(snap.find_histogram("disabled.buckets"), nullptr);
   EXPECT_EQ(snap.find_histogram("disabled.timer"), nullptr);
+  EXPECT_EQ(snap.find_histogram("disabled.slo.seconds"), nullptr);
   EXPECT_EQ(snap.find_series("disabled.series"), nullptr);
   EXPECT_TRUE(trace().events().empty());
 }

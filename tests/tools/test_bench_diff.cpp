@@ -1,0 +1,173 @@
+// Unit tests for the bench-manifest regression differ behind tfl-bench-diff
+// and the ci_check.sh perf gate: the JSON parser, the per-metric direction
+// policy, and the diff verdicts CI branches on.
+#include "bench_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tfl_benchdiff {
+namespace {
+
+JsonValue must_parse(const std::string& text) {
+  const JsonParseResult result = parse_json(text);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.value;
+}
+
+DiffReport diff(const std::string& baseline, const std::string& candidate,
+                DiffOptions options = {}) {
+  return diff_manifests(must_parse(baseline), must_parse(candidate), options);
+}
+
+std::string manifest(const std::string& metrics) {
+  return "{\"bench\": \"bench_load\", \"schema\": 1, \"metrics\": " + metrics + "}";
+}
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+TEST(BenchDiffJson, ParsesScalarsAndStructure) {
+  const JsonValue value =
+      must_parse("{\"a\": 1.5, \"b\": \"x\\\"y\", \"c\": [true, null, -2e3], \"d\": {}}");
+  ASSERT_EQ(value.kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(value.members.size(), 4u);
+  EXPECT_EQ(value.members[0].first, "a");  // insertion order preserved
+  EXPECT_DOUBLE_EQ(value.find("a")->number, 1.5);
+  EXPECT_EQ(value.find("b")->text, "x\"y");
+  const JsonValue* array = value.find("c");
+  ASSERT_EQ(array->items.size(), 3u);
+  EXPECT_TRUE(array->items[0].boolean);
+  EXPECT_EQ(array->items[1].kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(array->items[2].number, -2000.0);
+  EXPECT_EQ(value.find("d")->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(value.find("missing"), nullptr);
+}
+
+TEST(BenchDiffJson, ReportsErrorsWithOffset) {
+  for (const char* bad : {"{\"oops\"", "{\"a\": }", "[1, 2", "\"open", "{} trailing", "nope"}) {
+    const JsonParseResult result = parse_json(bad);
+    EXPECT_FALSE(result.ok) << bad;
+    EXPECT_NE(result.error.find(':'), std::string::npos) << bad;  // "<offset>: message"
+  }
+}
+
+// ---------------------------------------------------------------------------
+// classification + flattening
+// ---------------------------------------------------------------------------
+
+TEST(BenchDiffPolicy, ClassifiesByLeafName) {
+  EXPECT_EQ(classify_metric("session.sessions_per_sec"), Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("chain.tx_per_sec"), Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("session.operations"), Direction::kExact);
+  EXPECT_EQ(classify_metric("session.phases.chain.settle.seconds.count"), Direction::kExact);
+  EXPECT_EQ(classify_metric("schema"), Direction::kExact);
+  EXPECT_EQ(classify_metric("session.phases.chain.settle.seconds.p99"),
+            Direction::kInformational);
+  EXPECT_EQ(classify_metric("session.phases.chain.settle.seconds.max"),
+            Direction::kInformational);
+  EXPECT_EQ(classify_metric("session.phases.chain.settle.seconds.p50"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("session.wall_seconds"), Direction::kLowerBetter);
+}
+
+TEST(BenchDiffPolicy, FlattensNumericLeavesToDottedKeys) {
+  const JsonValue value = must_parse(
+      "{\"a\": 1, \"nested\": {\"b\": 2, \"deep\": {\"c\": 3}}, "
+      "\"skip_string\": \"x\", \"skip_array\": [4], \"skip_bool\": true}");
+  const auto flat = flatten_metrics(value);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0].first, "a");
+  EXPECT_EQ(flat[1].first, "nested.b");
+  EXPECT_EQ(flat[2].first, "nested.deep.c");
+  EXPECT_DOUBLE_EQ(flat[2].second, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// diff verdicts
+// ---------------------------------------------------------------------------
+
+TEST(BenchDiff, IdenticalManifestsHaveNoRegression) {
+  const std::string text = manifest("{\"tx_per_sec\": 1000, \"operations\": 64}");
+  const DiffReport report = diff(text, text);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.regression_count(), 0u);
+}
+
+TEST(BenchDiff, ThroughputDropBeyondThresholdFails) {
+  const DiffReport drop =
+      diff(manifest("{\"tx_per_sec\": 1000}"), manifest("{\"tx_per_sec\": 700}"));
+  ASSERT_EQ(drop.deltas.size(), 1u);
+  EXPECT_TRUE(drop.deltas[0].regression);  // -30% < -25%
+
+  const DiffReport within =
+      diff(manifest("{\"tx_per_sec\": 1000}"), manifest("{\"tx_per_sec\": 800}"));
+  EXPECT_FALSE(within.has_regression());  // -20% is inside the slack
+
+  const DiffReport faster =
+      diff(manifest("{\"tx_per_sec\": 1000}"), manifest("{\"tx_per_sec\": 5000}"));
+  EXPECT_FALSE(faster.has_regression());  // improvements never fail
+}
+
+TEST(BenchDiff, DeterministicMetricsMustMatchExactly) {
+  const DiffReport report =
+      diff(manifest("{\"operations\": 64}"), manifest("{\"operations\": 63}"));
+  EXPECT_TRUE(report.has_regression());
+}
+
+TEST(BenchDiff, LatencyTiersGetGraduatedSlack) {
+  // p50: 2x multiplier -> 50% allowed at the default 25% threshold.
+  EXPECT_TRUE(diff(manifest("{\"p\": {\"p50\": 100e-6}}"), manifest("{\"p\": {\"p50\": 160e-6}}"))
+                  .has_regression());
+  EXPECT_FALSE(diff(manifest("{\"p\": {\"p50\": 100e-6}}"), manifest("{\"p\": {\"p50\": 140e-6}}"))
+                   .has_regression());
+  // p90: 8x multiplier -> 200% allowed.
+  EXPECT_TRUE(diff(manifest("{\"p\": {\"p90\": 100e-6}}"), manifest("{\"p\": {\"p90\": 350e-6}}"))
+                  .has_regression());
+  EXPECT_FALSE(diff(manifest("{\"p\": {\"p90\": 100e-6}}"), manifest("{\"p\": {\"p90\": 250e-6}}"))
+                   .has_regression());
+  // p99/max: informational, never a regression.
+  EXPECT_FALSE(diff(manifest("{\"p\": {\"p99\": 100e-6}}"), manifest("{\"p\": {\"p99\": 1.0}}"))
+                   .has_regression());
+  EXPECT_FALSE(diff(manifest("{\"p\": {\"max\": 100e-6}}"), manifest("{\"p\": {\"max\": 9.0}}"))
+                   .has_regression());
+}
+
+TEST(BenchDiff, MissingKeyFailsNewKeyIsInformational) {
+  const DiffReport report = diff(manifest("{\"tx_per_sec\": 1000, \"gone\": 1}"),
+                                 manifest("{\"tx_per_sec\": 1000, \"added\": 2}"));
+  ASSERT_EQ(report.missing_keys, (std::vector<std::string>{"gone"}));
+  ASSERT_EQ(report.new_keys, (std::vector<std::string>{"added"}));
+  EXPECT_EQ(report.regression_count(), 1u);  // only the missing key counts
+}
+
+TEST(BenchDiff, ZeroBaselineIsARegressionOnlyWhenCandidateGrows) {
+  EXPECT_TRUE(diff(manifest("{\"w.wall_seconds\": 0}"), manifest("{\"w.wall_seconds\": 1}"))
+                  .has_regression());
+  EXPECT_FALSE(diff(manifest("{\"w.wall_seconds\": 0}"), manifest("{\"w.wall_seconds\": 0}"))
+                   .has_regression());
+}
+
+TEST(BenchDiff, TextAndJsonReportsNameTheVerdict) {
+  const DiffReport report =
+      diff(manifest("{\"tx_per_sec\": 1000}"), manifest("{\"tx_per_sec\": 1}"));
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("FAIL tx_per_sec"), std::string::npos);
+  EXPECT_NE(text.find("result: 1 regression(s)"), std::string::npos);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"regressions\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"regression\": true"), std::string::npos);
+}
+
+TEST(BenchDiff, ManifestMetricsRejectsMalformedShapes) {
+  EXPECT_EQ(manifest_metrics(must_parse("{\"bench\": \"x\"}")), nullptr);
+  EXPECT_EQ(manifest_metrics(must_parse("{\"metrics\": 3}")), nullptr);
+  EXPECT_EQ(manifest_metrics(must_parse("[1, 2]")), nullptr);
+  EXPECT_NE(manifest_metrics(must_parse("{\"metrics\": {}}")), nullptr);
+}
+
+}  // namespace
+}  // namespace tfl_benchdiff

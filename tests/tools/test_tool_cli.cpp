@@ -1,7 +1,7 @@
-// End-to-end exit-code contract for the two checker binaries: 0 clean,
-// 1 findings (or self-test failure), 2 usage/configuration error. CI scripts
-// branch on these codes, so they are API. Binary paths are baked in by CMake
-// (TFL_LINT_BIN / TFL_ANALYZE_BIN).
+// End-to-end exit-code contract for the checker binaries: 0 clean,
+// 1 findings (or self-test failure / perf regression), 2 usage/configuration
+// error. CI scripts branch on these codes, so they are API. Binary paths are
+// baked in by CMake (TFL_LINT_BIN / TFL_ANALYZE_BIN / TFL_BENCH_DIFF_BIN).
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
@@ -127,6 +127,57 @@ TEST_F(ToolCli, AnalyzeUsageErrorsExitTwo) {
   EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --format yaml ."), 2);
   EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " /nonexistent/tree"), 2);
   EXPECT_EQ(run(std::string(TFL_ANALYZE_BIN) + " --baseline /nonexistent/base.txt ."), 2);
+}
+
+// ---------------------------------------------------------------------------
+// tfl-bench-diff
+// ---------------------------------------------------------------------------
+
+TEST_F(ToolCli, BenchDiffIdenticalManifestsExitZero) {
+  const fs::path old_manifest = write(
+      "old.json", "{\"bench\": \"bench_load\", \"metrics\": {\"tx_per_sec\": 1000}}\n");
+  const fs::path new_manifest = write(
+      "new.json", "{\"bench\": \"bench_load\", \"metrics\": {\"tx_per_sec\": 1000}}\n");
+  EXPECT_EQ(run(std::string(TFL_BENCH_DIFF_BIN) + " " + old_manifest.string() + " " +
+                new_manifest.string()),
+            0);
+}
+
+TEST_F(ToolCli, BenchDiffRegressionExitsOneInEveryFormat) {
+  const fs::path old_manifest = write(
+      "old.json", "{\"bench\": \"bench_load\", \"metrics\": {\"operations\": 64}}\n");
+  const fs::path new_manifest = write(
+      "new.json", "{\"bench\": \"bench_load\", \"metrics\": {\"operations\": 63}}\n");
+  for (const char* format : {"text", "json"}) {
+    EXPECT_EQ(run(std::string(TFL_BENCH_DIFF_BIN) + " --format " + format + " " +
+                  old_manifest.string() + " " + new_manifest.string()),
+              1)
+        << format;
+  }
+}
+
+TEST_F(ToolCli, BenchDiffThresholdFlagWidensTheGate) {
+  const fs::path old_manifest = write(
+      "old.json", "{\"bench\": \"bench_load\", \"metrics\": {\"tx_per_sec\": 1000}}\n");
+  const fs::path new_manifest = write(
+      "new.json", "{\"bench\": \"bench_load\", \"metrics\": {\"tx_per_sec\": 700}}\n");
+  const std::string pair = " " + old_manifest.string() + " " + new_manifest.string();
+  EXPECT_EQ(run(std::string(TFL_BENCH_DIFF_BIN) + pair), 1);  // -30% vs default 25%
+  EXPECT_EQ(run(std::string(TFL_BENCH_DIFF_BIN) + " --threshold 0.4" + pair), 0);
+}
+
+TEST_F(ToolCli, BenchDiffMalformedInputsExitTwo) {
+  const fs::path good = write(
+      "good.json", "{\"bench\": \"bench_load\", \"metrics\": {\"tx_per_sec\": 1000}}\n");
+  const fs::path truncated = write("bad.json", "{\"oops\"\n");
+  const fs::path no_metrics = write("flat.json", "{\"bench\": \"bench_load\"}\n");
+  const std::string bin(TFL_BENCH_DIFF_BIN);
+  EXPECT_EQ(run(bin + " " + good.string() + " " + truncated.string()), 2);
+  EXPECT_EQ(run(bin + " " + good.string() + " " + no_metrics.string()), 2);
+  EXPECT_EQ(run(bin + " " + good.string() + " /nonexistent/manifest.json"), 2);
+  EXPECT_EQ(run(bin + " " + good.string()), 2);  // missing operand
+  EXPECT_EQ(run(bin + " --no-such-flag a b"), 2);
+  EXPECT_EQ(run(bin + " --format yaml " + good.string() + " " + good.string()), 2);
 }
 
 }  // namespace

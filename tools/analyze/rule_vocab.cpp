@@ -23,6 +23,7 @@ const std::set<std::string>& name_taking_macros() {
   static const std::set<std::string> kMacros = {
       "TFL_COUNTER_INC", "TFL_COUNTER_ADD",    "TFL_GAUGE_SET",     "TFL_OBSERVE",
       "TFL_OBSERVE_BUCKETS", "TFL_SERIES_APPEND", "TFL_SPAN",       "TFL_SCOPED_TIMER",
+      "TFL_LATENCY_TIMER", "TFL_LEDGER_PHASE",  "TFL_LEDGER_EVENT",
   };
   return kMacros;
 }

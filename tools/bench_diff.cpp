@@ -1,0 +1,362 @@
+#include "bench_diff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tfl_benchdiff {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+// ---- parser ----
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    JsonValue value;
+    if (!parse_value(value)) {
+      result.error = std::to_string(pos_) + ": " + error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = std::to_string(pos_) + ": trailing garbage after JSON value";
+      return result;
+    }
+    result.ok = true;
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.text);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out, c == 't' ? "true" : "false");
+    if (c == 'n') return parse_literal(out, "null");
+    return parse_number(out);
+  }
+
+  bool parse_literal(JsonValue& out, const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return fail("bad literal");
+    pos_ += word.size();
+    if (word == "null") {
+      out.kind = JsonValue::Kind::kNull;
+    } else {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = word == "true";
+    }
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a JSON value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number '" + token + "'");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = parsed;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: return fail(std::string("unsupported escape \\") + escape);
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string last_segment(const std::string& key) {
+  const std::size_t dot = key.rfind('.');
+  return dot == std::string::npos ? key : key.substr(dot + 1);
+}
+
+std::string format_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+void flatten_into(const JsonValue& value, const std::string& prefix,
+                  std::vector<std::pair<std::string, double>>& out) {
+  if (value.kind == JsonValue::Kind::kNumber) {
+    out.emplace_back(prefix, value.number);
+    return;
+  }
+  if (value.kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, member] : value.members) {
+      flatten_into(member, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  }
+  // Strings/bools/arrays carry no regression-checkable numbers; skipped.
+}
+
+}  // namespace
+
+JsonParseResult parse_json(const std::string& text) { return Parser(text).run(); }
+
+// ---- diff ----
+
+Direction classify_metric(const std::string& key) {
+  const std::string leaf = last_segment(key);
+  if (ends_with(leaf, "_per_sec")) return Direction::kHigherBetter;
+  if (leaf == "count" || leaf == "operations" || leaf == "schema") return Direction::kExact;
+  if (leaf == "max" || leaf == "p99") return Direction::kInformational;
+  return Direction::kLowerBetter;
+}
+
+std::vector<std::pair<std::string, double>> flatten_metrics(const JsonValue& value) {
+  std::vector<std::pair<std::string, double>> flat;
+  flatten_into(value, "", flat);
+  return flat;
+}
+
+const JsonValue* manifest_metrics(const JsonValue& manifest) {
+  const JsonValue* metrics = manifest.find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kObject) return nullptr;
+  return metrics;
+}
+
+DiffReport diff_manifests(const JsonValue& baseline, const JsonValue& candidate,
+                          const DiffOptions& options) {
+  DiffReport report;
+  const JsonValue* old_metrics = manifest_metrics(baseline);
+  const JsonValue* new_metrics = manifest_metrics(candidate);
+  if (old_metrics == nullptr || new_metrics == nullptr) return report;  // caller validated
+
+  const auto old_flat = flatten_metrics(*old_metrics);
+  const auto new_flat = flatten_metrics(*new_metrics);
+  const auto lookup = [&new_flat](const std::string& key) -> const double* {
+    for (const auto& [name, value] : new_flat) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  };
+
+  for (const auto& [key, old_value] : old_flat) {
+    const double* new_value = lookup(key);
+    if (new_value == nullptr) {
+      report.missing_keys.push_back(key);
+      continue;
+    }
+    MetricDelta delta;
+    delta.key = key;
+    delta.old_value = old_value;
+    delta.new_value = *new_value;
+    delta.direction = classify_metric(key);
+    delta.relative = old_value != 0.0 ? (*new_value - old_value) / old_value
+                     : (*new_value == 0.0 ? 0.0 : (*new_value > 0.0 ? 1e9 : -1e9));
+    // Latency-flavored leaves (percentiles, wall clock) get extra slack: the
+    // interpolated estimates are noisier than aggregate throughput. p90 gets
+    // double again — it sits closer to the scheduler-noise tail than p50.
+    const std::string leaf = last_segment(key);
+    const bool latency = leaf == "p50" || leaf == "p90" || ends_with(leaf, "seconds");
+    double multiplier = latency ? options.latency_multiplier : 1.0;
+    if (leaf == "p90") multiplier = options.latency_multiplier * 4.0;
+    delta.allowed =
+        delta.direction == Direction::kExact || delta.direction == Direction::kInformational
+            ? 0.0
+            : options.threshold * multiplier;
+    switch (delta.direction) {
+      case Direction::kExact: delta.regression = delta.new_value != delta.old_value; break;
+      case Direction::kHigherBetter: delta.regression = delta.relative < -delta.allowed; break;
+      case Direction::kLowerBetter: delta.regression = delta.relative > delta.allowed; break;
+      case Direction::kInformational: delta.regression = false; break;
+    }
+    report.deltas.push_back(delta);
+  }
+
+  for (const auto& [key, value] : new_flat) {
+    (void)value;
+    bool known = false;
+    for (const auto& [old_key, old_value] : old_flat) {
+      (void)old_value;
+      if (old_key == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) report.new_keys.push_back(key);
+  }
+  return report;
+}
+
+bool DiffReport::has_regression() const { return regression_count() > 0; }
+
+std::size_t DiffReport::regression_count() const {
+  std::size_t count = missing_keys.size();
+  for (const MetricDelta& delta : deltas) {
+    if (delta.regression) ++count;
+  }
+  return count;
+}
+
+std::string DiffReport::to_text() const {
+  std::ostringstream out;
+  for (const MetricDelta& delta : deltas) {
+    out << (delta.regression ? "FAIL " : "  ok ") << delta.key << ": "
+        << format_number(delta.old_value) << " -> " << format_number(delta.new_value) << " ("
+        << format_number(delta.relative * 100.0) << "%, allowed +-"
+        << format_number(delta.allowed * 100.0) << "%)\n";
+  }
+  for (const std::string& key : missing_keys) {
+    out << "FAIL " << key << ": present in baseline, missing from candidate\n";
+  }
+  for (const std::string& key : new_keys) {
+    out << " new " << key << ": not in baseline (informational)\n";
+  }
+  out << (has_regression() ? "result: " + std::to_string(regression_count()) + " regression(s)\n"
+                           : "result: no regressions\n");
+  return out.str();
+}
+
+std::string DiffReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"regressions\": " << regression_count() << ", \"metrics\": [";
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const MetricDelta& delta = deltas[i];
+    out << (i == 0 ? "" : ", ") << "{\"key\": \"" << delta.key
+        << "\", \"old\": " << format_number(delta.old_value)
+        << ", \"new\": " << format_number(delta.new_value)
+        << ", \"relative\": " << format_number(delta.relative)
+        << ", \"allowed\": " << format_number(delta.allowed)
+        << ", \"regression\": " << (delta.regression ? "true" : "false") << "}";
+  }
+  out << "], \"missing\": [";
+  for (std::size_t i = 0; i < missing_keys.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << missing_keys[i] << "\"";
+  }
+  out << "], \"new\": [";
+  for (std::size_t i = 0; i < new_keys.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << new_keys[i] << "\"";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace tfl_benchdiff

@@ -1,0 +1,113 @@
+// Bench manifest regression diff — the library behind tools/tfl_bench_diff.cpp
+// (built as tfl-bench-diff) and the perf-regression stage in tools/ci_check.sh.
+//
+// Compares the "metrics" subtree of two BENCH_*.json manifests (the shape
+// emitted by src/tradefl/loadgen.h and bench/bench_load.cpp) after flattening
+// it to dotted numeric keys. Per-metric policy, classified by key name:
+//
+//   *_per_sec                      higher-is-better, `threshold` slack
+//   *.p50/*seconds                 lower-is-better, `threshold` x
+//                                  `latency_multiplier` slack (percentile
+//                                  estimates are noisier than throughput)
+//   *.p90                          lower-is-better, `threshold` x
+//                                  `latency_multiplier` x 4 slack (closer to
+//                                  the scheduler-noise tail than p50)
+//   *.p99 / *.max                  informational only, never a regression —
+//                                  the tail of a small µs-scale sample moves
+//                                  with a single scheduler hiccup; the
+//                                  gatekeeping signal is p50/p90 + throughput
+//   *.count / operations / schema  deterministic — must match exactly; a
+//                                  mismatch means the workload changed and the
+//                                  baseline needs regenerating
+//   everything else                lower-is-better, `threshold` slack
+//
+// A key present in the baseline but missing from the candidate is a
+// regression; a new key in the candidate is informational only (metrics grow
+// over time). Standard-library only, like the other repo tools: it must
+// build even when src/ is mid-refactor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tfl_benchdiff {
+
+// ---- minimal JSON ----
+
+/// Parsed JSON value. Objects keep insertion order (manifests are
+/// canonically ordered already); numbers are doubles.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> items;                            // kArray
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;  // "<offset>: message" when !ok
+  JsonValue value;
+};
+
+/// Strict-enough JSON parser for bench manifests: objects, arrays, strings
+/// (with the escapes our writers emit), numbers, true/false/null. Rejects
+/// trailing garbage.
+JsonParseResult parse_json(const std::string& text);
+
+// ---- manifest diff ----
+
+struct DiffOptions {
+  double threshold = 0.25;          // relative slack on throughput metrics
+  double latency_multiplier = 2.0;  // extra slack factor for latency metrics
+};
+
+enum class Direction { kHigherBetter, kLowerBetter, kExact, kInformational };
+
+struct MetricDelta {
+  std::string key;  // dotted path under "metrics"
+  double old_value = 0.0;
+  double new_value = 0.0;
+  /// (new - old) / old; +-inf encoded as +-1e9 when old == 0 and new != 0.
+  double relative = 0.0;
+  Direction direction = Direction::kLowerBetter;
+  double allowed = 0.0;  // slack actually applied
+  bool regression = false;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> deltas;          // baseline-key order
+  std::vector<std::string> missing_keys;    // in baseline, absent in candidate
+  std::vector<std::string> new_keys;        // in candidate only (informational)
+
+  [[nodiscard]] bool has_regression() const;
+  [[nodiscard]] std::size_t regression_count() const;
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Classification used by the diff (exposed for tests).
+Direction classify_metric(const std::string& key);
+
+/// Flattens the numeric leaves of `value` into dotted keys (exposed for
+/// tests).
+std::vector<std::pair<std::string, double>> flatten_metrics(const JsonValue& value);
+
+/// Diffs the "metrics" subtrees of two parsed manifests. Both arguments must
+/// be objects containing a "metrics" object — validate with
+/// manifest_metrics() before calling.
+DiffReport diff_manifests(const JsonValue& baseline, const JsonValue& candidate,
+                          const DiffOptions& options);
+
+/// The "metrics" object of a parsed manifest; nullptr when the manifest is
+/// malformed (not an object, or no "metrics" object member).
+const JsonValue* manifest_metrics(const JsonValue& manifest);
+
+}  // namespace tfl_benchdiff

@@ -7,17 +7,22 @@
 #   3. tfl-analyze semantic gate as its own named stage: self-test proving
 #      every rule still detects its fixtures, then the full-tree scan with
 #      per-rule finding counts printed (baseline + obs vocabulary applied)
-#   4. optional clang-tidy stage over build/compile_commands.json — advisory,
+#   4. load bench + perf-regression gate: bench_load fast=1, diffed against
+#      bench/baselines/bench_load.fast.json by tfl-bench-diff (>25% throughput
+#      regression or any deterministic-metric drift fails the stage;
+#      TFL_REGEN_BASELINE=1 refreshes the baseline after intentional changes)
+#   5. optional clang-tidy stage over build/compile_commands.json — advisory,
 #      skipped with a notice when clang-tidy is not installed
-#   5. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
+#   6. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
 #      instrumentation macros compile away cleanly
-#   6. ASan+UBSan build of the same suite, zero reports tolerated
-#   7. TSan build of the concurrency suites (ThreadPool/Parallel/Gemm/Metrics/
-#      Chaos)
-#   8. chaos suite re-run under ASan+UBSan (fault-injection paths: dropout,
+#   7. ASan+UBSan build of the same suite, zero reports tolerated
+#   8. TSan build of the concurrency suites (ThreadPool/Parallel/Gemm/Metrics/
+#      Chaos); tfl-bench-diff stays outside the filter — it is single-threaded
+#      and never touches the ThreadPool
+#   9. chaos suite re-run under ASan+UBSan (fault-injection paths: dropout,
 #      corruption quarantine, retry exhaustion, solver recovery) as its own
 #      named gate so a filter change can never silently drop it
-#   9. kill-and-resume suite re-run under ASan+UBSan (snapshot corruption,
+#  10. kill-and-resume suite re-run under ASan+UBSan (snapshot corruption,
 #      chain WAL replay, checkpoint/resume bit-identity, real SIGKILL against
 #      the CLI binary) as its own named gate
 #
@@ -53,6 +58,38 @@ echo "=== ci: tfl-analyze (semantic rules) ==="
     --baseline tools/tfl_analyze_baseline.txt \
     --vocab tools/obs_vocab.txt \
     src
+
+echo "=== ci: load bench + perf-regression gate ==="
+# Fast-mode load bench (sessions + bulk chain transfers), then tfl-bench-diff
+# against the checked-in baseline. Deterministic metrics (operations, phase
+# counts) must match exactly; throughput may regress at most 25%, p50 latency
+# at most 50%, p90 at most 200%; p99/max are informational (tools/bench_diff.h
+# documents the per-metric policy).
+# After an intentional workload or perf change, regenerate the baseline with:
+#   TFL_REGEN_BASELINE=1 tools/ci_check.sh --no-sanitizers
+bench_tmp=$(mktemp -d)
+trap 'rm -rf "$bench_tmp"' EXIT
+# The bench reports best-of-3 passes internally; the retry below additionally
+# covers multi-second bursts of machine contention on shared runners. A real
+# perf regression fails all three attempts.
+bench_gate_ok=0
+for attempt in 1 2 3; do
+  ./build/bench/bench_load fast=1 out="$bench_tmp" csv="$bench_tmp"
+  if [ "${TFL_REGEN_BASELINE:-0}" = "1" ]; then
+    cp "$bench_tmp/BENCH_load.json" bench/baselines/bench_load.fast.json
+    echo "ci_check: regenerated bench/baselines/bench_load.fast.json"
+  fi
+  if ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
+      bench/baselines/bench_load.fast.json "$bench_tmp/BENCH_load.json"; then
+    bench_gate_ok=1
+    break
+  fi
+  echo "ci_check: perf gate attempt $attempt failed, retrying"
+done
+if [ "$bench_gate_ok" -ne 1 ]; then
+  echo "ci_check: perf-regression gate failed on all attempts" >&2
+  exit 1
+fi
 
 echo "=== ci: clang-tidy (optional) ==="
 # Advisory generic checks (.clang-tidy) over the compile database that the

@@ -1,0 +1,92 @@
+// tfl-bench-diff — perf-regression gate over BENCH_*.json manifests.
+//
+//   tfl-bench-diff [--threshold F] [--latency-multiplier F] [--format text|json]
+//                  BASELINE CANDIDATE
+//
+// Exit codes: 0 = no regressions, 1 = at least one regression (or a baseline
+// metric missing from the candidate), 2 = usage / unreadable file / malformed
+// manifest. Policy lives in tools/bench_diff.h; the CI stage in
+// tools/ci_check.sh runs this against bench/baselines/bench_load.fast.json.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_diff.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tfl-bench-diff [--threshold F] [--latency-multiplier F]"
+               " [--format text|json] BASELINE CANDIDATE\n"
+               "exit codes: 0 no regressions, 1 regressions, 2 bad input\n";
+  return 2;
+}
+
+/// Reads + parses one manifest; exits 2 via `ok=false` on any failure.
+bool load_manifest(const std::string& path, tfl_benchdiff::JsonValue& out) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "tfl-bench-diff: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  tfl_benchdiff::JsonParseResult parsed = tfl_benchdiff::parse_json(buffer.str());
+  if (!parsed.ok) {
+    std::cerr << "tfl-bench-diff: " << path << ": malformed JSON at offset " << parsed.error
+              << "\n";
+    return false;
+  }
+  if (tfl_benchdiff::manifest_metrics(parsed.value) == nullptr) {
+    std::cerr << "tfl-bench-diff: " << path << ": not a bench manifest (no \"metrics\" object)\n";
+    return false;
+  }
+  out = std::move(parsed.value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfl_benchdiff::DiffOptions options;
+  std::string format = "text";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--threshold") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      options.threshold = std::strtod(value, nullptr);
+    } else if (arg == "--latency-multiplier") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      options.latency_multiplier = std::strtod(value, nullptr);
+    } else if (arg == "--format") {
+      const char* value = next();
+      if (value == nullptr || (std::string(value) != "text" && std::string(value) != "json")) {
+        return usage();
+      }
+      format = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 || options.threshold < 0.0 || options.latency_multiplier < 0.0) {
+    return usage();
+  }
+
+  tfl_benchdiff::JsonValue baseline;
+  tfl_benchdiff::JsonValue candidate;
+  if (!load_manifest(paths[0], baseline) || !load_manifest(paths[1], candidate)) return 2;
+
+  const tfl_benchdiff::DiffReport report =
+      tfl_benchdiff::diff_manifests(baseline, candidate, options);
+  std::fputs((format == "json" ? report.to_json() : report.to_text()).c_str(), stdout);
+  return report.has_regression() ? 1 : 0;
+}

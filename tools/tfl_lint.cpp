@@ -323,13 +323,17 @@ void check_ad_hoc_persistence(const std::string& path, const std::vector<std::st
                               std::vector<Finding>& findings) {
   // Durable state must flow through an audited writer: the snapshot layer
   // (atomic temp+rename, CRC, typed errors), the CSV writer, the chain WAL,
-  // or the checked report writer. A stray ofstream/fopen elsewhere in src/ is
-  // a crash-consistency hole — it can tear on kill and resume from garbage.
+  // the checked report writer, or the run-ledger event log (typed io error on
+  // open, append-only telemetry nothing resumes from). A stray ofstream/fopen
+  // elsewhere in src/ is a crash-consistency hole — it can tear on kill and
+  // resume from garbage.
   if (!path_in(path, "src/")) return;
   if (path_ends_with(path, "src/common/snapshot.cpp") ||
       path_ends_with(path, "src/common/csv.cpp") ||
       path_ends_with(path, "src/chain/blockchain.cpp") ||
-      path_ends_with(path, "src/tradefl/report.cpp")) {
+      path_ends_with(path, "src/tradefl/report.cpp") ||
+      path_ends_with(path, "src/obs/event_log.cpp") ||
+      path_ends_with(path, "src/obs/event_log.h")) {
     return;
   }
   static const std::vector<std::string> kBanned = {"ofstream", "fopen"};
