@@ -5,7 +5,7 @@
 // combined BENCH_load.json shape the CI regression gate diffs against
 // bench/baselines/bench_load.fast.json (tools/tfl_bench_diff.cpp).
 //
-// Knobs (key=value): sessions= orgs= transfers= accounts= batch= seed=
+// Knobs (key=value): sessions= orgs= transfers= accounts= seal_every= seed=
 //   repeats=N   timed passes per load; the best pass is reported (best-of-N
 //               damps transient machine-load noise; default 3)
 //   threads=N   worker pool for the pipelines (op sequence is identical for
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   options.orgs = static_cast<std::size_t>(config.get_int("orgs", options.orgs));
   options.transfers = static_cast<std::size_t>(config.get_int("transfers", options.transfers));
   options.accounts = static_cast<std::size_t>(config.get_int("accounts", options.accounts));
-  options.batch = static_cast<std::size_t>(config.get_int("batch", options.batch));
+  options.seal_every = static_cast<std::size_t>(config.get_int("seal_every", options.seal_every));
   options.seed = static_cast<std::uint64_t>(config.get_int("seed", options.seed));
   options.repeats = static_cast<std::size_t>(config.get_int("repeats", options.repeats));
   const std::string out_dir = config.get_string("out", ".");

@@ -96,7 +96,7 @@ int main() {
   // --- 6. Light-client arbitration: batch all four profile records into ONE
   // block, then prove org-2's record is part of sealed history with a Merkle
   // inclusion proof — O(log n) hashes, no need to ship the chain. ---
-  Web3Client batcher(chain, /*auto_seal=*/false);
+  Web3Client batcher(chain, /*seal_every=*/0);
   for (std::size_t i = 0; i < n; ++i) {
     batcher.call(orgs[i], contract, "profileRecord", {static_cast<std::uint64_t>(i)});
   }

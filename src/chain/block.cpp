@@ -16,21 +16,28 @@ Bytes BlockHeader::serialize() const {
 Hash256 BlockHeader::hash() const { return sha256(serialize()); }
 
 Hash256 Block::merkle_root(const std::vector<Transaction>& transactions) {
-  if (transactions.empty()) return Hash256{};
-  std::vector<Hash256> layer;
-  layer.reserve(transactions.size());
-  for (const Transaction& tx : transactions) layer.push_back(tx.hash());
-  while (layer.size() > 1) {
-    std::vector<Hash256> next;
-    next.reserve((layer.size() + 1) / 2);
-    for (std::size_t i = 0; i < layer.size(); i += 2) {
-      const Hash256& left = layer[i];
-      const Hash256& right = i + 1 < layer.size() ? layer[i + 1] : layer[i];
-      next.push_back(sha256_pair(left, right));
+  std::vector<Hash256> leaves;
+  leaves.reserve(transactions.size());
+  for (const Transaction& tx : transactions) leaves.push_back(tx.hash());
+  return merkle_root_of_leaves(std::move(leaves));
+}
+
+Hash256 Block::merkle_root_of_leaves(std::vector<Hash256> leaves) {
+  if (leaves.empty()) return Hash256{};
+  // Each level compacts the buffer front-to-back: slot `out` is only ever
+  // rewritten after sha256_pair has fully consumed slots i / i+1 (the pair
+  // hash returns by value), so one buffer serves every layer.
+  std::size_t width = leaves.size();
+  while (width > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < width; i += 2) {
+      const Hash256& left = leaves[i];
+      const Hash256& right = i + 1 < width ? leaves[i + 1] : leaves[i];
+      leaves[out++] = sha256_pair(left, right);
     }
-    layer = std::move(next);
+    width = out;
   }
-  return layer.front();
+  return leaves.front();
 }
 
 bool Block::verify_tx_root() const {

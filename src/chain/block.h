@@ -30,6 +30,12 @@ struct Block {
   /// odd layers duplicate the last node, Bitcoin-style).
   [[nodiscard]] static Hash256 merkle_root(const std::vector<Transaction>& transactions);
 
+  /// Same tree over precomputed leaf hashes. Takes the leaves by value and
+  /// compacts them in place, so the whole reduction reuses one buffer — the
+  /// seal path hands over the hashes the mempool already carries and never
+  /// re-hashes transaction bytes or allocates per level.
+  [[nodiscard]] static Hash256 merkle_root_of_leaves(std::vector<Hash256> leaves);
+
   /// True when header.tx_root matches the transactions.
   [[nodiscard]] bool verify_tx_root() const;
 };

@@ -3,14 +3,30 @@
 // tamper detection. Single-node by construction (the paper deploys on a
 // private Ethereum chain); consensus is out of scope, immutability and
 // traceability are in scope and tested.
+//
+// Throughput design (ROADMAP item 4):
+//   * submit() rolls back failed transactions through an O(touched) undo
+//     journal + copy-on-first-write contract snapshot, never by copying the
+//     balance map;
+//   * executed transactions queue in a deterministic mempool (nonce asc,
+//     fee desc, hash asc) and seal in batches of `seal_every`;
+//   * validate() re-hashes headers and Merkle roots in parallel over the
+//     shared pool, folding the verdict serially in block order so the
+//     result is bit-identical for any thread count;
+//   * the WAL keeps a persistent flushed file handle, and snapshot_sync()
+//     boots a fresh node from the latest chain snapshot + WAL tail instead
+//     of replaying from genesis.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "chain/block.h"
+#include "chain/mempool.h"
 #include "chain/vm.h"
 #include "common/result.h"
 
@@ -25,9 +41,12 @@ struct ChainValidation {
 /// restored state bytes are loaded into the fresh instance afterwards.
 using ContractFactory = std::function<ContractPtr(const std::string& name)>;
 
-/// Outcome of a write-ahead-log replay.
+/// Outcome of a write-ahead-log replay (full or snapshot-synced).
 struct WalReplay {
   std::size_t blocks_replayed = 0;
+  /// Records skipped because the restored snapshot already covered them
+  /// (snapshot_sync only; a full replay_wal never skips).
+  std::size_t blocks_skipped = 0;
   /// True when a torn final record (a crash mid-append) was cut off. All
   /// fully-committed blocks before it were recovered.
   bool tail_truncated = false;
@@ -37,6 +56,12 @@ struct WalReplay {
 class Blockchain {
  public:
   explicit Blockchain(GasSchedule gas_schedule = {});
+  ~Blockchain();
+
+  // The chain owns a raw WAL handle; copying it would fork the append
+  // stream, so the chain is move/copy-free (sessions hold it by unique_ptr).
+  Blockchain(const Blockchain&) = delete;
+  Blockchain& operator=(const Blockchain&) = delete;
 
   // ----- accounts -----
 
@@ -55,16 +80,26 @@ class Blockchain {
 
   // ----- transactions -----
 
-  /// Executes a transaction against the current state and queues it for the
-  /// next block. Value transfer and the contract call are atomic: a revert
-  /// rolls everything back and the receipt carries the reason.
+  /// Executes a transaction against the current state and queues it in the
+  /// mempool. Value transfer and the contract call are atomic: a revert
+  /// rolls everything back (O(touched) via the undo journal) and the receipt
+  /// carries the reason. When batch sealing is armed (set_seal_every > 0)
+  /// the mempool is sealed inside this call once it reaches the threshold.
   Receipt submit(Transaction tx);
 
-  /// Seals all pending transactions into a new block. Returns its index.
+  /// Seals the drained mempool (canonical order) into a new block. Returns
+  /// its index.
   std::uint64_t seal_block();
 
+  /// Batch sealing: submit() seals automatically once `every` transactions
+  /// are queued. 0 (the construction default) keeps sealing fully manual;
+  /// 1 reproduces the dev-chain block-per-transaction behaviour.
+  void set_seal_every(std::size_t every) { seal_every_ = every; }
+  [[nodiscard]] std::size_t seal_every() const { return seal_every_; }
+
   /// True when there are unsealed transactions.
-  [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+  [[nodiscard]] bool has_pending() const { return !mempool_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const { return mempool_.size(); }
 
   // ----- inspection -----
 
@@ -75,7 +110,9 @@ class Blockchain {
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
 
   /// Walks the whole chain re-hashing headers and Merkle roots; detects any
-  /// post-hoc mutation of sealed data.
+  /// post-hoc mutation of sealed data. Per-block work runs on the shared
+  /// pool; the verdict (and the reported first problem) is identical for
+  /// any thread count.
   [[nodiscard]] ChainValidation validate() const;
 
   /// TEST HOOK: exposes a sealed block for mutation so tamper-detection tests
@@ -97,13 +134,15 @@ class Blockchain {
   /// genesis-only state). Contracts are re-instantiated through `factory` and
   /// their saved state loaded. Fails closed with a typed Error on malformed
   /// payloads or a factory that does not know a stored contract name.
+  /// Detaches any attached WAL — the old log mirrors the old chain, so the
+  /// caller must re-attach (attach_wal) to resume durable sealing.
   Status restore_chain_state(const Bytes& bytes, const ContractFactory& factory);
 
   /// Attaches a write-ahead block log at `path`: every subsequently sealed
-  /// block is appended (CRC-framed) and flushed before seal_block returns.
-  /// Any existing file content is replaced by the currently sealed chain, so
-  /// the log always mirrors this chain exactly (genesis excluded — it is
-  /// reconstructed, never logged).
+  /// block is appended (CRC-framed) through a persistent handle and flushed
+  /// before seal_block returns. Any existing file content is replaced by the
+  /// currently sealed chain, so the log always mirrors this chain exactly
+  /// (genesis excluded — it is reconstructed, never logged).
   Status attach_wal(const std::string& path);
 
   /// Startup recovery: replays a WAL into this freshly-constructed chain
@@ -115,22 +154,58 @@ class Blockchain {
   /// forge history.
   Result<WalReplay> replay_wal(const std::string& path);
 
-  [[nodiscard]] bool wal_attached() const { return !wal_path_.empty(); }
+  /// Persists save_chain_state() under the crash-consistent snapshot framing
+  /// (kind "chain.state"); the file snapshot_sync() fast-boots from.
+  Status save_snapshot(const std::string& path) const;
+
+  /// Fast catch-up: restores the snapshot at `snapshot_path`, then replays
+  /// only the WAL tail — records the snapshot already covers are CRC-checked
+  /// and skipped without decoding. Falls back to a full replay_wal when no
+  /// snapshot exists (cold start), keeps replay_wal's torn-tail/mid-log
+  /// semantics in the tail, and leaves the WAL attached. A WAL that ends
+  /// below the snapshot height is rewritten to mirror the restored chain.
+  /// Like replay_wal, this recovers the *block history*; execution state
+  /// (balances, contract storage, receipts) is the snapshot's — the WAL logs
+  /// sealed blocks in canonical mempool order, not execution order, so it is
+  /// not an execution journal.
+  Result<WalReplay> snapshot_sync(const std::string& snapshot_path,
+                                  const std::string& wal_path, const ContractFactory& factory);
+
+  [[nodiscard]] bool wal_attached() const { return wal_file_ != nullptr; }
 
  private:
   class HostSession;
+
+  /// First 8 bytes of a SHA-256 output, which is already uniform. The map is
+  /// lookup-only (never iterated, never serialized), so the implementation-
+  /// defined bucket order can't leak into any hash or byte stream.
+  struct TxHashKey {
+    std::size_t operator()(const Hash256& hash) const noexcept;
+  };
+
+  void detach_wal();
+  Status open_wal_handle(const std::string& path);
+  void rebuild_indexes();
 
   GasSchedule gas_schedule_;
   std::map<Address, Wei> balances_;
   std::map<Address, ContractPtr> contracts_;
   std::map<Address, std::uint64_t> nonces_;
   std::vector<Block> blocks_;
-  std::vector<Transaction> pending_;
+  Mempool mempool_;
+  std::size_t seal_every_ = 0;  // 0 = manual sealing only
   std::vector<Receipt> receipts_;
   std::vector<Event> events_;
+  /// tx hash -> receipts_ index; rebuilt on restore/replay, never persisted.
+  std::unordered_map<Hash256, std::size_t, TxHashKey> receipt_index_;
+  /// header_hashes_[i] == blocks_[i].header.hash(), maintained at seal time
+  /// so sealing and WAL replay never re-hash the previous header; validate()
+  /// deliberately ignores it and re-hashes from the raw blocks.
+  std::vector<Hash256> header_hashes_;
   std::uint64_t deploy_nonce_ = 0;
   std::uint64_t logical_clock_ = 0;
-  std::string wal_path_;  // empty = no WAL attached
+  std::string wal_path_;            // empty = no WAL attached
+  std::FILE* wal_file_ = nullptr;   // persistent append handle, flushed per seal
 };
 
 }  // namespace tradefl::chain

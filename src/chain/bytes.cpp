@@ -50,12 +50,16 @@ void ByteWriter::put_u64(std::uint64_t value) {
 void ByteWriter::put_i64(std::int64_t value) { put_u64(static_cast<std::uint64_t>(value)); }
 
 void ByteWriter::put_bytes(const Bytes& value) {
+  put_bytes(value.data(), value.size());
+}
+
+void ByteWriter::put_bytes(const std::uint8_t* value, std::size_t size) {
   // The length prefix is u32; a silent narrowing here would make the payload
   // undecodable (and forge a wrong length for whatever follows).
-  TFL_CHECK(value.size() <= std::numeric_limits<std::uint32_t>::max(),
-            "blob of ", value.size(), " bytes exceeds u32 length prefix");
-  put_u32(static_cast<std::uint32_t>(value.size()));
-  buffer_.insert(buffer_.end(), value.begin(), value.end());
+  TFL_CHECK(size <= std::numeric_limits<std::uint32_t>::max(),
+            "blob of ", size, " bytes exceeds u32 length prefix");
+  put_u32(static_cast<std::uint32_t>(size));
+  buffer_.insert(buffer_.end(), value, value + size);
 }
 
 void ByteWriter::put_string(const std::string& value) {

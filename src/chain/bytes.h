@@ -22,7 +22,11 @@ class ByteWriter {
   void put_u64(std::uint64_t value);
   void put_i64(std::int64_t value);
   void put_bytes(const Bytes& value);      // length-prefixed
+  void put_bytes(const std::uint8_t* value, std::size_t size);  // same framing
   void put_string(const std::string& value);  // length-prefixed
+
+  /// Pre-sizes the buffer for a known payload (hot hashing paths).
+  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
 
   [[nodiscard]] const Bytes& data() const { return buffer_; }
 

@@ -1,0 +1,25 @@
+#include "chain/mempool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tradefl::chain {
+
+void Mempool::add(Transaction tx, const Hash256& hash) {
+  entries_.push_back(PendingTx{std::move(tx), hash});
+}
+
+bool Mempool::ordered_before(const PendingTx& a, const PendingTx& b) {
+  if (a.tx.nonce != b.tx.nonce) return a.tx.nonce < b.tx.nonce;
+  if (a.tx.fee != b.tx.fee) return a.tx.fee > b.tx.fee;
+  return a.hash < b.hash;
+}
+
+std::vector<PendingTx> Mempool::drain() {
+  std::vector<PendingTx> drained = std::move(entries_);
+  entries_.clear();
+  std::sort(drained.begin(), drained.end(), &Mempool::ordered_before);
+  return drained;
+}
+
+}  // namespace tradefl::chain

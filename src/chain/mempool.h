@@ -1,0 +1,45 @@
+// The explicit mempool: transactions executed by Blockchain::submit queue
+// here (with their precomputed hashes) until a seal drains them into a
+// block. Draining is deterministic — (nonce asc, fee desc, hash asc) — so
+// the sealed block layout depends only on the set of queued transactions,
+// never on arrival interleaving, and the fee field gives callers a priority
+// lever without touching execution order (execution happens at submit time,
+// dev-chain style; the mempool governs durable block layout only).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/tx.h"
+
+namespace tradefl::chain {
+
+/// One queued transaction plus the hash computed once at submit time; the
+/// hash doubles as the ordering tiebreak here and the Merkle leaf at seal,
+/// so sealing never re-hashes transaction bytes.
+struct PendingTx {
+  Transaction tx;
+  Hash256 hash{};
+};
+
+class Mempool {
+ public:
+  void add(Transaction tx, const Hash256& hash);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// Removes and returns every queued transaction in canonical order.
+  [[nodiscard]] std::vector<PendingTx> drain();
+
+  /// Canonical order: nonce ascending, fee descending (higher fee seals
+  /// earlier within a nonce rank), transaction hash ascending. Per-sender
+  /// nonces make hashes unique, so this is a strict total order.
+  [[nodiscard]] static bool ordered_before(const PendingTx& a, const PendingTx& b);
+
+ private:
+  std::vector<PendingTx> entries_;
+};
+
+}  // namespace tradefl::chain

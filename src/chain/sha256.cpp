@@ -2,6 +2,12 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TFL_SHA_NI_CANDIDATE 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
 namespace tradefl::chain {
 namespace {
 
@@ -19,6 +25,176 @@ constexpr std::array<std::uint32_t, 64> kRoundConstants = {
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+#ifdef TFL_SHA_NI_CANDIDATE
+
+/// CPUID leaf 7 EBX bit 29 — the SHA extensions. Probed once at first use;
+/// the result only selects between two bit-identical compression functions.
+bool cpu_has_sha_extensions() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 29)) != 0;
+}
+
+/// kRoundConstants[i..i+3] as one vector lane load — exactly the K operand
+/// the sha256rnds2 pair for rounds i..i+3 expects.
+__attribute__((target("sha,sse4.1,ssse3"))) inline __m128i round_k(int i) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kRoundConstants[i]));
+}
+
+/// One 64-byte block through the SHA-NI instructions (sha256rnds2 does two
+/// rounds per issue; sha256msg1/msg2 run the message schedule). The lane
+/// choreography — ABEF/CDGH packing, the 0x0E high-half shuffle between the
+/// two rnds2 issues — is the canonical Intel sequence for these instructions.
+/// Bit-identical to the portable process_block; the NIST vectors in
+/// tests/chain/test_sha256.cpp hold for both paths.
+__attribute__((target("sha,sse4.1,ssse3"))) void process_block_sha_ni(
+    std::uint32_t* state, const std::uint8_t* block) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack the linear a..h state into the ABEF / CDGH registers the
+  // instructions operate on.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  __m128i msg, msg0, msg1, msg2, msg3;
+
+  // Rounds 0-3.
+  msg0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 0)), kByteSwap);
+  msg = _mm_add_epi32(msg0, round_k(0));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  // Rounds 4-7.
+  msg1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)), kByteSwap);
+  msg = _mm_add_epi32(msg1, round_k(4));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11.
+  msg2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)), kByteSwap);
+  msg = _mm_add_epi32(msg2, round_k(8));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15.
+  msg3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)), kByteSwap);
+  msg = _mm_add_epi32(msg3, round_k(12));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-51: the schedule rotates through msg0..msg3 with a fixed
+  // dependency pattern; unrolled because each group touches different
+  // registers.
+  msg = _mm_add_epi32(msg0, round_k(16));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  msg = _mm_add_epi32(msg1, round_k(20));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  msg = _mm_add_epi32(msg2, round_k(24));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  msg = _mm_add_epi32(msg3, round_k(28));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  msg = _mm_add_epi32(msg0, round_k(32));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  msg = _mm_add_epi32(msg1, round_k(36));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  msg = _mm_add_epi32(msg2, round_k(40));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  msg = _mm_add_epi32(msg3, round_k(44));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  msg = _mm_add_epi32(msg0, round_k(48));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 52-63: the schedule is exhausted, only compression remains.
+  msg = _mm_add_epi32(msg1, round_k(52));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  msg = _mm_add_epi32(msg2, round_k(56));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  msg = _mm_add_epi32(msg3, round_k(60));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Unpack ABEF/CDGH back to the linear a..h layout.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#endif  // TFL_SHA_NI_CANDIDATE
+
 }  // namespace
 
 Sha256::Sha256()
@@ -26,6 +202,17 @@ Sha256::Sha256()
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
 void Sha256::process_block(const std::uint8_t* block) {
+#ifdef TFL_SHA_NI_CANDIDATE
+  // Hardware SHA extensions when the host has them — the digest is
+  // bit-identical to the portable path below, just ~5x cheaper, which is
+  // most of the chain's per-transaction cost (hash at submit, Merkle at
+  // seal, full re-hash in validate).
+  static const bool use_sha_ni = cpu_has_sha_extensions();
+  if (use_sha_ni) {
+    process_block_sha_ni(state_.data(), block);
+    return;
+  }
+#endif
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |

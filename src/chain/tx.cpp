@@ -24,12 +24,17 @@ bool Address::is_zero() const {
 
 Bytes Transaction::serialize() const {
   ByteWriter writer;
-  writer.put_bytes(Bytes(from.bytes.begin(), from.bytes.end()));
-  writer.put_bytes(Bytes(to.bytes.begin(), to.bytes.end()));
+  // Exact payload size: two prefixed 20-byte addresses, four 8-byte ints,
+  // one prefixed data blob. Submit/seal/validate all hash through here, so
+  // the buffer growth otherwise dominates the (hardware-accelerated) SHA.
+  writer.reserve(2 * (4 + from.bytes.size()) + 4 * 8 + 4 + data.size());
+  writer.put_bytes(from.bytes.data(), from.bytes.size());
+  writer.put_bytes(to.bytes.data(), to.bytes.size());
   writer.put_i64(value);
   writer.put_u64(nonce);
   writer.put_bytes(data);
   writer.put_u64(gas_limit);
+  writer.put_i64(fee);
   return writer.data();
 }
 

@@ -36,6 +36,10 @@ struct Transaction {
   std::uint64_t nonce = 0;
   Bytes data;            // ABI-encoded call: method + arguments
   std::uint64_t gas_limit = 10'000'000;
+  /// Priority fee: orders the mempool (higher seals earlier within a nonce
+  /// rank), is part of the signed/hashed bytes, but is never charged — the
+  /// simulation's economics live in the contract, not in gas auctions.
+  Wei fee = 0;
 
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] Hash256 hash() const;

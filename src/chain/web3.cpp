@@ -54,7 +54,6 @@ CallOutcome Web3Client::call(const Address& from, const Address& contract,
   }
   ++call_index_;
   outcome.receipt = chain_->submit(std::move(tx));
-  if (auto_seal_) chain_->seal_block();
   if (outcome.receipt.success && !outcome.receipt.return_data.empty()) {
     outcome.returned = decode_values(outcome.receipt.return_data);
   }
@@ -117,9 +116,7 @@ Receipt Web3Client::transfer(const Address& from, const Address& to, Wei value) 
   tx.from = from;
   tx.to = to;
   tx.value = value;
-  Receipt receipt = chain_->submit(std::move(tx));
-  if (auto_seal_) chain_->seal_block();
-  return receipt;
+  return chain_->submit(std::move(tx));
 }
 
 }  // namespace tradefl::chain

@@ -1,8 +1,10 @@
 // Web3-style client facade (the paper uses the Web3 API for all data
 // interaction between organizations and the contract). Wraps transaction
 // construction, ABI encoding, submission, and receipt/return decoding in a
-// call-like interface, with optional auto-sealing of one block per call (the
-// behaviour of a dev-mode private chain).
+// call-like interface. Sealing policy is delegated to the chain's batch
+// mempool: `seal_every = 1` (the default) reproduces the dev-mode
+// block-per-call behaviour, K > 1 seals every K submitted transactions, and
+// 0 leaves sealing fully manual.
 //
 // Fault tolerance: the client accepts a FaultInjector that can make any call
 // fail before it reaches the chain — transient submission failures and gas
@@ -53,8 +55,12 @@ struct RetryPolicy {
 
 class Web3Client {
  public:
-  explicit Web3Client(Blockchain& chain, bool auto_seal = true)
-      : chain_(&chain), auto_seal_(auto_seal) {}
+  /// Arms the chain's batch sealing with `seal_every` (see
+  /// Blockchain::set_seal_every). The previous `bool auto_seal` flag maps
+  /// cleanly: true -> 1 (seal per call), false -> 0 (manual).
+  explicit Web3Client(Blockchain& chain, std::size_t seal_every = 1) : chain_(&chain) {
+    chain_->set_seal_every(seal_every);
+  }
 
   /// Arms fault injection for subsequent calls; nullptr (the default)
   /// restores fault-free behaviour. The injector must outlive the client's
@@ -112,7 +118,6 @@ class Web3Client {
   bool inject_fault(const std::string& method, std::uint64_t gas_limit, CallOutcome& outcome);
 
   Blockchain* chain_;
-  bool auto_seal_;
   const FaultInjector* injector_ = nullptr;
   RetryPolicy retry_policy_{};
   std::uint64_t call_index_ = 0;       // keys injector decisions

@@ -1,0 +1,74 @@
+// Undo journal for map-like containers: the O(touched) alternative to
+// copying a whole map for transactional rollback. A scope notes each key
+// once before (or at) its first mutation; revert() then restores exactly the
+// noted keys — overwriting mutated entries and erasing entries the scope
+// created — leaving the container byte-for-byte as if the scope never ran.
+// Dropping the journal (or clear()) commits.
+//
+// Lives in common/ so chain/ and any future transactional subsystem share
+// one audited implementation; like the rest of this layer it emits no
+// metrics itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tradefl {
+
+/// Works with std::map / std::unordered_map-style containers exposing
+/// key_type, mapped_type, find(), operator[], and erase(key).
+///
+/// note() deduplicates by linear scan over the touched set — a transaction
+/// touches a handful of keys (a transfer touches two balances), so the scan
+/// is cheaper than any auxiliary index it would need to stay O(1).
+template <typename Map>
+class MapUndoJournal {
+ public:
+  using Key = typename Map::key_type;
+  using Value = typename Map::mapped_type;
+
+  /// Records the pre-mutation state of `key`. Must run before the first
+  /// mutation of that key in this scope (including the entry-creating
+  /// `map[key]`); later notes of the same key are no-ops.
+  void note(const Map& map, const Key& key) {
+    for (const Entry& entry : entries_) {
+      if (entry.key == key) return;
+    }
+    const auto it = map.find(key);
+    if (it == map.end()) {
+      entries_.push_back(Entry{key, false, Value{}});
+    } else {
+      entries_.push_back(Entry{key, true, it->second});
+    }
+  }
+
+  /// Rolls the noted keys back: entries that existed get their recorded
+  /// value, entries the scope created are erased. Leaves the journal empty
+  /// (ready for the next scope).
+  void revert(Map& map) {
+    for (const Entry& entry : entries_) {
+      if (entry.existed) {
+        map[entry.key] = entry.value;
+      } else {
+        map.erase(entry.key);
+      }
+    }
+    entries_.clear();
+  }
+
+  /// Commits the scope: forgets the recorded undo state.
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t touched() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    Key key{};
+    bool existed = false;
+    Value value{};
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tradefl

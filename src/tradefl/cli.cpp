@@ -140,6 +140,8 @@ int run_session(const Config& options, std::ostream& out) {
       static_cast<std::size_t>(options.get_int("rounds", 5));
   session_options.fedavg.quorum =
       static_cast<std::size_t>(options.get_int("quorum", 1));
+  session_options.seal_every =
+      static_cast<std::size_t>(options.get_int("seal_every", 1));
   if (const auto spec = options.get("faults")) {
     const auto plan = parse_fault_plan(*spec);
     if (!plan.ok()) {
@@ -263,6 +265,8 @@ std::string usage() {
          "               threads=1 (worker threads for training/eval/master "
          "enumeration;\n"
          "               results are bit-identical for any value)\n"
+         "               seal_every=1 (session only; chain batch sealing — seal a\n"
+         "               block every N txs; 1 = dev-chain block per call, 0 = manual)\n"
          "robustness:    faults=seed:1,drop:0.2,submit:0.1 (solve+session; seeded\n"
          "               deterministic fault injection. keys: seed drop straggle scale\n"
          "               corrupt noise revert gas submit solver; rates in [0,1];\n"

@@ -25,7 +25,7 @@ struct LoadOptions {
   // Chain load: plain 1-wei transfers round-robin over funded accounts.
   std::size_t transfers = 16384;
   std::size_t accounts = 16;
-  std::size_t batch = 128;  // seal a block every `batch` transfers
+  std::size_t seal_every = 128;  // chain batch sealing: seal a block every N txs
 
   std::uint64_t seed = 42;
 
@@ -66,10 +66,10 @@ struct LoadReport {
 /// throws on a session that fails to settle.
 LoadReport run_session_load(const LoadOptions& options);
 
-/// Runs `transfers` plain value transfers over `accounts` funded accounts,
-/// sealing every `batch`, `repeats` times; reports the best pass. Resets the
-/// metrics registry per pass; throws when the resulting chain fails
-/// validation.
+/// Runs `transfers` plain value transfers over `accounts` funded accounts
+/// with chain-level batch sealing every `seal_every` txs, `repeats` times;
+/// reports the best pass. Resets the metrics registry per pass; throws when
+/// the resulting chain fails validation.
 LoadReport run_chain_load(const LoadOptions& options);
 
 /// Canonical manifest JSON for one report (BENCH_session.json /

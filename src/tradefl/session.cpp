@@ -402,7 +402,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     if (!attached.ok()) fail_session("checkpoint", attached.error());
   }
 
-  chain::Web3Client web3(*chain_);
+  chain::Web3Client web3(*chain_, options.seal_every);
   web3.set_fault_injector(faults);
   web3.set_retry_policy(options.retry);
   if (completed_phase >= 3) {
@@ -494,6 +494,10 @@ SessionResult TradingSession::run(const SessionOptions& options) {
       }
     }
     result.retry_attempts = retry_baseline + web3.retry_attempts();
+    // Under batch sealing (seal_every > 1) the tail of the settlement flow
+    // can still sit in the mempool; seal it so validation and the report
+    // cover every transaction.
+    if (chain_->has_pending()) chain_->seal_block();
     const chain::ChainValidation validation = chain_->validate();
     result.chain_valid = validation.valid;
     if (!validation.valid) TFL_ERROR << "session: chain invalid: " << validation.problem;

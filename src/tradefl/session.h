@@ -44,6 +44,13 @@ struct SessionOptions {
   /// worst-case redistribution bound.
   chain::Wei funding = 0;
 
+  /// Chain batch sealing: seal a block every N submitted transactions
+  /// (0 = manual). 1 — the default — keeps the dev-chain block-per-call
+  /// behaviour and therefore byte-identical session reports; larger batches
+  /// trade block granularity for settlement throughput. Any transactions
+  /// still pending after settlement are sealed before the final validation.
+  std::size_t seal_every = 1;
+
   std::uint64_t seed = 2024;
 
   /// Fault plan for the whole session (empty = fault-free). The session owns

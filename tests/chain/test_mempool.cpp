@@ -1,0 +1,160 @@
+// Deterministic mempool + batch sealing: the sealed block layout depends
+// only on the set of queued transactions (nonce asc, fee desc, hash asc),
+// never on arrival order, and chain-level `seal_every` batching keeps
+// receipts pointing at the block their transaction actually lands in.
+#include "chain/mempool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/web3.h"
+
+namespace tradefl::chain {
+namespace {
+
+const Address kAlice = Address::from_name("alice");
+const Address kBob = Address::from_name("bob");
+
+PendingTx pending(std::uint64_t nonce, Wei fee, std::uint8_t hash_byte) {
+  PendingTx entry;
+  entry.tx.from = kAlice;
+  entry.tx.to = kBob;
+  entry.tx.nonce = nonce;
+  entry.tx.fee = fee;
+  entry.hash.fill(hash_byte);
+  return entry;
+}
+
+TEST(Mempool, DrainOrdersByNonceThenFeeThenHash) {
+  Mempool pool;
+  const PendingTx late_nonce = pending(2, 100, 0x01);
+  const PendingTx low_fee = pending(1, 5, 0x02);
+  const PendingTx high_fee = pending(1, 50, 0x03);
+  const PendingTx hash_small = pending(1, 50, 0x00);
+  for (const PendingTx& entry : {late_nonce, low_fee, high_fee, hash_small}) {
+    pool.add(entry.tx, entry.hash);
+  }
+  const std::vector<PendingTx> drained = pool.drain();
+  ASSERT_EQ(drained.size(), 4u);
+  // nonce 1 before nonce 2; within nonce 1, fee 50 before fee 5; within
+  // (1, 50), hash 0x00.. before 0x03...
+  EXPECT_EQ(drained[0].hash, hash_small.hash);
+  EXPECT_EQ(drained[1].hash, high_fee.hash);
+  EXPECT_EQ(drained[2].hash, low_fee.hash);
+  EXPECT_EQ(drained[3].hash, late_nonce.hash);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(Mempool, DrainedOrderIsArrivalIndependent) {
+  std::vector<PendingTx> entries;
+  for (std::uint64_t n = 0; n < 4; ++n) {
+    for (Wei fee : {0, 10, 25}) {
+      entries.push_back(pending(n, fee, static_cast<std::uint8_t>(16 * n + fee)));
+    }
+  }
+  Mempool forward;
+  for (const PendingTx& entry : entries) forward.add(entry.tx, entry.hash);
+  Mempool backward;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) backward.add(it->tx, it->hash);
+
+  const std::vector<PendingTx> a = forward.drain();
+  const std::vector<PendingTx> b = backward.drain();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hash, b[i].hash) << "position " << i;
+    EXPECT_EQ(a[i].tx.serialize(), b[i].tx.serialize()) << "position " << i;
+  }
+}
+
+TEST(Mempool, OrderedBeforeIsAStrictTotalOrder) {
+  const PendingTx a = pending(1, 50, 0x01);
+  const PendingTx b = pending(1, 50, 0x02);
+  EXPECT_TRUE(Mempool::ordered_before(a, b));
+  EXPECT_FALSE(Mempool::ordered_before(b, a));
+  EXPECT_FALSE(Mempool::ordered_before(a, a));  // irreflexive
+}
+
+TEST(Mempool, ChainSealsEveryKSubmissions) {
+  Blockchain chain;
+  chain.set_seal_every(4);
+  chain.credit(kAlice, 1000);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  for (int i = 0; i < 10; ++i) chain.submit(tx);
+  // 10 submissions at K=4: two sealed blocks of 4, two txs still pending.
+  EXPECT_EQ(chain.block_count(), 3u);  // genesis + 2
+  EXPECT_EQ(chain.block(1).transactions.size(), 4u);
+  EXPECT_EQ(chain.block(2).transactions.size(), 4u);
+  EXPECT_EQ(chain.pending_count(), 2u);
+  chain.seal_block();
+  EXPECT_EQ(chain.block(3).transactions.size(), 2u);
+  EXPECT_TRUE(chain.validate().valid);
+}
+
+TEST(Mempool, ReceiptBlockIndexCorrectUnderBatching) {
+  Blockchain chain;
+  chain.set_seal_every(5);
+  chain.credit(kAlice, 1000);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  std::vector<Receipt> receipts;
+  for (int i = 0; i < 13; ++i) receipts.push_back(chain.submit(tx));
+  chain.seal_block();  // seal the 3-tx remainder
+  for (const Receipt& receipt : receipts) {
+    const Block& sealed = chain.block(receipt.block_index);
+    const bool present = std::any_of(
+        sealed.transactions.begin(), sealed.transactions.end(),
+        [&receipt](const Transaction& t) { return t.hash() == receipt.tx_hash; });
+    EXPECT_TRUE(present) << "receipt claims block " << receipt.block_index;
+  }
+  EXPECT_TRUE(chain.validate().valid);
+}
+
+TEST(Mempool, HigherFeeSealsEarlierWithinABlock) {
+  Blockchain chain;
+  chain.credit(kAlice, 100);
+  chain.credit(kBob, 100);
+  Transaction cheap;
+  cheap.from = kAlice;
+  cheap.to = kBob;
+  cheap.value = 1;
+  cheap.fee = 1;
+  Transaction rich;
+  rich.from = kBob;
+  rich.to = kAlice;
+  rich.value = 1;
+  rich.fee = 9;
+  chain.submit(cheap);  // both senders are at nonce 0
+  chain.submit(rich);
+  chain.seal_block();
+  const Block& sealed = chain.block(1);
+  ASSERT_EQ(sealed.transactions.size(), 2u);
+  EXPECT_EQ(sealed.transactions[0].fee, 9);
+  EXPECT_EQ(sealed.transactions[1].fee, 1);
+  EXPECT_TRUE(chain.validate().valid);
+}
+
+TEST(Mempool, Web3ClientArmsBatchSealing) {
+  Blockchain chain;
+  Web3Client web3(chain, /*seal_every=*/3);
+  chain.credit(kAlice, 100);
+  const std::size_t before = chain.block_count();
+  web3.transfer(kAlice, kBob, 1);
+  web3.transfer(kAlice, kBob, 1);
+  EXPECT_EQ(chain.block_count(), before);  // below threshold: nothing sealed
+  EXPECT_EQ(chain.pending_count(), 2u);
+  web3.transfer(kAlice, kBob, 1);
+  EXPECT_EQ(chain.block_count(), before + 1);
+  EXPECT_FALSE(chain.has_pending());
+  EXPECT_EQ(chain.block(before).transactions.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "chain/block.h"
+#include "chain/blockchain.h"
 
 namespace tradefl::chain {
 namespace {
@@ -21,7 +22,9 @@ std::vector<Transaction> make_txs(int count) {
 }
 
 TEST(MerkleProof, VerifiesEveryLeafForVariousSizes) {
-  for (int count : {1, 2, 3, 4, 5, 7, 8, 13}) {
+  // Odd counts exercise the duplicated-last-leaf rule at every layer (9 ->
+  // 5 -> 3 -> 2 duplicates on three consecutive levels).
+  for (int count : {1, 2, 3, 4, 5, 7, 8, 9, 11, 13}) {
     const auto txs = make_txs(count);
     const Hash256 root = Block::merkle_root(txs);
     for (int i = 0; i < count; ++i) {
@@ -77,6 +80,58 @@ TEST(MerkleProof, WorksAgainstSealedBlockHeader) {
   block.header.tx_root = Block::merkle_root(block.transactions);
   const MerkleProof proof = MerkleProof::build(block.transactions, 4);
   EXPECT_TRUE(proof.verify(block.transactions[4].hash(), block.header.tx_root));
+}
+
+TEST(MerkleProof, SingleBufferRootMatchesTransactionRoot) {
+  // merkle_root delegates to the in-place merkle_root_of_leaves; pin the
+  // equivalence for every size class around the power-of-two boundaries.
+  for (int count : {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17}) {
+    const auto txs = make_txs(count);
+    std::vector<Hash256> leaves;
+    for (const Transaction& tx : txs) leaves.push_back(tx.hash());
+    EXPECT_EQ(Block::merkle_root_of_leaves(std::move(leaves)), Block::merkle_root(txs))
+        << "count " << count;
+  }
+}
+
+TEST(MerkleProof, OddLayerDuplicatesItsLastLeaf) {
+  // Three leaves: root = H(H(h0,h1), H(h2,h2)) — the odd node pairs with
+  // itself, exactly what the proof builder assumes when it emits a
+  // self-sibling.
+  const auto txs = make_txs(3);
+  const Hash256 h0 = txs[0].hash();
+  const Hash256 h1 = txs[1].hash();
+  const Hash256 h2 = txs[2].hash();
+  const Hash256 expected = sha256_pair(sha256_pair(h0, h1), sha256_pair(h2, h2));
+  EXPECT_EQ(Block::merkle_root(txs), expected);
+}
+
+TEST(MerkleProof, VerifiesAgainstBatchSealedHeaders) {
+  // The same 13 transfers sealed under different batch sizes: every sealed
+  // block's header.tx_root must verify an inclusion proof for each of its
+  // transactions, including the odd-sized remainder blocks.
+  for (std::size_t seal_every : {std::size_t{1}, std::size_t{4}, std::size_t{5},
+                                 std::size_t{13}}) {
+    Blockchain chain;
+    chain.set_seal_every(seal_every);
+    const Address alice = Address::from_name("alice");
+    chain.credit(alice, 100);
+    Transaction tx;
+    tx.from = alice;
+    tx.to = Address::from_name("bob");
+    tx.value = 1;
+    for (int i = 0; i < 13; ++i) chain.submit(tx);
+    if (chain.has_pending()) chain.seal_block();
+    for (std::size_t b = 1; b < chain.block_count(); ++b) {
+      const Block& sealed = chain.block(b);
+      for (std::size_t i = 0; i < sealed.transactions.size(); ++i) {
+        const MerkleProof proof = MerkleProof::build(sealed.transactions, i);
+        EXPECT_TRUE(proof.verify(sealed.transactions[i].hash(), sealed.header.tx_root))
+            << "seal_every " << seal_every << " block " << b << " tx " << i;
+      }
+    }
+    EXPECT_TRUE(chain.validate().valid) << "seal_every " << seal_every;
+  }
 }
 
 }  // namespace

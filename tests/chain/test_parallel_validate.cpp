@@ -1,0 +1,111 @@
+// Parallel chain validation: validate() fans the per-block re-hash + Merkle
+// recompute over the shared pool, but its verdict — and the reported first
+// problem — must be bit-identical for any thread count (the repo-wide
+// determinism contract). The workload is sized past the chunk grain so the
+// 4-thread run genuinely splits.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/parallel.h"
+
+namespace tradefl::chain {
+namespace {
+
+const Address kAlice = Address::from_name("alice");
+const Address kBob = Address::from_name("bob");
+
+/// Every test restores the serial default so no pool leaks across suites.
+class ParallelValidation : public ::testing::Test {
+ protected:
+  void TearDown() override { set_global_threads(1); }
+};
+
+/// Builds a chain of `blocks` sealed blocks with two transfers each.
+void grow_chain(Blockchain& chain, std::size_t blocks) {
+  chain.credit(kAlice, static_cast<Wei>(4 * blocks));
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kBob;
+  tx.value = 1;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    chain.submit(tx);
+    chain.submit(tx);
+    chain.seal_block();
+  }
+}
+
+TEST_F(ParallelValidation, ValidChainVerdictIdenticalAcrossThreadCounts) {
+  Blockchain chain;
+  grow_chain(chain, 200);  // > the 64-block chunk grain
+
+  set_global_threads(1);
+  const ChainValidation serial = chain.validate();
+  set_global_threads(4);
+  const ChainValidation parallel = chain.validate();
+
+  EXPECT_TRUE(serial.valid);
+  EXPECT_EQ(serial.valid, parallel.valid);
+  EXPECT_EQ(serial.problem, parallel.problem);
+}
+
+TEST_F(ParallelValidation, TamperedChainReportsTheSameProblemAcrossThreadCounts) {
+  Blockchain chain;
+  grow_chain(chain, 200);
+  chain.mutable_block_for_test(150).transactions[0].value = 99;
+
+  set_global_threads(1);
+  const ChainValidation serial = chain.validate();
+  set_global_threads(4);
+  const ChainValidation parallel = chain.validate();
+
+  EXPECT_FALSE(serial.valid);
+  EXPECT_NE(serial.problem.find("block 150"), std::string::npos) << serial.problem;
+  EXPECT_EQ(serial.valid, parallel.valid);
+  EXPECT_EQ(serial.problem, parallel.problem);
+}
+
+TEST_F(ParallelValidation, FirstProblemInBlockOrderWins) {
+  Blockchain chain;
+  grow_chain(chain, 200);
+  // Corrupt two blocks in different chunks; the report must name the earlier
+  // one no matter which worker finds its own problem first.
+  chain.mutable_block_for_test(30).transactions[0].value = 99;
+  chain.mutable_block_for_test(180).transactions[0].value = 99;
+
+  set_global_threads(4);
+  const ChainValidation validation = chain.validate();
+  EXPECT_FALSE(validation.valid);
+  EXPECT_NE(validation.problem.find("block 30"), std::string::npos) << validation.problem;
+}
+
+TEST_F(ParallelValidation, HeaderTamperBeatsLaterMerkleTamper) {
+  Blockchain chain;
+  grow_chain(chain, 100);
+  // Block 20's header mutation surfaces as block 21's broken prev-hash link;
+  // that still precedes block 70's Merkle mismatch in block order.
+  chain.mutable_block_for_test(20).header.timestamp += 1000;
+  chain.mutable_block_for_test(70).transactions[0].value = 99;
+
+  set_global_threads(4);
+  const ChainValidation validation = chain.validate();
+  EXPECT_FALSE(validation.valid);
+  EXPECT_NE(validation.problem.find("block 21"), std::string::npos) << validation.problem;
+  EXPECT_NE(validation.problem.find("prev-hash"), std::string::npos) << validation.problem;
+}
+
+TEST_F(ParallelValidation, SealedChainBytesIdenticalAcrossThreadCounts) {
+  set_global_threads(1);
+  Blockchain serial_chain;
+  grow_chain(serial_chain, 100);
+  const Bytes serial_bytes = serial_chain.save_chain_state();
+
+  set_global_threads(4);
+  Blockchain parallel_chain;
+  grow_chain(parallel_chain, 100);
+  const Bytes parallel_bytes = parallel_chain.save_chain_state();
+
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+}
+
+}  // namespace
+}  // namespace tradefl::chain

@@ -313,5 +313,205 @@ TEST(ChainState, CorruptStateBytesFailClosed) {
   EXPECT_EQ(restored.block_count(), 1u);
 }
 
+TEST(ChainState, RestoreDetachesTheOldWal) {
+  const std::string wal = temp_path("detach.wal");
+  Blockchain chain;
+  ASSERT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 2);
+  const Bytes saved = chain.save_chain_state();
+  const auto wal_before = slurp(wal);
+
+  ASSERT_TRUE(chain.wal_attached());
+  ASSERT_TRUE(chain.restore_chain_state(saved, counter_factory()).ok());
+  // The old log mirrors the old chain; continuing to append would fork it.
+  EXPECT_FALSE(chain.wal_attached());
+  run_activity(chain, counter, 1);
+  EXPECT_EQ(slurp(wal), wal_before);  // file untouched after restore
+}
+
+// ----- snapshot_sync: fast catch-up from snapshot + WAL tail -----
+
+TEST(ChainSnapshotSync, CatchesUpFromSnapshotPlusWalTail) {
+  const std::string wal = temp_path("sync.wal");
+  const std::string snap = temp_path("sync.snap");
+  Blockchain chain;
+  ASSERT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 3);
+  ASSERT_TRUE(chain.save_snapshot(snap).ok());
+  run_activity(chain, counter, 2);  // the tail the snapshot does not cover
+
+  Blockchain synced;
+  const auto report = synced.snapshot_sync(snap, wal, counter_factory());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  // Blocks 1..3 are covered by the snapshot (CRC-checked, skipped without
+  // decoding); 4..5 replay from the tail.
+  EXPECT_EQ(report.value().blocks_skipped, 3u);
+  EXPECT_EQ(report.value().blocks_replayed, 2u);
+  EXPECT_FALSE(report.value().tail_truncated);
+  // Block history is bit-identical to the original chain (the WAL is a block
+  // log: execution state — balances, contract storage, receipts — is the
+  // snapshot's, exactly as replay_wal recovers blocks without state).
+  ASSERT_EQ(synced.block_count(), chain.block_count());
+  for (std::size_t b = 0; b < chain.block_count(); ++b) {
+    EXPECT_EQ(synced.block(b).header.hash(), chain.block(b).header.hash()) << "block " << b;
+  }
+  EXPECT_TRUE(synced.validate().valid);
+
+  // The WAL stays attached: further seals append to the same log and a
+  // subsequent full replay sees them.
+  ASSERT_TRUE(synced.wal_attached());
+  run_activity(synced, counter, 1);
+  Blockchain full;
+  const auto replayed = full.replay_wal(wal);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().to_string();
+  EXPECT_EQ(full.block_count(), synced.block_count());
+}
+
+TEST(ChainSnapshotSync, MissingSnapshotFallsBackToFullReplay) {
+  const std::string wal = temp_path("sync_cold.wal");
+  const std::vector<Hash256> expected = build_logged_chain(wal, 3);
+
+  Blockchain synced;
+  const auto report =
+      synced.snapshot_sync(temp_path("sync_cold_missing.snap"), wal, counter_factory());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().blocks_skipped, 0u);
+  EXPECT_EQ(report.value().blocks_replayed, expected.size() - 1);
+  EXPECT_EQ(synced.block_count(), expected.size());
+  EXPECT_TRUE(synced.wal_attached());
+}
+
+TEST(ChainSnapshotSync, SnapshotWithoutWalStartsAFreshMirror) {
+  const std::string wal = temp_path("sync_nowal.wal");
+  const std::string snap = temp_path("sync_nowal.snap");
+  std::filesystem::remove(wal);  // hermetic across reruns: TempDir persists
+  Blockchain chain;
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 2);
+  ASSERT_TRUE(chain.save_snapshot(snap).ok());
+
+  Blockchain synced;
+  const auto report = synced.snapshot_sync(snap, wal, counter_factory());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().blocks_skipped, 0u);
+  EXPECT_EQ(report.value().blocks_replayed, 0u);
+  EXPECT_EQ(synced.block_count(), chain.block_count());
+  ASSERT_TRUE(synced.wal_attached());
+  // The fresh mirror must hold the full restored history.
+  Blockchain full;
+  ASSERT_TRUE(full.replay_wal(wal).ok());
+  EXPECT_EQ(full.block_count(), chain.block_count());
+}
+
+TEST(ChainSnapshotSync, TornTailAfterSnapshotIsTruncated) {
+  const std::string wal = temp_path("sync_torn.wal");
+  const std::string snap = temp_path("sync_torn.snap");
+  Blockchain chain;
+  ASSERT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 2);
+  ASSERT_TRUE(chain.save_snapshot(snap).ok());
+  run_activity(chain, counter, 1);
+
+  // Crash mid-append after the last committed tail record.
+  std::vector<std::uint8_t> raw = slurp(wal);
+  std::vector<std::uint8_t> torn = raw;
+  torn.insert(torn.end(), raw.begin(), raw.begin() + 9);
+  dump(wal, torn);
+
+  Blockchain synced;
+  const auto report = synced.snapshot_sync(snap, wal, counter_factory());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_TRUE(report.value().tail_truncated);
+  EXPECT_EQ(report.value().bytes_truncated, 9u);
+  EXPECT_EQ(report.value().blocks_skipped, 2u);
+  EXPECT_EQ(report.value().blocks_replayed, 1u);
+  EXPECT_EQ(synced.block_count(), chain.block_count());
+  // The log was repaired in place: a clean second sync sees no tear.
+  Blockchain again;
+  const auto second = again.snapshot_sync(snap, wal, counter_factory());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().tail_truncated);
+}
+
+TEST(ChainSnapshotSync, MidTailCorruptionIsRejected) {
+  const std::string wal = temp_path("sync_midtail.wal");
+  const std::string snap = temp_path("sync_midtail.snap");
+  Blockchain chain;
+  ASSERT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 1);
+  ASSERT_TRUE(chain.save_snapshot(snap).ok());
+  const std::size_t covered = slurp(wal).size();
+  run_activity(chain, counter, 2);
+
+  // Damage the FIRST tail record while a valid one follows: truncating here
+  // would forge history, so the sync must refuse.
+  std::vector<std::uint8_t> raw = slurp(wal);
+  raw[covered + 6] ^= 0x01;
+  dump(wal, raw);
+
+  Blockchain synced;
+  const auto report = synced.snapshot_sync(snap, wal, counter_factory());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, "wal.corrupt");
+}
+
+TEST(ChainSnapshotSync, WalBehindTheSnapshotIsReMirrored) {
+  const std::string wal = temp_path("sync_stale.wal");
+  const std::string stale = temp_path("sync_stale_copy.wal");
+  const std::string snap = temp_path("sync_stale.snap");
+  Blockchain chain;
+  ASSERT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 2);
+  dump(stale, slurp(wal));  // freeze the log at height 2
+  run_activity(chain, counter, 2);
+  ASSERT_TRUE(chain.save_snapshot(snap).ok());
+
+  // Sync against the stale log: the snapshot is ahead of everything in it,
+  // so the log must be rewritten to mirror the restored chain.
+  Blockchain synced;
+  const auto report = synced.snapshot_sync(snap, stale, counter_factory());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().blocks_replayed, 0u);
+  EXPECT_EQ(synced.block_count(), chain.block_count());
+  ASSERT_TRUE(synced.wal_attached());
+  Blockchain full;
+  ASSERT_TRUE(full.replay_wal(stale).ok());
+  EXPECT_EQ(full.block_count(), chain.block_count());
+}
+
+TEST(ChainSnapshotSync, RequiresAFreshChain) {
+  const std::string wal = temp_path("sync_dirty.wal");
+  const std::string snap = temp_path("sync_dirty.snap");
+  Blockchain chain;
+  ASSERT_TRUE(chain.attach_wal(wal).ok());
+  chain.credit(kAlice, 1'000'000);
+  const Address counter = chain.deploy(std::make_unique<CounterContract>());
+  run_activity(chain, counter, 1);
+  ASSERT_TRUE(chain.save_snapshot(snap).ok());
+
+  Blockchain dirty;
+  dirty.credit(kBob, 1);
+  Transaction tx;
+  tx.from = kBob;
+  tx.to = kAlice;
+  tx.value = 1;
+  dirty.submit(tx);
+  dirty.seal_block();
+  const auto report = dirty.snapshot_sync(snap, wal, counter_factory());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, "wal.state");
+}
+
 }  // namespace
 }  // namespace tradefl::chain

@@ -35,7 +35,7 @@ TEST(Web3, AutoSealsOneBlockPerCall) {
 
 TEST(Web3, ManualSealMode) {
   Blockchain chain;
-  Web3Client web3(chain, /*auto_seal=*/false);
+  Web3Client web3(chain, /*seal_every=*/0);
   const Address a = Address::from_name("a");
   chain.credit(a, 100);
   web3.transfer(a, Address::from_name("b"), 10);

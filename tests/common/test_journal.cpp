@@ -1,0 +1,85 @@
+// MapUndoJournal: the O(touched) rollback primitive behind atomic chain
+// transactions. The contract under test: after revert(), the map is
+// byte-for-byte as if the scope never ran — mutated entries restored,
+// created entries erased.
+#include "common/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace tradefl {
+namespace {
+
+using IntMap = std::map<std::string, int>;
+
+TEST(UndoJournal, RevertRestoresMutatedEntries) {
+  IntMap map{{"a", 1}, {"b", 2}};
+  MapUndoJournal<IntMap> journal;
+  journal.note(map, "a");
+  map["a"] = 99;
+  journal.revert(map);
+  EXPECT_EQ(map, (IntMap{{"a", 1}, {"b", 2}}));
+  EXPECT_TRUE(journal.empty());
+}
+
+TEST(UndoJournal, RevertErasesCreatedEntries) {
+  IntMap map{{"a", 1}};
+  MapUndoJournal<IntMap> journal;
+  // note() before the entry-creating operator[] — the required call order.
+  journal.note(map, "fresh");
+  map["fresh"] = 7;
+  journal.revert(map);
+  EXPECT_EQ(map.count("fresh"), 0u);
+  EXPECT_EQ(map, (IntMap{{"a", 1}}));
+}
+
+TEST(UndoJournal, FirstTouchWinsOnRepeatNotes) {
+  IntMap map{{"a", 1}};
+  MapUndoJournal<IntMap> journal;
+  journal.note(map, "a");
+  map["a"] = 10;
+  journal.note(map, "a");  // no-op: the pre-scope value is already recorded
+  map["a"] = 20;
+  EXPECT_EQ(journal.touched(), 1u);
+  journal.revert(map);
+  EXPECT_EQ(map.at("a"), 1);
+}
+
+TEST(UndoJournal, ClearCommitsTheScope) {
+  IntMap map{{"a", 1}};
+  MapUndoJournal<IntMap> journal;
+  journal.note(map, "a");
+  map["a"] = 42;
+  journal.clear();
+  journal.revert(map);  // nothing recorded: revert is a no-op
+  EXPECT_EQ(map.at("a"), 42);
+}
+
+TEST(UndoJournal, MixedCreateAndMutateRevertsBoth) {
+  IntMap map{{"keep", 5}, {"mut", 6}};
+  MapUndoJournal<IntMap> journal;
+  journal.note(map, "mut");
+  map["mut"] -= 3;
+  journal.note(map, "new1");
+  map["new1"] += 3;
+  journal.note(map, "new2");
+  map["new2"] = 0;
+  EXPECT_EQ(journal.touched(), 3u);
+  journal.revert(map);
+  EXPECT_EQ(map, (IntMap{{"keep", 5}, {"mut", 6}}));
+}
+
+TEST(UndoJournal, TouchedCountsDistinctKeys) {
+  IntMap map;
+  MapUndoJournal<IntMap> journal;
+  EXPECT_TRUE(journal.empty());
+  journal.note(map, "x");
+  journal.note(map, "y");
+  journal.note(map, "x");
+  EXPECT_EQ(journal.touched(), 2u);
+}
+
+}  // namespace
+}  // namespace tradefl

@@ -24,7 +24,7 @@ LoadOptions tiny() {
   options.orgs = 3;
   options.transfers = 192;
   options.accounts = 4;
-  options.batch = 64;
+  options.seal_every = 64;
   options.repeats = 1;
   return options;
 }
@@ -76,9 +76,16 @@ TEST_F(LoadgenTest, ChainLoadCountsEveryTransfer) {
   EXPECT_EQ(report.name, "chain");
   EXPECT_EQ(report.operations, 192u);
 #if TRADEFL_ENABLE_TRACING
-  ASSERT_EQ(report.phases.size(), 1u);
-  EXPECT_EQ(report.phases[0].name, "chain.transfer.seconds");
-  EXPECT_EQ(report.phases[0].count, 192u);
+  // Three latency phases: the three submissions that crossed the seal_every=64
+  // threshold (192 / 64) and paid a block seal, the 189 pure transfers, and
+  // the final full-chain validation.
+  ASSERT_EQ(report.phases.size(), 3u);
+  EXPECT_EQ(report.phases[0].name, "chain.seal.seconds");
+  EXPECT_EQ(report.phases[0].count, 3u);
+  EXPECT_EQ(report.phases[1].name, "chain.transfer.seconds");
+  EXPECT_EQ(report.phases[1].count, 189u);
+  EXPECT_EQ(report.phases[2].name, "chain.validate.seconds");
+  EXPECT_EQ(report.phases[2].count, 1u);
 #else
   EXPECT_TRUE(report.phases.empty());
 #endif
@@ -97,6 +104,7 @@ TEST_F(LoadgenTest, ManifestJsonCarriesConfigAndMetrics) {
   EXPECT_EQ(manifest.rfind("{\"bench\": \"bench_load.session\", \"schema\": 1, ", 0), 0u);
   EXPECT_NE(manifest.find("\"sessions\": 2"), std::string::npos);
   EXPECT_NE(manifest.find("\"repeats\": 1"), std::string::npos);
+  EXPECT_NE(manifest.find("\"seal_every\": 64"), std::string::npos);
   EXPECT_NE(manifest.find("\"sessions_per_sec\": "), std::string::npos);
   EXPECT_NE(manifest.find("\"operations\": 2"), std::string::npos);
 #if TRADEFL_ENABLE_TRACING

