@@ -1,0 +1,96 @@
+// Serve bench — daemon-side throughput and admission latency SLOs. Boots an
+// in-process `tradefl serve` per pass, pushes a burst of session requests
+// through the wire protocol, and emits the canonical BENCH_serve.json
+// manifest the CI regression gate diffs against
+// bench/baselines/bench_serve.fast.json (tools/tfl_bench_diff.cpp):
+// sessions/sec plus server.admission.seconds / server.session.seconds
+// p50/p99.
+//
+// Knobs (key=value): sessions= orgs= workers= seed=
+//   repeats=N   timed passes per run; the best pass is reported (default 3)
+//   fast=1      shrunk workload for smoke runs and the CI gate
+//   out=DIR     where BENCH_serve.json lands (default ".")
+//   root=DIR    daemon scratch state dir (default "serve-load-state"; wiped
+//               before every pass)
+//   csv=DIR     also write the summary CSV + standard run manifest
+//   client=1    print the request lines instead of benching — the CI drain
+//               stage pipes exactly this workload into a REAL serve process
+//               before SIGTERMing it.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "tradefl/loadgen.h"
+
+using namespace tradefl;
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+
+  loadgen::ServeLoadOptions options;
+  if (config.get_bool("fast", false)) options = options.fast();
+  options.sessions = static_cast<std::size_t>(config.get_int("sessions", options.sessions));
+  options.orgs = static_cast<std::size_t>(config.get_int("orgs", options.orgs));
+  options.workers = static_cast<std::size_t>(config.get_int("workers", options.workers));
+  options.seed = static_cast<std::uint64_t>(config.get_int("seed", options.seed));
+  options.repeats = static_cast<std::size_t>(config.get_int("repeats", options.repeats));
+  options.root = config.get_string("root", options.root);
+
+  if (config.get_bool("client", false)) {
+    // Client mode: emit the workload, not the bench. No banner — the output
+    // is piped verbatim into a serve process's stdin.
+    for (const std::string& line : loadgen::serve_request_lines(options)) {
+      std::printf("%s\n", line.c_str());
+    }
+    return 0;
+  }
+
+  bench::banner("serve bench — daemon throughput and admission latency",
+                "burst of session requests through the serve daemon's wire "
+                "protocol; best-of-N sessions/s plus server.* p50/p99");
+
+  const std::string out_dir = config.get_string("out", ".");
+  loadgen::LoadReport report;
+  try {
+    report = loadgen::run_serve_load(options);
+  } catch (const std::exception& failure) {
+    std::cerr << "bench_serve: " << failure.what() << "\n";
+    return 1;
+  }
+  std::printf("serve load: %llu sessions in %.3fs -> %.2f sessions/s (%zu workers)\n",
+              static_cast<unsigned long long>(report.operations), report.wall_seconds,
+              report.ops_per_sec, options.workers);
+
+  const std::vector<std::string> header{"load",  "operations", "wall_s", "ops_per_sec",
+                                        "phase", "count",      "p50_us", "p99_us",
+                                        "max_us"};
+  AsciiTable table(header);
+  CsvWriter csv(header);
+  for (const loadgen::PhaseStats& phase : report.phases) {
+    const std::vector<std::string> row{report.name,
+                                       std::to_string(report.operations),
+                                       format_double(report.wall_seconds, 4),
+                                       format_double(report.ops_per_sec, 2),
+                                       phase.name,
+                                       std::to_string(phase.count),
+                                       format_double(phase.p50 * 1e6, 2),
+                                       format_double(phase.p99 * 1e6, 2),
+                                       format_double(phase.max * 1e6, 2)};
+    table.add_row(row);
+    csv.add_row(row);
+  }
+  bench::emit(config, "bench_serve", table, &csv);
+
+  int exit_code = 0;
+  const std::string manifest = loadgen::serve_manifest_json(report, options);
+  const Status written = bench::write_text_file(out_dir + "/BENCH_serve.json", manifest);
+  if (!written.ok()) {
+    std::cerr << "bench_serve: " << written.error().to_string() << "\n";
+    exit_code = 1;
+  } else {
+    std::printf("wrote %s\n", (out_dir + "/BENCH_serve.json").c_str());
+  }
+  if (!bench::write_manifest(config, "bench_serve").ok()) exit_code = 1;
+  return exit_code;
+}

@@ -1,14 +1,19 @@
 #include "common/faults.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/string_util.h"
 
 namespace tradefl {
 namespace {
+
+/// Depth of nested CrashContainmentScopes on this thread (server workers).
+thread_local int t_crash_containment_depth = 0;
 
 /// Stream seed for one (kind, round, target) cell. Chained derivations keep
 /// each coordinate independent: changing the round of a query can never
@@ -36,6 +41,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kTxSubmitFailure: return "submit_failure";
     case FaultKind::kSolverPerturbation: return "solver_perturbation";
     case FaultKind::kProcessCrash: return "crash";
+    case FaultKind::kPhaseHang: return "hang";
   }
   return "unknown";
 }
@@ -44,6 +50,40 @@ bool FaultPlan::empty() const {
   return dropout_rate <= 0.0 && straggler_rate <= 0.0 && corrupt_rate <= 0.0 &&
          revert_rate <= 0.0 && gas_exhaustion_rate <= 0.0 && submit_failure_rate <= 0.0 &&
          solver_perturb_rate <= 0.0 && events.empty();
+}
+
+std::string FaultPlan::spec_string(bool include_crashes) const {
+  // %.17g survives a stod round-trip for every double, so a plan parsed from
+  // this spec decides bit-identically to the original.
+  const auto number = [](double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return std::string(buffer);
+  };
+  std::ostringstream out;
+  const auto emit = [&out](const std::string& key, const std::string& value) {
+    out << (out.tellp() > 0 ? "," : "") << key << ":" << value;
+  };
+  emit("seed", std::to_string(seed));
+  if (dropout_rate > 0.0) emit("drop", number(dropout_rate));
+  if (straggler_rate > 0.0) emit("straggle", number(straggler_rate));
+  if (straggler_scale != 3.0) emit("scale", number(straggler_scale));
+  if (corrupt_rate > 0.0) emit("corrupt", number(corrupt_rate));
+  if (corrupt_noise > 0.0) emit("noise", number(corrupt_noise));
+  if (revert_rate > 0.0) emit("revert", number(revert_rate));
+  if (gas_exhaustion_rate > 0.0) emit("gas", number(gas_exhaustion_rate));
+  if (submit_failure_rate > 0.0) emit("submit", number(submit_failure_rate));
+  if (solver_perturb_rate > 0.0) emit("solver", number(solver_perturb_rate));
+  for (const FaultEvent& event : events) {
+    if (event.kind == FaultKind::kProcessCrash && include_crashes) {
+      emit("crash", std::to_string(event.round));
+    } else if (event.kind == FaultKind::kPhaseHang) {
+      emit("hang", std::to_string(event.round));
+    }
+    // Other event kinds have no spec syntax (see header); they only arise in
+    // programmatic plans that never pass through the registry.
+  }
+  return out.str();
 }
 
 std::string FaultPlan::summary() const {
@@ -108,16 +148,16 @@ Result<FaultPlan> parse_fault_plan(const std::string& spec) {
       plan.submit_failure_rate = parsed;
     } else if (key == "solver") {
       plan.solver_perturb_rate = parsed;
-    } else if (key == "crash") {
+    } else if (key == "crash" || key == "hang") {
       if (parsed < 0.0 || parsed != static_cast<double>(static_cast<std::uint64_t>(parsed))) {
-        return Error{"faults", "crash point must be a non-negative integer, got " + value};
+        return Error{"faults", key + " point must be a non-negative integer, got " + value};
       }
-      plan.events.push_back({FaultKind::kProcessCrash, static_cast<std::uint64_t>(parsed),
-                             kAnyFaultTarget, 0.0});
+      plan.events.push_back({key == "crash" ? FaultKind::kProcessCrash : FaultKind::kPhaseHang,
+                             static_cast<std::uint64_t>(parsed), kAnyFaultTarget, 0.0});
     } else {
       return Error{"faults", "unknown fault key '" + key +
                                  "' (seed|drop|straggle|scale|corrupt|noise|revert|gas|"
-                                 "submit|solver|crash)"};
+                                 "submit|solver|crash|hang)"};
     }
   }
   return plan;
@@ -197,14 +237,47 @@ bool FaultInjector::crash_now(std::uint64_t point) const {
   return find_event(FaultKind::kProcessCrash, point, 0) != nullptr;
 }
 
+bool FaultInjector::hang_now(std::uint64_t point) const {
+  return find_event(FaultKind::kPhaseHang, point, 0) != nullptr;
+}
+
+CrashContainmentScope::CrashContainmentScope() { ++t_crash_containment_depth; }
+
+CrashContainmentScope::~CrashContainmentScope() { --t_crash_containment_depth; }
+
+bool CrashContainmentScope::active() { return t_crash_containment_depth > 0; }
+
+void check_cancelled(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    throw OperationCancelled{};
+  }
+}
+
 void crash_if_scheduled(const FaultInjector* injector, std::uint64_t point) {
   if (injector == nullptr || !injector->enabled() || !injector->crash_now(point)) return;
+  if (CrashContainmentScope::active()) {
+    // The server contains the blast radius to the offending session: the
+    // throw unwinds the session worker, the daemon stays up, and the
+    // already-durable checkpoint is what a re-attach resumes from — the same
+    // state a real _Exit would have left behind.
+    throw InjectedCrash(point);
+  }
   // _Exit skips destructors and atexit handlers: from the snapshot layer's
   // point of view this is indistinguishable from SIGKILL, which is the
   // contract the kill-and-resume suite verifies.
   std::fprintf(stderr, "[faults] injected crash at point %llu\n",
                static_cast<unsigned long long>(point));
   std::_Exit(kCrashExitCode);
+}
+
+void hang_if_scheduled(const FaultInjector* injector, std::uint64_t point,
+                       const std::atomic<bool>* cancel) {
+  if (injector == nullptr || !injector->enabled() || !injector->hang_now(point)) return;
+  if (cancel == nullptr) return;  // unsupervised runs have nobody to un-wedge a hang
+  while (!cancel->load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  throw OperationCancelled{};
 }
 
 }  // namespace tradefl

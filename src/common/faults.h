@@ -13,7 +13,9 @@
 // so the injector can be shared across threads without synchronization.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@ enum class FaultKind : std::uint64_t {
   kTxSubmitFailure = 6,    // tx never reaches the chain (transient, retryable)
   kSolverPerturbation = 7, // CGBD primal subproblem diverges numerically
   kProcessCrash = 8,       // whole process dies abruptly (std::_Exit, no cleanup)
+  kPhaseHang = 9,          // pipeline point blocks until cancelled (watchdog tests)
 };
 
 /// Short stable name ("dropout", "revert", ...) used in metrics and logs.
@@ -74,16 +77,27 @@ struct FaultPlan {
 
   /// One-line human-readable summary ("drop:0.2 revert:0.1 seed:7").
   [[nodiscard]] std::string summary() const;
+
+  /// Round-trippable `parse_fault_plan` spec of this plan (rates plus the
+  /// spec-expressible crash:/hang: events; programmatic events of other kinds
+  /// have no spec syntax and are omitted). The server registry stores this so
+  /// a re-attached session replays the exact schedule it was admitted with.
+  /// `include_crashes=false` additionally drops crash events — a resumed
+  /// session must not re-fire the crash it already died from.
+  [[nodiscard]] std::string spec_string(bool include_crashes = true) const;
 };
 
 /// Parses the CLI `faults=` spec: comma-separated `key:value` pairs with keys
 ///   seed, drop, straggle, scale, corrupt, noise, revert, gas, submit, solver,
-///   crash
+///   crash, hang
 /// e.g. "drop:0.2,straggle:0.1,scale:4,revert:0.05,seed:7". `crash:N`
 /// schedules a process crash at pipeline point N (an FL round, CGBD
 /// iteration, or session phase — whichever crash-eligible point the run
-/// reaches first); repeat the key for multiple points. Unknown keys,
-/// malformed numbers, and out-of-range rates are errors.
+/// reaches first); repeat the key for multiple points. `hang:N` blocks the
+/// session at phase point N until its cancel token fires (see
+/// hang_if_scheduled) — the deterministic stand-in for a wedged solve that
+/// watchdog tests need. Unknown keys, malformed numbers, and out-of-range
+/// rates are errors.
 Result<FaultPlan> parse_fault_plan(const std::string& spec);
 
 /// Exit code used by injected crashes so the kill-and-resume harness can tell
@@ -92,12 +106,68 @@ inline constexpr int kCrashExitCode = 86;
 
 class FaultInjector;
 
+/// Thrown instead of std::_Exit when a CrashContainmentScope is active (the
+/// server contains injected crashes to the offending session). Derives from
+/// std::exception only — a contained crash must never be swallowed by the
+/// session's own std::runtime_error recovery paths.
+class InjectedCrash : public std::exception {
+ public:
+  explicit InjectedCrash(std::uint64_t point) : point_(point) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return "injected process crash (contained)";
+  }
+  [[nodiscard]] std::uint64_t point() const { return point_; }
+
+ private:
+  std::uint64_t point_;
+};
+
+/// While alive on a thread, crash faults on that thread throw InjectedCrash
+/// instead of killing the process. The server wraps each session worker in
+/// one so `crash:N` plans exercise the same durable-checkpoint instants as the
+/// CLI kill-and-resume suite without taking the daemon down. Scopes nest;
+/// containment stays active until the outermost scope dies.
+class CrashContainmentScope {
+ public:
+  CrashContainmentScope();
+  ~CrashContainmentScope();
+  CrashContainmentScope(const CrashContainmentScope&) = delete;
+  CrashContainmentScope& operator=(const CrashContainmentScope&) = delete;
+
+  /// True when any scope is alive on the calling thread.
+  static bool active();
+};
+
+/// Thrown by check_cancelled / hang_if_scheduled when a cancel token fires.
+/// Session phases let it propagate to the caller that owns the token (the
+/// server watchdog or drain path); it is not a session failure mode.
+class OperationCancelled : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "operation cancelled";
+  }
+};
+
+/// Throws OperationCancelled when the token is set. Null tokens never fire,
+/// so standalone pipelines pay one branch.
+void check_cancelled(const std::atomic<bool>* cancel);
+
 /// Dies via std::_Exit(kCrashExitCode) — no destructors, no stream flushes,
 /// exactly like a SIGKILL from the checkpoint subsystem's point of view —
 /// when the injector schedules a crash at `point`. Null/inert injectors are
 /// no-ops. Pipelines call this at the instants right after a checkpoint
-/// becomes durable.
+/// becomes durable. Under a CrashContainmentScope the death becomes a thrown
+/// InjectedCrash instead.
 void crash_if_scheduled(const FaultInjector* injector, std::uint64_t point);
+
+/// Blocks at `point` until `cancel` fires (then throws OperationCancelled)
+/// when the injector schedules a hang there. A hang with a null cancel token
+/// is a no-op rather than a genuine deadlock: only supervised runs (the
+/// server, watchdog tests) can ever un-wedge one, so only they experience it.
+/// Polls the token at millisecond granularity — timing never feeds back into
+/// any deterministic output.
+void hang_if_scheduled(const FaultInjector* injector, std::uint64_t point,
+                       const std::atomic<bool>* cancel);
 
 /// Outcome of a corruption query.
 struct CorruptionSpec {
@@ -146,6 +216,10 @@ class FaultInjector {
   /// event-only (no Bernoulli rate): a random crash schedule could never be
   /// compared against an uninterrupted baseline.
   [[nodiscard]] bool crash_now(std::uint64_t point) const;
+
+  /// True when a `hang:N` event is scheduled for this point. Hangs are
+  /// event-only for the same reason crashes are.
+  [[nodiscard]] bool hang_now(std::uint64_t point) const;
 
  private:
   [[nodiscard]] bool decide(FaultKind kind, std::uint64_t round, std::uint64_t target,

@@ -182,7 +182,42 @@ std::unique_ptr<ThreadPool>& global_pool_storage() {
   return pool;
 }
 
+// Per-thread pool budget installed by PoolBudgetScope. The active flag is
+// separate from the pointer because "override to serial" (nullptr) must be
+// distinguishable from "no override".
+thread_local bool t_pool_override_active = false;
+thread_local ThreadPool* t_pool_override = nullptr;
+
 }  // namespace
+
+PoolBudgetScope::PoolBudgetScope(ThreadPool* pool)
+    : previous_pool_(t_pool_override), previous_active_(t_pool_override_active) {
+  t_pool_override = pool;
+  t_pool_override_active = true;
+}
+
+PoolBudgetScope::~PoolBudgetScope() {
+  t_pool_override = previous_pool_;
+  t_pool_override_active = previous_active_;
+}
+
+WorkerThread::WorkerThread(std::function<void()> fn) : thread_(std::move(fn)) {}
+
+WorkerThread::~WorkerThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+WorkerThread& WorkerThread::operator=(WorkerThread&& other) noexcept {
+  if (this != &other) {
+    if (thread_.joinable()) thread_.join();
+    thread_ = std::move(other.thread_);
+  }
+  return *this;
+}
+
+void WorkerThread::join() {
+  if (thread_.joinable()) thread_.join();
+}
 
 void set_global_threads(std::size_t threads) {
   auto& pool = global_pool_storage();
@@ -194,10 +229,16 @@ void set_global_threads(std::size_t threads) {
 }
 
 std::size_t global_threads() {
+  if (t_pool_override_active) {
+    return t_pool_override == nullptr ? 1 : t_pool_override->size();
+  }
   const auto& pool = global_pool_storage();
   return pool == nullptr ? 1 : pool->size();
 }
 
-ThreadPool* global_pool() { return global_pool_storage().get(); }
+ThreadPool* global_pool() {
+  if (t_pool_override_active) return t_pool_override;
+  return global_pool_storage().get();
+}
 
 }  // namespace tradefl

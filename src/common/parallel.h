@@ -108,8 +108,50 @@ T ordered_reduce(ThreadPool* pool, std::size_t count, T init, const Map& map,
 /// Ambient pool shared by the FL/CGBD hot paths, sized by the CLI/bench
 /// `threads=N` option. Call from the main thread only (the pool is torn down
 /// and rebuilt). n <= 1 disables parallelism: global_pool() returns nullptr.
+/// A PoolBudgetScope on the calling thread overrides both accessors.
 void set_global_threads(std::size_t threads);
 [[nodiscard]] std::size_t global_threads();
 [[nodiscard]] ThreadPool* global_pool();
+
+/// While alive on a thread, global_pool()/global_threads() answer with this
+/// scope's pool instead of the process-wide one. The server carves per-session
+/// thread budgets this way: each session worker installs a scope over its own
+/// (possibly null = serial) pool, so concurrent sessions can never share —
+/// and race on — the single ambient pool's batch slot. Scopes nest; the
+/// innermost wins. The scope does not own the pool.
+class PoolBudgetScope {
+ public:
+  explicit PoolBudgetScope(ThreadPool* pool);
+  ~PoolBudgetScope();
+  PoolBudgetScope(const PoolBudgetScope&) = delete;
+  PoolBudgetScope& operator=(const PoolBudgetScope&) = delete;
+
+ private:
+  ThreadPool* previous_pool_;
+  bool previous_active_;
+};
+
+/// A single named service thread (join-on-destroy). This is the sanctioned
+/// way for long-lived components (the serve daemon's session workers and
+/// watchdog) to get a thread without touching std::thread themselves — the
+/// raw-thread lint rule keeps thread creation inside this translation unit.
+/// Not for data-parallel fan-out; that is ThreadPool's job.
+class WorkerThread {
+ public:
+  WorkerThread() = default;
+  explicit WorkerThread(std::function<void()> fn);
+  ~WorkerThread();
+
+  WorkerThread(WorkerThread&&) noexcept = default;
+  WorkerThread& operator=(WorkerThread&&) noexcept;
+  WorkerThread(const WorkerThread&) = delete;
+  WorkerThread& operator=(const WorkerThread&) = delete;
+
+  [[nodiscard]] bool joinable() const { return thread_.joinable(); }
+  void join();
+
+ private:
+  std::thread thread_;
+};
 
 }  // namespace tradefl

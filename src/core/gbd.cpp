@@ -449,6 +449,7 @@ Solution GbdSolver::solve() {
   }
 
   for (int k = first_iteration; k <= options_.max_iterations; ++k) {
+    check_cancelled(options_.cancel);
     crash_if_scheduled(options_.faults, static_cast<std::uint64_t>(k));
     visited.insert(freq);
     const PrimalSolve primal = solve_primal_recovering(freq, k);

@@ -56,6 +56,13 @@ struct GbdOptions {
   std::string checkpoint_path;
   std::size_t checkpoint_every = 1;
   bool resume = false;
+
+  /// Cooperative cancellation (nullptr = never cancelled; must outlive the
+  /// solve). Checked once per Benders iteration; when the token fires the
+  /// solve throws OperationCancelled. The serve daemon's watchdog sets it to
+  /// evict a session whose solve exceeds its deadline without touching the
+  /// process hosting every other session.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Thrown when the primal barrier diverges AND the damped restart also fails

@@ -332,6 +332,7 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
 
   for (std::size_t round = first_round; round <= options.rounds; ++round) {
     TFL_SPAN("fedavg.round");
+    check_cancelled(options.cancel);
     // Injected crashes fire at the top of a round: everything up to and
     // including the previous checkpoint is durable, everything since is the
     // loss the resume path must reconstruct.

@@ -48,6 +48,12 @@ struct FedAvgOptions {
   std::string checkpoint_path;
   std::size_t checkpoint_every = 1;
   bool resume = false;
+
+  /// Cooperative cancellation (nullptr = never cancelled; must outlive the
+  /// call). Checked at the top of every round; a fired token throws
+  /// OperationCancelled after the previous round's checkpoint is already
+  /// durable, so a cancelled-then-resumed training run stays bit-identical.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One organization's training view: a pointer to its local dataset and the

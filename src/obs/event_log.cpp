@@ -39,6 +39,14 @@ std::string micros_field(double us) {
   return std::to_string(rounded);
 }
 
+/// Ledger names carry the caller's MetricScope, mirroring the metric naming
+/// (`session=3/fedavg.round`), so interleaved lines from concurrent sessions
+/// stay attributable.
+std::string scoped_name(const std::string& name) {
+  const std::string& scope = metric_scope();
+  return scope.empty() ? name : scope + "/" + name;
+}
+
 /// Counters and histogram observation counts only: the deterministic shape
 /// of the run. Gauges, sums, and series carry wall clock / thread count and
 /// would break the cross-thread-count ledger identity (see header).
@@ -98,14 +106,14 @@ void EventLog::set_metrics_every(std::size_t every) {
 void EventLog::phase_begin(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!active_.load(std::memory_order_relaxed)) return;
-  write_line_locked("\"type\": \"phase_begin\", \"name\": " + json_string(name));
+  write_line_locked("\"type\": \"phase_begin\", \"name\": " + json_string(scoped_name(name)));
   maybe_auto_metrics_locked();
 }
 
 void EventLog::phase_end(const std::string& name, double duration_us) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!active_.load(std::memory_order_relaxed)) return;
-  write_line_locked("\"type\": \"phase_end\", \"name\": " + json_string(name) +
+  write_line_locked("\"type\": \"phase_end\", \"name\": " + json_string(scoped_name(name)) +
                     ", \"dur_us\": " + micros_field(duration_us));
   maybe_auto_metrics_locked();
 }
@@ -113,7 +121,7 @@ void EventLog::phase_end(const std::string& name, double duration_us) {
 void EventLog::event(const std::string& name, const Fields& fields) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!active_.load(std::memory_order_relaxed)) return;
-  std::string body = "\"type\": \"event\", \"name\": " + json_string(name);
+  std::string body = "\"type\": \"event\", \"name\": " + json_string(scoped_name(name));
   for (const auto& [key, value] : fields) {
     body += ", " + json_string(key) + ": " + json_number(value);
   }

@@ -360,6 +360,42 @@ MetricsRegistry& metrics() {
   return registry;
 }
 
+namespace {
+// Active per-thread scope prefix ("" = unscoped). A plain thread_local string
+// keeps the unscoped fast path to one empty() check.
+thread_local std::string t_metric_scope;
+}  // namespace
+
+MetricScope::MetricScope(std::string scope) : previous_(std::move(t_metric_scope)) {
+  t_metric_scope = std::move(scope);
+}
+
+MetricScope::~MetricScope() { t_metric_scope = std::move(previous_); }
+
+const std::string& metric_scope() { return t_metric_scope; }
+
+Counter& scoped(Counter& unscoped) {
+  if (t_metric_scope.empty()) return unscoped;
+  return metrics().counter(t_metric_scope + "/" + unscoped.name());
+}
+
+Gauge& scoped(Gauge& unscoped) {
+  if (t_metric_scope.empty()) return unscoped;
+  return metrics().gauge(t_metric_scope + "/" + unscoped.name());
+}
+
+Histogram& scoped(Histogram& unscoped) {
+  if (t_metric_scope.empty()) return unscoped;
+  // The scoped twin must bucket identically or its percentiles would not be
+  // comparable across sessions.
+  return metrics().histogram(t_metric_scope + "/" + unscoped.name(), unscoped.bounds());
+}
+
+Series& scoped(Series& unscoped) {
+  if (t_metric_scope.empty()) return unscoped;
+  return metrics().series(t_metric_scope + "/" + unscoped.name());
+}
+
 std::vector<double> default_latency_bounds() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
 }

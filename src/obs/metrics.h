@@ -204,6 +204,36 @@ class MetricsRegistry {
 /// Process-wide registry used by the TFL_* macros.
 MetricsRegistry& metrics();
 
+/// Thread-local observability scope: while one is alive, every TFL_* macro on
+/// the thread records under `<scope>/<name>` (e.g. "session=3/cgbd.solve")
+/// instead of the bare name, and ledger lines gain the same prefix. The serve
+/// daemon installs one per session worker so concurrent sessions never
+/// interleave into one histogram. Scopes nest (inner replaces outer); an
+/// empty scope string is the unscoped default. The macro-site literal name is
+/// what tfl-analyze audits, so scoping never perturbs the vocabulary closure.
+class MetricScope {
+ public:
+  explicit MetricScope(std::string scope);
+  ~MetricScope();
+  MetricScope(const MetricScope&) = delete;
+  MetricScope& operator=(const MetricScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// The calling thread's active scope ("" when none).
+[[nodiscard]] const std::string& metric_scope();
+
+/// Resolves a cached macro-site metric against the calling thread's scope:
+/// returns the argument unchanged when unscoped (the hot path keeps its
+/// cached-reference cost), otherwise registers/fetches `<scope>/<name>`.
+/// The scoped histogram inherits the unscoped one's bucket bounds.
+[[nodiscard]] Counter& scoped(Counter& unscoped);
+[[nodiscard]] Gauge& scoped(Gauge& unscoped);
+[[nodiscard]] Histogram& scoped(Histogram& unscoped);
+[[nodiscard]] Series& scoped(Series& unscoped);
+
 /// Log-spaced latency bounds in seconds: 1us .. 10s.
 std::vector<double> default_latency_bounds();
 

@@ -12,7 +12,10 @@
 //
 // Counter/gauge/histogram macros cache the registry reference in a
 // function-local static, so the name->metric map lookup happens once per call
-// site, not once per call.
+// site, not once per call. Each update resolves through obs::scoped(): with no
+// active MetricScope that is the cached reference itself (one string empty()
+// check); under a scope (the serve daemon's per-session workers) it fetches
+// the `<scope>/<name>` twin so concurrent sessions never share a metric.
 //
 //   TFL_COUNTER_INC(name)                +1 on a counter
 //   TFL_COUNTER_ADD(name, delta)         +delta (cast to uint64)
@@ -54,7 +57,8 @@
     if (::tradefl::obs::enabled()) {                                            \
       static ::tradefl::obs::Counter& tfl_counter_ref_ =                        \
           ::tradefl::obs::metrics().counter(name);                              \
-      tfl_counter_ref_.add(static_cast<std::uint64_t>(delta));                  \
+      ::tradefl::obs::scoped(tfl_counter_ref_)                                  \
+          .add(static_cast<std::uint64_t>(delta));                              \
     }                                                                           \
   } while (false)
 
@@ -65,7 +69,7 @@
     if (::tradefl::obs::enabled()) {                                            \
       static ::tradefl::obs::Gauge& tfl_gauge_ref_ =                            \
           ::tradefl::obs::metrics().gauge(name);                                \
-      tfl_gauge_ref_.set(static_cast<double>(value));                           \
+      ::tradefl::obs::scoped(tfl_gauge_ref_).set(static_cast<double>(value));   \
     }                                                                           \
   } while (false)
 
@@ -74,7 +78,8 @@
     if (::tradefl::obs::enabled()) {                                            \
       static ::tradefl::obs::Histogram& tfl_histogram_ref_ =                    \
           ::tradefl::obs::metrics().histogram(name);                            \
-      tfl_histogram_ref_.observe(static_cast<double>(value));                   \
+      ::tradefl::obs::scoped(tfl_histogram_ref_)                                \
+          .observe(static_cast<double>(value));                                 \
     }                                                                           \
   } while (false)
 
@@ -83,7 +88,8 @@
     if (::tradefl::obs::enabled()) {                                            \
       static ::tradefl::obs::Histogram& tfl_histogram_ref_ =                    \
           ::tradefl::obs::metrics().histogram(name, {__VA_ARGS__});             \
-      tfl_histogram_ref_.observe(static_cast<double>(value));                   \
+      ::tradefl::obs::scoped(tfl_histogram_ref_)                                \
+          .observe(static_cast<double>(value));                                 \
     }                                                                           \
   } while (false)
 
@@ -92,7 +98,7 @@
     if (::tradefl::obs::enabled()) {                                            \
       static ::tradefl::obs::Series& tfl_series_ref_ =                          \
           ::tradefl::obs::metrics().series(name);                               \
-      tfl_series_ref_.append(static_cast<double>(value));                       \
+      ::tradefl::obs::scoped(tfl_series_ref_).append(static_cast<double>(value)); \
     }                                                                           \
   } while (false)
 
@@ -100,13 +106,15 @@
 
 #define TFL_SCOPED_TIMER(name)                                                  \
   ::tradefl::obs::ScopedTimer TFL_OBS_CONCAT(tfl_timer_, __LINE__)(             \
-      ::tradefl::obs::enabled() ? &::tradefl::obs::metrics().histogram(name)    \
-                                : nullptr)
+      ::tradefl::obs::enabled()                                                 \
+          ? &::tradefl::obs::scoped(::tradefl::obs::metrics().histogram(name))  \
+          : nullptr)
 
 #define TFL_LATENCY_TIMER(name)                                                 \
   ::tradefl::obs::ScopedTimer TFL_OBS_CONCAT(tfl_latency_, __LINE__)(           \
-      ::tradefl::obs::enabled() ? &::tradefl::obs::latency_histogram(name)      \
-                                : nullptr)
+      ::tradefl::obs::enabled()                                                 \
+          ? &::tradefl::obs::scoped(::tradefl::obs::latency_histogram(name))    \
+          : nullptr)
 
 #define TFL_LEDGER_PHASE(name) \
   ::tradefl::obs::LedgerPhase TFL_OBS_CONCAT(tfl_ledger_phase_, __LINE__)(name)

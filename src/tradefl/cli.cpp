@@ -1,5 +1,6 @@
 #include "tradefl/cli.h"
 
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -16,34 +17,14 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tradefl/report.h"
+#include "tradefl/server.h"
 #include "tradefl/session.h"
 
 namespace tradefl::cli {
 namespace {
 
 const char* const kCommands[] = {"solve",   "compare", "sweep", "metrics",
-                                 "session", "chain",   "help"};
-
-game::CoopetitionGame game_from_options(const Config& options) {
-  // file=path loads a fully explicit game definition (see
-  // game::game_from_config); otherwise a seeded Table-II draw is used.
-  if (const auto path = options.get("file")) {
-    std::ifstream input(*path);
-    if (!input) throw std::runtime_error("cannot open game file " + *path);
-    std::ostringstream buffer;
-    buffer << input.rdbuf();
-    auto file_config = Config::from_text(buffer.str());
-    if (!file_config.ok()) throw std::runtime_error(file_config.error().to_string());
-    // CLI options override file entries (e.g. tweak gamma on the fly).
-    Config merged = file_config.value();
-    for (const auto& [key, value] : options.entries()) merged.set(key, value);
-    auto loaded = game::game_from_config(merged);
-    if (!loaded.ok()) throw std::runtime_error(loaded.error().to_string());
-    return std::move(loaded).take();
-  }
-  return game::make_experiment_game(spec_from_options(options),
-                                    static_cast<std::uint64_t>(options.get_int("seed", 42)));
-}
+                                 "session", "chain",   "serve", "help"};
 
 /// Applies checkpoint=DIR checkpoint_every=N resume=1 to a CGBD solve.
 /// resume with no snapshot yet is a cold start (the kill may predate the
@@ -125,30 +106,15 @@ int run_sweep(const Config& options, std::ostream& out) {
 }
 
 int run_session(const Config& options, std::ostream& out) {
-  const auto scheme = parse_scheme(options.get_string("scheme", "dbr"));
-  if (!scheme.ok()) {
-    out << scheme.error().to_string() << "\n";
-    return 2;
-  }
   const auto game = game_from_options(options);
   TradingSession session(game);
-  SessionOptions session_options;
-  session_options.scheme = scheme.value();
-  session_options.run_training = options.get_bool("train", false);
-  session_options.sample_scale = options.get_double("sample_scale", 0.15);
-  session_options.fedavg.rounds =
-      static_cast<std::size_t>(options.get_int("rounds", 5));
-  session_options.fedavg.quorum =
-      static_cast<std::size_t>(options.get_int("quorum", 1));
-  session_options.seal_every =
-      static_cast<std::size_t>(options.get_int("seal_every", 1));
-  if (const auto spec = options.get("faults")) {
-    const auto plan = parse_fault_plan(*spec);
-    if (!plan.ok()) {
-      out << plan.error().to_string() << "\n";
-      return 2;
-    }
-    session_options.faults = plan.value();
+  auto built = session_options_from_config(options);
+  if (!built.ok()) {
+    out << built.error().to_string() << "\n";
+    return 2;
+  }
+  SessionOptions session_options = std::move(built).take();
+  if (!session_options.faults.empty()) {
     out << "fault plan: " << session_options.faults.summary() << "\n";
   }
   if (const auto dir = options.get("checkpoint")) {
@@ -209,6 +175,22 @@ int run_chain(const Config& options, std::ostream& out) {
   return validation.valid ? 0 : 1;
 }
 
+int run_serve(const Config& options, std::ostream& out) {
+  auto serve_options = server::serve_options_from_config(options);
+  if (!serve_options.ok()) {
+    out << serve_options.error().to_string() << "\n";
+    return 2;
+  }
+  server::Server daemon(std::move(serve_options).take());
+  // SIGTERM flips the async-signal-safe drain flag; the EINTR-aware stdin
+  // reader notices and the server drains (checkpoint in-flight work, flush
+  // ledgers, exit 0).
+  server::install_signal_handler(SIGTERM, server::request_drain);
+  server::FdLineSource input(0);
+  const server::ServeSummary summary = daemon.run(input, out);
+  return summary.exit_code;
+}
+
 }  // namespace
 
 Result<Invocation> parse(const std::vector<std::string>& args) {
@@ -249,6 +231,48 @@ game::ExperimentSpec spec_from_options(const Config& options) {
   return spec;
 }
 
+game::CoopetitionGame game_from_options(const Config& options) {
+  // file=path loads a fully explicit game definition (see
+  // game::game_from_config); otherwise a seeded Table-II draw is used.
+  if (const auto path = options.get("file")) {
+    std::ifstream input(*path);
+    if (!input) throw std::runtime_error("cannot open game file " + *path);
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    auto file_config = Config::from_text(buffer.str());
+    if (!file_config.ok()) throw std::runtime_error(file_config.error().to_string());
+    // CLI options override file entries (e.g. tweak gamma on the fly).
+    Config merged = file_config.value();
+    for (const auto& [key, value] : options.entries()) merged.set(key, value);
+    auto loaded = game::game_from_config(merged);
+    if (!loaded.ok()) throw std::runtime_error(loaded.error().to_string());
+    return std::move(loaded).take();
+  }
+  return game::make_experiment_game(spec_from_options(options),
+                                    static_cast<std::uint64_t>(options.get_int("seed", 42)));
+}
+
+Result<SessionOptions> session_options_from_config(const Config& options) {
+  const auto scheme = parse_scheme(options.get_string("scheme", "dbr"));
+  if (!scheme.ok()) return scheme.error();
+  SessionOptions session_options;
+  session_options.scheme = scheme.value();
+  session_options.run_training = options.get_bool("train", false);
+  session_options.sample_scale = options.get_double("sample_scale", 0.15);
+  session_options.fedavg.rounds =
+      static_cast<std::size_t>(options.get_int("rounds", 5));
+  session_options.fedavg.quorum =
+      static_cast<std::size_t>(options.get_int("quorum", 1));
+  session_options.seal_every =
+      static_cast<std::size_t>(options.get_int("seal_every", 1));
+  if (const auto spec = options.get("faults")) {
+    auto plan = parse_fault_plan(*spec);
+    if (!plan.ok()) return plan.error();
+    session_options.faults = std::move(plan).take();
+  }
+  return session_options;
+}
+
 std::string usage() {
   return "tradefl — the TradeFL cross-silo FL trading mechanism (ICDCS'23 reproduction)\n"
          "usage: tradefl <command> [key=value ...]\n"
@@ -259,6 +283,9 @@ std::string usage() {
          "  metrics  run one solve and print its metrics snapshot (scheme=cgbd)\n"
          "  session  full pipeline incl. on-chain settlement (train=1 to run FedAvg)\n"
          "  chain    settlement walkthrough with blocks/events\n"
+         "  serve    long-lived session daemon over a JSON-lines stdin/stdout\n"
+         "           protocol (root=DIR workers=N queue_limit=N watchdog_seconds=S\n"
+         "           resume=1; SIGTERM drains cleanly; see docs/ARCHITECTURE.md)\n"
          "  help     this text\n"
          "common options: seed=42 orgs=10 gamma=5.12e-9 mu=0.05 omega_e= tau= lambda=\n"
          "               file=game.cfg (explicit game definition; see game_from_config)\n"
@@ -299,6 +326,7 @@ int dispatch(const Invocation& invocation, std::ostream& out) {
   if (invocation.command == "metrics") return run_metrics(invocation.options, out);
   if (invocation.command == "session") return run_session(invocation.options, out);
   if (invocation.command == "chain") return run_chain(invocation.options, out);
+  if (invocation.command == "serve") return run_serve(invocation.options, out);
   out << usage();
   return 2;
 }

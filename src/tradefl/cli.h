@@ -20,6 +20,7 @@
 #include "common/config.h"
 #include "core/mechanism.h"
 #include "game/game_factory.h"
+#include "tradefl/session.h"
 
 namespace tradefl::cli {
 
@@ -38,6 +39,20 @@ Result<core::Scheme> parse_scheme(const std::string& name);
 
 /// Builds the experiment spec from common options (orgs, gamma, mu, ...).
 game::ExperimentSpec spec_from_options(const Config& options);
+
+/// Builds the game from the shared option vocabulary: `file=` loads an
+/// explicit definition (CLI keys override file entries), otherwise a seeded
+/// Table-II draw from spec_from_options. Shared by the session/solve commands
+/// and the serve daemon so a served session sees the exact game a solo CLI
+/// run would. Throws std::runtime_error on an unreadable/invalid file.
+game::CoopetitionGame game_from_options(const Config& options);
+
+/// Builds SessionOptions from the shared vocabulary (scheme, train,
+/// sample_scale, rounds, quorum, seal_every, faults) with the same defaults
+/// as `tradefl session` — byte-identical results between the CLI and the
+/// serve daemon depend on this being the single builder. Checkpoint/resume
+/// and cancellation wiring stay with the caller.
+Result<SessionOptions> session_options_from_config(const Config& options);
 
 /// Executes the invocation, writing human-readable output to `out`.
 /// Returns the process exit code.

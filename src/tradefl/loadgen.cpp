@@ -1,6 +1,7 @@
 #include "tradefl/loadgen.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
@@ -9,7 +10,9 @@
 #include "common/stopwatch.h"
 #include "game/game_factory.h"
 #include "obs/obs.h"
+#include "tradefl/server.h"
 #include "tradefl/session.h"
+#include "tradefl/wire.h"
 
 namespace tradefl::loadgen {
 namespace {
@@ -35,6 +38,10 @@ std::vector<PhaseStats> collect_phases() {
   const obs::MetricsSnapshot snapshot = obs::metrics().snapshot();
   for (const auto& histogram : snapshot.histograms) {
     if (histogram.data.count == 0 || !ends_with(histogram.name, ".seconds")) continue;
+    // Per-session scoped twins ("session=<id>/...") would explode the phase
+    // table with one entry per served session; the benches gate the unscoped
+    // aggregate names only.
+    if (histogram.name.find('/') != std::string::npos) continue;
     PhaseStats stats;
     stats.name = histogram.name;
     stats.count = histogram.data.count;
@@ -56,7 +63,7 @@ void finish_report(LoadReport& report, const Stopwatch& wall) {
 }
 
 std::string throughput_key(const LoadReport& report) {
-  return report.name == "session" ? "sessions_per_sec" : "tx_per_sec";
+  return report.name == "chain" ? "tx_per_sec" : "sessions_per_sec";
 }
 
 /// Best-of-N pass selection: transient machine load slows a whole pass, so
@@ -219,6 +226,85 @@ LoadReport run_chain_load(const LoadOptions& options) {
   });
   TFL_GAUGE_SET("bench.load.tx_per_sec", best.ops_per_sec);
   return best;
+}
+
+ServeLoadOptions ServeLoadOptions::fast() const {
+  ServeLoadOptions shrunk = *this;
+  shrunk.sessions = 32;
+  shrunk.orgs = 4;
+  shrunk.workers = 4;
+  return shrunk;
+}
+
+std::vector<std::string> serve_request_lines(const ServeLoadOptions& options) {
+  std::vector<std::string> lines;
+  lines.reserve(options.sessions);
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    wire::Message request;
+    request.set_string("op", "session");
+    request.set_number("orgs", static_cast<double>(options.orgs));
+    request.set_number("seed", static_cast<double>(options.seed + s));
+    lines.push_back(request.serialize());
+  }
+  return lines;
+}
+
+LoadReport run_serve_load(const ServeLoadOptions& options) {
+  // Warmup session outside the timed window (see run_session_load).
+  {
+    game::ExperimentSpec spec;
+    spec.org_count = options.orgs;
+    const game::CoopetitionGame warm_game = game::make_experiment_game(spec, options.seed);
+    TradingSession warm_session(warm_game);
+    (void)warm_session.run(SessionOptions{});
+  }
+  std::string input_text;
+  for (const std::string& line : serve_request_lines(options)) {
+    input_text += line;
+    input_text += '\n';
+  }
+  LoadReport best = best_of(options.repeats, [&options, &input_text] {
+    // Fresh state per pass: every pass admits, runs, and completes the same
+    // workload instead of re-attaching to the previous pass's registry.
+    std::error_code ec;
+    std::filesystem::remove_all(options.root, ec);
+    server::ServeOptions serve;
+    serve.root = options.root;
+    serve.workers = options.workers;
+    serve.queue_limit = options.sessions + 1;  // throughput pass: never shed
+    serve.resume = false;
+    server::Server daemon(serve);
+    std::istringstream input_stream(input_text);
+    server::StreamLineSource input(input_stream);
+    std::ostringstream replies;
+
+    LoadReport report;
+    report.name = "serve";
+    const Stopwatch wall;
+    const server::ServeSummary summary = daemon.run(input, replies);
+    if (summary.exit_code != 0 || summary.completed != options.sessions) {
+      throw std::runtime_error("serve load: " + std::to_string(summary.completed) + "/" +
+                               std::to_string(options.sessions) +
+                               " sessions completed (exit " +
+                               std::to_string(summary.exit_code) + ")");
+    }
+    report.operations = summary.completed;
+    finish_report(report, wall);
+    return report;
+  });
+  TFL_GAUGE_SET("bench.load.serve_sessions_per_sec", best.ops_per_sec);
+  return best;
+}
+
+std::string serve_manifest_json(const LoadReport& report, const ServeLoadOptions& options) {
+  std::ostringstream out;
+  out << "{\"bench\": \"bench_serve\", \"schema\": 1, \"config\": {\"orgs\": " << options.orgs
+      << ", \"repeats\": " << options.repeats << ", \"seed\": " << options.seed
+      << ", \"sessions\": " << options.sessions << ", \"workers\": " << options.workers
+      << "}, \"metrics\": ";
+  append_metrics(out, report);
+  out << "}\n";
+  return out.str();
 }
 
 std::string manifest_json(const LoadReport& report, const LoadOptions& options) {

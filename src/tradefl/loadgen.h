@@ -40,6 +40,23 @@ struct LoadOptions {
   [[nodiscard]] LoadOptions fast() const;
 };
 
+/// Load shape for the serve-daemon bench (bench/bench_serve.cpp): drives a
+/// burst of session requests through an in-process Server over the wire
+/// protocol and reports sessions/sec plus the admission/session latency
+/// percentiles from the server.* histograms.
+struct ServeLoadOptions {
+  std::size_t sessions = 64;  // requests pushed through the daemon per pass
+  std::size_t orgs = 4;
+  std::size_t workers = 4;    // concurrent session workers in the daemon
+  std::uint64_t seed = 42;
+  std::size_t repeats = 3;    // best-of-N passes (see LoadOptions::repeats)
+  /// Scratch state root; wiped before every pass so each pass admits fresh.
+  std::string root = "serve-load-state";
+
+  /// Shrunk workload for smoke runs and the CI regression gate.
+  [[nodiscard]] ServeLoadOptions fast() const;
+};
+
 /// Quantiles of one latency histogram recorded during the load run.
 struct PhaseStats {
   std::string name;
@@ -71,6 +88,23 @@ LoadReport run_session_load(const LoadOptions& options);
 /// reports the best pass. Resets the metrics registry per pass; throws when
 /// the resulting chain fails validation.
 LoadReport run_chain_load(const LoadOptions& options);
+
+/// The request lines run_serve_load pushes through the daemon, one flat JSON
+/// object per line. Exposed so `bench_serve client=1` can print the exact
+/// same workload for driving a REAL serve process over a pipe (the CI drain
+/// stage), keeping in-process and subprocess runs comparable.
+std::vector<std::string> serve_request_lines(const ServeLoadOptions& options);
+
+/// Boots an in-process Server per pass and pushes `sessions` requests at it,
+/// `repeats` times; reports the best pass. Phases cover the unscoped server.*
+/// histograms only (per-session `session=<id>/...` twins are deliberately
+/// excluded — the bench gates daemon behaviour, not any single session).
+/// Throws when a pass completes fewer sessions than it admitted.
+LoadReport run_serve_load(const ServeLoadOptions& options);
+
+/// Canonical manifest JSON for the serve report (BENCH_serve.json), diffed
+/// against bench/baselines/bench_serve.fast.json by the CI gate.
+std::string serve_manifest_json(const LoadReport& report, const ServeLoadOptions& options);
 
 /// Canonical manifest JSON for one report (BENCH_session.json /
 /// BENCH_chain.json): config + throughput + per-phase percentiles.

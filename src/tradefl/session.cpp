@@ -262,12 +262,23 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     crash_if_scheduled(faults, phase);
   };
 
+  // Phase entry guard: cooperative cancellation plus the deterministic
+  // `hang:<phase>` fault (blocks until the cancel token fires — the watchdog
+  // test's stand-in for a wedged solve). Both fire before any phase work, so
+  // the durable state is exactly the previous phase boundary.
+  const auto enter_phase = [&](std::uint64_t phase) {
+    check_cancelled(options.cancel);
+    hang_if_scheduled(faults, phase, options.cancel);
+  };
+
   // ---- 1. Equilibrium computation (off-chain, Sec. V). ----
   if (completed_phase < 1) {
+    enter_phase(1);
     TFL_SPAN("session.solve");
     TFL_LEDGER_PHASE("session.solve");
     core::SchemeOptions scheme_options = options.scheme_options;
     scheme_options.cgbd.faults = faults;
+    scheme_options.cgbd.cancel = options.cancel;
     if (checkpointing) {
       scheme_options.cgbd.checkpoint_path = options.checkpoint_dir + "/cgbd.snap";
       scheme_options.cgbd.checkpoint_every = options.checkpoint_every;
@@ -291,6 +302,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
 
   // ---- 2. Optional FedAvg training with the equilibrium fractions. ----
   if (completed_phase < 2) {
+    enter_phase(2);
     if (options.run_training) {
       TFL_SPAN("session.train");
       TFL_LEDGER_PHASE("session.train");
@@ -321,6 +333,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
         model_spec.seed = options.seed;
         fl::FedAvgOptions fedavg_options = options.fedavg;
         fedavg_options.faults = faults;
+        fedavg_options.cancel = options.cancel;
         if (checkpointing) {
           fedavg_options.checkpoint_path = options.checkpoint_dir + "/fedavg.snap";
           fedavg_options.checkpoint_every = options.checkpoint_every;
@@ -337,6 +350,10 @@ SessionResult TradingSession::run(const SessionOptions& options) {
           degraded("training", std::to_string(result.training->total_quarantined) +
                                    " corrupted update(s) quarantined");
         }
+      } catch (const OperationCancelled&) {
+        throw;  // the supervisor owns the token; cancellation is not a failure
+      } catch (const InjectedCrash&) {
+        throw;  // a contained crash must reach the server's containment scope
       } catch (const std::exception& failure) {
         // Training is advisory for the trade itself (the settlement depends on
         // the equilibrium profile, not the model), so its failure degrades the
@@ -432,6 +449,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
 
   // ---- 4. Register + deposit (Fig. 3 step 1). ----
   if (completed_phase < 3) {
+    enter_phase(3);
     result.contract_address = chain_->deploy(
         std::make_unique<chain::TradeFlContract>(config));
     for (game::OrgId i = 0; i < n && chain_ok; ++i) {
@@ -445,6 +463,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
 
   // ---- 5. Report contributions (Fig. 3 step 2). ----
   if (completed_phase < 4) {
+    enter_phase(4);
     for (game::OrgId i = 0; i < n && chain_ok; ++i) {
       const double f_ghz = game.frequency(i, profile[i]) / 1e9;
       chain_call(org_address(i), "contributionSubmit",
@@ -455,6 +474,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
 
   // ---- 6. Settle (Fig. 3 step 3) + cross-checks. ----
   if (completed_phase < 5) {
+    enter_phase(5);
     result.settlements_wei.assign(n, 0);
     if (chain_ok) {
       TFL_SPAN("session.settle");

@@ -14,6 +14,7 @@
 //      consistency between Eq. (9) computed in doubles and in fixed point).
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 
@@ -75,6 +76,14 @@ struct SessionOptions {
   /// snapshot); session-level snapshots always land on phase boundaries.
   std::size_t checkpoint_every = 1;
   bool resume = false;
+
+  /// Cooperative cancellation token (nullptr = never cancelled; must outlive
+  /// run()). Checked at every phase boundary and threaded into the CGBD
+  /// iteration loop and FedAvg round loop; a fired token makes run() throw
+  /// OperationCancelled after the last completed phase's checkpoint is
+  /// already durable, so a cancelled session resumes bit-identically. The
+  /// serve daemon's watchdog and drain paths own the token.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One contained failure: the session survived it, degraded, and reports it

@@ -1,0 +1,305 @@
+#include "tradefl/wire.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tradefl::wire {
+namespace {
+
+/// %.17g survives a strtod round trip for every finite double.
+std::string format_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integral values (ids, counts, flags-as-numbers) render without an
+  // exponent or fraction so they read back as the same token they were sent.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+        break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Strict single-pass parser state over one line.
+struct Cursor {
+  const std::string& text;
+  std::size_t at = 0;
+
+  [[nodiscard]] bool done() const { return at >= text.size(); }
+  [[nodiscard]] char peek() const { return text[at]; }
+  void skip_ws() {
+    while (!done() && (text[at] == ' ' || text[at] == '\t')) ++at;
+  }
+  [[nodiscard]] Error error(const std::string& what) const {
+    return Error{"wire.parse", what + " at offset " + std::to_string(at)};
+  }
+};
+
+Result<std::string> parse_string(Cursor& cursor) {
+  // Caller consumed the opening quote's position check; we consume the quote.
+  ++cursor.at;
+  std::string out;
+  while (true) {
+    if (cursor.done()) return cursor.error("unterminated string");
+    const char c = cursor.text[cursor.at];
+    if (c == '"') {
+      ++cursor.at;
+      return out;
+    }
+    if (c != '\\') {
+      out += c;
+      ++cursor.at;
+      continue;
+    }
+    ++cursor.at;
+    if (cursor.done()) return cursor.error("dangling escape");
+    const char esc = cursor.text[cursor.at];
+    ++cursor.at;
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (cursor.at + 4 > cursor.text.size()) return cursor.error("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cursor.text[cursor.at + static_cast<std::size_t>(i)];
+          code <<= 4U;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return cursor.error("bad hex digit in \\u escape");
+          }
+        }
+        cursor.at += 4;
+        // Wire payloads are option keys/values: ASCII and Latin-1 cover them.
+        // Encode the code point as UTF-8 so round trips stay lossless.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0U | (code >> 6U));
+          out += static_cast<char>(0x80U | (code & 0x3FU));
+        } else {
+          out += static_cast<char>(0xE0U | (code >> 12U));
+          out += static_cast<char>(0x80U | ((code >> 6U) & 0x3FU));
+          out += static_cast<char>(0x80U | (code & 0x3FU));
+        }
+        break;
+      }
+      default: return cursor.error("unknown escape");
+    }
+  }
+}
+
+Result<Value> parse_value(Cursor& cursor) {
+  cursor.skip_ws();
+  if (cursor.done()) return cursor.error("missing value");
+  const char c = cursor.peek();
+  if (c == '"') {
+    auto text = parse_string(cursor);
+    if (!text.ok()) return text.error();
+    return Value::string(std::move(text).take());
+  }
+  if (c == '{' || c == '[') {
+    return cursor.error("nested containers are not part of the flat wire format");
+  }
+  const auto literal = [&cursor](const char* word, std::size_t len) {
+    if (cursor.text.compare(cursor.at, len, word) != 0) return false;
+    cursor.at += len;
+    return true;
+  };
+  if (literal("true", 4)) return Value::boolean(true);
+  if (literal("false", 5)) return Value::boolean(false);
+  if (literal("null", 4)) return Value::null();
+  // Number: delegate to strtod, then verify it consumed a sane token.
+  const char* start = cursor.text.c_str() + cursor.at;
+  char* end = nullptr;
+  const double parsed = std::strtod(start, &end);
+  if (end == start) return cursor.error("expected a JSON value");
+  cursor.at += static_cast<std::size_t>(end - start);
+  if (!std::isfinite(parsed)) return cursor.error("non-finite number");
+  return Value::number_of(parsed);
+}
+
+}  // namespace
+
+Value Value::string(std::string value) {
+  Value v;
+  v.kind = Kind::kString;
+  v.text = std::move(value);
+  return v;
+}
+
+Value Value::number_of(double value) {
+  Value v;
+  v.kind = Kind::kNumber;
+  v.number = value;
+  return v;
+}
+
+Value Value::boolean(bool value) {
+  Value v;
+  v.kind = Kind::kBool;
+  v.flag = value;
+  return v;
+}
+
+Value Value::null() { return Value{}; }
+
+void Message::set(const std::string& key, Value value) {
+  for (auto& [existing, existing_value] : fields_) {
+    if (existing == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(key, std::move(value));
+}
+
+void Message::set_string(const std::string& key, std::string value) {
+  set(key, Value::string(std::move(value)));
+}
+
+void Message::set_number(const std::string& key, double value) {
+  set(key, Value::number_of(value));
+}
+
+void Message::set_bool(const std::string& key, bool value) {
+  set(key, Value::boolean(value));
+}
+
+const Value* Message::find(const std::string& key) const {
+  for (const auto& [existing, value] : fields_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Message::get_string(const std::string& key) const {
+  const Value* value = find(key);
+  if (value == nullptr || value->kind != Value::Kind::kString) return std::nullopt;
+  return value->text;
+}
+
+std::optional<double> Message::get_number(const std::string& key) const {
+  const Value* value = find(key);
+  if (value == nullptr || value->kind != Value::Kind::kNumber) return std::nullopt;
+  return value->number;
+}
+
+std::optional<bool> Message::get_bool(const std::string& key) const {
+  const Value* value = find(key);
+  if (value == nullptr || value->kind != Value::Kind::kBool) return std::nullopt;
+  return value->flag;
+}
+
+std::string Message::serialize() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += quote(key) + ": ";
+    switch (value.kind) {
+      case Value::Kind::kString: out += quote(value.text); break;
+      case Value::Kind::kNumber: out += format_number(value.number); break;
+      case Value::Kind::kBool: out += value.flag ? "true" : "false"; break;
+      case Value::Kind::kNull: out += "null"; break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Result<Message> Message::parse(const std::string& line) {
+  Cursor cursor{line};
+  cursor.skip_ws();
+  if (cursor.done() || cursor.peek() != '{') return cursor.error("expected '{'");
+  ++cursor.at;
+  Message message;
+  cursor.skip_ws();
+  if (!cursor.done() && cursor.peek() == '}') {
+    ++cursor.at;
+  } else {
+    while (true) {
+      cursor.skip_ws();
+      if (cursor.done() || cursor.peek() != '"') return cursor.error("expected a field key");
+      auto key = parse_string(cursor);
+      if (!key.ok()) return key.error();
+      if (message.find(key.value()) != nullptr) {
+        return cursor.error("duplicate key '" + key.value() + "'");
+      }
+      cursor.skip_ws();
+      if (cursor.done() || cursor.peek() != ':') return cursor.error("expected ':'");
+      ++cursor.at;
+      auto value = parse_value(cursor);
+      if (!value.ok()) return value.error();
+      message.set(key.value(), std::move(value).take());
+      cursor.skip_ws();
+      if (cursor.done()) return cursor.error("unterminated object");
+      if (cursor.peek() == ',') {
+        ++cursor.at;
+        continue;
+      }
+      if (cursor.peek() == '}') {
+        ++cursor.at;
+        break;
+      }
+      return cursor.error("expected ',' or '}'");
+    }
+  }
+  cursor.skip_ws();
+  if (!cursor.done()) return cursor.error("trailing content after object");
+  return message;
+}
+
+Config to_config(const Message& message) {
+  Config config;
+  for (const auto& [key, value] : message.fields()) {
+    if (key == "op" || key == "id") continue;
+    switch (value.kind) {
+      case Value::Kind::kString: config.set(key, value.text); break;
+      case Value::Kind::kNumber: config.set(key, format_number(value.number)); break;
+      case Value::Kind::kBool: config.set(key, value.flag ? "1" : "0"); break;
+      case Value::Kind::kNull: break;
+    }
+  }
+  return config;
+}
+
+}  // namespace tradefl::wire

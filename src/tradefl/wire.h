@@ -1,0 +1,76 @@
+// Framed JSON-lines wire protocol for the serve daemon. One request or reply
+// per line, each a single FLAT JSON object — values are strings, numbers,
+// booleans, or null; nested objects/arrays are rejected by design. Flatness
+// keeps the parser small enough to audit, makes every message diffable as a
+// line, and maps 1:1 onto the key=value Config vocabulary the CLI already
+// speaks (wire::to_config / the serve daemon reuse the same option builder as
+// `tradefl session`).
+//
+// Robustness contract: parse() never throws and never partially succeeds —
+// malformed input yields a typed Error{"wire.parse", ...} naming the offset,
+// and serialize() output always round-trips through parse() bit-identically
+// (field order preserved, numbers via %.17g).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+
+namespace tradefl::wire {
+
+/// One field value. Numbers keep the double they parsed to; integral doubles
+/// serialize without a fractional part so ids survive a round trip textually.
+struct Value {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string text;     // kString
+  double number = 0.0;  // kNumber
+  bool flag = false;    // kBool
+
+  static Value string(std::string value);
+  static Value number_of(double value);
+  static Value boolean(bool value);
+  static Value null();
+};
+
+/// An ordered flat JSON object. Field order is preserved (first set wins the
+/// position; setting an existing key overwrites its value in place) so
+/// serialized replies are deterministic.
+class Message {
+ public:
+  void set(const std::string& key, Value value);
+  void set_string(const std::string& key, std::string value);
+  void set_number(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get_string(const std::string& key) const;
+  [[nodiscard]] std::optional<double> get_number(const std::string& key) const;
+  [[nodiscard]] std::optional<bool> get_bool(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+
+  /// One-line JSON object, no trailing newline.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Strict parse of one line. Rejects nested containers, duplicate keys,
+  /// trailing garbage, and malformed escapes with Error{"wire.parse", ...}.
+  static Result<Message> parse(const std::string& line);
+
+ private:
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Projects a message onto the CLI's key=value Config vocabulary, skipping
+/// the protocol-only keys ("op", "id"). Strings pass through, booleans become
+/// "1"/"0", numbers render integrally when integral (orgs=4, not orgs=4.0),
+/// nulls are skipped.
+[[nodiscard]] Config to_config(const Message& message);
+
+}  // namespace tradefl::wire

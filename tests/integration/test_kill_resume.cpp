@@ -154,6 +154,105 @@ TEST(KillResume, RealSigkillMidRunResumesToIdenticalReport) {
   EXPECT_EQ(slurp(baseline_report), slurp(dir + "/resumed.txt"));
 }
 
+/// spawn_cli with the child's stdin wired to a pipe the test writes requests
+/// into (for driving a real `tradefl serve` process). The write end is
+/// returned via `stdin_fd`; keeping it open keeps the daemon alive — serve
+/// treats EOF as "finish everything then exit".
+pid_t spawn_cli_with_stdin(const std::vector<std::string>& args, const std::string& log,
+                           int* stdin_fd) {
+  int fds[2] = {-1, -1};
+  if (pipe(fds) != 0) return -1;
+  const pid_t pid = fork();
+  if (pid != 0) {
+    close(fds[0]);
+    *stdin_fd = fds[1];
+    return pid;
+  }
+  dup2(fds[0], 0);
+  close(fds[0]);
+  close(fds[1]);
+  if (std::freopen(log.c_str(), "w", stdout) == nullptr) std::_Exit(127);
+  if (std::freopen(log.c_str(), "a", stderr) == nullptr) std::_Exit(127);
+  std::vector<std::string> storage = args;
+  std::vector<char*> argv;
+  std::string binary = TRADEFL_CLI_PATH;
+  argv.push_back(binary.data());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  execv(TRADEFL_CLI_PATH, argv.data());
+  std::_Exit(127);  // exec failed
+}
+
+TEST(KillResume, ServeSigkillMidFlightReattachesBitIdentically) {
+  const std::string dir = temp_dir("kill_resume_serve");
+  const std::string state = dir + "/state";
+  const std::vector<std::uint64_t> seeds = {31, 32, 33};
+
+  // Uninterrupted solo baselines for the exact workload the daemon will run.
+  for (const std::uint64_t seed : seeds) {
+    const std::string report = dir + "/base_" + std::to_string(seed) + ".txt";
+    const std::vector<std::string> args = {
+        "session", "scheme=dbr", "orgs=4", "seed=" + std::to_string(seed),
+        "train=1", "rounds=3",   "sample_scale=0.02", "report=" + report};
+    ASSERT_EQ(run_cli(args, dir + "/base_" + std::to_string(seed) + ".log"), 0)
+        << slurp(dir + "/base_" + std::to_string(seed) + ".log");
+  }
+
+  // Boot the real daemon and push three training sessions at it. The pipe's
+  // write end stays open, so the daemon is mid-service, not winding down.
+  int stdin_fd = -1;
+  const pid_t pid = spawn_cli_with_stdin({"serve", "root=" + state, "workers=3"},
+                                         dir + "/serve.log", &stdin_fd);
+  ASSERT_GT(pid, 0);
+  std::string requests;
+  for (const std::uint64_t seed : seeds) {
+    requests += "{\"op\": \"session\", \"scheme\": \"dbr\", \"orgs\": 4, \"seed\": " +
+                std::to_string(seed) +
+                ", \"train\": true, \"rounds\": 3, \"sample_scale\": 0.02}\n";
+  }
+  ASSERT_EQ(write(stdin_fd, requests.data(), requests.size()),
+            static_cast<ssize_t>(requests.size()));
+
+  // Wait until all three sessions have a durable training snapshot — three
+  // concurrent sessions genuinely in flight — then kill -9 the daemon.
+  Stopwatch watch;
+  const auto all_in_flight = [&] {
+    for (std::size_t id = 1; id <= seeds.size(); ++id) {
+      if (!std::filesystem::exists(state + "/sessions/" + std::to_string(id) +
+                                   "/fedavg.snap")) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_in_flight() && watch.elapsed_seconds() < 60.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(all_in_flight()) << slurp(dir + "/serve.log");
+  kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  close(stdin_fd);
+
+  // Restart over the same state root with no new input: the registry must
+  // re-attach every pending session and finish it from its checkpoints.
+  const int resumed = run_cli({"serve", "root=" + state, "workers=3", "< /dev/null"},
+                              dir + "/resume.log");
+  ASSERT_EQ(resumed, 0) << slurp(dir + "/resume.log");
+  const std::string resume_log = slurp(dir + "/resume.log");
+  EXPECT_EQ(resume_log.find("\"op\": \"failed\""), std::string::npos) << resume_log;
+
+  // Whether the kill caught a session mid-round or already done, every report
+  // must land on the uninterrupted baseline's bytes.
+  for (std::size_t id = 1; id <= seeds.size(); ++id) {
+    const std::string served =
+        state + "/sessions/" + std::to_string(id) + "/report.txt";
+    const std::string baseline = dir + "/base_" + std::to_string(seeds[id - 1]) + ".txt";
+    EXPECT_EQ(slurp(baseline), slurp(served))
+        << "session " << id << " diverged after SIGKILL + re-attach";
+  }
+}
+
 TEST(KillResume, ResumeAfterCleanCompletionIsIdempotent) {
   const std::string dir = temp_dir("kill_resume_idempotent");
   std::vector<std::string> first = session_args(dir + "/first.txt");

@@ -1,0 +1,213 @@
+// Chaos gate for the serve daemon: a fleet of concurrent sessions under a
+// mixed fault plan — phase hangs (watchdog bait), injected process crashes
+// (containment bait), and transient chain submission failures (retry bait) —
+// must never take the daemon down, must leave every unaffected session
+// byte-identical to a solo run, and must leave evicted sessions resumable to
+// byte-identical reports by a restarted server.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/faults.h"
+#include "tradefl/cli.h"
+#include "tradefl/report.h"
+#include "tradefl/server.h"
+#include "tradefl/session.h"
+#include "tradefl/wire.h"
+
+namespace tradefl {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "missing " << path;
+  return {std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>()};
+}
+
+Config fleet_config(std::size_t index, const std::string& faults) {
+  Config config;
+  config.set("orgs", "3");
+  config.set("seed", std::to_string(100 + index));
+  if (!faults.empty()) config.set("faults", faults);
+  return config;
+}
+
+std::string session_request_line(const Config& config) {
+  wire::Message request;
+  request.set_string("op", "session");
+  for (const auto& [key, value] : config.entries()) {
+    request.set_string(key, value);
+  }
+  return request.serialize();
+}
+
+/// Solo baseline under the same plan minus the crash/hang events (they are
+/// supervisor-only: a solo run has no containment scope and no watchdog, and
+/// the server strips them on requeue/re-attach, so this is exactly the plan
+/// the served session finished under). Rate faults stay — a session degraded
+/// by transient submit failures must match a solo run degraded the same way.
+std::string solo_report(const Config& config) {
+  const game::CoopetitionGame game = cli::game_from_options(config);
+  auto built = cli::session_options_from_config(config);
+  EXPECT_TRUE(built.ok());
+  SessionOptions options = std::move(built).take();
+  auto& events = options.faults.events;
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const FaultEvent& event) {
+                                return event.kind == FaultKind::kProcessCrash ||
+                                       event.kind == FaultKind::kPhaseHang;
+                              }),
+               events.end());
+  TradingSession session(game);
+  const SessionResult result = session.run(options);
+  return canonical_session_report(game, result);
+}
+
+struct ServeRun {
+  server::ServeSummary summary;
+  std::vector<wire::Message> replies;
+  std::string raw;
+};
+
+ServeRun run_serve(const server::ServeOptions& options,
+                   const std::vector<std::string>& lines) {
+  std::string joined;
+  for (const std::string& line : lines) joined += line + "\n";
+  std::istringstream in(joined);
+  std::ostringstream out;
+  server::StreamLineSource source(in);
+  server::Server daemon(options);
+  ServeRun run;
+  run.summary = daemon.run(source, out);
+  run.raw = out.str();
+  std::istringstream replies(run.raw);
+  std::string line;
+  while (std::getline(replies, line)) {
+    auto parsed = wire::Message::parse(line);
+    EXPECT_TRUE(parsed.ok()) << "unparseable reply: " << line;
+    if (parsed.ok()) run.replies.push_back(std::move(parsed).take());
+  }
+  return run;
+}
+
+const wire::Message* reply_for(const ServeRun& run, const std::string& op,
+                               std::uint64_t id) {
+  for (const wire::Message& reply : run.replies) {
+    if (reply.get_string("op") == std::optional<std::string>(op) &&
+        reply.get_number("id") == std::optional<double>(static_cast<double>(id))) {
+      return &reply;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ServeChaos, MixedFaultFleetNeverTakesDownTheDaemon) {
+  const std::string root = temp_dir("serve_chaos_fleet");
+  server::ServeOptions options;
+  options.root = root;
+  options.workers = 8;       // the whole burst is in flight concurrently
+  options.queue_limit = 32;  // no shedding — every session must be accounted for
+  options.watchdog_seconds = 1.0;
+
+  // Ten sessions, ids 1..10 in request order. Two hang (watchdog bait), two
+  // crash (containment bait), one fights transient submit failures the whole
+  // way (retry bait), five are healthy bystanders.
+  std::vector<Config> fleet;
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::string faults;
+    if (i == 2) faults = "seed:1,hang:2";
+    if (i == 5) faults = "seed:1,hang:3";
+    if (i == 3) faults = "seed:1,crash:2";
+    if (i == 7) faults = "seed:1,crash:4";
+    if (i == 4) faults = "submit:0.2,seed:9";
+    fleet.push_back(fleet_config(i, faults));
+  }
+  std::vector<std::string> lines;
+  lines.reserve(fleet.size());
+  for (const Config& config : fleet) lines.push_back(session_request_line(config));
+
+  const ServeRun run = run_serve(options, lines);
+
+  // The daemon survived the whole fleet: it processed every request, emitted
+  // its bye line, and exited cleanly — no fault escaped its session.
+  EXPECT_EQ(run.summary.exit_code, 0) << run.raw;
+  ASSERT_FALSE(run.replies.empty());
+  EXPECT_EQ(run.replies.back().get_string("op"), std::optional<std::string>("bye"));
+  EXPECT_EQ(run.summary.admitted, 10u) << run.raw;
+  EXPECT_EQ(run.summary.rejected, 0u) << run.raw;
+  EXPECT_EQ(run.summary.crashed, 2u) << run.raw;
+  EXPECT_EQ(run.summary.evicted, 2u) << run.raw;
+  EXPECT_EQ(run.summary.completed, 8u)
+      << "everything but the two hangs finishes in the first incarnation\n"
+      << run.raw;
+  EXPECT_EQ(run.summary.failed, 0u) << run.raw;
+
+  // Both crashes were contained, reported resumable, and requeued to done.
+  for (const std::uint64_t id : {4u, 8u}) {
+    const wire::Message* crashed = reply_for(run, "crashed", id);
+    ASSERT_NE(crashed, nullptr) << "session " << id << "\n" << run.raw;
+    EXPECT_EQ(crashed->get_bool("resumable"), std::optional<bool>(true));
+  }
+  for (const std::uint64_t id : {3u, 6u}) {
+    const wire::Message* evicted = reply_for(run, "evicted", id);
+    ASSERT_NE(evicted, nullptr) << "session " << id << "\n" << run.raw;
+    EXPECT_EQ(evicted->get_string("error"), std::optional<std::string>("deadline"));
+  }
+
+  // Every session that completed is byte-identical to its solo run: the
+  // neighbours' hangs, crashes, and retries never bled into it.
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const std::uint64_t id = i + 1;
+    if (i == 2 || i == 5) continue;  // evicted this incarnation
+    const wire::Message* done = reply_for(run, "done", id);
+    ASSERT_NE(done, nullptr) << "session " << id << "\n" << run.raw;
+    EXPECT_EQ(slurp(*done->get_string("report")), solo_report(fleet[i]))
+        << "session " << id << " diverged from its solo baseline";
+  }
+
+  // Second incarnation: the evicted hangs re-attach (hang events stripped),
+  // resume from their durable phase checkpoints, and converge to the same
+  // bytes an uninterrupted run produces.
+  const ServeRun resumed = run_serve(options, {});
+  EXPECT_EQ(resumed.summary.exit_code, 0) << resumed.raw;
+  EXPECT_EQ(resumed.summary.reattached, 2u) << resumed.raw;
+  EXPECT_EQ(resumed.summary.completed, 2u) << resumed.raw;
+  EXPECT_EQ(resumed.summary.failed, 0u) << resumed.raw;
+  for (const std::size_t i : {std::size_t{2}, std::size_t{5}}) {
+    const std::uint64_t id = i + 1;
+    const wire::Message* done = reply_for(resumed, "done", id);
+    ASSERT_NE(done, nullptr) << "session " << id << "\n" << resumed.raw;
+    EXPECT_EQ(done->get_bool("reattached"), std::optional<bool>(true));
+    EXPECT_EQ(slurp(*done->get_string("report")), solo_report(fleet[i]))
+        << "re-attached session " << id << " diverged from its solo baseline";
+  }
+
+  // Nothing in the state root is a torn temp file: every snapshot and report
+  // landed through the atomic tmp+rename path.
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+
+  // A third incarnation owes nothing: the registry says all ten are done.
+  const ServeRun idle = run_serve(options, {});
+  EXPECT_EQ(idle.summary.reattached, 0u) << idle.raw;
+  EXPECT_EQ(idle.summary.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace tradefl

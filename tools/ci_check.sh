@@ -7,12 +7,17 @@
 #   3. tfl-analyze semantic gate as its own named stage: self-test proving
 #      every rule still detects its fixtures, then the full-tree scan with
 #      per-rule finding counts printed (baseline + obs vocabulary applied)
-#   4. load bench + perf-regression gate: bench_load fast=1, diffed against
-#      bench/baselines/bench_load.fast.json AND bench_chain.fast.json by
-#      tfl-bench-diff (>25% throughput regression or any deterministic-metric
-#      drift fails the stage; the chain baseline additionally pins bulk tx/s
-#      and settle-latency percentiles; TFL_REGEN_BASELINE=1 refreshes both
-#      baselines after intentional changes)
+#   4. load bench + perf-regression gate: bench_load fast=1 and bench_serve
+#      fast=1, diffed against bench/baselines/bench_load.fast.json,
+#      bench_chain.fast.json AND bench_serve.fast.json by tfl-bench-diff
+#      (>25% throughput regression or any deterministic-metric drift fails
+#      the stage; the serve baseline pins daemon sessions/sec and admission
+#      p50/p99; TFL_REGEN_BASELINE=1 refreshes all baselines after
+#      intentional changes)
+#   4b. serve drain gate: boot the real `tradefl serve` binary, drive it with
+#      the bench's client-mode workload over a fifo, SIGTERM it mid-load,
+#      and assert a clean drain (exit 0, drained bye line, zero orphaned
+#      .tmp files) plus a clean re-attach run over the same state
 #   5. optional clang-tidy stage over build/compile_commands.json — advisory,
 #      skipped with a notice when clang-tidy is not installed
 #   6. tracing-off build (TRADEFL_ENABLE_TRACING=OFF) proving the
@@ -77,15 +82,19 @@ trap 'rm -rf "$bench_tmp"' EXIT
 bench_gate_ok=0
 for attempt in 1 2 3; do
   ./build/bench/bench_load fast=1 out="$bench_tmp" csv="$bench_tmp"
+  ./build/bench/bench_serve fast=1 out="$bench_tmp" root="$bench_tmp/serve-state"
   if [ "${TFL_REGEN_BASELINE:-0}" = "1" ]; then
     cp "$bench_tmp/BENCH_load.json" bench/baselines/bench_load.fast.json
     cp "$bench_tmp/BENCH_chain.json" bench/baselines/bench_chain.fast.json
-    echo "ci_check: regenerated bench/baselines/{bench_load,bench_chain}.fast.json"
+    cp "$bench_tmp/BENCH_serve.json" bench/baselines/bench_serve.fast.json
+    echo "ci_check: regenerated bench/baselines/{bench_load,bench_chain,bench_serve}.fast.json"
   fi
   if ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
       bench/baselines/bench_load.fast.json "$bench_tmp/BENCH_load.json" &&
      ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
-      bench/baselines/bench_chain.fast.json "$bench_tmp/BENCH_chain.json"; then
+      bench/baselines/bench_chain.fast.json "$bench_tmp/BENCH_chain.json" &&
+     ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
+      bench/baselines/bench_serve.fast.json "$bench_tmp/BENCH_serve.json"; then
     bench_gate_ok=1
     break
   fi
@@ -95,6 +104,65 @@ if [ "$bench_gate_ok" -ne 1 ]; then
   echo "ci_check: perf-regression gate failed on all attempts" >&2
   exit 1
 fi
+
+echo "=== ci: serve drain gate ==="
+# Boot the real daemon, drive it with the bench's client-mode workload, then
+# SIGTERM it mid-load. A healthy drain exits 0 (parking whatever was still
+# running) and leaves no orphaned temp files — every snapshot landed via the
+# atomic tmp+rename path. A second, uninterrupted run must then finish every
+# parked session from its checkpoints.
+serve_tmp=$(mktemp -d)
+serve_state="$serve_tmp/state"
+serve_fifo="$serve_tmp/requests.fifo"
+mkfifo "$serve_fifo"
+# Hold a write end of the fifo open for the whole stage (read-write so the
+# open can't block): the daemon never sees EOF, so SIGTERM is the only way
+# it can exit — the gate tests the signal path even on a fast host that
+# finishes the burst before the kill lands.
+exec 9<> "$serve_fifo"
+./build/tools/tradefl serve root="$serve_state" workers=2 \
+    < "$serve_fifo" > "$serve_tmp/replies.log" 2>&1 &
+serve_pid=$!
+# Feed the workload slowly enough that the SIGTERM lands mid-load; the fifo
+# writer runs in the background and is reaped with the server.
+( ./build/bench/bench_serve client=1 fast=1 | while IFS= read -r line; do
+    printf '%s\n' "$line"
+    sleep 0.01
+  done > "$serve_fifo" ) &
+feeder_pid=$!
+sleep 2
+kill -TERM "$serve_pid"
+serve_exit=0
+wait "$serve_pid" || serve_exit=$?
+kill "$feeder_pid" 2>/dev/null || true
+wait "$feeder_pid" 2>/dev/null || true
+exec 9>&-
+if [ "$serve_exit" -ne 0 ]; then
+  echo "ci_check: serve did not drain cleanly on SIGTERM (exit $serve_exit)" >&2
+  cat "$serve_tmp/replies.log" >&2
+  exit 1
+fi
+orphans=$(find "$serve_state" -name '*.tmp' | wc -l)
+if [ "$orphans" -ne 0 ]; then
+  echo "ci_check: serve drain left $orphans orphaned .tmp file(s)" >&2
+  find "$serve_state" -name '*.tmp' >&2
+  exit 1
+fi
+grep -q '"op": "bye", "drained": true' "$serve_tmp/replies.log" || {
+  echo "ci_check: serve drain did not report a drained shutdown" >&2
+  cat "$serve_tmp/replies.log" >&2
+  exit 1
+}
+# Restart over the same state: every parked/pending session must complete.
+./build/tools/tradefl serve root="$serve_state" workers=2 \
+    < /dev/null > "$serve_tmp/resume.log" 2>&1
+if grep -qE '"op": "(failed|evicted)"' "$serve_tmp/resume.log"; then
+  echo "ci_check: re-attached serve run did not complete cleanly" >&2
+  cat "$serve_tmp/resume.log" >&2
+  exit 1
+fi
+rm -rf "$serve_tmp"
+echo "ci_check: serve drained on SIGTERM and re-attached cleanly"
 
 echo "=== ci: clang-tidy (optional) ==="
 # Advisory generic checks (.clang-tidy) over the compile database that the
@@ -128,7 +196,7 @@ if [ "$run_sanitizers" -eq 1 ]; then
   # Fault-injection robustness tests under ASan+UBSan: dropout/quarantine in
   # FL, retry/abort on chain, solver recovery, and the thread-count replay.
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
-        -R 'Chaos|Retry|Fault|GbdFaults'
+        -R 'Chaos|Retry|Fault|GbdFaults|Serve'
 
   echo "=== ci: kill-and-resume suite (asan-ubsan) ==="
   # Durability gate: snapshot corruption fails closed, the chain WAL replays

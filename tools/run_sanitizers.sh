@@ -32,8 +32,10 @@ for preset in "${presets[@]}"; do
     # every PR (the full suite still runs under ASan+UBSan).
     # Chaos is included because its replay test drives the pool at 4 threads
     # under an active fault plan. Mempool + ParallelValidation cover the
-    # chain's batch-sealing and parallel validate() paths.
-    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos|Mempool|ParallelValidation'
+    # chain's batch-sealing and parallel validate() paths. Serve covers the
+    # daemon: worker/watchdog threads, per-session cancel tokens, the scoped
+    # metrics resolver, and the shared reply stream.
+    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos|Mempool|ParallelValidation|Serve'
   else
     ctest --preset "$preset"
   fi

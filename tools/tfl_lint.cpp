@@ -42,6 +42,17 @@
 //                     chain/blockchain.cpp, tradefl/report.cpp) — durable
 //                     state must tear-proof through the snapshot layer or a
 //                     checked writer, never a stray stream
+//   signal-handler-safety
+//                     the body of any function registered through
+//                     install_signal_handler (src/tradefl/server.h) may only
+//                     do async-signal-safe work — in this codebase, writes to
+//                     volatile std::sig_atomic_t flags. Allocation, iostreams,
+//                     stdio, locks, and throws are flagged: a signal can land
+//                     inside the very runtime code they re-enter (the
+//                     allocator, the stream lock), which is UB or deadlock.
+//                     Handler names are collected across the whole scanned
+//                     tree, so registering in one file and defining in another
+//                     does not dodge the audit
 //
 // The matcher works on comment- and string-stripped text, so banned words in
 // comments or log messages do not trip it. Justified exceptions live in
@@ -446,12 +457,131 @@ void check_include_layering(const std::string& path, const std::vector<std::stri
   }
 }
 
+/// Collects the names of functions registered as signal handlers: the second
+/// argument of every `install_signal_handler(...)` call on these (scrubbed)
+/// lines, stripped of `&` and namespace qualification. The shim's own
+/// signature (`void install_signal_handler(...)`) is not a registration.
+void collect_signal_handlers(const std::vector<std::string>& lines,
+                             std::set<std::string>& handlers) {
+  static const std::string kCall = "install_signal_handler(";
+  for (const std::string& line : lines) {
+    std::size_t at = line.find(kCall);
+    while (at != std::string::npos) {
+      std::size_t before = at;
+      while (before > 0 && line[before - 1] == ' ') --before;
+      const bool own_signature =
+          before >= 4 && line.compare(before - 4, 4, "void") == 0;
+      const std::size_t comma = line.find(',', at + kCall.size());
+      if (!own_signature && comma != std::string::npos) {
+        std::size_t start = comma + 1;
+        while (start < line.size() && (line[start] == ' ' || line[start] == '&')) ++start;
+        std::size_t end = start;
+        while (end < line.size() && (is_ident_char(line[end]) || line[end] == ':')) ++end;
+        std::string name = line.substr(start, end - start);
+        const std::size_t qualifier = name.rfind("::");
+        if (qualifier != std::string::npos) name = name.substr(qualifier + 2);
+        if (!name.empty()) handlers.insert(name);
+      }
+      at = line.find(kCall, at + 1);
+    }
+  }
+}
+
+void check_signal_handler_safety(const std::string& path,
+                                 const std::vector<std::string>& lines,
+                                 const std::set<std::string>& handlers,
+                                 std::vector<Finding>& findings) {
+  // A handler body runs at an arbitrary instruction boundary of the
+  // interrupted thread. Anything that allocates, locks, or buffers can land
+  // inside its own runtime's critical section: malloc re-entered mid-arena
+  // update is UB, a stream insert deadlocks on the lock the interrupted code
+  // holds, and throwing cannot unwind across the signal frame. The sanctioned
+  // body is a write to a volatile std::sig_atomic_t flag — nothing else.
+  if (handlers.empty()) return;
+  static const std::vector<std::pair<std::string, std::string>> kBanned = {
+      {"new", "allocates"},
+      {"malloc", "allocates"},
+      {"calloc", "allocates"},
+      {"realloc", "allocates"},
+      {"free", "re-enters the allocator"},
+      {"string", "allocates"},
+      {"vector", "allocates"},
+      {"make_unique", "allocates"},
+      {"make_shared", "allocates"},
+      {"push_back", "allocates"},
+      {"cout", "takes the stream lock"},
+      {"cerr", "takes the stream lock"},
+      {"clog", "takes the stream lock"},
+      {"printf", "is not async-signal-safe"},
+      {"fprintf", "is not async-signal-safe"},
+      {"puts", "is not async-signal-safe"},
+      {"mutex", "deadlocks when the signal lands in the critical section"},
+      {"lock_guard", "deadlocks when the signal lands in the critical section"},
+      {"unique_lock", "deadlocks when the signal lands in the critical section"},
+      {"scoped_lock", "deadlocks when the signal lands in the critical section"},
+      {"condition_variable", "is not async-signal-safe"},
+      {"throw", "cannot unwind across a signal frame"},
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // A definition start: `void <handler>(` — call sites have no return type
+    // on the line, declarations are filtered below by hitting `;` before `{`.
+    std::string active;
+    for (const std::string& name : handlers) {
+      std::size_t at = 0;
+      if (!contains_token(lines[i], name, &at)) continue;
+      const std::size_t after = lines[i].find_first_not_of(' ', at + name.size());
+      if (after == std::string::npos || lines[i][after] != '(') continue;
+      if (!contains_token(lines[i], "void")) continue;
+      active = name;
+      break;
+    }
+    if (active.empty()) continue;
+    bool body = false;
+    int depth = 0;
+    for (std::size_t j = i; j < lines.size(); ++j) {
+      bool ended = false;
+      bool body_on_line = body;
+      for (const char c : lines[j]) {
+        if (!body) {
+          if (c == ';') {
+            ended = true;  // declaration only, no body to audit
+            break;
+          }
+          if (c == '{') {
+            body = true;
+            body_on_line = true;
+            depth = 1;
+          }
+        } else if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          if (--depth == 0) {
+            ended = true;
+            break;
+          }
+        }
+      }
+      if (body_on_line) {
+        for (const auto& [token, why] : kBanned) {
+          if (contains_token(lines[j], token)) {
+            findings.push_back(
+                {path, j + 1, "signal-handler-safety",
+                 "`" + token + "` in signal handler `" + active + "` " + why +
+                     " — handler bodies may only write volatile std::sig_atomic_t flags"});
+          }
+        }
+      }
+      if (ended) break;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
 void scan_content(const std::string& path, const std::string& content,
-                  std::vector<Finding>& findings) {
+                  std::vector<Finding>& findings, const std::set<std::string>& handlers) {
   const std::vector<std::string> raw_lines = split_lines(content);
   const std::vector<std::string> lines = split_lines(scrub_source(content));
   check_raw_new_delete(path, lines, findings);
@@ -464,6 +594,17 @@ void scan_content(const std::string& path, const std::string& content,
   check_ad_hoc_persistence(path, lines, findings);
   check_missing_override(path, lines, findings);
   check_include_layering(path, raw_lines, findings);
+  check_signal_handler_safety(path, lines, handlers, findings);
+}
+
+/// Single-file scan: handler names are collected from the file itself (the
+/// self-test fixtures register and define in one file; the tree scan in main
+/// collects across every scanned file first).
+void scan_content(const std::string& path, const std::string& content,
+                  std::vector<Finding>& findings) {
+  std::set<std::string> handlers;
+  collect_signal_handlers(split_lines(scrub_source(content)), handlers);
+  scan_content(path, content, findings, handlers);
 }
 
 /// The rule catalog, shared by --list-rules and allowlist validation.
@@ -482,6 +623,9 @@ const std::vector<tfl_tools::RuleInfo>& rule_catalog() {
        "(use Web3Client::call_with_retry)"},
       {"ad-hoc-persistence",
        "ofstream/fopen in src/ outside the audited writers (snapshot, csv, chain WAL, report)"},
+      {"signal-handler-safety",
+       "non-async-signal-safe work (allocation, iostreams, locks, throw) in a handler "
+       "registered via install_signal_handler"},
   };
   return kRules;
 }
@@ -658,6 +802,55 @@ int run_self_test() {
        "  delete p;\n"
        "}\n",
        {"raw-new-delete"}},
+      // A registered handler that allocates and touches iostreams — both the
+      // string construction and the stream insert must fire.
+      {"src/tradefl/fixture_sighandler_alloc.cpp",
+       "#include <csignal>\n"
+       "#include <iostream>\n"
+       "void on_term(int signum) {\n"
+       "  std::string note = std::to_string(signum);\n"
+       "  std::cout << note;\n"
+       "}\n"
+       "void install() { install_signal_handler(15, on_term); }\n",
+       {"signal-handler-safety"}},
+      // A registered handler that takes a lock (registered by address, with
+      // namespace qualification — both must be stripped to find the body).
+      {"src/tradefl/fixture_sighandler_lock.cpp",
+       "#include <mutex>\n"
+       "std::mutex g_mutex;\n"
+       "void on_usr1(int) {\n"
+       "  std::lock_guard<std::mutex> guard(g_mutex);\n"
+       "}\n"
+       "void install() { install_signal_handler(10, &handlers::on_usr1); }\n",
+       {"signal-handler-safety"}},
+      // The sanctioned handler shape: one volatile sig_atomic_t write.
+      {"src/tradefl/fixture_sighandler_ok.cpp",
+       "#include <csignal>\n"
+       "volatile std::sig_atomic_t g_flag = 0;\n"
+       "void on_term(int signum) { (void)signum; g_flag = 1; }\n"
+       "void install() { install_signal_handler(15, on_term); }\n",
+       {}},
+      // Non-handler functions in a registering file may allocate/log freely;
+      // a mutex at file scope (outside any handler body) is also fine.
+      {"src/tradefl/fixture_sighandler_other_fn_ok.cpp",
+       "#include <iostream>\n"
+       "#include <mutex>\n"
+       "std::mutex g_state_mutex;\n"
+       "volatile std::sig_atomic_t g_flag = 0;\n"
+       "void on_term(int signum) { (void)signum; g_flag = 1; }\n"
+       "void worker() {\n"
+       "  std::string note = describe();\n"
+       "  std::cout << note;\n"
+       "}\n"
+       "void install() { install_signal_handler(15, on_term); }\n",
+       {}},
+      // A declaration followed by other code must not be mistaken for the
+      // handler's body (the walk stops at `;`).
+      {"src/tradefl/fixture_sighandler_decl_ok.h",
+       "void on_term(int signum);\n"
+       "inline void install() { install_signal_handler(15, on_term); }\n"
+       "inline void elsewhere() { std::string heap = make(); }\n",
+       {}},
       // Clean file: banned words only in comments/strings, tolerance compare,
       // override used properly, allowed include edge. Must produce no findings.
       {"src/game/fixture_clean.cpp",
@@ -746,15 +939,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> findings;
-  std::size_t files_scanned = 0;
+  // Two passes: handler registrations are collected tree-wide first, so a
+  // handler registered in one file and defined in another is still audited.
+  std::vector<std::pair<std::string, std::string>> sources;  // path, content
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::string content;
     if (!tfl_tools::read_file(file, content)) {
       std::cerr << "tfl-lint: cannot read " << normalize_path(file) << "\n";
       return 2;
     }
-    scan_content(normalize_path(file), content, findings);
+    sources.emplace_back(normalize_path(file), std::move(content));
+  }
+  std::set<std::string> handlers;
+  for (const auto& [path, content] : sources) {
+    collect_signal_handlers(split_lines(scrub_source(content)), handlers);
+  }
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  for (const auto& [path, content] : sources) {
+    scan_content(path, content, findings, handlers);
     ++files_scanned;
   }
 
