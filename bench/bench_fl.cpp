@@ -1,0 +1,231 @@
+// FL robustness bench — the Byzantine attack sweep behind docs/ROBUSTNESS.md.
+// Runs every adversarial FaultKind (plus an attack-free baseline) against the
+// plain Eq. (3) mean and the robust rules, on the same deterministic
+// FMNIST-like workload the acceptance suite pins (tests/integration/
+// test_byzantine.cpp), and emits a BENCH_fl.json manifest the CI regression
+// gate diffs against bench/baselines/bench_fl.fast.json.
+//
+// Every per-cell metric is deterministic (the training loop is bit-identical
+// for any thread count), so the gate's exact-match keys double as a semantic
+// drift detector for the aggregation rules: `correct.count` is the number of
+// test samples the final model classifies correctly — if a refactor moves the
+// arithmetic of an aggregator, the sweep fails before any accuracy test does.
+// Only `rounds_per_sec` / `wall_seconds` carry timing noise and get the usual
+// throughput slack.
+//
+// Knobs (key=value): silos= samples= test_samples= rounds= local_epochs=
+//   attackers=N  Byzantine silos per attacked cell (default 1, keeps krum:1
+//                inside the Blanchard n > 2f + 2 regime)
+//   seed=N       fault-schedule seed (default 11, as in the acceptance suite)
+//   fast=1       shrunk workload for smoke runs and the CI gate
+//   out=DIR      where BENCH_fl.json lands (default ".")
+//   csv=DIR      also write the sweep CSV + standard run manifest
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/faults.h"
+#include "fl/fedavg.h"
+
+using namespace tradefl;
+
+namespace {
+
+struct SweepOptions {
+  std::size_t silos = 7;
+  std::size_t samples = 120;       // per-silo training samples
+  std::size_t test_samples = 200;  // shared held-out set
+  std::size_t rounds = 10;
+  std::size_t local_epochs = 3;
+  std::size_t max_batches = 8;
+  std::size_t attackers = 1;
+  std::uint64_t seed = 11;
+
+  [[nodiscard]] SweepOptions fast() const {
+    SweepOptions out = *this;
+    out.silos = 5;
+    out.samples = 64;
+    out.test_samples = 128;
+    out.rounds = 3;
+    out.local_epochs = 1;
+    out.max_batches = 4;
+    return out;
+  }
+};
+
+/// One sweep cell: the attack-free baseline or one FaultKind, under one rule.
+struct CellResult {
+  std::string attack;
+  std::string rule;
+  double accuracy = 0.0;
+  std::size_t correct = 0;  // accuracy * test_samples, exact-match gated
+  std::size_t attacked = 0;
+  std::size_t rejected = 0;
+  std::size_t clipped = 0;
+  std::size_t rounds = 0;
+  double wall_seconds = 0.0;
+};
+
+FaultPlan attack_plan(const std::string& kind, const SweepOptions& sweep) {
+  FaultPlan plan;
+  plan.seed = sweep.seed;
+  if (kind == "signflip") plan.signflip_silos = sweep.attackers;
+  if (kind == "amplify") plan.scale_silos = sweep.attackers;
+  if (kind == "freeride") plan.freeride_silos = sweep.attackers;
+  if (kind == "collude") plan.collude_silos = sweep.attackers;
+  return plan;
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string manifest_json(const SweepOptions& sweep, const std::vector<CellResult>& cells,
+                          std::size_t operations, double wall_seconds) {
+  std::ostringstream out;
+  out << "{\"bench\": \"bench_fl\", \"schema\": 1, \"config\": {"
+      << "\"silos\": " << sweep.silos << ", \"samples\": " << sweep.samples
+      << ", \"test_samples\": " << sweep.test_samples << ", \"rounds\": " << sweep.rounds
+      << ", \"local_epochs\": " << sweep.local_epochs
+      << ", \"attackers\": " << sweep.attackers << ", \"seed\": " << sweep.seed
+      << "}, \"metrics\": {\"rounds_per_sec\": "
+      << json_number(wall_seconds > 0.0 ? static_cast<double>(operations) / wall_seconds : 0.0)
+      << ", \"operations\": " << operations
+      << ", \"wall_seconds\": " << json_number(wall_seconds) << ", \"cells\": {";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    if (i != 0) out << ", ";
+    out << "\"" << cell.attack << "." << cell.rule << "\": {"
+        << "\"final_accuracy\": " << json_number(cell.accuracy)
+        << ", \"correct.count\": " << cell.correct
+        << ", \"attacked.count\": " << cell.attacked
+        << ", \"rejected.count\": " << cell.rejected
+        << ", \"clipped.count\": " << cell.clipped << "}";
+  }
+  out << "}}}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = bench::parse_args(argc, argv);
+  bench::banner("fl robustness bench — Byzantine attack sweep",
+                "final accuracy and containment counters per attack x "
+                "aggregation rule (docs/ROBUSTNESS.md threat-model matrix)");
+
+  SweepOptions sweep;
+  if (config.get_bool("fast", false)) sweep = sweep.fast();
+  sweep.silos = static_cast<std::size_t>(config.get_int("silos", sweep.silos));
+  sweep.samples = static_cast<std::size_t>(config.get_int("samples", sweep.samples));
+  sweep.test_samples =
+      static_cast<std::size_t>(config.get_int("test_samples", sweep.test_samples));
+  sweep.rounds = static_cast<std::size_t>(config.get_int("rounds", sweep.rounds));
+  sweep.local_epochs =
+      static_cast<std::size_t>(config.get_int("local_epochs", sweep.local_epochs));
+  sweep.attackers = static_cast<std::size_t>(config.get_int("attackers", sweep.attackers));
+  sweep.seed = static_cast<std::uint64_t>(config.get_int("seed", sweep.seed));
+  const std::string out_dir = config.get_string("out", ".");
+
+  // Same population shape as the Byzantine acceptance suite: per-silo draws
+  // from one FMNIST-like concept, a shared held-out test set, MLP model.
+  const fl::DatasetSpec concept_spec =
+      fl::DatasetSpec::builtin(fl::DatasetKind::kFmnistLike, 5);
+  std::vector<fl::Dataset> locals;
+  for (std::size_t i = 0; i < sweep.silos; ++i) {
+    locals.emplace_back(concept_spec.with_sample_seed(10 + i), sweep.samples);
+  }
+  fl::Dataset test_set(concept_spec.with_sample_seed(999), sweep.test_samples);
+  fl::ModelSpec model;
+  model.kind = fl::ModelKind::kMlp;
+  model.channels = concept_spec.channels;
+  model.height = concept_spec.height;
+  model.width = concept_spec.width;
+  model.classes = concept_spec.classes;
+  model.seed = 3;
+
+  const std::vector<std::string> attacks = {"none", "signflip", "amplify", "freeride",
+                                            "collude"};
+  const std::vector<std::string> rules = {"mean", "median", "trimmed:1", "krum:1",
+                                          "normclip:1"};
+
+  const std::vector<std::string> header{"attack", "rule",     "accuracy", "correct",
+                                        "attacked", "rejected", "clipped",  "wall_s"};
+  AsciiTable table(header);
+  CsvWriter csv(header);
+
+  std::vector<CellResult> cells;
+  std::size_t operations = 0;
+  double wall_seconds = 0.0;
+  for (const std::string& attack : attacks) {
+    const FaultPlan plan = attack_plan(attack, sweep);
+    const FaultInjector injector(plan);
+    for (const std::string& rule : rules) {
+      std::vector<fl::FedClient> clients;
+      for (std::size_t i = 0; i < locals.size(); ++i) {
+        clients.push_back(fl::FedClient{&locals[i], 1.0, 100 + i});
+      }
+      fl::FedAvgOptions options;
+      options.rounds = sweep.rounds;
+      options.local_epochs = sweep.local_epochs;
+      options.batch_size = 32;
+      options.max_batches_per_epoch = sweep.max_batches;
+      options.aggregator = fl::parse_aggregator(rule).value();
+      options.faults = attack == "none" ? nullptr : &injector;
+
+      const auto start = std::chrono::steady_clock::now();
+      const fl::FedAvgResult result = fl::train_fedavg(model, clients, test_set, options);
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+      CellResult cell;
+      cell.attack = attack;
+      cell.rule = rule;
+      cell.accuracy = result.final_accuracy;
+      cell.correct = static_cast<std::size_t>(
+          std::llround(result.final_accuracy * static_cast<double>(sweep.test_samples)));
+      cell.attacked = result.total_attacked;
+      cell.rejected = result.total_rejected;
+      cell.clipped = result.total_clipped;
+      cell.rounds = result.history.size();
+      cell.wall_seconds = elapsed.count();
+      cells.push_back(cell);
+      operations += cell.rounds;
+      wall_seconds += cell.wall_seconds;
+
+      const std::vector<std::string> row{cell.attack,
+                                         cell.rule,
+                                         format_double(cell.accuracy, 4),
+                                         std::to_string(cell.correct),
+                                         std::to_string(cell.attacked),
+                                         std::to_string(cell.rejected),
+                                         std::to_string(cell.clipped),
+                                         format_double(cell.wall_seconds, 4)};
+      table.add_row(row);
+      csv.add_row(row);
+    }
+  }
+  bench::emit(config, "bench_fl", table, &csv);
+  std::printf("attack sweep: %zu cells, %zu rounds in %.3fs -> %.2f rounds/s\n", cells.size(),
+              operations, wall_seconds,
+              wall_seconds > 0.0 ? static_cast<double>(operations) / wall_seconds : 0.0);
+
+  int exit_code = 0;
+  const std::string manifest = manifest_json(sweep, cells, operations, wall_seconds);
+  const std::string path = out_dir + "/BENCH_fl.json";
+  const Status written = bench::write_text_file(path, manifest);
+  if (!written.ok()) {
+    std::cerr << "bench_fl: " << written.error().to_string() << "\n";
+    exit_code = 1;
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (!bench::write_manifest(config, "bench_fl").ok()) exit_code = 1;
+  return exit_code;
+}

@@ -42,6 +42,10 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kSolverPerturbation: return "solver_perturbation";
     case FaultKind::kProcessCrash: return "crash";
     case FaultKind::kPhaseHang: return "hang";
+    case FaultKind::kSignFlip: return "signflip";
+    case FaultKind::kScaleAttack: return "scale_attack";
+    case FaultKind::kFreeRide: return "freeride";
+    case FaultKind::kCollude: return "collude";
   }
   return "unknown";
 }
@@ -49,7 +53,26 @@ const char* fault_kind_name(FaultKind kind) {
 bool FaultPlan::empty() const {
   return dropout_rate <= 0.0 && straggler_rate <= 0.0 && corrupt_rate <= 0.0 &&
          revert_rate <= 0.0 && gas_exhaustion_rate <= 0.0 && submit_failure_rate <= 0.0 &&
-         solver_perturb_rate <= 0.0 && events.empty();
+         solver_perturb_rate <= 0.0 && collude_silos == 0 && signflip_silos == 0 &&
+         scale_silos == 0 && freeride_silos == 0 && events.empty();
+}
+
+bool FaultPlan::has_attacks() const {
+  if (collude_silos > 0 || signflip_silos > 0 || scale_silos > 0 || freeride_silos > 0) {
+    return true;
+  }
+  for (const FaultEvent& event : events) {
+    switch (event.kind) {
+      case FaultKind::kSignFlip:
+      case FaultKind::kScaleAttack:
+      case FaultKind::kFreeRide:
+      case FaultKind::kCollude:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
 }
 
 std::string FaultPlan::spec_string(bool include_crashes) const {
@@ -74,6 +97,12 @@ std::string FaultPlan::spec_string(bool include_crashes) const {
   if (gas_exhaustion_rate > 0.0) emit("gas", number(gas_exhaustion_rate));
   if (submit_failure_rate > 0.0) emit("submit", number(submit_failure_rate));
   if (solver_perturb_rate > 0.0) emit("solver", number(solver_perturb_rate));
+  if (collude_silos > 0) emit("collude", std::to_string(collude_silos));
+  if (collude_shift != 4.0) emit("colludex", number(collude_shift));
+  if (signflip_silos > 0) emit("signflip", std::to_string(signflip_silos));
+  if (scale_silos > 0) emit("amplify", std::to_string(scale_silos));
+  if (scale_factor != 8.0) emit("amplifyx", number(scale_factor));
+  if (freeride_silos > 0) emit("freeride", std::to_string(freeride_silos));
   for (const FaultEvent& event : events) {
     if (event.kind == FaultKind::kProcessCrash && include_crashes) {
       emit("crash", std::to_string(event.round));
@@ -95,11 +124,36 @@ std::string FaultPlan::summary() const {
   append_rate(out, "gas", gas_exhaustion_rate);
   append_rate(out, "submit", submit_failure_rate);
   append_rate(out, "solver", solver_perturb_rate);
+  const auto append_count = [&out](const char* key, std::uint64_t count) {
+    if (count > 0) out << (out.tellp() > 0 ? "," : "") << key << ":" << count;
+  };
+  append_count("collude", collude_silos);
+  append_count("signflip", signflip_silos);
+  append_count("amplify", scale_silos);
+  append_count("freeride", freeride_silos);
   if (!events.empty()) out << (out.tellp() > 0 ? "," : "") << "events:" << events.size();
   if (out.tellp() == 0) return "none";
   out << ",seed:" << seed;
   return out.str();
 }
+
+const char kFaultGrammar[] =
+    "faults=<key>:<value>[,<key>:<value>...] where <key>:<value> is one of "
+    "seed:<u64> | drop:<rate> | straggle:<rate> | scale:<mult>=1> | corrupt:<rate> | "
+    "noise:<stddev> | revert:<rate> | gas:<rate> | submit:<rate> | solver:<rate> | "
+    "crash:<point> | hang:<point> | signflip:<silos> | amplify:<silos> | amplifyx:<factor> | "
+    "freeride:<silos> | collude:<silos> | colludex:<stddev> (rates in [0, 1]; points and "
+    "silo counts are non-negative integers)";
+
+namespace {
+
+/// Every parse error carries the token that triggered it plus the full
+/// grammar, so a CLI typo is diagnosable from the message alone.
+Error fault_error(const std::string& what, const std::string& token) {
+  return Error{"faults", what + " in token '" + token + "'; accepted grammar: " + kFaultGrammar};
+}
+
+}  // namespace
 
 Result<FaultPlan> parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
@@ -109,7 +163,7 @@ Result<FaultPlan> parse_fault_plan(const std::string& spec) {
     if (pair.empty()) continue;
     const std::size_t colon = pair.find(':');
     if (colon == std::string::npos) {
-      return Error{"faults", "expected key:value in fault spec, got '" + pair + "'"};
+      return fault_error("expected key:value", pair);
     }
     const std::string key = trim(pair.substr(0, colon));
     const std::string value = trim(pair.substr(colon + 1));
@@ -119,12 +173,18 @@ Result<FaultPlan> parse_fault_plan(const std::string& spec) {
       parsed = std::stod(value, &used);
       if (used != value.size()) throw std::invalid_argument(value);
     } catch (const std::exception&) {
-      return Error{"faults", "cannot parse fault value '" + value + "' for key '" + key + "'"};
+      return fault_error("cannot parse value '" + value + "' for key '" + key + "'", pair);
     }
     const bool is_rate = key == "drop" || key == "straggle" || key == "corrupt" ||
                          key == "revert" || key == "gas" || key == "submit" || key == "solver";
     if (is_rate && (parsed < 0.0 || parsed > 1.0)) {
-      return Error{"faults", "rate '" + key + "' must be in [0, 1], got " + value};
+      return fault_error("rate '" + key + "' must be in [0, 1], got " + value, pair);
+    }
+    const bool is_count = key == "crash" || key == "hang" || key == "signflip" ||
+                          key == "amplify" || key == "freeride" || key == "collude";
+    if (is_count &&
+        (parsed < 0.0 || parsed != static_cast<double>(static_cast<std::uint64_t>(parsed)))) {
+      return fault_error("'" + key + "' must be a non-negative integer, got " + value, pair);
     }
     if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(parsed);
@@ -133,12 +193,12 @@ Result<FaultPlan> parse_fault_plan(const std::string& spec) {
     } else if (key == "straggle") {
       plan.straggler_rate = parsed;
     } else if (key == "scale") {
-      if (parsed < 1.0) return Error{"faults", "scale must be >= 1, got " + value};
+      if (parsed < 1.0) return fault_error("scale must be >= 1, got " + value, pair);
       plan.straggler_scale = parsed;
     } else if (key == "corrupt") {
       plan.corrupt_rate = parsed;
     } else if (key == "noise") {
-      if (parsed < 0.0) return Error{"faults", "noise must be >= 0, got " + value};
+      if (parsed < 0.0) return fault_error("noise must be >= 0, got " + value, pair);
       plan.corrupt_noise = parsed;
     } else if (key == "revert") {
       plan.revert_rate = parsed;
@@ -148,16 +208,25 @@ Result<FaultPlan> parse_fault_plan(const std::string& spec) {
       plan.submit_failure_rate = parsed;
     } else if (key == "solver") {
       plan.solver_perturb_rate = parsed;
+    } else if (key == "signflip") {
+      plan.signflip_silos = static_cast<std::uint64_t>(parsed);
+    } else if (key == "amplify") {
+      plan.scale_silos = static_cast<std::uint64_t>(parsed);
+    } else if (key == "amplifyx") {
+      if (parsed <= 0.0) return fault_error("amplifyx must be > 0, got " + value, pair);
+      plan.scale_factor = parsed;
+    } else if (key == "freeride") {
+      plan.freeride_silos = static_cast<std::uint64_t>(parsed);
+    } else if (key == "collude") {
+      plan.collude_silos = static_cast<std::uint64_t>(parsed);
+    } else if (key == "colludex") {
+      if (parsed <= 0.0) return fault_error("colludex must be > 0, got " + value, pair);
+      plan.collude_shift = parsed;
     } else if (key == "crash" || key == "hang") {
-      if (parsed < 0.0 || parsed != static_cast<double>(static_cast<std::uint64_t>(parsed))) {
-        return Error{"faults", key + " point must be a non-negative integer, got " + value};
-      }
       plan.events.push_back({key == "crash" ? FaultKind::kProcessCrash : FaultKind::kPhaseHang,
                              static_cast<std::uint64_t>(parsed), kAnyFaultTarget, 0.0});
     } else {
-      return Error{"faults", "unknown fault key '" + key +
-                                 "' (seed|drop|straggle|scale|corrupt|noise|revert|gas|"
-                                 "submit|solver|crash|hang)"};
+      return fault_error("unknown fault key '" + key + "'", pair);
     }
   }
   return plan;
@@ -215,6 +284,49 @@ CorruptionSpec FaultInjector::corrupt_update(std::uint64_t round, std::uint64_t 
 Rng FaultInjector::corruption_rng(std::uint64_t round, std::uint64_t client) const {
   // Offset the kind so the noise stream never reuses the decision stream.
   return Rng(cell_seed(plan_.seed ^ 0xC0FFEEULL, FaultKind::kUpdateCorruption, round, client));
+}
+
+AttackSpec FaultInjector::attack_update(std::uint64_t round, std::uint64_t client) const {
+  AttackSpec spec;
+  const struct {
+    FaultKind kind;
+    std::uint64_t silos;
+    double magnitude;
+  } attacks[] = {
+      // Colluders take the lowest indices so `collude:k` always yields k silos
+      // with a shared identity block; the other attacks stack after them.
+      {FaultKind::kCollude, plan_.collude_silos, plan_.collude_shift},
+      {FaultKind::kSignFlip, plan_.signflip_silos, 1.0},
+      {FaultKind::kScaleAttack, plan_.scale_silos, plan_.scale_factor},
+      {FaultKind::kFreeRide, plan_.freeride_silos, 0.0},
+  };
+  // Explicit events override block membership (and may carry a magnitude).
+  for (const auto& attack : attacks) {
+    const FaultEvent* event = find_event(attack.kind, round, client);
+    if (event == nullptr) continue;
+    spec.attack = true;
+    spec.kind = attack.kind;
+    spec.magnitude = event->magnitude > 0.0 ? event->magnitude : attack.magnitude;
+    return spec;
+  }
+  std::uint64_t begin = 0;
+  for (const auto& attack : attacks) {
+    if (client >= begin && client < begin + attack.silos) {
+      spec.attack = true;
+      spec.kind = attack.kind;
+      spec.magnitude = attack.magnitude;
+      return spec;
+    }
+    begin += attack.silos;
+  }
+  return spec;
+}
+
+Rng FaultInjector::collusion_rng(std::uint64_t round) const {
+  // Keyed by round only (target 0): every colluder draws the same stream and
+  // submits the identical crafted update. XOR-offset so it can never collide
+  // with the collusion decision stream.
+  return Rng(cell_seed(plan_.seed ^ 0x5EEDBADULL, FaultKind::kCollude, round, 0));
 }
 
 bool FaultInjector::fail_submission(std::uint64_t call_index) const {

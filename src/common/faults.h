@@ -34,6 +34,14 @@ enum class FaultKind : std::uint64_t {
   kSolverPerturbation = 7, // CGBD primal subproblem diverges numerically
   kProcessCrash = 8,       // whole process dies abruptly (std::_Exit, no cleanup)
   kPhaseHang = 9,          // pipeline point blocks until cancelled (watchdog tests)
+
+  // Adversarial (Byzantine) silo behaviours. Unlike kUpdateCorruption these
+  // produce finite, statistically-plausible updates that sail past the NaN
+  // quarantine — only a robust aggregator (fl/robust_agg.h) blunts them.
+  kSignFlip = 10,          // silo submits the negated model delta
+  kScaleAttack = 11,       // silo amplifies its delta by a factor
+  kFreeRide = 12,          // silo skips training and resubmits the global model
+  kCollude = 13,           // k silos submit one shared crafted update
 };
 
 /// Short stable name ("dropout", "revert", ...) used in metrics and logs.
@@ -70,10 +78,27 @@ struct FaultPlan {
   double submit_failure_rate = 0.0;
   double solver_perturb_rate = 0.0;
 
+  // Adversary blocks. Counts assign the lowest-indexed silos to each attack —
+  // colluders first (they need shared identities), then sign-flippers,
+  // amplifiers, free-riders — so membership is a pure function of the plan
+  // and never depends on the population size. Per-(round, target) events of
+  // the same kinds fire on top and override the block assignment.
+  std::uint64_t collude_silos = 0;
+  std::uint64_t signflip_silos = 0;
+  std::uint64_t scale_silos = 0;
+  std::uint64_t freeride_silos = 0;
+  double scale_factor = 8.0;   // delta amplification when a scale attack fires
+  double collude_shift = 4.0;  // stddev of the colluders' shared crafted delta
+
   std::vector<FaultEvent> events;
 
-  /// True when no rate is positive and no event is scheduled.
+  /// True when no rate is positive, no adversary block is populated, and no
+  /// event is scheduled.
   [[nodiscard]] bool empty() const;
+
+  /// True when any adversarial block or event (signflip/scale/freeride/
+  /// collude) is present — the trigger for the session deviation audit.
+  [[nodiscard]] bool has_attacks() const;
 
   /// One-line human-readable summary ("drop:0.2 revert:0.1 seed:7").
   [[nodiscard]] std::string summary() const;
@@ -87,17 +112,25 @@ struct FaultPlan {
   [[nodiscard]] std::string spec_string(bool include_crashes = true) const;
 };
 
+/// The accepted `faults=` grammar, echoed verbatim in every parse error so a
+/// mistyped spec is self-diagnosing (and tests can assert the message).
+extern const char kFaultGrammar[];
+
 /// Parses the CLI `faults=` spec: comma-separated `key:value` pairs with keys
 ///   seed, drop, straggle, scale, corrupt, noise, revert, gas, submit, solver,
-///   crash, hang
+///   crash, hang, signflip, amplify, amplifyx, freeride, collude, colludex
 /// e.g. "drop:0.2,straggle:0.1,scale:4,revert:0.05,seed:7". `crash:N`
 /// schedules a process crash at pipeline point N (an FL round, CGBD
 /// iteration, or session phase — whichever crash-eligible point the run
 /// reaches first); repeat the key for multiple points. `hang:N` blocks the
 /// session at phase point N until its cancel token fires (see
 /// hang_if_scheduled) — the deterministic stand-in for a wedged solve that
-/// watchdog tests need. Unknown keys, malformed numbers, and out-of-range
-/// rates are errors.
+/// watchdog tests need. `signflip:k` / `amplify:k` / `freeride:k` /
+/// `collude:k` make the k lowest-indexed silos adversarial (the issue's
+/// `scale:<x>` attack is spelled `amplify` because `scale` has meant the
+/// straggler latency multiplier since PR 4); `amplifyx:x` / `colludex:x` set
+/// the attack magnitudes. Unknown keys, malformed numbers, and out-of-range
+/// values are errors that echo the offending token plus kFaultGrammar.
 Result<FaultPlan> parse_fault_plan(const std::string& spec);
 
 /// Exit code used by injected crashes so the kill-and-resume harness can tell
@@ -176,6 +209,16 @@ struct CorruptionSpec {
   double noise_stddev = 0.0;    // meaningful when !use_nan
 };
 
+/// Outcome of an adversarial-update query. When `attack` is set, `kind` is
+/// one of kSignFlip / kScaleAttack / kFreeRide / kCollude and `magnitude` is
+/// the attack parameter (flip strength, amplification factor, or the crafted
+/// delta's stddev; unused for freeride).
+struct AttackSpec {
+  bool attack = false;
+  FaultKind kind = FaultKind::kSignFlip;
+  double magnitude = 0.0;
+};
+
 /// Stateless oracle over a FaultPlan. All queries are const and pure; see the
 /// determinism contract above.
 class FaultInjector {
@@ -199,6 +242,17 @@ class FaultInjector {
   /// The seeded noise stream for a corruption at (round, client); stateless,
   /// so the noise a client receives never depends on other clients.
   [[nodiscard]] Rng corruption_rng(std::uint64_t round, std::uint64_t client) const;
+
+  /// Which adversarial behaviour (if any) this silo exhibits this round.
+  /// Explicit events override the static adversary blocks; block membership
+  /// itself is round-independent, modelling persistently-deviating silos.
+  [[nodiscard]] AttackSpec attack_update(std::uint64_t round, std::uint64_t client) const;
+
+  /// The colluders' shared crafted-delta stream for a round. Keyed by round
+  /// only — every colluding silo draws the identical stream and therefore
+  /// submits byte-identical updates, which is what makes collusion harder for
+  /// distance-based defenses (Krum) than independent noise.
+  [[nodiscard]] Rng collusion_rng(std::uint64_t round) const;
 
   // ----- chain faults (keyed by the client-side call index) -----
 

@@ -58,13 +58,16 @@ void train_once(Net& net, const Dataset& data, const std::vector<std::size_t>& s
 
 // ----- checkpointing -----
 
-constexpr std::uint32_t kFedAsyncSnapshotVersion = 1;
+// v2: aggregator spec joined the fingerprint; the partial result carries the
+// attacked/clipped totals.
+constexpr std::uint32_t kFedAsyncSnapshotVersion = 2;
 constexpr const char* kFedAsyncSnapshotKind = "fl.fedasync";
 
 struct FedAsyncCheckpoint {
   std::uint64_t client_count = 0;
   std::uint64_t weight_count = 0;
   std::uint64_t shuffle_seed = 0;
+  AggregatorSpec aggregator{};
 
   std::uint64_t events_processed = 0;
   std::vector<float> global_weights;
@@ -81,6 +84,7 @@ Result<std::size_t> write_fedasync_checkpoint(const std::string& path,
   writer.put_u64(state.client_count);
   writer.put_u64(state.weight_count);
   writer.put_u64(state.shuffle_seed);
+  put_aggregator_spec(writer, state.aggregator);
   writer.put_u64(state.events_processed);
   writer.put_f32s(state.global_weights);
   writer.put_u64(state.pulled.size());
@@ -104,6 +108,8 @@ Result<std::size_t> write_fedasync_checkpoint(const std::string& path,
   writer.put_u64(state.partial.total_dropped);
   writer.put_u64(state.partial.total_quarantined);
   writer.put_u64(state.partial.total_delayed);
+  writer.put_u64(state.partial.total_attacked);
+  writer.put_u64(state.partial.total_clipped);
   return write_snapshot_file(path, kFedAsyncSnapshotKind, kFedAsyncSnapshotVersion, writer);
 }
 
@@ -115,6 +121,7 @@ Result<FedAsyncCheckpoint> read_fedasync_checkpoint(const std::string& path) {
     state.client_count = reader.get_u64();
     state.weight_count = reader.get_u64();
     state.shuffle_seed = reader.get_u64();
+    state.aggregator = get_aggregator_spec(reader);
     state.events_processed = reader.get_u64();
     state.global_weights = reader.get_f32s();
     const std::uint64_t pulled_count = reader.get_u64();
@@ -142,6 +149,8 @@ Result<FedAsyncCheckpoint> read_fedasync_checkpoint(const std::string& path) {
     state.partial.total_dropped = static_cast<std::size_t>(reader.get_u64());
     state.partial.total_quarantined = static_cast<std::size_t>(reader.get_u64());
     state.partial.total_delayed = static_cast<std::size_t>(reader.get_u64());
+    state.partial.total_attacked = static_cast<std::size_t>(reader.get_u64());
+    state.partial.total_clipped = static_cast<std::size_t>(reader.get_u64());
     return state;
   });
 }
@@ -156,6 +165,12 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
   if (options.horizon <= 0.0) throw std::invalid_argument("fedasync: horizon must be > 0");
   if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
     throw std::invalid_argument("fedasync: alpha must be in (0, 1]");
+  }
+  if (options.aggregator.kind != AggregatorKind::kWeightedMean &&
+      options.aggregator.kind != AggregatorKind::kNormClip) {
+    throw std::invalid_argument(
+        "fedasync: aggregator '" + options.aggregator.spec_string() +
+        "' needs a survivor population; only mean and normclip apply to one-at-a-time merges");
   }
 
   // Contributed subsets and the base model.
@@ -225,6 +240,12 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
                                options.checkpoint_path +
                                " was written by a differently-configured run");
     }
+    if (state.aggregator != options.aggregator) {
+      throw std::runtime_error("fedasync resume failed closed [snapshot.mismatch]: " +
+                               options.checkpoint_path + " was written under aggregator '" +
+                               state.aggregator.spec_string() + "', this run requests '" +
+                               options.aggregator.spec_string() + "'");
+    }
     events_processed = state.events_processed;
     global_weights = std::move(state.global_weights);
     pulled = std::move(state.pulled);
@@ -249,6 +270,7 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
     state.client_count = clients.size();
     state.weight_count = global_weights.size();
     state.shuffle_seed = options.shuffle_seed;
+    state.aggregator = options.aggregator;
     state.events_processed = events_processed;
     state.global_weights = global_weights;
     state.pulled = pulled;
@@ -299,6 +321,21 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
     std::vector<float> local = worker.weights();
 
     if (faults != nullptr) {
+      // Adversarial transforms first (relative to the stale model the silo
+      // trained from), then any corruption stacks on top — same composition
+      // order as the synchronous path.
+      const AttackSpec attack = faults->attack_update(client_round, c);
+      if (attack.attack) {
+        apply_update_attack(local, pulled[c], attack, *faults, client_round);
+        ++result.total_attacked;
+        switch (attack.kind) {
+          case FaultKind::kSignFlip: TFL_COUNTER_INC("fault.injected.signflip"); break;
+          case FaultKind::kScaleAttack: TFL_COUNTER_INC("fault.injected.scale_attack"); break;
+          case FaultKind::kFreeRide: TFL_COUNTER_INC("fault.injected.freeride"); break;
+          case FaultKind::kCollude: TFL_COUNTER_INC("fault.injected.collude"); break;
+          default: break;
+        }
+      }
       const CorruptionSpec spec = faults->corrupt_update(client_round, c);
       if (spec.corrupt) {
         TFL_COUNTER_INC("fault.injected.corruption");
@@ -329,10 +366,37 @@ FedAsyncResult train_fedasync(const ModelSpec& model_spec,
     const double staleness = update.ready_at - update.pulled_at - clients[c].round_latency;
     const double discount =
         std::pow(1.0 + std::max(0.0, staleness), -options.staleness_exponent);
-    const float alpha_eff = static_cast<float>(options.alpha * discount);
-    for (std::size_t i = 0; i < global_weights.size(); ++i) {
-      global_weights[i] = (1.0f - alpha_eff) * global_weights[i] + alpha_eff * local[i];
+    const double alpha_eff =
+        static_cast<double>(static_cast<float>(options.alpha * discount));
+    if (options.aggregator.kind == AggregatorKind::kNormClip) {
+      // Clip the incoming delta (relative to the CURRENT global) before it is
+      // mixed in — the one-update analogue of the synchronous NormClip rule.
+      // The norm folds over coordinates in index order: deterministic.
+      double norm_sq = 0.0;
+      for (std::size_t i = 0; i < global_weights.size(); ++i) {
+        const double diff =
+            static_cast<double>(local[i]) - static_cast<double>(global_weights[i]);
+        norm_sq += diff * diff;
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm > options.aggregator.clip_norm && norm > 0.0) {
+        const double scale = options.aggregator.clip_norm / norm;
+        for (std::size_t i = 0; i < global_weights.size(); ++i) {
+          const double diff =
+              static_cast<double>(local[i]) - static_cast<double>(global_weights[i]);
+          local[i] =
+              static_cast<float>(static_cast<double>(global_weights[i]) + scale * diff);
+        }
+        ++result.total_clipped;
+        TFL_COUNTER_INC("fl.agg.clipped");
+      }
     }
+    // The merge is the shared ordered weighted-sum helper: both training
+    // paths now fold in double precision with an identical coordinate-order
+    // contract (the float-arithmetic merge this replaced drifted from
+    // FedAvg's Eq. (3) fold).
+    ordered_weighted_mean({&global_weights, &local}, {1.0 - alpha_eff, alpha_eff},
+                          global_pool(), global_weights);
     ++result.total_updates;
     TFL_COUNTER_INC("fl.async.updates.count");
     TFL_OBSERVE_BUCKETS("fl.async.staleness", std::max(0.0, staleness), 0.01, 0.1, 0.5, 1.0,

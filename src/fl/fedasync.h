@@ -36,6 +36,14 @@ struct FedAsyncOptions {
   /// keying fault decisions, so schedules replay identically.
   const FaultInjector* faults = nullptr;
 
+  /// Aggregation rule for the merge path. FedAsync merges one update at a
+  /// time, so only the mean-family rules apply: kWeightedMean (the plain
+  /// staleness-discounted merge) and kNormClip (clip the incoming delta to
+  /// `clip_norm` before merging). Any other kind throws std::invalid_argument
+  /// — the population rules (median/trimmed/krum) need a survivor set that an
+  /// asynchronous server never has. Part of the checkpoint fingerprint.
+  AggregatorSpec aggregator{};
+
   /// Crash-consistent checkpointing (empty = none), keyed by processed queue
   /// events: every `checkpoint_every` events the simulation state — global
   /// weights, per-client pulled snapshots and update counts, the pending
@@ -62,6 +70,8 @@ struct FedAsyncResult {
   std::size_t total_dropped = 0;      // updates discarded by injected dropout
   std::size_t total_quarantined = 0;  // non-finite updates discarded pre-merge
   std::size_t total_delayed = 0;      // merges whose delivery was straggler-scaled
+  std::size_t total_attacked = 0;     // adversarially transformed updates merged
+  std::size_t total_clipped = 0;      // incoming deltas norm-clipped pre-merge
 };
 
 /// Event-driven simulation: every client trains continuously; when a local

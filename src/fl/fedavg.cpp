@@ -90,7 +90,9 @@ double train_local(Net& net, const Dataset& data, const std::vector<std::size_t>
 
 // ----- checkpointing -----
 
-constexpr std::uint32_t kFedAvgSnapshotVersion = 1;
+// v2: aggregator spec joined the fingerprint; round metrics and result carry
+// the robust-aggregation fields (attacked/rejected/clipped/influence).
+constexpr std::uint32_t kFedAvgSnapshotVersion = 2;
 constexpr const char* kFedAvgSnapshotKind = "fl.fedavg";
 
 }  // namespace
@@ -104,6 +106,10 @@ void put_round_metrics(SnapshotWriter& writer, const RoundMetrics& metrics) {
   writer.put_u64(metrics.dropped);
   writer.put_u64(metrics.quarantined);
   writer.put_bool(metrics.skipped);
+  writer.put_u64(metrics.attacked);
+  writer.put_u64(metrics.rejected);
+  writer.put_u64(metrics.clipped);
+  writer.put_f64(metrics.attacker_influence);
 }
 
 RoundMetrics get_round_metrics(SnapshotReader& reader) {
@@ -116,6 +122,10 @@ RoundMetrics get_round_metrics(SnapshotReader& reader) {
   metrics.dropped = static_cast<std::size_t>(reader.get_u64());
   metrics.quarantined = static_cast<std::size_t>(reader.get_u64());
   metrics.skipped = reader.get_bool();
+  metrics.attacked = static_cast<std::size_t>(reader.get_u64());
+  metrics.rejected = static_cast<std::size_t>(reader.get_u64());
+  metrics.clipped = static_cast<std::size_t>(reader.get_u64());
+  metrics.attacker_influence = reader.get_f64();
   return metrics;
 }
 
@@ -129,6 +139,11 @@ void put_fedavg_result(SnapshotWriter& writer, const FedAvgResult& result) {
   writer.put_u64(result.rounds_skipped);
   writer.put_u64(result.total_dropped);
   writer.put_u64(result.total_quarantined);
+  writer.put_u64(result.total_attacked);
+  writer.put_u64(result.total_rejected);
+  writer.put_u64(result.total_clipped);
+  writer.put_f64s(result.client_influence);
+  writer.put_u64s(result.client_rejected);
 }
 
 FedAvgResult get_fedavg_result(SnapshotReader& reader) {
@@ -144,6 +159,11 @@ FedAvgResult get_fedavg_result(SnapshotReader& reader) {
   result.rounds_skipped = static_cast<std::size_t>(reader.get_u64());
   result.total_dropped = static_cast<std::size_t>(reader.get_u64());
   result.total_quarantined = static_cast<std::size_t>(reader.get_u64());
+  result.total_attacked = static_cast<std::size_t>(reader.get_u64());
+  result.total_rejected = static_cast<std::size_t>(reader.get_u64());
+  result.total_clipped = static_cast<std::size_t>(reader.get_u64());
+  result.client_influence = reader.get_f64s();
+  result.client_rejected = reader.get_u64s();
   return result;
 }
 
@@ -157,6 +177,7 @@ struct FedAvgCheckpoint {
   std::uint64_t weight_count = 0;
   std::uint64_t shuffle_seed = 0;
   std::uint64_t contributed_samples = 0;
+  AggregatorSpec aggregator{};
 
   std::uint64_t round_completed = 0;
   std::vector<float> global_weights;
@@ -165,6 +186,13 @@ struct FedAvgCheckpoint {
   std::uint64_t rounds_skipped = 0;
   std::uint64_t total_dropped = 0;
   std::uint64_t total_quarantined = 0;
+  std::uint64_t total_attacked = 0;
+  std::uint64_t total_rejected = 0;
+  std::uint64_t total_clipped = 0;
+  // Raw per-client influence sums (normalized to means only in the final
+  // result), so a resumed run keeps accumulating bit-identically.
+  std::vector<double> influence_sums;
+  std::vector<std::uint64_t> client_rejected;
 };
 
 Result<std::size_t> write_fedavg_checkpoint(const std::string& path,
@@ -174,6 +202,7 @@ Result<std::size_t> write_fedavg_checkpoint(const std::string& path,
   writer.put_u64(state.weight_count);
   writer.put_u64(state.shuffle_seed);
   writer.put_u64(state.contributed_samples);
+  put_aggregator_spec(writer, state.aggregator);
   writer.put_u64(state.round_completed);
   writer.put_f32s(state.global_weights);
   writer.put_u64(state.rng_states.size());
@@ -185,6 +214,11 @@ Result<std::size_t> write_fedavg_checkpoint(const std::string& path,
   writer.put_u64(state.rounds_skipped);
   writer.put_u64(state.total_dropped);
   writer.put_u64(state.total_quarantined);
+  writer.put_u64(state.total_attacked);
+  writer.put_u64(state.total_rejected);
+  writer.put_u64(state.total_clipped);
+  writer.put_f64s(state.influence_sums);
+  writer.put_u64s(state.client_rejected);
   return write_snapshot_file(path, kFedAvgSnapshotKind, kFedAvgSnapshotVersion, writer);
 }
 
@@ -197,6 +231,7 @@ Result<FedAvgCheckpoint> read_fedavg_checkpoint(const std::string& path) {
     state.weight_count = reader.get_u64();
     state.shuffle_seed = reader.get_u64();
     state.contributed_samples = reader.get_u64();
+    state.aggregator = get_aggregator_spec(reader);
     state.round_completed = reader.get_u64();
     state.global_weights = reader.get_f32s();
     const std::uint64_t rng_count = reader.get_u64();
@@ -212,6 +247,11 @@ Result<FedAvgCheckpoint> read_fedavg_checkpoint(const std::string& path) {
     state.rounds_skipped = reader.get_u64();
     state.total_dropped = reader.get_u64();
     state.total_quarantined = reader.get_u64();
+    state.total_attacked = reader.get_u64();
+    state.total_rejected = reader.get_u64();
+    state.total_clipped = reader.get_u64();
+    state.influence_sums = reader.get_f64s();
+    state.client_rejected = reader.get_u64s();
     return state;
   });
 }
@@ -272,6 +312,11 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
       (options.faults != nullptr && options.faults->enabled()) ? options.faults : nullptr;
   const std::size_t quorum = std::max<std::size_t>(options.quorum, 1);
 
+  // Per-client influence bookkeeping for the deviation audit: raw sums here,
+  // normalized to per-round means only once training finishes.
+  std::vector<double> influence_sums(clients.size(), 0.0);
+  std::vector<std::uint64_t> client_rejected(clients.size(), 0);
+
   // Resume: restore the completed-round state exactly. The contributed
   // subsets are re-derived above (pure functions of the client seeds), so the
   // snapshot only needs weights + RNG words + metric history.
@@ -288,9 +333,18 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
                                   options.checkpoint_path +
                                       " was written by a differently-configured run"});
     }
-    if (state.rng_states.size() != clients.size()) {
+    if (state.aggregator != options.aggregator) {
       fail_resume("fedavg",
-                  Error{"snapshot.mismatch", "client RNG stream count does not match"});
+                  Error{"snapshot.mismatch",
+                        options.checkpoint_path + " was written under aggregator '" +
+                            state.aggregator.spec_string() + "', this run requests '" +
+                            options.aggregator.spec_string() + "'"});
+    }
+    if (state.rng_states.size() != clients.size() ||
+        state.influence_sums.size() != clients.size() ||
+        state.client_rejected.size() != clients.size()) {
+      fail_resume("fedavg",
+                  Error{"snapshot.mismatch", "per-client state count does not match"});
     }
     global_weights = std::move(state.global_weights);
     global.set_weights(global_weights);
@@ -299,6 +353,11 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     result.rounds_skipped = static_cast<std::size_t>(state.rounds_skipped);
     result.total_dropped = static_cast<std::size_t>(state.total_dropped);
     result.total_quarantined = static_cast<std::size_t>(state.total_quarantined);
+    result.total_attacked = static_cast<std::size_t>(state.total_attacked);
+    result.total_rejected = static_cast<std::size_t>(state.total_rejected);
+    result.total_clipped = static_cast<std::size_t>(state.total_clipped);
+    influence_sums = std::move(state.influence_sums);
+    client_rejected = std::move(state.client_rejected);
     first_round = static_cast<std::size_t>(state.round_completed) + 1;
     TFL_COUNTER_INC("snapshot.resumes");
     TFL_INFO << "fedavg resumed at round " << first_round << " from "
@@ -314,6 +373,7 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     state.weight_count = global_weights.size();
     state.shuffle_seed = options.shuffle_seed;
     state.contributed_samples = result.total_contributed_samples;
+    state.aggregator = options.aggregator;
     state.round_completed = round_completed;
     state.global_weights = global_weights;
     for (const Rng& rng : client_rngs) state.rng_states.push_back(rng.state());
@@ -321,6 +381,11 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     state.rounds_skipped = result.rounds_skipped;
     state.total_dropped = result.total_dropped;
     state.total_quarantined = result.total_quarantined;
+    state.total_attacked = result.total_attacked;
+    state.total_rejected = result.total_rejected;
+    state.total_clipped = result.total_clipped;
+    state.influence_sums = influence_sums;
+    state.client_rejected = client_rejected;
     const auto written = write_fedavg_checkpoint(options.checkpoint_path, state);
     if (!written.ok()) {
       throw std::runtime_error("fedavg checkpoint write failed [" + written.error().code +
@@ -345,7 +410,9 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     // the same plan replays identically at any thread count.
     std::vector<std::uint8_t> excluded(clients.size(), 0);
     std::vector<CorruptionSpec> corruption(clients.size());
+    std::vector<AttackSpec> attacks(clients.size());
     std::size_t dropped = 0;
+    std::size_t attacked = 0;
     if (faults != nullptr) {
       for (std::size_t c = 0; c < clients.size(); ++c) {
         if (subsets[c].empty()) continue;
@@ -368,6 +435,19 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
         }
         corruption[c] = faults->corrupt_update(round, c);
         if (corruption[c].corrupt) TFL_COUNTER_INC("fault.injected.corruption");
+        // Adversarial behaviour is decided at this serial point like every
+        // other fault; the parallel loop below only applies the stored spec.
+        attacks[c] = faults->attack_update(round, c);
+        if (attacks[c].attack) {
+          ++attacked;
+          switch (attacks[c].kind) {
+            case FaultKind::kSignFlip: TFL_COUNTER_INC("fault.injected.signflip"); break;
+            case FaultKind::kScaleAttack: TFL_COUNTER_INC("fault.injected.scale_attack"); break;
+            case FaultKind::kFreeRide: TFL_COUNTER_INC("fault.injected.freeride"); break;
+            case FaultKind::kCollude: TFL_COUNTER_INC("fault.injected.collude"); break;
+            default: break;
+          }
+        }
       }
     }
 
@@ -380,6 +460,12 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
         net.set_weights(global_weights);
         local_losses[c] = train_local(net, *clients[c].data, subsets[c], options, client_rngs[c]);
         local_weights[c] = net.weights();
+        // Attacks transform the honest update before any corruption stacks on
+        // top: a Byzantine silo still trains (its RNG streams advance
+        // identically to truthful play) but submits a crafted vector.
+        if (attacks[c].attack) {
+          apply_update_attack(local_weights[c], global_weights, attacks[c], *faults, round);
+        }
         if (corruption[c].corrupt) {
           if (corruption[c].use_nan) {
             // Poison the update the way a diverged local step would: the
@@ -399,15 +485,17 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     double train_loss_sum = 0.0;
     std::size_t participants = 0;
     std::size_t quarantined = 0;
+    std::size_t rejected = 0;
+    std::size_t clipped = 0;
+    double attacker_influence = 0.0;
     bool skipped = false;
     {
       TFL_SCOPED_TIMER("fl.aggregate.seconds");
-      // Aggregation per Eq. (3): weights proportional to contributed samples
-      // d_i |S_i|, folded in fixed client order so the double-precision sums
-      // are bit-identical at any thread count. Survivors renormalize the
-      // weight sum, so dropouts shift influence, never scale.
-      std::vector<double> aggregate(global_weights.size(), 0.0);
-      double weight_total = 0.0;
+      // Survivors collect in fixed client order; the aggregator (default:
+      // Eq. (3) weighted mean, bit-identical to the historical fold) then
+      // combines them with thread-count-invariant arithmetic. Survivors
+      // renormalize the weight sum, so dropouts shift influence, never scale.
+      std::vector<ClientUpdate> updates;
       for (std::size_t c = 0; c < clients.size(); ++c) {
         if (local_weights[c].empty()) continue;
         // Quarantine: a non-finite update would poison every aggregated
@@ -421,31 +509,36 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
           TFL_COUNTER_INC("fl.updates.quarantined");
           continue;
         }
-        const double weight = static_cast<double>(subsets[c].size());
-        for (std::size_t i = 0; i < aggregate.size(); ++i) {
-          aggregate[i] += weight * static_cast<double>(local_weights[c][i]);
-        }
-        weight_total += weight;
+        updates.push_back({&local_weights[c], static_cast<double>(subsets[c].size()), c});
         train_loss_sum += local_losses[c];
         ++participants;
       }
       if (participants < quorum) {
         // Quorum failure: the round is skipped outright — the global model
-        // stays put and the (possibly empty) survivor sums are discarded, so
-        // weight_total == 0 can never reach the division below.
+        // stays put and the (possibly empty) survivor set is discarded, so
+        // aggregation never sees a degenerate population.
         skipped = true;
         TFL_COUNTER_INC("fl.rounds.skipped");
         TFL_WARN << "fedavg round " << round << " skipped: " << participants
                  << " survivors below quorum " << quorum;
       } else {
-        TFL_CHECK(weight_total > 0.0, "fedavg: aggregation weight sum must be positive with ",
-                  participants, " participants");
-        for (std::size_t i = 0; i < global_weights.size(); ++i) {
-          global_weights[i] = static_cast<float>(aggregate[i] / weight_total);
+        AggregateOutcome outcome =
+            aggregate_updates(options.aggregator, updates, global_weights, pool);
+        for (std::size_t k = 0; k < updates.size(); ++k) {
+          const std::size_t c = updates[k].client;
+          influence_sums[c] += outcome.influence[k];
+          if (outcome.influence[k] == 0.0) ++client_rejected[c];
+          if (attacks[c].attack) attacker_influence += outcome.influence[k];
         }
+        rejected = outcome.rejected;
+        clipped = outcome.clipped;
+        global_weights = std::move(outcome.weights);
         global.set_weights(global_weights);
       }
     }
+    TFL_COUNTER_ADD("fl.agg.rejected", rejected);
+    TFL_COUNTER_ADD("fl.agg.clipped", clipped);
+    TFL_SERIES_APPEND("fl.agg.influence", attacker_influence);
     TFL_COUNTER_INC("fl.rounds.count");
     TFL_COUNTER_ADD("fl.clients.participating", participants);
     TFL_GAUGE_SET("round.participation", participants);
@@ -471,10 +564,17 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
     metrics.dropped = dropped;
     metrics.quarantined = quarantined;
     metrics.skipped = skipped;
+    metrics.attacked = attacked;
+    metrics.rejected = rejected;
+    metrics.clipped = clipped;
+    metrics.attacker_influence = attacker_influence;
     result.history.push_back(metrics);
     result.rounds_skipped += skipped ? 1 : 0;
     result.total_dropped += dropped;
     result.total_quarantined += quarantined;
+    result.total_attacked += attacked;
+    result.total_rejected += rejected;
+    result.total_clipped += clipped;
     checkpoint_now(round);
     TFL_DEBUG << "fedavg round " << round << ": test acc " << eval.accuracy << ", loss "
               << eval.loss;
@@ -490,6 +590,19 @@ FedAvgResult train_fedavg(const ModelSpec& model_spec, const std::vector<FedClie
   result.final_accuracy = result.history.back().test_accuracy;
   result.final_loss = result.history.back().test_loss;
   result.final_weights = std::move(global_weights);
+  // Normalize influence sums to per-round means over the rounds that actually
+  // aggregated (sums of zero stay zero when every round skipped).
+  std::size_t aggregated_rounds = 0;
+  for (const RoundMetrics& metrics : result.history) {
+    if (!metrics.skipped) ++aggregated_rounds;
+  }
+  result.client_influence.assign(clients.size(), 0.0);
+  if (aggregated_rounds > 0) {
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      result.client_influence[c] = influence_sums[c] / static_cast<double>(aggregated_rounds);
+    }
+  }
+  result.client_rejected = std::move(client_rejected);
   return result;
 }
 

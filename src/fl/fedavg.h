@@ -14,6 +14,7 @@
 #include "fl/dataset.h"
 #include "fl/model_zoo.h"
 #include "fl/optimizer.h"
+#include "fl/robust_agg.h"
 
 namespace tradefl::fl {
 
@@ -27,6 +28,10 @@ struct FedAvgOptions {
 
   /// Fault injection (nullptr = fault-free run; must outlive the call).
   const FaultInjector* faults = nullptr;
+  /// Aggregation rule for the per-round update combine (default: the paper's
+  /// Eq. (3) weighted mean). The spec is part of the checkpoint fingerprint —
+  /// resuming under a different rule fails closed.
+  AggregatorSpec aggregator{};
   /// Minimum surviving clients a round needs; below it the round is skipped
   /// (global weights untouched, RoundMetrics::skipped set) rather than
   /// renormalizing Eq. (3) over a degenerate survivor set.
@@ -73,6 +78,12 @@ struct RoundMetrics {
   std::size_t dropped = 0;       // dropout + straggler exclusions this round
   std::size_t quarantined = 0;   // non-finite updates discarded this round
   bool skipped = false;          // quorum failure: no aggregation happened
+  std::size_t attacked = 0;      // adversarial updates submitted this round
+  std::size_t rejected = 0;      // updates the aggregator gave zero influence
+  std::size_t clipped = 0;       // updates norm-clipped by the aggregator
+  /// Aggregate influence share the attacked silos' updates retained in [0, 1]
+  /// — the per-round attacker-containment metric (0 when no attack fired).
+  double attacker_influence = 0.0;
 };
 
 struct FedAvgResult {
@@ -84,6 +95,16 @@ struct FedAvgResult {
   std::size_t rounds_skipped = 0;
   std::size_t total_dropped = 0;
   std::size_t total_quarantined = 0;
+  std::size_t total_attacked = 0;
+  std::size_t total_rejected = 0;
+  std::size_t total_clipped = 0;
+  /// Per-client mean aggregation influence over the non-skipped rounds (the
+  /// deviation audit's per-silo containment signal); empty when no round
+  /// aggregated.
+  std::vector<double> client_influence;
+  /// Per-client count of rounds in which the aggregator rejected the
+  /// client's update outright.
+  std::vector<std::uint64_t> client_rejected;
 };
 
 /// Snapshot codecs for the training result types, shared by the FedAvg

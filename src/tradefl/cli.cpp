@@ -263,6 +263,11 @@ Result<SessionOptions> session_options_from_config(const Config& options) {
       static_cast<std::size_t>(options.get_int("rounds", 5));
   session_options.fedavg.quorum =
       static_cast<std::size_t>(options.get_int("quorum", 1));
+  {
+    auto aggregator = fl::parse_aggregator(options.get_string("agg", "mean"));
+    if (!aggregator.ok()) return aggregator.error();
+    session_options.fedavg.aggregator = aggregator.value();
+  }
   session_options.seal_every =
       static_cast<std::size_t>(options.get_int("seal_every", 1));
   if (const auto spec = options.get("faults")) {
@@ -296,9 +301,15 @@ std::string usage() {
          "               block every N txs; 1 = dev-chain block per call, 0 = manual)\n"
          "robustness:    faults=seed:1,drop:0.2,submit:0.1 (solve+session; seeded\n"
          "               deterministic fault injection. keys: seed drop straggle scale\n"
-         "               corrupt noise revert gas submit solver; rates in [0,1];\n"
+         "               corrupt noise revert gas submit solver; Byzantine silo\n"
+         "               attacks: signflip:N amplify:N amplifyx:F freeride:N\n"
+         "               collude:N colludex:S (N lowest-indexed silos deviate);\n"
+         "               rates in [0,1];\n"
          "               crash:N kills the process at deterministic point N, right\n"
          "               after a checkpoint became durable — exit code 86)\n"
+         "               agg=mean|median|trimmed[:f]|krum[:f]|multikrum[:f]|\n"
+         "               normclip[:c] (FedAvg aggregation rule; robust rules blunt\n"
+         "               the Byzantine attacks — see docs/ROBUSTNESS.md)\n"
          "               quorum=1 (min surviving clients per FedAvg round; a round\n"
          "               below quorum is skipped, never aborted)\n"
          "durability:    checkpoint=DIR (solve+session; crash-consistent snapshots +\n"

@@ -61,15 +61,35 @@ std::string describe_session_impl(const game::CoopetitionGame& game, const Sessi
           << result.training->total_quarantined << " quarantined, "
           << result.training->rounds_skipped << " round(s) skipped\n";
     }
+    const bool attacked = result.training->total_attacked > 0;
+    if (attacked) {
+      out << "training attacks: " << result.training->total_attacked << " adversarial, "
+          << result.training->total_rejected << " rejected, "
+          << result.training->total_clipped << " clipped\n";
+    }
     if (canonical) {
-      AsciiTable history({"round", "train_loss", "test_loss", "test_acc", "participants",
-                          "dropped", "quarantined", "skipped"});
+      // Attack columns appear only when an attack actually fired, so an
+      // attack-free report stays byte-identical to the pre-robustness format.
+      std::vector<std::string> columns = {"round",        "train_loss", "test_loss",
+                                          "test_acc",     "participants", "dropped",
+                                          "quarantined",  "skipped"};
+      if (attacked) {
+        columns.insert(columns.end(), {"attacked", "rejected", "clipped", "influence"});
+      }
+      AsciiTable history(columns);
       for (const fl::RoundMetrics& metrics : result.training->history) {
-        history.add_row({std::to_string(metrics.round), format_double(metrics.train_loss, 8),
-                         format_double(metrics.test_loss, 8),
-                         format_double(metrics.test_accuracy, 8),
-                         std::to_string(metrics.participants), std::to_string(metrics.dropped),
-                         std::to_string(metrics.quarantined), metrics.skipped ? "yes" : "no"});
+        std::vector<std::string> row = {
+            std::to_string(metrics.round),        format_double(metrics.train_loss, 8),
+            format_double(metrics.test_loss, 8),  format_double(metrics.test_accuracy, 8),
+            std::to_string(metrics.participants), std::to_string(metrics.dropped),
+            std::to_string(metrics.quarantined),  metrics.skipped ? "yes" : "no"};
+        if (attacked) {
+          row.push_back(std::to_string(metrics.attacked));
+          row.push_back(std::to_string(metrics.rejected));
+          row.push_back(std::to_string(metrics.clipped));
+          row.push_back(format_double(metrics.attacker_influence, 8));
+        }
+        history.add_row(row);
       }
       out << history.render();
       // Bit-exact fingerprint of the final model: two runs agree here iff
@@ -79,6 +99,27 @@ std::string describe_session_impl(const game::CoopetitionGame& game, const Sessi
           << crc32(reinterpret_cast<const std::uint8_t*>(weights.data()),
                    weights.size() * sizeof(float))
           << "\n";
+    }
+  }
+  if (result.deviation) {
+    const core::DeviationAudit& audit = *result.deviation;
+    out << audit.summary() << "\n";
+    out << "empirical properties: IR(honest) " << (audit.ir_empirical ? "yes" : "NO")
+        << " (min honest payoff " << format_double(audit.min_honest_payoff, 6) << "), BB "
+        << (audit.bb_empirical ? "yes" : "NO") << " (sum R "
+        << format_double(audit.redistribution_sum, 6) << "), CE "
+        << (audit.ce_empirical ? "yes" : "NO") << "\n";
+    if (canonical && !audit.silos.empty()) {
+      AsciiTable deviators(
+          {"silo", "attack", "truthful", "empirical", "gain", "influence", "rejected"});
+      for (const core::SiloDeviation& silo : audit.silos) {
+        deviators.add_row({game.org(silo.silo).name, silo.attack,
+                           format_double(silo.truthful_payoff, 6),
+                           format_double(silo.empirical_payoff, 6),
+                           format_double(silo.payoff_gain, 6), format_double(silo.influence, 6),
+                           format_double(silo.rejected_share, 6)});
+      }
+      out << deviators.render();
     }
   }
   out << "contract " << result.contract_address.to_hex() << ": " << result.blocks

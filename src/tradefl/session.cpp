@@ -34,7 +34,9 @@ namespace {
 
 // ----- session checkpoint (phase-boundary snapshots) -----
 
-constexpr std::uint32_t kSessionSnapshotVersion = 1;
+// v2: the aggregation rule joined the resume fingerprint and the result
+// carries the optional strategic-deviation audit.
+constexpr std::uint32_t kSessionSnapshotVersion = 2;
 constexpr const char* kSessionSnapshotKind = "tradefl.session";
 
 /// Everything a resumed session needs to continue at the last completed
@@ -48,6 +50,7 @@ struct SessionCheckpoint {
   std::uint64_t seed = 0;
   std::uint64_t scheme = 0;
   bool run_training = false;
+  fl::AggregatorSpec aggregator{};
 
   /// 1 = solve, 2 = training, 3 = escrow, 4 = contributions, 5 = settled.
   std::uint64_t completed_phase = 0;
@@ -82,6 +85,7 @@ Result<std::size_t> write_session_checkpoint(const std::string& path,
   writer.put_u64(state.seed);
   writer.put_u64(state.scheme);
   writer.put_bool(state.run_training);
+  fl::put_aggregator_spec(writer, state.aggregator);
   writer.put_u64(state.completed_phase);
 
   const SessionResult& result = state.result;
@@ -89,6 +93,8 @@ Result<std::size_t> write_session_checkpoint(const std::string& path,
   core::put_property_report(writer, result.properties);
   writer.put_bool(result.training.has_value());
   if (result.training.has_value()) fl::put_fedavg_result(writer, *result.training);
+  writer.put_bool(result.deviation.has_value());
+  if (result.deviation.has_value()) core::put_deviation_audit(writer, *result.deviation);
   writer.put_u64(result.degradations.size());
   for (const Degradation& degradation : result.degradations) {
     writer.put_string(degradation.phase);
@@ -129,12 +135,14 @@ Result<SessionCheckpoint> read_session_checkpoint(const std::string& path) {
     state.seed = reader.get_u64();
     state.scheme = reader.get_u64();
     state.run_training = reader.get_bool();
+    state.aggregator = fl::get_aggregator_spec(reader);
     state.completed_phase = reader.get_u64();
 
     SessionResult& result = state.result;
     result.mechanism = core::get_mechanism_result(reader);
     result.properties = core::get_property_report(reader);
     if (reader.get_bool()) result.training = fl::get_fedavg_result(reader);
+    if (reader.get_bool()) result.deviation = core::get_deviation_audit(reader);
     const std::uint64_t degradation_count = reader.get_u64();
     for (std::uint64_t i = 0; i < degradation_count; ++i) {
       Degradation degradation;
@@ -172,6 +180,30 @@ Result<SessionCheckpoint> read_session_checkpoint(const std::string& path) {
 [[noreturn]] void fail_session(const char* action, const Error& error) {
   throw std::runtime_error(std::string("session ") + action + " failed closed [" + error.code +
                            "]: " + error.message);
+}
+
+/// Projects the FedAvg result into the layer-neutral view the deviation
+/// audit consumes (core/ cannot depend on fl/ directly).
+core::TrainingObservation observe_training(const fl::FedAvgResult& training) {
+  core::TrainingObservation observed;
+  observed.measured_accuracy = training.final_accuracy;
+  observed.attacked_updates = training.total_attacked;
+  observed.rejected_updates = training.total_rejected;
+  observed.clipped_updates = training.total_clipped;
+  observed.executed_rounds = training.history.size();
+  double influence_sum = 0.0;
+  for (const fl::RoundMetrics& round : training.history) {
+    if (round.skipped) continue;
+    ++observed.aggregated_rounds;
+    influence_sum += round.attacker_influence;
+  }
+  observed.attacker_influence =
+      observed.aggregated_rounds > 0
+          ? influence_sum / static_cast<double>(observed.aggregated_rounds)
+          : 0.0;
+  observed.client_influence = training.client_influence;
+  observed.client_rejected = training.client_rejected;
+  return observed;
 }
 
 }  // namespace
@@ -219,7 +251,8 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     SessionCheckpoint& state = loaded.value();
     if (state.org_count != n || state.seed != options.seed ||
         state.scheme != static_cast<std::uint64_t>(options.scheme) ||
-        state.run_training != options.run_training) {
+        state.run_training != options.run_training ||
+        state.aggregator != options.fedavg.aggregator) {
       fail_session("resume", Error{"snapshot.decode",
                                    "checkpoint belongs to a different session configuration"});
     }
@@ -243,6 +276,7 @@ SessionResult TradingSession::run(const SessionOptions& options) {
     state.seed = options.seed;
     state.scheme = static_cast<std::uint64_t>(options.scheme);
     state.run_training = options.run_training;
+    state.aggregator = options.fedavg.aggregator;
     state.completed_phase = phase;
     state.result = result;
     if (phase >= 3 && chain_ && web3_ptr != nullptr) {
@@ -349,6 +383,17 @@ SessionResult TradingSession::run(const SessionOptions& options) {
         if (result.training->total_quarantined > 0) {
           degraded("training", std::to_string(result.training->total_quarantined) +
                                    " corrupted update(s) quarantined");
+        }
+        // Strategic-deviation audit: when the plan schedules adversarial
+        // updates, re-check IR/BB/CE empirically against the accuracy the
+        // attacked run actually reached and price each deviator's gain.
+        if (faults != nullptr && options.faults.has_attacks()) {
+          result.deviation = core::audit_deviation(game, result.mechanism, result.properties,
+                                                   observe_training(*result.training), *faults);
+          TFL_INFO << result.deviation->summary();
+          if (!result.deviation->ir_empirical || !result.deviation->bb_empirical) {
+            degraded("training", "deviation audit: empirical mechanism property violated");
+          }
         }
       } catch (const OperationCancelled&) {
         throw;  // the supervisor owns the token; cancellation is not a failure

@@ -21,6 +21,7 @@
 #include "chain/tradefl_contract.h"
 #include "chain/web3.h"
 #include "common/faults.h"
+#include "core/deviation_audit.h"
 #include "core/mechanism.h"
 #include "fl/fedavg.h"
 #include "game/game.h"
@@ -97,6 +98,9 @@ struct SessionResult {
   core::MechanismResult mechanism;
   core::PropertyReport properties;
   std::optional<fl::FedAvgResult> training;
+  /// Strategic-deviation audit — present when the fault plan schedules
+  /// adversarial updates and the training phase completed.
+  std::optional<core::DeviationAudit> deviation;
 
   chain::Address contract_address{};
   std::vector<chain::Wei> settlements_wei;  // on-chain net payoff per org

@@ -197,6 +197,88 @@ TEST(FaultKindName, StableNames) {
   EXPECT_STREQ(fault_kind_name(FaultKind::kClientDropout), "dropout");
   EXPECT_STREQ(fault_kind_name(FaultKind::kTxRevert), "revert");
   EXPECT_STREQ(fault_kind_name(FaultKind::kSolverPerturbation), "solver_perturbation");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kSignFlip), "signflip");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kScaleAttack), "scale_attack");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kFreeRide), "freeride");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kCollude), "collude");
+}
+
+TEST(FaultPlan, ParseErrorsEchoTokenAndGrammar) {
+  // Satellite contract: every typed parse error names the offending token
+  // verbatim and repeats the accepted grammar, so a mistyped CLI spec is
+  // self-diagnosing.
+  struct Case {
+    const char* spec;
+    const char* token;
+  };
+  const Case cases[] = {
+      {"drop:0.2,bogus:1", "bogus:1"},       // unknown key
+      {"drop", "drop"},                      // missing colon
+      {"drop:1.5", "drop:1.5"},              // rate out of range
+      {"crash:1.5", "crash:1.5"},            // point must be an integer
+      {"signflip:2.5", "signflip:2.5"},      // silo count must be an integer
+      {"collude:-1", "collude:-1"},          // negative count
+      {"amplifyx:0", "amplifyx:0"},          // factor must be positive
+      {"colludex:abc", "colludex:abc"},      // not a number
+  };
+  for (const Case& test : cases) {
+    const auto parsed = parse_fault_plan(test.spec);
+    ASSERT_FALSE(parsed.ok()) << test.spec;
+    EXPECT_EQ(parsed.error().code, "faults") << test.spec;
+    EXPECT_NE(parsed.error().message.find(std::string("'") + test.token + "'"),
+              std::string::npos)
+        << parsed.error().message;
+    EXPECT_NE(parsed.error().message.find(kFaultGrammar), std::string::npos) << test.spec;
+  }
+}
+
+TEST(FaultPlan, ParsesAttackKeysAndRoundTrips) {
+  const auto parsed = parse_fault_plan(
+      "seed:9,collude:2,colludex:1.5,signflip:1,amplify:3,amplifyx:4,freeride:2");
+  ASSERT_TRUE(parsed.ok());
+  const FaultPlan& plan = parsed.value();
+  EXPECT_EQ(plan.collude_silos, 2u);
+  EXPECT_DOUBLE_EQ(plan.collude_shift, 1.5);
+  EXPECT_EQ(plan.signflip_silos, 1u);
+  EXPECT_EQ(plan.scale_silos, 3u);
+  EXPECT_DOUBLE_EQ(plan.scale_factor, 4.0);
+  EXPECT_EQ(plan.freeride_silos, 2u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.has_attacks());
+
+  const auto reparsed = parse_fault_plan(plan.spec_string());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().spec_string(), plan.spec_string());
+}
+
+TEST(FaultInjector, AttackBlocksAssignLowestIndexedSilosCollersFirst) {
+  FaultPlan plan;
+  plan.collude_silos = 2;
+  plan.signflip_silos = 1;
+  plan.freeride_silos = 1;
+  const FaultInjector injector(plan);
+  // Blocks in declaration order: silos 0-1 collude, 2 sign-flips, 3 free-
+  // rides, 4+ honest — identical at every round.
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    EXPECT_EQ(injector.attack_update(round, 0).kind, FaultKind::kCollude);
+    EXPECT_EQ(injector.attack_update(round, 1).kind, FaultKind::kCollude);
+    EXPECT_EQ(injector.attack_update(round, 2).kind, FaultKind::kSignFlip);
+    EXPECT_EQ(injector.attack_update(round, 3).kind, FaultKind::kFreeRide);
+    EXPECT_FALSE(injector.attack_update(round, 4).attack);
+    EXPECT_TRUE(injector.attack_update(round, 0).attack);
+  }
+}
+
+TEST(FaultInjector, CollusionRngIsSharedPerRoundAndVariesAcrossRounds) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.collude_silos = 3;
+  const FaultInjector injector(plan);
+  Rng a = injector.collusion_rng(5);
+  Rng b = injector.collusion_rng(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // every colluder draws the same stream
+  Rng c = injector.collusion_rng(6);
+  EXPECT_NE(injector.collusion_rng(5).next_u64(), c.next_u64());
 }
 
 }  // namespace

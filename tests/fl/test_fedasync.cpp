@@ -6,6 +6,9 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+#include "common/rng.h"
+
 namespace tradefl::fl {
 namespace {
 
@@ -227,6 +230,100 @@ TEST(FedAsyncFaults, FaultScheduleIsDeterministic) {
   EXPECT_EQ(a.final_weights, b.final_weights);
   EXPECT_EQ(a.total_dropped, b.total_dropped);
   EXPECT_EQ(a.total_quarantined, b.total_quarantined);
+}
+
+// ---- robust aggregation in the asynchronous path ----
+
+/// Restores the serial global pool even when an assertion fails mid-test.
+struct ThreadsRestorer {
+  ~ThreadsRestorer() { set_global_threads(1); }
+};
+
+TEST(FedAsyncRobust, SharedHelperFoldsInDoubleUnlikeTheOldFloatMerge) {
+  // Satellite regression: the staleness-discounted merge used to run in
+  // float ((1-a)*g + a*l per coordinate); it now routes through the same
+  // double-precision ordered fold as Eq. (3). Pin the double semantics and
+  // show the old float arithmetic is genuinely different on some coordinate,
+  // so a regression back to float cannot pass.
+  Rng rng(41);
+  std::vector<float> global(4096);
+  std::vector<float> local(4096);
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    global[i] = static_cast<float>(rng.normal() * 100.0);
+    local[i] = static_cast<float>(rng.normal());
+  }
+  const double alpha_eff = static_cast<double>(0.3F);
+  std::vector<float> merged(global.size());
+  ordered_weighted_mean({&global, &local}, {1.0 - alpha_eff, alpha_eff}, nullptr, merged);
+
+  std::size_t float_drift = 0;
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    const double reference =
+        (1.0 - alpha_eff) * static_cast<double>(global[i]) +
+        alpha_eff * static_cast<double>(local[i]);
+    EXPECT_EQ(merged[i], static_cast<float>(reference)) << i;
+    const float old_merge = (1.0F - 0.3F) * global[i] + 0.3F * local[i];
+    if (old_merge != merged[i]) ++float_drift;
+  }
+  EXPECT_GT(float_drift, 0u);  // the fold precision is observable, not cosmetic
+}
+
+TEST(FedAsyncRobust, MergeIsThreadCountInvariant) {
+  // The shared fold parallelizes over coordinates; the merge bytes must not
+  // depend on the pool size.
+  Fixture fixture;
+  const auto serial = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 1.0}),
+                                     fixture.test_set, fast_options(30.0));
+  ThreadsRestorer restore;
+  set_global_threads(4);
+  const auto parallel = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 1.0}),
+                                       fixture.test_set, fast_options(30.0));
+  EXPECT_EQ(serial.final_weights, parallel.final_weights);
+  EXPECT_EQ(serial.final_accuracy, parallel.final_accuracy);
+}
+
+TEST(FedAsyncRobust, PopulationRulesAreRejected) {
+  Fixture fixture;
+  for (const char* rule : {"median", "trimmed:1", "krum:1", "multikrum:1"}) {
+    FedAsyncOptions options = fast_options(10.0);
+    options.aggregator = parse_aggregator(rule).value();
+    EXPECT_THROW(train_fedasync(fixture.model, fixture.clients({2.0}, {1.0}), fixture.test_set,
+                                options),
+                 std::invalid_argument)
+        << rule;
+  }
+}
+
+TEST(FedAsyncRobust, NormClipBoundsEveryMergedDelta) {
+  Fixture fixture;
+  FedAsyncOptions options = fast_options(30.0);
+  options.aggregator = parse_aggregator("normclip:0.05").value();
+  const auto clipped = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 1.0}),
+                                      fixture.test_set, options);
+  EXPECT_GT(clipped.total_clipped, 0u);
+  EXPECT_EQ(clipped.total_attacked, 0u);
+  for (float w : clipped.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAsyncRobust, AttacksFireInTheAsyncPathAndClipContainsThem) {
+  Fixture fixture;
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.scale_silos = 1;  // client 0 amplifies its delta 8x
+  const FaultInjector injector(plan);
+
+  FedAsyncOptions attacked = fast_options(30.0);
+  attacked.faults = &injector;
+  const auto mean = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 1.0}),
+                                   fixture.test_set, attacked);
+  EXPECT_GT(mean.total_attacked, 0u);
+
+  FedAsyncOptions defended = attacked;
+  defended.aggregator = parse_aggregator("normclip:0.5").value();
+  const auto clipped = train_fedasync(fixture.model, fixture.clients({3.0, 5.0}, {1.0, 1.0}),
+                                      fixture.test_set, defended);
+  EXPECT_EQ(clipped.total_attacked, mean.total_attacked);
+  EXPECT_GT(clipped.total_clipped, 0u);
 }
 
 }  // namespace

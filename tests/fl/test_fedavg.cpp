@@ -286,6 +286,75 @@ TEST(FedAvgFaults, StragglerCutoffExcludesSlowClient) {
   EXPECT_EQ(excluded.history[0].dropped, 1u);
 }
 
+TEST(FedAvgFaults, SurvivorsExactlyAtQuorumStillAggregate) {
+  Fixture fixture;
+  // Quarantining one of three clients leaves exactly quorum survivors — the
+  // boundary must aggregate, not skip.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kUpdateCorruption, 1, 0, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(1);
+  options.faults = &injector;
+  options.quorum = 2;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_FALSE(result.history[0].skipped);
+  EXPECT_EQ(result.history[0].participants, 2u);
+  EXPECT_EQ(result.history[0].quarantined, 1u);
+  // The aggregate moved: quorum survivors produced a real Eq. (3) round.
+  Net untouched = build_model(fixture.model);
+  EXPECT_NE(result.final_weights, untouched.weights());
+}
+
+TEST(FedAvgFaults, AllClientsQuarantinedInRoundZeroSkipsCleanly) {
+  Fixture fixture;
+  // Every update is NaN-poisoned in the very first round: zero survivors
+  // before any aggregation has ever happened. The round skips, the untouched
+  // initial model survives, and training recovers the following round.
+  FaultPlan plan;
+  for (std::uint64_t target = 0; target < 3; ++target) {
+    plan.events.push_back(FaultEvent{FaultKind::kUpdateCorruption, 1, target, 0.0});
+  }
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(2);
+  options.faults = &injector;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_TRUE(result.history[0].skipped);
+  EXPECT_EQ(result.history[0].participants, 0u);
+  EXPECT_EQ(result.history[0].quarantined, 3u);
+  EXPECT_EQ(result.rounds_skipped, 1u);
+  EXPECT_EQ(result.total_quarantined, 3u);
+  EXPECT_FALSE(result.history[1].skipped);
+  EXPECT_EQ(result.history[1].participants, 3u);
+  for (float w : result.final_weights) ASSERT_TRUE(std::isfinite(w));
+}
+
+TEST(FedAvgFaults, QuarantinedClientReentersAggregationNextRound) {
+  Fixture fixture;
+  // Quarantine is per-round, not a ban: a client poisoned in round 1 must
+  // re-enter Eq. (3) in round 2 and accrue influence again.
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kUpdateCorruption, 1, 0, 0.0});
+  const FaultInjector injector(plan);
+  FedAvgOptions options = fast_options(2);
+  options.faults = &injector;
+  const FedAvgResult result = train_fedavg(fixture.model, fixture.clients({1.0, 1.0, 1.0}),
+                                           fixture.test_set, options);
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_EQ(result.history[0].participants, 2u);
+  EXPECT_EQ(result.history[0].quarantined, 1u);
+  EXPECT_EQ(result.history[1].participants, 3u);
+  EXPECT_EQ(result.history[1].quarantined, 0u);
+  ASSERT_EQ(result.client_influence.size(), 3u);
+  // Round 1: influence 0; round 2: ~1/3. The per-client mean over the two
+  // aggregated rounds must therefore be strictly between the two.
+  EXPECT_GT(result.client_influence[0], 0.0);
+  EXPECT_LT(result.client_influence[0], result.client_influence[1]);
+}
+
 TEST(Evaluate, AccuracyAndLossConsistent) {
   Fixture fixture;
   Net net = build_model(fixture.model);

@@ -107,6 +107,23 @@ TEST(CliRun, SessionRejectsMalformedFaultSpec) {
   EXPECT_NE(out.str().find("faults"), std::string::npos);
 }
 
+TEST(CliRun, FaultSpecErrorEchoesTokenAndGrammar) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "faults=signflip:2.5"}).value(), out), 2);
+  // A typo must be diagnosable from the CLI output alone: the offending token
+  // verbatim plus the full accepted grammar.
+  EXPECT_NE(out.str().find("'signflip:2.5'"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("accepted grammar"), std::string::npos);
+  EXPECT_NE(out.str().find("collude:<silos>"), std::string::npos);
+}
+
+TEST(CliRun, AggSpecErrorEchoesTokenAndGrammar) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"session", "orgs=4", "seed=3", "agg=inverse"}).value(), out), 2);
+  EXPECT_NE(out.str().find("'inverse'"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("agg=mean | median | trimmed[:f]"), std::string::npos);
+}
+
 TEST(CliRun, SessionEchoesFaultPlanAndSurvivesChaos) {
   std::ostringstream out;
   // Transient submission loss at 20%: retries absorb it, settlement lands,

@@ -72,6 +72,10 @@ const std::vector<std::pair<std::string, std::string>>& expected_pairs() {
       // FL training state
       {"put_round_metrics", "get_round_metrics"},
       {"put_fedavg_result", "get_fedavg_result"},
+      {"put_aggregator_spec", "get_aggregator_spec"},
+      // deviation audit (core/deviation_audit.cpp)
+      {"put_silo_deviation", "get_silo_deviation"},
+      {"put_deviation_audit", "get_deviation_audit"},
       // session bookkeeping
       {"put_address", "get_address"},
   };

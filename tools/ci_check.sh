@@ -83,18 +83,25 @@ bench_gate_ok=0
 for attempt in 1 2 3; do
   ./build/bench/bench_load fast=1 out="$bench_tmp" csv="$bench_tmp"
   ./build/bench/bench_serve fast=1 out="$bench_tmp" root="$bench_tmp/serve-state"
+  # Byzantine attack sweep: every per-cell metric (correct/attacked/rejected/
+  # clipped counts) is deterministic and exact-match gated, so this doubles as
+  # a semantic-drift detector for the aggregation rules.
+  ./build/bench/bench_fl fast=1 out="$bench_tmp"
   if [ "${TFL_REGEN_BASELINE:-0}" = "1" ]; then
     cp "$bench_tmp/BENCH_load.json" bench/baselines/bench_load.fast.json
     cp "$bench_tmp/BENCH_chain.json" bench/baselines/bench_chain.fast.json
     cp "$bench_tmp/BENCH_serve.json" bench/baselines/bench_serve.fast.json
-    echo "ci_check: regenerated bench/baselines/{bench_load,bench_chain,bench_serve}.fast.json"
+    cp "$bench_tmp/BENCH_fl.json" bench/baselines/bench_fl.fast.json
+    echo "ci_check: regenerated bench/baselines/{bench_load,bench_chain,bench_serve,bench_fl}.fast.json"
   fi
   if ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
       bench/baselines/bench_load.fast.json "$bench_tmp/BENCH_load.json" &&
      ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
       bench/baselines/bench_chain.fast.json "$bench_tmp/BENCH_chain.json" &&
      ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
-      bench/baselines/bench_serve.fast.json "$bench_tmp/BENCH_serve.json"; then
+      bench/baselines/bench_serve.fast.json "$bench_tmp/BENCH_serve.json" &&
+     ./build/tools/tfl-bench-diff --threshold "${TFL_BENCH_DIFF_THRESHOLD:-0.25}" \
+      bench/baselines/bench_fl.fast.json "$bench_tmp/BENCH_fl.json"; then
     bench_gate_ok=1
     break
   fi
@@ -197,6 +204,18 @@ if [ "$run_sanitizers" -eq 1 ]; then
   # FL, retry/abort on chain, solver recovery, and the thread-count replay.
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
         -R 'Chaos|Retry|Fault|GbdFaults|Serve'
+
+  echo "=== ci: byzantine-chaos suite (asan-ubsan) ==="
+  # Byzantine-resilience gate: robust aggregation semantics and determinism,
+  # adversarial fault kinds in FedAvg/FedAsync, the strategic-deviation audit,
+  # and the mid-attack checkpoint/resume contract — then one real CLI session
+  # under a mixed attack plan with a robust rule, end to end through
+  # parse_fault_plan, training, the audit, and on-chain settlement.
+  ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
+        -R 'Byzantine|RobustAgg|FedAvgFaults|FedAsyncRobust|DeviationAudit'
+  ./build-asan-ubsan/tools/tradefl session orgs=4 seed=3 train=1 rounds=2 \
+      sample_scale=0.12 agg=trimmed:1 faults=seed:11,signflip:1,freeride:1 \
+      > /dev/null
 
   echo "=== ci: kill-and-resume suite (asan-ubsan) ==="
   # Durability gate: snapshot corruption fails closed, the chain WAL replays

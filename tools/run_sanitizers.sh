@@ -34,8 +34,10 @@ for preset in "${presets[@]}"; do
     # under an active fault plan. Mempool + ParallelValidation cover the
     # chain's batch-sealing and parallel validate() paths. Serve covers the
     # daemon: worker/watchdog threads, per-session cancel tokens, the scoped
-    # metrics resolver, and the shared reply stream.
-    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos|Mempool|ParallelValidation|Serve'
+    # metrics resolver, and the shared reply stream. RobustAgg covers the
+    # aggregation rules' thread-count determinism contract (the scratch pool
+    # and ordered reductions run on the worker pool at 4 threads).
+    ctest --preset "$preset" -R 'Parallel|ThreadPool|Gemm|Metrics|Chaos|Mempool|ParallelValidation|Serve|RobustAgg'
   else
     ctest --preset "$preset"
   fi
